@@ -1,0 +1,338 @@
+// Package ompcloud's root benchmark suite regenerates every figure and
+// headline statistic of the paper's evaluation as testing.B benchmarks:
+//
+//	go test -bench 'Fig4' -benchmem .        # Figure 4 speedup series
+//	go test -bench 'Fig5' -benchmem .        # Figure 5 load decomposition
+//	go test -bench 'Stat' -benchmem .        # §IV headline statistics
+//	go test -bench 'Ablation' -benchmem .    # design-choice ablations
+//	go test -bench 'Pipeline' -benchmem .    # real end-to-end pipeline runs
+//	go test -bench 'Substrate' -benchmem .   # engine micro-benchmarks
+//
+// Figure-level benchmarks report their findings as custom metrics
+// (speedup-x, comm-s, ...) so `go test -bench` output doubles as the
+// experiment record; EXPERIMENTS.md interprets them against the paper.
+package ompcloud
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ompcloud/internal/bench"
+	"ompcloud/internal/data"
+	"ompcloud/internal/kernels"
+	"ompcloud/internal/omp"
+	"ompcloud/internal/perf"
+	"ompcloud/internal/spark"
+	"ompcloud/internal/storage"
+	"ompcloud/internal/trace"
+	"ompcloud/internal/xcompress"
+)
+
+var (
+	harnessOnce sync.Once
+	harnessMemo *bench.Harness
+	harnessErr  error
+)
+
+// harness calibrates once per `go test` process.
+func harness(b *testing.B) *bench.Harness {
+	b.Helper()
+	harnessOnce.Do(func() {
+		harnessMemo, harnessErr = bench.NewHarness(bench.Config{CalN: 192})
+	})
+	if harnessErr != nil {
+		b.Fatal(harnessErr)
+	}
+	return harnessMemo
+}
+
+// BenchmarkFig4 regenerates Figure 4: per benchmark and core count, the
+// three OmpCloud speedup series over single-core execution at paper scale
+// (~1 GB float32 matrices).
+func BenchmarkFig4(b *testing.B) {
+	h := harness(b)
+	for _, bm := range kernels.All {
+		for _, cores := range bench.PaperCoreSweep {
+			b.Run(fmt.Sprintf("%s/cores=%d", bm.Name, cores), func(b *testing.B) {
+				var full, spk, comp float64
+				for i := 0; i < b.N; i++ {
+					spec := bench.ClusterFor(cores)
+					var err error
+					full, spk, comp, err = h.Calibration().Speedups(perf.Scenario{
+						Bench: bm, Kind: data.Dense,
+						Workers: spec.Workers, CoresPerWorker: spec.CoresPerWorker,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(full, "full-x")
+				b.ReportMetric(spk, "spark-x")
+				b.ReportMetric(comp, "comp-x")
+			})
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5: the execution-time decomposition per
+// benchmark, data kind and core count.
+func BenchmarkFig5(b *testing.B) {
+	h := harness(b)
+	for _, bm := range kernels.All {
+		for _, kind := range []data.Kind{data.Sparse, data.Dense} {
+			for _, cores := range bench.PaperCoreSweep {
+				b.Run(fmt.Sprintf("%s/%s/cores=%d", bm.Name, kind, cores), func(b *testing.B) {
+					var rep *trace.Report
+					for i := 0; i < b.N; i++ {
+						spec := bench.ClusterFor(cores)
+						var err error
+						rep, err = h.Calibration().Predict(perf.Scenario{
+							Bench: bm, Kind: kind,
+							Workers: spec.Workers, CoresPerWorker: spec.CoresPerWorker,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(rep.HostTargetComm().Seconds(), "comm-s")
+					b.ReportMetric(rep.Phases[trace.PhaseSpark].Seconds(), "spark-s")
+					b.ReportMetric(rep.ComputeTime().Seconds(), "compute-s")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkStatOverhead16 regenerates §IV's 16-core overhead comparison
+// (paper: 1.8% computation, 8.8% spark, 13.6% full).
+func BenchmarkStatOverhead16(b *testing.B) {
+	h := harness(b)
+	var st *bench.Stats
+	for i := 0; i < b.N; i++ {
+		var err error
+		st, err = h.ComputeStats()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(st.Overhead16Computation, "comp-pct")
+	b.ReportMetric(st.Overhead16Spark, "spark-pct")
+	b.ReportMetric(st.Overhead16Full, "full-pct")
+}
+
+// BenchmarkStatPeaks regenerates the peak-speedup claims (paper: 3MM
+// 143x/97x/86x; 2MM full ~86x at 256 cores).
+func BenchmarkStatPeaks(b *testing.B) {
+	h := harness(b)
+	for _, name := range []string{"2mm", "3mm"} {
+		b.Run(name, func(b *testing.B) {
+			var st *bench.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				st, err = h.ComputeStats()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			p := st.Peak[name]
+			b.ReportMetric(p[0], "full-x")
+			b.ReportMetric(p[1], "spark-x")
+			b.ReportMetric(p[2], "comp-x")
+		})
+	}
+}
+
+// BenchmarkStatSparkOverheadGrowth regenerates the overhead-growth claim
+// (paper: collinear-list 0.1%->15%, SYRK 17%->69% from 8 to 256 cores).
+func BenchmarkStatSparkOverheadGrowth(b *testing.B) {
+	h := harness(b)
+	for _, name := range []string{"collinear-list", "syrk"} {
+		b.Run(name, func(b *testing.B) {
+			var st *bench.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				st, err = h.ComputeStats()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			s := st.SparkOverheadShare[name]
+			b.ReportMetric(s[0], "share8-pct")
+			b.ReportMetric(s[1], "share256-pct")
+		})
+	}
+}
+
+// BenchmarkAblation quantifies the design choices: Algorithm 1 tiling, the
+// Listing 2 partitioning extension, compression, BitTorrent broadcast.
+func BenchmarkAblation(b *testing.B) {
+	h := harness(b)
+	var rows []bench.AblationRow
+	var err error
+	rows, err = h.Ablations()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, row := range rows {
+		b.Run(row.Name, func(b *testing.B) {
+			var rs []bench.AblationRow
+			for i := 0; i < b.N; i++ {
+				rs, err = h.Ablations()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, r := range rs {
+				if r.Name == row.Name {
+					b.ReportMetric(r.Slowdown(), "slowdown-x")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCaching quantifies the implemented future-work feature (§VI:
+// "we plan to implement data caching to limit the cost of host-target
+// communications"): cold vs warm-cache end-to-end time at 64 cores.
+func BenchmarkCaching(b *testing.B) {
+	h := harness(b)
+	for _, kind := range []data.Kind{data.Sparse, data.Dense} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var cold, warm float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				cold, warm, err = h.CachingBenefit(kernels.GEMM, 64, kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cold, "cold-s")
+			b.ReportMetric(warm, "warm-s")
+			b.ReportMetric(cold/warm, "speedup-x")
+		})
+	}
+}
+
+// BenchmarkPipeline runs the real offloading pipeline end to end (scaled-
+// down inputs, real compression, storage, Spark execution, reconstruction)
+// — the wall-clock cost of the measured path itself.
+func BenchmarkPipeline(b *testing.B) {
+	for _, bm := range []*kernels.Benchmark{kernels.GEMM, kernels.TwoMM, kernels.Collinear} {
+		b.Run(bm.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunMeasured(bench.MeasuredConfig{
+					Bench: bm, N: 96, Kind: data.Dense, Cores: 32,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks -----------------------------------------
+
+// BenchmarkSubstrateSparkMap measures the engine's per-job overhead: a map
+// over 256 partitions of trivial work.
+func BenchmarkSubstrateSparkMap(b *testing.B) {
+	ctx, err := spark.NewContext(spark.ClusterSpec{Workers: 16, CoresPerWorker: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := spark.Range(ctx, 4096, 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := spark.Map(r, func(v int64) (int64, error) { return v * v, nil }).Collect(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubstrateStorage measures object-store round trips at the 4 MiB
+// object size typical of scaled benchmark buffers.
+func BenchmarkSubstrateStorage(b *testing.B) {
+	payload := data.Generate(1, 1<<20, data.Dense, 1).Bytes() // 4 MiB
+	for _, backend := range []string{"mem", "remote"} {
+		b.Run(backend, func(b *testing.B) {
+			var store storage.Store = storage.NewMemStore()
+			if backend == "remote" {
+				srv, err := storage.Serve("127.0.0.1:0", storage.NewMemStore())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+				client, err := storage.Dial(srv.Addr())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer client.Close()
+				store = client
+			}
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := store.Put("bench/obj", payload); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := store.Get("bench/obj"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSubstrateCompress measures the codec on the two input flavours —
+// the machine constants behind the Figure 5 sparse/dense contrast.
+func BenchmarkSubstrateCompress(b *testing.B) {
+	for _, kind := range []data.Kind{data.Sparse, data.Dense} {
+		payload := data.Generate(1, 1<<20, kind, 1).Bytes()
+		b.Run(kind.String(), func(b *testing.B) {
+			codec := xcompress.Codec{}
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				wire, err := codec.Encode(payload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := xcompress.Decode(wire); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// hostRuntime builds a single-thread host runtime for kernel measurement.
+func hostRuntime() (*omp.Runtime, omp.Device, error) {
+	rt, err := omp.NewRuntime(1)
+	if err != nil {
+		return nil, omp.Device{}, err
+	}
+	return rt, rt.HostDevice(), nil
+}
+
+// BenchmarkSubstrateKernels measures single-tile kernel throughput — the
+// calibration quantity itself.
+func BenchmarkSubstrateKernels(b *testing.B) {
+	for _, bm := range kernels.All {
+		b.Run(bm.Name, func(b *testing.B) {
+			w := bm.Prepare(64, data.Dense, 1)
+			rt, dev, err := hostRuntime()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Run(rt, dev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,172 @@
+// Command ompcloud-bench regenerates the paper's evaluation data.
+//
+//	ompcloud-bench -fig 4            # Figure 4: speedup charts (all 8 benchmarks)
+//	ompcloud-bench -fig 5            # Figure 5: load-distribution charts
+//	ompcloud-bench -stats            # §IV headline statistics vs the paper
+//	ompcloud-bench -ablation         # design-choice ablations
+//	ompcloud-bench -fig 4 -csv       # machine-readable output
+//	ompcloud-bench -bench gemm,3mm   # restrict the benchmark set
+//
+// The tool first calibrates the machine (real single-core kernel runs and
+// real gzip probes; takes a few seconds at the default -caln), then derives
+// every figure through the virtual-time cost model at paper scale (~1 GB
+// matrices, 8-256 worker cores). See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ompcloud/internal/bench"
+	"ompcloud/internal/data"
+	"ompcloud/internal/kernels"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "figure to regenerate (4 or 5)")
+		stats    = flag.Bool("stats", false, "print the headline statistics of §IV")
+		ablation = flag.Bool("ablation", false, "print the design-choice ablations")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		svgDir   = flag.String("svg", "", "also write the figure as SVG chart(s) into this directory")
+		benchSel = flag.String("bench", "", "comma-separated benchmark subset (default: all 8)")
+		measured = flag.Int("measured", 0, "run Figure 4 in MEASURED mode at this dimension (real pipeline, scaled inputs)")
+		calN     = flag.Int("caln", 256, "calibration dimension (kernel micro-measurement size)")
+		seed     = flag.Int64("seed", 1, "input generation seed")
+	)
+	flag.Parse()
+	if *fig == 0 && !*stats && !*ablation {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *measured > 0 && *fig == 4 {
+		benches := kernels.All
+		if *benchSel != "" {
+			benches = nil
+			for _, name := range strings.Split(*benchSel, ",") {
+				b, err := kernels.ByName(strings.TrimSpace(name))
+				if err != nil {
+					fatal(err)
+				}
+				benches = append(benches, b)
+			}
+		}
+		var charts []bench.Fig4Chart
+		for _, b := range benches {
+			fmt.Fprintf(os.Stderr, "measured sweep: %s at n=%d ...\n", b.Name, *measured)
+			chart, err := bench.MeasuredSweep(b, *measured, data.Dense, bench.PaperCoreSweep, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			charts = append(charts, chart)
+		}
+		if *csv {
+			bench.WriteFig4CSV(os.Stdout, charts)
+		} else {
+			bench.WriteFig4Table(os.Stdout, charts)
+		}
+		return
+	}
+	cfg := bench.Config{CalN: *calN, Seed: *seed}
+	if *benchSel != "" {
+		for _, name := range strings.Split(*benchSel, ",") {
+			b, err := kernels.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Benches = append(cfg.Benches, b)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "calibrating kernels at n=%d ...\n", *calN)
+	h, err := bench.NewHarness(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *fig == 4:
+		charts, err := h.Figure4()
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			bench.WriteFig4CSV(os.Stdout, charts)
+		} else {
+			bench.WriteFig4Table(os.Stdout, charts)
+		}
+		if *svgDir != "" {
+			if err := writeSVG(*svgDir, "fig4.svg", func(w io.Writer) error {
+				return bench.WriteFig4SVG(w, charts)
+			}); err != nil {
+				fatal(err)
+			}
+		}
+	case *fig == 5:
+		points, err := h.Figure5()
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			bench.WriteFig5CSV(os.Stdout, points)
+		} else {
+			bench.WriteFig5Table(os.Stdout, points)
+		}
+		if *svgDir != "" {
+			for _, kind := range []data.Kind{data.Sparse, data.Dense} {
+				name := fmt.Sprintf("fig5-%s.svg", kind)
+				if err := writeSVG(*svgDir, name, func(w io.Writer) error {
+					return bench.WriteFig5SVG(w, points, kind)
+				}); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	case *fig != 0:
+		fatal(fmt.Errorf("unknown figure %d (the paper has figures 4 and 5)", *fig))
+	}
+	if *stats {
+		st, err := h.ComputeStats()
+		if err != nil {
+			fatal(err)
+		}
+		order := make([]string, 0, 8)
+		for _, b := range kernels.All {
+			order = append(order, b.Name)
+		}
+		bench.WriteStats(os.Stdout, st, order)
+	}
+	if *ablation {
+		rows, err := h.Ablations()
+		if err != nil {
+			fatal(err)
+		}
+		bench.WriteAblations(os.Stdout, rows)
+	}
+}
+
+// writeSVG renders one chart file into dir.
+func writeSVG(dir, name string, render func(io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := render(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ompcloud-bench:", err)
+	os.Exit(1)
+}

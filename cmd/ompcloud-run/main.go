@@ -1,0 +1,137 @@
+// Command ompcloud-run executes one benchmark end-to-end through the real
+// offloading pipeline: OpenMP-model lowering, gzip compression, the cloud
+// storage service, the Spark engine (real task execution on this machine,
+// virtual time on the simulated cluster) and driver-side reconstruction.
+//
+//	ompcloud-run -bench gemm -n 512 -cores 64
+//	ompcloud-run -bench 2mm -n 384 -cores 256 -kind sparse -verify
+//	ompcloud-run -bench syrk -n 256 -conf ompcloud.conf   # config-file device
+//	ompcloud-run -list
+//
+// The report decomposes the run exactly as the paper's Figure 5 does:
+// host-target communication, Spark overhead, and computation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ompcloud/internal/bench"
+	"ompcloud/internal/config"
+	"ompcloud/internal/data"
+	"ompcloud/internal/kernels"
+	"ompcloud/internal/offload"
+	"ompcloud/internal/omp"
+	"ompcloud/internal/storage"
+	"ompcloud/internal/trace"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "gemm", "benchmark to run (see -list)")
+		n         = flag.Int("n", 512, "dataset dimension")
+		cores     = flag.Int("cores", 64, "simulated worker-core count")
+		kindStr   = flag.String("kind", "dense", "input data kind: dense|sparse")
+		seed      = flag.Int64("seed", 1, "input generation seed")
+		verify    = flag.Bool("verify", false, "check results against the serial reference")
+		confPath  = flag.String("conf", "", "OmpCloud configuration file (overrides -cores topology)")
+		storeAddr = flag.String("storage", "", "remote storage address (use with ompcloud-storaged)")
+		workers   = flag.String("workers", "", "comma-separated remote worker addresses (use with ompcloud-worker)")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+		list      = flag.Bool("list", false, "list available benchmarks")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range kernels.All {
+			in, out := b.HostBytes(b.PaperN)
+			fmt.Printf("%-15s %-10s regions=%d paper-n=%d paper-traffic=%.1f GB in / %.1f GB out\n",
+				b.Name, b.Suite, b.Regions, b.PaperN, float64(in)/1e9, float64(out)/1e9)
+		}
+		return
+	}
+
+	b, err := kernels.ByName(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := data.ParseKind(*kindStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	var rep *trace.Report
+	switch {
+	case *confPath != "":
+		f, err := config.Load(*confPath)
+		if err != nil {
+			fatal(err)
+		}
+		plugin, err := offload.NewCloudPluginFromConfig(f)
+		if err != nil {
+			fatal(err)
+		}
+		rt, err := omp.NewRuntime(16)
+		if err != nil {
+			fatal(err)
+		}
+		dev := rt.RegisterDevice(plugin)
+		w := b.Prepare(*n, kind, *seed)
+		rep, err = w.Run(rt, dev)
+		if err != nil {
+			fatal(err)
+		}
+		if *verify {
+			if err := w.Verify(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr, "verify: results match the serial reference")
+		}
+	default:
+		cfg := bench.MeasuredConfig{
+			Bench: b, N: *n, Kind: kind, Cores: *cores, Seed: *seed, Verify: *verify,
+		}
+		if *workers != "" {
+			for _, a := range strings.Split(*workers, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					cfg.WorkerAddrs = append(cfg.WorkerAddrs, a)
+				}
+			}
+		}
+		if *storeAddr != "" {
+			rs, err := storage.Dial(*storeAddr)
+			if err != nil {
+				fatal(err)
+			}
+			defer rs.Close()
+			cfg.Store = rs
+		}
+		res, err := bench.RunMeasured(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		rep = res.Cloud
+		if *verify {
+			fmt.Fprintln(os.Stderr, "verify: results match the serial reference on both devices")
+		}
+		fmt.Printf("host baseline (%d threads): compute %v\n", 16, res.Host.ComputeTime().Real())
+	}
+
+	if *jsonOut {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Println(rep)
+	rep.WriteBreakdown(os.Stdout, 48)
+	fmt.Printf("wire traffic: %.2f MB up, %.2f MB down; %d task failures\n",
+		float64(rep.BytesUploaded)/1e6, float64(rep.BytesDownloaded)/1e6, rep.TaskFailures)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ompcloud-run:", err)
+	os.Exit(1)
+}

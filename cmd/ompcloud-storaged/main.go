@@ -1,0 +1,66 @@
+// Command ompcloud-storaged serves the S3/HDFS-analog object store over
+// TCP, the cloud-storage leg of the offloading data path (Fig. 1). Point
+// ompcloud-run or a configuration file at its address:
+//
+//	ompcloud-storaged -addr 127.0.0.1:9333 -dir /tmp/ompcloud-store &
+//	ompcloud-run -bench gemm -n 512 -cores 64 -storage 127.0.0.1:9333
+//
+// With no -dir the store is memory-backed and contents vanish on exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ompcloud/internal/storage"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:9333", "listen address")
+		dir  = flag.String("dir", "", "backing directory (empty = in-memory)")
+	)
+	flag.Parse()
+
+	var store storage.Store
+	if *dir == "" {
+		store = storage.NewMemStore()
+	} else {
+		ds, err := storage.NewDiskStore(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		store = ds
+	}
+	metered := storage.NewMetered(store)
+	srv, err := storage.Serve(*addr, metered)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ompcloud-storaged: serving on %s (backing: %s)\n", srv.Addr(), backing(*dir))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	snap := metered.Snapshot()
+	fmt.Printf("ompcloud-storaged: shutting down; served %d puts (%.1f MB), %d gets (%.1f MB)\n",
+		snap.Puts, float64(snap.BytesIn)/1e6, snap.Gets, float64(snap.BytesOut)/1e6)
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func backing(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return dir
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ompcloud-storaged:", err)
+	os.Exit(1)
+}

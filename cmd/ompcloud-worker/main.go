@@ -1,0 +1,43 @@
+// Command ompcloud-worker is a standalone loop-body execution server: the
+// worker half of the paper's fat binary. It links the same kernel registry
+// as the host tools (internal/kernels) and executes the tiles the cloud
+// device ships to it over TCP — a literal process boundary in place of JNI.
+//
+//	ompcloud-worker -addr 127.0.0.1:9401 &
+//	ompcloud-worker -addr 127.0.0.1:9402 &
+//	ompcloud-run -bench gemm -n 384 -cores 32 -workers 127.0.0.1:9401,127.0.0.1:9402
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ompcloud/internal/fatbin"
+	_ "ompcloud/internal/kernels" // link the benchmark kernels
+	"ompcloud/internal/remoteexec"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9401", "listen address")
+	flag.Parse()
+
+	w, err := remoteexec.Serve(*addr, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ompcloud-worker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ompcloud-worker: serving on %s (%d kernels linked)\n",
+		w.Addr(), len(fatbin.Default.Names()))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("ompcloud-worker: shutting down after %d tiles\n", w.Served())
+	if err := w.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "ompcloud-worker:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,92 @@
+// Fallback and pay-per-use: two §III.A behaviours of the OmpCloud runtime.
+//
+// First, dynamic host fallback — "offloading is done dynamically, and thus
+// if the cloud is not available the computation is performed locally": a
+// device configured with bad credentials silently degrades to host
+// execution, and the report says so.
+//
+// Second, on-the-fly instance lifecycle — "the EC2 instance can be started
+// when offloading the code and stopped after it ends its execution ... thus
+// allowing him/her to pay for just the amount of computational resources
+// used": with valid credentials the plugin provisions a cluster, parks it,
+// wakes it per job, and the cost report shows what the session cost.
+//
+//	go run ./examples/fallback
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ompcloud/internal/cloud"
+	"ompcloud/internal/data"
+	_ "ompcloud/internal/kernels"
+	"ompcloud/internal/offload"
+	"ompcloud/internal/omp"
+	"ompcloud/internal/simtime"
+	"ompcloud/internal/spark"
+	"ompcloud/internal/storage"
+)
+
+const n = 192
+
+func runMatMul(rt *omp.Runtime, dev omp.Device) {
+	a := data.Generate(n, n, data.Dense, 1)
+	b := data.Generate(n, n, data.Dense, 2)
+	c := data.NewMatrix(n, n)
+	rep, err := rt.Target(dev,
+		omp.To("A", a).Partition(n),
+		omp.To("B", b),
+		omp.From("C", c).Partition(n),
+	).ParallelFor(n, "mm", n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(" ", rep)
+}
+
+func main() {
+	rt, err := omp.NewRuntime(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- 1. Bad credentials: transparent host fallback. -------------
+	fmt.Println("with bad credentials (provisioning fails):")
+	badProvider := cloud.NewSimProvider(cloud.Credentials{}) // no access key
+	badPlugin, err := offload.NewCloudPlugin(offload.CloudConfig{
+		Spec:     spark.ClusterSpec{Workers: 4, CoresPerWorker: 16},
+		Store:    storage.NewMemStore(),
+		Provider: badProvider,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  cloud device available: %v (%v)\n", badPlugin.Available(), badPlugin.InitError())
+	runMatMul(rt, rt.RegisterDevice(badPlugin)) // note "(fell back to host)"
+
+	// --- 2. Valid credentials: pay-per-use lifecycle. ----------------
+	fmt.Println("with valid credentials (auto start/stop):")
+	provider := cloud.NewSimProvider(
+		cloud.Credentials{AccessKey: "AKIAEXAMPLE", SecretKey: "secret", Region: "us-east-1"},
+		cloud.WithBootTime(45*simtime.Second))
+	plugin, err := offload.NewCloudPlugin(offload.CloudConfig{
+		Spec:          spark.ClusterSpec{Workers: 4, CoresPerWorker: 16},
+		Store:         storage.NewMemStore(),
+		Provider:      provider,
+		InstanceType:  "c3.8xlarge",
+		AutoStartStop: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cloudDev := rt.RegisterDevice(plugin)
+	for job := 1; job <= 2; job++ {
+		fmt.Printf("  job %d:\n", job)
+		runMatMul(rt, cloudDev)
+		// Simulate the user thinking between jobs; parked instances
+		// accrue no cost meanwhile.
+		provider.Clock().Advance(20 * simtime.Minute)
+	}
+	fmt.Println(plugin.Cluster().Report())
+}

@@ -1,0 +1,3 @@
+module ompcloud
+
+go 1.24

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"testing"
+
+	"ompcloud/internal/data"
+	"ompcloud/internal/kernels"
+	"ompcloud/internal/perf"
+)
+
+// TestModelAgreesWithMeasuredPipeline ties the two execution paths
+// together: a real measured run and a model prediction of the same
+// configuration (same N, same calibration machine, same cost constants)
+// must agree on total virtual time within a small factor. At small N both
+// are dominated by the shared fixed constants (job submit, dispatch,
+// latencies), so disagreement here means the paths have drifted apart.
+func TestModelAgreesWithMeasuredPipeline(t *testing.T) {
+	cal := testHarness(t).Calibration()
+	for _, b := range []*kernels.Benchmark{kernels.GEMM, kernels.Collinear} {
+		n := cal.CalN // predict at exactly the calibrated dimension
+		res, err := RunMeasured(MeasuredConfig{
+			Bench: b, N: n, Kind: data.Dense, Cores: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := cal.Predict(perf.Scenario{
+			Bench: b, N: n, Kind: data.Dense,
+			Workers: 1, CoresPerWorker: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.Cloud.Total().Seconds()
+		p := pred.Total().Seconds()
+		if m <= 0 || p <= 0 {
+			t.Fatalf("%s: degenerate totals %v / %v", b.Name, m, p)
+		}
+		ratio := m / p
+		if ratio < 0.3 || ratio > 3 {
+			t.Fatalf("%s: measured %.3fs vs modelled %.3fs (ratio %.2f) — paths drifted",
+				b.Name, m, p, ratio)
+		}
+	}
+}

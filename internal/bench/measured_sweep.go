@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+
+	"ompcloud/internal/data"
+	"ompcloud/internal/kernels"
+	"ompcloud/internal/offload"
+	"ompcloud/internal/omp"
+	"ompcloud/internal/storage"
+)
+
+// MeasuredSweep runs one benchmark for real across the core sweep and
+// derives the three Figure 4 speedup series from the measured virtual
+// times — the measured-mode cross-check of the model-based Figure4(). The
+// baseline is a real single-threaded host run of the same workload.
+//
+// Because the inputs are scaled down (the whole point of measured mode),
+// fixed costs (job submission, WAN latency) weigh far more than at paper
+// scale; shapes are comparable across core counts within the sweep, not
+// against the paper's absolute speedups.
+func MeasuredSweep(b *kernels.Benchmark, n int, kind data.Kind, coreSweep []int, seed int64) (Fig4Chart, error) {
+	if b == nil || n <= 0 {
+		return Fig4Chart{}, fmt.Errorf("bench: measured sweep needs a benchmark and N")
+	}
+	chart := Fig4Chart{Bench: b.Name, OmpThread: make(map[int]float64, 2)}
+	if len(coreSweep) == 0 {
+		coreSweep = PaperCoreSweep
+	}
+	if seed == 0 {
+		seed = 1
+	}
+
+	// Serial baseline: 1 host thread, measured.
+	rtSerial, err := omp.NewRuntime(1)
+	if err != nil {
+		return chart, err
+	}
+	w := b.Prepare(n, kind, seed)
+	serialRep, err := w.Run(rtSerial, rtSerial.HostDevice())
+	if err != nil {
+		return chart, fmt.Errorf("bench: serial baseline: %w", err)
+	}
+	serial := serialRep.ComputeTime().Seconds()
+	if serial <= 0 {
+		return chart, fmt.Errorf("bench: degenerate serial baseline")
+	}
+
+	// OmpThread references at 8 and 16 threads.
+	for _, threads := range []int{8, 16} {
+		rt, err := omp.NewRuntime(threads)
+		if err != nil {
+			return chart, err
+		}
+		rep, err := w.Run(rt, rt.HostDevice())
+		if err != nil {
+			return chart, err
+		}
+		if secs := rep.ComputeTime().Seconds(); secs > 0 {
+			chart.OmpThread[threads] = serial / secs
+		}
+	}
+
+	// Cloud sweep.
+	for _, cores := range coreSweep {
+		rt, err := omp.NewRuntime(16)
+		if err != nil {
+			return chart, err
+		}
+		plugin, err := offload.NewCloudPlugin(offload.CloudConfig{
+			Spec:  ClusterFor(cores),
+			Store: storage.NewMemStore(),
+		})
+		if err != nil {
+			return chart, err
+		}
+		rep, err := w.Run(rt, rt.RegisterDevice(plugin))
+		if err != nil {
+			return chart, fmt.Errorf("bench: measured sweep at %d cores: %w", cores, err)
+		}
+		point := Fig4Point{Cores: cores}
+		if s := rep.Total().Seconds(); s > 0 {
+			point.Full = serial / s
+		}
+		if s := rep.SparkTime().Seconds(); s > 0 {
+			point.Spark = serial / s
+		}
+		if s := rep.ComputeTime().Seconds(); s > 0 {
+			point.Computation = serial / s
+		}
+		chart.Points = append(chart.Points, point)
+	}
+	return chart, nil
+}

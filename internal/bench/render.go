@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PaperExpectations pins the quantitative claims of §IV that
+// EXPERIMENTS.md compares against.
+var PaperExpectations = struct {
+	Overhead16                           [3]float64 // computation, spark, full (%)
+	Peak3MM                              [3]float64 // comp, spark, full at 256 cores
+	Peak2MMFull                          float64
+	CollinearShare8, CollinearShare256   float64 // spark-overhead share (%)
+	SYRKShare8, SYRKShare256             float64
+	Runtime8FastMin, Runtime8FastMax     float64 // 2 benchmarks, minutes
+	Runtime8MediumMin, Runtime8MediumMax float64 // 5 benchmarks
+	Runtime8SlowApprox                   float64 // 1 benchmark
+}{
+	Overhead16:      [3]float64{1.8, 8.8, 13.6},
+	Peak3MM:         [3]float64{143, 97, 86},
+	Peak2MMFull:     86,
+	CollinearShare8: 0.1, CollinearShare256: 15,
+	SYRKShare8: 17, SYRKShare256: 69,
+	Runtime8FastMin: 10, Runtime8FastMax: 25,
+	Runtime8MediumMin: 30, Runtime8MediumMax: 60,
+	Runtime8SlowApprox: 90,
+}
+
+// WriteFig4Table renders the Figure 4 data as aligned text, one block per
+// benchmark chart.
+func WriteFig4Table(w io.Writer, charts []Fig4Chart) {
+	for _, c := range charts {
+		fmt.Fprintf(w, "Figure 4 — %s (speedup over 1 core)\n", c.Bench)
+		fmt.Fprintf(w, "  OmpThread:   8 threads %6.1fx   16 threads %6.1fx\n",
+			c.OmpThread[8], c.OmpThread[16])
+		fmt.Fprintf(w, "  %-8s %14s %14s %14s\n", "cores", "OmpCloud-full", "OmpCloud-spark", "OmpCloud-comp")
+		for _, p := range c.Points {
+			fmt.Fprintf(w, "  %-8d %13.1fx %13.1fx %13.1fx\n", p.Cores, p.Full, p.Spark, p.Computation)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteFig4CSV renders the Figure 4 data as CSV.
+func WriteFig4CSV(w io.Writer, charts []Fig4Chart) {
+	fmt.Fprintln(w, "bench,series,cores,speedup")
+	for _, c := range charts {
+		for _, threads := range []int{8, 16} {
+			fmt.Fprintf(w, "%s,ompthread,%d,%.3f\n", c.Bench, threads, c.OmpThread[threads])
+		}
+		for _, p := range c.Points {
+			fmt.Fprintf(w, "%s,ompcloud-full,%d,%.3f\n", c.Bench, p.Cores, p.Full)
+			fmt.Fprintf(w, "%s,ompcloud-spark,%d,%.3f\n", c.Bench, p.Cores, p.Spark)
+			fmt.Fprintf(w, "%s,ompcloud-computation,%d,%.3f\n", c.Bench, p.Cores, p.Computation)
+		}
+	}
+}
+
+// WriteFig5Table renders the Figure 5 decomposition as aligned text.
+func WriteFig5Table(w io.Writer, points []Fig5Point) {
+	last := ""
+	for _, p := range points {
+		head := fmt.Sprintf("%s/%s", p.Bench, p.Kind)
+		if head != last {
+			if last != "" {
+				fmt.Fprintln(w)
+			}
+			fmt.Fprintf(w, "Figure 5 — %s (seconds)\n", head)
+			fmt.Fprintf(w, "  %-8s %12s %12s %12s %12s %7s\n",
+				"cores", "host-target", "spark-ovhd", "computation", "total", "comm%")
+			last = head
+		}
+		total := p.TotalS()
+		share := 0.0
+		if total > 0 {
+			share = 100 * p.CommS / total
+		}
+		fmt.Fprintf(w, "  %-8d %12.1f %12.1f %12.1f %12.1f %6.1f%%\n",
+			p.Cores, p.CommS, p.SparkS, p.ComputeS, total, share)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteFig5CSV renders the Figure 5 data as CSV.
+func WriteFig5CSV(w io.Writer, points []Fig5Point) {
+	fmt.Fprintln(w, "bench,kind,cores,host_target_s,spark_overhead_s,computation_s,total_s")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s,%s,%d,%.2f,%.2f,%.2f,%.2f\n",
+			p.Bench, p.Kind, p.Cores, p.CommS, p.SparkS, p.ComputeS, p.TotalS())
+	}
+}
+
+// WriteStats renders the headline statistics next to the paper's values.
+func WriteStats(w io.Writer, st *Stats, benchOrder []string) {
+	fmt.Fprintln(w, "Headline statistics (paper §IV) — reproduction vs paper")
+	fmt.Fprintln(w, strings.Repeat("-", 64))
+	fmt.Fprintf(w, "16-core overhead vs OmpThread-16 (mean over benchmarks):\n")
+	fmt.Fprintf(w, "  computation %6.1f%%   (paper %4.1f%%)\n",
+		st.Overhead16Computation, PaperExpectations.Overhead16[0])
+	fmt.Fprintf(w, "  spark       %6.1f%%   (paper %4.1f%%)\n",
+		st.Overhead16Spark, PaperExpectations.Overhead16[1])
+	fmt.Fprintf(w, "  full        %6.1f%%   (paper %4.1f%%)\n",
+		st.Overhead16Full, PaperExpectations.Overhead16[2])
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Peak speedups at 256 cores [full / spark / computation]:")
+	for _, name := range benchOrder {
+		p, ok := st.Peak[name]
+		if !ok {
+			continue
+		}
+		note := ""
+		switch name {
+		case "3mm":
+			note = fmt.Sprintf("   (paper %.0f/%.0f/%.0f comp/spark/full)",
+				PaperExpectations.Peak3MM[0], PaperExpectations.Peak3MM[1], PaperExpectations.Peak3MM[2])
+		case "2mm":
+			note = fmt.Sprintf("   (paper full ~%.0fx)", PaperExpectations.Peak2MMFull)
+		}
+		fmt.Fprintf(w, "  %-15s %6.1fx / %6.1fx / %6.1fx%s\n", name, p[0], p[1], p[2], note)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Spark-overhead share of the Spark job time, 8 -> 256 cores:")
+	for _, name := range benchOrder {
+		s, ok := st.SparkOverheadShare[name]
+		if !ok {
+			continue
+		}
+		note := ""
+		switch name {
+		case "collinear-list":
+			note = fmt.Sprintf("   (paper %.1f%% -> %.0f%%, the smallest)",
+				PaperExpectations.CollinearShare8, PaperExpectations.CollinearShare256)
+		case "syrk":
+			note = fmt.Sprintf("   (paper %.0f%% -> %.0f%%, the largest)",
+				PaperExpectations.SYRKShare8, PaperExpectations.SYRKShare256)
+		}
+		fmt.Fprintf(w, "  %-15s %5.1f%% -> %5.1f%%%s\n", name, s[0], s[1], note)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Dense 8-core end-to-end runtimes (paper: 2 in 10-25 min, 5 in 30-60 min, 1 ~90 min):")
+	for _, name := range benchOrder {
+		m, ok := st.Runtime8Minutes[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "  %-15s %6.1f min\n", name, m)
+	}
+}
+
+// WriteAblations renders the ablation study.
+func WriteAblations(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablations at 256 cores (design choice flipped -> slowdown)")
+	fmt.Fprintf(w, "  %-18s %-10s %10s %10s %9s\n", "knob", "bench", "base(s)", "variant(s)", "slowdown")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s %-10s %10.1f %10.1f %8.2fx\n",
+			r.Name, r.Bench, r.BaseS, r.VariantS, r.Slowdown())
+	}
+}

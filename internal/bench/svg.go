@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"ompcloud/internal/data"
+)
+
+// SVG rendering of the two figures, so `ompcloud-bench -fig N -svg` emits
+// charts directly comparable to the paper's. Pure stdlib: the documents are
+// assembled by hand, one panel per benchmark in the paper's 4x2 layout.
+
+const (
+	panelW, panelH = 320, 240
+	padL, padR     = 46, 12
+	padT, padB     = 28, 34
+	gridCols       = 2
+)
+
+// svgColor returns the series palette.
+var svgColors = map[string]string{
+	"full":        "#d62728", // OmpCloud-full
+	"spark":       "#1f77b4", // OmpCloud-spark
+	"computation": "#2ca02c", // OmpCloud-computation
+	"ompthread":   "#7f7f7f",
+	"comm":        "#d62728",
+	"overhead":    "#ff7f0e",
+	"compute":     "#2ca02c",
+}
+
+type svgPanel struct {
+	title string
+	body  strings.Builder
+}
+
+// writeDoc lays panels out in a grid and wraps them in an SVG document.
+func writeDoc(w io.Writer, caption string, panels []*svgPanel) error {
+	rows := (len(panels) + gridCols - 1) / gridCols
+	width := gridCols * panelW
+	height := rows*panelH + 24
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13" text-anchor="middle">%s</text>`+"\n", width/2, xmlEscape(caption))
+	for i, p := range panels {
+		x := (i % gridCols) * panelW
+		y := 24 + (i/gridCols)*panelH
+		fmt.Fprintf(&b, `<g transform="translate(%d,%d)">`+"\n", x, y)
+		fmt.Fprintf(&b, `<text x="%d" y="14" font-size="11" text-anchor="middle">%s</text>`+"\n", panelW/2, xmlEscape(p.title))
+		b.WriteString(p.body.String())
+		b.WriteString("</g>\n")
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// plotArea maps data coordinates into a panel's plot rectangle.
+type plotArea struct {
+	xMin, xMax, yMin, yMax float64
+}
+
+func (a plotArea) x(v float64) float64 {
+	return padL + (v-a.xMin)/(a.xMax-a.xMin)*float64(panelW-padL-padR)
+}
+
+func (a plotArea) y(v float64) float64 {
+	return float64(panelH-padB) - (v-a.yMin)/(a.yMax-a.yMin)*float64(panelH-padT-padB)
+}
+
+// axes draws the frame, y gridlines and x tick labels.
+func (p *svgPanel) axes(a plotArea, xticks []int, yLabel string) {
+	fmt.Fprintf(&p.body, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#999"/>`+"\n",
+		padL, padT, panelW-padL-padR, panelH-padT-padB)
+	for i := 0; i <= 4; i++ {
+		v := a.yMin + (a.yMax-a.yMin)*float64(i)/4
+		y := a.y(v)
+		fmt.Fprintf(&p.body, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#eee"/>`+"\n",
+			padL, y, panelW-padR, y)
+		fmt.Fprintf(&p.body, `<text x="%d" y="%.1f" font-size="8" text-anchor="end">%.0f</text>`+"\n",
+			padL-3, y+3, v)
+	}
+	for i, c := range xticks {
+		x := a.x(float64(i))
+		fmt.Fprintf(&p.body, `<text x="%.1f" y="%d" font-size="8" text-anchor="middle">%d</text>`+"\n",
+			x, panelH-padB+12, c)
+	}
+	fmt.Fprintf(&p.body, `<text x="%d" y="%d" font-size="8" text-anchor="middle">cores</text>`+"\n",
+		(panelW+padL-padR)/2, panelH-8)
+	fmt.Fprintf(&p.body, `<text x="10" y="%d" font-size="8" text-anchor="middle" transform="rotate(-90 10 %d)">%s</text>`+"\n",
+		panelH/2, panelH/2, xmlEscape(yLabel))
+}
+
+// polyline draws one series over sweep indices.
+func (p *svgPanel) polyline(a plotArea, ys []float64, color string) {
+	pts := make([]string, len(ys))
+	for i, v := range ys {
+		pts[i] = fmt.Sprintf("%.1f,%.1f", a.x(float64(i)), a.y(v))
+	}
+	fmt.Fprintf(&p.body, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+		strings.Join(pts, " "), color)
+	for i, v := range ys {
+		fmt.Fprintf(&p.body, `<circle cx="%.1f" cy="%.1f" r="2" fill="%s"/>`+"\n",
+			a.x(float64(i)), a.y(v), color)
+	}
+}
+
+// legend draws a compact series legend in the panel's top-left corner.
+func (p *svgPanel) legend(entries [][2]string) {
+	for i, e := range entries {
+		y := padT + 10 + 11*i
+		fmt.Fprintf(&p.body, `<rect x="%d" y="%d" width="8" height="3" fill="%s"/>`+"\n", padL+6, y-3, e[1])
+		fmt.Fprintf(&p.body, `<text x="%d" y="%d" font-size="8">%s</text>`+"\n", padL+17, y, xmlEscape(e[0]))
+	}
+}
+
+// WriteFig4SVG renders the Figure 4 speedup charts (one panel per
+// benchmark, three OmpCloud series plus the OmpThread-16 reference line).
+func WriteFig4SVG(w io.Writer, charts []Fig4Chart) error {
+	panels := make([]*svgPanel, 0, len(charts))
+	for _, c := range charts {
+		p := &svgPanel{title: c.Bench}
+		var full, spk, comp []float64
+		var xticks []int
+		maxY := c.OmpThread[16]
+		for _, pt := range c.Points {
+			full = append(full, pt.Full)
+			spk = append(spk, pt.Spark)
+			comp = append(comp, pt.Computation)
+			xticks = append(xticks, pt.Cores)
+			maxY = math.Max(maxY, pt.Computation)
+		}
+		a := plotArea{xMin: 0, xMax: float64(len(xticks) - 1), yMin: 0, yMax: maxY * 1.08}
+		p.axes(a, xticks, "speedup (x)")
+		// OmpThread-16 reference.
+		ref := make([]float64, len(xticks))
+		for i := range ref {
+			ref[i] = c.OmpThread[16]
+		}
+		p.polyline(a, ref, svgColors["ompthread"])
+		p.polyline(a, full, svgColors["full"])
+		p.polyline(a, spk, svgColors["spark"])
+		p.polyline(a, comp, svgColors["computation"])
+		p.legend([][2]string{
+			{"OmpCloud-computation", svgColors["computation"]},
+			{"OmpCloud-spark", svgColors["spark"]},
+			{"OmpCloud-full", svgColors["full"]},
+			{"OmpThread-16", svgColors["ompthread"]},
+		})
+		panels = append(panels, p)
+	}
+	return writeDoc(w, "Figure 4 — speedup over single-core execution (reproduction)", panels)
+}
+
+// WriteFig5SVG renders the Figure 5 load-distribution charts for one data
+// kind: stacked bars (host-target / Spark overhead / computation) per core
+// count, one panel per benchmark.
+func WriteFig5SVG(w io.Writer, points []Fig5Point, kind data.Kind) error {
+	byBench := map[string][]Fig5Point{}
+	var order []string
+	for _, pt := range points {
+		if pt.Kind != kind {
+			continue
+		}
+		if _, seen := byBench[pt.Bench]; !seen {
+			order = append(order, pt.Bench)
+		}
+		byBench[pt.Bench] = append(byBench[pt.Bench], pt)
+	}
+	panels := make([]*svgPanel, 0, len(order))
+	for _, name := range order {
+		pts := byBench[name]
+		p := &svgPanel{title: fmt.Sprintf("%s (%s)", name, kind)}
+		var maxY float64
+		var xticks []int
+		for _, pt := range pts {
+			maxY = math.Max(maxY, pt.TotalS())
+			xticks = append(xticks, pt.Cores)
+		}
+		a := plotArea{xMin: -0.5, xMax: float64(len(pts)) - 0.5, yMin: 0, yMax: maxY * 1.08}
+		p.axes(a, xticks, "seconds")
+		barHalf := float64(panelW-padL-padR) / float64(len(pts)) * 0.3
+		for i, pt := range pts {
+			x := a.x(float64(i))
+			segs := []struct {
+				v     float64
+				color string
+			}{
+				{pt.ComputeS, svgColors["compute"]},
+				{pt.SparkS, svgColors["overhead"]},
+				{pt.CommS, svgColors["comm"]},
+			}
+			base := 0.0
+			for _, s := range segs {
+				y0, y1 := a.y(base), a.y(base+s.v)
+				fmt.Fprintf(&p.body, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+					x-barHalf, y1, 2*barHalf, y0-y1, s.color)
+				base += s.v
+			}
+		}
+		p.legend([][2]string{
+			{"host-target comm", svgColors["comm"]},
+			{"spark overhead", svgColors["overhead"]},
+			{"computation", svgColors["compute"]},
+		})
+		panels = append(panels, p)
+	}
+	return writeDoc(w, fmt.Sprintf("Figure 5 — load distribution, %s inputs (reproduction)", kind), panels)
+}

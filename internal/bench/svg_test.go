@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"ompcloud/internal/data"
+)
+
+// validateXML parses the whole document, so malformed markup fails loudly.
+func validateXML(t *testing.T, doc []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid SVG: %v\n%s", err, doc[:min(len(doc), 400)])
+		}
+	}
+}
+
+func TestWriteFig4SVG(t *testing.T) {
+	h := testHarness(t)
+	charts, err := h.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig4SVG(&buf, charts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	validateXML(t, buf.Bytes())
+	for _, want := range []string{"Figure 4", "gemm", "collinear-list", "OmpCloud-full", "polyline", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig4 svg missing %q", want)
+		}
+	}
+	// One panel per benchmark, each with 4 series.
+	if got := strings.Count(out, "<polyline"); got != 4*len(charts) {
+		t.Fatalf("polylines = %d, want %d", got, 4*len(charts))
+	}
+}
+
+func TestWriteFig5SVG(t *testing.T) {
+	h := testHarness(t)
+	points, err := h.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []data.Kind{data.Sparse, data.Dense} {
+		var buf bytes.Buffer
+		if err := WriteFig5SVG(&buf, points, kind); err != nil {
+			t.Fatal(err)
+		}
+		validateXML(t, buf.Bytes())
+		out := buf.String()
+		for _, want := range []string{"Figure 5", kind.String(), "host-target comm", "spark overhead", "computation"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("fig5 %s svg missing %q", kind, want)
+			}
+		}
+		// 8 panels x 6 cores x 3 stacked segments.
+		if got := strings.Count(out, `<rect`) - 8; got < 8*6*3 {
+			t.Fatalf("stacked bars = %d rects, want >= %d", got, 8*6*3)
+		}
+	}
+}

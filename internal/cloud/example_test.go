@@ -1,0 +1,30 @@
+package cloud_test
+
+import (
+	"fmt"
+	"log"
+
+	"ompcloud/internal/cloud"
+	"ompcloud/internal/simtime"
+)
+
+// Provisioning the paper's cluster (1 driver + 16 c3.8xlarge workers) on
+// the simulated provider, running it for 40 minutes, and reading the bill.
+// EC2's by-the-started-hour billing makes a 40-minute session cost a full
+// hour on all 17 instances.
+func Example() {
+	provider := cloud.NewSimProvider(
+		cloud.Credentials{AccessKey: "AKIAEXAMPLE", SecretKey: "s3cret", Region: "us-east-1"},
+		cloud.WithBootTime(0),
+	)
+	cluster, err := cloud.Provision(provider, "c3.8xlarge", 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	provider.Clock().Advance(40 * simtime.Minute)
+	if err := cluster.StopAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d cores, $%.2f\n", cluster.TotalCores(), cluster.Cost())
+	// Output: 256 cores, $28.56
+}

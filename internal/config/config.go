@@ -1,0 +1,233 @@
+// Package config parses the OmpCloud runtime configuration file. The paper
+// (§III.A) makes the configuration file a first-class mechanism: because a
+// cloud device "cannot be detected automatically", the plugin reads at
+// runtime a file carrying the login/credential information, the address of
+// the Spark driver and the address of the cloud file storage, "to properly
+// set up the cloud device and to avoid the need to recompile the binary".
+//
+// The format is an INI subset: [section] headers, key = value pairs,
+// comments starting with '#' or ';', blank lines ignored. Keys are
+// case-sensitive and scoped to their section.
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EnvConfigPath is the environment variable consulted by LoadDefault, the
+// analog of pointing libomptarget's cloud plugin at a credentials file.
+const EnvConfigPath = "OMPCLOUD_CONF"
+
+// File is a parsed configuration file.
+type File struct {
+	sections map[string]map[string]string
+	path     string
+}
+
+// New returns an empty configuration (useful as a base for Set).
+func New() *File {
+	return &File{sections: make(map[string]map[string]string)}
+}
+
+// Parse reads a configuration from r.
+func Parse(r io.Reader) (*File, error) {
+	f := New()
+	scanner := bufio.NewScanner(r)
+	section := ""
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || line[0] == '#' || line[0] == ';' {
+			continue
+		}
+		if line[0] == '[' {
+			if line[len(line)-1] != ']' || len(line) < 3 {
+				return nil, fmt.Errorf("config: line %d: malformed section %q", lineNo, line)
+			}
+			section = strings.TrimSpace(line[1 : len(line)-1])
+			if section == "" {
+				return nil, fmt.Errorf("config: line %d: empty section name", lineNo)
+			}
+			if _, ok := f.sections[section]; !ok {
+				f.sections[section] = make(map[string]string)
+			}
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("config: line %d: expected key = value, got %q", lineNo, line)
+		}
+		key := strings.TrimSpace(line[:eq])
+		val := strings.TrimSpace(stripInlineComment(line[eq+1:]))
+		if key == "" {
+			return nil, fmt.Errorf("config: line %d: empty key", lineNo)
+		}
+		if section == "" {
+			return nil, fmt.Errorf("config: line %d: key %q outside any section", lineNo, key)
+		}
+		f.sections[section][key] = val
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return f, nil
+}
+
+// stripInlineComment removes a trailing " # ..." or " ; ..." comment from a
+// value. The comment marker must follow whitespace, so values containing a
+// bare '#' (e.g. secrets) survive.
+func stripInlineComment(v string) string {
+	for i := 1; i < len(v); i++ {
+		if (v[i] == '#' || v[i] == ';') && (v[i-1] == ' ' || v[i-1] == '\t') {
+			return v[:i]
+		}
+	}
+	return v
+}
+
+// Load reads a configuration file from disk.
+func Load(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer fh.Close()
+	f, err := Parse(fh)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	f.path = path
+	return f, nil
+}
+
+// LoadDefault loads the file named by $OMPCLOUD_CONF, or returns (nil, nil)
+// when the variable is unset — the caller then falls back to built-in
+// defaults, mirroring the paper's "if the cloud is not available the
+// computation is performed locally" behaviour.
+func LoadDefault() (*File, error) {
+	path := os.Getenv(EnvConfigPath)
+	if path == "" {
+		return nil, nil
+	}
+	return Load(path)
+}
+
+// Path reports where the file was loaded from ("" for Parse/New).
+func (f *File) Path() string { return f.path }
+
+// Set writes a value, creating the section if needed.
+func (f *File) Set(section, key, value string) {
+	if f.sections[section] == nil {
+		f.sections[section] = make(map[string]string)
+	}
+	f.sections[section][key] = value
+}
+
+// Has reports whether section/key exists.
+func (f *File) Has(section, key string) bool {
+	_, ok := f.sections[section][key]
+	return ok
+}
+
+// Sections lists the section names, sorted.
+func (f *File) Sections() []string {
+	out := make([]string, 0, len(f.sections))
+	for s := range f.sections {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Keys lists the keys of a section, sorted.
+func (f *File) Keys(section string) []string {
+	out := make([]string, 0, len(f.sections[section]))
+	for k := range f.sections[section] {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Str returns section/key or def when absent.
+func (f *File) Str(section, key, def string) string {
+	if v, ok := f.sections[section][key]; ok {
+		return v
+	}
+	return def
+}
+
+// Int returns section/key parsed as an int, or def when absent.
+// A present-but-malformed value is an error: silently ignoring a typo in a
+// credentials file is how offloading jobs end up on the wrong cluster.
+func (f *File) Int(section, key string, def int) (int, error) {
+	v, ok := f.sections[section][key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("config: %s.%s: %q is not an integer", section, key, v)
+	}
+	return n, nil
+}
+
+// Float returns section/key parsed as a float64, or def when absent.
+func (f *File) Float(section, key string, def float64) (float64, error) {
+	v, ok := f.sections[section][key]
+	if !ok {
+		return def, nil
+	}
+	x, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("config: %s.%s: %q is not a number", section, key, v)
+	}
+	return x, nil
+}
+
+// Bool returns section/key parsed as a boolean, or def when absent.
+func (f *File) Bool(section, key string, def bool) (bool, error) {
+	v, ok := f.sections[section][key]
+	if !ok {
+		return def, nil
+	}
+	switch strings.ToLower(v) {
+	case "true", "yes", "on", "1":
+		return true, nil
+	case "false", "no", "off", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("config: %s.%s: %q is not a boolean", section, key, v)
+}
+
+// WriteTo serializes the file in a stable order; round-trips with Parse.
+func (f *File) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, s := range f.Sections() {
+		n, err := fmt.Fprintf(w, "[%s]\n", s)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		for _, k := range f.Keys(s) {
+			n, err := fmt.Fprintf(w, "%s = %s\n", k, f.sections[s][k])
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+		n, err = fmt.Fprintln(w)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,206 @@
+package config
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `
+# OmpCloud cluster description
+[cluster]
+provider = sim
+workers = 16
+cores-per-worker = 16
+instance-type = c3.8xlarge
+auto-start = true
+
+[storage]
+type = memory
+address = 127.0.0.1:9333
+
+[network]
+wan-mbps = 200.5
+; inline comment style two
+wan-latency-ms = 40
+`
+
+func TestParseAndGetters(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Str("cluster", "provider", "x"); got != "sim" {
+		t.Fatalf("Str = %q", got)
+	}
+	if got := f.Str("cluster", "missing", "fallback"); got != "fallback" {
+		t.Fatalf("default Str = %q", got)
+	}
+	n, err := f.Int("cluster", "workers", 0)
+	if err != nil || n != 16 {
+		t.Fatalf("Int = %d, %v", n, err)
+	}
+	n, err = f.Int("cluster", "absent", 7)
+	if err != nil || n != 7 {
+		t.Fatalf("Int default = %d, %v", n, err)
+	}
+	x, err := f.Float("network", "wan-mbps", 0)
+	if err != nil || x != 200.5 {
+		t.Fatalf("Float = %v, %v", x, err)
+	}
+	b, err := f.Bool("cluster", "auto-start", false)
+	if err != nil || !b {
+		t.Fatalf("Bool = %v, %v", b, err)
+	}
+	b, err = f.Bool("cluster", "absent", true)
+	if err != nil || !b {
+		t.Fatalf("Bool default = %v, %v", b, err)
+	}
+	if !f.Has("storage", "type") || f.Has("storage", "nope") {
+		t.Fatal("Has broken")
+	}
+}
+
+func TestBoolSpellings(t *testing.T) {
+	f := New()
+	for v, want := range map[string]bool{"true": true, "Yes": true, "ON": true, "1": true,
+		"false": false, "no": false, "off": false, "0": false} {
+		f.Set("s", "k", v)
+		got, err := f.Bool("s", "k", !want)
+		if err != nil || got != want {
+			t.Fatalf("Bool(%q) = %v, %v", v, got, err)
+		}
+	}
+	f.Set("s", "k", "maybe")
+	if _, err := f.Bool("s", "k", false); err == nil {
+		t.Fatal("malformed bool should error")
+	}
+}
+
+func TestMalformedValuesError(t *testing.T) {
+	f := New()
+	f.Set("s", "n", "twelve")
+	if _, err := f.Int("s", "n", 0); err == nil {
+		t.Fatal("malformed int should error, not default")
+	}
+	f.Set("s", "f", "1.2.3")
+	if _, err := f.Float("s", "f", 0); err == nil {
+		t.Fatal("malformed float should error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"key = value\n",          // key outside section
+		"[s]\nnokeyvalue\n",      // missing '='
+		"[s]\n = v\n",            // empty key
+		"[]\n",                   // empty section
+		"[unterminated\nk = v\n", // malformed header
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Fatalf("Parse(%q) should fail", c)
+		}
+	}
+}
+
+func TestLoadAndPath(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ompcloud.conf")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Path() != path {
+		t.Fatalf("Path = %q", f.Path())
+	}
+	if _, err := Load(filepath.Join(dir, "missing.conf")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestLoadDefault(t *testing.T) {
+	t.Setenv(EnvConfigPath, "")
+	f, err := LoadDefault()
+	if f != nil || err != nil {
+		t.Fatalf("unset env: got %v, %v", f, err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.conf")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(EnvConfigPath, path)
+	f, err = LoadDefault()
+	if err != nil || f == nil {
+		t.Fatalf("LoadDefault: %v, %v", f, err)
+	}
+	if f.Str("cluster", "provider", "") != "sim" {
+		t.Fatal("loaded wrong content")
+	}
+}
+
+func TestWriteToRoundTrip(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Sections() {
+		for _, k := range f.Keys(s) {
+			if back.Str(s, k, "") != f.Str(s, k, "?") {
+				t.Fatalf("round trip lost %s.%s", s, k)
+			}
+		}
+	}
+}
+
+func TestSectionsAndKeysSorted(t *testing.T) {
+	f := New()
+	f.Set("b", "z", "1")
+	f.Set("b", "a", "2")
+	f.Set("a", "k", "3")
+	if got := f.Sections(); got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Sections = %v", got)
+	}
+	if got := f.Keys("b"); got[0] != "a" || got[1] != "z" {
+		t.Fatalf("Keys = %v", got)
+	}
+}
+
+func TestInlineComments(t *testing.T) {
+	f, err := Parse(strings.NewReader(`
+[s]
+workers = 16                  # trailing comment
+type = memory ; semicolon style
+secret = abc#def              # hash inside the value survives
+plain = value
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := f.Int("s", "workers", 0); n != 16 {
+		t.Fatalf("workers = %d", n)
+	}
+	if got := f.Str("s", "type", ""); got != "memory" {
+		t.Fatalf("type = %q", got)
+	}
+	if got := f.Str("s", "secret", ""); got != "abc#def" {
+		t.Fatalf("secret = %q", got)
+	}
+	if got := f.Str("s", "plain", ""); got != "value" {
+		t.Fatalf("plain = %q", got)
+	}
+}

@@ -1,0 +1,38 @@
+package config_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ompcloud/internal/config"
+)
+
+// Parsing the OmpCloud runtime configuration file (§III.A): credentials,
+// cluster and storage addresses, all resolvable without recompiling.
+func Example() {
+	f, err := config.Parse(strings.NewReader(`
+# my-cluster.conf
+[cluster]
+workers = 16
+instance-type = c3.8xlarge
+
+[storage]
+type = remote
+address = storage.example.com:9333
+`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	workers, err := f.Int("cluster", "workers", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Absent keys fall back to their defaults.
+	cores, err := f.Int("cluster", "cores-per-worker", 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(workers, cores, f.Str("storage", "address", ""))
+	// Output: 16 16 storage.example.com:9333
+}

@@ -1,0 +1,189 @@
+// Package data provides the binary buffer representation shared by the host
+// program, the storage service and the Spark workers. The paper moves every
+// offloaded variable as a flat binary file of 32-bit floats ("All data used
+// in the benchmarks consisted of 32-bit floating point numbers"); this
+// package gives typed views over those byte buffers plus the seeded dense
+// and sparse matrix generators used by the evaluation.
+package data
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// FloatSize is the byte width of one matrix element.
+const FloatSize = 4
+
+// Floats reinterprets a byte buffer as float32 values without copying the
+// semantic content (a decoded copy is made; Go's stdlib-only constraint rules
+// out unsafe aliasing, and benchmark kernels operate on the decoded slice).
+func Floats(b []byte) []float32 {
+	if len(b)%FloatSize != 0 {
+		panic(fmt.Sprintf("data: buffer of %d bytes is not a whole number of float32s", len(b)))
+	}
+	out := make([]float32, len(b)/FloatSize)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*FloatSize:]))
+	}
+	return out
+}
+
+// Bytes serializes float32 values into the wire/file layout.
+func Bytes(f []float32) []byte {
+	out := make([]byte, len(f)*FloatSize)
+	for i, v := range f {
+		binary.LittleEndian.PutUint32(out[i*FloatSize:], math.Float32bits(v))
+	}
+	return out
+}
+
+// PutFloat writes one element in place into an existing byte buffer.
+func PutFloat(b []byte, idx int, v float32) {
+	binary.LittleEndian.PutUint32(b[idx*FloatSize:], math.Float32bits(v))
+}
+
+// GetFloat reads one element from a byte buffer.
+func GetFloat(b []byte, idx int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(b[idx*FloatSize:]))
+}
+
+// Kind selects the evaluation's two input flavours. Sparse matrices compress
+// "faster with better compression rate" (paper §IV) and are the lever behind
+// the Fig. 5 sparse/dense contrast.
+type Kind int
+
+const (
+	Dense Kind = iota
+	Sparse
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Dense:
+		return "dense"
+	case Sparse:
+		return "sparse"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts the CLI/config spelling of a kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "dense":
+		return Dense, nil
+	case "sparse":
+		return Sparse, nil
+	default:
+		return 0, fmt.Errorf("data: unknown kind %q (want dense|sparse)", s)
+	}
+}
+
+// SparseDensity is the fraction of nonzero elements in generated sparse
+// matrices. 2% nonzeros gives gzip ratios comparable to the paper's sparse
+// inputs while keeping the numerics non-trivial.
+const SparseDensity = 0.02
+
+// Matrix is a dense row-major float32 matrix in its linearized form, exactly
+// as the annotated benchmarks index it (A[i*N+k]).
+type Matrix struct {
+	Rows, Cols int
+	V          []float32
+}
+
+// NewMatrix allocates a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("data: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, V: make([]float32, rows*cols)}
+}
+
+// Generate fills a matrix with seeded pseudo-random content of the given
+// kind. Dense: uniform values in [-1, 1). Sparse: mostly zeros with
+// SparseDensity nonzeros. Deterministic for a (seed, kind, shape) triple.
+func Generate(rows, cols int, kind Kind, seed int64) *Matrix {
+	m := NewMatrix(rows, cols)
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case Dense:
+		for i := range m.V {
+			m.V[i] = rng.Float32()*2 - 1
+		}
+	case Sparse:
+		nnz := int(float64(len(m.V)) * SparseDensity)
+		for j := 0; j < nnz; j++ {
+			m.V[rng.Intn(len(m.V))] = rng.Float32()*2 - 1
+		}
+	default:
+		panic(fmt.Sprintf("data: unknown kind %v", kind))
+	}
+	return m
+}
+
+// At reads element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.V[i*m.Cols+j] }
+
+// Set writes element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.V[i*m.Cols+j] = v }
+
+// Bytes serializes the matrix payload (shape travels out of band, as in the
+// paper where the map clause length is known to both sides).
+func (m *Matrix) Bytes() []byte { return Bytes(m.V) }
+
+// SizeBytes reports the serialized payload size.
+func (m *Matrix) SizeBytes() int64 { return int64(len(m.V)) * FloatSize }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.V, m.V)
+	return c
+}
+
+// MatrixFromBytes rebuilds a matrix of known shape from its payload.
+func MatrixFromBytes(rows, cols int, b []byte) (*Matrix, error) {
+	if len(b) != rows*cols*FloatSize {
+		return nil, fmt.Errorf("data: payload is %d bytes, want %d for %dx%d", len(b), rows*cols*FloatSize, rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, V: Floats(b)}, nil
+}
+
+// MaxAbsDiff reports the largest absolute element difference between two
+// equally sized float32 slices, used to verify offloaded results against the
+// serial reference.
+func MaxAbsDiff(a, b []float32) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("data: length mismatch %d vs %d", len(a), len(b))
+	}
+	var max float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// AlmostEqual reports whether two slices agree within tol element-wise.
+// Offloading reorders float additions only where the benchmark semantics
+// allow it, so the verification tolerance is tight but nonzero.
+func AlmostEqual(a, b []float32, tol float64) bool {
+	d, err := MaxAbsDiff(a, b)
+	return err == nil && d <= tol
+}
+
+// Checksum is a cheap order-independent fingerprint used by tests to compare
+// reconstructed buffers without holding two full copies.
+func Checksum(b []byte) uint64 {
+	var sum uint64
+	for i, c := range b {
+		sum += uint64(c) * (uint64(i%8191) + 1)
+	}
+	return sum
+}

@@ -1,0 +1,191 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloatsBytesRoundTrip(t *testing.T) {
+	in := []float32{0, 1, -1.5, math.MaxFloat32, float32(math.Inf(1)), 3.14159}
+	out := Floats(Bytes(in))
+	if len(out) != len(in) {
+		t.Fatalf("len %d != %d", len(out), len(in))
+	}
+	for i := range in {
+		if math.Float32bits(in[i]) != math.Float32bits(out[i]) {
+			t.Fatalf("element %d: %v != %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestFloatsRoundTripProperty(t *testing.T) {
+	f := func(in []float32) bool {
+		out := Floats(Bytes(in))
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if math.Float32bits(in[i]) != math.Float32bits(out[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatsBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-multiple-of-4 buffer")
+		}
+	}()
+	Floats(make([]byte, 6))
+}
+
+func TestPutGetFloat(t *testing.T) {
+	b := make([]byte, 12)
+	PutFloat(b, 1, 42.5)
+	if got := GetFloat(b, 1); got != 42.5 {
+		t.Fatalf("GetFloat = %v", got)
+	}
+	if got := GetFloat(b, 0); got != 0 {
+		t.Fatalf("untouched slot = %v", got)
+	}
+}
+
+func TestKindParsing(t *testing.T) {
+	if k, err := ParseKind("dense"); err != nil || k != Dense {
+		t.Fatalf("ParseKind(dense) = %v, %v", k, err)
+	}
+	if k, err := ParseKind("sparse"); err != nil || k != Sparse {
+		t.Fatalf("ParseKind(sparse) = %v, %v", k, err)
+	}
+	if _, err := ParseKind("wat"); err == nil {
+		t.Fatal("bad kind should error")
+	}
+	if Dense.String() != "dense" || Sparse.String() != "sparse" {
+		t.Fatal("String() wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatalf("unknown kind String = %q", Kind(9).String())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(64, 64, Dense, 7)
+	b := Generate(64, 64, Dense, 7)
+	c := Generate(64, 64, Dense, 8)
+	if d, _ := MaxAbsDiff(a.V, b.V); d != 0 {
+		t.Fatal("same seed must generate identical matrices")
+	}
+	if d, _ := MaxAbsDiff(a.V, c.V); d == 0 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenerateSparseIsSparse(t *testing.T) {
+	m := Generate(128, 128, Sparse, 3)
+	nnz := 0
+	for _, v := range m.V {
+		if v != 0 {
+			nnz++
+		}
+	}
+	frac := float64(nnz) / float64(len(m.V))
+	if frac > SparseDensity*1.2 || frac == 0 {
+		t.Fatalf("sparse nonzero fraction %.4f out of range", frac)
+	}
+}
+
+func TestGenerateDenseRange(t *testing.T) {
+	m := Generate(32, 32, Dense, 1)
+	for _, v := range m.V {
+		if v < -1 || v >= 1 {
+			t.Fatalf("dense value %v out of [-1,1)", v)
+		}
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.Set(2, 3, 9)
+	if m.At(2, 3) != 9 {
+		t.Fatal("At/Set mismatch")
+	}
+	if m.SizeBytes() != 48 {
+		t.Fatalf("SizeBytes = %d", m.SizeBytes())
+	}
+	c := m.Clone()
+	c.Set(0, 0, 5)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestMatrixFromBytes(t *testing.T) {
+	m := Generate(8, 8, Dense, 2)
+	back, err := MatrixFromBytes(8, 8, m.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := MaxAbsDiff(m.V, back.V); d != 0 {
+		t.Fatal("matrix byte round trip mismatch")
+	}
+	if _, err := MatrixFromBytes(8, 9, m.Bytes()); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+}
+
+func TestNewMatrixNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestGenerateUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(2, 2, Kind(42), 1)
+}
+
+func TestMaxAbsDiffAndAlmostEqual(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{1, 2.5, 3}
+	d, err := MaxAbsDiff(a, b)
+	if err != nil || d != 0.5 {
+		t.Fatalf("MaxAbsDiff = %v, %v", d, err)
+	}
+	if !AlmostEqual(a, b, 0.5) {
+		t.Fatal("should be equal within 0.5")
+	}
+	if AlmostEqual(a, b, 0.4) {
+		t.Fatal("should differ beyond 0.4")
+	}
+	if _, err := MaxAbsDiff(a, b[:2]); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if AlmostEqual(a, b[:2], 1) {
+		t.Fatal("length mismatch should not be equal")
+	}
+}
+
+func TestChecksumDiscriminates(t *testing.T) {
+	a := Bytes([]float32{1, 2, 3, 4})
+	b := Bytes([]float32{1, 2, 3, 5})
+	if Checksum(a) == Checksum(b) {
+		t.Fatal("checksum collision on trivially different buffers")
+	}
+	if Checksum(a) != Checksum(a) {
+		t.Fatal("checksum must be deterministic")
+	}
+}

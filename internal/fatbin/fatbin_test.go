@@ -1,0 +1,110 @@
+package fatbin
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func nopBody(lo, hi int64, scalars []int64, in, out [][]byte) error { return nil }
+
+func TestRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	r.Register("k1", nopBody)
+	r.Register("k2", nopBody)
+	k, err := r.Lookup("k1")
+	if err != nil || k.Name != "k1" {
+		t.Fatalf("Lookup = %+v, %v", k, err)
+	}
+	if _, err := r.Lookup("missing"); err == nil {
+		t.Fatal("missing kernel should error")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "k1" || names[1] != "k2" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Register("dup", nopBody)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	r.Register("dup", nopBody)
+}
+
+func TestInvalidRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	for _, f := range []func(){
+		func() { r.Register("", nopBody) },
+		func() { r.Register("x", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid registration should panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInvokeCountsCalls(t *testing.T) {
+	r := NewRegistry()
+	var gotLo, gotHi int64
+	r.Register("probe", func(lo, hi int64, scalars []int64, in, out [][]byte) error {
+		gotLo, gotHi = lo, hi
+		out[0][0] = byte(scalars[0])
+		return nil
+	})
+	out := [][]byte{make([]byte, 4)}
+	if err := r.Invoke("probe", 3, 9, []int64{42}, nil, out); err != nil {
+		t.Fatal(err)
+	}
+	if gotLo != 3 || gotHi != 9 || out[0][0] != 42 {
+		t.Fatalf("kernel saw lo=%d hi=%d out=%v", gotLo, gotHi, out[0][0])
+	}
+	if r.Calls() != 1 {
+		t.Fatalf("Calls = %d", r.Calls())
+	}
+	if err := r.Invoke("probe", 0, 1, []int64{0}, nil, out); err != nil {
+		t.Fatal(err)
+	}
+	if r.Calls() != 2 {
+		t.Fatalf("Calls = %d", r.Calls())
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	r := NewRegistry()
+	sentinel := errors.New("kernel failed")
+	r.Register("bad", func(lo, hi int64, scalars []int64, in, out [][]byte) error {
+		return sentinel
+	})
+	if err := r.Invoke("bad", 0, 1, nil, nil, nil); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := r.Invoke("missing", 0, 1, nil, nil, nil); err == nil {
+		t.Fatal("missing kernel should error")
+	}
+	if err := r.Invoke("bad", 5, 2, nil, nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "inverted") {
+		t.Fatalf("inverted range should error, got %v", err)
+	}
+}
+
+func TestDefaultRegistryHelpers(t *testing.T) {
+	// Register at most once: `go test -count=N` reruns tests in one
+	// process, and duplicate registration is (correctly) a panic.
+	name := "fatbin_test_default_kernel"
+	if _, err := Lookup(name); err != nil {
+		Register(name, nopBody)
+	}
+	if _, err := Lookup(name); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package kernels
+
+import "math"
+
+// The serial references below are straight transcriptions of the C
+// benchmarks, used to verify offloaded results element-wise. They reproduce
+// the kernels' float32 accumulation order exactly, so host and cloud runs
+// must match them bit-for-bit on the row-parallel benchmarks.
+
+// serialMM computes C = A x B.
+func serialMM(n int, a, b []float32) []float32 {
+	c := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		row := c[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			brow := b[k*n : (k+1)*n]
+			for j := range row {
+				row[j] += aik * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// serialGEMM computes C' = Alpha*A*B + Beta*C.
+func serialGEMM(n int, a, b, c []float32) []float32 {
+	out := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		row := out[i*n : (i+1)*n]
+		for j := range row {
+			row[j] = Beta * c[i*n+j]
+		}
+		for k := 0; k < n; k++ {
+			aik := Alpha * a[i*n+k]
+			brow := b[k*n : (k+1)*n]
+			for j := range row {
+				row[j] += aik * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// serialSYRK computes C' = Alpha*A*A^T + Beta*C.
+func serialSYRK(n int, a, c []float32) []float32 {
+	out := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		ai := a[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			aj := a[j*n : (j+1)*n]
+			var acc float32
+			for k := 0; k < n; k++ {
+				acc += ai[k] * aj[k]
+			}
+			out[i*n+j] = Beta*c[i*n+j] + Alpha*acc
+		}
+	}
+	return out
+}
+
+// serialSYR2K computes C' = Alpha*A*B^T + Alpha*B*A^T + Beta*C.
+func serialSYR2K(n int, a, b, c []float32) []float32 {
+	out := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		ai := a[i*n : (i+1)*n]
+		bi := b[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			aj := a[j*n : (j+1)*n]
+			bj := b[j*n : (j+1)*n]
+			var acc float32
+			for k := 0; k < n; k++ {
+				acc += ai[k]*bj[k] + bi[k]*aj[k]
+			}
+			out[i*n+j] = Beta*c[i*n+j] + Alpha*acc
+		}
+	}
+	return out
+}
+
+// serialCovar computes the column means and the covariance matrix of the
+// m x n data matrix.
+func serialCovar(n, m int, d []float32) (mean, sym []float32) {
+	mean = make([]float32, n)
+	for j := 0; j < n; j++ {
+		var s float32
+		for i := 0; i < m; i++ {
+			s += d[i*n+j]
+		}
+		mean[j] = s / float32(m)
+	}
+	sym = make([]float32, n*n)
+	for j1 := 0; j1 < n; j1++ {
+		m1 := mean[j1]
+		for j2 := 0; j2 < n; j2++ {
+			m2 := mean[j2]
+			var acc float32
+			for i := 0; i < m; i++ {
+				acc += (d[i*n+j1] - m1) * (d[i*n+j2] - m2)
+			}
+			sym[j1*n+j2] = acc / float32(m-1)
+		}
+	}
+	return mean, sym
+}
+
+// serialCollinear mirrors the "collinear" kernel: each unordered collinear
+// triple is counted three times (once per anchoring point).
+func serialCollinear(n int, pts []float32) float32 {
+	var count float32
+	for i := 0; i < n; i++ {
+		xi, yi := pts[2*i], pts[2*i+1]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			dxj, dyj := pts[2*j]-xi, pts[2*j+1]-yi
+			for k := j + 1; k < n; k++ {
+				if k == i {
+					continue
+				}
+				cross := dxj*(pts[2*k+1]-yi) - dyj*(pts[2*k]-xi)
+				if float32(math.Abs(float64(cross))) < CollinearEps {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,109 @@
+package kernels
+
+import "ompcloud/internal/data"
+
+// RegionShape is the structural description of one parallel loop as the
+// cloud device sees it — enough for the analytic performance model
+// (internal/perf) to reproduce the paper-scale experiments without holding
+// 1 GB matrices in memory.
+type RegionShape struct {
+	// Kernel names the loop body.
+	Kernel string
+	// Trip is the outer-loop trip count.
+	Trip int64
+	// OpsShare is this loop's fraction of the benchmark's total Ops.
+	OpsShare float64
+	// PartInBytes is the total size of row-partitioned inputs (scattered
+	// over the workers per Eq. 3).
+	PartInBytes int64
+	// BcastInBytes is the total size of unpartitioned inputs (replicated
+	// to every worker via the BitTorrent broadcast).
+	BcastInBytes int64
+	// PartOutBytes is the total size of partitioned outputs (each tile
+	// ships only its window to the driver).
+	PartOutBytes int64
+	// FullOutBytes is the per-tile size of unpartitioned reduced outputs
+	// (EVERY tile ships a full-size copy — the Eq. 8 bit-OR/reduction
+	// path whose collect cost grows with the tile count).
+	FullOutBytes int64
+}
+
+// HostBufSizes reports the individual host-mapped buffer sizes at dimension
+// n: the runtime moves each on its own thread, so codec and transfer costs
+// follow the largest buffer, not the sum.
+func (b *Benchmark) HostBufSizes(n int) (ins, outs []int64) {
+	m := matBytes(n)
+	switch b.Name {
+	case "gemm", "syr2k":
+		return []int64{m, m, m}, []int64{m}
+	case "mat-mul", "syrk":
+		return []int64{m, m}, []int64{m}
+	case "covar":
+		return []int64{m}, []int64{m}
+	case "2mm", "3mm":
+		return []int64{m, m, m, m}, []int64{m}
+	case "collinear-list":
+		return []int64{int64(2*n) * data.FloatSize}, []int64{data.FloatSize}
+	default:
+		return nil, nil
+	}
+}
+
+// Shape reports a benchmark's region structure at dimension n. Shapes
+// mirror exactly how Prepare maps its buffers; kernels_test cross-checks
+// the two against each other.
+func (b *Benchmark) Shape(n int) []RegionShape {
+	m := matBytes(n)
+	t := int64(n)
+	switch b.Name {
+	case "gemm":
+		return []RegionShape{{
+			Kernel: "gemm", Trip: t, OpsShare: 1,
+			PartInBytes: 2 * m, BcastInBytes: m, PartOutBytes: m, // A,C part; B bcast
+		}}
+	case "mat-mul":
+		return []RegionShape{{
+			Kernel: "mm", Trip: t, OpsShare: 1,
+			PartInBytes: m, BcastInBytes: m, PartOutBytes: m,
+		}}
+	case "syrk":
+		return []RegionShape{{
+			Kernel: "syrk", Trip: t, OpsShare: 1,
+			PartInBytes: m, BcastInBytes: m, PartOutBytes: m, // C part; A bcast
+		}}
+	case "syr2k":
+		return []RegionShape{{
+			Kernel: "syr2k", Trip: t, OpsShare: 1,
+			PartInBytes: m, BcastInBytes: 2 * m, PartOutBytes: m,
+		}}
+	case "covar":
+		meanBytes := int64(n) * data.FloatSize
+		total := b.Ops(n)
+		meanOps := 2 * float64(n) * float64(n)
+		return []RegionShape{
+			{Kernel: "covar.mean", Trip: t, OpsShare: meanOps / total,
+				BcastInBytes: m, PartOutBytes: meanBytes},
+			{Kernel: "covar.sym", Trip: t, OpsShare: 1 - meanOps/total,
+				BcastInBytes: m + meanBytes, PartOutBytes: m},
+		}
+	case "2mm":
+		return []RegionShape{
+			{Kernel: "mm", Trip: t, OpsShare: 0.5,
+				PartInBytes: m, BcastInBytes: m, PartOutBytes: m},
+			{Kernel: "gemm", Trip: t, OpsShare: 0.5,
+				PartInBytes: 2 * m, BcastInBytes: m, PartOutBytes: m},
+		}
+	case "3mm":
+		mm := RegionShape{Kernel: "mm", Trip: t, OpsShare: 1.0 / 3,
+			PartInBytes: m, BcastInBytes: m, PartOutBytes: m}
+		return []RegionShape{mm, mm, mm}
+	case "collinear-list":
+		return []RegionShape{{
+			Kernel: "collinear", Trip: t, OpsShare: 1,
+			BcastInBytes: int64(2*n) * data.FloatSize,
+			FullOutBytes: data.FloatSize,
+		}}
+	default:
+		return nil
+	}
+}

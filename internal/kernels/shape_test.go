@@ -1,0 +1,93 @@
+package kernels
+
+import (
+	"testing"
+
+	"ompcloud/internal/data"
+	"ompcloud/internal/offload"
+	"ompcloud/internal/omp"
+	"ompcloud/internal/spark"
+	"ompcloud/internal/storage"
+	"ompcloud/internal/xcompress"
+)
+
+func TestShapeMetadataConsistency(t *testing.T) {
+	for _, b := range All {
+		n := 64
+		shapes := b.Shape(n)
+		if len(shapes) != b.Regions {
+			t.Fatalf("%s: %d shapes, Regions says %d", b.Name, len(shapes), b.Regions)
+		}
+		var opsSum float64
+		for _, s := range shapes {
+			if s.Kernel == "" || s.Trip <= 0 {
+				t.Fatalf("%s: malformed shape %+v", b.Name, s)
+			}
+			if s.OpsShare < 0 || s.OpsShare > 1 {
+				t.Fatalf("%s: OpsShare %f out of range", b.Name, s.OpsShare)
+			}
+			opsSum += s.OpsShare
+		}
+		if opsSum < 0.999 || opsSum > 1.001 {
+			t.Fatalf("%s: OpsShares sum to %f", b.Name, opsSum)
+		}
+		ins, outs := b.HostBufSizes(n)
+		var inSum, outSum int64
+		for _, v := range ins {
+			inSum += v
+		}
+		for _, v := range outs {
+			outSum += v
+		}
+		wantIn, wantOut := b.HostBytes(n)
+		if inSum != wantIn || outSum != wantOut {
+			t.Fatalf("%s: HostBufSizes (%d, %d) disagree with HostBytes (%d, %d)",
+				b.Name, inSum, outSum, wantIn, wantOut)
+		}
+	}
+	if shapes := (&Benchmark{Name: "unknown"}).Shape(8); shapes != nil {
+		t.Fatal("unknown benchmark should have no shape")
+	}
+}
+
+// TestShapeMatchesMeasuredTraffic cross-checks the analytic model against
+// reality: the intra-cluster byte volumes the measured plugin reports must
+// equal the Shape descriptors' scatter/broadcast sums (compression disabled
+// so wire size == raw size + the 1-byte codec tag per buffer).
+func TestShapeMatchesMeasuredTraffic(t *testing.T) {
+	for _, b := range All {
+		if b.Regions != 1 {
+			continue // multi-region benches estimate ratios per loop; covered elsewhere
+		}
+		t.Run(b.Name, func(t *testing.T) {
+			n := 48
+			rt, err := omp.NewRuntime(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plugin, err := offload.NewCloudPlugin(offload.CloudConfig{
+				Spec:  spark.ClusterSpec{Workers: 2, CoresPerWorker: 2},
+				Store: storage.NewMemStore(),
+				Codec: xcompress.Codec{MinSize: -1}, // raw wire: sizes comparable
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cloud := rt.RegisterDevice(plugin)
+			w := b.Prepare(n, data.Dense, 5)
+			rep, err := w.Run(rt, cloud)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shape := b.Shape(n)[0]
+			// Each buffer's wire form carries one tag byte.
+			const slack = 8
+			if diff := rep.BytesScattered - shape.PartInBytes; diff < 0 || diff > slack {
+				t.Fatalf("scattered %d bytes, shape says %d", rep.BytesScattered, shape.PartInBytes)
+			}
+			if diff := rep.BytesBroadcast - shape.BcastInBytes; diff < 0 || diff > slack {
+				t.Fatalf("broadcast %d bytes, shape says %d", rep.BytesBroadcast, shape.BcastInBytes)
+			}
+		})
+	}
+}

@@ -1,0 +1,411 @@
+package kernels
+
+import (
+	"fmt"
+
+	"ompcloud/internal/data"
+	"ompcloud/internal/omp"
+	"ompcloud/internal/trace"
+)
+
+// Benchmark describes one evaluation workload of the paper's §IV.
+type Benchmark struct {
+	// Name is the paper's spelling ("2mm", "collinear-list", ...).
+	Name string
+	// Suite is "polybench" or "mgbench".
+	Suite string
+	// PaperN is the dataset dimension at paper scale (~1 GB matrices for
+	// the dense-matrix benchmarks; point count for collinear-list).
+	PaperN int
+	// Regions is the number of parallel loops one run executes.
+	Regions int
+	// Ops reports the floating-point operation count at dimension n.
+	Ops func(n int) float64
+	// HostBytes reports the raw bytes mapped across the host-target link
+	// (in, out) at dimension n.
+	HostBytes func(n int) (in, out int64)
+	// Prepare generates a workload instance with seeded inputs.
+	Prepare func(n int, kind data.Kind, seed int64) *Workload
+}
+
+// Workload is one prepared benchmark instance: call Run to execute it on a
+// device, then Verify to compare against the serial reference.
+type Workload struct {
+	Bench *Benchmark
+	N     int
+	Kind  data.Kind
+
+	// Run executes the workload's target regions on dev and returns the
+	// merged report. Run may be called several times (e.g. once per
+	// device); each call recomputes from the pristine inputs.
+	Run func(rt *omp.Runtime, dev omp.Device) (*trace.Report, error)
+	// Verify checks the outputs of the most recent Run.
+	Verify func() error
+}
+
+// All lists the eight benchmarks in the paper's Figure 4/5 order.
+var All = []*Benchmark{SYRK, SYR2K, COVAR, GEMM, TwoMM, ThreeMM, MatMul, Collinear}
+
+// ByName resolves a benchmark by its paper name.
+func ByName(name string) (*Benchmark, error) {
+	for _, b := range All {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("kernels: unknown benchmark %q", name)
+}
+
+// paperDim is the matrix dimension giving ~1 GB float32 matrices
+// (4 * 16384^2 bytes = 1 GiB), matching "most matrices used by the
+// benchmarks have been scaled to about 1GB".
+const paperDim = 16384
+
+func matBytes(n int) int64 { return int64(n) * int64(n) * data.FloatSize }
+
+// GEMM is Polybench gemm: C = Alpha*A*B + Beta*C, parallel over rows of C.
+// A and C are row-partitioned (the Listing 2 extension), B is broadcast.
+var GEMM = &Benchmark{
+	Name: "gemm", Suite: "polybench", PaperN: paperDim, Regions: 1,
+	Ops: func(n int) float64 { f := float64(n); return 2*f*f*f + 2*f*f },
+	HostBytes: func(n int) (int64, int64) {
+		return 3 * matBytes(n), matBytes(n) // A, B, C in; C out
+	},
+}
+
+// MatMul is MgBench mat-mul: plain C = A x B.
+var MatMul = &Benchmark{
+	Name: "mat-mul", Suite: "mgbench", PaperN: paperDim, Regions: 1,
+	Ops: func(n int) float64 { f := float64(n); return 2 * f * f * f },
+	HostBytes: func(n int) (int64, int64) {
+		return 2 * matBytes(n), matBytes(n)
+	},
+}
+
+// SYRK is Polybench syrk: C = Alpha*A*A^T + Beta*C. Every row of C needs
+// all of A, so A is broadcast whole — the benchmark with the heaviest
+// intra-cluster traffic, which is exactly why the paper measures its Spark
+// overhead growing from 17% to 69% across the core sweep.
+var SYRK = &Benchmark{
+	Name: "syrk", Suite: "polybench", PaperN: paperDim, Regions: 1,
+	Ops: func(n int) float64 { f := float64(n); return 2*f*f*f + 2*f*f },
+	HostBytes: func(n int) (int64, int64) {
+		return 2 * matBytes(n), matBytes(n)
+	},
+}
+
+// SYR2K is Polybench syr2k: C = Alpha*A*B^T + Alpha*B*A^T + Beta*C.
+var SYR2K = &Benchmark{
+	Name: "syr2k", Suite: "polybench", PaperN: paperDim, Regions: 1,
+	Ops: func(n int) float64 { f := float64(n); return 4*f*f*f + 2*f*f },
+	HostBytes: func(n int) (int64, int64) {
+		return 3 * matBytes(n), matBytes(n)
+	},
+}
+
+// COVAR is Polybench covariance: column means, then the covariance matrix.
+// Two parallel loops share a target data environment, so the mean vector
+// stays on the device between them.
+var COVAR = &Benchmark{
+	Name: "covar", Suite: "polybench", PaperN: paperDim, Regions: 2,
+	Ops: func(n int) float64 { f := float64(n); return 3*f*f*f + 2*f*f },
+	HostBytes: func(n int) (int64, int64) {
+		return matBytes(n), matBytes(n)
+	},
+}
+
+// TwoMM is Polybench 2mm: D = Alpha*A*B*C + Beta*D, two chained
+// multiplications with the intermediate tmp pinned on the device.
+var TwoMM = &Benchmark{
+	Name: "2mm", Suite: "polybench", PaperN: paperDim, Regions: 2,
+	Ops: func(n int) float64 { f := float64(n); return 4*f*f*f + 2*f*f },
+	HostBytes: func(n int) (int64, int64) {
+		return 4 * matBytes(n), matBytes(n) // A, B, C, D in; D out
+	},
+}
+
+// ThreeMM is Polybench 3mm: G = (A x B) x (C x D), three multiplications
+// with both intermediates device-resident.
+var ThreeMM = &Benchmark{
+	Name: "3mm", Suite: "polybench", PaperN: paperDim, Regions: 3,
+	Ops: func(n int) float64 { f := float64(n); return 6 * f * f * f },
+	HostBytes: func(n int) (int64, int64) {
+		return 4 * matBytes(n), matBytes(n)
+	},
+}
+
+// Collinear is MgBench collinear-list: count collinear triples among n 2D
+// points. Tiny data, cubic compute — the paper's high
+// computation-to-communication benchmark.
+var Collinear = &Benchmark{
+	Name: "collinear-list", Suite: "mgbench", PaperN: paperDim, Regions: 1,
+	Ops: func(n int) float64 { f := float64(n); return 2 * f * f * f },
+	HostBytes: func(n int) (int64, int64) {
+		return int64(2 * n * data.FloatSize), data.FloatSize
+	},
+}
+
+func init() {
+	GEMM.Prepare = prepareGEMM
+	MatMul.Prepare = prepareMatMul
+	SYRK.Prepare = prepareSYRK
+	SYR2K.Prepare = prepareSYR2K
+	COVAR.Prepare = prepareCOVAR
+	TwoMM.Prepare = prepareTwoMM
+	ThreeMM.Prepare = prepareThreeMM
+	Collinear.Prepare = prepareCollinear
+}
+
+// compare verifies an offloaded result against the serial reference.
+func compare(what string, got, want []float32) error {
+	diff, err := data.MaxAbsDiff(got, want)
+	if err != nil {
+		return fmt.Errorf("kernels: %s: %w", what, err)
+	}
+	// Row computations replicate the serial accumulation order, so the
+	// tolerance only absorbs reduction-order differences.
+	if diff > 1e-2 {
+		return fmt.Errorf("kernels: %s diverges from serial reference by %g", what, diff)
+	}
+	return nil
+}
+
+func prepareGEMM(n int, kind data.Kind, seed int64) *Workload {
+	a := data.Generate(n, n, kind, seed)
+	b := data.Generate(n, n, kind, seed+1)
+	c0 := data.Generate(n, n, kind, seed+2)
+	c := c0.Clone()
+	w := &Workload{Bench: GEMM, N: n, Kind: kind}
+	w.Run = func(rt *omp.Runtime, dev omp.Device) (*trace.Report, error) {
+		copy(c.V, c0.V) // pristine inputs per run
+		return rt.Target(dev,
+			omp.To("A", a).Partition(n),
+			omp.To("B", b),
+			omp.ToFrom("C", c).Partition(n),
+		).ParallelFor(int64(n), "gemm", int64(n))
+	}
+	w.Verify = func() error {
+		return compare("gemm C", c.V, serialGEMM(n, a.V, b.V, c0.V))
+	}
+	return w
+}
+
+func prepareMatMul(n int, kind data.Kind, seed int64) *Workload {
+	a := data.Generate(n, n, kind, seed)
+	b := data.Generate(n, n, kind, seed+1)
+	c := data.NewMatrix(n, n)
+	w := &Workload{Bench: MatMul, N: n, Kind: kind}
+	w.Run = func(rt *omp.Runtime, dev omp.Device) (*trace.Report, error) {
+		return rt.Target(dev,
+			omp.To("A", a).Partition(n),
+			omp.To("B", b),
+			omp.From("C", c).Partition(n),
+		).ParallelFor(int64(n), "mm", int64(n))
+	}
+	w.Verify = func() error {
+		return compare("mat-mul C", c.V, serialMM(n, a.V, b.V))
+	}
+	return w
+}
+
+func prepareSYRK(n int, kind data.Kind, seed int64) *Workload {
+	a := data.Generate(n, n, kind, seed)
+	c0 := data.Generate(n, n, kind, seed+1)
+	c := c0.Clone()
+	w := &Workload{Bench: SYRK, N: n, Kind: kind}
+	w.Run = func(rt *omp.Runtime, dev omp.Device) (*trace.Report, error) {
+		copy(c.V, c0.V)
+		return rt.Target(dev,
+			omp.To("A", a),
+			omp.ToFrom("C", c).Partition(n),
+		).ParallelFor(int64(n), "syrk", int64(n))
+	}
+	w.Verify = func() error {
+		return compare("syrk C", c.V, serialSYRK(n, a.V, c0.V))
+	}
+	return w
+}
+
+func prepareSYR2K(n int, kind data.Kind, seed int64) *Workload {
+	a := data.Generate(n, n, kind, seed)
+	b := data.Generate(n, n, kind, seed+1)
+	c0 := data.Generate(n, n, kind, seed+2)
+	c := c0.Clone()
+	w := &Workload{Bench: SYR2K, N: n, Kind: kind}
+	w.Run = func(rt *omp.Runtime, dev omp.Device) (*trace.Report, error) {
+		copy(c.V, c0.V)
+		return rt.Target(dev,
+			omp.To("A", a),
+			omp.To("B", b),
+			omp.ToFrom("C", c).Partition(n),
+		).ParallelFor(int64(n), "syr2k", int64(n))
+	}
+	w.Verify = func() error {
+		return compare("syr2k C", c.V, serialSYR2K(n, a.V, b.V, c0.V))
+	}
+	return w
+}
+
+func prepareCOVAR(n int, kind data.Kind, seed int64) *Workload {
+	d := data.Generate(n, n, kind, seed)
+	mean := make([]float32, n)
+	sym := data.NewMatrix(n, n)
+	w := &Workload{Bench: COVAR, N: n, Kind: kind}
+	w.Run = func(rt *omp.Runtime, dev omp.Device) (*trace.Report, error) {
+		env, err := rt.TargetData(dev,
+			omp.To("data", d),
+			omp.Alloc("mean", mean),
+			omp.From("sym", sym),
+		)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := env.Loop(
+			omp.To("data", d),
+			omp.From("mean", mean).Partition(1),
+		).ParallelFor(int64(n), "covar.mean", int64(n), int64(n)); err != nil {
+			return nil, err
+		}
+		if _, err := env.Loop(
+			omp.To("data", d),
+			omp.To("mean", mean),
+			omp.From("sym", sym).Partition(n),
+		).ParallelFor(int64(n), "covar.sym", int64(n), int64(n)); err != nil {
+			return nil, err
+		}
+		if _, err := env.Close(); err != nil {
+			return nil, err
+		}
+		return env.Report(), nil
+	}
+	w.Verify = func() error {
+		_, wantSym := serialCovar(n, n, d.V)
+		return compare("covar sym", sym.V, wantSym)
+	}
+	return w
+}
+
+func prepareTwoMM(n int, kind data.Kind, seed int64) *Workload {
+	a := data.Generate(n, n, kind, seed)
+	b := data.Generate(n, n, kind, seed+1)
+	c := data.Generate(n, n, kind, seed+2)
+	d0 := data.Generate(n, n, kind, seed+3)
+	dm := d0.Clone()
+	tmp := data.NewMatrix(n, n)
+	w := &Workload{Bench: TwoMM, N: n, Kind: kind}
+	w.Run = func(rt *omp.Runtime, dev omp.Device) (*trace.Report, error) {
+		copy(dm.V, d0.V)
+		env, err := rt.TargetData(dev,
+			omp.To("A", a),
+			omp.To("B", b),
+			omp.To("C", c),
+			omp.ToFrom("D", dm).Partition(n),
+			omp.Alloc("tmp", tmp),
+		)
+		if err != nil {
+			return nil, err
+		}
+		// tmp = A x B
+		if _, err := env.Loop(
+			omp.To("A", a).Partition(n),
+			omp.To("B", b),
+			omp.From("tmp", tmp).Partition(n),
+		).ParallelFor(int64(n), "mm", int64(n)); err != nil {
+			return nil, err
+		}
+		// D = Alpha*tmp*C + Beta*D
+		if _, err := env.Loop(
+			omp.To("tmp", tmp).Partition(n),
+			omp.To("C", c),
+			omp.ToFrom("D", dm).Partition(n),
+		).ParallelFor(int64(n), "gemm", int64(n)); err != nil {
+			return nil, err
+		}
+		if _, err := env.Close(); err != nil {
+			return nil, err
+		}
+		return env.Report(), nil
+	}
+	w.Verify = func() error {
+		wantTmp := serialMM(n, a.V, b.V)
+		want := serialGEMM(n, wantTmp, c.V, d0.V)
+		return compare("2mm D", dm.V, want)
+	}
+	return w
+}
+
+func prepareThreeMM(n int, kind data.Kind, seed int64) *Workload {
+	a := data.Generate(n, n, kind, seed)
+	b := data.Generate(n, n, kind, seed+1)
+	c := data.Generate(n, n, kind, seed+2)
+	d := data.Generate(n, n, kind, seed+3)
+	e := data.NewMatrix(n, n)
+	f := data.NewMatrix(n, n)
+	g := data.NewMatrix(n, n)
+	w := &Workload{Bench: ThreeMM, N: n, Kind: kind}
+	w.Run = func(rt *omp.Runtime, dev omp.Device) (*trace.Report, error) {
+		env, err := rt.TargetData(dev,
+			omp.To("A", a), omp.To("B", b), omp.To("C", c), omp.To("D", d),
+			omp.Alloc("E", e), omp.Alloc("F", f),
+			omp.From("G", g),
+		)
+		if err != nil {
+			return nil, err
+		}
+		steps := []struct {
+			x, y, out string
+			xm, ym    *data.Matrix
+			om        *data.Matrix
+		}{
+			{"A", "B", "E", a, b, e},
+			{"C", "D", "F", c, d, f},
+			{"E", "F", "G", e, f, g},
+		}
+		for _, s := range steps {
+			if _, err := env.Loop(
+				omp.To(s.x, s.xm).Partition(n),
+				omp.To(s.y, s.ym),
+				omp.From(s.out, s.om).Partition(n),
+			).ParallelFor(int64(n), "mm", int64(n)); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := env.Close(); err != nil {
+			return nil, err
+		}
+		return env.Report(), nil
+	}
+	w.Verify = func() error {
+		wantE := serialMM(n, a.V, b.V)
+		wantF := serialMM(n, c.V, d.V)
+		wantG := serialMM(n, wantE, wantF)
+		return compare("3mm G", g.V, wantG)
+	}
+	return w
+}
+
+func prepareCollinear(n int, kind data.Kind, seed int64) *Workload {
+	// kind selects the coordinate distribution: dense points are
+	// uniform, sparse ones are snapped to a coarse grid (many exact
+	// collinearities, compressible coordinates).
+	pts := data.Generate(1, 2*n, kind, seed)
+	if kind == data.Sparse {
+		for i, v := range pts.V {
+			pts.V[i] = float32(int(v*8)) / 8
+		}
+	}
+	count := []float32{0}
+	w := &Workload{Bench: Collinear, N: n, Kind: kind}
+	w.Run = func(rt *omp.Runtime, dev omp.Device) (*trace.Report, error) {
+		count[0] = 0
+		return rt.Target(dev,
+			omp.To("pts", pts),
+			omp.From("count", count).Sum(),
+		).ParallelFor(int64(n), "collinear", int64(n))
+	}
+	w.Verify = func() error {
+		want := serialCollinear(n, pts.V)
+		return compare("collinear count", count, []float32{want})
+	}
+	return w
+}

@@ -1,0 +1,158 @@
+// Package netsim models the two networks of the OmpCloud deployment as
+// deterministic cost functions: the wide-area link between the programmer's
+// laptop and the cloud data-center (Fig. 1 steps 2 and 8 of the paper) and
+// the intra-cluster LAN connecting the Spark driver, the workers and the
+// storage service (steps 3-7).
+//
+// The paper's experiments depend on three network *shapes* rather than on
+// absolute EC2 numbers: host-target transfer cost is independent of the
+// cluster core count, intra-cluster collect cost grows with the number of
+// tasks producing unpartitioned output, and broadcast cost grows only
+// logarithmically with the worker count thanks to Spark's BitTorrent
+// broadcast. All three fall out of the models below.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"ompcloud/internal/simtime"
+)
+
+// Link is a point-to-point network path with a fixed round-trip setup
+// latency and a sustained bandwidth.
+type Link struct {
+	Name      string
+	Latency   simtime.Duration // per-transfer setup cost
+	BitsPerSs float64          // sustained bandwidth in bits per second
+}
+
+// Mbps and Gbps convert conventional bandwidth figures to bits/s.
+func Mbps(v float64) float64 { return v * 1e6 }
+func Gbps(v float64) float64 { return v * 1e9 }
+
+// Validate reports whether the link is usable.
+func (l Link) Validate() error {
+	if l.BitsPerSs <= 0 {
+		return fmt.Errorf("netsim: link %q has non-positive bandwidth", l.Name)
+	}
+	if l.Latency < 0 {
+		return fmt.Errorf("netsim: link %q has negative latency", l.Name)
+	}
+	return nil
+}
+
+// Transfer reports the virtual time to move n bytes across the link as a
+// single stream: latency + serialization time.
+func (l Link) Transfer(n int64) simtime.Duration {
+	if n < 0 {
+		panic("netsim: negative transfer size")
+	}
+	if n == 0 {
+		return l.Latency
+	}
+	secs := float64(n*8) / l.BitsPerSs
+	return l.Latency + simtime.FromSeconds(secs)
+}
+
+// TransferParallel reports the time to move buffers of the given sizes over
+// the link using one stream per buffer (the paper's plugin spawns one
+// transmission thread per offloaded datum). The link bandwidth is shared
+// fairly, so total serialization time equals the single-stream time of the
+// byte sum, but latency is paid only once per concurrent batch; the slowest
+// stream defines completion. With fair sharing and simultaneous start, every
+// stream finishes together at sum/bandwidth.
+func (l Link) TransferParallel(sizes []int64) simtime.Duration {
+	if len(sizes) == 0 {
+		return 0
+	}
+	var total int64
+	for _, s := range sizes {
+		if s < 0 {
+			panic("netsim: negative transfer size")
+		}
+		total += s
+	}
+	return l.Transfer(total)
+}
+
+// Scatter reports the time for one endpoint (the driver) to send each of the
+// given payloads to a distinct peer over this link, all streams sharing the
+// sender's bandwidth. It equals the serialized total plus one latency: the
+// sender NIC is the bottleneck. This models RDD partition distribution
+// (Eq. 3 of the paper) and, symmetrically, collect of task outputs into the
+// driver.
+func (l Link) Scatter(sizes []int64) simtime.Duration {
+	return l.TransferParallel(sizes)
+}
+
+// Broadcast reports the time to replicate n bytes from the driver to w
+// workers. Spark broadcasts with a BitTorrent-like protocol, so cost grows
+// with ceil(log2(w+1)) rounds rather than linearly with w.
+func (l Link) Broadcast(n int64, w int) simtime.Duration {
+	if w <= 0 {
+		return 0
+	}
+	rounds := int(math.Ceil(math.Log2(float64(w + 1))))
+	if rounds < 1 {
+		rounds = 1
+	}
+	per := l.Transfer(n)
+	return per * simtime.Duration(rounds)
+}
+
+// BroadcastStar is the naive alternative (driver sends w copies serially
+// through its NIC); kept as the ablation baseline for the BitTorrent model.
+func (l Link) BroadcastStar(n int64, w int) simtime.Duration {
+	if w <= 0 {
+		return 0
+	}
+	sizes := make([]int64, w)
+	for i := range sizes {
+		sizes[i] = n
+	}
+	return l.Scatter(sizes)
+}
+
+// Profile bundles the two links of the deployment plus the driver's memory
+// bandwidth used when reconstructing outputs (Eq. 8 of the paper).
+type Profile struct {
+	WAN          Link    // laptop <-> cloud storage
+	LAN          Link    // driver <-> workers / storage, within the cluster
+	MemBytesPerS float64 // driver-side reconstruction bandwidth
+}
+
+// Validate checks both links and the memory bandwidth.
+func (p Profile) Validate() error {
+	if err := p.WAN.Validate(); err != nil {
+		return err
+	}
+	if err := p.LAN.Validate(); err != nil {
+		return err
+	}
+	if p.MemBytesPerS <= 0 {
+		return fmt.Errorf("netsim: non-positive memory bandwidth")
+	}
+	return nil
+}
+
+// MemCopy reports the virtual time for the driver to move n bytes through
+// memory (output reconstruction, bit-OR reduction).
+func (p Profile) MemCopy(n int64) simtime.Duration {
+	if n < 0 {
+		panic("netsim: negative memcopy size")
+	}
+	return simtime.FromSeconds(float64(n) / p.MemBytesPerS)
+}
+
+// DefaultProfile mirrors the paper's setup: a domestic-grade Internet uplink
+// from the laptop ("a realistic test-case where the client computer is far
+// away from the cloud data-center") and 10 GbE inside the EC2 placement
+// group.
+func DefaultProfile() Profile {
+	return Profile{
+		WAN:          Link{Name: "wan", Latency: 40 * simtime.Millisecond, BitsPerSs: Mbps(200)},
+		LAN:          Link{Name: "lan", Latency: 200 * simtime.Microsecond, BitsPerSs: Gbps(10)},
+		MemBytesPerS: 8e9,
+	}
+}

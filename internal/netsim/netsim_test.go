@@ -1,0 +1,141 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ompcloud/internal/simtime"
+)
+
+func TestTransferBasics(t *testing.T) {
+	l := Link{Name: "t", Latency: 10 * simtime.Millisecond, BitsPerSs: Mbps(8)} // 1 MB/s
+	if got := l.Transfer(0); got != 10*simtime.Millisecond {
+		t.Fatalf("zero-byte transfer = %v, want latency only", got)
+	}
+	got := l.Transfer(1_000_000) // 1 MB at 1 MB/s = 1 s
+	want := 10*simtime.Millisecond + simtime.Second
+	if got != want {
+		t.Fatalf("Transfer = %v, want %v", got, want)
+	}
+}
+
+func TestTransferNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Link{BitsPerSs: 1}.Transfer(-1)
+}
+
+func TestTransferParallelEqualsSum(t *testing.T) {
+	l := Link{Latency: simtime.Millisecond, BitsPerSs: Mbps(80)} // 10 MB/s
+	single := l.Transfer(30_000_000)
+	parallel := l.TransferParallel([]int64{10_000_000, 10_000_000, 10_000_000})
+	if single != parallel {
+		t.Fatalf("parallel %v != single-stream of sum %v (shared bandwidth)", parallel, single)
+	}
+	if got := l.TransferParallel(nil); got != 0 {
+		t.Fatalf("empty parallel transfer = %v", got)
+	}
+}
+
+func TestBroadcastLogGrowth(t *testing.T) {
+	l := Link{Latency: 0, BitsPerSs: Gbps(1)}
+	n := int64(1 << 30)
+	b16 := l.Broadcast(n, 16)
+	b1 := l.Broadcast(n, 1)
+	// 16 workers: ceil(log2(17)) = 5 rounds; 1 worker: 1 round.
+	if b16 != 5*b1 {
+		t.Fatalf("broadcast(16)=%v, want 5x broadcast(1)=%v", b16, 5*b1)
+	}
+	if got := l.Broadcast(n, 0); got != 0 {
+		t.Fatalf("broadcast to zero workers = %v", got)
+	}
+}
+
+func TestBroadcastBeatsStarForManyWorkers(t *testing.T) {
+	l := Link{Latency: simtime.Millisecond, BitsPerSs: Gbps(10)}
+	n := int64(1 << 30)
+	if bt, star := l.Broadcast(n, 16), l.BroadcastStar(n, 16); bt >= star {
+		t.Fatalf("BitTorrent broadcast %v should beat star %v at 16 workers", bt, star)
+	}
+}
+
+// Property: transfer time is monotone in size and always >= latency.
+func TestTransferMonotoneProperty(t *testing.T) {
+	l := Link{Latency: 3 * simtime.Millisecond, BitsPerSs: Mbps(100)}
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		tx, ty := l.Transfer(x), l.Transfer(y)
+		return tx <= ty && tx >= l.Latency
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scatter over any split of a payload costs the same serialization
+// total (sender NIC bound), so splitting cannot beat the single stream by
+// more than the saved latency.
+func TestScatterSplitInvariance(t *testing.T) {
+	l := Link{Latency: 0, BitsPerSs: Gbps(1)}
+	f := func(parts []uint16) bool {
+		if len(parts) == 0 {
+			return true
+		}
+		sizes := make([]int64, len(parts))
+		var sum int64
+		for i, p := range parts {
+			sizes[i] = int64(p)
+			sum += int64(p)
+		}
+		return l.Scatter(sizes) == l.Transfer(sum)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Link{Name: "x", BitsPerSs: 0}).Validate(); err == nil {
+		t.Fatal("zero bandwidth should fail validation")
+	}
+	if err := (Link{Name: "x", BitsPerSs: 1, Latency: -1}).Validate(); err == nil {
+		t.Fatal("negative latency should fail validation")
+	}
+	if err := DefaultProfile().Validate(); err != nil {
+		t.Fatalf("default profile invalid: %v", err)
+	}
+	bad := DefaultProfile()
+	bad.MemBytesPerS = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero memory bandwidth should fail validation")
+	}
+}
+
+func TestMemCopy(t *testing.T) {
+	p := DefaultProfile()
+	p.MemBytesPerS = 1e9
+	if got := p.MemCopy(2_000_000_000); got != 2*simtime.Second {
+		t.Fatalf("MemCopy = %v, want 2s", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.MemCopy(-1)
+}
+
+func TestUnitHelpers(t *testing.T) {
+	if Mbps(200) != 2e8 {
+		t.Fatalf("Mbps wrong: %v", Mbps(200))
+	}
+	if Gbps(10) != 1e10 {
+		t.Fatalf("Gbps wrong: %v", Gbps(10))
+	}
+}

@@ -1,0 +1,143 @@
+package offload
+
+import (
+	"fmt"
+
+	"ompcloud/internal/netsim"
+	"ompcloud/internal/simtime"
+	"ompcloud/internal/spark"
+	"ompcloud/internal/trace"
+)
+
+// CostInputs describes everything the virtual-time accountant needs about
+// one cloud-offloaded region execution. The cloud plugin fills it from real
+// measured execution; the paper-scale performance model (internal/perf)
+// fills it analytically. Both then share Account, so measured runs and
+// modelled sweeps decompose time identically — a single source of truth for
+// the Figure 4/5 arithmetic.
+type CostInputs struct {
+	// Topology.
+	Workers int
+	Cores   int // total worker cores (Workers x CoresPerWorker)
+
+	// Per-tile computation durations: TaskCompute is pure loop-body time
+	// including the JNI-analog overhead; TaskEffective additionally
+	// includes failed attempts and retry latency.
+	TaskCompute   []simtime.Duration
+	TaskEffective []simtime.Duration
+
+	// Host <-> storage wire sizes (compressed). InWireSizes lists what
+	// actually crossed the WAN this run (upload-cache hits are absent);
+	// FetchWireSizes lists what the driver reads from storage (every
+	// buffer, cached or not); nil means same as InWireSizes.
+	InWireSizes    []int64
+	FetchWireSizes []int64
+	OutWireSizes   []int64
+	// Host-side codec work.
+	HostCompress   simtime.Duration
+	HostDecompress simtime.Duration
+	// Driver-side decode of the fetched inputs.
+	DriverDecompress simtime.Duration
+
+	// Intra-cluster traffic (compressed bytes; Spark compresses
+	// everything it moves over the network).
+	DistributeWire int64 // partitioned inputs scattered to workers
+	BroadcastWire  int64 // unpartitioned inputs replicated to all workers
+	CollectWire    int64 // task outputs gathered into the driver
+	// ReconstructRaw is the raw byte volume the driver combines while
+	// rebuilding the outputs (Eq. 8): the sum of all per-tile output
+	// copies, which for unpartitioned outputs is tiles x full size — the
+	// term that makes SYRK-style overheads grow with the core count.
+	ReconstructRaw int64
+
+	// Scheduling constants (spark.Costs) used for submit/dispatch.
+	Costs spark.Costs
+}
+
+// Validate sanity-checks the inputs.
+func (ci *CostInputs) Validate() error {
+	if ci.Workers < 1 || ci.Cores < 1 {
+		return fmt.Errorf("offload: accounting needs a positive topology, got %d workers / %d cores", ci.Workers, ci.Cores)
+	}
+	if len(ci.TaskCompute) != len(ci.TaskEffective) {
+		return fmt.Errorf("offload: task duration vectors disagree: %d vs %d", len(ci.TaskCompute), len(ci.TaskEffective))
+	}
+	for i := range ci.TaskCompute {
+		if ci.TaskEffective[i] < ci.TaskCompute[i] {
+			return fmt.Errorf("offload: task %d effective < compute", i)
+		}
+	}
+	for _, v := range []int64{ci.DistributeWire, ci.BroadcastWire, ci.CollectWire, ci.ReconstructRaw} {
+		if v < 0 {
+			return fmt.Errorf("offload: negative byte count in cost inputs")
+		}
+	}
+	return nil
+}
+
+// Account charges the full Fig. 1 workflow onto the report:
+//
+//	upload   = host compression + WAN transfer of every input (parallel streams)
+//	spark    = driver fetch from storage + job submit + partition scatter +
+//	           broadcast + scheduling/dispatch + collect + reconstruction +
+//	           driver write-back to storage
+//	compute  = makespan of the pure task computations on the simulated cores
+//	download = WAN transfer of the outputs + host decompression
+func Account(p netsim.Profile, ci CostInputs, rep *trace.Report) error {
+	if err := ci.Validate(); err != nil {
+		return err
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+
+	// Host -> target: steps 1-2 of Fig. 1.
+	rep.Add(trace.PhaseUpload, ci.HostCompress+p.WAN.TransferParallel(ci.InWireSizes))
+	for _, s := range ci.InWireSizes {
+		rep.BytesUploaded += s
+	}
+
+	// Compute: step 5.
+	computeMakespan := simtime.Makespan(ci.TaskCompute, ci.Cores)
+	rep.Add(trace.PhaseCompute, computeMakespan)
+
+	// Spark overhead: steps 3, 4, 6, 7 plus scheduling.
+	fetch := ci.FetchWireSizes
+	if fetch == nil {
+		fetch = ci.InWireSizes
+	}
+	spk := p.LAN.TransferParallel(fetch) // driver reads inputs from storage
+	spk += ci.DriverDecompress
+	spk += ci.Costs.JobSubmit
+	if ci.DistributeWire > 0 {
+		spk += p.LAN.Scatter([]int64{ci.DistributeWire})
+	}
+	if ci.BroadcastWire > 0 {
+		spk += p.LAN.Broadcast(ci.BroadcastWire, ci.Workers)
+	}
+	totalMakespan := simtime.MakespanStaggered(ci.TaskEffective, ci.Cores, ci.Costs.TaskDispatch)
+	if totalMakespan > computeMakespan {
+		spk += totalMakespan - computeMakespan // dispatch stagger, retries
+	}
+	if ci.CollectWire > 0 {
+		spk += p.LAN.Scatter([]int64{ci.CollectWire})
+	}
+	if ci.ReconstructRaw > 0 {
+		spk += p.MemCopy(ci.ReconstructRaw)
+	}
+	spk += p.LAN.TransferParallel(ci.OutWireSizes) // driver writes outputs to storage
+	rep.Add(trace.PhaseSpark, spk)
+
+	// Target -> host: step 8.
+	rep.Add(trace.PhaseDownload, p.WAN.TransferParallel(ci.OutWireSizes)+ci.HostDecompress)
+	for _, s := range ci.OutWireSizes {
+		rep.BytesDownloaded += s
+	}
+
+	rep.Tiles = len(ci.TaskCompute)
+	rep.Cores = ci.Cores
+	rep.BytesScattered += ci.DistributeWire
+	rep.BytesBroadcast += ci.BroadcastWire
+	rep.BytesCollected += ci.CollectWire
+	return nil
+}

@@ -1,0 +1,195 @@
+package offload
+
+import (
+	"testing"
+
+	"ompcloud/internal/data"
+	"ompcloud/internal/spark"
+	"ompcloud/internal/storage"
+)
+
+func cachedPlugin(t *testing.T) *CloudPlugin {
+	t.Helper()
+	p, err := NewCloudPlugin(CloudConfig{
+		Spec:        spark.ClusterSpec{Workers: 2, CoresPerWorker: 2},
+		Store:       storage.NewMemStore(),
+		EnableCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestUploadCacheRepeatOffload(t *testing.T) {
+	p := cachedPlugin(t)
+	n := int64(4096)
+	in := data.Generate(1, int(n), data.Dense, 21)
+	out := make([]byte, 4*n)
+
+	first, err := p.Run(scale2Region(n, in.Bytes(), out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.BytesUploaded == 0 {
+		t.Fatal("cold run must upload")
+	}
+	stats := p.CacheStats()
+	if stats.Hits != 0 || stats.Misses == 0 {
+		t.Fatalf("cold stats: %+v", stats)
+	}
+
+	// Same content again: nothing crosses the WAN, result still correct.
+	out2 := make([]byte, 4*n)
+	second, err := p.Run(scale2Region(n, in.Bytes(), out2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.BytesUploaded != 0 {
+		t.Fatalf("warm run uploaded %d bytes", second.BytesUploaded)
+	}
+	if p.CacheStats().Hits == 0 {
+		t.Fatal("no cache hits recorded")
+	}
+	for i := range in.V {
+		if data.GetFloat(out2, i) != 2*in.V[i] {
+			t.Fatalf("cached run corrupted result at %d", i)
+		}
+	}
+	// Warm run is strictly cheaper on the host-target leg.
+	if second.HostTargetComm() >= first.HostTargetComm() {
+		t.Fatalf("warm comm %v should beat cold %v",
+			second.HostTargetComm(), first.HostTargetComm())
+	}
+
+	// Different content: uploads again.
+	in3 := data.Generate(1, int(n), data.Dense, 22)
+	out3 := make([]byte, 4*n)
+	third, err := p.Run(scale2Region(n, in3.Bytes(), out3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.BytesUploaded == 0 {
+		t.Fatal("new content must upload")
+	}
+}
+
+func TestUploadCacheSameContentDifferentName(t *testing.T) {
+	// Content addressing: the same bytes mapped under another variable
+	// name hit the cache.
+	p := cachedPlugin(t)
+	n := int64(2048)
+	in := data.Generate(1, int(n), data.Sparse, 23)
+	out := make([]byte, 4*n)
+	if _, err := p.Run(scale2Region(n, in.Bytes(), out)); err != nil {
+		t.Fatal(err)
+	}
+	r := scale2Region(n, in.Bytes(), out)
+	r.Ins[0].Name = "renamed"
+	rep, err := p.Run(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BytesUploaded != 0 {
+		t.Fatal("content-addressed cache should hit across names")
+	}
+}
+
+func TestUploadCacheSurvivesStoreWipe(t *testing.T) {
+	// If the cached object vanishes from storage, the plugin re-uploads
+	// instead of failing.
+	store := storage.NewMemStore()
+	p, err := NewCloudPlugin(CloudConfig{
+		Spec:        spark.ClusterSpec{Workers: 1, CoresPerWorker: 2},
+		Store:       store,
+		EnableCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(1024)
+	in := data.Generate(1, int(n), data.Dense, 24)
+	out := make([]byte, 4*n)
+	if _, err := p.Run(scale2Region(n, in.Bytes(), out)); err != nil {
+		t.Fatal(err)
+	}
+	// Wipe the cache objects behind the plugin's back.
+	keys, _ := store.List("cache/")
+	if len(keys) == 0 {
+		t.Fatal("expected cached objects in the store")
+	}
+	for _, k := range keys {
+		if err := store.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := p.Run(scale2Region(n, in.Bytes(), out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BytesUploaded == 0 {
+		t.Fatal("wiped store must force a re-upload")
+	}
+	if data.GetFloat(out, 0) != 2*in.V[0] {
+		t.Fatal("re-upload produced wrong result")
+	}
+}
+
+func TestUploadCacheWithDataEnvironments(t *testing.T) {
+	// TargetData environments share the same cache: reopening an
+	// environment over identical inputs skips the upload.
+	p := cachedPlugin(t)
+	n := int64(512)
+	in := data.Generate(1, int(n), data.Dense, 25)
+	out := make([]byte, 4*n)
+
+	openRun := func() int64 {
+		env, rep, err := p.OpenEnv([]EnvBuffer{
+			{Name: "A", Data: in.Bytes(), Upload: true},
+			{Name: "B", Data: out, Download: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := env.Run(scale2Region(n, in.Bytes(), out)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := env.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return rep.BytesUploaded
+	}
+	if cold := openRun(); cold == 0 {
+		t.Fatal("first env open must upload")
+	}
+	if warm := openRun(); warm != 0 {
+		t.Fatalf("second env open uploaded %d bytes", warm)
+	}
+	for i := range in.V {
+		if data.GetFloat(out, i) != 2*in.V[i] {
+			t.Fatalf("env cached run wrong at %d", i)
+		}
+	}
+}
+
+func TestCacheDisabledByDefault(t *testing.T) {
+	p, err := NewCloudPlugin(memCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(256)
+	in := data.Generate(1, int(n), data.Dense, 26)
+	out := make([]byte, 4*n)
+	for i := 0; i < 2; i++ {
+		rep, err := p.Run(scale2Region(n, in.Bytes(), out))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.BytesUploaded == 0 {
+			t.Fatal("without the cache every run uploads")
+		}
+	}
+	if st := p.CacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("disabled cache should report zero stats: %+v", st)
+	}
+}

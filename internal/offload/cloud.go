@@ -1,0 +1,787 @@
+package offload
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ompcloud/internal/cloud"
+	"ompcloud/internal/netsim"
+	"ompcloud/internal/remoteexec"
+	"ompcloud/internal/simtime"
+	"ompcloud/internal/spark"
+	"ompcloud/internal/storage"
+	"ompcloud/internal/trace"
+	"ompcloud/internal/xcompress"
+)
+
+// CloudConfig assembles the cloud device from its substrates. Every field
+// mirrors a knob of the paper's plugin: the Spark cluster topology, the
+// storage service, the compression policy, the network profile, and the
+// optional EC2-style lifecycle management.
+type CloudConfig struct {
+	Spec    spark.ClusterSpec
+	Profile netsim.Profile
+	Codec   xcompress.Codec
+	Costs   spark.Costs
+	JNI     JNI
+	Store   storage.Store
+
+	// Provider, when non-nil, gives the plugin an infrastructure control
+	// plane. With AutoStartStop the workers are started before a job and
+	// stopped after it, the paper's pay-per-use mode (§III.A).
+	Provider      cloud.Provider
+	InstanceType  string
+	AutoStartStop bool
+
+	// WorkerAddrs, when non-empty, executes loop tiles in remote worker
+	// processes (cmd/ompcloud-worker) at these addresses instead of
+	// in-process goroutines — the paper's real process boundary between
+	// the Spark executor and the native loop body. Tile-to-worker
+	// affinity follows the simulated placement (Eq. 3).
+	WorkerAddrs []string
+
+	// EnableCache turns on the content-addressed upload cache (the
+	// paper's future-work data caching): inputs already present in cloud
+	// storage are not re-sent across the host-target link.
+	EnableCache bool
+
+	// RunOnDriver models the paper's §III.D deployment alternative:
+	// "one might run his application directly from the driver node of
+	// the Spark cluster, thus removing the overhead of host-target
+	// communication". The host's storage legs then ride the intra-
+	// cluster LAN instead of the WAN.
+	RunOnDriver bool
+
+	// Log, when non-nil, receives the engine and workflow log lines —
+	// the paper's option to "print the log messages of Spark to the
+	// standard output of the host computer".
+	Log spark.Logf
+
+	// Faults optionally injects task failures (tests, chaos benches).
+	Faults spark.FaultInjector
+	// RealParallelism bounds the machine cores used for real execution;
+	// 0 means all.
+	RealParallelism int
+}
+
+// withDefaults fills zero values.
+func (c CloudConfig) withDefaults() CloudConfig {
+	if c.Profile == (netsim.Profile{}) {
+		c.Profile = netsim.DefaultProfile()
+	}
+	if c.Costs == (spark.Costs{}) {
+		c.Costs = spark.DefaultCosts()
+	}
+	if c.JNI == (JNI{}) {
+		c.JNI = DefaultJNI()
+	}
+	if c.InstanceType == "" {
+		c.InstanceType = "c3.8xlarge"
+	}
+	return c
+}
+
+// CloudPlugin is the cloud device: it offloads target regions to the Spark
+// engine through the storage service, implementing the eight-step workflow
+// of the paper's Fig. 1 with real data movement and virtual-time accounting.
+type CloudPlugin struct {
+	cfg   CloudConfig
+	sctx  *spark.Context
+	cache *uploadCache     // nil unless EnableCache
+	pool  *remoteexec.Pool // nil unless WorkerAddrs configured
+
+	mu       sync.Mutex
+	cluster  *cloud.Cluster
+	initErr  error
+	jobSeq   atomic.Int64
+	lastCost float64
+}
+
+// NewCloudPlugin builds and initializes the cloud device. Construction
+// itself never fails on unavailable infrastructure: the paper's runtime
+// degrades to host execution, so infrastructure errors surface through
+// Available(), not the constructor.
+func NewCloudPlugin(cfg CloudConfig) (*CloudPlugin, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("offload: cloud plugin needs a storage backend")
+	}
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RunOnDriver {
+		cfg.Profile.WAN = cfg.Profile.LAN
+		cfg.Profile.WAN.Name = "lan-as-wan"
+	}
+	opts := []spark.Option{spark.WithCosts(cfg.Costs)}
+	if cfg.Log != nil {
+		opts = append(opts, spark.WithLogger(cfg.Log))
+	}
+	if cfg.Faults != nil {
+		opts = append(opts, spark.WithFaults(cfg.Faults))
+	}
+	if cfg.RealParallelism > 0 {
+		opts = append(opts, spark.WithRealParallelism(cfg.RealParallelism))
+	}
+	sctx, err := spark.NewContext(cfg.Spec, opts...)
+	if err != nil {
+		return nil, err
+	}
+	p := &CloudPlugin{cfg: cfg, sctx: sctx}
+	if cfg.EnableCache {
+		p.cache = newUploadCache()
+	}
+	p.initErr = p.init()
+	if p.initErr == nil && len(cfg.WorkerAddrs) > 0 {
+		pool, err := remoteexec.NewPool(cfg.WorkerAddrs)
+		if err != nil {
+			// Like failed provisioning: the device reports itself
+			// unavailable and the manager falls back to the host.
+			p.initErr = fmt.Errorf("offload: connecting workers: %w", err)
+		} else {
+			p.pool = pool
+		}
+	}
+	return p, nil
+}
+
+// init provisions the cluster when a provider is configured.
+func (p *CloudPlugin) init() error {
+	if p.cfg.Provider == nil {
+		return nil
+	}
+	cl, err := cloud.Provision(p.cfg.Provider, p.cfg.InstanceType, p.cfg.Spec.Workers)
+	if err != nil {
+		return fmt.Errorf("offload: cluster provisioning failed: %w", err)
+	}
+	p.cluster = cl
+	if p.cfg.AutoStartStop {
+		// Pay-per-use: park the instances until the first job arrives.
+		if err := cl.StopAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Name implements Plugin.
+func (p *CloudPlugin) Name() string {
+	return fmt.Sprintf("cloud-spark-%dx%d", p.cfg.Spec.Workers, p.cfg.Spec.CoresPerWorker)
+}
+
+// Cores implements Plugin.
+func (p *CloudPlugin) Cores() int { return p.cfg.Spec.TotalCores() }
+
+// Available implements Plugin: the device is usable when provisioning
+// succeeded and the storage service answers a health probe. This is what
+// the manager consults for dynamic host fallback.
+func (p *CloudPlugin) Available() bool {
+	p.mu.Lock()
+	initErr := p.initErr
+	p.mu.Unlock()
+	if initErr != nil {
+		return false
+	}
+	if err := p.cfg.Store.Put("health/ping", []byte("ok")); err != nil {
+		return false
+	}
+	if _, err := p.cfg.Store.Get("health/ping"); err != nil {
+		return false
+	}
+	if err := p.cfg.Store.Delete("health/ping"); err != nil {
+		return false
+	}
+	if p.pool != nil && !p.pool.Healthy() {
+		return false
+	}
+	return true
+}
+
+// Close releases the plugin's external resources (remote worker
+// connections). The simulated cluster, if any, is left to its provider.
+func (p *CloudPlugin) Close() error {
+	if p.pool != nil {
+		return p.pool.Close()
+	}
+	return nil
+}
+
+// InitError exposes why provisioning failed, for diagnostics.
+func (p *CloudPlugin) InitError() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.initErr
+}
+
+// Cluster exposes the provisioned cluster (nil without a provider).
+func (p *CloudPlugin) Cluster() *cloud.Cluster {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cluster
+}
+
+// SparkContext exposes the engine context (metrics, chaos testing).
+func (p *CloudPlugin) SparkContext() *spark.Context { return p.sctx }
+
+// CacheStats reports upload-cache effectiveness (zero value when the cache
+// is disabled).
+func (p *CloudPlugin) CacheStats() CacheStats {
+	if p.cache == nil {
+		return CacheStats{}
+	}
+	return p.cache.stats()
+}
+
+// logf emits a workflow log line when a logger is configured.
+func (p *CloudPlugin) logf(format string, args ...any) {
+	if p.cfg.Log != nil {
+		p.cfg.Log(format, args...)
+	}
+}
+
+// tileResult is one task's output set travelling from workers to driver.
+type tileResult struct {
+	tile int
+	outs [][]byte
+}
+
+// Run implements Plugin: the full Fig. 1 workflow.
+func (p *CloudPlugin) Run(r *Region) (*trace.Report, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.Available() {
+		return nil, fmt.Errorf("offload: cloud device unavailable (use the manager for host fallback)")
+	}
+	rep := trace.NewReport(p.Name(), r.Kernel)
+	rep.Cores = p.Cores()
+	tiles := r.TileCount(p.Cores())
+	rep.Tiles = tiles
+	if tiles == 0 {
+		for l := range r.Outs {
+			if !r.Outs[l].Partitioned() {
+				copy(r.Outs[l].Data, reduceIdentity(r.Outs[l].Reduce, len(r.Outs[l].Data)))
+			}
+		}
+		return rep, nil
+	}
+
+	if p.cfg.AutoStartStop && p.cluster != nil {
+		if err := p.startCluster(); err != nil {
+			return nil, err
+		}
+		defer p.stopCluster()
+	}
+
+	jobID := p.jobSeq.Add(1)
+	prefix := fmt.Sprintf("jobs/%06d", jobID)
+	defer p.cleanup(prefix)
+	p.logf("offload: job %s: offloading %s (N=%d, %d tiles) to %s", prefix, r.Kernel, r.N, tiles, p.Name())
+
+	// Steps 1-2: compress and upload every input on its own goroutine.
+	up, err := p.uploadInputs(prefix, r)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3: the driver fetches and decodes the inputs.
+	decoded, driverDecompress, err := p.driverFetch(up.keys, r)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 4-6: build and run the Spark job.
+	parts, jm, tileRaw, err := p.runSparkJob(r, tiles, decoded)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 7: reconstruct outputs on the driver and write them back to
+	// storage (encoded), measuring the codec work.
+	outWire, driverCompress, err := p.reconstructAndStore(prefix, r, tiles, parts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 8: the host downloads and decodes the outputs.
+	hostDecompress, err := p.downloadOutputs(prefix, r)
+	if err != nil {
+		return nil, err
+	}
+	p.logf("offload: job %s: done (%d cache hits, %d task failures)", prefix, up.hits, jm.Failures)
+
+	// Virtual-time accounting over the whole workflow.
+	ci := p.costInputs(r, tiles, jm, up.wire, outWire, tileRaw,
+		up.compress, hostDecompress, driverDecompress+driverCompress)
+	ci.InWireSizes = up.sent
+	ci.FetchWireSizes = up.wire
+	if err := Account(p.cfg.Profile, ci, rep); err != nil {
+		return nil, err
+	}
+	rep.TaskFailures = jm.Failures
+	return rep, nil
+}
+
+// uploadResult describes one input buffer's journey to cloud storage.
+type uploadResult struct {
+	keys []string // storage key per buffer (driver fetches these)
+	wire []int64  // per-buffer wire size (intra-cluster accounting)
+	// sent lists the wire sizes that actually crossed the WAN this time;
+	// cache hits are absent.
+	sent     []int64
+	compress simtime.Duration
+	hits     int
+}
+
+// uploadInputs encodes and stores every input buffer concurrently,
+// returning per-buffer storage keys and wire sizes plus the virtual host
+// compression time (max across the parallel compression threads, §III.A).
+// With the upload cache enabled, buffers whose contents are already in
+// cloud storage are not re-sent — the paper's future-work data caching.
+func (p *CloudPlugin) uploadInputs(prefix string, r *Region) (*uploadResult, error) {
+	res := &uploadResult{
+		keys: make([]string, len(r.Ins)),
+		wire: make([]int64, len(r.Ins)),
+	}
+	durs := make([]time.Duration, len(r.Ins))
+	errs := make([]error, len(r.Ins))
+	cached := make([]bool, len(r.Ins))
+	var wg sync.WaitGroup
+	for k := range r.Ins {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			if p.cache != nil {
+				key := contentKey(r.Ins[k].Data)
+				if wireSize, ok := p.cache.lookup(key); ok {
+					// Verify the object still exists before trusting
+					// the cache: stores can be wiped between jobs.
+					if _, err := p.cfg.Store.Stat(key); err == nil {
+						res.keys[k] = key
+						res.wire[k] = wireSize
+						cached[k] = true
+						return
+					}
+					p.cache.forget(key)
+				}
+				start := time.Now()
+				enc, err := p.cfg.Codec.Encode(r.Ins[k].Data)
+				durs[k] = time.Since(start)
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				if err := p.cfg.Store.Put(key, enc); err != nil {
+					errs[k] = err
+					return
+				}
+				res.keys[k] = key
+				res.wire[k] = int64(len(enc))
+				p.cache.remember(key, int64(len(enc)))
+				return
+			}
+			start := time.Now()
+			enc, err := p.cfg.Codec.Encode(r.Ins[k].Data)
+			durs[k] = time.Since(start)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			key := prefix + "/in/" + r.Ins[k].Name
+			res.keys[k] = key
+			res.wire[k] = int64(len(enc))
+			errs[k] = p.cfg.Store.Put(key, enc)
+		}(k)
+	}
+	wg.Wait()
+	var compress time.Duration
+	for k := range r.Ins {
+		if errs[k] != nil {
+			return nil, fmt.Errorf("offload: uploading %s: %w", r.Ins[k].Name, errs[k])
+		}
+		if cached[k] {
+			res.hits++
+			continue
+		}
+		res.sent = append(res.sent, res.wire[k])
+		if durs[k] > compress {
+			compress = durs[k]
+		}
+	}
+	res.compress = simtime.FromReal(compress)
+	return res, nil
+}
+
+// driverFetch reads the inputs back from storage and decodes them, the
+// driver side of step 3. Buffers decode on parallel goroutines (one thread
+// per datum, the paper's §III.A transfer policy), so the virtual cost is
+// the slowest stream.
+func (p *CloudPlugin) driverFetch(keys []string, r *Region) ([][]byte, simtime.Duration, error) {
+	decoded := make([][]byte, len(r.Ins))
+	durs := make([]time.Duration, len(r.Ins))
+	errs := make([]error, len(r.Ins))
+	var wg sync.WaitGroup
+	for k := range r.Ins {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			enc, err := p.cfg.Store.Get(keys[k])
+			if err != nil {
+				errs[k] = fmt.Errorf("fetching: %w", err)
+				return
+			}
+			start := time.Now()
+			raw, err := xcompress.Decode(enc)
+			durs[k] = time.Since(start)
+			if err != nil {
+				errs[k] = fmt.Errorf("decoding: %w", err)
+				return
+			}
+			if len(raw) != len(r.Ins[k].Data) {
+				errs[k] = fmt.Errorf("decoded to %d bytes, want %d", len(raw), len(r.Ins[k].Data))
+				return
+			}
+			decoded[k] = raw
+		}(k)
+	}
+	wg.Wait()
+	var max time.Duration
+	for k := range r.Ins {
+		if errs[k] != nil {
+			return nil, 0, fmt.Errorf("offload: driver input %s: %w", r.Ins[k].Name, errs[k])
+		}
+		if durs[k] > max {
+			max = durs[k]
+		}
+	}
+	return decoded, simtime.FromReal(max), nil
+}
+
+// tileBytes reports the raw bytes task p marshals across the JNI boundary.
+func tileBytes(r *Region, tiles, p int) int64 {
+	lo, hi := TileRange(r.N, tiles, p)
+	var n int64
+	for k := range r.Ins {
+		if r.Ins[k].Partitioned() {
+			n += (hi - lo) * r.Ins[k].BytesPerIter
+		} else {
+			n += int64(len(r.Ins[k].Data))
+		}
+	}
+	for l := range r.Outs {
+		if r.Outs[l].Partitioned() {
+			n += (hi - lo) * r.Outs[l].BytesPerIter
+		} else {
+			n += int64(len(r.Outs[l].Data))
+		}
+	}
+	return n
+}
+
+// runSparkJob distributes the tiled loop over the cluster (Eq. 1-7): one
+// RDD partition per tile, partitioned inputs sliced per tile, unpartitioned
+// inputs broadcast, and the loop body invoked through the fat-binary
+// registry (the JNI analog).
+func (p *CloudPlugin) runSparkJob(r *Region, tiles int, decoded [][]byte) ([][]tileResult, *spark.JobMetrics, int64, error) {
+	reg := r.registry()
+	// Broadcast the unpartitioned inputs so the engine's accounting sees
+	// them; partitioned inputs are captured per tile by the closure,
+	// standing in for the scatter of Eq. 3.
+	type bcastIns struct{ bufs [][]byte }
+	unpart := make([][]byte, len(r.Ins))
+	var bcastRaw int64
+	for k := range r.Ins {
+		if !r.Ins[k].Partitioned() {
+			unpart[k] = decoded[k]
+			bcastRaw += int64(len(decoded[k]))
+		}
+	}
+	bc := spark.NewBroadcast(p.sctx, bcastIns{bufs: unpart}, bcastRaw)
+
+	rdd, err := spark.Range(p.sctx, int64(tiles), tiles)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	job := spark.MapPartitions(rdd, func(part int, _ []int64) ([]tileResult, error) {
+		lo, hi := TileRange(r.N, tiles, part)
+		ins := make([][]byte, len(r.Ins))
+		for k := range r.Ins {
+			if r.Ins[k].Partitioned() {
+				ins[k] = decoded[k][lo*r.Ins[k].BytesPerIter : hi*r.Ins[k].BytesPerIter]
+			} else {
+				ins[k] = bc.Value().bufs[k]
+			}
+		}
+		outSizes := make([]int64, len(r.Outs))
+		outInit := make([]byte, len(r.Outs))
+		for l := range r.Outs {
+			if r.Outs[l].Partitioned() {
+				outSizes[l] = (hi - lo) * r.Outs[l].BytesPerIter
+			} else {
+				outSizes[l] = int64(len(r.Outs[l].Data))
+				switch r.Outs[l].Reduce {
+				case ReduceMaxF32:
+					outInit[l] = remoteexec.InitNegInfF
+				case ReduceMinF32:
+					outInit[l] = remoteexec.InitPosInfF
+				}
+			}
+		}
+		if p.pool != nil {
+			// Ship the tile to its assigned remote worker process —
+			// the JNI boundary made literal.
+			worker := p.sctx.PartitionWorker(part, tiles)
+			outs, err := p.pool.Run(worker, &remoteexec.TileRequest{
+				Kernel: r.Kernel, Lo: lo, Hi: hi, Scalars: r.Scalars,
+				Ins: ins, OutSizes: outSizes, OutInit: outInit,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return []tileResult{{tile: part, outs: outs}}, nil
+		}
+		outs := make([][]byte, len(r.Outs))
+		for l := range r.Outs {
+			if r.Outs[l].Partitioned() {
+				outs[l] = make([]byte, outSizes[l])
+			} else {
+				outs[l] = reduceIdentity(r.Outs[l].Reduce, len(r.Outs[l].Data))
+			}
+		}
+		if err := reg.Invoke(r.Kernel, lo, hi, r.Scalars, ins, outs); err != nil {
+			return nil, err
+		}
+		return []tileResult{{tile: part, outs: outs}}, nil
+	})
+	parts, jm, err := job.CollectPartitions()
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("offload: spark job: %w", err)
+	}
+	// Total raw output bytes produced by the tasks (reconstruction input).
+	var tileRaw int64
+	for _, part := range parts {
+		for _, tr := range part {
+			for _, o := range tr.outs {
+				tileRaw += int64(len(o))
+			}
+		}
+	}
+	return parts, jm, tileRaw, nil
+}
+
+// reconstruct rebuilds each output on the driver (Eq. 8): offset writes for
+// partitioned outputs, reductions otherwise.
+func reconstruct(r *Region, tiles int, parts [][]tileResult) ([][]byte, error) {
+	finals := make([][]byte, len(r.Outs))
+	for l := range r.Outs {
+		finals[l] = reduceIdentity(r.Outs[l].Reduce, len(r.Outs[l].Data))
+	}
+	for _, part := range parts {
+		for _, tr := range part {
+			lo, hi := TileRange(r.N, tiles, tr.tile)
+			for l := range r.Outs {
+				if r.Outs[l].Partitioned() {
+					copy(finals[l][lo*r.Outs[l].BytesPerIter:hi*r.Outs[l].BytesPerIter], tr.outs[l])
+				} else if err := combine(r.Outs[l].Reduce, finals[l], tr.outs[l]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return finals, nil
+}
+
+// storeOutputs encodes the reconstructed outputs and writes them to cloud
+// storage (step 7), measuring the driver's codec work.
+func (p *CloudPlugin) storeOutputs(prefix string, r *Region, finals [][]byte) ([]int64, simtime.Duration, error) {
+	wire := make([]int64, len(r.Outs))
+	var compress time.Duration
+	for l := range r.Outs {
+		start := time.Now()
+		enc, err := p.cfg.Codec.Encode(finals[l])
+		compress += time.Since(start)
+		if err != nil {
+			return nil, 0, err
+		}
+		wire[l] = int64(len(enc))
+		if err := p.cfg.Store.Put(prefix+"/out/"+r.Outs[l].Name, enc); err != nil {
+			return nil, 0, fmt.Errorf("offload: storing output %s: %w", r.Outs[l].Name, err)
+		}
+	}
+	return wire, simtime.FromReal(compress), nil
+}
+
+// reconstructAndStore composes reconstruct and storeOutputs for a
+// standalone region run.
+func (p *CloudPlugin) reconstructAndStore(prefix string, r *Region, tiles int, parts [][]tileResult) ([]int64, simtime.Duration, error) {
+	finals, err := reconstruct(r, tiles, parts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p.storeOutputs(prefix, r, finals)
+}
+
+// downloadOutputs brings the results back to the host buffers (step 8),
+// decoding in parallel, one thread per buffer.
+func (p *CloudPlugin) downloadOutputs(prefix string, r *Region) (simtime.Duration, error) {
+	durs := make([]time.Duration, len(r.Outs))
+	errs := make([]error, len(r.Outs))
+	var wg sync.WaitGroup
+	for l := range r.Outs {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			enc, err := p.cfg.Store.Get(prefix + "/out/" + r.Outs[l].Name)
+			if err != nil {
+				errs[l] = err
+				return
+			}
+			start := time.Now()
+			raw, err := xcompress.Decode(enc)
+			durs[l] = time.Since(start)
+			if err != nil {
+				errs[l] = err
+				return
+			}
+			if len(raw) != len(r.Outs[l].Data) {
+				errs[l] = fmt.Errorf("output %s decoded to %d bytes, want %d", r.Outs[l].Name, len(raw), len(r.Outs[l].Data))
+				return
+			}
+			copy(r.Outs[l].Data, raw)
+		}(l)
+	}
+	wg.Wait()
+	var max time.Duration
+	for l := range r.Outs {
+		if errs[l] != nil {
+			return 0, fmt.Errorf("offload: downloading %s: %w", r.Outs[l].Name, errs[l])
+		}
+		if durs[l] > max {
+			max = durs[l]
+		}
+	}
+	return simtime.FromReal(max), nil
+}
+
+// costInputs assembles the accounting inputs from the measured run.
+func (p *CloudPlugin) costInputs(r *Region, tiles int, jm *spark.JobMetrics,
+	inWire, outWire []int64, tileRaw int64,
+	hostCompress, hostDecompress, driverCodec simtime.Duration) CostInputs {
+
+	taskCompute := make([]simtime.Duration, tiles)
+	taskEffective := make([]simtime.Duration, tiles)
+	for i, tm := range jm.Tasks {
+		jni := p.cfg.JNI.PerCall(tileBytes(r, tiles, i))
+		taskCompute[i] = tm.Compute + jni
+		taskEffective[i] = tm.Effective + jni
+	}
+
+	// Intra-cluster wire volumes use the real measured compression
+	// ratios: Spark compresses everything it ships over the LAN, which
+	// is what makes dense inputs so much more expensive than sparse ones.
+	var distWire, bcastWire int64
+	for k := 0; k < len(r.Ins) && k < len(inWire); k++ {
+		if len(r.Ins[k].Data) == 0 {
+			continue
+		}
+		if r.Ins[k].Partitioned() {
+			distWire += inWire[k]
+		} else {
+			bcastWire += inWire[k]
+		}
+	}
+
+	// Collected bytes: every tile ships its outputs to the driver,
+	// compressed at the output's measured ratio.
+	var collectWire int64
+	outRaw := r.OutBytesRaw()
+	if outRaw > 0 && tileRaw > 0 {
+		var sumRatio float64
+		for l := 0; l < len(r.Outs) && l < len(outWire); l++ {
+			if len(r.Outs[l].Data) == 0 {
+				continue
+			}
+			sumRatio += float64(outWire[l]) / float64(outRaw)
+		}
+		collectWire = int64(float64(tileRaw) * sumRatio)
+	}
+
+	return CostInputs{
+		Workers:          p.cfg.Spec.Workers,
+		Cores:            p.cfg.Spec.TotalCores(),
+		TaskCompute:      taskCompute,
+		TaskEffective:    taskEffective,
+		InWireSizes:      inWire,
+		OutWireSizes:     outWire,
+		HostCompress:     hostCompress,
+		HostDecompress:   hostDecompress,
+		DriverDecompress: driverCodec,
+		DistributeWire:   distWire,
+		BroadcastWire:    bcastWire,
+		CollectWire:      collectWire,
+		ReconstructRaw:   tileRaw,
+		Costs:            p.cfg.Costs,
+	}
+}
+
+// cleanup deletes the job's objects, best effort.
+func (p *CloudPlugin) cleanup(prefix string) {
+	keys, err := p.cfg.Store.List(prefix)
+	if err != nil {
+		return
+	}
+	for _, k := range keys {
+		_ = p.cfg.Store.Delete(k)
+	}
+}
+
+// startCluster brings stopped workers back for a job (pay-per-use start).
+func (p *CloudPlugin) startCluster() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	insts := append([]*cloud.Instance{p.cluster.Driver}, p.cluster.Workers...)
+	for _, inst := range insts {
+		if inst.State() == cloud.Stopped {
+			if err := p.cfg.Provider.Start(inst); err != nil {
+				return fmt.Errorf("offload: starting %s: %w", inst.ID, err)
+			}
+		}
+	}
+	return nil
+}
+
+// stopCluster parks the instances after a job (pay-per-use stop).
+func (p *CloudPlugin) stopCluster() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	insts := append([]*cloud.Instance{p.cluster.Driver}, p.cluster.Workers...)
+	for _, inst := range insts {
+		if inst.State() == cloud.Running {
+			if err := p.cfg.Provider.Stop(inst); err != nil && !errors.Is(err, cloud.ErrBadCredentials) {
+				// Best effort: a stop failure leaves the instance
+				// billable but does not fail the completed job.
+				continue
+			}
+		}
+	}
+	p.lastCost = p.cluster.Cost()
+}
+
+// AccumulatedCost reports the cluster cost after the last job (0 without a
+// provider).
+func (p *CloudPlugin) AccumulatedCost() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cluster == nil {
+		return 0
+	}
+	return p.cluster.Cost()
+}
+
+var _ Plugin = (*CloudPlugin)(nil)

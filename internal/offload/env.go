@@ -1,0 +1,365 @@
+package offload
+
+import (
+	"fmt"
+	"sync"
+
+	"ompcloud/internal/trace"
+)
+
+// EnvBuffer declares one variable of a device data environment (`#pragma
+// omp target data map(...)`): Upload buffers are copied to the device when
+// the environment opens, Download buffers are copied back when it closes,
+// and everything in between stays device-resident. This is how the paper
+// supports "several parallel for loops within the same target region ...
+// performing successive map-reduce transformations within the Spark job":
+// intermediates like 2MM's tmp matrix never cross the host-target link.
+type EnvBuffer struct {
+	Name     string
+	Data     []byte // host buffer
+	Upload   bool   // map(to:) / map(tofrom:)
+	Download bool   // map(from:) / map(tofrom:)
+}
+
+// Env is an open device data environment.
+type Env interface {
+	// Run executes one lowered parallel loop against the environment.
+	// Buffers in the region whose names match environment buffers use the
+	// device-resident copies; the region's own Data fields supply sizes
+	// and partition strides only.
+	Run(r *Region) (*trace.Report, error)
+	// Buffer exposes the device-resident bytes of an environment buffer.
+	Buffer(name string) ([]byte, error)
+	// Close copies Download buffers back to the host and releases the
+	// environment. The returned report carries the copy-out costs.
+	Close() (*trace.Report, error)
+}
+
+// EnvPlugin is implemented by devices that support data environments. The
+// open report carries the upload costs.
+type EnvPlugin interface {
+	Plugin
+	OpenEnv(bufs []EnvBuffer) (Env, *trace.Report, error)
+}
+
+// MergeReports folds several phase reports (open, loops, close) into one
+// region-level report, the per-benchmark total used by the harness.
+func MergeReports(device, kernel string, reps ...*trace.Report) *trace.Report {
+	out := trace.NewReport(device, kernel)
+	for _, r := range reps {
+		if r == nil {
+			continue
+		}
+		for ph, d := range r.Phases {
+			out.Add(ph, d)
+		}
+		out.BytesUploaded += r.BytesUploaded
+		out.BytesDownloaded += r.BytesDownloaded
+		out.BytesScattered += r.BytesScattered
+		out.BytesBroadcast += r.BytesBroadcast
+		out.BytesCollected += r.BytesCollected
+		out.TaskFailures += r.TaskFailures
+		out.Tiles += r.Tiles
+		if r.Cores > out.Cores {
+			out.Cores = r.Cores
+		}
+		out.FellBack = out.FellBack || r.FellBack
+	}
+	return out
+}
+
+// --- Host environment -------------------------------------------------
+
+// hostEnv is the trivial environment of a shared-memory device: the "device
+// copies" are the host buffers themselves, so open and close are free.
+type hostEnv struct {
+	h    *HostPlugin
+	bufs map[string][]byte
+	open bool
+}
+
+// OpenEnv implements EnvPlugin.
+func (h *HostPlugin) OpenEnv(bufs []EnvBuffer) (Env, *trace.Report, error) {
+	e := &hostEnv{h: h, bufs: make(map[string][]byte, len(bufs)), open: true}
+	for _, b := range bufs {
+		if b.Name == "" {
+			return nil, nil, fmt.Errorf("offload: unnamed env buffer")
+		}
+		if _, dup := e.bufs[b.Name]; dup {
+			return nil, nil, fmt.Errorf("offload: duplicate env buffer %q", b.Name)
+		}
+		e.bufs[b.Name] = b.Data
+	}
+	return e, trace.NewReport(h.Name(), "target-data-open"), nil
+}
+
+func (e *hostEnv) Buffer(name string) ([]byte, error) {
+	b, ok := e.bufs[name]
+	if !ok {
+		return nil, fmt.Errorf("offload: no env buffer %q", name)
+	}
+	return b, nil
+}
+
+func (e *hostEnv) Run(r *Region) (*trace.Report, error) {
+	if !e.open {
+		return nil, fmt.Errorf("offload: environment already closed")
+	}
+	// Rebind region buffers to the environment's storage by name.
+	bound := *r
+	bound.Ins = append([]Buffer(nil), r.Ins...)
+	bound.Outs = append([]Buffer(nil), r.Outs...)
+	for i := range bound.Ins {
+		if b, ok := e.bufs[bound.Ins[i].Name]; ok {
+			bound.Ins[i].Data = b
+		}
+	}
+	for i := range bound.Outs {
+		if b, ok := e.bufs[bound.Outs[i].Name]; ok {
+			bound.Outs[i].Data = b
+		}
+	}
+	return e.h.Run(&bound)
+}
+
+func (e *hostEnv) Close() (*trace.Report, error) {
+	if !e.open {
+		return nil, fmt.Errorf("offload: environment already closed")
+	}
+	e.open = false
+	return trace.NewReport(e.h.Name(), "target-data-close"), nil
+}
+
+var _ EnvPlugin = (*HostPlugin)(nil)
+
+// --- Cloud environment ------------------------------------------------
+
+// cloudEnv keeps the environment's buffers driver-resident between loops.
+type cloudEnv struct {
+	p      *CloudPlugin
+	prefix string
+
+	mu     sync.Mutex
+	open   bool
+	decl   []EnvBuffer
+	device map[string][]byte // driver-resident copies
+}
+
+// OpenEnv implements EnvPlugin: it uploads the map(to:) buffers through
+// cloud storage (Fig. 1 steps 2-3) once for the whole environment.
+func (p *CloudPlugin) OpenEnv(bufs []EnvBuffer) (Env, *trace.Report, error) {
+	if !p.Available() {
+		return nil, nil, fmt.Errorf("offload: cloud device unavailable")
+	}
+	e := &cloudEnv{
+		p:      p,
+		prefix: fmt.Sprintf("envs/%06d", p.jobSeq.Add(1)),
+		open:   true,
+		decl:   append([]EnvBuffer(nil), bufs...),
+		device: make(map[string][]byte, len(bufs)),
+	}
+	rep := trace.NewReport(p.Name(), "target-data-open")
+	var upNames []string
+	var upBufs []Buffer
+	for _, b := range bufs {
+		if b.Name == "" {
+			return nil, nil, fmt.Errorf("offload: unnamed env buffer")
+		}
+		if _, dup := e.device[b.Name]; dup {
+			return nil, nil, fmt.Errorf("offload: duplicate env buffer %q", b.Name)
+		}
+		if b.Upload {
+			upNames = append(upNames, b.Name)
+			upBufs = append(upBufs, Buffer{Name: b.Name, Data: b.Data})
+			e.device[b.Name] = nil // filled below
+		} else {
+			// Alloc-only (map(from:)): the device side starts zeroed.
+			e.device[b.Name] = make([]byte, len(b.Data))
+		}
+	}
+	if len(upBufs) > 0 {
+		pseudo := &Region{Ins: upBufs}
+		up, err := p.uploadInputs(e.prefix, pseudo)
+		if err != nil {
+			return nil, nil, err
+		}
+		decoded, driverDecompress, err := p.driverFetch(up.keys, pseudo)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, name := range upNames {
+			e.device[name] = decoded[i]
+		}
+		rep.Add(trace.PhaseUpload, up.compress+p.cfg.Profile.WAN.TransferParallel(up.sent))
+		rep.Add(trace.PhaseSpark, p.cfg.Profile.LAN.TransferParallel(up.wire)+driverDecompress)
+		for _, w := range up.sent {
+			rep.BytesUploaded += w
+		}
+	}
+	return e, rep, nil
+}
+
+func (e *cloudEnv) Buffer(name string) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b, ok := e.device[name]
+	if !ok {
+		return nil, fmt.Errorf("offload: no env buffer %q", name)
+	}
+	return b, nil
+}
+
+// Run executes one parallel loop entirely inside the cluster: partitioned
+// slices of the device buffers scatter to the workers, results reconstruct
+// into the device buffers, and nothing touches the WAN.
+func (e *cloudEnv) Run(r *Region) (*trace.Report, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.open {
+		return nil, fmt.Errorf("offload: environment already closed")
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	p := e.p
+	rep := trace.NewReport(p.Name(), r.Kernel)
+	rep.Cores = p.Cores()
+	tiles := r.TileCount(p.Cores())
+	rep.Tiles = tiles
+	if tiles == 0 {
+		return rep, nil
+	}
+
+	// Bind inputs to device-resident storage.
+	decoded := make([][]byte, len(r.Ins))
+	for k := range r.Ins {
+		dev, ok := e.device[r.Ins[k].Name]
+		if !ok {
+			return nil, fmt.Errorf("offload: loop input %q is not in the data environment", r.Ins[k].Name)
+		}
+		if len(dev) != len(r.Ins[k].Data) {
+			return nil, fmt.Errorf("offload: env buffer %q is %d bytes, loop expects %d", r.Ins[k].Name, len(dev), len(r.Ins[k].Data))
+		}
+		decoded[k] = dev
+	}
+	for l := range r.Outs {
+		if _, ok := e.device[r.Outs[l].Name]; !ok {
+			return nil, fmt.Errorf("offload: loop output %q is not in the data environment", r.Outs[l].Name)
+		}
+	}
+
+	parts, jm, tileRaw, err := p.runSparkJob(r, tiles, decoded)
+	if err != nil {
+		return nil, err
+	}
+	finals, err := reconstruct(r, tiles, parts)
+	if err != nil {
+		return nil, err
+	}
+	for l := range r.Outs {
+		copy(e.device[r.Outs[l].Name], finals[l])
+	}
+
+	// Accounting: like a standalone run but with no host-target legs and
+	// no storage round trip (the environment pins buffers on the driver).
+	ci := p.costInputs(r, tiles, jm, nil, nil, tileRaw, 0, 0, 0)
+	ci.DistributeWire, ci.BroadcastWire, ci.CollectWire = e.intraClusterWires(r, tileRaw)
+	if err := Account(p.cfg.Profile, ci, rep); err != nil {
+		return nil, err
+	}
+	rep.TaskFailures = jm.Failures
+	return rep, nil
+}
+
+// intraClusterWires estimates compressed intra-cluster traffic for an
+// env-resident loop by probing the actual device buffers (Spark compresses
+// what it ships over the LAN).
+func (e *cloudEnv) intraClusterWires(r *Region, tileRaw int64) (dist, bcast, collect int64) {
+	ratioOf := func(b []byte) float64 {
+		if len(b) == 0 {
+			return 1
+		}
+		sample := b
+		if len(sample) > 1<<20 {
+			sample = sample[:1<<20]
+		}
+		probe, err := e.p.cfg.Codec.Measure(sample)
+		if err != nil {
+			return 1
+		}
+		return probe.Effective().Ratio
+	}
+	for k := range r.Ins {
+		dev := e.device[r.Ins[k].Name]
+		wire := int64(float64(len(dev)) * ratioOf(dev))
+		if r.Ins[k].Partitioned() {
+			dist += wire
+		} else {
+			bcast += wire
+		}
+	}
+	var outRatio float64
+	var outs int
+	for l := range r.Outs {
+		outRatio += ratioOf(e.device[r.Outs[l].Name])
+		outs++
+	}
+	if outs > 0 {
+		collect = int64(float64(tileRaw) * outRatio / float64(outs))
+	}
+	return dist, bcast, collect
+}
+
+// Close writes the Download buffers to storage and brings them home
+// (Fig. 1 steps 7-8), then invalidates the environment.
+func (e *cloudEnv) Close() (*trace.Report, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.open {
+		return nil, fmt.Errorf("offload: environment already closed")
+	}
+	e.open = false
+	p := e.p
+	rep := trace.NewReport(p.Name(), "target-data-close")
+	defer p.cleanup(e.prefix)
+
+	var downBufs []Buffer
+	var hostData [][]byte
+	for _, b := range e.decl {
+		if !b.Download {
+			continue
+		}
+		downBufs = append(downBufs, Buffer{Name: b.Name, Data: e.device[b.Name]})
+		hostData = append(hostData, b.Data)
+	}
+	if len(downBufs) == 0 {
+		return rep, nil
+	}
+	// Driver -> storage (encode + put), charged to Spark overhead.
+	pseudo := &Region{Outs: downBufs}
+	finals := make([][]byte, len(downBufs))
+	for i := range downBufs {
+		finals[i] = downBufs[i].Data
+	}
+	wire, driverCompress, err := p.storeOutputs(e.prefix, pseudo, finals)
+	if err != nil {
+		return nil, err
+	}
+	rep.Add(trace.PhaseSpark, driverCompress+p.cfg.Profile.LAN.TransferParallel(wire))
+
+	// Storage -> host (get + decode), the download leg.
+	for i := range pseudo.Outs {
+		pseudo.Outs[i].Data = hostData[i]
+	}
+	hostDecompress, err := p.downloadOutputs(e.prefix, pseudo)
+	if err != nil {
+		return nil, err
+	}
+	rep.Add(trace.PhaseDownload, p.cfg.Profile.WAN.TransferParallel(wire)+hostDecompress)
+	for _, w := range wire {
+		rep.BytesDownloaded += w
+	}
+	return rep, nil
+}
+
+var _ EnvPlugin = (*CloudPlugin)(nil)

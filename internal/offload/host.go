@@ -1,0 +1,129 @@
+package offload
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ompcloud/internal/simtime"
+	"ompcloud/internal/trace"
+)
+
+// HostPlugin executes target regions with OpenMP-style multithreading on the
+// local machine — the paper's OmpThread baseline, and the fallback device
+// when the cloud is unreachable. Execution is real; the reported makespan is
+// virtual over the configured thread count, so a 16-thread baseline is
+// reproducible on any machine.
+type HostPlugin struct {
+	threads int
+	slots   chan struct{}
+}
+
+// NewHostPlugin builds a host device with the given OpenMP thread count.
+func NewHostPlugin(threads int) (*HostPlugin, error) {
+	if threads < 1 {
+		return nil, fmt.Errorf("offload: host plugin needs >= 1 thread, got %d", threads)
+	}
+	real := runtime.NumCPU()
+	if real > threads {
+		real = threads
+	}
+	return &HostPlugin{threads: threads, slots: make(chan struct{}, real)}, nil
+}
+
+// Name implements Plugin.
+func (h *HostPlugin) Name() string { return fmt.Sprintf("host-%dt", h.threads) }
+
+// Available implements Plugin: the host is always available.
+func (h *HostPlugin) Available() bool { return true }
+
+// Cores implements Plugin.
+func (h *HostPlugin) Cores() int { return h.threads }
+
+// Run implements Plugin. The loop is tiled to the thread count (static
+// scheduling), each tile executes the kernel on its windows, and
+// unpartitioned outputs are reduced exactly as the cloud driver would,
+// so both devices share one output contract.
+func (h *HostPlugin) Run(r *Region) (*trace.Report, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	rep := trace.NewReport(h.Name(), r.Kernel)
+	rep.Cores = h.threads
+	tiles := r.TileCount(h.threads)
+	rep.Tiles = tiles
+	if tiles == 0 {
+		return rep, nil
+	}
+	reg := r.registry()
+
+	// Per-tile temporary copies of unpartitioned outputs.
+	temps := make([][][]byte, tiles) // temps[tile][outIdx or -1]
+	durs := make([]simtime.Duration, tiles)
+	errs := make([]error, tiles)
+
+	var wg sync.WaitGroup
+	for p := 0; p < tiles; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h.slots <- struct{}{}
+			defer func() { <-h.slots }()
+
+			lo, hi := TileRange(r.N, tiles, p)
+			ins := make([][]byte, len(r.Ins))
+			for k := range r.Ins {
+				if r.Ins[k].Partitioned() {
+					ins[k] = tileWindow(&r.Ins[k], lo, hi)
+				} else {
+					ins[k] = r.Ins[k].Data
+				}
+			}
+			outs := make([][]byte, len(r.Outs))
+			tileTemps := make([][]byte, len(r.Outs))
+			for l := range r.Outs {
+				if r.Outs[l].Partitioned() {
+					// Disjoint windows: threads write the host
+					// buffer directly, the shared-memory shortcut
+					// a real multicore enjoys.
+					outs[l] = tileWindow(&r.Outs[l], lo, hi)
+				} else {
+					tileTemps[l] = reduceIdentity(r.Outs[l].Reduce, len(r.Outs[l].Data))
+					outs[l] = tileTemps[l]
+				}
+			}
+			start := time.Now()
+			err := reg.Invoke(r.Kernel, lo, hi, r.Scalars, ins, outs)
+			durs[p] = simtime.FromReal(time.Since(start))
+			errs[p] = err
+			temps[p] = tileTemps
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("offload: host tile %d: %w", p, err)
+		}
+	}
+
+	// Sequential reduction of unpartitioned outputs, as the master thread
+	// would perform it after the parallel region.
+	for l := range r.Outs {
+		if r.Outs[l].Partitioned() {
+			continue
+		}
+		acc := reduceIdentity(r.Outs[l].Reduce, len(r.Outs[l].Data))
+		for p := 0; p < tiles; p++ {
+			if err := combine(r.Outs[l].Reduce, acc, temps[p][l]); err != nil {
+				return nil, err
+			}
+		}
+		copy(r.Outs[l].Data, acc)
+	}
+
+	rep.Add(trace.PhaseCompute, simtime.Makespan(durs, h.threads))
+	return rep, nil
+}
+
+var _ Plugin = (*HostPlugin)(nil)

@@ -1,0 +1,107 @@
+package offload
+
+import (
+	"fmt"
+	"sync"
+
+	"ompcloud/internal/trace"
+)
+
+// Plugin is the target-specific half of the offloading runtime (Fig. 2,
+// component 3): it owns device initialization, data movement and kernel
+// execution for one device class.
+type Plugin interface {
+	// Name identifies the device ("host-16t", "cloud-spark", ...).
+	Name() string
+	// Available reports whether the device can currently accept regions;
+	// the manager probes it to implement dynamic host fallback.
+	Available() bool
+	// Cores reports the device's parallel width (threads or cluster
+	// cores), the input to Algorithm 1 tiling.
+	Cores() int
+	// Run executes a target region to completion, writing results into
+	// the region's output buffers.
+	Run(r *Region) (*trace.Report, error)
+}
+
+// DeviceHost is the pseudo-id selecting the host device, mirroring the
+// OpenMP convention that omp_get_num_devices() (== number of non-host
+// devices) also denotes the host as an execution target.
+const DeviceHost = -1
+
+// Manager is the target-agnostic offloading wrapper (Fig. 2, component 2):
+// it numbers devices, routes lowered regions to plugins, and falls back to
+// the host when the requested device is unavailable — the paper's
+// "offloading is done dynamically, and thus if the cloud is not available
+// the computation is performed locally".
+type Manager struct {
+	mu      sync.RWMutex
+	host    Plugin
+	devices []Plugin
+}
+
+// NewManager builds a manager around the mandatory host device.
+func NewManager(host Plugin) (*Manager, error) {
+	if host == nil {
+		return nil, fmt.Errorf("offload: manager needs a host plugin")
+	}
+	return &Manager{host: host}, nil
+}
+
+// Register adds a non-host device and returns its device id (0-based, the
+// omp_get_device_num ordering).
+func (m *Manager) Register(p Plugin) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.devices = append(m.devices, p)
+	return len(m.devices) - 1
+}
+
+// NumDevices reports the number of non-host devices —
+// omp_get_num_devices().
+func (m *Manager) NumDevices() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.devices)
+}
+
+// Device resolves a device id; DeviceHost or NumDevices() resolve to the
+// host.
+func (m *Manager) Device(id int) (Plugin, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if id == DeviceHost || id == len(m.devices) {
+		return m.host, nil
+	}
+	if id < 0 || id > len(m.devices) {
+		return nil, fmt.Errorf("offload: no device %d (have %d)", id, len(m.devices))
+	}
+	return m.devices[id], nil
+}
+
+// Host reports the host plugin.
+func (m *Manager) Host() Plugin {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.host
+}
+
+// Run executes a region on the device with the given id. When the device
+// reports itself unavailable (bad credentials, unreachable storage, dead
+// cluster) the region transparently runs on the host and the report is
+// flagged FellBack.
+func (m *Manager) Run(id int, r *Region) (*trace.Report, error) {
+	dev, err := m.Device(id)
+	if err != nil {
+		return nil, err
+	}
+	if !dev.Available() {
+		rep, err := m.Host().Run(r)
+		if err != nil {
+			return nil, err
+		}
+		rep.FellBack = true
+		return rep, nil
+	}
+	return dev.Run(r)
+}

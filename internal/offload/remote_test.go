@@ -1,0 +1,168 @@
+package offload
+
+import (
+	"testing"
+
+	"ompcloud/internal/data"
+	"ompcloud/internal/remoteexec"
+	"ompcloud/internal/spark"
+	"ompcloud/internal/storage"
+)
+
+// startWorkers serves n remote workers resolving the offload test kernels.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		w, err := remoteexec.Serve("127.0.0.1:0", testRegistry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		addrs[i] = w.Addr()
+	}
+	return addrs
+}
+
+func TestCloudPluginWithRemoteWorkers(t *testing.T) {
+	addrs := startWorkers(t, 2)
+	p, err := NewCloudPlugin(CloudConfig{
+		Spec:        spark.ClusterSpec{Workers: 2, CoresPerWorker: 2},
+		Store:       storage.NewMemStore(),
+		WorkerAddrs: addrs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if !p.Available() {
+		t.Fatal("plugin with live workers should be available")
+	}
+
+	n := int64(500)
+	in := data.Generate(1, int(n), data.Dense, 60)
+	out := make([]byte, 4*n)
+	rep, err := p.Run(scale2Region(n, in.Bytes(), out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.V {
+		if data.GetFloat(out, i) != 2*in.V[i] {
+			t.Fatalf("remote-worker run wrong at %d", i)
+		}
+	}
+	if rep.Tiles != 4 {
+		t.Fatalf("tiles = %d", rep.Tiles)
+	}
+}
+
+func TestCloudPluginRemoteWorkersReductions(t *testing.T) {
+	addrs := startWorkers(t, 2)
+	p, err := NewCloudPlugin(CloudConfig{
+		Spec:        spark.ClusterSpec{Workers: 2, CoresPerWorker: 1},
+		Store:       storage.NewMemStore(),
+		WorkerAddrs: addrs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	n := int64(200)
+	in := data.Generate(1, int(n), data.Dense, 61)
+
+	// Sum reduction through the remote boundary.
+	sum := make([]byte, 4)
+	rSum := &Region{
+		Kernel:   "sumsq",
+		Registry: testRegistry,
+		N:        n,
+		Ins:      []Buffer{{Name: "A", Data: in.Bytes(), BytesPerIter: 4}},
+		Outs:     []Buffer{{Name: "s", Data: sum, Reduce: ReduceSumF32}},
+	}
+	if _, err := p.Run(rSum); err != nil {
+		t.Fatal(err)
+	}
+	var want float32
+	for _, v := range in.V {
+		want += v * v
+	}
+	if got := data.GetFloat(sum, 0); !data.AlmostEqual([]float32{got}, []float32{want}, 1e-2) {
+		t.Fatalf("remote sumsq = %v, want %v", got, want)
+	}
+
+	// Max reduction: exercises the InitNegInfF identity on the worker.
+	maxOut := make([]byte, 4)
+	rMax := &Region{
+		Kernel:   "maxval",
+		Registry: testRegistry,
+		N:        n,
+		Ins:      []Buffer{{Name: "A", Data: in.Bytes(), BytesPerIter: 4}},
+		Outs:     []Buffer{{Name: "m", Data: maxOut, Reduce: ReduceMaxF32}},
+	}
+	if _, err := p.Run(rMax); err != nil {
+		t.Fatal(err)
+	}
+	wantMax := in.V[0]
+	for _, v := range in.V {
+		if v > wantMax {
+			wantMax = v
+		}
+	}
+	if got := data.GetFloat(maxOut, 0); got != wantMax {
+		t.Fatalf("remote maxval = %v, want %v", got, wantMax)
+	}
+}
+
+func TestCloudPluginUnreachableWorkersFallBack(t *testing.T) {
+	p, err := NewCloudPlugin(CloudConfig{
+		Spec:        spark.ClusterSpec{Workers: 1, CoresPerWorker: 1},
+		Store:       storage.NewMemStore(),
+		WorkerAddrs: []string{"127.0.0.1:1"},
+	})
+	if err != nil {
+		t.Fatal(err) // construction must not fail
+	}
+	if p.Available() {
+		t.Fatal("unreachable workers must leave the device unavailable")
+	}
+	host, _ := NewHostPlugin(2)
+	m, _ := NewManager(host)
+	id := m.Register(p)
+	n := int64(16)
+	in := data.Generate(1, int(n), data.Dense, 62)
+	out := make([]byte, 4*n)
+	rep, err := m.Run(id, scale2Region(n, in.Bytes(), out))
+	if err != nil || !rep.FellBack {
+		t.Fatalf("expected host fallback: rep=%v err=%v", rep, err)
+	}
+}
+
+func TestCloudPluginWorkerDiesMidSession(t *testing.T) {
+	w, err := remoteexec.Serve("127.0.0.1:0", testRegistry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewCloudPlugin(CloudConfig{
+		Spec:        spark.ClusterSpec{Workers: 1, CoresPerWorker: 2},
+		Store:       storage.NewMemStore(),
+		WorkerAddrs: []string{w.Addr()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	n := int64(64)
+	in := data.Generate(1, int(n), data.Dense, 63)
+	out := make([]byte, 4*n)
+	if _, err := p.Run(scale2Region(n, in.Bytes(), out)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if p.Available() {
+		t.Fatal("device should turn unavailable when its worker dies")
+	}
+	if _, err := p.Run(scale2Region(n, in.Bytes(), out)); err == nil {
+		t.Fatal("run against dead workers should error")
+	}
+}

@@ -1,0 +1,195 @@
+package offload
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ompcloud/internal/cloud"
+	"ompcloud/internal/config"
+	"ompcloud/internal/netsim"
+	"ompcloud/internal/simtime"
+	"ompcloud/internal/spark"
+	"ompcloud/internal/storage"
+	"ompcloud/internal/xcompress"
+)
+
+// NewCloudPluginFromConfig assembles the cloud device from an OmpCloud
+// configuration file, the runtime mechanism of the paper's §III.A: the same
+// binary retargets clusters and storage services by editing a file, no
+// recompilation. Recognized sections and keys:
+//
+//	[cluster]     workers, cores-per-worker, instance-type, provider
+//	              (sim | none), auto-start, boot-seconds, worker-addrs
+//	              (comma-separated ompcloud-worker endpoints)
+//	[credentials] access-key, secret-key, region
+//	[storage]     type (memory | disk | remote), address, path
+//	[network]     wan-mbps, wan-latency-ms, lan-gbps, lan-latency-us,
+//	              mem-gbps
+//	[offload]     compress-min-bytes, jni-base-ms, jni-mbps,
+//	              enable-cache, verbose, run-on-driver
+//
+// Every key has a sensible default; an empty file yields the paper's
+// 16-worker c3.8xlarge deployment over an in-memory store.
+func NewCloudPluginFromConfig(f *config.File) (*CloudPlugin, error) {
+	if f == nil {
+		f = config.New()
+	}
+	cfg := CloudConfig{}
+
+	// [cluster]
+	workers, err := f.Int("cluster", "workers", 16)
+	if err != nil {
+		return nil, err
+	}
+	cpw, err := f.Int("cluster", "cores-per-worker", 16)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Spec = spark.ClusterSpec{Workers: workers, CoresPerWorker: cpw}
+	cfg.InstanceType = f.Str("cluster", "instance-type", "c3.8xlarge")
+	autoStart, err := f.Bool("cluster", "auto-start", false)
+	if err != nil {
+		return nil, err
+	}
+	cfg.AutoStartStop = autoStart
+	if addrs := f.Str("cluster", "worker-addrs", ""); addrs != "" {
+		for _, a := range strings.Split(addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.WorkerAddrs = append(cfg.WorkerAddrs, a)
+			}
+		}
+	}
+
+	switch provider := f.Str("cluster", "provider", "none"); provider {
+	case "none":
+	case "sim":
+		bootSecs, err := f.Float("cluster", "boot-seconds", 45)
+		if err != nil {
+			return nil, err
+		}
+		creds := cloud.Credentials{
+			AccessKey: f.Str("credentials", "access-key", ""),
+			SecretKey: f.Str("credentials", "secret-key", ""),
+			Region:    f.Str("credentials", "region", "us-east-1"),
+		}
+		cfg.Provider = cloud.NewSimProvider(creds,
+			cloud.WithBootTime(simtime.FromSeconds(bootSecs)))
+	default:
+		return nil, fmt.Errorf("offload: unknown provider %q (want sim|none)", provider)
+	}
+
+	// [storage]
+	switch st := f.Str("storage", "type", "memory"); st {
+	case "memory":
+		cfg.Store = storage.NewMemStore()
+	case "disk":
+		path := f.Str("storage", "path", "")
+		if path == "" {
+			return nil, fmt.Errorf("offload: storage type disk needs a path")
+		}
+		ds, err := storage.NewDiskStore(path)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = ds
+	case "remote":
+		addr := f.Str("storage", "address", "")
+		if addr == "" {
+			return nil, fmt.Errorf("offload: storage type remote needs an address")
+		}
+		rs, err := storage.Dial(addr)
+		if err != nil {
+			// An unreachable storage service must not fail
+			// construction: the device reports unavailable and the
+			// manager falls back to the host (§III.A).
+			cfg.Store = unreachableStore{addr: addr, err: err}
+		} else {
+			cfg.Store = rs
+		}
+	default:
+		return nil, fmt.Errorf("offload: unknown storage type %q (want memory|disk|remote)", st)
+	}
+
+	// [network]
+	profile := netsim.DefaultProfile()
+	wanMbps, err := f.Float("network", "wan-mbps", profile.WAN.BitsPerSs/1e6)
+	if err != nil {
+		return nil, err
+	}
+	wanLatMs, err := f.Float("network", "wan-latency-ms", profile.WAN.Latency.Seconds()*1e3)
+	if err != nil {
+		return nil, err
+	}
+	lanGbps, err := f.Float("network", "lan-gbps", profile.LAN.BitsPerSs/1e9)
+	if err != nil {
+		return nil, err
+	}
+	lanLatUs, err := f.Float("network", "lan-latency-us", profile.LAN.Latency.Seconds()*1e6)
+	if err != nil {
+		return nil, err
+	}
+	memGbps, err := f.Float("network", "mem-gbps", profile.MemBytesPerS/1e9)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Profile = netsim.Profile{
+		WAN:          netsim.Link{Name: "wan", BitsPerSs: netsim.Mbps(wanMbps), Latency: simtime.FromSeconds(wanLatMs / 1e3)},
+		LAN:          netsim.Link{Name: "lan", BitsPerSs: netsim.Gbps(lanGbps), Latency: simtime.FromSeconds(lanLatUs / 1e6)},
+		MemBytesPerS: memGbps * 1e9,
+	}
+
+	// [offload]
+	minBytes, err := f.Int("offload", "compress-min-bytes", 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Codec = xcompress.Codec{MinSize: minBytes}
+	jniBaseMs, err := f.Float("offload", "jni-base-ms", 1)
+	if err != nil {
+		return nil, err
+	}
+	jniMbps, err := f.Float("offload", "jni-mbps", DefaultJNI().BytesPerS/1e6)
+	if err != nil {
+		return nil, err
+	}
+	cfg.JNI = JNI{CallBase: simtime.FromSeconds(jniBaseMs / 1e3), BytesPerS: jniMbps * 1e6}
+	cache, err := f.Bool("offload", "enable-cache", false)
+	if err != nil {
+		return nil, err
+	}
+	cfg.EnableCache = cache
+	runOnDriver, err := f.Bool("offload", "run-on-driver", false)
+	if err != nil {
+		return nil, err
+	}
+	cfg.RunOnDriver = runOnDriver
+	verbose, err := f.Bool("offload", "verbose", false)
+	if err != nil {
+		return nil, err
+	}
+	if verbose {
+		cfg.Log = log.Printf
+	}
+
+	return NewCloudPlugin(cfg)
+}
+
+// unreachableStore is a Store whose every operation fails with the original
+// dial error, making the cloud device report itself unavailable.
+type unreachableStore struct {
+	addr string
+	err  error
+}
+
+func (u unreachableStore) fail() error {
+	return fmt.Errorf("offload: storage %s unreachable: %w", u.addr, u.err)
+}
+
+func (u unreachableStore) Put(string, []byte) error      { return u.fail() }
+func (u unreachableStore) Get(string) ([]byte, error)    { return nil, u.fail() }
+func (u unreachableStore) Delete(string) error           { return u.fail() }
+func (u unreachableStore) List(string) ([]string, error) { return nil, u.fail() }
+func (u unreachableStore) Stat(string) (int64, error)    { return 0, u.fail() }
+
+var _ storage.Store = unreachableStore{}

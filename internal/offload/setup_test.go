@@ -1,0 +1,212 @@
+package offload
+
+import (
+	"strings"
+	"testing"
+
+	"ompcloud/internal/config"
+	"ompcloud/internal/data"
+	"ompcloud/internal/storage"
+)
+
+func parseConf(t *testing.T, text string) *config.File {
+	t.Helper()
+	f, err := config.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFromConfigDefaults(t *testing.T) {
+	p, err := NewCloudPluginFromConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cores() != 256 {
+		t.Fatalf("default cores = %d, want the paper's 256", p.Cores())
+	}
+	if !p.Available() {
+		t.Fatal("memory-backed default should be available")
+	}
+}
+
+func TestFromConfigFullFile(t *testing.T) {
+	f := parseConf(t, `
+[cluster]
+workers = 2
+cores-per-worker = 4
+provider = sim
+instance-type = c3.xlarge
+auto-start = true
+boot-seconds = 1
+
+[credentials]
+access-key = AK
+secret-key = SK
+region = us-west-2
+
+[storage]
+type = memory
+
+[network]
+wan-mbps = 100
+lan-gbps = 1
+
+[offload]
+compress-min-bytes = 1024
+jni-base-ms = 2
+jni-mbps = 500
+`)
+	p, err := NewCloudPluginFromConfig(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cores() != 8 {
+		t.Fatalf("cores = %d", p.Cores())
+	}
+	if p.Cluster() == nil || len(p.Cluster().Workers) != 2 {
+		t.Fatal("sim provider should have provisioned a 2-worker cluster")
+	}
+	if p.cfg.Profile.WAN.BitsPerSs != 1e8 {
+		t.Fatalf("WAN bandwidth = %v", p.cfg.Profile.WAN.BitsPerSs)
+	}
+	if p.cfg.JNI.BytesPerS != 5e8 {
+		t.Fatalf("JNI throughput = %v", p.cfg.JNI.BytesPerS)
+	}
+
+	// End-to-end run through the configured device.
+	n := int64(128)
+	in := data.Generate(1, int(n), data.Dense, 1)
+	out := make([]byte, 4*n)
+	if _, err := p.Run(scale2Region(n, in.Bytes(), out)); err != nil {
+		t.Fatal(err)
+	}
+	if data.GetFloat(out, 5) != 2*in.V[5] {
+		t.Fatal("configured device computed wrong result")
+	}
+}
+
+func TestFromConfigDiskStorage(t *testing.T) {
+	dir := t.TempDir()
+	f := parseConf(t, "[cluster]\nworkers = 1\ncores-per-worker = 2\n[storage]\ntype = disk\npath = "+dir+"\n")
+	p, err := NewCloudPluginFromConfig(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Available() {
+		t.Fatal("disk store should be available")
+	}
+}
+
+func TestFromConfigRemoteStorage(t *testing.T) {
+	srv, err := storage.Serve("127.0.0.1:0", storage.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	f := parseConf(t, "[storage]\ntype = remote\naddress = "+srv.Addr()+"\n")
+	p, err := NewCloudPluginFromConfig(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Available() {
+		t.Fatal("remote store should be available")
+	}
+}
+
+func TestFromConfigUnreachableRemoteFallsBack(t *testing.T) {
+	f := parseConf(t, "[storage]\ntype = remote\naddress = 127.0.0.1:1\n")
+	p, err := NewCloudPluginFromConfig(f)
+	if err != nil {
+		t.Fatal(err) // construction must not fail
+	}
+	if p.Available() {
+		t.Fatal("unreachable storage should make the device unavailable")
+	}
+	host, _ := NewHostPlugin(2)
+	m, _ := NewManager(host)
+	id := m.Register(p)
+	n := int64(16)
+	in := data.Generate(1, int(n), data.Dense, 2)
+	out := make([]byte, 4*n)
+	rep, err := m.Run(id, scale2Region(n, in.Bytes(), out))
+	if err != nil || !rep.FellBack {
+		t.Fatalf("expected host fallback, got rep=%v err=%v", rep, err)
+	}
+}
+
+func TestFromConfigErrors(t *testing.T) {
+	cases := []string{
+		"[cluster]\nprovider = azure9000\n",
+		"[storage]\ntype = tape\n",
+		"[storage]\ntype = disk\n",   // missing path
+		"[storage]\ntype = remote\n", // missing address
+		"[cluster]\nworkers = many\n",
+		"[network]\nwan-mbps = fast\n",
+		"[offload]\njni-base-ms = x\n",
+		"[cluster]\nworkers = 0\n",
+	}
+	for _, c := range cases {
+		if _, err := NewCloudPluginFromConfig(parseConf(t, c)); err == nil {
+			t.Errorf("config %q should fail", c)
+		}
+	}
+}
+
+func TestFromConfigCacheAndVerbose(t *testing.T) {
+	f := parseConf(t, "[cluster]\nworkers = 1\ncores-per-worker = 2\n[offload]\nenable-cache = true\nverbose = false\n")
+	p, err := NewCloudPluginFromConfig(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.cache == nil {
+		t.Fatal("enable-cache should install the upload cache")
+	}
+	n := int64(128)
+	in := data.Generate(1, int(n), data.Dense, 40)
+	out := make([]byte, 4*n)
+	if _, err := p.Run(scale2Region(n, in.Bytes(), out)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Run(scale2Region(n, in.Bytes(), out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BytesUploaded != 0 {
+		t.Fatal("configured cache did not hit on repeat offload")
+	}
+	for _, bad := range []string{"[offload]\nenable-cache = maybe\n", "[offload]\nverbose = 7up\n"} {
+		if _, err := NewCloudPluginFromConfig(parseConf(t, bad)); err == nil {
+			t.Errorf("config %q should fail", bad)
+		}
+	}
+}
+
+func TestFromConfigWorkerAddrs(t *testing.T) {
+	addrs := startWorkers(t, 2)
+	f := parseConf(t, "[cluster]\nworkers = 2\ncores-per-worker = 1\nworker-addrs = "+
+		addrs[0]+" , "+addrs[1]+"\n")
+	p, err := NewCloudPluginFromConfig(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.pool == nil || p.pool.Size() != 2 {
+		t.Fatal("worker pool not configured from file")
+	}
+	if !p.Available() {
+		t.Fatal("configured workers should be available")
+	}
+}
+
+func TestFromConfigBadCredentialsUnavailable(t *testing.T) {
+	f := parseConf(t, "[cluster]\nworkers = 1\ncores-per-worker = 1\nprovider = sim\n")
+	p, err := NewCloudPluginFromConfig(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Available() {
+		t.Fatal("sim provider without credentials should leave the device unavailable")
+	}
+}

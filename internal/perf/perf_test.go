@@ -1,0 +1,290 @@
+package perf
+
+import (
+	"sync"
+	"testing"
+
+	"ompcloud/internal/data"
+	"ompcloud/internal/kernels"
+	"ompcloud/internal/trace"
+)
+
+// calOnce calibrates once for the whole test package: real kernel runs at
+// n=96 keep the suite fast while exercising the full calibration path.
+var (
+	calMu   sync.Mutex
+	calMemo *Calibration
+)
+
+func testCal(t *testing.T) *Calibration {
+	t.Helper()
+	calMu.Lock()
+	defer calMu.Unlock()
+	if calMemo == nil {
+		cal, err := Calibrate(kernels.All, CalibrateOptions{N: 96, ProbeBytes: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		calMemo = cal
+	}
+	return calMemo
+}
+
+func TestCalibrateMeasuresEverything(t *testing.T) {
+	cal := testCal(t)
+	for _, b := range kernels.All {
+		if cal.Throughput[b.Name] <= 0 {
+			t.Fatalf("%s: no throughput", b.Name)
+		}
+	}
+	sparse, dense := cal.Probes[data.Sparse], cal.Probes[data.Dense]
+	if sparse.Ratio >= dense.Ratio {
+		t.Fatalf("sparse ratio %f must beat dense %f", sparse.Ratio, dense.Ratio)
+	}
+	if dense.Ratio < 0.8 {
+		t.Fatalf("random float32 should be near-incompressible, ratio %f", dense.Ratio)
+	}
+}
+
+func TestSerialAndHostPrediction(t *testing.T) {
+	cal := testCal(t)
+	serial, err := cal.SerialSeconds(kernels.GEMM, 1024)
+	if err != nil || serial <= 0 {
+		t.Fatalf("serial = %v, %v", serial, err)
+	}
+	h16, err := cal.HostSeconds(kernels.GEMM, 1024, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h16*15 > serial || h16*17 < serial {
+		t.Fatalf("16-thread host prediction %v not ~serial/16 (%v)", h16, serial/16)
+	}
+	if _, err := cal.HostSeconds(kernels.GEMM, 64, 0); err == nil {
+		t.Fatal("0 threads should error")
+	}
+	unknown := &kernels.Benchmark{Name: "mystery", Ops: func(int) float64 { return 1 }}
+	if _, err := cal.SerialSeconds(unknown, 10); err == nil {
+		t.Fatal("uncalibrated benchmark should error")
+	}
+}
+
+func paperScenario(b *kernels.Benchmark, cores int, kind data.Kind) Scenario {
+	workers, cpw := 1, cores
+	if cores > 16 {
+		workers, cpw = cores/16, 16
+	}
+	return Scenario{Bench: b, Kind: kind, Workers: workers, CoresPerWorker: cpw}
+}
+
+func TestPredictProducesFullDecomposition(t *testing.T) {
+	cal := testCal(t)
+	rep, err := cal.Predict(paperScenario(kernels.GEMM, 64, data.Dense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range []trace.Phase{trace.PhaseUpload, trace.PhaseSpark, trace.PhaseCompute, trace.PhaseDownload} {
+		if rep.Phases[ph] <= 0 {
+			t.Fatalf("phase %s empty: %v", ph, rep.Phases)
+		}
+	}
+	if rep.Cores != 64 {
+		t.Fatalf("Cores = %d", rep.Cores)
+	}
+}
+
+func TestComputeSpeedupScalesLinearly(t *testing.T) {
+	cal := testCal(t)
+	for _, b := range []*kernels.Benchmark{kernels.GEMM, kernels.ThreeMM, kernels.Collinear} {
+		_, _, c8, err := cal.Speedups(paperScenario(b, 8, data.Dense))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, c256, err := cal.Speedups(paperScenario(b, 256, data.Dense))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c8 < 7 || c8 > 8.5 {
+			t.Fatalf("%s: 8-core computation speedup %f, want ~8", b.Name, c8)
+		}
+		if c256 < 150 || c256 > 260 {
+			t.Fatalf("%s: 256-core computation speedup %f, want high but sublinear", b.Name, c256)
+		}
+	}
+}
+
+func TestSpeedupOrderingFullSparkComputation(t *testing.T) {
+	// By construction full <= spark <= computation (each strips overhead).
+	cal := testCal(t)
+	for _, b := range kernels.All {
+		for _, cores := range []int{8, 64, 256} {
+			full, spk, comp, err := cal.Speedups(paperScenario(b, cores, data.Dense))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !(full <= spk+1e-9 && spk <= comp+1e-9) {
+				t.Fatalf("%s@%d: ordering violated: full=%f spark=%f comp=%f",
+					b.Name, cores, full, spk, comp)
+			}
+			if full <= 0 {
+				t.Fatalf("%s@%d: non-positive speedup", b.Name, cores)
+			}
+		}
+	}
+}
+
+func TestSparseBeatsDenseOnFullTime(t *testing.T) {
+	if raceEnabled {
+		t.Skip("calibration-sensitive: -race distorts measured gzip economics")
+	}
+	// Fig. 5: dense data inflates communication, so sparse runs finish
+	// sooner end-to-end while computation stays put.
+	cal := testCal(t)
+	for _, b := range []*kernels.Benchmark{kernels.GEMM, kernels.SYRK} {
+		sparse, err := cal.Predict(paperScenario(b, 64, data.Sparse))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := cal.Predict(paperScenario(b, 64, data.Dense))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sparse.HostTargetComm() >= dense.HostTargetComm() {
+			t.Fatalf("%s: sparse comm %v should beat dense %v",
+				b.Name, sparse.HostTargetComm(), dense.HostTargetComm())
+		}
+		sc, dc := sparse.ComputeTime().Seconds(), dense.ComputeTime().Seconds()
+		if sc/dc > 1.01 || dc/sc > 1.01 {
+			t.Fatalf("%s: computation must not depend on data kind: %v vs %v", b.Name, sc, dc)
+		}
+	}
+}
+
+func TestHostTargetCommConstantAcrossCores(t *testing.T) {
+	// Fig. 5: the host-target bar stays flat as the cluster grows.
+	cal := testCal(t)
+	r8, err := cal.Predict(paperScenario(kernels.GEMM, 8, data.Dense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r256, err := cal.Predict(paperScenario(kernels.GEMM, 256, data.Dense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := r8.HostTargetComm().Seconds(), r256.HostTargetComm().Seconds()
+	if a/b > 1.05 || b/a > 1.05 {
+		t.Fatalf("host-target comm should be core-independent: %v vs %v", a, b)
+	}
+}
+
+func TestSparkOverheadGrowsWithCores(t *testing.T) {
+	// Fig. 4 analysis: the spark-vs-computation gap widens with the
+	// cluster (SYRK 17% -> 69% in the paper).
+	cal := testCal(t)
+	ratio := func(cores int) float64 {
+		rep, err := cal.Predict(paperScenario(kernels.SYRK, cores, data.Dense))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Phases[trace.PhaseSpark].Seconds() / rep.SparkTime().Seconds()
+	}
+	if r8, r256 := ratio(8), ratio(256); r256 <= r8 {
+		t.Fatalf("SYRK spark-overhead share must grow: %f at 8 -> %f at 256", r8, r256)
+	}
+}
+
+func TestCollinearHasTinyCommShare(t *testing.T) {
+	cal := testCal(t)
+	rep, err := cal.Predict(paperScenario(kernels.Collinear, 256, data.Dense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, _, compute := rep.Shares()
+	if comm > 0.02 {
+		t.Fatalf("collinear-list comm share %f should be negligible", comm)
+	}
+	if compute < 0.5 {
+		t.Fatalf("collinear-list compute share %f should dominate", compute)
+	}
+}
+
+func TestAblationFlags(t *testing.T) {
+	if raceEnabled {
+		t.Skip("calibration-sensitive: -race distorts measured gzip economics")
+	}
+	cal := testCal(t)
+	base, err := cal.Predict(paperScenario(kernels.GEMM, 256, data.Dense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without Algorithm 1 tiling: one task per iteration, far more JNI
+	// crossings and dispatch => slower.
+	noTiling := paperScenario(kernels.GEMM, 256, data.Dense)
+	noTiling.DisableTiling = true
+	nt, err := cal.Predict(noTiling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt.Total() <= base.Total() {
+		t.Fatalf("untiled run %v should be slower than tiled %v", nt.Total(), base.Total())
+	}
+	// Without compression: sparse inputs lose their discount.
+	noComp := paperScenario(kernels.GEMM, 64, data.Sparse)
+	noComp.DisableCompression = true
+	nc, err := cal.Predict(noComp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := cal.Predict(paperScenario(kernels.GEMM, 64, data.Sparse))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc.HostTargetComm() <= comp.HostTargetComm() {
+		t.Fatal("disabling compression should inflate sparse communication")
+	}
+	// Star broadcast costs at least as much as BitTorrent.
+	star := paperScenario(kernels.SYRK, 256, data.Dense)
+	star.StarBroadcast = true
+	sb, err := cal.Predict(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := cal.Predict(paperScenario(kernels.SYRK, 256, data.Dense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Phases[trace.PhaseSpark] < bt.Phases[trace.PhaseSpark] {
+		t.Fatal("star broadcast should not beat BitTorrent")
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	cal := testCal(t)
+	if _, err := cal.Predict(Scenario{Bench: kernels.GEMM, Workers: 0, CoresPerWorker: 4}); err == nil {
+		t.Fatal("invalid topology should error")
+	}
+	unknown := &kernels.Benchmark{Name: "mystery", Ops: func(int) float64 { return 1 }, PaperN: 8}
+	if _, err := cal.Predict(Scenario{Bench: unknown, Workers: 1, CoresPerWorker: 1}); err == nil {
+		t.Fatal("uncalibrated benchmark should error")
+	}
+}
+
+func TestRunOnDriverScenario(t *testing.T) {
+	cal := testCal(t)
+	laptop, err := cal.Predict(paperScenario(kernels.GEMM, 64, data.Dense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := paperScenario(kernels.GEMM, 64, data.Dense)
+	s.RunOnDriver = true
+	driver, err := cal.Predict(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if driver.HostTargetComm() >= laptop.HostTargetComm() {
+		t.Fatalf("driver comm %v should beat laptop %v",
+			driver.HostTargetComm(), laptop.HostTargetComm())
+	}
+	if driver.ComputeTime() != laptop.ComputeTime() {
+		t.Fatal("run-on-driver must not change computation")
+	}
+}

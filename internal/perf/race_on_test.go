@@ -1,0 +1,9 @@
+//go:build race
+
+package perf
+
+// raceEnabled flags that the race detector is instrumenting this build.
+// Calibration measures real gzip and kernel speeds; under -race those are
+// 10-20x slower, which honestly (but unhelpfully) shifts the modelled
+// compression economics, so ratio-sensitive assertions skip.
+const raceEnabled = true

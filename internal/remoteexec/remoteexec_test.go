@@ -1,0 +1,209 @@
+package remoteexec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"ompcloud/internal/data"
+	"ompcloud/internal/fatbin"
+)
+
+func testWorker(t *testing.T) (*Worker, *fatbin.Registry) {
+	t.Helper()
+	reg := fatbin.NewRegistry()
+	reg.Register("double", func(lo, hi int64, scalars []int64, in, out [][]byte) error {
+		a := data.Floats(in[0])
+		for i := range a {
+			data.PutFloat(out[0], i, 2*a[i])
+		}
+		return nil
+	})
+	reg.Register("panics", func(lo, hi int64, scalars []int64, in, out [][]byte) error {
+		panic("kernel exploded")
+	})
+	reg.Register("maxinit", func(lo, hi int64, scalars []int64, in, out [][]byte) error {
+		// Touch nothing: the response carries the initialization.
+		return nil
+	})
+	w, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w, reg
+}
+
+func TestRunTileRoundTrip(t *testing.T) {
+	w, _ := testWorker(t)
+	c, err := Dial(w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	in := data.Bytes([]float32{1, 2, 3})
+	outs, err := c.RunTile(&TileRequest{
+		Kernel: "double", Lo: 0, Hi: 3, Ins: [][]byte{in}, OutSizes: []int64{12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := data.Floats(outs[0])
+	if got[0] != 2 || got[1] != 4 || got[2] != 6 {
+		t.Fatalf("remote tile wrong: %v", got)
+	}
+	if w.Served() != 1 {
+		t.Fatalf("Served = %d", w.Served())
+	}
+	if c.Addr() != w.Addr() {
+		t.Fatalf("Addr mismatch")
+	}
+}
+
+func TestRemoteErrorsSurface(t *testing.T) {
+	w, _ := testWorker(t)
+	c, err := Dial(w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Missing kernel.
+	if _, err := c.RunTile(&TileRequest{Kernel: "nope", Hi: 1}); err == nil ||
+		!strings.Contains(err.Error(), "not found") {
+		t.Fatalf("missing kernel: %v", err)
+	}
+	// Panicking kernel becomes an error; worker survives.
+	if _, err := c.RunTile(&TileRequest{Kernel: "panics", Hi: 1}); err == nil ||
+		!strings.Contains(err.Error(), "kernel panic") {
+		t.Fatalf("panic: %v", err)
+	}
+	// Negative output size rejected.
+	if _, err := c.RunTile(&TileRequest{Kernel: "double", Hi: 1, OutSizes: []int64{-1}}); err == nil {
+		t.Fatal("negative size should error")
+	}
+	// The connection still works after application errors.
+	in := data.Bytes([]float32{5})
+	outs, err := c.RunTile(&TileRequest{
+		Kernel: "double", Lo: 0, Hi: 1, Ins: [][]byte{in}, OutSizes: []int64{4},
+	})
+	if err != nil || data.GetFloat(outs[0], 0) != 10 {
+		t.Fatalf("post-error request failed: %v", err)
+	}
+}
+
+func TestMaxInitIdentity(t *testing.T) {
+	w, _ := testWorker(t)
+	c, err := Dial(w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	outs, err := c.RunTile(&TileRequest{
+		Kernel: "maxinit", Hi: 1, OutSizes: []int64{8}, OutInit: []byte{InitNegInfF},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := data.Floats(outs[0])
+	if got[0] != -1e38 || got[1] != -1e38 {
+		t.Fatalf("max identity not applied: %v", got)
+	}
+}
+
+func TestPoolAffinityAndConcurrency(t *testing.T) {
+	w1, _ := testWorker(t)
+	w2, _ := testWorker(t)
+	pool, err := NewPool([]string{w1.Addr(), w2.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if pool.Size() != 2 {
+		t.Fatalf("Size = %d", pool.Size())
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in := data.Bytes([]float32{float32(i)})
+			outs, err := pool.Run(i, &TileRequest{
+				Kernel: "double", Lo: 0, Hi: 1, Ins: [][]byte{in}, OutSizes: []int64{4},
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if got := data.GetFloat(outs[0], 0); got != float32(2*i) {
+				errCh <- fmt.Errorf("tile %d: got %v", i, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	// Affinity split the load across both workers.
+	if w1.Served() == 0 || w2.Served() == 0 {
+		t.Fatalf("load not balanced: %d / %d", w1.Served(), w2.Served())
+	}
+	if w1.Served()+w2.Served() != 16 {
+		t.Fatalf("tiles lost: %d + %d", w1.Served(), w2.Served())
+	}
+}
+
+func TestPoolHealthAndFailures(t *testing.T) {
+	w, _ := testWorker(t)
+	pool, err := NewPool([]string{w.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if !pool.Healthy() {
+		t.Fatal("live worker should be healthy")
+	}
+	w.Close()
+	if pool.Healthy() {
+		t.Fatal("dead worker should be unhealthy")
+	}
+	if _, err := pool.Run(0, &TileRequest{Kernel: "double", Hi: 1}); err == nil {
+		t.Fatal("run against dead worker should error")
+	}
+}
+
+func TestNewPoolErrors(t *testing.T) {
+	if _, err := NewPool(nil); err == nil {
+		t.Fatal("empty pool should error")
+	}
+	if _, err := NewPool([]string{"127.0.0.1:1"}); err == nil {
+		t.Fatal("unreachable worker should error")
+	}
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port should error")
+	}
+}
+
+func TestServeDefaultRegistry(t *testing.T) {
+	w, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c, err := Dial(w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The default registry has no "double"; a clean application error
+	// proves the round trip against fatbin.Default.
+	if _, err := c.RunTile(&TileRequest{Kernel: "remoteexec-test-missing", Hi: 1}); err == nil ||
+		!strings.Contains(err.Error(), "not found") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package simtime provides a deterministic virtual-time foundation for the
+// OmpCloud cluster simulator.
+//
+// The reproduction cannot rent a 17-node EC2 cluster, so every duration the
+// benchmark harness reports is virtual: components account the time an
+// operation *would* take (from calibrated cost models or from real measured
+// task execution) onto a Timeline, and a list scheduler computes makespans
+// over any number of simulated cores. Wall-clock time of the host machine
+// never leaks into reported results.
+package simtime
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Duration is a virtual duration. It is a distinct type from time.Duration so
+// that accidental mixing of wall-clock and virtual time fails to compile.
+type Duration int64
+
+// Common virtual duration units, mirroring the time package.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// FromReal converts a measured wall-clock duration into virtual time.
+// Negative measurements (clock skew) clamp to zero.
+func FromReal(d time.Duration) Duration {
+	if d < 0 {
+		return 0
+	}
+	return Duration(d)
+}
+
+// Real converts a virtual duration to a time.Duration for formatting.
+func (d Duration) Real() time.Duration { return time.Duration(d) }
+
+// Seconds reports the duration in seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// String formats the duration like time.Duration.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// FromSeconds builds a virtual duration from (possibly fractional) seconds.
+// Negative and NaN inputs clamp to zero.
+func FromSeconds(s float64) Duration {
+	if !(s > 0) {
+		return 0
+	}
+	return Duration(s * float64(Second))
+}
+
+// Clock is a monotonically advancing virtual clock.
+type Clock struct {
+	now Duration
+}
+
+// Now reports the current virtual time (as elapsed since the clock origin).
+func (c *Clock) Now() Duration { return c.now }
+
+// Advance moves the clock forward by d. Advancing by a negative duration is
+// a programming error and panics: virtual time never runs backwards.
+func (c *Clock) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative advance %v", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock to t if t is in the future; it is a no-op when t
+// is in the past (two parallel activities may both try to push the clock).
+func (c *Clock) AdvanceTo(t Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Makespan computes the completion time of scheduling tasks with the given
+// durations onto n identical cores using a greedy list scheduler (tasks are
+// assigned, in order, to the earliest-available core). This is how the Spark
+// executor pool of the paper's cluster (W workers x 16 cores) is simulated.
+//
+// The input order is the dispatch order; Spark dispatches partitions in index
+// order, so the caller should not sort. n must be >= 1.
+func Makespan(durations []Duration, n int) Duration {
+	if n < 1 {
+		panic("simtime: Makespan needs at least one core")
+	}
+	if len(durations) == 0 {
+		return 0
+	}
+	if n > len(durations) {
+		n = len(durations)
+	}
+	cores := make([]Duration, n)
+	for _, d := range durations {
+		// Find the earliest-available core. n is small (<= a few
+		// hundred simulated cores), so a linear scan is fine and
+		// avoids heap bookkeeping.
+		best := 0
+		for i := 1; i < len(cores); i++ {
+			if cores[i] < cores[best] {
+				best = i
+			}
+		}
+		cores[best] += d
+	}
+	var max Duration
+	for _, c := range cores {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// MakespanStaggered is Makespan with a fixed dispatch interval: task k cannot
+// start before k*dispatch, modelling a driver that launches tasks serially.
+// This is what makes scheduling overhead grow with the task count, a central
+// effect in the paper's Figure 4/5 analysis.
+func MakespanStaggered(durations []Duration, n int, dispatch Duration) Duration {
+	if n < 1 {
+		panic("simtime: MakespanStaggered needs at least one core")
+	}
+	if len(durations) == 0 {
+		return 0
+	}
+	if n > len(durations) {
+		n = len(durations)
+	}
+	cores := make([]Duration, n)
+	var finish Duration
+	for k, d := range durations {
+		release := Duration(k) * dispatch
+		best := 0
+		for i := 1; i < len(cores); i++ {
+			if cores[i] < cores[best] {
+				best = i
+			}
+		}
+		start := cores[best]
+		if release > start {
+			start = release
+		}
+		cores[best] = start + d
+		if cores[best] > finish {
+			finish = cores[best]
+		}
+	}
+	return finish
+}
+
+// Span is a named interval on a Timeline.
+type Span struct {
+	Name  string
+	Start Duration
+	End   Duration
+}
+
+// Len reports the span length.
+func (s Span) Len() Duration { return s.End - s.Start }
+
+// Timeline records named, possibly overlapping virtual-time spans. It is the
+// accounting substrate behind the trace package's phase breakdowns.
+type Timeline struct {
+	spans []Span
+}
+
+// Add records a span. End < start panics.
+func (t *Timeline) Add(name string, start, end Duration) {
+	if end < start {
+		panic(fmt.Sprintf("simtime: span %q ends before it starts", name))
+	}
+	t.spans = append(t.spans, Span{Name: name, Start: start, End: end})
+}
+
+// Spans returns the recorded spans sorted by start time (stable on ties).
+func (t *Timeline) Spans() []Span {
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Total sums the lengths of every span with the given name.
+func (t *Timeline) Total(name string) Duration {
+	var sum Duration
+	for _, s := range t.spans {
+		if s.Name == name {
+			sum += s.Len()
+		}
+	}
+	return sum
+}
+
+// End reports the latest span end, i.e. the timeline's horizon.
+func (t *Timeline) End() Duration {
+	var end Duration
+	for _, s := range t.spans {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return end
+}

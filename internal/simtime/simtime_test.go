@@ -1,0 +1,222 @@
+package simtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDurationConversions(t *testing.T) {
+	if got := FromReal(1500 * time.Millisecond); got != 1500*Millisecond {
+		t.Fatalf("FromReal = %v", got)
+	}
+	if got := FromReal(-time.Second); got != 0 {
+		t.Fatalf("negative FromReal should clamp, got %v", got)
+	}
+	if got := FromSeconds(2.5); got != 2500*Millisecond {
+		t.Fatalf("FromSeconds(2.5) = %v", got)
+	}
+	if got := FromSeconds(-1); got != 0 {
+		t.Fatalf("FromSeconds(-1) = %v", got)
+	}
+	if got := (3 * Second).Seconds(); got != 3.0 {
+		t.Fatalf("Seconds = %v", got)
+	}
+	if (90 * Second).String() != "1m30s" {
+		t.Fatalf("String = %q", (90 * Second).String())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(10 * Second)
+	if c.Now() != 10*Second {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.AdvanceTo(5 * Second) // past: no-op
+	if c.Now() != 10*Second {
+		t.Fatalf("AdvanceTo past moved the clock: %v", c.Now())
+	}
+	c.AdvanceTo(12 * Second)
+	if c.Now() != 12*Second {
+		t.Fatalf("AdvanceTo future = %v", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative advance")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestMakespanSingleCoreIsSum(t *testing.T) {
+	d := []Duration{3 * Second, 1 * Second, 2 * Second}
+	if got := Makespan(d, 1); got != 6*Second {
+		t.Fatalf("1-core makespan = %v, want 6s", got)
+	}
+}
+
+func TestMakespanPerfectSplit(t *testing.T) {
+	d := []Duration{Second, Second, Second, Second}
+	if got := Makespan(d, 4); got != Second {
+		t.Fatalf("4-core makespan of 4x1s = %v, want 1s", got)
+	}
+	if got := Makespan(d, 2); got != 2*Second {
+		t.Fatalf("2-core makespan = %v, want 2s", got)
+	}
+}
+
+func TestMakespanMoreCoresThanTasks(t *testing.T) {
+	d := []Duration{5 * Second, 2 * Second}
+	if got := Makespan(d, 100); got != 5*Second {
+		t.Fatalf("makespan = %v, want longest task 5s", got)
+	}
+}
+
+func TestMakespanEmpty(t *testing.T) {
+	if got := Makespan(nil, 8); got != 0 {
+		t.Fatalf("empty makespan = %v", got)
+	}
+}
+
+func TestMakespanInvalidCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	Makespan([]Duration{Second}, 0)
+}
+
+// Property: makespan is bounded below by both the critical path (longest
+// task) and the perfectly balanced division, and above by the serial sum.
+func TestMakespanBoundsProperty(t *testing.T) {
+	f := func(raw []uint32, ncores uint8) bool {
+		n := int(ncores%64) + 1
+		durations := make([]Duration, len(raw))
+		var sum, longest Duration
+		for i, r := range raw {
+			d := Duration(r % 1e6)
+			durations[i] = d
+			sum += d
+			if d > longest {
+				longest = d
+			}
+		}
+		ms := Makespan(durations, n)
+		if ms > sum {
+			return false
+		}
+		if ms < longest {
+			return false
+		}
+		lower := sum / Duration(n)
+		return ms >= lower
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding cores never makes the greedy makespan worse for equal-
+// length tasks (the Spark case after tiling: tiles are near-uniform).
+func TestMakespanMonotoneUniformTasks(t *testing.T) {
+	f := func(nTasks uint8, unit uint16) bool {
+		tasks := make([]Duration, int(nTasks)+1)
+		for i := range tasks {
+			tasks[i] = Duration(unit) + 1
+		}
+		prev := Makespan(tasks, 1)
+		for n := 2; n <= 32; n *= 2 {
+			cur := Makespan(tasks, n)
+			if cur > prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakespanStaggeredDispatchDominates(t *testing.T) {
+	// 100 tiny tasks with a 10ms dispatch interval: the driver is the
+	// bottleneck, finish ~= 99*10ms + task.
+	tasks := make([]Duration, 100)
+	for i := range tasks {
+		tasks[i] = Millisecond
+	}
+	got := MakespanStaggered(tasks, 64, 10*Millisecond)
+	want := 99*10*Millisecond + Millisecond
+	if got != want {
+		t.Fatalf("staggered makespan = %v, want %v", got, want)
+	}
+}
+
+func TestMakespanStaggeredZeroDispatchEqualsMakespan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tasks := make([]Duration, 37)
+	for i := range tasks {
+		tasks[i] = Duration(rng.Intn(1e6))
+	}
+	for _, n := range []int{1, 3, 8, 64} {
+		if a, b := Makespan(tasks, n), MakespanStaggered(tasks, n, 0); a != b {
+			t.Fatalf("n=%d: Makespan=%v MakespanStaggered=%v", n, a, b)
+		}
+	}
+}
+
+func TestMakespanStaggeredEmptyAndPanic(t *testing.T) {
+	if got := MakespanStaggered(nil, 4, Millisecond); got != 0 {
+		t.Fatalf("empty staggered makespan = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	MakespanStaggered([]Duration{Second}, 0, 0)
+}
+
+func TestTimelineAccounting(t *testing.T) {
+	var tl Timeline
+	tl.Add("upload", 0, 2*Second)
+	tl.Add("compute", 2*Second, 10*Second)
+	tl.Add("upload", 10*Second, 11*Second)
+	if got := tl.Total("upload"); got != 3*Second {
+		t.Fatalf("Total(upload) = %v", got)
+	}
+	if got := tl.Total("compute"); got != 8*Second {
+		t.Fatalf("Total(compute) = %v", got)
+	}
+	if got := tl.Total("missing"); got != 0 {
+		t.Fatalf("Total(missing) = %v", got)
+	}
+	if got := tl.End(); got != 11*Second {
+		t.Fatalf("End = %v", got)
+	}
+	spans := tl.Spans()
+	if len(spans) != 3 || spans[0].Name != "upload" || spans[1].Name != "compute" {
+		t.Fatalf("Spans order wrong: %+v", spans)
+	}
+	if spans[1].Len() != 8*Second {
+		t.Fatalf("span len = %v", spans[1].Len())
+	}
+}
+
+func TestTimelineBadSpanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inverted span")
+		}
+	}()
+	var tl Timeline
+	tl.Add("x", 2*Second, Second)
+}

@@ -1,0 +1,79 @@
+package spark
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Broadcast is a read-only variable replicated to every worker, Spark's
+// mechanism for the non-partitioned inputs of the OmpCloud job: "each worker
+// node will receive a full copy of B ... the communication overhead will be
+// limited by the efficiency of BitTorrent protocol used by Spark to
+// broadcast variables" (§III.B).
+//
+// In-process workers share the value by pointer, so the engine charges no
+// real copy; the declared byte size feeds the netsim BitTorrent cost model
+// through the broadcast registry.
+type Broadcast[T any] struct {
+	id    int
+	value T
+	size  int64
+	reads atomic.Int64
+}
+
+// Value returns the broadcast value. Workers must treat it as immutable.
+func (b *Broadcast[T]) Value() T {
+	b.reads.Add(1)
+	return b.value
+}
+
+// ID reports the broadcast's registry identifier.
+func (b *Broadcast[T]) ID() int { return b.id }
+
+// SizeBytes reports the declared serialized size.
+func (b *Broadcast[T]) SizeBytes() int64 { return b.size }
+
+// Reads reports how many times workers dereferenced the value.
+func (b *Broadcast[T]) Reads() int64 { return b.reads.Load() }
+
+// broadcastRegistry tracks per-context broadcast sizes for accounting.
+// It lives outside Context to keep Context free of type parameters.
+type broadcastRegistry struct {
+	mu    sync.Mutex
+	next  int
+	sizes map[int]int64
+}
+
+var registries sync.Map // *Context -> *broadcastRegistry
+
+func registryFor(ctx *Context) *broadcastRegistry {
+	if v, ok := registries.Load(ctx); ok {
+		return v.(*broadcastRegistry)
+	}
+	v, _ := registries.LoadOrStore(ctx, &broadcastRegistry{sizes: make(map[int]int64)})
+	return v.(*broadcastRegistry)
+}
+
+// NewBroadcast registers value for replication to the workers. sizeBytes is
+// the serialized size used for network cost accounting (the engine cannot
+// introspect arbitrary T cheaply).
+func NewBroadcast[T any](ctx *Context, value T, sizeBytes int64) *Broadcast[T] {
+	reg := registryFor(ctx)
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	reg.next++
+	reg.sizes[reg.next] = sizeBytes
+	return &Broadcast[T]{id: reg.next, value: value, size: sizeBytes}
+}
+
+// BroadcastBytes reports the total declared bytes broadcast on this context.
+func BroadcastBytes(ctx *Context) int64 {
+	reg := registryFor(ctx)
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	var sum int64
+	for _, s := range reg.sizes {
+		sum += s
+	}
+	return sum
+}

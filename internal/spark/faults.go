@@ -1,0 +1,68 @@
+package spark
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FaultInjector lets tests and chaos benches make task attempts fail.
+// BeforeTask runs on the executor just before an attempt; returning a
+// non-nil error fails that attempt, after which the scheduler retries per
+// the lineage model.
+type FaultInjector interface {
+	BeforeTask(job, partition, attempt, worker int) error
+}
+
+// FaultFunc adapts a function to a FaultInjector.
+type FaultFunc func(job, partition, attempt, worker int) error
+
+// BeforeTask implements FaultInjector.
+func (f FaultFunc) BeforeTask(job, partition, attempt, worker int) error {
+	return f(job, partition, attempt, worker)
+}
+
+// FailPartitionAttempts builds an injector failing the first n attempts of
+// the given partition in every job: the classic transient-executor-fault
+// scenario exercising retry and reassignment.
+func FailPartitionAttempts(partition, n int) FaultInjector {
+	return FaultFunc(func(_, p, attempt, _ int) error {
+		if p == partition && attempt < n {
+			return fmt.Errorf("injected fault on partition %d attempt %d", p, attempt)
+		}
+		return nil
+	})
+}
+
+// FailWorkerAlways builds an injector failing every attempt scheduled onto
+// the given worker, regardless of blacklist state.
+func FailWorkerAlways(worker int) FaultInjector {
+	return FaultFunc(func(_, _, _, w int) error {
+		if w == worker {
+			return fmt.Errorf("injected fault on worker %d", w)
+		}
+		return nil
+	})
+}
+
+// FlakyEveryNth fails every nth attempt globally (counting across tasks),
+// deterministic chaos for soak tests.
+type FlakyEveryNth struct {
+	N int
+
+	mu    sync.Mutex
+	count int
+}
+
+// BeforeTask implements FaultInjector.
+func (f *FlakyEveryNth) BeforeTask(job, partition, attempt, worker int) error {
+	if f.N <= 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.count++
+	if f.count%f.N == 0 {
+		return fmt.Errorf("injected flaky fault #%d (job %d partition %d)", f.count, job, partition)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package spark
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+
+	"cmp"
+)
+
+// Distinct removes duplicate elements (comparable element types), keeping
+// hash partitioning with numPartitions output partitions. Like the shuffle
+// operations, deduplication is driver-mediated.
+func Distinct[T comparable](r *RDD[T], numPartitions int) (*RDD[T], error) {
+	if numPartitions < 1 {
+		return nil, fmt.Errorf("spark: distinct needs >= 1 partition, got %d", numPartitions)
+	}
+	// Map-side dedup first, so at most one copy per value per partition
+	// crosses the shuffle.
+	local := MapPartitions(r, func(_ int, items []T) ([]T, error) {
+		seen := make(map[T]struct{}, len(items))
+		out := items[:0:0]
+		for _, v := range items {
+			if _, dup := seen[v]; !dup {
+				seen[v] = struct{}{}
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	})
+	parts, _, err := runJob(local)
+	if err != nil {
+		return nil, fmt.Errorf("spark: distinct: %w", err)
+	}
+	buckets := make([]map[T]struct{}, numPartitions)
+	for i := range buckets {
+		buckets[i] = make(map[T]struct{})
+	}
+	for _, part := range parts {
+		for _, v := range part {
+			b := hashPartition(v, numPartitions)
+			buckets[b][v] = struct{}{}
+		}
+	}
+	snapshot := make([][]T, numPartitions)
+	for p, b := range buckets {
+		vals := make([]T, 0, len(b))
+		for v := range b {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(i, j int) bool {
+			return fmt.Sprint(vals[i]) < fmt.Sprint(vals[j])
+		})
+		snapshot[p] = vals
+	}
+	return &RDD[T]{
+		ctx:           r.ctx,
+		name:          fmt.Sprintf("distinct(%s, %d parts)", r.name, numPartitions),
+		numPartitions: numPartitions,
+		compute: func(p int) ([]T, error) {
+			out := make([]T, len(snapshot[p]))
+			copy(out, snapshot[p])
+			return out, nil
+		},
+	}, nil
+}
+
+// Sample keeps roughly fraction of the elements, deterministically for a
+// given seed (element-position hashing, so re-computation after a task
+// failure selects the same subset — a requirement lineage imposes that a
+// naive RNG would violate).
+func Sample[T any](r *RDD[T], fraction float64, seed uint64) (*RDD[T], error) {
+	if fraction < 0 || fraction > 1 {
+		return nil, fmt.Errorf("spark: sample fraction %v out of [0, 1]", fraction)
+	}
+	threshold := uint64(fraction * float64(^uint64(0)>>1))
+	var mseed maphash.Seed
+	// Derive a deterministic maphash seed from the caller's seed by
+	// hashing within a fixed process seed; determinism within a process
+	// is what lineage needs.
+	mseed = shuffleSeed
+	return &RDD[T]{
+		ctx:           r.ctx,
+		name:          fmt.Sprintf("sample(%s, %v)", r.name, fraction),
+		numPartitions: r.numPartitions,
+		compute: func(p int) ([]T, error) {
+			in, err := r.compute(p)
+			if err != nil {
+				return nil, err
+			}
+			var out []T
+			for i, v := range in {
+				key := [3]uint64{seed, uint64(p), uint64(i)}
+				h := maphash.Comparable(mseed, key) >> 1
+				if h <= threshold {
+					out = append(out, v)
+				}
+			}
+			return out, nil
+		},
+	}, nil
+}
+
+// SortByKey globally sorts key-value pairs by key into numPartitions range
+// partitions (partition i holds keys strictly below partition i+1's).
+// Driver-mediated, like the other shuffles.
+func SortByKey[K cmp.Ordered, V any](r *RDD[KV[K, V]], numPartitions int) (*RDD[KV[K, V]], error) {
+	if numPartitions < 1 {
+		return nil, fmt.Errorf("spark: sortByKey needs >= 1 partition, got %d", numPartitions)
+	}
+	parts, _, err := runJob(r)
+	if err != nil {
+		return nil, fmt.Errorf("spark: sortByKey: %w", err)
+	}
+	var all []KV[K, V]
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	// Contiguous range partitions of near-equal size.
+	snapshot := make([][]KV[K, V], numPartitions)
+	for p := 0; p < numPartitions; p++ {
+		lo, hi := PartitionRange(len(all), numPartitions, p)
+		part := make([]KV[K, V], hi-lo)
+		copy(part, all[lo:hi])
+		snapshot[p] = part
+	}
+	return &RDD[KV[K, V]]{
+		ctx:           r.ctx,
+		name:          fmt.Sprintf("sortByKey(%s, %d parts)", r.name, numPartitions),
+		numPartitions: numPartitions,
+		compute: func(p int) ([]KV[K, V], error) {
+			out := make([]KV[K, V], len(snapshot[p]))
+			copy(out, snapshot[p])
+			return out, nil
+		},
+	}, nil
+}

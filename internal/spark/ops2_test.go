@@ -1,0 +1,214 @@
+package spark
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistinct(t *testing.T) {
+	ctx := testContext(t, 2, 2)
+	r, _ := Range(ctx, 100, 8)
+	mod := Map(r, func(v int64) (int64, error) { return v % 7, nil })
+	d, err := Distinct(mod, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := d.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("distinct = %v", got)
+	}
+	seen := map[int64]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate %d survived", v)
+		}
+		seen[v] = true
+	}
+	if _, err := Distinct(mod, 0); err == nil {
+		t.Fatal("0 partitions should error")
+	}
+}
+
+// Property: Distinct preserves exactly the set of values.
+func TestDistinctProperty(t *testing.T) {
+	ctx := testContext(t, 2, 2)
+	f := func(items []uint8, partsRaw uint8) bool {
+		parts := int(partsRaw%5) + 1
+		r, err := Parallelize(ctx, items, parts)
+		if err != nil {
+			return false
+		}
+		d, err := Distinct(r, parts)
+		if err != nil {
+			return false
+		}
+		got, _, err := d.Collect()
+		if err != nil {
+			return false
+		}
+		want := map[uint8]bool{}
+		for _, v := range items {
+			want[v] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, v := range got {
+			if !want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleDeterministicAndProportional(t *testing.T) {
+	ctx := testContext(t, 2, 2)
+	r, _ := Range(ctx, 10_000, 8)
+	s, err := Sample(r, 0.25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := s.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := s.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sample not deterministic: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sample contents differ between jobs")
+		}
+	}
+	frac := float64(len(a)) / 10_000
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("sampled fraction %f, want ~0.25", frac)
+	}
+	// Different seeds select different subsets.
+	s2, _ := Sample(r, 0.25, 43)
+	c, _, err := s2.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(c) == len(a)
+	if same {
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical samples")
+	}
+	// Bounds.
+	if _, err := Sample(r, -0.1, 1); err == nil {
+		t.Fatal("negative fraction should error")
+	}
+	if _, err := Sample(r, 1.1, 1); err == nil {
+		t.Fatal("fraction > 1 should error")
+	}
+	empty, _ := Sample(r, 0, 1)
+	n, _, err := empty.Count()
+	if err != nil || n != 0 {
+		t.Fatalf("zero fraction sampled %d", n)
+	}
+	all, _ := Sample(r, 1, 1)
+	n, _, err = all.Count()
+	if err != nil || n != 10_000 {
+		t.Fatalf("full fraction sampled %d", n)
+	}
+}
+
+func TestSortByKey(t *testing.T) {
+	ctx := testContext(t, 2, 2)
+	r, _ := Range(ctx, 500, 8)
+	pairs := Map(r, func(v int64) (KV[int64, int64], error) {
+		return KV[int64, int64]{Key: (v * 7919) % 501, Value: v}, nil
+	})
+	sorted, err := SortByKey(pairs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.NumPartitions() != 4 {
+		t.Fatalf("partitions = %d", sorted.NumPartitions())
+	}
+	got, _, err := sorted.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Key < got[j].Key }) {
+		t.Fatal("not globally sorted")
+	}
+	if _, err := SortByKey(pairs, 0); err == nil {
+		t.Fatal("0 partitions should error")
+	}
+}
+
+// Property: SortByKey is a permutation of the input, globally ordered, with
+// range-partitioned output (every key in partition p <= every key in p+1).
+func TestSortByKeyProperty(t *testing.T) {
+	ctx := testContext(t, 2, 2)
+	f := func(keys []int16, partsRaw uint8) bool {
+		parts := int(partsRaw%5) + 1
+		pairs := make([]KV[int16, int], len(keys))
+		for i, k := range keys {
+			pairs[i] = KV[int16, int]{Key: k, Value: i}
+		}
+		r, err := Parallelize(ctx, pairs, parts)
+		if err != nil {
+			return false
+		}
+		sorted, err := SortByKey(r, parts)
+		if err != nil {
+			return false
+		}
+		gotParts, _, err := sorted.CollectPartitions()
+		if err != nil {
+			return false
+		}
+		var flat []KV[int16, int]
+		var prevMax int16 = -32768
+		for _, p := range gotParts {
+			for _, kv := range p {
+				if kv.Key < prevMax {
+					return false // range partitioning violated
+				}
+			}
+			if len(p) > 0 {
+				prevMax = p[len(p)-1].Key
+			}
+			flat = append(flat, p...)
+		}
+		if len(flat) != len(keys) {
+			return false
+		}
+		wantKeys := append([]int16(nil), keys...)
+		sort.Slice(wantKeys, func(i, j int) bool { return wantKeys[i] < wantKeys[j] })
+		for i := range flat {
+			if flat[i].Key != wantKeys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

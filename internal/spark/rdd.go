@@ -1,0 +1,258 @@
+package spark
+
+import (
+	"fmt"
+)
+
+// RDD is a Resilient Distributed Dataset: an immutable, partitioned
+// collection described by its lineage. A partition's contents are never
+// stored by the engine; they are (re)computed on demand from the
+// deterministic compute function, which is exactly what makes lineage-based
+// fault tolerance work (Zaharia et al., cited by the paper as [16]).
+type RDD[T any] struct {
+	ctx           *Context
+	name          string
+	numPartitions int
+	// compute materializes one partition. It must be deterministic and
+	// side-effect free: the scheduler may call it again on another worker
+	// after a failure.
+	compute func(p int) ([]T, error)
+}
+
+// Context reports the owning context.
+func (r *RDD[T]) Context() *Context { return r.ctx }
+
+// Name reports the lineage description, e.g. "map(range(16))".
+func (r *RDD[T]) Name() string { return r.name }
+
+// NumPartitions reports the partition count.
+func (r *RDD[T]) NumPartitions() int { return r.numPartitions }
+
+// Parallelize distributes an in-memory slice into numPartitions contiguous
+// blocks (Eq. 3 of the paper: partition w holds indices
+// [w*floor(N/W), (w+1)*floor(N/W)) with the remainder spread over the first
+// partitions so sizes differ by at most one).
+func Parallelize[T any](ctx *Context, items []T, numPartitions int) (*RDD[T], error) {
+	if numPartitions < 1 {
+		return nil, fmt.Errorf("spark: numPartitions must be >= 1, got %d", numPartitions)
+	}
+	// Copy so later caller mutation cannot break lineage determinism.
+	snapshot := make([]T, len(items))
+	copy(snapshot, items)
+	n := len(snapshot)
+	return &RDD[T]{
+		ctx:           ctx,
+		name:          fmt.Sprintf("parallelize(%d items, %d parts)", n, numPartitions),
+		numPartitions: numPartitions,
+		compute: func(p int) ([]T, error) {
+			lo, hi := PartitionRange(n, numPartitions, p)
+			out := make([]T, hi-lo)
+			copy(out, snapshot[lo:hi])
+			return out, nil
+		},
+	}, nil
+}
+
+// Range builds the RDD of loop-index values {0, ..., n-1} — RDD_IN's index
+// component in Eq. 1 — split into numPartitions blocks.
+func Range(ctx *Context, n int64, numPartitions int) (*RDD[int64], error) {
+	if n < 0 {
+		return nil, fmt.Errorf("spark: negative range %d", n)
+	}
+	if numPartitions < 1 {
+		return nil, fmt.Errorf("spark: numPartitions must be >= 1, got %d", numPartitions)
+	}
+	return &RDD[int64]{
+		ctx:           ctx,
+		name:          fmt.Sprintf("range(%d, %d parts)", n, numPartitions),
+		numPartitions: numPartitions,
+		compute: func(p int) ([]int64, error) {
+			lo, hi := PartitionRange(int(n), numPartitions, p)
+			out := make([]int64, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				out = append(out, int64(i))
+			}
+			return out, nil
+		},
+	}, nil
+}
+
+// PartitionRange reports the half-open index interval [lo, hi) owned by
+// partition p when n items are split into parts blocks. The split is the
+// paper's equal division with the remainder going to the leading partitions,
+// so every index belongs to exactly one partition and sizes differ by at
+// most one.
+func PartitionRange(n, parts, p int) (lo, hi int) {
+	if parts < 1 || p < 0 || p >= parts {
+		panic(fmt.Sprintf("spark: bad partition %d of %d", p, parts))
+	}
+	if n < 0 {
+		panic("spark: negative n")
+	}
+	base := n / parts
+	rem := n % parts
+	if p < rem {
+		lo = p * (base + 1)
+		hi = lo + base + 1
+		return lo, hi
+	}
+	lo = rem*(base+1) + (p-rem)*base
+	hi = lo + base
+	return lo, hi
+}
+
+// Map applies f to every element, preserving partitioning. It is a free
+// function because Go methods cannot introduce new type parameters.
+func Map[T, U any](r *RDD[T], f func(T) (U, error)) *RDD[U] {
+	return &RDD[U]{
+		ctx:           r.ctx,
+		name:          fmt.Sprintf("map(%s)", r.name),
+		numPartitions: r.numPartitions,
+		compute: func(p int) ([]U, error) {
+			in, err := r.compute(p)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]U, len(in))
+			for i, v := range in {
+				u, err := f(v)
+				if err != nil {
+					return nil, fmt.Errorf("spark: map: %w", err)
+				}
+				out[i] = u
+			}
+			return out, nil
+		},
+	}
+}
+
+// MapPartitions applies f to each whole partition. The OmpCloud job uses it
+// to run the tiled loop body once per partition (one JNI call per tile,
+// Algorithm 1).
+func MapPartitions[T, U any](r *RDD[T], f func(p int, items []T) ([]U, error)) *RDD[U] {
+	return &RDD[U]{
+		ctx:           r.ctx,
+		name:          fmt.Sprintf("mapPartitions(%s)", r.name),
+		numPartitions: r.numPartitions,
+		compute: func(p int) ([]U, error) {
+			in, err := r.compute(p)
+			if err != nil {
+				return nil, err
+			}
+			return f(p, in)
+		},
+	}
+}
+
+// Filter keeps the elements for which pred is true.
+func Filter[T any](r *RDD[T], pred func(T) bool) *RDD[T] {
+	return &RDD[T]{
+		ctx:           r.ctx,
+		name:          fmt.Sprintf("filter(%s)", r.name),
+		numPartitions: r.numPartitions,
+		compute: func(p int) ([]T, error) {
+			in, err := r.compute(p)
+			if err != nil {
+				return nil, err
+			}
+			var out []T
+			for _, v := range in {
+				if pred(v) {
+					out = append(out, v)
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
+// Collect materializes the RDD on the driver, partitions concatenated in
+// index order, and reports the job's virtual-time metrics.
+func (r *RDD[T]) Collect() ([]T, *JobMetrics, error) {
+	parts, jm, err := runJob(r)
+	if err != nil {
+		return nil, jm, err
+	}
+	var out []T
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, jm, nil
+}
+
+// CollectPartitions materializes the RDD keeping the partition structure.
+func (r *RDD[T]) CollectPartitions() ([][]T, *JobMetrics, error) {
+	return runJob(r)
+}
+
+// Reduce folds all elements with the associative, commutative op. The fold
+// happens per-partition on the workers, then across partial results on the
+// driver — the REDUCE of Eq. 8. Reducing an empty RDD is an error, as in
+// Spark.
+func (r *RDD[T]) Reduce(op func(a, b T) T) (T, *JobMetrics, error) {
+	var zero T
+	// Each partition folds to zero or one element; keeping the element
+	// type T avoids instantiating fresh generic types per reduce level.
+	partials := MapPartitions(r, func(_ int, items []T) ([]T, error) {
+		if len(items) == 0 {
+			return nil, nil
+		}
+		acc := items[0]
+		for _, v := range items[1:] {
+			acc = op(acc, v)
+		}
+		return []T{acc}, nil
+	})
+	parts, jm, err := runJob(partials)
+	if err != nil {
+		return zero, jm, err
+	}
+	var acc T
+	seen := false
+	for _, p := range parts {
+		for _, v := range p {
+			if !seen {
+				acc, seen = v, true
+			} else {
+				acc = op(acc, v)
+			}
+		}
+	}
+	if !seen {
+		return zero, jm, fmt.Errorf("spark: reduce of empty RDD")
+	}
+	return acc, jm, nil
+}
+
+// Count reports the element count via a distributed job.
+func (r *RDD[T]) Count() (int64, *JobMetrics, error) {
+	counts := MapPartitions(r, func(_ int, items []T) ([]int64, error) {
+		return []int64{int64(len(items))}, nil
+	})
+	parts, jm, err := runJob(counts)
+	if err != nil {
+		return 0, jm, err
+	}
+	var n int64
+	for _, p := range parts {
+		for _, c := range p {
+			n += c
+		}
+	}
+	return n, jm, nil
+}
+
+// Foreach runs f on every element as a distributed action (side effects
+// only; f must be safe for concurrent use across partitions).
+func (r *RDD[T]) Foreach(f func(T) error) (*JobMetrics, error) {
+	marks := MapPartitions(r, func(_ int, items []T) ([]struct{}, error) {
+		for _, v := range items {
+			if err := f(v); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	_, jm, err := runJob(marks)
+	return jm, err
+}

@@ -1,0 +1,205 @@
+package spark
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ompcloud/internal/simtime"
+)
+
+// TaskMetrics describes one task's execution within a job.
+type TaskMetrics struct {
+	Partition int
+	Worker    int // worker that ran the successful attempt
+	Attempts  int
+	// Compute is the measured duration of the successful attempt — pure
+	// loop-body time, the "OmpCloud-computation" component.
+	Compute simtime.Duration
+	// Effective additionally includes failed attempts and retry latency;
+	// the virtual scheduler places this on the simulated cores.
+	Effective simtime.Duration
+}
+
+// JobMetrics aggregates one job (= one stage here: the OmpCloud jobs are
+// chains of narrow transformations, which Spark pipelines into single-stage
+// jobs).
+type JobMetrics struct {
+	JobID    int
+	NumTasks int
+	Tasks    []TaskMetrics
+	Failures int // failed attempts across all tasks
+
+	// Submit is the fixed job-submission cost.
+	Submit simtime.Duration
+	// ComputeMakespan is the virtual makespan of the pure compute
+	// durations on the simulated cores, with no scheduling costs.
+	ComputeMakespan simtime.Duration
+	// TotalMakespan is the virtual makespan including per-task dispatch
+	// staggering, failed attempts and retry latency.
+	TotalMakespan simtime.Duration
+}
+
+// Virtual reports the job's total virtual duration as observed by the
+// driver: submission plus the scheduled makespan.
+func (jm *JobMetrics) Virtual() simtime.Duration { return jm.Submit + jm.TotalMakespan }
+
+// SchedulingOverhead reports the virtual time lost to everything that is not
+// pure computation — the intra-cluster share of the paper's "Spark overhead".
+func (jm *JobMetrics) SchedulingOverhead() simtime.Duration {
+	return jm.Virtual() - jm.ComputeMakespan
+}
+
+// TotalCompute sums the pure compute time across tasks (the serial-
+// equivalent work the cluster performed).
+func (jm *JobMetrics) TotalCompute() simtime.Duration {
+	var sum simtime.Duration
+	for _, t := range jm.Tasks {
+		sum += t.Compute
+	}
+	return sum
+}
+
+// EngineMetrics accumulates across a Context's lifetime.
+type EngineMetrics struct {
+	JobsRun        int
+	TasksRun       int
+	AttemptsFailed int
+	ComputeTotal   simtime.Duration
+}
+
+// runJob executes one job: one task per partition, with per-task retry and
+// worker reassignment on failure, real execution on bounded machine-core
+// slots, and virtual-time accounting onto the simulated topology.
+func runJob[T any](r *RDD[T]) ([][]T, *JobMetrics, error) {
+	ctx := r.ctx
+	ctx.mu.Lock()
+	ctx.jobSeq++
+	jobID := ctx.jobSeq
+	ctx.mu.Unlock()
+
+	ctx.logf("spark: job %d: submitting %s (%d tasks on %d workers x %d cores)",
+		jobID, r.name, r.numPartitions, ctx.spec.Workers, ctx.spec.CoresPerWorker)
+
+	numTasks := r.numPartitions
+	results := make([][]T, numTasks)
+	jm := &JobMetrics{
+		JobID:    jobID,
+		NumTasks: numTasks,
+		Tasks:    make([]TaskMetrics, numTasks),
+		Submit:   ctx.costs.JobSubmit,
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for p := 0; p < numTasks; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			tm, out, err := runTask(ctx, r, jobID, p, numTasks)
+			mu.Lock()
+			defer mu.Unlock()
+			jm.Tasks[p] = tm
+			jm.Failures += tm.Attempts - 1
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			results[p] = out
+		}(p)
+	}
+	wg.Wait()
+
+	computeDurs := make([]simtime.Duration, numTasks)
+	effectiveDurs := make([]simtime.Duration, numTasks)
+	var computeTotal simtime.Duration
+	for p := range jm.Tasks {
+		computeDurs[p] = jm.Tasks[p].Compute
+		effectiveDurs[p] = jm.Tasks[p].Effective
+		computeTotal += jm.Tasks[p].Compute
+	}
+	cores := ctx.spec.TotalCores()
+	jm.ComputeMakespan = simtime.Makespan(computeDurs, cores)
+	jm.TotalMakespan = simtime.MakespanStaggered(effectiveDurs, cores, ctx.costs.TaskDispatch)
+
+	ctx.mu.Lock()
+	ctx.metrics.JobsRun++
+	ctx.metrics.TasksRun += numTasks
+	ctx.metrics.AttemptsFailed += jm.Failures
+	ctx.metrics.ComputeTotal += computeTotal
+	ctx.mu.Unlock()
+
+	if firstErr != nil {
+		ctx.logf("spark: job %d: FAILED: %v", jobID, firstErr)
+		return nil, jm, fmt.Errorf("spark: job %d failed: %w", jobID, firstErr)
+	}
+	ctx.logf("spark: job %d: finished (compute makespan %v, %d failed attempts)",
+		jobID, jm.ComputeMakespan.Real(), jm.Failures)
+	return results, jm, nil
+}
+
+// runTask runs one partition with retries. The returned TaskMetrics is
+// meaningful even on error (attempt counts for diagnostics).
+func runTask[T any](ctx *Context, r *RDD[T], jobID, p, numTasks int) (TaskMetrics, []T, error) {
+	tm := TaskMetrics{Partition: p}
+	assigned := ctx.PartitionWorker(p, numTasks)
+	var lastErr error
+	for attempt := 0; attempt <= ctx.maxRetries; attempt++ {
+		worker, err := ctx.nextWorker(assigned)
+		if err != nil {
+			return tm, nil, err // cluster lost
+		}
+		tm.Attempts++
+		out, dur, err := executeAttempt(ctx, r, jobID, p, attempt, worker)
+		if err == nil {
+			tm.Worker = worker
+			tm.Compute = dur
+			tm.Effective += dur
+			return tm, out, nil
+		}
+		lastErr = err
+		ctx.logf("spark: job %d: task %d attempt %d failed on worker %d: %v",
+			jobID, p, attempt, worker, err)
+		tm.Effective += dur + ctx.costs.TaskRetry
+		// Reassign: skip past the failing worker on the next attempt.
+		assigned = (worker + 1) % ctx.spec.Workers
+	}
+	return tm, nil, fmt.Errorf("task %d exhausted %d attempts: %w", p, tm.Attempts, lastErr)
+}
+
+// executeAttempt runs the partition computation on a real machine-core slot
+// and measures its duration while it exclusively holds the slot, so that
+// concurrent tasks do not pollute each other's measurements.
+func executeAttempt[T any](ctx *Context, r *RDD[T], jobID, p, attempt, worker int) (out []T, dur simtime.Duration, err error) {
+	ctx.slots <- struct{}{}
+	defer func() { <-ctx.slots }()
+
+	if ctx.faults != nil {
+		if ferr := ctx.faults.BeforeTask(jobID, p, attempt, worker); ferr != nil {
+			return nil, 0, ferr
+		}
+	}
+	if ctx.workerDead(worker) {
+		return nil, 0, fmt.Errorf("worker %d lost", worker)
+	}
+
+	defer func() {
+		if rec := recover(); rec != nil {
+			// A panicking task kills only its attempt, as a crashing
+			// executor would; lineage recomputation handles the rest.
+			out, err = nil, fmt.Errorf("task panic: %v", rec)
+		}
+	}()
+	start := time.Now()
+	out, err = r.compute(p)
+	dur = simtime.FromReal(time.Since(start))
+	if err != nil {
+		return nil, dur, err
+	}
+	if ctx.workerDead(worker) { // worker died mid-flight: result is lost
+		return nil, dur, fmt.Errorf("worker %d lost during task", worker)
+	}
+	return out, dur, nil
+}

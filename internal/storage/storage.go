@@ -1,0 +1,347 @@
+// Package storage implements the cloud file-storage leg of the OmpCloud data
+// path (Fig. 1 of the paper): the host runtime writes each offloaded buffer
+// as a binary object (step 2), the Spark driver reads it back (step 3),
+// writes the reconstructed outputs (step 7) and the host downloads them
+// (step 8). It plays the role of AWS S3 / HDFS / Azure Storage behind a
+// single Store interface, with three backends: in-memory, on-disk, and a
+// remote store speaking an S3-like protocol over TCP.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrNotFound is returned when a key does not exist.
+var ErrNotFound = errors.New("storage: object not found")
+
+// Store is the object-store abstraction the offloading plugin talks to.
+// Implementations must be safe for concurrent use: the plugin uploads every
+// mapped buffer on its own goroutine (paper §III.A).
+type Store interface {
+	// Put stores data under key, overwriting any previous object.
+	Put(key string, data []byte) error
+	// Get returns a copy of the object stored under key.
+	Get(key string) ([]byte, error)
+	// Delete removes key. Deleting a missing key is not an error: the
+	// host plugin cleans up optimistically after a job.
+	Delete(key string) error
+	// List returns all keys with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+	// Stat reports the stored size of key.
+	Stat(key string) (int64, error)
+}
+
+// validKey rejects keys that would be unsafe as file names or wire strings.
+func validKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("storage: empty key")
+	}
+	if strings.ContainsAny(key, "\x00\n") || strings.Contains(key, "..") || strings.HasPrefix(key, "/") {
+		return fmt.Errorf("storage: invalid key %q", key)
+	}
+	return nil
+}
+
+// MemStore is an in-process Store, the default substrate for tests and
+// in-process cluster simulations.
+type MemStore struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{objects: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key string, data []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	s.objects[key] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	obj, ok := s.objects[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	cp := make([]byte, len(obj))
+	copy(cp, obj)
+	return cp, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.objects, key)
+	s.mu.Unlock()
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List(prefix string) ([]string, error) {
+	s.mu.RLock()
+	var keys []string
+	for k := range s.objects {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Stat implements Store.
+func (s *MemStore) Stat(key string) (int64, error) {
+	if err := validKey(key); err != nil {
+		return 0, err
+	}
+	s.mu.RLock()
+	obj, ok := s.objects[key]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return int64(len(obj)), nil
+}
+
+// DiskStore persists objects as files under a root directory, one file per
+// key (slashes in keys become subdirectories). It is the HDFS-flavoured
+// backend for the standalone storage daemon.
+type DiskStore struct {
+	root string
+	mu   sync.RWMutex // serializes multi-step file operations per store
+}
+
+// NewDiskStore creates (if needed) and opens a disk-backed store rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return &DiskStore{root: dir}, nil
+}
+
+func (s *DiskStore) path(key string) string { return filepath.Join(s.root, filepath.FromSlash(key)) }
+
+// Put implements Store.
+func (s *DiskStore) Put(key string, data []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *DiskStore) Get(key string) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, err := os.ReadFile(s.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return b, nil
+}
+
+// Delete implements Store.
+func (s *DiskStore) Delete(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := os.Remove(s.path(key))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// List implements Store.
+func (s *DiskStore) List(prefix string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var keys []string
+	err := filepath.WalkDir(s.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(s.root, path)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasSuffix(key, ".tmp") {
+			return nil
+		}
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Stat implements Store.
+func (s *DiskStore) Stat(key string) (int64, error) {
+	if err := validKey(key); err != nil {
+		return 0, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fi, err := os.Stat(s.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("storage: %w", err)
+	}
+	return fi.Size(), nil
+}
+
+// Metrics aggregates byte/operation counters across a store's lifetime.
+type Metrics struct {
+	Puts, Gets, Deletes     int64
+	BytesIn, BytesOut       int64
+	ListCalls, StatCalls    int64
+	Errors                  int64
+	LargestObject, LastSize int64
+}
+
+// Metered wraps a Store and counts traffic; the trace layer uses it to
+// report exactly how many bytes crossed the host-target boundary.
+type Metered struct {
+	inner Store
+
+	puts, gets, deletes  atomic.Int64
+	bytesIn, bytesOut    atomic.Int64
+	listCalls, statCalls atomic.Int64
+	errs                 atomic.Int64
+	largest, last        atomic.Int64
+}
+
+// NewMetered wraps inner with counters.
+func NewMetered(inner Store) *Metered { return &Metered{inner: inner} }
+
+func (m *Metered) note(err error) error {
+	if err != nil {
+		m.errs.Add(1)
+	}
+	return err
+}
+
+// Put implements Store.
+func (m *Metered) Put(key string, data []byte) error {
+	err := m.inner.Put(key, data)
+	if err == nil {
+		m.puts.Add(1)
+		m.bytesIn.Add(int64(len(data)))
+		m.last.Store(int64(len(data)))
+		for {
+			cur := m.largest.Load()
+			if int64(len(data)) <= cur || m.largest.CompareAndSwap(cur, int64(len(data))) {
+				break
+			}
+		}
+	}
+	return m.note(err)
+}
+
+// Get implements Store.
+func (m *Metered) Get(key string) ([]byte, error) {
+	b, err := m.inner.Get(key)
+	if err == nil {
+		m.gets.Add(1)
+		m.bytesOut.Add(int64(len(b)))
+	}
+	return b, m.note(err)
+}
+
+// Delete implements Store.
+func (m *Metered) Delete(key string) error {
+	err := m.inner.Delete(key)
+	if err == nil {
+		m.deletes.Add(1)
+	}
+	return m.note(err)
+}
+
+// List implements Store.
+func (m *Metered) List(prefix string) ([]string, error) {
+	keys, err := m.inner.List(prefix)
+	if err == nil {
+		m.listCalls.Add(1)
+	}
+	return keys, m.note(err)
+}
+
+// Stat implements Store.
+func (m *Metered) Stat(key string) (int64, error) {
+	n, err := m.inner.Stat(key)
+	if err == nil {
+		m.statCalls.Add(1)
+	}
+	return n, m.note(err)
+}
+
+// Snapshot returns the current counter values.
+func (m *Metered) Snapshot() Metrics {
+	return Metrics{
+		Puts: m.puts.Load(), Gets: m.gets.Load(), Deletes: m.deletes.Load(),
+		BytesIn: m.bytesIn.Load(), BytesOut: m.bytesOut.Load(),
+		ListCalls: m.listCalls.Load(), StatCalls: m.statCalls.Load(),
+		Errors: m.errs.Load(), LargestObject: m.largest.Load(), LastSize: m.last.Load(),
+	}
+}
+
+var (
+	_ Store = (*MemStore)(nil)
+	_ Store = (*DiskStore)(nil)
+	_ Store = (*Metered)(nil)
+)

@@ -1,0 +1,372 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The remote store speaks a minimal S3-flavoured binary protocol over TCP.
+// Each request is:
+//
+//	op byte | key length uint32 | key bytes | (PUT only) body length uint64 | body
+//
+// and each response is:
+//
+//	status byte | payload length uint64 | payload
+//
+// where the payload is the object body (GET), the decimal size (STAT), a
+// newline-joined key list (LIST), an error message (status=err), or empty.
+const (
+	opPut byte = iota + 1
+	opGet
+	opDelete
+	opList
+	opStat
+)
+
+const (
+	statusOK byte = iota
+	statusNotFound
+	statusError
+)
+
+// maxObjectSize bounds a single object to keep a malicious or buggy peer
+// from forcing unbounded allocations. 4 GiB covers the paper's ~1 GB
+// matrices with headroom.
+const maxObjectSize = 4 << 30
+
+// maxKeySize bounds the key field.
+const maxKeySize = 4096
+
+func writeFrame(w *bufio.Writer, status byte, payload []byte) error {
+	if err := w.WriteByte(status); err != nil {
+		return err
+	}
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(payload)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readFrame(r *bufio.Reader) (status byte, payload []byte, err error) {
+	status, err = r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	var lenBuf [8]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint64(lenBuf[:])
+	if n > maxObjectSize {
+		return 0, nil, fmt.Errorf("storage: frame of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return status, payload, nil
+}
+
+// Server exposes a Store over TCP. It is the network face of the simulated
+// S3/HDFS service (cmd/ompcloud-storaged) and of the distributed examples.
+type Server struct {
+	store Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") backed by store. It
+// returns once the listener is ready; connections are handled on background
+// goroutines until Close.
+func Serve(addr string, store Store) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the listener address, usable by clients.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and tears down open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReaderSize(conn, 1<<16)
+	w := bufio.NewWriterSize(conn, 1<<16)
+	for {
+		if err := s.serveOne(r, w); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
+	op, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	var keyLen [4]byte
+	if _, err := io.ReadFull(r, keyLen[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(keyLen[:])
+	if n > maxKeySize {
+		return fmt.Errorf("storage: oversized key")
+	}
+	keyBuf := make([]byte, n)
+	if _, err := io.ReadFull(r, keyBuf); err != nil {
+		return err
+	}
+	key := string(keyBuf)
+
+	reply := func(status byte, payload []byte) error { return writeFrame(w, status, payload) }
+	fail := func(err error) error {
+		if errors.Is(err, ErrNotFound) {
+			return reply(statusNotFound, nil)
+		}
+		return reply(statusError, []byte(err.Error()))
+	}
+
+	switch op {
+	case opPut:
+		var bodyLen [8]byte
+		if _, err := io.ReadFull(r, bodyLen[:]); err != nil {
+			return err
+		}
+		bn := binary.BigEndian.Uint64(bodyLen[:])
+		if bn > maxObjectSize {
+			return fmt.Errorf("storage: oversized object")
+		}
+		body := make([]byte, bn)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return err
+		}
+		if err := s.store.Put(key, body); err != nil {
+			return fail(err)
+		}
+		return reply(statusOK, nil)
+	case opGet:
+		b, err := s.store.Get(key)
+		if err != nil {
+			return fail(err)
+		}
+		return reply(statusOK, b)
+	case opDelete:
+		if err := s.store.Delete(key); err != nil {
+			return fail(err)
+		}
+		return reply(statusOK, nil)
+	case opList:
+		keys, err := s.store.List(key)
+		if err != nil {
+			return fail(err)
+		}
+		return reply(statusOK, []byte(joinKeys(keys)))
+	case opStat:
+		size, err := s.store.Stat(key)
+		if err != nil {
+			return fail(err)
+		}
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(size))
+		return reply(statusOK, buf[:])
+	default:
+		return fmt.Errorf("storage: unknown op %d", op)
+	}
+}
+
+func joinKeys(keys []string) string {
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += "\n"
+		}
+		out += k
+	}
+	return out
+}
+
+func splitKeys(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var keys []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			keys = append(keys, s[start:i])
+			start = i + 1
+		}
+	}
+	return keys
+}
+
+// RemoteStore is a Store client for a Server. A single connection is shared
+// and request/response pairs are serialized; the offloading plugin opens one
+// RemoteStore per transfer goroutine for true parallel streams.
+type RemoteStore struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a storage server.
+func Dial(addr string) (*RemoteStore, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return &RemoteStore{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 1<<16),
+		w:    bufio.NewWriterSize(conn, 1<<16),
+	}, nil
+}
+
+// Close tears down the connection.
+func (c *RemoteStore) Close() error { return c.conn.Close() }
+
+func (c *RemoteStore) roundTrip(op byte, key string, body []byte) ([]byte, error) {
+	if err := validKey(key); err != nil && op != opList { // List takes a prefix, possibly empty
+		return nil, err
+	}
+	if len(key) > maxKeySize {
+		return nil, fmt.Errorf("storage: key too long")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.w.WriteByte(op); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	var keyLen [4]byte
+	binary.BigEndian.PutUint32(keyLen[:], uint32(len(key)))
+	if _, err := c.w.Write(keyLen[:]); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	if _, err := c.w.WriteString(key); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	if op == opPut {
+		var bodyLen [8]byte
+		binary.BigEndian.PutUint64(bodyLen[:], uint64(len(body)))
+		if _, err := c.w.Write(bodyLen[:]); err != nil {
+			return nil, fmt.Errorf("storage: %w", err)
+		}
+		if _, err := c.w.Write(body); err != nil {
+			return nil, fmt.Errorf("storage: %w", err)
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	status, payload, err := readFrame(c.r)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	switch status {
+	case statusOK:
+		return payload, nil
+	case statusNotFound:
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	default:
+		return nil, fmt.Errorf("storage: server error: %s", payload)
+	}
+}
+
+// Put implements Store.
+func (c *RemoteStore) Put(key string, data []byte) error {
+	_, err := c.roundTrip(opPut, key, data)
+	return err
+}
+
+// Get implements Store.
+func (c *RemoteStore) Get(key string) ([]byte, error) {
+	return c.roundTrip(opGet, key, nil)
+}
+
+// Delete implements Store.
+func (c *RemoteStore) Delete(key string) error {
+	_, err := c.roundTrip(opDelete, key, nil)
+	return err
+}
+
+// List implements Store.
+func (c *RemoteStore) List(prefix string) ([]string, error) {
+	payload, err := c.roundTrip(opList, prefix, nil)
+	if err != nil {
+		return nil, err
+	}
+	return splitKeys(string(payload)), nil
+}
+
+// Stat implements Store.
+func (c *RemoteStore) Stat(key string) (int64, error) {
+	payload, err := c.roundTrip(opStat, key, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("storage: malformed stat response")
+	}
+	return int64(binary.BigEndian.Uint64(payload)), nil
+}
+
+var _ Store = (*RemoteStore)(nil)

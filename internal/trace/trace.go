@@ -1,0 +1,162 @@
+// Package trace defines the phase-level execution report produced by every
+// device plugin. Its decomposition mirrors Figure 5 of the paper, which
+// splits each offloaded run into host-target communication (compression and
+// WAN transfers in both directions), Spark overhead (job submission, task
+// scheduling, intra-cluster communication and driver-side reconstruction)
+// and computation (the parallel loop-body execution through the JNI-analog
+// boundary).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"ompcloud/internal/simtime"
+)
+
+// Phase identifies one component of an offloaded execution.
+type Phase string
+
+// The four accounted phases. Figure 5 merges the two communication
+// directions into one "host-target communication" bar; HostTargetComm does
+// that merge.
+const (
+	PhaseUpload   Phase = "host-to-target" // compress + upload inputs
+	PhaseSpark    Phase = "spark-overhead" // submit, schedule, distribute, broadcast, collect, reconstruct
+	PhaseCompute  Phase = "computation"    // parallel loop-body execution (incl. JNI-analog calls)
+	PhaseDownload Phase = "target-to-host" // download + decompress outputs
+)
+
+// Report is the outcome of one target-region execution on some device.
+type Report struct {
+	Device string `json:"device"`
+	Kernel string `json:"kernel"`
+
+	// Phases maps each phase to its virtual duration. Phases a device
+	// does not have (e.g. the host device has no communication) are
+	// simply absent.
+	Phases map[Phase]simtime.Duration `json:"phases"`
+
+	// Tiles is the number of loop tiles (= Spark tasks / JNI calls).
+	Tiles int `json:"tiles"`
+	// Cores is the simulated worker-core count the region ran on.
+	Cores int `json:"cores"`
+
+	// BytesUploaded/BytesDownloaded are compressed wire bytes across the
+	// host-target link.
+	BytesUploaded   int64 `json:"bytes_uploaded"`
+	BytesDownloaded int64 `json:"bytes_downloaded"`
+	// Intra-cluster wire traffic (compressed): partition scatter to the
+	// workers, broadcast replication, and task-output collection into the
+	// driver. These expose what the §III.B partitioning extension saves.
+	BytesScattered int64 `json:"bytes_scattered"`
+	BytesBroadcast int64 `json:"bytes_broadcast"`
+	BytesCollected int64 `json:"bytes_collected"`
+	// TaskFailures counts retried task attempts (fault tolerance events).
+	TaskFailures int `json:"task_failures"`
+	// FellBack records that the requested device was unavailable and the
+	// region ran on the host instead (paper §III.A dynamic fallback).
+	FellBack bool `json:"fell_back,omitempty"`
+}
+
+// NewReport builds an empty report.
+func NewReport(device, kernel string) *Report {
+	return &Report{Device: device, Kernel: kernel, Phases: make(map[Phase]simtime.Duration)}
+}
+
+// Add accumulates d into a phase.
+func (r *Report) Add(p Phase, d simtime.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("trace: negative duration for %s", p))
+	}
+	r.Phases[p] += d
+}
+
+// Total reports the end-to-end virtual duration ("OmpCloud-full").
+func (r *Report) Total() simtime.Duration {
+	var sum simtime.Duration
+	for _, d := range r.Phases {
+		sum += d
+	}
+	return sum
+}
+
+// HostTargetComm merges the two communication directions, Figure 5's first
+// bar component.
+func (r *Report) HostTargetComm() simtime.Duration {
+	return r.Phases[PhaseUpload] + r.Phases[PhaseDownload]
+}
+
+// SparkTime reports the duration the paper calls "Spark job execution time
+// (without the host-target communication)" — the OmpCloud-spark series.
+func (r *Report) SparkTime() simtime.Duration {
+	return r.Phases[PhaseSpark] + r.Phases[PhaseCompute]
+}
+
+// ComputeTime reports the pure parallel computation — the
+// OmpCloud-computation series.
+func (r *Report) ComputeTime() simtime.Duration { return r.Phases[PhaseCompute] }
+
+// Shares reports each Figure 5 component as a fraction of the total.
+func (r *Report) Shares() (comm, spark, compute float64) {
+	t := r.Total().Seconds()
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return r.HostTargetComm().Seconds() / t,
+		r.Phases[PhaseSpark].Seconds() / t,
+		r.Phases[PhaseCompute].Seconds() / t
+}
+
+// String renders a compact single-run summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s on %d cores (%d tiles): total %v", r.Device, r.Kernel, r.Cores, r.Tiles, r.Total().Real())
+	fmt.Fprintf(&b, " [comm %v | spark %v | compute %v]",
+		r.HostTargetComm().Real(), r.Phases[PhaseSpark].Real(), r.Phases[PhaseCompute].Real())
+	if r.FellBack {
+		b.WriteString(" (fell back to host)")
+	}
+	return b.String()
+}
+
+// WriteJSON serializes the report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteBreakdown renders the Figure 5-style decomposition as an ASCII bar
+// chart, width columns wide.
+func (r *Report) WriteBreakdown(w io.Writer, width int) {
+	if width < 10 {
+		width = 10
+	}
+	total := r.Total()
+	rows := []struct {
+		label string
+		d     simtime.Duration
+		glyph byte
+	}{
+		{"host-target comm", r.HostTargetComm(), '#'},
+		{"spark overhead", r.Phases[PhaseSpark], '='},
+		{"computation", r.Phases[PhaseCompute], '*'},
+	}
+	fmt.Fprintf(w, "%s/%s — total %v on %d cores\n", r.Device, r.Kernel, total.Real(), r.Cores)
+	for _, row := range rows {
+		cells := 0
+		share := 0.0
+		if total > 0 {
+			share = row.d.Seconds() / total.Seconds()
+			cells = int(share*float64(width) + 0.5)
+		}
+		if cells > width {
+			cells = width
+		}
+		bar := strings.Repeat(string(row.glyph), cells) + strings.Repeat(".", width-cells)
+		fmt.Fprintf(w, "  %-18s |%s| %5.1f%%  %v\n", row.label, bar, 100*share, row.d.Real())
+	}
+}

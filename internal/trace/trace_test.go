@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ompcloud/internal/simtime"
+)
+
+func sampleReport() *Report {
+	r := NewReport("cloud", "gemm")
+	r.Cores = 64
+	r.Tiles = 64
+	r.Add(PhaseUpload, 10*simtime.Second)
+	r.Add(PhaseSpark, 5*simtime.Second)
+	r.Add(PhaseCompute, 80*simtime.Second)
+	r.Add(PhaseDownload, 5*simtime.Second)
+	r.BytesUploaded = 1 << 30
+	r.BytesDownloaded = 1 << 29
+	return r
+}
+
+func TestTotalsAndSeries(t *testing.T) {
+	r := sampleReport()
+	if r.Total() != 100*simtime.Second {
+		t.Fatalf("Total = %v", r.Total())
+	}
+	if r.HostTargetComm() != 15*simtime.Second {
+		t.Fatalf("HostTargetComm = %v", r.HostTargetComm())
+	}
+	if r.SparkTime() != 85*simtime.Second {
+		t.Fatalf("SparkTime = %v", r.SparkTime())
+	}
+	if r.ComputeTime() != 80*simtime.Second {
+		t.Fatalf("ComputeTime = %v", r.ComputeTime())
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	r := NewReport("d", "k")
+	r.Add(PhaseSpark, simtime.Second)
+	r.Add(PhaseSpark, 2*simtime.Second)
+	if r.Phases[PhaseSpark] != 3*simtime.Second {
+		t.Fatalf("accumulation broken: %v", r.Phases[PhaseSpark])
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReport("d", "k").Add(PhaseSpark, -1)
+}
+
+func TestShares(t *testing.T) {
+	r := sampleReport()
+	comm, spark, compute := r.Shares()
+	if comm != 0.15 || spark != 0.05 || compute != 0.8 {
+		t.Fatalf("Shares = %v %v %v", comm, spark, compute)
+	}
+	empty := NewReport("d", "k")
+	c, s, p := empty.Shares()
+	if c != 0 || s != 0 || p != 0 {
+		t.Fatal("empty report shares should be zero")
+	}
+}
+
+func TestStringAndFallback(t *testing.T) {
+	r := sampleReport()
+	s := r.String()
+	for _, want := range []string{"cloud/gemm", "64 cores", "64 tiles", "compute"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q: %s", want, s)
+		}
+	}
+	r.FellBack = true
+	if !strings.Contains(r.String(), "fell back") {
+		t.Fatal("fallback not surfaced in String()")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Device != "cloud" || back.Phases[PhaseCompute] != 80*simtime.Second {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+	if back.BytesUploaded != 1<<30 {
+		t.Fatalf("bytes lost: %d", back.BytesUploaded)
+	}
+}
+
+func TestWriteBreakdown(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	r.WriteBreakdown(&buf, 40)
+	out := buf.String()
+	for _, want := range []string{"host-target comm", "spark overhead", "computation", "80.0%", "cloud/gemm"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+	// Tiny width clamps; empty report renders without dividing by zero.
+	var buf2 bytes.Buffer
+	NewReport("d", "k").WriteBreakdown(&buf2, 1)
+	if !strings.Contains(buf2.String(), "0.0%") {
+		t.Fatalf("empty breakdown malformed:\n%s", buf2.String())
+	}
+}

@@ -1,0 +1,266 @@
+// Package xcompress implements the data-compression policy of the OmpCloud
+// offloading plugin (paper §III.A): offloaded buffers larger than a minimum
+// size are gzip-compressed before crossing the host-target link, each buffer
+// on its own transmission thread. It also provides measurement probes used
+// by the calibration layer, because the paper's central sensitivity result
+// (Fig. 5, sparse vs dense matrices) is driven entirely by real gzip ratios
+// and throughputs.
+package xcompress
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"time"
+
+	"ompcloud/internal/simtime"
+)
+
+// DefaultMinSize is the default threshold below which buffers are sent raw:
+// compressing tiny payloads costs more latency than it saves.
+const DefaultMinSize = 1 << 16 // 64 KiB
+
+// SkipRatio is the adaptive-compression threshold: when a probe of the
+// buffer's head compresses to more than this fraction of its size, the
+// whole buffer ships raw. Dense random float32 matrices sit around 0.91 —
+// gzip would spend seconds per gigabyte to save 9% of a fast link's time.
+const SkipRatio = 0.85
+
+// sampleSize is how much of a buffer's head the adaptive probe compresses.
+const sampleSize = 256 << 10
+
+// Codec carries the compression policy for a device plugin instance.
+type Codec struct {
+	// MinSize is the smallest payload that gets compressed. Zero means
+	// DefaultMinSize; negative disables compression entirely.
+	MinSize int
+	// Level is the gzip level; zero means gzip.DefaultCompression.
+	Level int
+}
+
+// Enabled reports whether this codec ever compresses.
+func (c Codec) Enabled() bool { return c.MinSize >= 0 }
+
+func (c Codec) minSize() int {
+	if c.MinSize == 0 {
+		return DefaultMinSize
+	}
+	return c.MinSize
+}
+
+func (c Codec) level() int {
+	if c.Level == 0 {
+		// Offloading is latency-bound: the buffer cannot leave the host
+		// until gzip finishes, so the default favours throughput over
+		// ratio. At default compression, gzip is slower than a fast WAN
+		// and compressing would *lengthen* the upload.
+		return gzip.BestSpeed
+	}
+	return c.Level
+}
+
+// header distinguishes raw from compressed payloads on the wire. One byte is
+// enough and keeps the framing trivial to parse on the worker side.
+const (
+	tagRaw  byte = 0
+	tagGzip byte = 1
+)
+
+// Encode returns the wire form of buf: a one-byte tag followed by either the
+// raw bytes or a gzip stream, per the codec policy. Buffers whose head
+// probes as near-incompressible (ratio > SkipRatio) ship raw: on a fast
+// host-target link, gzip on such data costs more time than it saves.
+func (c Codec) Encode(buf []byte) ([]byte, error) {
+	if !c.Enabled() || len(buf) < c.minSize() || c.probeSkips(buf) {
+		out := make([]byte, 1+len(buf))
+		out[0] = tagRaw
+		copy(out[1:], buf)
+		return out, nil
+	}
+	var b bytes.Buffer
+	b.Grow(len(buf)/2 + 64)
+	b.WriteByte(tagGzip)
+	zw, err := gzip.NewWriterLevel(&b, c.level())
+	if err != nil {
+		return nil, fmt.Errorf("xcompress: %w", err)
+	}
+	if _, err := zw.Write(buf); err != nil {
+		return nil, fmt.Errorf("xcompress: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("xcompress: %w", err)
+	}
+	// If gzip expanded the data (dense random floats can), fall back to raw
+	// so the wire size never exceeds len(buf)+1.
+	if b.Len() > len(buf)+1 {
+		out := make([]byte, 1+len(buf))
+		out[0] = tagRaw
+		copy(out[1:], buf)
+		return out, nil
+	}
+	return b.Bytes(), nil
+}
+
+// Decode reverses Encode. It accepts payloads produced by any codec
+// configuration (the tag byte is self-describing).
+func Decode(wire []byte) ([]byte, error) {
+	if len(wire) == 0 {
+		return nil, fmt.Errorf("xcompress: empty payload")
+	}
+	switch wire[0] {
+	case tagRaw:
+		out := make([]byte, len(wire)-1)
+		copy(out, wire[1:])
+		return out, nil
+	case tagGzip:
+		zr, err := gzip.NewReader(bytes.NewReader(wire[1:]))
+		if err != nil {
+			return nil, fmt.Errorf("xcompress: %w", err)
+		}
+		defer zr.Close()
+		out, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("xcompress: %w", err)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("xcompress: unknown tag %d", wire[0])
+	}
+}
+
+// IsCompressed reports whether a wire payload carries a gzip stream.
+func IsCompressed(wire []byte) bool { return len(wire) > 0 && wire[0] == tagGzip }
+
+// probeSkips gzips the head of buf and reports whether the whole buffer
+// should ship raw. Buffers at or under the probe size are never skipped by
+// the probe (the full compression decides).
+func (c Codec) probeSkips(buf []byte) bool {
+	if len(buf) <= sampleSize {
+		return false
+	}
+	var b bytes.Buffer
+	zw, err := gzip.NewWriterLevel(&b, c.level())
+	if err != nil {
+		return false
+	}
+	if _, err := zw.Write(buf[:sampleSize]); err != nil {
+		return false
+	}
+	if err := zw.Close(); err != nil {
+		return false
+	}
+	return float64(b.Len())/float64(sampleSize) > SkipRatio
+}
+
+// Probe is the result of measuring gzip behaviour on a data sample. The
+// calibration layer runs probes on really generated sparse and dense
+// matrices and feeds the results into the virtual-time cost model, so the
+// Fig. 5 sparse/dense contrast comes from genuine gzip measurements.
+type Probe struct {
+	Ratio            float64          // compressed size / raw size, in (0, 1+eps]
+	CompressBytesPS  float64          // compression throughput, raw bytes/s
+	DecompressBytesP float64          // decompression throughput, raw bytes/s
+	SampleSize       int              // raw sample length measured
+	Elapsed          simtime.Duration // wall time spent probing (informational)
+}
+
+// Measure gzips (and un-gzips) sample at the codec's level and reports the
+// observed ratio and throughputs. The sample should be representative slices
+// of the real payload; a few MiB is plenty. Each direction is measured three
+// times after a warm-up round and the fastest run wins: a single timing on a
+// shared machine is noisy enough to flip downstream sparse/dense trade-offs.
+func (c Codec) Measure(sample []byte) (Probe, error) {
+	if len(sample) == 0 {
+		return Probe{}, fmt.Errorf("xcompress: empty sample")
+	}
+	forced := c
+	forced.MinSize = 1 // always compress during a probe
+
+	var (
+		wire                 []byte
+		bestComp, bestDecomp time.Duration
+		total                time.Duration
+	)
+	const rounds = 3
+	for i := 0; i < rounds+1; i++ { // +1 warm-up round, discarded
+		start := time.Now()
+		enc, err := forced.Encode(sample)
+		compDur := time.Since(start)
+		if err != nil {
+			return Probe{}, err
+		}
+		start = time.Now()
+		back, err := Decode(enc)
+		decompDur := time.Since(start)
+		if err != nil {
+			return Probe{}, err
+		}
+		if !bytes.Equal(back, sample) {
+			return Probe{}, fmt.Errorf("xcompress: probe round-trip mismatch")
+		}
+		total += compDur + decompDur
+		if i == 0 {
+			continue
+		}
+		wire = enc
+		if bestComp == 0 || compDur < bestComp {
+			bestComp = compDur
+		}
+		if bestDecomp == 0 || decompDur < bestDecomp {
+			bestDecomp = decompDur
+		}
+	}
+	clampRate := func(d time.Duration) float64 {
+		secs := d.Seconds()
+		if secs <= 0 {
+			secs = 1e-9
+		}
+		return float64(len(sample)) / secs
+	}
+	return Probe{
+		Ratio:            float64(len(wire)-1) / float64(len(sample)),
+		CompressBytesPS:  clampRate(bestComp),
+		DecompressBytesP: clampRate(bestDecomp),
+		SampleSize:       len(sample),
+		Elapsed:          simtime.FromReal(total),
+	}, nil
+}
+
+// Effective applies the adaptive-skip policy to a probe: payloads whose
+// measured ratio exceeds SkipRatio ship raw, so their effective behaviour
+// is the identity codec (ratio 1, no codec time).
+func (p Probe) Effective() Probe {
+	if p.Ratio > SkipRatio {
+		return Probe{Ratio: 1, SampleSize: p.SampleSize}
+	}
+	return p
+}
+
+// CompressedSize predicts the wire size of a raw payload under this probe.
+func (p Probe) CompressedSize(raw int64) int64 {
+	if raw <= 0 {
+		return 0
+	}
+	out := int64(float64(raw) * p.Ratio)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// CompressTime predicts virtual compression time for raw bytes.
+func (p Probe) CompressTime(raw int64) simtime.Duration {
+	if raw <= 0 || p.CompressBytesPS <= 0 {
+		return 0
+	}
+	return simtime.FromSeconds(float64(raw) / p.CompressBytesPS)
+}
+
+// DecompressTime predicts virtual decompression time for raw bytes.
+func (p Probe) DecompressTime(raw int64) simtime.Duration {
+	if raw <= 0 || p.DecompressBytesP <= 0 {
+		return 0
+	}
+	return simtime.FromSeconds(float64(raw) / p.DecompressBytesP)
+}
