@@ -6,6 +6,7 @@
 //	ompcloud-bench -ablation         # design-choice ablations
 //	ompcloud-bench -fig 4 -csv       # machine-readable output
 //	ompcloud-bench -bench gemm,3mm   # restrict the benchmark set
+//	ompcloud-bench -transfer         # transfer-path microbenchmark -> BENCH_transfer.json
 //
 // The tool first calibrates the machine (real single-core kernel runs and
 // real gzip probes; takes a few seconds at the default -caln), then derives
@@ -14,11 +15,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"ompcloud/internal/bench"
@@ -37,8 +40,15 @@ func main() {
 		measured = flag.Int("measured", 0, "run Figure 4 in MEASURED mode at this dimension (real pipeline, scaled inputs)")
 		calN     = flag.Int("caln", 256, "calibration dimension (kernel micro-measurement size)")
 		seed     = flag.Int64("seed", 1, "input generation seed")
+		transfer = flag.Bool("transfer", false, "run the transfer-path microbenchmark (sequential vs pipelined upload)")
+		xferMiB  = flag.Int("transfer-mib", 256, "payload size for -transfer, in MiB")
+		xferOut  = flag.String("transfer-out", "BENCH_transfer.json", "output path for the -transfer results")
 	)
 	flag.Parse()
+	if *transfer {
+		runTransfer(*xferMiB, *seed, *xferOut)
+		return
+	}
 	if *fig == 0 && !*stats && !*ablation {
 		flag.Usage()
 		os.Exit(2)
@@ -146,6 +156,39 @@ func main() {
 		}
 		bench.WriteAblations(os.Stdout, rows)
 	}
+}
+
+// runTransfer executes the transfer-path microbenchmark (sequential vs
+// pipelined upload of sparse and dense payloads) and writes the result set
+// to outPath for trend tracking.
+func runTransfer(mib int, seed int64, outPath string) {
+	if mib <= 0 {
+		mib = 256 // keep the progress line honest about RunTransferBench's default
+	}
+	fmt.Fprintf(os.Stderr, "transfer microbenchmark: %d MiB per case on %d cores ...\n",
+		mib, runtime.GOMAXPROCS(0))
+	res, err := bench.RunTransferBench(mib, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-8s %-12s %10s %10s %8s %10s %10s %10s\n",
+		"kind", "mode", "raw", "wire", "chunks", "up_wall_s", "down_wall_s", "up_virt_s")
+	for _, c := range res.Cases {
+		fmt.Printf("%-8s %-12s %10d %10d %8d %10.3f %10.3f %10.3f\n",
+			c.Kind, c.Mode, c.RawBytes, c.WireBytes, c.Chunks,
+			c.UploadS, c.DownloadS, c.VirtualS)
+	}
+	fmt.Printf("\nsparse upload speedup (wall):    %.2fx\n", res.SpeedupS)
+	fmt.Printf("sparse upload speedup (virtual): %.2fx\n", res.SpeedupV)
+	fmt.Printf("dense  upload speedup (wall):    %.2fx\n", res.SpeedupD)
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
 }
 
 // writeSVG renders one chart file into dir.

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"ompcloud/internal/data"
+	"ompcloud/internal/kernels"
+	"ompcloud/internal/offload"
+	"ompcloud/internal/omp"
+	"ompcloud/internal/storage"
+)
+
+// runWith executes a prepared workload on a cloud plugin with the given
+// chunk policy and snapshots its output buffers.
+func runWith(t *testing.T, w *kernels.Workload, chunkBytes int) [][]float32 {
+	t.Helper()
+	rt, err := omp.NewRuntime(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plugin, err := offload.NewCloudPlugin(offload.CloudConfig{
+		Spec:       ClusterFor(8),
+		Store:      storage.NewMemStore(),
+		ChunkBytes: chunkBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plugin.Close()
+	dev := rt.RegisterDevice(plugin)
+	if _, err := w.Run(rt, dev); err != nil {
+		t.Fatalf("chunkBytes=%d: %v", chunkBytes, err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatalf("chunkBytes=%d: %v", chunkBytes, err)
+	}
+	outs := w.Outputs()
+	snap := make([][]float32, len(outs))
+	for i, o := range outs {
+		snap[i] = append([]float32(nil), o...)
+	}
+	return snap
+}
+
+// TestPipelinedMatchesSequentialAllKernels is the byte-identity property of
+// the chunked transfer engine: for every kernel in the paper's suite, on
+// both sparse and dense inputs, the pipelined path's outputs equal the
+// sequential single-stream path's outputs bit for bit (compared through
+// Float32bits so even differing NaN payloads would fail).
+func TestPipelinedMatchesSequentialAllKernels(t *testing.T) {
+	const n = 48 // 9 KiB matrices; 1 KiB chunks force real multipart objects
+	for _, b := range kernels.All {
+		for _, kind := range []data.Kind{data.Sparse, data.Dense} {
+			b, kind := b, kind
+			t.Run(b.Name+"/"+kind.String(), func(t *testing.T) {
+				t.Parallel()
+				w := b.Prepare(n, kind, 7)
+				pipelined := runWith(t, w, 1<<10)
+				sequential := runWith(t, w, -1)
+				if len(pipelined) != len(sequential) {
+					t.Fatalf("output buffer counts differ: %d vs %d", len(pipelined), len(sequential))
+				}
+				for i := range pipelined {
+					if len(pipelined[i]) != len(sequential[i]) {
+						t.Fatalf("output %d sizes differ", i)
+					}
+					for j := range pipelined[i] {
+						if math.Float32bits(pipelined[i][j]) != math.Float32bits(sequential[i][j]) {
+							t.Fatalf("output %d diverges at element %d: %v vs %v",
+								i, j, pipelined[i][j], sequential[i][j])
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"time"
+
+	"ompcloud/internal/chunkio"
+	"ompcloud/internal/data"
+	"ompcloud/internal/netsim"
+	"ompcloud/internal/simtime"
+	"ompcloud/internal/storage"
+	"ompcloud/internal/xcompress"
+)
+
+// TransferCase is one measured transfer-path configuration: a data kind
+// (sparse compresses ~20x, dense barely at all) moved sequentially or
+// through the chunked pipeline.
+type TransferCase struct {
+	Kind      string  `json:"kind"`      // "sparse" | "dense"
+	Mode      string  `json:"mode"`      // "sequential" | "pipelined"
+	RawBytes  int64   `json:"raw_bytes"` // payload size before encoding
+	WireBytes int64   `json:"wire_bytes"`
+	Chunks    int     `json:"chunks"`
+	UploadS   float64 `json:"upload_wall_s"`    // measured wall clock
+	DownloadS float64 `json:"download_wall_s"`  // measured wall clock
+	VirtualS  float64 `json:"upload_virtual_s"` // modelled upload leg (compress + WAN, or their max)
+}
+
+// TransferBench is the transfer-path microbenchmark result set, written to
+// BENCH_transfer.json so future changes have a perf trajectory.
+type TransferBench struct {
+	MiB      int            `json:"mib"`      // payload size per case
+	Cores    int            `json:"cores"`    // host cores used by the pipeline
+	WANMbps  float64        `json:"wan_mbps"` // virtual-time WAN used for the model column
+	Cases    []TransferCase `json:"cases"`
+	SpeedupS float64        `json:"sparse_upload_speedup"` // sequential / pipelined wall, sparse
+	SpeedupV float64        `json:"sparse_virtual_speedup"`
+	SpeedupD float64        `json:"dense_upload_speedup"`
+}
+
+// RunTransferBench measures sequential vs pipelined upload+download of one
+// mib-sized buffer per data kind through an in-memory store. Wall clock
+// captures the real parallel-compression win; the virtual column runs the
+// same wire sizes through the accounting model (compress + WAN transfer
+// sequentially, max of the two pipelined), so the report reflects the
+// overlap as the virtual-time reports do.
+func RunTransferBench(mib int, seed int64) (*TransferBench, error) {
+	if mib <= 0 {
+		mib = 256
+	}
+	elems := mib << 20 / data.FloatSize
+	profile := netsim.DefaultProfile()
+	res := &TransferBench{
+		MiB:     mib,
+		Cores:   runtime.GOMAXPROCS(0),
+		WANMbps: profile.WAN.BitsPerSs / 1e6,
+	}
+	codec := xcompress.Codec{}
+	walls := map[string]float64{}
+
+	for _, kind := range []data.Kind{data.Sparse, data.Dense} {
+		payload := data.Generate(1, elems, kind, seed).Bytes()
+		for _, mode := range []string{"sequential", "pipelined"} {
+			opts := chunkio.Options{Codec: codec, ChunkSize: -1}
+			if mode == "pipelined" {
+				opts.ChunkSize = 0 // default 1 MiB chunks
+			}
+			st := storage.NewMemStore()
+			start := time.Now()
+			up, err := chunkio.Upload(st, "bench", payload, opts)
+			upWall := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("bench: transfer upload (%s/%s): %w", kind, mode, err)
+			}
+			start = time.Now()
+			back, _, err := chunkio.Download(st, "bench", opts)
+			downWall := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("bench: transfer download (%s/%s): %w", kind, mode, err)
+			}
+			if !bytes.Equal(back, payload) {
+				return nil, fmt.Errorf("bench: transfer round trip mismatch (%s/%s)", kind, mode)
+			}
+			// Virtual upload leg on the default WAN: the same arithmetic
+			// as offload.Account's transfer legs.
+			wire := profile.WAN.Transfer(up.SentWire)
+			compress := simtime.FromReal(up.CompressWall)
+			virtual := compress + wire
+			if mode == "pipelined" && wire > compress {
+				virtual = wire
+			} else if mode == "pipelined" {
+				virtual = compress
+			}
+			res.Cases = append(res.Cases, TransferCase{
+				Kind: kind.String(), Mode: mode,
+				RawBytes: int64(len(payload)), WireBytes: up.TotalWire,
+				Chunks:  up.Chunks,
+				UploadS: upWall.Seconds(), DownloadS: downWall.Seconds(),
+				VirtualS: virtual.Seconds(),
+			})
+			walls[kind.String()+"/"+mode+"/wall"] = upWall.Seconds()
+			walls[kind.String()+"/"+mode+"/virtual"] = virtual.Seconds()
+		}
+	}
+	div := func(a, b float64) float64 {
+		if b <= 0 {
+			return 0
+		}
+		return a / b
+	}
+	res.SpeedupS = div(walls["sparse/sequential/wall"], walls["sparse/pipelined/wall"])
+	res.SpeedupV = div(walls["sparse/sequential/virtual"], walls["sparse/pipelined/virtual"])
+	res.SpeedupD = div(walls["dense/sequential/wall"], walls["dense/pipelined/wall"])
+	return res, nil
+}

@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+// TestRunTransferBenchSmall smoke-tests the transfer microbenchmark at a
+// size small enough for CI; the acceptance-level speedup assertion runs at
+// 256 MiB via cmd/ompcloud-bench -transfer.
+func TestRunTransferBenchSmall(t *testing.T) {
+	res, err := RunTransferBench(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 4 {
+		t.Fatalf("got %d cases, want 4 (sparse/dense x sequential/pipelined)", len(res.Cases))
+	}
+	for _, c := range res.Cases {
+		if c.RawBytes != 8<<20 {
+			t.Fatalf("%s/%s raw = %d, want 8 MiB", c.Kind, c.Mode, c.RawBytes)
+		}
+		if c.UploadS <= 0 || c.DownloadS <= 0 || c.VirtualS <= 0 {
+			t.Fatalf("%s/%s has non-positive timings: %+v", c.Kind, c.Mode, c)
+		}
+		if c.Mode == "pipelined" && c.Chunks < 2 {
+			t.Fatalf("pipelined %s case used %d chunks, want multipart", c.Kind, c.Chunks)
+		}
+		if c.Mode == "sequential" && c.Chunks != 1 {
+			t.Fatalf("sequential %s case used %d chunks, want 1", c.Kind, c.Chunks)
+		}
+		if c.Kind == "sparse" && c.WireBytes >= c.RawBytes/2 {
+			t.Fatalf("sparse case barely compressed: wire %d for raw %d", c.WireBytes, c.RawBytes)
+		}
+	}
+	// The virtual model must reflect the overlap: the pipelined sparse
+	// upload leg never exceeds the sequential one.
+	if res.SpeedupV < 1 {
+		t.Fatalf("virtual speedup %.2f < 1: overlap model not reflected", res.SpeedupV)
+	}
+}

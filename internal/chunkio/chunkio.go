@@ -1,0 +1,475 @@
+// Package chunkio is the chunked, pipelined host<->cloud transfer engine.
+//
+// The paper's §III.A transfer policy parallelizes only *across* offloaded
+// buffers — each datum gets one transmission thread — so a single large
+// matrix is gzip-compressed on one core and fully encoded before its first
+// byte reaches cloud storage. Figure 4's breakdown shows exactly that leg
+// (upload, gzip, download) dominating data-heavy kernels. This package
+// parallelizes *within* a buffer: the payload is split into fixed-size
+// chunks, chunks are compressed concurrently on all host cores (the raw/gzip
+// adaptive-skip verdict is probed once per buffer, not per chunk), and
+// encoded chunks flow through a bounded producer->consumer pipeline into the
+// object store, so compression of chunk k+1 overlaps the upload of chunk k.
+// Download mirrors the pipeline: concurrent Get + decompress into a
+// preallocated buffer.
+//
+// On the store, a chunked object is a manifest at the object's own key —
+// a one-byte xcompress.TagChunked frame followed by JSON — plus one part
+// object per chunk at sibling keys ("<key>.00007.part", siblings rather
+// than children so DiskStore never needs a file and a directory with the
+// same name). Small payloads (at most one chunk) are stored as a plain
+// single object in the legacy xcompress frame, so readers discover the
+// layout from the first byte with a single round trip and pre-engine
+// objects remain readable.
+package chunkio
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"ompcloud/internal/storage"
+	"ompcloud/internal/xcompress"
+)
+
+// DefaultChunkSize is the default transfer chunk: 1 MiB is large enough to
+// keep gzip efficient (window >> chunk overhead) and small enough that a
+// pipeline of a few chunks per core bounds memory and starts the first
+// upload almost immediately.
+const DefaultChunkSize = 1 << 20
+
+// manifestVersion guards the on-store manifest layout.
+const manifestVersion = 1
+
+// Options configures one transfer. The zero value is usable: default codec,
+// 1 MiB chunks, one compressor per machine core.
+type Options struct {
+	// Codec is the compression policy applied per chunk.
+	Codec xcompress.Codec
+	// ChunkSize splits payloads larger than this into parts. 0 means
+	// DefaultChunkSize; negative disables chunking entirely (the whole
+	// payload is one sequentially-encoded object — the paper's original
+	// single-stream policy, kept for ablations and comparison benches).
+	ChunkSize int
+	// Parallel bounds the concurrent chunk compressors (and download
+	// decompressors). 0 means all machine cores.
+	Parallel int
+	// Depth is the bounded queue between the compress and store stages,
+	// in chunks; it caps encoded-but-unsent memory. 0 means 2*Parallel.
+	Depth int
+	// Putters bounds concurrent store writers/readers. 0 means
+	// min(4, Parallel): enough streams to hide per-object round trips
+	// without flooding a remote store.
+	Putters int
+
+	// ChunkKey, when non-nil, stores parts content-addressed under the
+	// returned key instead of "<key>.NNNNN.part" — the hook for
+	// chunk-granular upload caching.
+	ChunkKey func(sum [sha256.Size]byte) string
+	// Have reports the wire size of an already-stored chunk; chunks it
+	// acknowledges are not re-encoded or re-sent (a partially-changed
+	// buffer only resends its dirty chunks). Only consulted when
+	// ChunkKey is set.
+	Have func(key string) (wire int64, ok bool)
+	// OnStored is invoked after each part is written (cache bookkeeping).
+	OnStored func(key string, wire int64)
+}
+
+func (o Options) chunkSize() int {
+	switch {
+	case o.ChunkSize == 0:
+		return DefaultChunkSize
+	case o.ChunkSize < 0:
+		return math.MaxInt // unchunked: everything fits one "chunk"
+	default:
+		return o.ChunkSize
+	}
+}
+
+func (o Options) parallel() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) depth() int {
+	if o.Depth > 0 {
+		return o.Depth
+	}
+	return 2 * o.parallel()
+}
+
+func (o Options) putters() int {
+	if o.Putters > 0 {
+		return o.Putters
+	}
+	p := o.parallel()
+	if p > 4 {
+		p = 4
+	}
+	return p
+}
+
+// chunkEntry describes one part in the manifest.
+type chunkEntry struct {
+	Key  string `json:"key"`
+	Raw  int64  `json:"raw"`
+	Wire int64  `json:"wire"`
+}
+
+// manifest is the JSON body of a chunked object's root frame.
+type manifest struct {
+	Version   int          `json:"version"`
+	ChunkSize int          `json:"chunk_size"`
+	RawSize   int64        `json:"raw_size"`
+	Chunks    []chunkEntry `json:"chunks"`
+}
+
+// partKey names chunk i of a multipart object. Parts are siblings of the
+// manifest key ("<key>.00007.part"), never children, so file-backed stores
+// can keep one flat file per key.
+func partKey(key string, i int) string { return fmt.Sprintf("%s.%05d.part", key, i) }
+
+// UploadResult reports what one Upload moved and what it cost.
+type UploadResult struct {
+	// TotalWire is the full wire volume of the stored object: manifest (if
+	// any) plus every part, reused or not. This is what a reader fetches.
+	TotalWire int64
+	// SentWire is the wire volume actually written by this call — dirty
+	// parts plus the manifest; chunks skipped via Have are absent.
+	SentWire int64
+	// Chunks and Reused count the object's parts and how many were
+	// already present (chunk-cache hits).
+	Chunks, Reused int
+	// CompressWall is the modelled wall time of the parallel compress
+	// stage: total compress CPU divided by the worker count, floored at
+	// the slowest single chunk. It deliberately excludes store
+	// backpressure, so virtual-time accounting can overlap it with the
+	// wire leg.
+	CompressWall time.Duration
+	// CompressCPU is the summed per-chunk compression time.
+	CompressCPU time.Duration
+}
+
+// wallOf models the wall time of a perfectly parallel stage from per-item
+// CPU times: work-conservation (sum/width) floored at the critical path
+// (slowest single item).
+func wallOf(durs []time.Duration, width int) (wall, cpu time.Duration) {
+	var max time.Duration
+	for _, d := range durs {
+		cpu += d
+		if d > max {
+			max = d
+		}
+	}
+	if width < 1 {
+		width = 1
+	}
+	wall = cpu / time.Duration(width)
+	if wall < max {
+		wall = max
+	}
+	return wall, cpu
+}
+
+// Upload stores buf under key, chunked and pipelined per the options.
+// Payloads of at most one chunk are stored as a single legacy-framed object;
+// larger ones become a manifest plus parts.
+func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult, error) {
+	cs := o.chunkSize()
+	if len(buf) <= cs {
+		start := time.Now()
+		enc, err := o.Codec.Encode(buf)
+		dur := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("chunkio: encoding %s: %w", key, err)
+		}
+		if err := st.Put(key, enc); err != nil {
+			return nil, fmt.Errorf("chunkio: storing %s: %w", key, err)
+		}
+		wire := int64(len(enc))
+		return &UploadResult{
+			TotalWire: wire, SentWire: wire, Chunks: 1,
+			CompressWall: dur, CompressCPU: dur,
+		}, nil
+	}
+
+	// The raw/gzip verdict is probed once from the buffer's head and
+	// reused by every chunk: chunks of one buffer share its entropy
+	// profile, and re-probing per chunk would re-compress 256 KiB of
+	// every chunk just to decide.
+	verdict := o.Codec.ProbeVerdict(buf)
+	n := (len(buf) + cs - 1) / cs
+	entries := make([]chunkEntry, n)
+	durs := make([]time.Duration, n)
+	reused := 0
+
+	type putJob struct {
+		key string
+		enc []byte
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		sent     int64
+		stop     = make(chan struct{})
+		stopOnce sync.Once
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	jobs := make(chan int)
+	puts := make(chan putJob, o.depth())
+	go func() {
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			select {
+			case jobs <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	var cwg sync.WaitGroup
+	for w := 0; w < o.parallel(); w++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for i := range jobs {
+				lo := i * cs
+				hi := lo + cs
+				if hi > len(buf) {
+					hi = len(buf)
+				}
+				chunk := buf[lo:hi]
+				ckey := partKey(key, i)
+				if o.ChunkKey != nil {
+					sum := sha256.Sum256(chunk)
+					ckey = o.ChunkKey(sum)
+					if o.Have != nil {
+						if wire, ok := o.Have(ckey); ok {
+							entries[i] = chunkEntry{Key: ckey, Raw: int64(len(chunk)), Wire: wire}
+							mu.Lock()
+							reused++
+							mu.Unlock()
+							continue
+						}
+					}
+				}
+				start := time.Now()
+				enc, err := o.Codec.EncodeWith(chunk, verdict)
+				durs[i] = time.Since(start)
+				if err != nil {
+					fail(fmt.Errorf("chunkio: encoding %s: %w", ckey, err))
+					return
+				}
+				entries[i] = chunkEntry{Key: ckey, Raw: int64(len(chunk)), Wire: int64(len(enc))}
+				select {
+				case puts <- putJob{key: ckey, enc: enc}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		cwg.Wait()
+		close(puts)
+	}()
+
+	var pwg sync.WaitGroup
+	for w := 0; w < o.putters(); w++ {
+		pwg.Add(1)
+		go func() {
+			defer pwg.Done()
+			for pj := range puts {
+				if failed() {
+					continue // drain without writing
+				}
+				if err := st.Put(pj.key, pj.enc); err != nil {
+					fail(fmt.Errorf("chunkio: storing %s: %w", pj.key, err))
+					continue
+				}
+				mu.Lock()
+				sent += int64(len(pj.enc))
+				mu.Unlock()
+				if o.OnStored != nil {
+					o.OnStored(pj.key, int64(len(pj.enc)))
+				}
+			}
+		}()
+	}
+	pwg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	m := manifest{Version: manifestVersion, ChunkSize: cs, RawSize: int64(len(buf)), Chunks: entries}
+	body, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("chunkio: %w", err)
+	}
+	frame := make([]byte, 1+len(body))
+	frame[0] = xcompress.TagChunked
+	copy(frame[1:], body)
+	if err := st.Put(key, frame); err != nil {
+		return nil, fmt.Errorf("chunkio: storing manifest %s: %w", key, err)
+	}
+
+	res := &UploadResult{Chunks: n, Reused: reused}
+	res.TotalWire = int64(len(frame))
+	for _, e := range entries {
+		res.TotalWire += e.Wire
+	}
+	res.SentWire = sent + int64(len(frame))
+	res.CompressWall, res.CompressCPU = wallOf(durs, o.parallel())
+	return res, nil
+}
+
+// DownloadResult reports what one Download moved and what it cost.
+type DownloadResult struct {
+	// WireBytes is the fetched wire volume (manifest plus parts, or the
+	// single object).
+	WireBytes int64
+	// Chunks counts fetched parts (1 for a single object).
+	Chunks int
+	// DecompressWall models the wall time of the parallel decode stage
+	// (see UploadResult.CompressWall).
+	DecompressWall time.Duration
+	// DecompressCPU is the summed per-chunk decode time.
+	DecompressCPU time.Duration
+}
+
+// Download fetches the object stored under key, transparently handling both
+// layouts: a legacy single xcompress frame or a chunked manifest, whose
+// parts are fetched and decompressed concurrently.
+func Download(st storage.Store, key string, o Options) ([]byte, *DownloadResult, error) {
+	obj, err := st.Get(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(obj) == 0 || obj[0] != xcompress.TagChunked {
+		start := time.Now()
+		raw, err := xcompress.Decode(obj)
+		dur := time.Since(start)
+		if err != nil {
+			return nil, nil, fmt.Errorf("chunkio: decoding %s: %w", key, err)
+		}
+		return raw, &DownloadResult{
+			WireBytes: int64(len(obj)), Chunks: 1,
+			DecompressWall: dur, DecompressCPU: dur,
+		}, nil
+	}
+
+	var m manifest
+	if err := json.Unmarshal(obj[1:], &m); err != nil {
+		return nil, nil, fmt.Errorf("chunkio: manifest %s: %w", key, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, nil, fmt.Errorf("chunkio: manifest %s has version %d, want %d", key, m.Version, manifestVersion)
+	}
+	if m.RawSize < 0 {
+		return nil, nil, fmt.Errorf("chunkio: manifest %s has negative size", key)
+	}
+	offsets := make([]int64, len(m.Chunks))
+	var off int64
+	for i, e := range m.Chunks {
+		if e.Raw < 0 {
+			return nil, nil, fmt.Errorf("chunkio: manifest %s: chunk %d has negative size", key, i)
+		}
+		offsets[i] = off
+		off += e.Raw
+	}
+	if off != m.RawSize {
+		return nil, nil, fmt.Errorf("chunkio: manifest %s: chunks sum to %d bytes, want %d", key, off, m.RawSize)
+	}
+
+	out := make([]byte, m.RawSize)
+	durs := make([]time.Duration, len(m.Chunks))
+	errs := make([]error, len(m.Chunks))
+	var wire int64 = int64(len(obj))
+	var mu sync.Mutex
+
+	// One worker pool does Get and decode back to back: while worker a
+	// decompresses chunk k, worker b's Get of chunk k+1 is in flight —
+	// the download mirror of the upload pipeline.
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for i := range m.Chunks {
+			jobs <- i
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < o.parallel(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				e := m.Chunks[i]
+				enc, err := st.Get(e.Key)
+				if err != nil {
+					errs[i] = fmt.Errorf("chunkio: fetching %s: %w", e.Key, err)
+					continue
+				}
+				mu.Lock()
+				wire += int64(len(enc))
+				mu.Unlock()
+				start := time.Now()
+				raw, err := xcompress.Decode(enc)
+				durs[i] = time.Since(start)
+				if err != nil {
+					errs[i] = fmt.Errorf("chunkio: decoding %s: %w", e.Key, err)
+					continue
+				}
+				if int64(len(raw)) != e.Raw {
+					errs[i] = fmt.Errorf("chunkio: %s decoded to %d bytes, want %d", e.Key, len(raw), e.Raw)
+					continue
+				}
+				copy(out[offsets[i]:], raw)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	res := &DownloadResult{WireBytes: wire, Chunks: len(m.Chunks)}
+	res.DecompressWall, res.DecompressCPU = wallOf(durs, o.parallel())
+	return out, res, nil
+}
+
+// PartKeys lists the storage keys a chunked object at key would occupy for a
+// payload of rawSize bytes (manifest key itself excluded) — used by cleanup
+// paths that cannot List.
+func PartKeys(key string, rawSize int64, o Options) []string {
+	cs := int64(o.chunkSize())
+	if rawSize <= cs {
+		return nil
+	}
+	n := int((rawSize + cs - 1) / cs)
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = partKey(key, i)
+	}
+	return keys
+}

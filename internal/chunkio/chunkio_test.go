@@ -1,0 +1,329 @@
+package chunkio
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"ompcloud/internal/storage"
+	"ompcloud/internal/xcompress"
+)
+
+// compressible returns repetitive data that gzip shrinks hard.
+func compressible(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	pattern := make([]byte, 512)
+	for i := range pattern {
+		pattern[i] = byte(rng.Intn(8))
+	}
+	buf := make([]byte, n)
+	for i := 0; i < n; i += len(pattern) {
+		copy(buf[i:], pattern)
+	}
+	return buf
+}
+
+// incompressible returns uniform random bytes gzip cannot shrink.
+func incompressible(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, n)
+	rng.Read(buf)
+	return buf
+}
+
+func TestUploadDownloadRoundTrip(t *testing.T) {
+	const chunk = 8 << 10
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", []byte{}},
+		{"one-byte", []byte{42}},
+		{"sub-chunk", compressible(chunk/2, 1)},
+		{"exact-one-chunk", compressible(chunk, 2)},
+		{"exact-multiple", compressible(4*chunk, 3)},
+		{"multiple-plus-tail", compressible(4*chunk+777, 4)},
+		{"incompressible", incompressible(5*chunk+123, 5)},
+		{"incompressible-exact", incompressible(3*chunk, 6)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := storage.NewMemStore()
+			o := Options{Codec: xcompress.Codec{MinSize: 1}, ChunkSize: chunk, Parallel: 4}
+			up, err := Upload(st, "obj", tc.data, o)
+			if err != nil {
+				t.Fatalf("Upload: %v", err)
+			}
+			wantChunks := (len(tc.data) + chunk - 1) / chunk
+			if wantChunks == 0 {
+				wantChunks = 1
+			}
+			if up.Chunks != wantChunks {
+				t.Errorf("Chunks = %d, want %d", up.Chunks, wantChunks)
+			}
+			if up.SentWire != up.TotalWire {
+				t.Errorf("cold upload SentWire %d != TotalWire %d", up.SentWire, up.TotalWire)
+			}
+			back, down, err := Download(st, "obj", o)
+			if err != nil {
+				t.Fatalf("Download: %v", err)
+			}
+			if !bytes.Equal(back, tc.data) {
+				t.Fatalf("round trip mismatch: got %d bytes, want %d", len(back), len(tc.data))
+			}
+			if down.WireBytes != up.TotalWire {
+				t.Errorf("download WireBytes %d != upload TotalWire %d", down.WireBytes, up.TotalWire)
+			}
+		})
+	}
+}
+
+func TestUploadCompressesSparseData(t *testing.T) {
+	const chunk = 16 << 10
+	data := compressible(8*chunk, 7)
+	st := storage.NewMemStore()
+	o := Options{Codec: xcompress.Codec{MinSize: 1}, ChunkSize: chunk}
+	up, err := Upload(st, "obj", data, o)
+	if err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	if up.TotalWire >= int64(len(data))/2 {
+		t.Errorf("compressible data not compressed: wire %d for %d raw", up.TotalWire, len(data))
+	}
+}
+
+func TestUploadIncompressibleShipsRaw(t *testing.T) {
+	const chunk = 16 << 10
+	data := incompressible(xcompress.DefaultMinSize*8, 8) // big enough to probe
+	st := storage.NewMemStore()
+	o := Options{Codec: xcompress.Codec{}, ChunkSize: chunk}
+	up, err := Upload(st, "obj", data, o)
+	if err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	// Raw framing costs 1 byte per part plus the manifest.
+	overhead := up.TotalWire - int64(len(data))
+	if overhead < 0 || overhead > int64(up.Chunks)*64+4096 {
+		t.Errorf("incompressible data should ship ~raw: wire %d for %d raw (%d chunks)",
+			up.TotalWire, len(data), up.Chunks)
+	}
+}
+
+func TestSmallObjectUsesLegacyLayout(t *testing.T) {
+	st := storage.NewMemStore()
+	o := Options{Codec: xcompress.Codec{MinSize: 1}, ChunkSize: 1 << 20}
+	data := compressible(1024, 9)
+	if _, err := Upload(st, "obj", data, o); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	obj, err := st.Get("obj")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if len(obj) > 0 && obj[0] == xcompress.TagChunked {
+		t.Fatal("sub-chunk payload stored as chunked manifest, want plain frame")
+	}
+	// And it is readable without chunkio at all.
+	back, err := xcompress.Decode(obj)
+	if err != nil {
+		t.Fatalf("legacy Decode: %v", err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("legacy decode mismatch")
+	}
+}
+
+func TestDownloadLegacyObject(t *testing.T) {
+	// Objects written by the pre-chunking code path stay readable.
+	st := storage.NewMemStore()
+	data := compressible(100<<10, 10)
+	enc, err := xcompress.Codec{MinSize: 1}.Encode(data)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if err := st.Put("old", enc); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	back, res, err := Download(st, "old", Options{ChunkSize: 4 << 10})
+	if err != nil {
+		t.Fatalf("Download: %v", err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("legacy object round trip mismatch")
+	}
+	if res.Chunks != 1 {
+		t.Errorf("legacy object Chunks = %d, want 1", res.Chunks)
+	}
+}
+
+func TestChunkReuseSkipsCleanChunks(t *testing.T) {
+	const chunk = 8 << 10
+	// Each chunk gets distinct (but still compressible) content so
+	// content-addressing doesn't dedup them within a single upload.
+	data := make([]byte, 0, 6*chunk)
+	for i := 0; i < 6; i++ {
+		data = append(data, compressible(chunk, int64(200+i))...)
+	}
+	st := storage.NewMemStore()
+
+	var mu sync.Mutex
+	have := map[string]int64{}
+	o := Options{
+		Codec:     xcompress.Codec{MinSize: 1},
+		ChunkSize: chunk,
+		ChunkKey: func(sum [sha256.Size]byte) string {
+			return "cache/c/" + hex.EncodeToString(sum[:])
+		},
+		Have: func(key string) (int64, bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			w, ok := have[key]
+			return w, ok
+		},
+		OnStored: func(key string, wire int64) {
+			mu.Lock()
+			defer mu.Unlock()
+			have[key] = wire
+		},
+	}
+
+	up1, err := Upload(st, "obj", data, o)
+	if err != nil {
+		t.Fatalf("cold Upload: %v", err)
+	}
+	if up1.Reused != 0 {
+		t.Errorf("cold upload Reused = %d, want 0", up1.Reused)
+	}
+
+	// Dirty exactly one chunk; the rest must be reused.
+	dirty := append([]byte(nil), data...)
+	dirty[2*chunk+5] ^= 0xFF
+	up2, err := Upload(st, "obj", dirty, o)
+	if err != nil {
+		t.Fatalf("warm Upload: %v", err)
+	}
+	if up2.Reused != up2.Chunks-1 {
+		t.Errorf("warm upload Reused = %d, want %d", up2.Reused, up2.Chunks-1)
+	}
+	if up2.SentWire >= up1.SentWire {
+		t.Errorf("warm upload sent %d bytes, want far less than cold %d", up2.SentWire, up1.SentWire)
+	}
+
+	back, _, err := Download(st, "obj", o)
+	if err != nil {
+		t.Fatalf("Download: %v", err)
+	}
+	if !bytes.Equal(back, dirty) {
+		t.Fatal("partially-dirty round trip mismatch")
+	}
+}
+
+func TestUploadPropagatesStoreError(t *testing.T) {
+	const chunk = 4 << 10
+	data := compressible(20*chunk, 12)
+	st := &failingStore{Store: storage.NewMemStore(), failAfter: 3}
+	o := Options{Codec: xcompress.Codec{MinSize: 1}, ChunkSize: chunk, Parallel: 4}
+	if _, err := Upload(st, "obj", data, o); err == nil {
+		t.Fatal("Upload on failing store returned nil error")
+	} else if !strings.Contains(err.Error(), "synthetic put failure") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestDownloadMissingPartFails(t *testing.T) {
+	const chunk = 4 << 10
+	data := compressible(8*chunk, 13)
+	st := storage.NewMemStore()
+	o := Options{Codec: xcompress.Codec{MinSize: 1}, ChunkSize: chunk}
+	if _, err := Upload(st, "obj", data, o); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	if err := st.Delete(partKey("obj", 3)); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, _, err := Download(st, "obj", o); err == nil {
+		t.Fatal("Download with missing part returned nil error")
+	}
+}
+
+func TestPartKeysMatchStoredLayout(t *testing.T) {
+	const chunk = 4 << 10
+	data := incompressible(5*chunk+1, 14)
+	st := storage.NewMemStore()
+	o := Options{Codec: xcompress.Codec{MinSize: 1}, ChunkSize: chunk}
+	if _, err := Upload(st, "obj", data, o); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	keys := PartKeys("obj", int64(len(data)), o)
+	if len(keys) != 6 {
+		t.Fatalf("PartKeys returned %d keys, want 6", len(keys))
+	}
+	for _, k := range keys {
+		if _, err := st.Stat(k); err != nil {
+			t.Errorf("expected part %s on store: %v", k, err)
+		}
+	}
+	if keys := PartKeys("obj", chunk, o); keys != nil {
+		t.Errorf("PartKeys for single-chunk payload = %v, want nil", keys)
+	}
+}
+
+// TestPipelineRace hammers concurrent uploads and downloads of distinct keys
+// on one shared store; run with -race this exercises the full pipeline for
+// data races (bounded queue, shared counters, error propagation).
+func TestPipelineRace(t *testing.T) {
+	const chunk = 2 << 10
+	st := storage.NewMemStore()
+	o := Options{Codec: xcompress.Codec{MinSize: 1}, ChunkSize: chunk, Parallel: 4, Depth: 2}
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			data := compressible(10*chunk+g*37, int64(100+g))
+			key := fmt.Sprintf("obj-%d", g)
+			if _, err := Upload(st, key, data, o); err != nil {
+				errc <- err
+				return
+			}
+			back, _, err := Download(st, key, o)
+			if err != nil {
+				errc <- err
+				return
+			}
+			if !bytes.Equal(back, data) {
+				errc <- fmt.Errorf("goroutine %d: round trip mismatch", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// failingStore fails every Put after the first failAfter calls.
+type failingStore struct {
+	storage.Store
+	mu        sync.Mutex
+	puts      int
+	failAfter int
+}
+
+func (f *failingStore) Put(key string, val []byte) error {
+	f.mu.Lock()
+	f.puts++
+	n := f.puts
+	f.mu.Unlock()
+	if n > f.failAfter {
+		return fmt.Errorf("synthetic put failure")
+	}
+	return f.Store.Put(key, val)
+}

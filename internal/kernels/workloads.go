@@ -41,6 +41,10 @@ type Workload struct {
 	Run func(rt *omp.Runtime, dev omp.Device) (*trace.Report, error)
 	// Verify checks the outputs of the most recent Run.
 	Verify func() error
+	// Outputs exposes the live output buffers of the most recent Run,
+	// for harnesses that compare two devices (or two transfer policies)
+	// bit for bit rather than against the serial reference.
+	Outputs func() [][]float32
 }
 
 // All lists the eight benchmarks in the paper's Figure 4/5 order.
@@ -187,6 +191,7 @@ func prepareGEMM(n int, kind data.Kind, seed int64) *Workload {
 	w.Verify = func() error {
 		return compare("gemm C", c.V, serialGEMM(n, a.V, b.V, c0.V))
 	}
+	w.Outputs = func() [][]float32 { return [][]float32{c.V} }
 	return w
 }
 
@@ -205,6 +210,7 @@ func prepareMatMul(n int, kind data.Kind, seed int64) *Workload {
 	w.Verify = func() error {
 		return compare("mat-mul C", c.V, serialMM(n, a.V, b.V))
 	}
+	w.Outputs = func() [][]float32 { return [][]float32{c.V} }
 	return w
 }
 
@@ -223,6 +229,7 @@ func prepareSYRK(n int, kind data.Kind, seed int64) *Workload {
 	w.Verify = func() error {
 		return compare("syrk C", c.V, serialSYRK(n, a.V, c0.V))
 	}
+	w.Outputs = func() [][]float32 { return [][]float32{c.V} }
 	return w
 }
 
@@ -243,6 +250,7 @@ func prepareSYR2K(n int, kind data.Kind, seed int64) *Workload {
 	w.Verify = func() error {
 		return compare("syr2k C", c.V, serialSYR2K(n, a.V, b.V, c0.V))
 	}
+	w.Outputs = func() [][]float32 { return [][]float32{c.V} }
 	return w
 }
 
@@ -282,6 +290,7 @@ func prepareCOVAR(n int, kind data.Kind, seed int64) *Workload {
 		_, wantSym := serialCovar(n, n, d.V)
 		return compare("covar sym", sym.V, wantSym)
 	}
+	w.Outputs = func() [][]float32 { return [][]float32{sym.V} }
 	return w
 }
 
@@ -331,6 +340,7 @@ func prepareTwoMM(n int, kind data.Kind, seed int64) *Workload {
 		want := serialGEMM(n, wantTmp, c.V, d0.V)
 		return compare("2mm D", dm.V, want)
 	}
+	w.Outputs = func() [][]float32 { return [][]float32{dm.V} }
 	return w
 }
 
@@ -381,6 +391,7 @@ func prepareThreeMM(n int, kind data.Kind, seed int64) *Workload {
 		wantG := serialMM(n, wantE, wantF)
 		return compare("3mm G", g.V, wantG)
 	}
+	w.Outputs = func() [][]float32 { return [][]float32{g.V} }
 	return w
 }
 
@@ -407,5 +418,6 @@ func prepareCollinear(n int, kind data.Kind, seed int64) *Workload {
 		want := serialCollinear(n, pts.V)
 		return compare("collinear count", count, []float32{want})
 	}
+	w.Outputs = func() [][]float32 { return [][]float32{count} }
 	return w
 }

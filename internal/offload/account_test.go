@@ -78,6 +78,70 @@ func TestAccountGoldenNumbers(t *testing.T) {
 	}
 }
 
+// TestAccountGoldenNumbersPipelined pins the overlap model of the chunked
+// streaming path: each host transfer leg costs max(codec, wire), not their
+// sum, while every Spark-side term is unchanged.
+func TestAccountGoldenNumbersPipelined(t *testing.T) {
+	profile := netsim.Profile{
+		WAN:          netsim.Link{Name: "wan", Latency: 0, BitsPerSs: netsim.Mbps(800)}, // 100 MB/s
+		LAN:          netsim.Link{Name: "lan", Latency: 0, BitsPerSs: netsim.Gbps(8)},   // 1 GB/s
+		MemBytesPerS: 1e9,
+	}
+	ci := CostInputs{
+		Workers:            1,
+		Cores:              4,
+		PipelinedTransfers: true,
+		TaskCompute:        []simtime.Duration{simtime.Second},
+		TaskEffective:      []simtime.Duration{simtime.Second},
+		// 200 MB up -> 2 s WAN; 100 MB out -> 1 s WAN down.
+		InWireSizes:  []int64{200_000_000},
+		OutWireSizes: []int64{100_000_000},
+		// Compression (0.5 s) hides entirely inside the 2 s upload;
+		// decompression (0.25 s) hides inside the 1 s download.
+		HostCompress:   500 * simtime.Millisecond,
+		HostDecompress: 250 * simtime.Millisecond,
+	}
+	rep := trace.NewReport("golden", "k")
+	if err := Account(profile, ci, rep); err != nil {
+		t.Fatal(err)
+	}
+	// upload = max(0.5 compress, 2.0 WAN) = 2.0 s
+	if got := rep.Phases[trace.PhaseUpload]; got != 2*simtime.Second {
+		t.Fatalf("pipelined upload = %v, want 2s", got)
+	}
+	// download = max(0.25 decompress, 1.0 WAN) = 1.0 s
+	if got := rep.Phases[trace.PhaseDownload]; got != simtime.Second {
+		t.Fatalf("pipelined download = %v, want 1s", got)
+	}
+
+	// Codec-bound direction: with a 10x faster WAN the legs are limited by
+	// the codec, not the wire.
+	fast := profile
+	fast.WAN.BitsPerSs = netsim.Mbps(8000) // 1 GB/s: 0.2 s up, 0.1 s down
+	rep2 := trace.NewReport("golden", "k")
+	if err := Account(fast, ci, rep2); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep2.Phases[trace.PhaseUpload]; got != 500*simtime.Millisecond {
+		t.Fatalf("codec-bound upload = %v, want 0.5s", got)
+	}
+	if got := rep2.Phases[trace.PhaseDownload]; got != 250*simtime.Millisecond {
+		t.Fatalf("codec-bound download = %v, want 0.25s", got)
+	}
+
+	// The pipelined legs never exceed the sequential ones.
+	seq := ci
+	seq.PipelinedTransfers = false
+	rep3 := trace.NewReport("golden", "k")
+	if err := Account(profile, seq, rep3); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Phases[trace.PhaseUpload] > rep3.Phases[trace.PhaseUpload] ||
+		rep.Phases[trace.PhaseDownload] > rep3.Phases[trace.PhaseDownload] {
+		t.Fatal("pipelined legs must not exceed sequential legs")
+	}
+}
+
 // TestAccountCachedRunSkipsWAN pins the warm-cache accounting: with no
 // InWireSizes but FetchWireSizes set, the upload phase is only the (zero)
 // compression and the driver still pays its fetch.

@@ -16,22 +16,37 @@ import (
 // bytes mapped under different variable names, or re-offloaded across jobs
 // (an iterative workload re-sending its training matrix, the §II cellphone
 // scenario), all hit.
+// The cache works at two granularities: whole buffers ("cache/<sha256>"
+// manifest keys, one lookup per buffer) and individual chunks
+// ("cache/c/<sha256>" part keys, consulted by the transfer engine), so a
+// partially-changed buffer whose manifest key misses still reuses every
+// clean chunk and resends only the dirty ones.
 type uploadCache struct {
 	mu sync.Mutex
 	// wire maps content-addressed storage key -> encoded (wire) size.
 	wire map[string]int64
+	// chunks maps content-addressed chunk key -> encoded (wire) size.
+	chunks map[string]int64
 
-	hits, misses int64
+	hits, misses           int64
+	chunkHits, chunkMisses int64
 }
 
 func newUploadCache() *uploadCache {
-	return &uploadCache{wire: make(map[string]int64)}
+	return &uploadCache{wire: make(map[string]int64), chunks: make(map[string]int64)}
 }
 
 // contentKey derives the content-addressed storage key for a buffer.
 func contentKey(data []byte) string {
 	sum := sha256.Sum256(data)
 	return "cache/" + hex.EncodeToString(sum[:])
+}
+
+// chunkContentKey derives the content-addressed storage key for one chunk.
+// Chunks live under their own namespace so a store wipe of "cache/" clears
+// both granularities together.
+func chunkContentKey(sum [sha256.Size]byte) string {
+	return "cache/c/" + hex.EncodeToString(sum[:])
 }
 
 // lookup reports the wire size of a previously uploaded buffer, if any.
@@ -61,13 +76,44 @@ func (c *uploadCache) forget(key string) {
 	delete(c.wire, key)
 }
 
-// CacheStats reports upload-cache effectiveness.
+// lookupChunk reports the wire size of a previously uploaded chunk, if any.
+func (c *uploadCache) lookupChunk(key string) (wire int64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wire, ok = c.chunks[key]
+	if ok {
+		c.chunkHits++
+	} else {
+		c.chunkMisses++
+	}
+	return wire, ok
+}
+
+// rememberChunk records an uploaded chunk.
+func (c *uploadCache) rememberChunk(key string, wire int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.chunks[key] = wire
+}
+
+// forgetChunk drops a chunk whose stored object disappeared.
+func (c *uploadCache) forgetChunk(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.chunks, key)
+}
+
+// CacheStats reports upload-cache effectiveness at both granularities.
 type CacheStats struct {
-	Hits, Misses int64
+	Hits, Misses           int64
+	ChunkHits, ChunkMisses int64
 }
 
 func (c *uploadCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses}
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses,
+		ChunkHits: c.chunkHits, ChunkMisses: c.chunkMisses,
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ompcloud/internal/chunkio"
 	"ompcloud/internal/cloud"
 	"ompcloud/internal/netsim"
 	"ompcloud/internal/remoteexec"
@@ -45,8 +46,27 @@ type CloudConfig struct {
 
 	// EnableCache turns on the content-addressed upload cache (the
 	// paper's future-work data caching): inputs already present in cloud
-	// storage are not re-sent across the host-target link.
+	// storage are not re-sent across the host-target link. With chunking
+	// enabled the cache also works at chunk granularity: a
+	// partially-changed buffer only resends its dirty chunks.
 	EnableCache bool
+
+	// ChunkBytes sets the transfer chunk size of the pipelined data path
+	// (chunkio): buffers larger than this are compressed in parallel
+	// chunks that stream into storage while later chunks still compress.
+	// 0 means chunkio.DefaultChunkSize (1 MiB); negative restores the
+	// paper's sequential single-stream policy (one gzip per buffer,
+	// upload after compression finishes) for ablations.
+	ChunkBytes int
+	// ChunkParallel bounds the chunk-compression workers; 0 means all
+	// machine cores.
+	ChunkParallel int
+
+	// HealthTTL is how long one storage health probe's verdict is
+	// trusted by Available(). 0 means DefaultHealthTTL; negative probes
+	// on every call (the pre-TTL behaviour, needed by tests that kill
+	// the store mid-session and expect the device to notice instantly).
+	HealthTTL time.Duration
 
 	// RunOnDriver models the paper's §III.D deployment alternative:
 	// "one might run his application directly from the driver node of
@@ -98,7 +118,17 @@ type CloudPlugin struct {
 	initErr  error
 	jobSeq   atomic.Int64
 	lastCost float64
+
+	// Cached health verdict (see Available).
+	healthMu sync.Mutex
+	healthAt time.Time
+	healthOK bool
 }
+
+// DefaultHealthTTL is how long Available() trusts one storage health probe.
+// Long enough that back-to-back jobs don't pay three storage round trips
+// each, short enough that a dead store is noticed within a few seconds.
+const DefaultHealthTTL = 5 * time.Second
 
 // NewCloudPlugin builds and initializes the cloud device. Construction
 // itself never fails on unavailable infrastructure: the paper's runtime
@@ -181,6 +211,10 @@ func (p *CloudPlugin) Cores() int { return p.cfg.Spec.TotalCores() }
 // Available implements Plugin: the device is usable when provisioning
 // succeeded and the storage service answers a health probe. This is what
 // the manager consults for dynamic host fallback.
+//
+// The probe is a full Put/Get/Delete round trip — three RTTs against a
+// remote store — so its verdict is cached for HealthTTL: back-to-back jobs
+// reuse one probe instead of paying the round trips on every Run call.
 func (p *CloudPlugin) Available() bool {
 	p.mu.Lock()
 	initErr := p.initErr
@@ -188,6 +222,22 @@ func (p *CloudPlugin) Available() bool {
 	if initErr != nil {
 		return false
 	}
+	ttl := p.cfg.HealthTTL
+	if ttl == 0 {
+		ttl = DefaultHealthTTL
+	}
+	p.healthMu.Lock()
+	defer p.healthMu.Unlock()
+	if ttl > 0 && !p.healthAt.IsZero() && time.Since(p.healthAt) < ttl {
+		return p.healthOK
+	}
+	p.healthOK = p.probeHealth()
+	p.healthAt = time.Now()
+	return p.healthOK
+}
+
+// probeHealth runs the storage round trip and worker-pool check.
+func (p *CloudPlugin) probeHealth() bool {
 	if err := p.cfg.Store.Put("health/ping", []byte("ok")); err != nil {
 		return false
 	}
@@ -328,28 +378,67 @@ func (p *CloudPlugin) Run(r *Region) (*trace.Report, error) {
 	return rep, nil
 }
 
+// pipelined reports whether the chunked streaming engine is active (the
+// default). ChunkBytes < 0 selects the paper's original sequential policy.
+func (p *CloudPlugin) pipelined() bool { return p.cfg.ChunkBytes >= 0 }
+
+// chunkOpts assembles the transfer-engine options. withCache additionally
+// wires the chunk-granular content-addressed cache hooks, so clean chunks
+// of a partially-changed buffer are recognized and not re-sent.
+func (p *CloudPlugin) chunkOpts(withCache bool) chunkio.Options {
+	o := chunkio.Options{
+		Codec:     p.cfg.Codec,
+		ChunkSize: p.cfg.ChunkBytes,
+		Parallel:  p.cfg.ChunkParallel,
+	}
+	if withCache && p.cache != nil {
+		o.ChunkKey = chunkContentKey
+		o.Have = p.chunkHave
+		o.OnStored = p.cache.rememberChunk
+	}
+	return o
+}
+
+// chunkHave answers the engine's "is this chunk already stored?" query from
+// the chunk cache, verifying against the store before trusting it.
+func (p *CloudPlugin) chunkHave(key string) (int64, bool) {
+	wire, ok := p.cache.lookupChunk(key)
+	if !ok {
+		return 0, false
+	}
+	if _, err := p.cfg.Store.Stat(key); err != nil {
+		p.cache.forgetChunk(key)
+		return 0, false
+	}
+	return wire, true
+}
+
 // uploadResult describes one input buffer's journey to cloud storage.
 type uploadResult struct {
 	keys []string // storage key per buffer (driver fetches these)
 	wire []int64  // per-buffer wire size (intra-cluster accounting)
 	// sent lists the wire sizes that actually crossed the WAN this time;
-	// cache hits are absent.
+	// cache hits (whole buffers and clean chunks) are absent.
 	sent     []int64
 	compress simtime.Duration
 	hits     int
 }
 
-// uploadInputs encodes and stores every input buffer concurrently,
-// returning per-buffer storage keys and wire sizes plus the virtual host
-// compression time (max across the parallel compression threads, §III.A).
-// With the upload cache enabled, buffers whose contents are already in
-// cloud storage are not re-sent — the paper's future-work data caching.
+// uploadInputs encodes and stores every input buffer concurrently through
+// the chunked transfer engine, returning per-buffer storage keys and wire
+// sizes plus the virtual host compression time (max across the parallel
+// per-buffer streams, §III.A; each stream's own cost already reflects its
+// parallel chunk compression). With the upload cache enabled, buffers whose
+// contents are already in cloud storage are not re-sent — the paper's
+// future-work data caching — and partially-changed buffers resend only
+// their dirty chunks.
 func (p *CloudPlugin) uploadInputs(prefix string, r *Region) (*uploadResult, error) {
 	res := &uploadResult{
 		keys: make([]string, len(r.Ins)),
 		wire: make([]int64, len(r.Ins)),
 	}
 	durs := make([]time.Duration, len(r.Ins))
+	sent := make([]int64, len(r.Ins))
 	errs := make([]error, len(r.Ins))
 	cached := make([]bool, len(r.Ins))
 	var wg sync.WaitGroup
@@ -357,8 +446,9 @@ func (p *CloudPlugin) uploadInputs(prefix string, r *Region) (*uploadResult, err
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
+			key := prefix + "/in/" + r.Ins[k].Name
 			if p.cache != nil {
-				key := contentKey(r.Ins[k].Data)
+				key = contentKey(r.Ins[k].Data)
 				if wireSize, ok := p.cache.lookup(key); ok {
 					// Verify the object still exists before trusting
 					// the cache: stores can be wiped between jobs.
@@ -370,33 +460,19 @@ func (p *CloudPlugin) uploadInputs(prefix string, r *Region) (*uploadResult, err
 					}
 					p.cache.forget(key)
 				}
-				start := time.Now()
-				enc, err := p.cfg.Codec.Encode(r.Ins[k].Data)
-				durs[k] = time.Since(start)
-				if err != nil {
-					errs[k] = err
-					return
-				}
-				if err := p.cfg.Store.Put(key, enc); err != nil {
-					errs[k] = err
-					return
-				}
-				res.keys[k] = key
-				res.wire[k] = int64(len(enc))
-				p.cache.remember(key, int64(len(enc)))
-				return
 			}
-			start := time.Now()
-			enc, err := p.cfg.Codec.Encode(r.Ins[k].Data)
-			durs[k] = time.Since(start)
+			up, err := chunkio.Upload(p.cfg.Store, key, r.Ins[k].Data, p.chunkOpts(true))
 			if err != nil {
 				errs[k] = err
 				return
 			}
-			key := prefix + "/in/" + r.Ins[k].Name
 			res.keys[k] = key
-			res.wire[k] = int64(len(enc))
-			errs[k] = p.cfg.Store.Put(key, enc)
+			res.wire[k] = up.TotalWire
+			sent[k] = up.SentWire
+			durs[k] = up.CompressWall
+			if p.cache != nil {
+				p.cache.remember(key, up.TotalWire)
+			}
 		}(k)
 	}
 	wg.Wait()
@@ -409,7 +485,7 @@ func (p *CloudPlugin) uploadInputs(prefix string, r *Region) (*uploadResult, err
 			res.hits++
 			continue
 		}
-		res.sent = append(res.sent, res.wire[k])
+		res.sent = append(res.sent, sent[k])
 		if durs[k] > compress {
 			compress = durs[k]
 		}
@@ -419,9 +495,10 @@ func (p *CloudPlugin) uploadInputs(prefix string, r *Region) (*uploadResult, err
 }
 
 // driverFetch reads the inputs back from storage and decodes them, the
-// driver side of step 3. Buffers decode on parallel goroutines (one thread
+// driver side of step 3. Buffers decode on parallel goroutines (one stream
 // per datum, the paper's §III.A transfer policy), so the virtual cost is
-// the slowest stream.
+// the slowest stream; within a stream, chunked objects fetch and decompress
+// their parts concurrently through the transfer engine.
 func (p *CloudPlugin) driverFetch(keys []string, r *Region) ([][]byte, simtime.Duration, error) {
 	decoded := make([][]byte, len(r.Ins))
 	durs := make([]time.Duration, len(r.Ins))
@@ -431,18 +508,12 @@ func (p *CloudPlugin) driverFetch(keys []string, r *Region) ([][]byte, simtime.D
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			enc, err := p.cfg.Store.Get(keys[k])
+			raw, down, err := chunkio.Download(p.cfg.Store, keys[k], p.chunkOpts(false))
 			if err != nil {
 				errs[k] = fmt.Errorf("fetching: %w", err)
 				return
 			}
-			start := time.Now()
-			raw, err := xcompress.Decode(enc)
-			durs[k] = time.Since(start)
-			if err != nil {
-				errs[k] = fmt.Errorf("decoding: %w", err)
-				return
-			}
+			durs[k] = down.DecompressWall
 			if len(raw) != len(r.Ins[k].Data) {
 				errs[k] = fmt.Errorf("decoded to %d bytes, want %d", len(raw), len(r.Ins[k].Data))
 				return
@@ -598,21 +669,19 @@ func reconstruct(r *Region, tiles int, parts [][]tileResult) ([][]byte, error) {
 }
 
 // storeOutputs encodes the reconstructed outputs and writes them to cloud
-// storage (step 7), measuring the driver's codec work.
+// storage (step 7) through the transfer engine, measuring the driver's
+// codec work (summed across the serial per-buffer loop; each term already
+// reflects within-buffer parallel chunk compression).
 func (p *CloudPlugin) storeOutputs(prefix string, r *Region, finals [][]byte) ([]int64, simtime.Duration, error) {
 	wire := make([]int64, len(r.Outs))
 	var compress time.Duration
 	for l := range r.Outs {
-		start := time.Now()
-		enc, err := p.cfg.Codec.Encode(finals[l])
-		compress += time.Since(start)
+		up, err := chunkio.Upload(p.cfg.Store, prefix+"/out/"+r.Outs[l].Name, finals[l], p.chunkOpts(false))
 		if err != nil {
-			return nil, 0, err
-		}
-		wire[l] = int64(len(enc))
-		if err := p.cfg.Store.Put(prefix+"/out/"+r.Outs[l].Name, enc); err != nil {
 			return nil, 0, fmt.Errorf("offload: storing output %s: %w", r.Outs[l].Name, err)
 		}
+		wire[l] = up.TotalWire
+		compress += up.CompressWall
 	}
 	return wire, simtime.FromReal(compress), nil
 }
@@ -628,7 +697,8 @@ func (p *CloudPlugin) reconstructAndStore(prefix string, r *Region, tiles int, p
 }
 
 // downloadOutputs brings the results back to the host buffers (step 8),
-// decoding in parallel, one thread per buffer.
+// decoding in parallel, one stream per buffer; chunked objects additionally
+// fetch and decompress their parts concurrently within the stream.
 func (p *CloudPlugin) downloadOutputs(prefix string, r *Region) (simtime.Duration, error) {
 	durs := make([]time.Duration, len(r.Outs))
 	errs := make([]error, len(r.Outs))
@@ -637,18 +707,12 @@ func (p *CloudPlugin) downloadOutputs(prefix string, r *Region) (simtime.Duratio
 		wg.Add(1)
 		go func(l int) {
 			defer wg.Done()
-			enc, err := p.cfg.Store.Get(prefix + "/out/" + r.Outs[l].Name)
+			raw, down, err := chunkio.Download(p.cfg.Store, prefix+"/out/"+r.Outs[l].Name, p.chunkOpts(false))
 			if err != nil {
 				errs[l] = err
 				return
 			}
-			start := time.Now()
-			raw, err := xcompress.Decode(enc)
-			durs[l] = time.Since(start)
-			if err != nil {
-				errs[l] = err
-				return
-			}
+			durs[l] = down.DecompressWall
 			if len(raw) != len(r.Outs[l].Data) {
 				errs[l] = fmt.Errorf("output %s decoded to %d bytes, want %d", r.Outs[l].Name, len(raw), len(r.Outs[l].Data))
 				return
@@ -713,20 +777,21 @@ func (p *CloudPlugin) costInputs(r *Region, tiles int, jm *spark.JobMetrics,
 	}
 
 	return CostInputs{
-		Workers:          p.cfg.Spec.Workers,
-		Cores:            p.cfg.Spec.TotalCores(),
-		TaskCompute:      taskCompute,
-		TaskEffective:    taskEffective,
-		InWireSizes:      inWire,
-		OutWireSizes:     outWire,
-		HostCompress:     hostCompress,
-		HostDecompress:   hostDecompress,
-		DriverDecompress: driverCodec,
-		DistributeWire:   distWire,
-		BroadcastWire:    bcastWire,
-		CollectWire:      collectWire,
-		ReconstructRaw:   tileRaw,
-		Costs:            p.cfg.Costs,
+		Workers:            p.cfg.Spec.Workers,
+		Cores:              p.cfg.Spec.TotalCores(),
+		PipelinedTransfers: p.pipelined(),
+		TaskCompute:        taskCompute,
+		TaskEffective:      taskEffective,
+		InWireSizes:        inWire,
+		OutWireSizes:       outWire,
+		HostCompress:       hostCompress,
+		HostDecompress:     hostDecompress,
+		DriverDecompress:   driverCodec,
+		DistributeWire:     distWire,
+		BroadcastWire:      bcastWire,
+		CollectWire:        collectWire,
+		ReconstructRaw:     tileRaw,
+		Costs:              p.cfg.Costs,
 	}
 }
 

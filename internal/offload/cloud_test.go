@@ -163,6 +163,9 @@ func TestCloudPluginUnavailableStore(t *testing.T) {
 	}
 	cfg := memCloudConfig()
 	cfg.Store = client
+	// This test kills the store mid-session and expects the very next
+	// Available() to notice; disable the health-verdict TTL cache.
+	cfg.HealthTTL = -1
 	p, err := NewCloudPlugin(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -190,7 +190,7 @@ func (p *CloudPlugin) OpenEnv(bufs []EnvBuffer) (Env, *trace.Report, error) {
 		for i, name := range upNames {
 			e.device[name] = decoded[i]
 		}
-		rep.Add(trace.PhaseUpload, up.compress+p.cfg.Profile.WAN.TransferParallel(up.sent))
+		rep.Add(trace.PhaseUpload, transferLeg(p.pipelined(), up.compress, p.cfg.Profile.WAN.TransferParallel(up.sent)))
 		rep.Add(trace.PhaseSpark, p.cfg.Profile.LAN.TransferParallel(up.wire)+driverDecompress)
 		for _, w := range up.sent {
 			rep.BytesUploaded += w
@@ -355,7 +355,7 @@ func (e *cloudEnv) Close() (*trace.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.Add(trace.PhaseDownload, p.cfg.Profile.WAN.TransferParallel(wire)+hostDecompress)
+	rep.Add(trace.PhaseDownload, transferLeg(p.pipelined(), hostDecompress, p.cfg.Profile.WAN.TransferParallel(wire)))
 	for _, w := range wire {
 		rep.BytesDownloaded += w
 	}

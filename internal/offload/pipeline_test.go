@@ -1,0 +1,160 @@
+package offload
+
+import (
+	"testing"
+	"time"
+
+	"ompcloud/internal/data"
+	"ompcloud/internal/storage"
+	"ompcloud/internal/trace"
+)
+
+// TestAvailableHealthTTL verifies the health-verdict cache: repeated
+// Available() calls within the TTL reuse one storage probe, and the verdict
+// refreshes after the TTL lapses.
+func TestAvailableHealthTTL(t *testing.T) {
+	metered := storage.NewMetered(storage.NewMemStore())
+	cfg := memCloudConfig()
+	cfg.Store = metered
+	cfg.HealthTTL = time.Hour
+	p, err := NewCloudPlugin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if !p.Available() {
+			t.Fatal("mem-backed plugin should be available")
+		}
+	}
+	if puts := metered.Snapshot().Puts; puts != 1 {
+		t.Fatalf("5 Available() calls ran %d probes, want 1 (TTL cache)", puts)
+	}
+
+	// Force expiry instead of sleeping: backdate the cached verdict.
+	p.healthMu.Lock()
+	p.healthAt = p.healthAt.Add(-2 * time.Hour)
+	p.healthMu.Unlock()
+	if !p.Available() {
+		t.Fatal("should remain available after refresh")
+	}
+	if puts := metered.Snapshot().Puts; puts != 2 {
+		t.Fatalf("expired verdict ran %d probes total, want 2", puts)
+	}
+}
+
+// TestAvailableHealthTTLDisabled pins the opt-out: negative TTL probes on
+// every call.
+func TestAvailableHealthTTLDisabled(t *testing.T) {
+	metered := storage.NewMetered(storage.NewMemStore())
+	cfg := memCloudConfig()
+	cfg.Store = metered
+	cfg.HealthTTL = -1
+	p, err := NewCloudPlugin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !p.Available() {
+			t.Fatal("mem-backed plugin should be available")
+		}
+	}
+	if puts := metered.Snapshot().Puts; puts != 3 {
+		t.Fatalf("3 uncached Available() calls ran %d probes, want 3", puts)
+	}
+}
+
+// chunked2Region builds a scale2 region big enough that a small ChunkBytes
+// splits its input into several parts.
+func chunkedCloudConfig(chunkBytes int) CloudConfig {
+	cfg := memCloudConfig()
+	cfg.ChunkBytes = chunkBytes
+	return cfg
+}
+
+// TestCloudPluginChunkedEndToEnd pushes a region through the full Fig. 1
+// workflow with a chunk size small enough that every leg (upload, driver
+// fetch, store-out, download) exercises multipart objects, and checks the
+// result is bit-identical to the sequential single-stream path.
+func TestCloudPluginChunkedEndToEnd(t *testing.T) {
+	n := int64(4096) // 16 KiB buffers
+	in := data.Generate(1, int(n), data.Sparse, 21)
+
+	run := func(chunkBytes int) ([]byte, *trace.Report) {
+		cfg := chunkedCloudConfig(chunkBytes)
+		cfg.Codec.MinSize = 1
+		p, err := NewCloudPlugin(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, 4*n)
+		rep, err := p.Run(scale2Region(n, in.Bytes(), out))
+		if err != nil {
+			t.Fatalf("chunkBytes=%d: %v", chunkBytes, err)
+		}
+		// The job must clean up its parts too.
+		if keys, _ := cfg.Store.List("jobs/"); len(keys) != 0 {
+			t.Fatalf("chunkBytes=%d left objects behind: %v", chunkBytes, keys)
+		}
+		return out, rep
+	}
+
+	chunked, repC := run(2 << 10) // 2 KiB chunks: 8 parts per buffer
+	sequential, repS := run(-1)   // the paper's single-stream policy
+	for i := range chunked {
+		if chunked[i] != sequential[i] {
+			t.Fatalf("pipelined output diverges from sequential at byte %d", i)
+		}
+	}
+	if repC.BytesUploaded == 0 || repS.BytesUploaded == 0 {
+		t.Fatal("wire byte counters empty")
+	}
+}
+
+// TestChunkedCacheResendsOnlyDirtyChunks drives the chunk-granular cache
+// through the plugin: re-offloading a buffer with one modified chunk must
+// reuse every clean chunk and move far fewer bytes than the cold run.
+func TestChunkedCacheResendsOnlyDirtyChunks(t *testing.T) {
+	const chunk = 2 << 10
+	n := int64(8192) // 32 KiB buffer -> 16 chunks
+	cfg := chunkedCloudConfig(chunk)
+	cfg.Codec.MinSize = 1
+	cfg.EnableCache = true
+	p, err := NewCloudPlugin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := data.Generate(1, int(n), data.Sparse, 22)
+	out := make([]byte, 4*n)
+	rep1, err := p.Run(scale2Region(n, in.Bytes(), out))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dirty one float near the middle: exactly one chunk changes.
+	mod := in.Clone()
+	mod.V[int(n)/2] += 1
+	rep2, err := p.Run(scale2Region(n, mod.Bytes(), out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.GetFloat(out, int(n)/2) != 2*mod.V[int(n)/2] {
+		t.Fatal("dirty-chunk run computed wrong result")
+	}
+	if rep2.BytesUploaded >= rep1.BytesUploaded/2 {
+		t.Fatalf("dirty-chunk rerun uploaded %d bytes, want far less than cold %d",
+			rep2.BytesUploaded, rep1.BytesUploaded)
+	}
+	stats := p.CacheStats()
+	if stats.ChunkHits == 0 {
+		t.Fatalf("expected chunk-level cache hits, got %+v", stats)
+	}
+
+	// Identical re-offload: whole-buffer hit, zero WAN bytes.
+	rep3, err := p.Run(scale2Region(n, mod.Bytes(), out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.BytesUploaded != 0 {
+		t.Fatalf("warm rerun uploaded %d bytes, want 0", rep3.BytesUploaded)
+	}
+}

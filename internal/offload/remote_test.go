@@ -147,6 +147,9 @@ func TestCloudPluginWorkerDiesMidSession(t *testing.T) {
 		Spec:        spark.ClusterSpec{Workers: 1, CoresPerWorker: 2},
 		Store:       storage.NewMemStore(),
 		WorkerAddrs: []string{w.Addr()},
+		// The test kills the worker mid-session and expects the next
+		// Available() to notice; disable the health-verdict TTL cache.
+		HealthTTL: -1,
 	})
 	if err != nil {
 		t.Fatal(err)

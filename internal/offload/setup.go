@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"ompcloud/internal/cloud"
 	"ompcloud/internal/config"
@@ -26,8 +27,9 @@ import (
 //	[storage]     type (memory | disk | remote), address, path
 //	[network]     wan-mbps, wan-latency-ms, lan-gbps, lan-latency-us,
 //	              mem-gbps
-//	[offload]     compress-min-bytes, jni-base-ms, jni-mbps,
-//	              enable-cache, verbose, run-on-driver
+//	[offload]     compress-min-bytes, chunk-bytes, chunk-parallel,
+//	              health-ttl-ms, jni-base-ms, jni-mbps, enable-cache,
+//	              verbose, run-on-driver
 //
 // Every key has a sensible default; an empty file yields the paper's
 // 16-worker c3.8xlarge deployment over an in-memory store.
@@ -145,6 +147,23 @@ func NewCloudPluginFromConfig(f *config.File) (*CloudPlugin, error) {
 		return nil, err
 	}
 	cfg.Codec = xcompress.Codec{MinSize: minBytes}
+	// chunk-bytes: 0 = default 1 MiB chunks; negative = sequential
+	// single-stream transfers (the paper's original policy).
+	chunkBytes, err := f.Int("offload", "chunk-bytes", 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.ChunkBytes = chunkBytes
+	chunkParallel, err := f.Int("offload", "chunk-parallel", 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.ChunkParallel = chunkParallel
+	healthTTLMs, err := f.Float("offload", "health-ttl-ms", 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.HealthTTL = time.Duration(healthTTLMs * float64(time.Millisecond))
 	jniBaseMs, err := f.Float("offload", "jni-base-ms", 1)
 	if err != nil {
 		return nil, err

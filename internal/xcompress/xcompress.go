@@ -65,19 +65,116 @@ func (c Codec) level() int {
 const (
 	tagRaw  byte = 0
 	tagGzip byte = 1
+	// TagChunked marks a multipart-object manifest. The frame body is
+	// owned by internal/chunkio; this package only reserves the tag so
+	// the three layouts share one self-describing first byte.
+	TagChunked byte = 2
 )
+
+// Verdict is a per-buffer compression decision, probed once and then applied
+// to every chunk of that buffer. Chunks of one buffer share its entropy
+// profile, so re-probing each chunk would re-compress 256 KiB per chunk just
+// to reach the same answer.
+type Verdict int
+
+const (
+	// VerdictAuto defers the decision to Encode's own probe.
+	VerdictAuto Verdict = iota
+	// VerdictRaw ships the payload uncompressed.
+	VerdictRaw
+	// VerdictGzip compresses (still falling back to raw if gzip expands
+	// the payload, so the wire size never exceeds len(buf)+1).
+	VerdictGzip
+)
+
+// ProbeVerdict decides raw-vs-gzip for a whole buffer by gzipping its head,
+// for callers (internal/chunkio) that encode the buffer in independent
+// chunks and want the policy applied once per buffer rather than per chunk.
+func (c Codec) ProbeVerdict(buf []byte) Verdict {
+	if !c.Enabled() || len(buf) < c.minSize() {
+		return VerdictRaw
+	}
+	if len(buf) <= sampleSize {
+		// Too small to probe meaningfully; gzipFrame's expansion
+		// fallback is the decider.
+		return VerdictGzip
+	}
+	if c.headRatio(buf) > SkipRatio {
+		return VerdictRaw
+	}
+	return VerdictGzip
+}
+
+// EncodeWith is Encode with the raw/gzip decision supplied by the caller
+// (typically a per-buffer ProbeVerdict shared across chunks).
+func (c Codec) EncodeWith(buf []byte, v Verdict) ([]byte, error) {
+	switch v {
+	case VerdictRaw:
+		return rawFrame(buf), nil
+	case VerdictGzip:
+		return c.gzipFrame(buf)
+	default:
+		return c.Encode(buf)
+	}
+}
 
 // Encode returns the wire form of buf: a one-byte tag followed by either the
 // raw bytes or a gzip stream, per the codec policy. Buffers whose head
 // probes as near-incompressible (ratio > SkipRatio) ship raw: on a fast
 // host-target link, gzip on such data costs more time than it saves.
+//
+// The probe is part of the output stream: the head is written into the gzip
+// writer, Flush exposes its compressed size, and only then does encoding
+// either continue with the tail or abandon the stream for a raw frame — so
+// a compressed buffer's first 256 KiB is gzipped exactly once, not once to
+// probe and again to encode.
 func (c Codec) Encode(buf []byte) ([]byte, error) {
-	if !c.Enabled() || len(buf) < c.minSize() || c.probeSkips(buf) {
-		out := make([]byte, 1+len(buf))
-		out[0] = tagRaw
-		copy(out[1:], buf)
-		return out, nil
+	if !c.Enabled() || len(buf) < c.minSize() {
+		return rawFrame(buf), nil
 	}
+	if len(buf) <= sampleSize {
+		return c.gzipFrame(buf)
+	}
+	var b bytes.Buffer
+	b.Grow(len(buf)/2 + 64)
+	b.WriteByte(tagGzip)
+	zw, err := gzip.NewWriterLevel(&b, c.level())
+	if err != nil {
+		return nil, fmt.Errorf("xcompress: %w", err)
+	}
+	if _, err := zw.Write(buf[:sampleSize]); err != nil {
+		return nil, fmt.Errorf("xcompress: %w", err)
+	}
+	if err := zw.Flush(); err != nil {
+		return nil, fmt.Errorf("xcompress: %w", err)
+	}
+	if float64(b.Len()-1)/float64(sampleSize) > SkipRatio {
+		return rawFrame(buf), nil
+	}
+	if _, err := zw.Write(buf[sampleSize:]); err != nil {
+		return nil, fmt.Errorf("xcompress: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("xcompress: %w", err)
+	}
+	if b.Len() > len(buf)+1 {
+		return rawFrame(buf), nil
+	}
+	return b.Bytes(), nil
+}
+
+// rawFrame wraps buf in a raw wire frame.
+func rawFrame(buf []byte) []byte {
+	out := make([]byte, 1+len(buf))
+	out[0] = tagRaw
+	copy(out[1:], buf)
+	return out
+}
+
+// gzipFrame compresses buf unconditionally, falling back to raw if gzip
+// expanded the data (dense random floats can) so the wire size never
+// exceeds len(buf)+1.
+func (c Codec) gzipFrame(buf []byte) ([]byte, error) {
 	var b bytes.Buffer
 	b.Grow(len(buf)/2 + 64)
 	b.WriteByte(tagGzip)
@@ -91,13 +188,8 @@ func (c Codec) Encode(buf []byte) ([]byte, error) {
 	if err := zw.Close(); err != nil {
 		return nil, fmt.Errorf("xcompress: %w", err)
 	}
-	// If gzip expanded the data (dense random floats can), fall back to raw
-	// so the wire size never exceeds len(buf)+1.
 	if b.Len() > len(buf)+1 {
-		out := make([]byte, 1+len(buf))
-		out[0] = tagRaw
-		copy(out[1:], buf)
-		return out, nil
+		return rawFrame(buf), nil
 	}
 	return b.Bytes(), nil
 }
@@ -124,6 +216,8 @@ func Decode(wire []byte) ([]byte, error) {
 			return nil, fmt.Errorf("xcompress: %w", err)
 		}
 		return out, nil
+	case TagChunked:
+		return nil, fmt.Errorf("xcompress: payload is a chunked manifest; fetch it via chunkio.Download")
 	default:
 		return nil, fmt.Errorf("xcompress: unknown tag %d", wire[0])
 	}
@@ -132,25 +226,22 @@ func Decode(wire []byte) ([]byte, error) {
 // IsCompressed reports whether a wire payload carries a gzip stream.
 func IsCompressed(wire []byte) bool { return len(wire) > 0 && wire[0] == tagGzip }
 
-// probeSkips gzips the head of buf and reports whether the whole buffer
-// should ship raw. Buffers at or under the probe size are never skipped by
-// the probe (the full compression decides).
-func (c Codec) probeSkips(buf []byte) bool {
-	if len(buf) <= sampleSize {
-		return false
-	}
+// headRatio gzips the head of buf (which must be longer than sampleSize)
+// and returns the observed compression ratio. Errors report 0, i.e.
+// "perfectly compressible": the full encode will find out the truth.
+func (c Codec) headRatio(buf []byte) float64 {
 	var b bytes.Buffer
 	zw, err := gzip.NewWriterLevel(&b, c.level())
 	if err != nil {
-		return false
+		return 0
 	}
 	if _, err := zw.Write(buf[:sampleSize]); err != nil {
-		return false
+		return 0
 	}
 	if err := zw.Close(); err != nil {
-		return false
+		return 0
 	}
-	return float64(b.Len())/float64(sampleSize) > SkipRatio
+	return float64(b.Len()) / float64(sampleSize)
 }
 
 // Probe is the result of measuring gzip behaviour on a data sample. The
