@@ -7,6 +7,7 @@
 //	ompcloud-bench -fig 4 -csv       # machine-readable output
 //	ompcloud-bench -bench gemm,3mm   # restrict the benchmark set
 //	ompcloud-bench -transfer         # transfer-path microbenchmark -> BENCH_transfer.json
+//	ompcloud-bench -chaos            # fault-injection soak (all 8 kernels) -> BENCH_chaos.json
 //
 // The tool first calibrates the machine (real single-core kernel runs and
 // real gzip probes; takes a few seconds at the default -caln), then derives
@@ -43,10 +44,17 @@ func main() {
 		transfer = flag.Bool("transfer", false, "run the transfer-path microbenchmark (sequential vs pipelined upload)")
 		xferMiB  = flag.Int("transfer-mib", 256, "payload size for -transfer, in MiB")
 		xferOut  = flag.String("transfer-out", "BENCH_transfer.json", "output path for the -transfer results")
+		chaos    = flag.Bool("chaos", false, "run the fault-injection soak (retry, fallback and breaker scenarios)")
+		chaosN   = flag.Int("chaos-n", 96, "matrix dimension for -chaos")
+		chaosOut = flag.String("chaos-out", "BENCH_chaos.json", "output path for the -chaos results")
 	)
 	flag.Parse()
 	if *transfer {
 		runTransfer(*xferMiB, *seed, *xferOut)
+		return
+	}
+	if *chaos {
+		runChaos(*chaosN, *seed, *chaosOut)
 		return
 	}
 	if *fig == 0 && !*stats && !*ablation {
@@ -181,6 +189,38 @@ func runTransfer(mib int, seed int64, outPath string) {
 	fmt.Printf("\nsparse upload speedup (wall):    %.2fx\n", res.SpeedupS)
 	fmt.Printf("sparse upload speedup (virtual): %.2fx\n", res.SpeedupV)
 	fmt.Printf("dense  upload speedup (wall):    %.2fx\n", res.SpeedupD)
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+}
+
+// runChaos executes the fault-injection soak — every kernel clean and
+// under a deterministic fault schedule, plus the circuit-breaker
+// scenario — and writes the result set to outPath.
+func runChaos(n int, seed int64, outPath string) {
+	fmt.Fprintf(os.Stderr, "chaos soak: 8 kernels at n=%d, seed %d ...\n", n, seed)
+	res, err := bench.RunChaosBench(n, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-16s %-16s %7s %8s %7s %5s %10s %10s %9s\n",
+		"kernel", "scenario", "faults", "retries", "tasks", "fell", "clean_s", "chaos_s", "overhead")
+	for _, k := range res.Kernels {
+		fell := "-"
+		if k.FellBack {
+			fell = "host"
+		}
+		fmt.Printf("%-16s %-16s %7d %8d %7d %5s %10.3f %10.3f %8.1f%%\n",
+			k.Name, k.Scenario, k.FaultsFired, k.StorageRetries, k.TaskFailures,
+			fell, k.CleanVirtualS, k.ChaosVirtualS, k.OverheadPct)
+	}
+	fmt.Printf("\nbreaker: tripped after %d failed offloads, %d probes while open, recovered=%v\n",
+		res.Breaker.FailuresToTrip, res.Breaker.ProbesWhileOpen, res.Breaker.Recovered)
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,380 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"ompcloud/internal/data"
+	"ompcloud/internal/kernels"
+	"ompcloud/internal/offload"
+	"ompcloud/internal/omp"
+	"ompcloud/internal/resilience"
+	"ompcloud/internal/spark"
+	"ompcloud/internal/storage"
+)
+
+// ChaosKernel is one benchmark's clean-vs-chaos comparison: the same
+// workload runs once on a healthy store and once under a deterministic
+// fault schedule, and both results must verify against the serial
+// reference.
+type ChaosKernel struct {
+	Name     string `json:"name"`
+	Scenario string `json:"scenario"`
+	// FaultsFired counts storage fault-rule activations during the chaos
+	// run; zero means the schedule never engaged and the row proves
+	// nothing.
+	FaultsFired int `json:"faults_fired"`
+	// StorageRetries and TaskFailures are the recovery events the chaos
+	// run absorbed (re-attempted storage legs, re-run Spark tasks).
+	StorageRetries int `json:"storage_retries"`
+	TaskFailures   int `json:"task_failures"`
+	// FellBack marks scenarios whose device leg is unrecoverable by
+	// design: the run completed on the host (§III.A dynamic fallback).
+	FellBack       bool   `json:"fell_back"`
+	FallbackReason string `json:"fallback_reason,omitempty"`
+	// CleanVirtualS/ChaosVirtualS are the virtual end-to-end durations;
+	// OverheadPct is the recovery overhead the faults cost.
+	CleanVirtualS float64 `json:"clean_virtual_s"`
+	ChaosVirtualS float64 `json:"chaos_virtual_s"`
+	OverheadPct   float64 `json:"overhead_pct"`
+}
+
+// ChaosBreaker summarizes the dead-store scenario: a store whose job
+// objects never come back must trip the circuit breaker, after which the
+// device answers unavailable without issuing new health probes until the
+// cooldown expires.
+type ChaosBreaker struct {
+	FailuresToTrip  int  `json:"failures_to_trip"`
+	Tripped         bool `json:"tripped"`
+	ProbesWhileOpen int  `json:"probes_while_open"`
+	Recovered       bool `json:"recovered_after_cooldown"`
+}
+
+// ChaosBench is the full chaos-soak result set, serialized to
+// BENCH_chaos.json by cmd/ompcloud-bench -chaos.
+type ChaosBench struct {
+	N       int           `json:"n"`
+	Seed    int64         `json:"seed"`
+	Cores   int           `json:"cores"`
+	Kernels []ChaosKernel `json:"kernels"`
+	Breaker ChaosBreaker  `json:"breaker"`
+}
+
+// chaosCores keeps the soak cluster small so every kernel still splits
+// into several tiles at bench dimensions.
+const chaosCores = 8
+
+// chaosScenario is one deterministic storage-fault schedule.
+type chaosScenario struct {
+	name string
+	// fallback marks schedules that are unrecoverable by design, so the
+	// run must finish on the host.
+	fallback bool
+	inject   func(*storage.FaultStore)
+}
+
+// chaosScenarios cycle across the benchmarks. The dead-output-leg
+// scenario is only assigned to single-region kernels: multi-region
+// workloads run inside a target-data environment, whose mid-flight
+// storage failures surface as errors rather than re-running on the host.
+var chaosScenarios = []chaosScenario{
+	{name: "flaky-puts", inject: func(fs *storage.FaultStore) {
+		fs.Inject(storage.FailKeysMatching(storage.OpPut, "/in/", 2)).
+			Inject(storage.FailKeysMatching(storage.OpPut, "/out/", 1))
+	}},
+	{name: "flaky-gets", inject: func(fs *storage.FaultStore) {
+		fs.Inject(storage.FailKeysMatching(storage.OpGet, "/in/", 1)).
+			Inject(storage.TruncateGets(".part", 7, 1)).
+			Inject(storage.FlipBitGets(".part", 3, 1))
+	}},
+	{name: "dead-output-leg", fallback: true, inject: func(fs *storage.FaultStore) {
+		fs.Inject(storage.FailKeysMatching(storage.OpAny, "/out/", 0))
+	}},
+}
+
+// chaosPlugin builds the resilient cloud device for one chaos run: small
+// chunks so the data path is chunk-granular, four retry attempts per
+// storage leg, and no real backoff sleeping.
+func chaosPlugin(st storage.Store, faults spark.FaultInjector) (*offload.CloudPlugin, error) {
+	return offload.NewCloudPlugin(offload.CloudConfig{
+		Spec:       ClusterFor(chaosCores),
+		Store:      st,
+		ChunkBytes: 4096,
+		RetryMax:   4,
+		RetrySleep: func(time.Duration) {},
+		Faults:     faults,
+	})
+}
+
+// runChaosKernel runs one benchmark clean and then under the scenario's
+// fault schedule, verifying both runs and comparing them bit for bit when
+// both executed on the cloud device.
+func runChaosKernel(b *kernels.Benchmark, scen chaosScenario, n int, seed int64) (ChaosKernel, error) {
+	row := ChaosKernel{Name: b.Name, Scenario: scen.name}
+
+	rt, err := omp.NewRuntime(4)
+	if err != nil {
+		return row, err
+	}
+	clean, err := chaosPlugin(storage.NewMemStore(), nil)
+	if err != nil {
+		return row, err
+	}
+	defer clean.Close()
+	w := b.Prepare(n, data.Dense, seed)
+	cleanRep, err := w.Run(rt, rt.RegisterDevice(clean))
+	if err != nil {
+		return row, fmt.Errorf("%s clean run: %w", b.Name, err)
+	}
+	if err := w.Verify(); err != nil {
+		return row, fmt.Errorf("%s clean run: %w", b.Name, err)
+	}
+	cleanOuts := snapshotOutputs(w)
+	row.CleanVirtualS = cleanRep.Total().Seconds()
+
+	fs := storage.NewFaultStore(storage.NewMemStore())
+	scen.inject(fs)
+	taskFaults := spark.ChainFaults(
+		&spark.FlakyEveryNth{N: 5},
+		spark.CrashAfterSuccess(1, 1),
+	)
+	chaos, err := chaosPlugin(fs, taskFaults)
+	if err != nil {
+		return row, err
+	}
+	defer chaos.Close()
+	rt2, err := omp.NewRuntime(4)
+	if err != nil {
+		return row, err
+	}
+	w2 := b.Prepare(n, data.Dense, seed)
+	chaosRep, err := w2.Run(rt2, rt2.RegisterDevice(chaos))
+	if err != nil {
+		return row, fmt.Errorf("%s chaos run (%s): %w", b.Name, scen.name, err)
+	}
+	if err := w2.Verify(); err != nil {
+		return row, fmt.Errorf("%s chaos run (%s): %w", b.Name, scen.name, err)
+	}
+	row.FaultsFired = fs.Fired()
+	row.StorageRetries = chaosRep.StorageRetries
+	row.TaskFailures = chaosRep.TaskFailures
+	row.FellBack = chaosRep.FellBack
+	row.FallbackReason = chaosRep.FallbackReason
+	row.ChaosVirtualS = chaosRep.Total().Seconds()
+	// Recovery overhead only makes sense when both runs executed on the
+	// cloud device; a fallback row's chaos time is host wall-compute.
+	if row.CleanVirtualS > 0 && !row.FellBack {
+		row.OverheadPct = 100 * (row.ChaosVirtualS - row.CleanVirtualS) / row.CleanVirtualS
+	}
+
+	if scen.fallback {
+		if !row.FellBack {
+			return row, fmt.Errorf("%s: scenario %s should have forced a host fallback", b.Name, scen.name)
+		}
+		if row.FallbackReason == "" {
+			return row, fmt.Errorf("%s: fallback report is missing its reason", b.Name)
+		}
+	} else {
+		if row.FellBack {
+			return row, fmt.Errorf("%s: recoverable scenario %s fell back: %s", b.Name, scen.name, row.FallbackReason)
+		}
+		// Both runs executed on the cloud device over identical inputs,
+		// so the recovered outputs must be bitwise identical.
+		if err := compareOutputs(cleanOuts, w2.Outputs()); err != nil {
+			return row, fmt.Errorf("%s: %w", b.Name, err)
+		}
+	}
+	if row.FaultsFired == 0 {
+		return row, fmt.Errorf("%s: scenario %s never fired a fault", b.Name, scen.name)
+	}
+	return row, nil
+}
+
+// snapshotOutputs deep-copies a workload's live output buffers before the
+// next run overwrites them.
+func snapshotOutputs(w *kernels.Workload) [][]float32 {
+	outs := w.Outputs()
+	cp := make([][]float32, len(outs))
+	for i, o := range outs {
+		cp[i] = append([]float32(nil), o...)
+	}
+	return cp
+}
+
+// compareOutputs checks two output sets bit for bit.
+func compareOutputs(a, b [][]float32) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("output count differs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return fmt.Errorf("output %d length differs: %d vs %d", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return fmt.Errorf("output %d diverges at %d: clean %v, chaos %v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+	return nil
+}
+
+// probeCountStore counts health-probe writes passing through it, so the
+// breaker scenario can prove that an open breaker suppresses probes.
+type probeCountStore struct {
+	storage.Store
+	mu    sync.Mutex
+	pings int
+}
+
+func (p *probeCountStore) Put(key string, data []byte) error {
+	if strings.HasPrefix(key, "health/") {
+		p.mu.Lock()
+		p.pings++
+		p.mu.Unlock()
+	}
+	return p.Store.Put(key, data)
+}
+
+func (p *probeCountStore) Pings() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pings
+}
+
+// runChaosBreaker drives the dead-store scenario: job objects fail
+// forever, each offload attempt falls back to the host and feeds the
+// breaker, and after the threshold the device must answer unavailable
+// from breaker state alone — no new probes — until the cooldown expires
+// and the healed store closes it again.
+func runChaosBreaker(n int, seed int64) (ChaosBreaker, error) {
+	var res ChaosBreaker
+
+	fs := storage.NewFaultStore(storage.NewMemStore()).
+		Inject(storage.FailKeysMatching(storage.OpAny, "jobs/", 0))
+	pc := &probeCountStore{Store: fs}
+
+	var clockMu sync.Mutex
+	clock := time.Unix(0, 0)
+	now := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return clock
+	}
+
+	const threshold = 2
+	cooldown := 10 * time.Second
+	plugin, err := offload.NewCloudPlugin(offload.CloudConfig{
+		Spec:            ClusterFor(chaosCores),
+		Store:           pc,
+		ChunkBytes:      4096,
+		RetryMax:        -1, // fail fast: the store is dead, retries cannot help
+		RetrySleep:      func(time.Duration) {},
+		HealthTTL:       -1, // probe on every Available() call, so suppression is visible
+		BreakerFailures: threshold,
+		BreakerCooldown: cooldown,
+		BreakerNow:      now,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer plugin.Close()
+	rt, err := omp.NewRuntime(4)
+	if err != nil {
+		return res, err
+	}
+	dev := rt.RegisterDevice(plugin)
+
+	// Each run fails mid-flight on the device, completes on the host, and
+	// counts one breaker failure.
+	w := kernels.GEMM.Prepare(n, data.Dense, seed)
+	for plugin.Breaker().State() != resilience.BreakerOpen {
+		if res.FailuresToTrip >= 2*threshold {
+			return res, fmt.Errorf("breaker did not trip after %d failed offloads", res.FailuresToTrip)
+		}
+		rep, err := w.Run(rt, dev)
+		if err != nil {
+			return res, fmt.Errorf("breaker run %d: %w", res.FailuresToTrip, err)
+		}
+		if !rep.FellBack {
+			return res, fmt.Errorf("breaker run %d should have fallen back to the host", res.FailuresToTrip)
+		}
+		res.FailuresToTrip++
+	}
+	res.Tripped = true
+
+	before := pc.Pings()
+	for i := 0; i < 5; i++ {
+		if plugin.Available() {
+			return res, fmt.Errorf("open breaker still reports the device available")
+		}
+	}
+	res.ProbesWhileOpen = pc.Pings() - before
+	if res.ProbesWhileOpen != 0 {
+		return res, fmt.Errorf("open breaker issued %d health probes", res.ProbesWhileOpen)
+	}
+
+	// The store heals, the cooldown expires, the half-open probe closes
+	// the breaker and offloads flow again.
+	fs.Clear()
+	clockMu.Lock()
+	clock = clock.Add(cooldown + time.Second)
+	clockMu.Unlock()
+	if !plugin.Available() {
+		return res, fmt.Errorf("healed device still unavailable after cooldown")
+	}
+	rep, err := w.Run(rt, dev)
+	if err != nil {
+		return res, fmt.Errorf("post-recovery run: %w", err)
+	}
+	if rep.FellBack {
+		return res, fmt.Errorf("post-recovery run fell back: %s", rep.FallbackReason)
+	}
+	if err := w.Verify(); err != nil {
+		return res, err
+	}
+	res.Recovered = true
+	return res, nil
+}
+
+// RunChaosBench executes every benchmark clean and under a deterministic
+// fault schedule, then the breaker scenario, and returns the full soak
+// result set. Faults cover both planes: the storage path (failed puts and
+// gets, truncated and bit-flipped chunk payloads, a dead output leg) and
+// the task plane (flaky attempts, crash-after-success result loss).
+func RunChaosBench(n int, seed int64) (*ChaosBench, error) {
+	if n <= 0 {
+		n = 96
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	out := &ChaosBench{N: n, Seed: seed, Cores: chaosCores}
+
+	single := 0 // cycles all scenarios across the single-region kernels
+	multi := 0  // multi-region kernels only get recoverable schedules
+	for _, b := range kernels.All {
+		var scen chaosScenario
+		if b.Regions == 1 {
+			scen = chaosScenarios[single%len(chaosScenarios)]
+			single++
+		} else {
+			scen = chaosScenarios[multi%2]
+			multi++
+		}
+		row, err := runChaosKernel(b, scen, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Kernels = append(out.Kernels, row)
+	}
+
+	br, err := runChaosBreaker(n, seed)
+	if err != nil {
+		return nil, fmt.Errorf("breaker scenario: %w", err)
+	}
+	out.Breaker = br
+	return out, nil
+}

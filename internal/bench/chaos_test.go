@@ -1,0 +1,42 @@
+package bench
+
+import "testing"
+
+func TestChaosBenchSoak(t *testing.T) {
+	res, err := RunChaosBench(64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kernels) != 8 {
+		t.Fatalf("chaos soak covered %d kernels, want 8", len(res.Kernels))
+	}
+	totalRetries, totalFired, fallbacks := 0, 0, 0
+	for _, k := range res.Kernels {
+		totalRetries += k.StorageRetries
+		totalFired += k.FaultsFired
+		if k.FellBack {
+			fallbacks++
+			if k.FallbackReason == "" {
+				t.Errorf("%s: fallback without a reason", k.Name)
+			}
+		}
+	}
+	if totalFired == 0 {
+		t.Fatal("no fault rule ever fired; the soak exercised nothing")
+	}
+	if totalRetries == 0 {
+		t.Fatal("no storage leg ever retried; the schedules were too gentle")
+	}
+	if fallbacks == 0 {
+		t.Fatal("no kernel hit the unrecoverable scenario; fallback untested")
+	}
+	if !res.Breaker.Tripped {
+		t.Fatal("dead store did not trip the breaker")
+	}
+	if res.Breaker.ProbesWhileOpen != 0 {
+		t.Fatalf("open breaker issued %d probes", res.Breaker.ProbesWhileOpen)
+	}
+	if !res.Breaker.Recovered {
+		t.Fatal("breaker did not recover after the cooldown")
+	}
+}

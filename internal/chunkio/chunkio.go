@@ -26,12 +26,15 @@ package chunkio
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"ompcloud/internal/resilience"
 	"ompcloud/internal/storage"
 	"ompcloud/internal/xcompress"
 )
@@ -77,6 +80,17 @@ type Options struct {
 	Have func(key string) (wire int64, ok bool)
 	// OnStored is invoked after each part is written (cache bookkeeping).
 	OnStored func(key string, wire int64)
+
+	// Retry re-attempts failed store operations at chunk granularity: a
+	// failed part PUT resends just that part's already-encoded bytes, a
+	// failed or corrupted part GET re-fetches and re-decodes just that
+	// part, and the manifest read/write retries on its own. Because part
+	// PUTs overwrite whole objects and GET attempts decode into private
+	// buffers, every retry unit is idempotent. The zero value performs a
+	// single attempt (the pre-resilience behaviour). Errors classified
+	// resilience.Permanent — missing keys, manifest version mismatches,
+	// local encode failures — stop immediately.
+	Retry resilience.Policy
 }
 
 func (o Options) chunkSize() int {
@@ -135,6 +149,23 @@ type manifest struct {
 // can keep one flat file per key.
 func partKey(key string, i int) string { return fmt.Sprintf("%s.%05d.part", key, i) }
 
+// classifyGetErr routes a store read error through the resilience taxonomy:
+// a missing key is permanent (re-reading will not materialize it; recovery
+// belongs to a higher layer, e.g. re-running the job), anything else keeps
+// its own classification (injected faults arrive pre-marked transient) or
+// stays unknown-and-retriable.
+func classifyGetErr(err error) error {
+	if errors.Is(err, storage.ErrNotFound) && resilience.ClassOf(err) == resilience.Unknown {
+		return resilience.MarkPermanent(err)
+	}
+	return err
+}
+
+// corruptErr marks a payload-integrity failure (bad frame, short data, bit
+// rot) transient: the store's authoritative copy may well be intact, so a
+// re-fetch is worth the attempt.
+func corruptErr(err error) error { return resilience.MarkTransient(err) }
+
 // UploadResult reports what one Upload moved and what it cost.
 type UploadResult struct {
 	// TotalWire is the full wire volume of the stored object: manifest (if
@@ -154,6 +185,9 @@ type UploadResult struct {
 	CompressWall time.Duration
 	// CompressCPU is the summed per-chunk compression time.
 	CompressCPU time.Duration
+	// Retries counts store-operation re-attempts this upload needed
+	// (0 on a fault-free path or with retries disabled).
+	Retries int
 }
 
 // wallOf models the wall time of a perfectly parallel stage from per-item
@@ -182,20 +216,30 @@ func wallOf(durs []time.Duration, width int) (wall, cpu time.Duration) {
 // larger ones become a manifest plus parts.
 func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult, error) {
 	cs := o.chunkSize()
+	var retries atomic.Int64
+	// put writes one object with the configured retry policy; a re-sent
+	// PUT overwrites the whole object, so retrying is idempotent.
+	put := func(k string, data []byte) error {
+		out, err := o.Retry.Do(func() error { return st.Put(k, data) })
+		retries.Add(int64(out.Attempts - 1))
+		return err
+	}
 	if len(buf) <= cs {
 		start := time.Now()
 		enc, err := o.Codec.Encode(buf)
 		dur := time.Since(start)
 		if err != nil {
-			return nil, fmt.Errorf("chunkio: encoding %s: %w", key, err)
+			// Encoding is local CPU work: retrying cannot help.
+			return nil, resilience.MarkPermanent(fmt.Errorf("chunkio: encoding %s: %w", key, err))
 		}
-		if err := st.Put(key, enc); err != nil {
+		if err := put(key, enc); err != nil {
 			return nil, fmt.Errorf("chunkio: storing %s: %w", key, err)
 		}
 		wire := int64(len(enc))
 		return &UploadResult{
 			TotalWire: wire, SentWire: wire, Chunks: 1,
 			CompressWall: dur, CompressCPU: dur,
+			Retries: int(retries.Load()),
 		}, nil
 	}
 
@@ -277,7 +321,7 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 				enc, err := o.Codec.EncodeWith(chunk, verdict)
 				durs[i] = time.Since(start)
 				if err != nil {
-					fail(fmt.Errorf("chunkio: encoding %s: %w", ckey, err))
+					fail(resilience.MarkPermanent(fmt.Errorf("chunkio: encoding %s: %w", ckey, err)))
 					return
 				}
 				entries[i] = chunkEntry{Key: ckey, Raw: int64(len(chunk)), Wire: int64(len(enc))}
@@ -303,7 +347,7 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 				if failed() {
 					continue // drain without writing
 				}
-				if err := st.Put(pj.key, pj.enc); err != nil {
+				if err := put(pj.key, pj.enc); err != nil {
 					fail(fmt.Errorf("chunkio: storing %s: %w", pj.key, err))
 					continue
 				}
@@ -329,11 +373,11 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 	frame := make([]byte, 1+len(body))
 	frame[0] = xcompress.TagChunked
 	copy(frame[1:], body)
-	if err := st.Put(key, frame); err != nil {
+	if err := put(key, frame); err != nil {
 		return nil, fmt.Errorf("chunkio: storing manifest %s: %w", key, err)
 	}
 
-	res := &UploadResult{Chunks: n, Reused: reused}
+	res := &UploadResult{Chunks: n, Reused: reused, Retries: int(retries.Load())}
 	res.TotalWire = int64(len(frame))
 	for _, e := range entries {
 		res.TotalWire += e.Wire
@@ -355,61 +399,95 @@ type DownloadResult struct {
 	DecompressWall time.Duration
 	// DecompressCPU is the summed per-chunk decode time.
 	DecompressCPU time.Duration
+	// Retries counts store-operation re-attempts this download needed.
+	Retries int
 }
 
 // Download fetches the object stored under key, transparently handling both
 // layouts: a legacy single xcompress frame or a chunked manifest, whose
 // parts are fetched and decompressed concurrently.
 func Download(st storage.Store, key string, o Options) ([]byte, *DownloadResult, error) {
-	obj, err := st.Get(key)
+	var retries atomic.Int64
+
+	// The root object's fetch, frame discrimination and validation form
+	// one retry unit: a truncated or bit-flipped read (single frame or
+	// manifest alike) re-fetches the object, because the store's
+	// authoritative copy may be intact.
+	var (
+		m        manifest
+		chunked  bool
+		raw      []byte
+		rootWire int64
+		rootDur  time.Duration
+		offsets  []int64
+	)
+	rout, err := o.Retry.Do(func() error {
+		obj, err := st.Get(key)
+		if err != nil {
+			return classifyGetErr(err)
+		}
+		rootWire = int64(len(obj))
+		if len(obj) == 0 || obj[0] != xcompress.TagChunked {
+			chunked = false
+			start := time.Now()
+			r, err := xcompress.Decode(obj)
+			rootDur = time.Since(start)
+			if err != nil {
+				return corruptErr(fmt.Errorf("chunkio: decoding %s: %w", key, err))
+			}
+			raw = r
+			return nil
+		}
+		chunked = true
+		m = manifest{}
+		if err := json.Unmarshal(obj[1:], &m); err != nil {
+			return corruptErr(fmt.Errorf("chunkio: manifest %s: %w", key, err))
+		}
+		if m.Version != manifestVersion {
+			// A structurally valid manifest from a different engine
+			// version: re-reading cannot change it.
+			return resilience.MarkPermanent(fmt.Errorf("chunkio: manifest %s has version %d, want %d", key, m.Version, manifestVersion))
+		}
+		if m.RawSize < 0 {
+			return corruptErr(fmt.Errorf("chunkio: manifest %s has negative size", key))
+		}
+		offsets = make([]int64, len(m.Chunks))
+		var off int64
+		for i, e := range m.Chunks {
+			if e.Raw < 0 {
+				return corruptErr(fmt.Errorf("chunkio: manifest %s: chunk %d has negative size", key, i))
+			}
+			offsets[i] = off
+			off += e.Raw
+		}
+		if off != m.RawSize {
+			return corruptErr(fmt.Errorf("chunkio: manifest %s: chunks sum to %d bytes, want %d", key, off, m.RawSize))
+		}
+		return nil
+	})
+	retries.Add(int64(rout.Attempts - 1))
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(obj) == 0 || obj[0] != xcompress.TagChunked {
-		start := time.Now()
-		raw, err := xcompress.Decode(obj)
-		dur := time.Since(start)
-		if err != nil {
-			return nil, nil, fmt.Errorf("chunkio: decoding %s: %w", key, err)
-		}
+	if !chunked {
 		return raw, &DownloadResult{
-			WireBytes: int64(len(obj)), Chunks: 1,
-			DecompressWall: dur, DecompressCPU: dur,
+			WireBytes: rootWire, Chunks: 1,
+			DecompressWall: rootDur, DecompressCPU: rootDur,
+			Retries: int(retries.Load()),
 		}, nil
-	}
-
-	var m manifest
-	if err := json.Unmarshal(obj[1:], &m); err != nil {
-		return nil, nil, fmt.Errorf("chunkio: manifest %s: %w", key, err)
-	}
-	if m.Version != manifestVersion {
-		return nil, nil, fmt.Errorf("chunkio: manifest %s has version %d, want %d", key, m.Version, manifestVersion)
-	}
-	if m.RawSize < 0 {
-		return nil, nil, fmt.Errorf("chunkio: manifest %s has negative size", key)
-	}
-	offsets := make([]int64, len(m.Chunks))
-	var off int64
-	for i, e := range m.Chunks {
-		if e.Raw < 0 {
-			return nil, nil, fmt.Errorf("chunkio: manifest %s: chunk %d has negative size", key, i)
-		}
-		offsets[i] = off
-		off += e.Raw
-	}
-	if off != m.RawSize {
-		return nil, nil, fmt.Errorf("chunkio: manifest %s: chunks sum to %d bytes, want %d", key, off, m.RawSize)
 	}
 
 	out := make([]byte, m.RawSize)
 	durs := make([]time.Duration, len(m.Chunks))
 	errs := make([]error, len(m.Chunks))
-	var wire int64 = int64(len(obj))
+	wire := rootWire
 	var mu sync.Mutex
 
 	// One worker pool does Get and decode back to back: while worker a
 	// decompresses chunk k, worker b's Get of chunk k+1 is in flight —
-	// the download mirror of the upload pipeline.
+	// the download mirror of the upload pipeline. Each chunk's fetch,
+	// decode and size check form one retry unit decoding into private
+	// buffers, so a corrupted read retries just that chunk.
 	jobs := make(chan int)
 	go func() {
 		defer close(jobs)
@@ -424,26 +502,28 @@ func Download(st storage.Store, key string, o Options) ([]byte, *DownloadResult,
 			defer wg.Done()
 			for i := range jobs {
 				e := m.Chunks[i]
-				enc, err := st.Get(e.Key)
-				if err != nil {
-					errs[i] = fmt.Errorf("chunkio: fetching %s: %w", e.Key, err)
-					continue
-				}
-				mu.Lock()
-				wire += int64(len(enc))
-				mu.Unlock()
-				start := time.Now()
-				raw, err := xcompress.Decode(enc)
-				durs[i] = time.Since(start)
-				if err != nil {
-					errs[i] = fmt.Errorf("chunkio: decoding %s: %w", e.Key, err)
-					continue
-				}
-				if int64(len(raw)) != e.Raw {
-					errs[i] = fmt.Errorf("chunkio: %s decoded to %d bytes, want %d", e.Key, len(raw), e.Raw)
-					continue
-				}
-				copy(out[offsets[i]:], raw)
+				cout, err := o.Retry.Do(func() error {
+					enc, err := st.Get(e.Key)
+					if err != nil {
+						return classifyGetErr(fmt.Errorf("chunkio: fetching %s: %w", e.Key, err))
+					}
+					start := time.Now()
+					raw, err := xcompress.Decode(enc)
+					durs[i] = time.Since(start)
+					if err != nil {
+						return corruptErr(fmt.Errorf("chunkio: decoding %s: %w", e.Key, err))
+					}
+					if int64(len(raw)) != e.Raw {
+						return corruptErr(fmt.Errorf("chunkio: %s decoded to %d bytes, want %d", e.Key, len(raw), e.Raw))
+					}
+					mu.Lock()
+					wire += int64(len(enc))
+					mu.Unlock()
+					copy(out[offsets[i]:], raw)
+					return nil
+				})
+				retries.Add(int64(cout.Attempts - 1))
+				errs[i] = err
 			}
 		}()
 	}
@@ -453,7 +533,7 @@ func Download(st storage.Store, key string, o Options) ([]byte, *DownloadResult,
 			return nil, nil, err
 		}
 	}
-	res := &DownloadResult{WireBytes: wire, Chunks: len(m.Chunks)}
+	res := &DownloadResult{WireBytes: wire, Chunks: len(m.Chunks), Retries: int(retries.Load())}
 	res.DecompressWall, res.DecompressCPU = wallOf(durs, o.parallel())
 	return out, res, nil
 }

@@ -1,6 +1,8 @@
 package offload
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,6 +13,7 @@ import (
 	"ompcloud/internal/cloud"
 	"ompcloud/internal/netsim"
 	"ompcloud/internal/remoteexec"
+	"ompcloud/internal/resilience"
 	"ompcloud/internal/simtime"
 	"ompcloud/internal/spark"
 	"ompcloud/internal/storage"
@@ -68,6 +71,47 @@ type CloudConfig struct {
 	// the store mid-session and expect the device to notice instantly).
 	HealthTTL time.Duration
 
+	// RetryMax is the per-leg attempt budget of the storage data path
+	// (first try included): every chunk PUT of the upload legs and every
+	// object/chunk GET of the fetch and download legs retries
+	// independently up to this budget. 0 means DefaultRetryMax; negative
+	// disables retries (one attempt per operation).
+	RetryMax int
+	// RetryBase is the backoff before a leg's first retry, doubling per
+	// further retry with deterministic jitter. 0 means DefaultRetryBase;
+	// negative retries immediately (tests, virtual-time benches).
+	RetryBase time.Duration
+	// RetryCap bounds a single backoff. 0 means DefaultRetryCap.
+	RetryCap time.Duration
+	// RetryDeadline bounds one leg unit's total attempts plus backoff;
+	// 0 means no deadline.
+	RetryDeadline time.Duration
+	// RetrySeed feeds the deterministic backoff jitter; equal seeds
+	// replay identical backoff schedules.
+	RetrySeed uint64
+	// RetrySleep replaces the backoff clock; nil means time.Sleep.
+	RetrySleep func(time.Duration)
+
+	// BreakerFailures trips the device's circuit breaker after this many
+	// consecutive transient workflow failures: Available() then reports
+	// false without paying probe round trips or retry timeouts until
+	// BreakerCooldown elapses, and one half-open probe decides recovery.
+	// 0 means resilience.DefaultBreakerThreshold; negative disables the
+	// breaker.
+	BreakerFailures int
+	// BreakerCooldown is the open period before the half-open probe;
+	// 0 means resilience.DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// BreakerNow is the breaker's injected clock (tests); nil means
+	// time.Now.
+	BreakerNow func() time.Time
+
+	// Fallback selects what the offload manager does when this device
+	// fails mid-flight with a transient error: FallbackHost (the
+	// default, the paper's dynamic host execution) re-runs the region
+	// on the host; FallbackFail surfaces the error to the caller.
+	Fallback FallbackPolicy
+
 	// RunOnDriver models the paper's §III.D deployment alternative:
 	// "one might run his application directly from the driver node of
 	// the Spark cluster, thus removing the overhead of host-target
@@ -113,6 +157,13 @@ type CloudPlugin struct {
 	cache *uploadCache     // nil unless EnableCache
 	pool  *remoteexec.Pool // nil unless WorkerAddrs configured
 
+	// breaker guards the device against consecutive workflow failures
+	// (nil when disabled); healthKey is this plugin's private probe key,
+	// so concurrent plugins sharing one store never race on a probe
+	// object.
+	breaker   *resilience.Breaker
+	healthKey string
+
 	mu       sync.Mutex
 	cluster  *cloud.Cluster
 	initErr  error
@@ -129,6 +180,16 @@ type CloudPlugin struct {
 // Long enough that back-to-back jobs don't pay three storage round trips
 // each, short enough that a dead store is noticed within a few seconds.
 const DefaultHealthTTL = 5 * time.Second
+
+// Defaults of the storage-leg retry policy: three attempts with 25ms-base
+// exponential backoff capped at one second — enough to ride out the blip
+// faults object stores throw, short enough that a truly dead store fails
+// over to the host in well under the breaker cooldown.
+const (
+	DefaultRetryMax  = 3
+	DefaultRetryBase = 25 * time.Millisecond
+	DefaultRetryCap  = time.Second
+)
 
 // NewCloudPlugin builds and initializes the cloud device. Construction
 // itself never fails on unavailable infrastructure: the paper's runtime
@@ -163,7 +224,14 @@ func NewCloudPlugin(cfg CloudConfig) (*CloudPlugin, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &CloudPlugin{cfg: cfg, sctx: sctx}
+	p := &CloudPlugin{cfg: cfg, sctx: sctx, healthKey: "health/" + randomNonce()}
+	if cfg.BreakerFailures >= 0 {
+		p.breaker = &resilience.Breaker{
+			Threshold: cfg.BreakerFailures,
+			Cooldown:  cfg.BreakerCooldown,
+			Now:       cfg.BreakerNow,
+		}
+	}
 	if cfg.EnableCache {
 		p.cache = newUploadCache()
 	}
@@ -208,19 +276,56 @@ func (p *CloudPlugin) Name() string {
 // Cores implements Plugin.
 func (p *CloudPlugin) Cores() int { return p.cfg.Spec.TotalCores() }
 
+// randomNonce returns a short per-plugin identifier for the health-probe
+// key. Two plugins over one store must not share a probe object: one's
+// Delete would race the other's Get into a spurious "store down" verdict.
+func randomNonce() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand is effectively infallible; a distinct fallback
+		// string still avoids the shared fixed key.
+		return fmt.Sprintf("%p", &b)
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // Available implements Plugin: the device is usable when provisioning
-// succeeded and the storage service answers a health probe. This is what
-// the manager consults for dynamic host fallback.
+// succeeded, the circuit breaker admits traffic, and the storage service
+// answers a health probe. This is what the manager consults for dynamic
+// host fallback.
 //
-// The probe is a full Put/Get/Delete round trip — three RTTs against a
-// remote store — so its verdict is cached for HealthTTL: back-to-back jobs
-// reuse one probe instead of paying the round trips on every Run call.
+// The breaker gate comes first: while open, Available reports false
+// without touching storage at all — a tripped device costs nothing until
+// the cooldown elapses. The probe itself is a full Put/Get/Delete round
+// trip — three RTTs against a remote store — so its verdict is cached for
+// HealthTTL: back-to-back jobs reuse one probe instead of paying the round
+// trips on every Run call.
 func (p *CloudPlugin) Available() bool {
 	p.mu.Lock()
 	initErr := p.initErr
 	p.mu.Unlock()
 	if initErr != nil {
 		return false
+	}
+	if p.breaker != nil {
+		if !p.breaker.Allow() {
+			return false
+		}
+		if p.breaker.State() == resilience.BreakerHalfOpen {
+			// This call holds the breaker's single half-open probe
+			// slot: bypass the TTL cache and report the fresh probe's
+			// outcome so the breaker can close or re-open.
+			ok := p.probeHealth()
+			p.healthMu.Lock()
+			p.healthOK, p.healthAt = ok, time.Now()
+			p.healthMu.Unlock()
+			if ok {
+				p.breaker.Success()
+			} else {
+				p.breaker.Failure()
+			}
+			return ok
+		}
 	}
 	ttl := p.cfg.HealthTTL
 	if ttl == 0 {
@@ -236,21 +341,68 @@ func (p *CloudPlugin) Available() bool {
 	return p.healthOK
 }
 
-// probeHealth runs the storage round trip and worker-pool check.
+// probeHealth runs the storage round trip and worker-pool check against
+// this plugin's private probe key.
 func (p *CloudPlugin) probeHealth() bool {
-	if err := p.cfg.Store.Put("health/ping", []byte("ok")); err != nil {
+	if err := p.cfg.Store.Put(p.healthKey, []byte("ok")); err != nil {
 		return false
 	}
-	if _, err := p.cfg.Store.Get("health/ping"); err != nil {
+	if _, err := p.cfg.Store.Get(p.healthKey); err != nil {
 		return false
 	}
-	if err := p.cfg.Store.Delete("health/ping"); err != nil {
+	if err := p.cfg.Store.Delete(p.healthKey); err != nil {
 		return false
 	}
 	if p.pool != nil && !p.pool.Healthy() {
 		return false
 	}
 	return true
+}
+
+// Breaker exposes the device's circuit breaker (nil when disabled), for
+// diagnostics and chaos tests.
+func (p *CloudPlugin) Breaker() *resilience.Breaker { return p.breaker }
+
+// FallbackPolicy implements FallbackPolicyProvider: the manager consults it
+// to decide between host re-run and error propagation on mid-flight
+// transient failures.
+func (p *CloudPlugin) FallbackPolicy() FallbackPolicy { return p.cfg.Fallback }
+
+// retryPolicy assembles the per-leg storage retry policy, accumulating
+// retry counts into rc for the run's trace report.
+func (p *CloudPlugin) retryPolicy(rc *atomic.Int64) resilience.Policy {
+	attempts := p.cfg.RetryMax
+	switch {
+	case attempts == 0:
+		attempts = DefaultRetryMax
+	case attempts < 0:
+		attempts = 1
+	}
+	base := p.cfg.RetryBase
+	switch {
+	case base == 0:
+		base = DefaultRetryBase
+	case base < 0:
+		base = 0
+	}
+	capDelay := p.cfg.RetryCap
+	if capDelay == 0 {
+		capDelay = DefaultRetryCap
+	}
+	return resilience.Policy{
+		MaxAttempts: attempts,
+		BaseDelay:   base,
+		CapDelay:    capDelay,
+		Deadline:    p.cfg.RetryDeadline,
+		Seed:        p.cfg.RetrySeed,
+		Sleep:       p.cfg.RetrySleep,
+		OnRetry: func(attempt int, err error, backoff time.Duration) {
+			if rc != nil {
+				rc.Add(1)
+			}
+			p.logf("offload: storage retry: attempt %d failed (%v), backing off %v", attempt, err, backoff)
+		},
+	}
 }
 
 // Close releases the plugin's external resources (remote worker
@@ -301,14 +453,33 @@ type tileResult struct {
 	outs [][]byte
 }
 
-// Run implements Plugin: the full Fig. 1 workflow.
+// Run implements Plugin: the full Fig. 1 workflow, wrapped in the breaker
+// feedback loop — a completed workflow closes the breaker and resets its
+// failure streak, a transient mid-flight failure counts toward the trip
+// threshold. Permanent and unclassified errors are not device-health
+// signals (a missing kernel or a validation error says nothing about the
+// cloud) and leave the breaker untouched.
 func (p *CloudPlugin) Run(r *Region) (*trace.Report, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
 	if !p.Available() {
-		return nil, fmt.Errorf("offload: cloud device unavailable (use the manager for host fallback)")
+		return nil, resilience.MarkTransient(fmt.Errorf("offload: cloud device unavailable (use the manager for host fallback)"))
 	}
+	rep, err := p.runWorkflow(r)
+	if p.breaker != nil {
+		switch {
+		case err == nil:
+			p.breaker.Success()
+		case resilience.IsTransient(err):
+			p.breaker.Failure()
+		}
+	}
+	return rep, err
+}
+
+// runWorkflow executes steps 1-8 of Fig. 1 for one region.
+func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 	rep := trace.NewReport(p.Name(), r.Kernel)
 	rep.Cores = p.Cores()
 	tiles := r.TileCount(p.Cores())
@@ -334,14 +505,18 @@ func (p *CloudPlugin) Run(r *Region) (*trace.Report, error) {
 	defer p.cleanup(prefix)
 	p.logf("offload: job %s: offloading %s (N=%d, %d tiles) to %s", prefix, r.Kernel, r.N, tiles, p.Name())
 
+	// One retry counter spans the run's four storage legs; it lands in
+	// the trace report so chaos soaks can see recovery work.
+	var retries atomic.Int64
+
 	// Steps 1-2: compress and upload every input on its own goroutine.
-	up, err := p.uploadInputs(prefix, r)
+	up, err := p.uploadInputs(prefix, r, &retries)
 	if err != nil {
 		return nil, err
 	}
 
 	// Step 3: the driver fetches and decodes the inputs.
-	decoded, driverDecompress, err := p.driverFetch(up.keys, r)
+	decoded, driverDecompress, err := p.driverFetch(up.keys, r, &retries)
 	if err != nil {
 		return nil, err
 	}
@@ -354,17 +529,19 @@ func (p *CloudPlugin) Run(r *Region) (*trace.Report, error) {
 
 	// Step 7: reconstruct outputs on the driver and write them back to
 	// storage (encoded), measuring the codec work.
-	outWire, driverCompress, err := p.reconstructAndStore(prefix, r, tiles, parts)
+	outWire, driverCompress, err := p.reconstructAndStore(prefix, r, tiles, parts, &retries)
 	if err != nil {
 		return nil, err
 	}
 
 	// Step 8: the host downloads and decodes the outputs.
-	hostDecompress, err := p.downloadOutputs(prefix, r)
+	hostDecompress, err := p.downloadOutputs(prefix, r, &retries)
 	if err != nil {
 		return nil, err
 	}
-	p.logf("offload: job %s: done (%d cache hits, %d task failures)", prefix, up.hits, jm.Failures)
+	rep.StorageRetries = int(retries.Load())
+	p.logf("offload: job %s: done (%d cache hits, %d task failures, %d storage retries)",
+		prefix, up.hits, jm.Failures, rep.StorageRetries)
 
 	// Virtual-time accounting over the whole workflow.
 	ci := p.costInputs(r, tiles, jm, up.wire, outWire, tileRaw,
@@ -382,14 +559,17 @@ func (p *CloudPlugin) Run(r *Region) (*trace.Report, error) {
 // default). ChunkBytes < 0 selects the paper's original sequential policy.
 func (p *CloudPlugin) pipelined() bool { return p.cfg.ChunkBytes >= 0 }
 
-// chunkOpts assembles the transfer-engine options. withCache additionally
-// wires the chunk-granular content-addressed cache hooks, so clean chunks
-// of a partially-changed buffer are recognized and not re-sent.
-func (p *CloudPlugin) chunkOpts(withCache bool) chunkio.Options {
+// chunkOpts assembles the transfer-engine options, including the per-leg
+// retry policy (rc accumulates the run's retry count). withCache
+// additionally wires the chunk-granular content-addressed cache hooks, so
+// clean chunks of a partially-changed buffer are recognized and not
+// re-sent.
+func (p *CloudPlugin) chunkOpts(withCache bool, rc *atomic.Int64) chunkio.Options {
 	o := chunkio.Options{
 		Codec:     p.cfg.Codec,
 		ChunkSize: p.cfg.ChunkBytes,
 		Parallel:  p.cfg.ChunkParallel,
+		Retry:     p.retryPolicy(rc),
 	}
 	if withCache && p.cache != nil {
 		o.ChunkKey = chunkContentKey
@@ -432,7 +612,7 @@ type uploadResult struct {
 // contents are already in cloud storage are not re-sent — the paper's
 // future-work data caching — and partially-changed buffers resend only
 // their dirty chunks.
-func (p *CloudPlugin) uploadInputs(prefix string, r *Region) (*uploadResult, error) {
+func (p *CloudPlugin) uploadInputs(prefix string, r *Region, rc *atomic.Int64) (*uploadResult, error) {
 	res := &uploadResult{
 		keys: make([]string, len(r.Ins)),
 		wire: make([]int64, len(r.Ins)),
@@ -461,7 +641,7 @@ func (p *CloudPlugin) uploadInputs(prefix string, r *Region) (*uploadResult, err
 					p.cache.forget(key)
 				}
 			}
-			up, err := chunkio.Upload(p.cfg.Store, key, r.Ins[k].Data, p.chunkOpts(true))
+			up, err := chunkio.Upload(p.cfg.Store, key, r.Ins[k].Data, p.chunkOpts(true, rc))
 			if err != nil {
 				errs[k] = err
 				return
@@ -499,7 +679,7 @@ func (p *CloudPlugin) uploadInputs(prefix string, r *Region) (*uploadResult, err
 // per datum, the paper's §III.A transfer policy), so the virtual cost is
 // the slowest stream; within a stream, chunked objects fetch and decompress
 // their parts concurrently through the transfer engine.
-func (p *CloudPlugin) driverFetch(keys []string, r *Region) ([][]byte, simtime.Duration, error) {
+func (p *CloudPlugin) driverFetch(keys []string, r *Region, rc *atomic.Int64) ([][]byte, simtime.Duration, error) {
 	decoded := make([][]byte, len(r.Ins))
 	durs := make([]time.Duration, len(r.Ins))
 	errs := make([]error, len(r.Ins))
@@ -508,7 +688,7 @@ func (p *CloudPlugin) driverFetch(keys []string, r *Region) ([][]byte, simtime.D
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			raw, down, err := chunkio.Download(p.cfg.Store, keys[k], p.chunkOpts(false))
+			raw, down, err := chunkio.Download(p.cfg.Store, keys[k], p.chunkOpts(false, rc))
 			if err != nil {
 				errs[k] = fmt.Errorf("fetching: %w", err)
 				return
@@ -672,11 +852,11 @@ func reconstruct(r *Region, tiles int, parts [][]tileResult) ([][]byte, error) {
 // storage (step 7) through the transfer engine, measuring the driver's
 // codec work (summed across the serial per-buffer loop; each term already
 // reflects within-buffer parallel chunk compression).
-func (p *CloudPlugin) storeOutputs(prefix string, r *Region, finals [][]byte) ([]int64, simtime.Duration, error) {
+func (p *CloudPlugin) storeOutputs(prefix string, r *Region, finals [][]byte, rc *atomic.Int64) ([]int64, simtime.Duration, error) {
 	wire := make([]int64, len(r.Outs))
 	var compress time.Duration
 	for l := range r.Outs {
-		up, err := chunkio.Upload(p.cfg.Store, prefix+"/out/"+r.Outs[l].Name, finals[l], p.chunkOpts(false))
+		up, err := chunkio.Upload(p.cfg.Store, prefix+"/out/"+r.Outs[l].Name, finals[l], p.chunkOpts(false, rc))
 		if err != nil {
 			return nil, 0, fmt.Errorf("offload: storing output %s: %w", r.Outs[l].Name, err)
 		}
@@ -688,18 +868,18 @@ func (p *CloudPlugin) storeOutputs(prefix string, r *Region, finals [][]byte) ([
 
 // reconstructAndStore composes reconstruct and storeOutputs for a
 // standalone region run.
-func (p *CloudPlugin) reconstructAndStore(prefix string, r *Region, tiles int, parts [][]tileResult) ([]int64, simtime.Duration, error) {
+func (p *CloudPlugin) reconstructAndStore(prefix string, r *Region, tiles int, parts [][]tileResult, rc *atomic.Int64) ([]int64, simtime.Duration, error) {
 	finals, err := reconstruct(r, tiles, parts)
 	if err != nil {
 		return nil, 0, err
 	}
-	return p.storeOutputs(prefix, r, finals)
+	return p.storeOutputs(prefix, r, finals, rc)
 }
 
 // downloadOutputs brings the results back to the host buffers (step 8),
 // decoding in parallel, one stream per buffer; chunked objects additionally
 // fetch and decompress their parts concurrently within the stream.
-func (p *CloudPlugin) downloadOutputs(prefix string, r *Region) (simtime.Duration, error) {
+func (p *CloudPlugin) downloadOutputs(prefix string, r *Region, rc *atomic.Int64) (simtime.Duration, error) {
 	durs := make([]time.Duration, len(r.Outs))
 	errs := make([]error, len(r.Outs))
 	var wg sync.WaitGroup
@@ -707,7 +887,7 @@ func (p *CloudPlugin) downloadOutputs(prefix string, r *Region) (simtime.Duratio
 		wg.Add(1)
 		go func(l int) {
 			defer wg.Done()
-			raw, down, err := chunkio.Download(p.cfg.Store, prefix+"/out/"+r.Outs[l].Name, p.chunkOpts(false))
+			raw, down, err := chunkio.Download(p.cfg.Store, prefix+"/out/"+r.Outs[l].Name, p.chunkOpts(false, rc))
 			if err != nil {
 				errs[l] = err
 				return

@@ -3,6 +3,7 @@ package offload
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ompcloud/internal/trace"
 )
@@ -59,11 +60,15 @@ func MergeReports(device, kernel string, reps ...*trace.Report) *trace.Report {
 		out.BytesBroadcast += r.BytesBroadcast
 		out.BytesCollected += r.BytesCollected
 		out.TaskFailures += r.TaskFailures
+		out.StorageRetries += r.StorageRetries
 		out.Tiles += r.Tiles
 		if r.Cores > out.Cores {
 			out.Cores = r.Cores
 		}
 		out.FellBack = out.FellBack || r.FellBack
+		if out.FallbackReason == "" {
+			out.FallbackReason = r.FallbackReason
+		}
 	}
 	return out
 }
@@ -178,15 +183,17 @@ func (p *CloudPlugin) OpenEnv(bufs []EnvBuffer) (Env, *trace.Report, error) {
 		}
 	}
 	if len(upBufs) > 0 {
+		var retries atomic.Int64
 		pseudo := &Region{Ins: upBufs}
-		up, err := p.uploadInputs(e.prefix, pseudo)
+		up, err := p.uploadInputs(e.prefix, pseudo, &retries)
 		if err != nil {
 			return nil, nil, err
 		}
-		decoded, driverDecompress, err := p.driverFetch(up.keys, pseudo)
+		decoded, driverDecompress, err := p.driverFetch(up.keys, pseudo, &retries)
 		if err != nil {
 			return nil, nil, err
 		}
+		rep.StorageRetries = int(retries.Load())
 		for i, name := range upNames {
 			e.device[name] = decoded[i]
 		}
@@ -336,12 +343,13 @@ func (e *cloudEnv) Close() (*trace.Report, error) {
 		return rep, nil
 	}
 	// Driver -> storage (encode + put), charged to Spark overhead.
+	var retries atomic.Int64
 	pseudo := &Region{Outs: downBufs}
 	finals := make([][]byte, len(downBufs))
 	for i := range downBufs {
 		finals[i] = downBufs[i].Data
 	}
-	wire, driverCompress, err := p.storeOutputs(e.prefix, pseudo, finals)
+	wire, driverCompress, err := p.storeOutputs(e.prefix, pseudo, finals, &retries)
 	if err != nil {
 		return nil, err
 	}
@@ -351,10 +359,11 @@ func (e *cloudEnv) Close() (*trace.Report, error) {
 	for i := range pseudo.Outs {
 		pseudo.Outs[i].Data = hostData[i]
 	}
-	hostDecompress, err := p.downloadOutputs(e.prefix, pseudo)
+	hostDecompress, err := p.downloadOutputs(e.prefix, pseudo, &retries)
 	if err != nil {
 		return nil, err
 	}
+	rep.StorageRetries = int(retries.Load())
 	rep.Add(trace.PhaseDownload, transferLeg(p.pipelined(), hostDecompress, p.cfg.Profile.WAN.TransferParallel(wire)))
 	for _, w := range wire {
 		rep.BytesDownloaded += w

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ompcloud/internal/resilience"
 	"ompcloud/internal/trace"
 )
 
@@ -28,6 +29,35 @@ type Plugin interface {
 // OpenMP convention that omp_get_num_devices() (== number of non-host
 // devices) also denotes the host as an execution target.
 const DeviceHost = -1
+
+// FallbackPolicy selects what the manager does when a device fails
+// mid-flight with a transient error.
+type FallbackPolicy int
+
+const (
+	// FallbackHost (the default) re-runs the region on the host — the
+	// paper's dynamic local execution, extended from entry-time
+	// unavailability to mid-flight failure.
+	FallbackHost FallbackPolicy = iota
+	// FallbackFail surfaces the device error to the caller instead of
+	// masking it with a host re-run (CI and benchmark runs that must
+	// notice a degraded cloud).
+	FallbackFail
+)
+
+// String implements fmt.Stringer.
+func (f FallbackPolicy) String() string {
+	if f == FallbackFail {
+		return "fail"
+	}
+	return "host"
+}
+
+// FallbackPolicyProvider is implemented by plugins that carry their own
+// fallback configuration; devices without it get FallbackHost.
+type FallbackPolicyProvider interface {
+	FallbackPolicy() FallbackPolicy
+}
 
 // Manager is the target-agnostic offloading wrapper (Fig. 2, component 2):
 // it numbers devices, routes lowered regions to plugins, and falls back to
@@ -88,20 +118,55 @@ func (m *Manager) Host() Plugin {
 
 // Run executes a region on the device with the given id. When the device
 // reports itself unavailable (bad credentials, unreachable storage, dead
-// cluster) the region transparently runs on the host and the report is
-// flagged FellBack.
+// cluster, open circuit breaker) the region transparently runs on the host
+// and the report is flagged FellBack. When an available device fails
+// *mid-flight* with an error classified transient — storage faults that
+// outlived the retry budget, lost workers — the region also re-runs on the
+// host (unless the device's fallback policy says fail): the host pass
+// rewrites every output buffer in full, so a half-completed device run
+// leaves no trace. Permanent and unclassified errors always propagate; a
+// kernel bug must surface, not be masked by a silent host re-run.
 func (m *Manager) Run(id int, r *Region) (*trace.Report, error) {
 	dev, err := m.Device(id)
 	if err != nil {
 		return nil, err
 	}
+	if dev == m.Host() {
+		return dev.Run(r)
+	}
 	if !dev.Available() {
-		rep, err := m.Host().Run(r)
-		if err != nil {
-			return nil, err
-		}
-		rep.FellBack = true
+		return m.runFallback(r, fmt.Sprintf("device %s unavailable", dev.Name()), nil)
+	}
+	rep, err := dev.Run(r)
+	if err == nil {
 		return rep, nil
 	}
-	return dev.Run(r)
+	if !resilience.IsTransient(err) || fallbackPolicyOf(dev) == FallbackFail {
+		return nil, err
+	}
+	return m.runFallback(r, err.Error(), err)
+}
+
+// fallbackPolicyOf resolves a device's fallback policy.
+func fallbackPolicyOf(dev Plugin) FallbackPolicy {
+	if fp, ok := dev.(FallbackPolicyProvider); ok {
+		return fp.FallbackPolicy()
+	}
+	return FallbackHost
+}
+
+// runFallback executes the region on the host after a device refusal or
+// mid-flight failure. devErr, when non-nil, is the device error the host
+// run is recovering from; if the host *also* fails, both errors surface.
+func (m *Manager) runFallback(r *Region, reason string, devErr error) (*trace.Report, error) {
+	rep, err := m.Host().Run(r)
+	if err != nil {
+		if devErr != nil {
+			return nil, fmt.Errorf("offload: host fallback failed: %w (after device error: %v)", err, devErr)
+		}
+		return nil, err
+	}
+	rep.FellBack = true
+	rep.FallbackReason = reason
+	return rep, nil
 }

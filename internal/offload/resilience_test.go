@@ -1,0 +1,289 @@
+package offload
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ompcloud/internal/data"
+	"ompcloud/internal/resilience"
+	"ompcloud/internal/spark"
+	"ompcloud/internal/storage"
+)
+
+// resilientConfig is memCloudConfig with fast, silent retries: small chunks
+// so the data path is chunk-granular, and no real backoff sleeping.
+func resilientConfig(fs storage.Store) CloudConfig {
+	return CloudConfig{
+		Spec:       spark.ClusterSpec{Workers: 4, CoresPerWorker: 2},
+		Store:      fs,
+		ChunkBytes: 1024,
+		RetryMax:   4,
+		RetrySleep: func(time.Duration) {},
+	}
+}
+
+func TestRunRecoversFromStorageFaults(t *testing.T) {
+	// Two failed puts, one failed get and one truncated part read, all on
+	// the job's objects: every leg must retry through and the result must
+	// be byte-exact.
+	fs := storage.NewFaultStore(storage.NewMemStore()).
+		Inject(storage.FailKeysMatching(storage.OpPut, "jobs/", 2)).
+		Inject(storage.FailKeysMatching(storage.OpGet, "jobs/", 1)).
+		Inject(storage.TruncateGets(".part", 7, 1))
+	p, err := NewCloudPlugin(resilientConfig(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(1000)
+	in := data.Generate(1, int(n), data.Dense, 21)
+	out := make([]byte, 4*n)
+	rep, err := p.Run(scale2Region(n, in.Bytes(), out))
+	if err != nil {
+		t.Fatalf("retries did not absorb the injected faults: %v", err)
+	}
+	if rep.StorageRetries == 0 {
+		t.Fatal("recovered run must report its storage retries")
+	}
+	if fs.Fired() == 0 {
+		t.Fatal("fault schedule never fired; test exercised nothing")
+	}
+	for i, v := range in.V {
+		if data.GetFloat(out, i) != 2*v {
+			t.Fatalf("recovered run wrong at %d", i)
+		}
+	}
+	if rep.FellBack {
+		t.Fatal("recovered run must not be marked as fallback")
+	}
+}
+
+func TestManagerMidFlightFallback(t *testing.T) {
+	// The store dies for job objects only: health probes pass, so the
+	// device looks available at entry and the failure happens mid-flight,
+	// after the upload leg exhausts its retries.
+	fs := storage.NewFaultStore(storage.NewMemStore()).
+		Inject(storage.FailKeysMatching(storage.OpAny, "jobs/", 0))
+	cfg := resilientConfig(fs)
+	cfg.RetryMax = -1 // one attempt per op: fail fast
+	p, err := NewCloudPlugin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Available() {
+		t.Fatal("device must look available at entry (probes are clean)")
+	}
+	host, _ := NewHostPlugin(2)
+	m, _ := NewManager(host)
+	id := m.Register(p)
+
+	n := int64(500)
+	in := data.Generate(1, int(n), data.Dense, 22)
+	out := make([]byte, 4*n)
+	rep, err := m.Run(id, scale2Region(n, in.Bytes(), out))
+	if err != nil {
+		t.Fatalf("mid-flight fallback failed: %v", err)
+	}
+	if !rep.FellBack {
+		t.Fatal("report must be flagged FellBack")
+	}
+	if rep.FallbackReason == "" || !strings.Contains(rep.FallbackReason, "injected") {
+		t.Fatalf("FallbackReason must carry the device error, got %q", rep.FallbackReason)
+	}
+	for i, v := range in.V {
+		if data.GetFloat(out, i) != 2*v {
+			t.Fatalf("fallback result wrong at %d", i)
+		}
+	}
+}
+
+func TestManagerFallbackFailPolicy(t *testing.T) {
+	fs := storage.NewFaultStore(storage.NewMemStore()).
+		Inject(storage.FailKeysMatching(storage.OpAny, "jobs/", 0))
+	cfg := resilientConfig(fs)
+	cfg.RetryMax = -1
+	cfg.Fallback = FallbackFail
+	p, err := NewCloudPlugin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, _ := NewHostPlugin(2)
+	m, _ := NewManager(host)
+	id := m.Register(p)
+
+	n := int64(200)
+	in := data.Generate(1, int(n), data.Dense, 23)
+	out := make([]byte, 4*n)
+	if _, err := m.Run(id, scale2Region(n, in.Bytes(), out)); err == nil {
+		t.Fatal("fallback=fail must surface the device error")
+	}
+}
+
+func TestManagerDoesNotMaskUnclassifiedErrors(t *testing.T) {
+	// A kernel bug (unclassified error) must propagate, not silently
+	// re-run on the host.
+	p, err := NewCloudPlugin(resilientConfig(storage.NewMemStore()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, _ := NewHostPlugin(2)
+	m, _ := NewManager(host)
+	id := m.Register(p)
+
+	reg := testRegistry
+	r := &Region{
+		Kernel: "missing-kernel", Registry: reg, N: 8,
+		Outs: []Buffer{{Name: "B", Data: make([]byte, 32), BytesPerIter: 4}},
+	}
+	if _, err := m.Run(id, r); err == nil {
+		t.Fatal("unknown-kernel error must surface through the manager")
+	}
+}
+
+// healthCountStore counts health-probe puts passing through it.
+type healthCountStore struct {
+	storage.Store
+	mu    sync.Mutex
+	pings int
+}
+
+func (h *healthCountStore) Put(key string, data []byte) error {
+	if strings.HasPrefix(key, "health/") {
+		h.mu.Lock()
+		h.pings++
+		h.mu.Unlock()
+	}
+	return h.Store.Put(key, data)
+}
+
+func (h *healthCountStore) Pings() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.pings
+}
+
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	fs := storage.NewFaultStore(storage.NewMemStore()).
+		Inject(storage.FailKeysMatching(storage.OpAny, "jobs/", 0))
+	hc := &healthCountStore{Store: fs}
+	clock := time.Unix(0, 0)
+	var clockMu sync.Mutex
+	now := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return clock
+	}
+	cfg := resilientConfig(hc)
+	cfg.RetryMax = -1
+	cfg.HealthTTL = -1 // probe on every call, so probe suppression is visible
+	cfg.BreakerFailures = 2
+	cfg.BreakerCooldown = 10 * time.Second
+	cfg.BreakerNow = now
+	p, err := NewCloudPlugin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(300)
+	in := data.Generate(1, int(n), data.Dense, 24)
+	out := make([]byte, 4*n)
+
+	for i := 0; i < 2; i++ {
+		if _, err := p.Run(scale2Region(n, in.Bytes(), out)); err == nil {
+			t.Fatalf("run %d should fail on the dead job store", i)
+		} else if !resilience.IsTransient(err) {
+			t.Fatalf("run %d error lost its transient class: %v", i, err)
+		}
+	}
+	if p.Breaker().State() != resilience.BreakerOpen {
+		t.Fatalf("breaker state = %v after 2 transient failures, want open", p.Breaker().State())
+	}
+
+	// While open, Available() must answer false from the breaker alone:
+	// no storage probes.
+	before := hc.Pings()
+	for i := 0; i < 5; i++ {
+		if p.Available() {
+			t.Fatal("open breaker must report unavailable")
+		}
+	}
+	if got := hc.Pings(); got != before {
+		t.Fatalf("open breaker still probed storage (%d new pings)", got-before)
+	}
+
+	// After the cooldown the half-open probe runs (the store's health keys
+	// are clean), closes the breaker, and jobs flow again.
+	clockMu.Lock()
+	clock = clock.Add(11 * time.Second)
+	clockMu.Unlock()
+	fs.Clear() // the store heals
+	if !p.Available() {
+		t.Fatal("half-open probe against a healthy store should close the breaker")
+	}
+	if p.Breaker().State() != resilience.BreakerClosed {
+		t.Fatalf("breaker state = %v after probe success, want closed", p.Breaker().State())
+	}
+	if _, err := p.Run(scale2Region(n, in.Bytes(), out)); err != nil {
+		t.Fatalf("recovered device failed: %v", err)
+	}
+	for i, v := range in.V {
+		if data.GetFloat(out, i) != 2*v {
+			t.Fatalf("recovered run wrong at %d", i)
+		}
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	cfg := resilientConfig(storage.NewMemStore())
+	cfg.BreakerFailures = -1
+	p, err := NewCloudPlugin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Breaker() != nil {
+		t.Fatal("negative breaker-failures must disable the breaker")
+	}
+	if !p.Available() {
+		t.Fatal("device without breaker should be available")
+	}
+}
+
+func TestConcurrentPluginsHealthProbesDoNotCollide(t *testing.T) {
+	// Two plugins over one store, each probing on every Available() call.
+	// With a shared probe key, one plugin's Delete races the other's Get
+	// into spurious unavailability; per-plugin keys make this impossible.
+	st := storage.NewMemStore()
+	mk := func() *CloudPlugin {
+		cfg := resilientConfig(st)
+		cfg.HealthTTL = -1
+		p, err := NewCloudPlugin(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := mk(), mk()
+	if a.healthKey == b.healthKey {
+		t.Fatalf("plugins share the probe key %q", a.healthKey)
+	}
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for _, p := range []*CloudPlugin{a, b} {
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(p *CloudPlugin) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					if !p.Available() {
+						failures.Add(1)
+					}
+				}
+			}(p)
+		}
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d spurious unavailable verdicts from probe collisions", failures.Load())
+	}
+}

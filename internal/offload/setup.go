@@ -29,7 +29,9 @@ import (
 //	              mem-gbps
 //	[offload]     compress-min-bytes, chunk-bytes, chunk-parallel,
 //	              health-ttl-ms, jni-base-ms, jni-mbps, enable-cache,
-//	              verbose, run-on-driver
+//	              verbose, run-on-driver, retry-max, retry-base-ms,
+//	              retry-cap-ms, breaker-failures, breaker-cooldown-ms,
+//	              fallback (host | fail)
 //
 // Every key has a sensible default; an empty file yields the paper's
 // 16-worker c3.8xlarge deployment over an in-memory store.
@@ -183,6 +185,43 @@ func NewCloudPluginFromConfig(f *config.File) (*CloudPlugin, error) {
 		return nil, err
 	}
 	cfg.RunOnDriver = runOnDriver
+	// retry-max: 0 = default 3 attempts per storage leg; negative = no
+	// retries. retry-base-ms/retry-cap-ms follow the same 0-means-default
+	// convention as the other duration knobs.
+	retryMax, err := f.Int("offload", "retry-max", 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.RetryMax = retryMax
+	retryBaseMs, err := f.Float("offload", "retry-base-ms", 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.RetryBase = time.Duration(retryBaseMs * float64(time.Millisecond))
+	retryCapMs, err := f.Float("offload", "retry-cap-ms", 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.RetryCap = time.Duration(retryCapMs * float64(time.Millisecond))
+	// breaker-failures: 0 = default threshold; negative = breaker off.
+	breakerFailures, err := f.Int("offload", "breaker-failures", 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.BreakerFailures = breakerFailures
+	breakerCooldownMs, err := f.Float("offload", "breaker-cooldown-ms", 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.BreakerCooldown = time.Duration(breakerCooldownMs * float64(time.Millisecond))
+	switch fb := f.Str("offload", "fallback", "host"); fb {
+	case "host":
+		cfg.Fallback = FallbackHost
+	case "fail":
+		cfg.Fallback = FallbackFail
+	default:
+		return nil, fmt.Errorf("offload: unknown fallback policy %q (want host|fail)", fb)
+	}
 	verbose, err := f.Bool("offload", "verbose", false)
 	if err != nil {
 		return nil, err

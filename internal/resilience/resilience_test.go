@@ -1,0 +1,242 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestClassification(t *testing.T) {
+	base := errors.New("boom")
+	if got := ClassOf(base); got != Unknown {
+		t.Fatalf("unwrapped error classified %v, want unknown", got)
+	}
+	tr := MarkTransient(base)
+	if !IsTransient(tr) || IsPermanent(tr) {
+		t.Fatalf("MarkTransient misclassified: %v", ClassOf(tr))
+	}
+	pe := MarkPermanent(base)
+	if !IsPermanent(pe) || IsTransient(pe) {
+		t.Fatalf("MarkPermanent misclassified: %v", ClassOf(pe))
+	}
+	if MarkTransient(nil) != nil || MarkPermanent(nil) != nil {
+		t.Fatal("marking nil must stay nil")
+	}
+	// Classification survives fmt.Errorf %w chains.
+	wrapped := fmt.Errorf("leg upload: %w", tr)
+	if !IsTransient(wrapped) {
+		t.Fatal("classification lost through %w")
+	}
+	// The outermost mark wins: a higher layer can re-classify.
+	re := MarkPermanent(fmt.Errorf("gave up: %w", tr))
+	if !IsPermanent(re) {
+		t.Fatal("outer permanent mark should win over inner transient")
+	}
+	// errors.Is still sees the base error through the mark.
+	if !errors.Is(tr, base) {
+		t.Fatal("mark broke errors.Is")
+	}
+}
+
+func TestPolicyRetriesUntilSuccess(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{
+		MaxAttempts: 5,
+		BaseDelay:   10 * time.Millisecond,
+		CapDelay:    40 * time.Millisecond,
+		Seed:        7,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	calls := 0
+	out, err := p.Do(func() error {
+		calls++
+		if calls < 4 {
+			return MarkTransient(errors.New("flake"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 || out.Attempts != 4 {
+		t.Fatalf("attempts = %d/%d, want 4", calls, out.Attempts)
+	}
+	if len(slept) != 3 {
+		t.Fatalf("%d backoffs, want 3", len(slept))
+	}
+	var sum time.Duration
+	for i, d := range slept {
+		// Jitter keeps every backoff in [0.5, 1.0) of the exponential
+		// schedule 10ms, 20ms, 40ms.
+		exp := 10 * time.Millisecond << i
+		if d < exp/2 || d >= exp {
+			t.Fatalf("backoff %d = %v, want in [%v, %v)", i, d, exp/2, exp)
+		}
+		sum += d
+	}
+	if out.Backoff != sum {
+		t.Fatalf("Outcome.Backoff = %v, want %v", out.Backoff, sum)
+	}
+}
+
+func TestPolicyDeterministicJitter(t *testing.T) {
+	run := func(seed uint64) []time.Duration {
+		var slept []time.Duration
+		p := Policy{
+			MaxAttempts: 6,
+			BaseDelay:   time.Millisecond,
+			Seed:        seed,
+			Sleep:       func(d time.Duration) { slept = append(slept, d) },
+		}
+		p.Do(func() error { return MarkTransient(errors.New("always")) })
+		return slept
+	}
+	a, b := run(42), run(42)
+	if len(a) != 5 {
+		t.Fatalf("%d backoffs, want 5", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at backoff %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter schedules")
+	}
+}
+
+func TestPolicyStopsOnPermanent(t *testing.T) {
+	p := Policy{MaxAttempts: 10, Sleep: func(time.Duration) {}}
+	calls := 0
+	out, err := p.Do(func() error {
+		calls++
+		return MarkPermanent(errors.New("not found"))
+	})
+	if err == nil || calls != 1 || out.Attempts != 1 {
+		t.Fatalf("permanent error retried: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestPolicyRetriesUnknown(t *testing.T) {
+	p := Policy{MaxAttempts: 3, Sleep: func(time.Duration) {}}
+	calls := 0
+	_, err := p.Do(func() error {
+		calls++
+		return errors.New("unclassified I/O gremlin")
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("unknown error should exhaust attempts: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestPolicyDeadline(t *testing.T) {
+	clock := time.Unix(0, 0)
+	p := Policy{
+		MaxAttempts: 100,
+		BaseDelay:   time.Second,
+		Deadline:    3 * time.Second,
+		Sleep:       func(d time.Duration) { clock = clock.Add(d) },
+		Now:         func() time.Time { return clock },
+	}
+	calls := 0
+	_, err := p.Do(func() error {
+		calls++
+		return MarkTransient(errors.New("slow flake"))
+	})
+	if err == nil {
+		t.Fatal("deadline should surface the last error")
+	}
+	if calls >= 100 {
+		t.Fatalf("deadline did not stop the loop (%d calls)", calls)
+	}
+}
+
+func TestPolicyZeroValueSingleAttempt(t *testing.T) {
+	calls := 0
+	out, err := Policy{}.Do(func() error {
+		calls++
+		return MarkTransient(errors.New("flake"))
+	})
+	if err == nil || calls != 1 || out.Attempts != 1 {
+		t.Fatalf("zero-value policy must run exactly once: calls=%d", calls)
+	}
+}
+
+func TestBreakerTripAndRecovery(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	b := &Breaker{Threshold: 3, Cooldown: 5 * time.Second, Now: func() time.Time { return clock }}
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("tripped below threshold: %v", b.State())
+	}
+	b.Allow()
+	b.Failure() // third consecutive failure trips
+	if b.State() != BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("state=%v trips=%d, want open/1", b.State(), b.Trips())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+
+	// A success between failures resets the streak.
+	clock = clock.Add(6 * time.Second)
+	if !b.Allow() { // half-open probe
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("probe success should close: %v", b.State())
+	}
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("success must reset the consecutive-failure streak")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := &Breaker{Threshold: 1, Cooldown: time.Second, Now: func() time.Time { return clock }}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold 1 should trip on first failure")
+	}
+	clock = clock.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe rejected after cooldown")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen || b.Trips() != 2 {
+		t.Fatalf("failed probe should re-open: state=%v trips=%d", b.State(), b.Trips())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted traffic before a fresh cooldown")
+	}
+	clock = clock.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe rejected after fresh cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("recovered probe should close the breaker")
+	}
+}

@@ -44,6 +44,113 @@ func FailWorkerAlways(worker int) FaultInjector {
 	})
 }
 
+// ResultFaultInjector is the post-compute half of the fault surface: an
+// AfterTask error models an executor that crashes after finishing the work
+// but before delivering the result — the task computed, the bytes are gone,
+// and lineage must recompute them. Injectors that also implement
+// FaultInjector can fail attempts on either side of the computation.
+type ResultFaultInjector interface {
+	AfterTask(job, partition, attempt, worker int) error
+}
+
+// CrashAfterSuccess builds an injector that loses the computed result of
+// the given partition's first n attempts (crash-after-success: the work
+// happened, the delivery did not). It injects nothing before the task.
+func CrashAfterSuccess(partition, n int) FaultInjector {
+	return &crashAfterSuccess{partition: partition, n: n}
+}
+
+type crashAfterSuccess struct {
+	partition, n int
+}
+
+// BeforeTask implements FaultInjector (no pre-compute faults).
+func (c *crashAfterSuccess) BeforeTask(job, partition, attempt, worker int) error {
+	return nil
+}
+
+// AfterTask implements ResultFaultInjector.
+func (c *crashAfterSuccess) AfterTask(_, p, attempt, worker int) error {
+	if p == c.partition && attempt < c.n {
+		return fmt.Errorf("injected crash after success on partition %d attempt %d (worker %d)", p, attempt, worker)
+	}
+	return nil
+}
+
+// SeededRandomFaults fails each attempt with probability P, decided by a
+// deterministic SplitMix64 sequence: two runs with equal seeds inject the
+// identical fault schedule, the task-plane half of a seeded soak test.
+// MaxFails, when positive, bounds the total injected faults so a schedule
+// can never exhaust a scheduler's retry budget by bad luck.
+type SeededRandomFaults struct {
+	Seed     uint64
+	P        float64
+	MaxFails int
+
+	mu    sync.Mutex
+	draws uint64
+	fails int
+}
+
+// BeforeTask implements FaultInjector.
+func (s *SeededRandomFaults) BeforeTask(job, partition, attempt, worker int) error {
+	if s.P <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.MaxFails > 0 && s.fails >= s.MaxFails {
+		return nil
+	}
+	s.draws++
+	frac := float64(splitmixFaults(s.Seed^s.draws)>>11) / float64(1<<53)
+	if frac >= s.P && s.P < 1 {
+		return nil
+	}
+	s.fails++
+	return fmt.Errorf("injected seeded fault #%d (p=%g, job %d partition %d attempt %d)",
+		s.fails, s.P, job, partition, attempt)
+}
+
+// splitmixFaults is the SplitMix64 mix driving SeededRandomFaults.
+func splitmixFaults(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ChainFaults composes injectors: each side of the task runs every
+// component in order and the first error wins. Components that do not
+// implement ResultFaultInjector only participate pre-compute.
+func ChainFaults(injectors ...FaultInjector) FaultInjector {
+	return chainFaults(injectors)
+}
+
+type chainFaults []FaultInjector
+
+// BeforeTask implements FaultInjector.
+func (c chainFaults) BeforeTask(job, partition, attempt, worker int) error {
+	for _, f := range c {
+		if err := f.BeforeTask(job, partition, attempt, worker); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AfterTask implements ResultFaultInjector.
+func (c chainFaults) AfterTask(job, partition, attempt, worker int) error {
+	for _, f := range c {
+		if rf, ok := f.(ResultFaultInjector); ok {
+			if err := rf.AfterTask(job, partition, attempt, worker); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // FlakyEveryNth fails every nth attempt globally (counting across tasks),
 // deterministic chaos for soak tests.
 type FlakyEveryNth struct {

@@ -1,0 +1,122 @@
+package spark
+
+import (
+	"testing"
+
+	"ompcloud/internal/resilience"
+)
+
+func TestCrashAfterSuccessRecovers(t *testing.T) {
+	ctx := testContext(t, 4, 1, WithFaults(CrashAfterSuccess(1, 2)))
+	r, _ := Range(ctx, 16, 4)
+	got, jm, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 16 {
+		t.Fatalf("collect len = %d", len(got))
+	}
+	// The partition computed three times: two results lost post-compute,
+	// the third delivered.
+	if jm.Tasks[1].Attempts != 3 {
+		t.Fatalf("partition 1 attempts = %d, want 3", jm.Tasks[1].Attempts)
+	}
+	if jm.Failures != 2 {
+		t.Fatalf("Failures = %d, want 2", jm.Failures)
+	}
+}
+
+func TestCrashAfterSuccessExhaustedIsTransient(t *testing.T) {
+	ctx := testContext(t, 2, 1, WithMaxRetries(1), WithFaults(CrashAfterSuccess(0, 10)))
+	r, _ := Range(ctx, 4, 2)
+	_, _, err := r.Collect()
+	if err == nil {
+		t.Fatal("unrecoverable crash-after-success should fail the job")
+	}
+	if !resilience.IsTransient(err) {
+		t.Fatalf("lost-result error must classify transient for host fallback: %v", err)
+	}
+}
+
+func TestSeededRandomFaultsDeterministic(t *testing.T) {
+	schedule := func(seed uint64) []bool {
+		inj := &SeededRandomFaults{Seed: seed, P: 0.5}
+		outcomes := make([]bool, 64)
+		for i := range outcomes {
+			outcomes[i] = inj.BeforeTask(0, i, 0, 0) != nil
+		}
+		return outcomes
+	}
+	a, b := schedule(3), schedule(3)
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("p=0.5 schedule fired %d/%d; want a mix", fails, len(a))
+	}
+	c := schedule(4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestSeededRandomFaultsMaxFails(t *testing.T) {
+	inj := &SeededRandomFaults{Seed: 1, P: 1, MaxFails: 3}
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if inj.BeforeTask(0, 0, i, 0) != nil {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("MaxFails=3 injected %d faults", fails)
+	}
+}
+
+func TestChainFaultsComposesBothSides(t *testing.T) {
+	chain := ChainFaults(&FlakyEveryNth{N: 2}, CrashAfterSuccess(0, 1))
+	if err := chain.BeforeTask(0, 5, 0, 0); err != nil {
+		t.Fatalf("first pre-compute draw should pass: %v", err)
+	}
+	if err := chain.BeforeTask(0, 5, 1, 0); err == nil {
+		t.Fatal("second pre-compute draw should fail (every 2nd)")
+	}
+	rf, ok := chain.(ResultFaultInjector)
+	if !ok {
+		t.Fatal("chain must expose the post-compute side")
+	}
+	if err := rf.AfterTask(0, 0, 0, 0); err == nil {
+		t.Fatal("crash-after-success component should fire post-compute")
+	}
+	if err := rf.AfterTask(0, 1, 0, 0); err != nil {
+		t.Fatalf("non-matching partition failed post-compute: %v", err)
+	}
+}
+
+func TestChainFaultsEndToEnd(t *testing.T) {
+	chain := ChainFaults(FailPartitionAttempts(2, 1), CrashAfterSuccess(3, 1))
+	ctx := testContext(t, 4, 1, WithFaults(chain))
+	r, _ := Range(ctx, 16, 4)
+	got, jm, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 16 {
+		t.Fatalf("collect len = %d", len(got))
+	}
+	if jm.Failures != 2 {
+		t.Fatalf("Failures = %d, want 2 (one per injector)", jm.Failures)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"ompcloud/internal/resilience"
 	"ompcloud/internal/simtime"
 )
 
@@ -178,11 +179,11 @@ func executeAttempt[T any](ctx *Context, r *RDD[T], jobID, p, attempt, worker in
 
 	if ctx.faults != nil {
 		if ferr := ctx.faults.BeforeTask(jobID, p, attempt, worker); ferr != nil {
-			return nil, 0, ferr
+			return nil, 0, resilience.MarkTransient(ferr)
 		}
 	}
 	if ctx.workerDead(worker) {
-		return nil, 0, fmt.Errorf("worker %d lost", worker)
+		return nil, 0, resilience.MarkTransient(fmt.Errorf("worker %d lost", worker))
 	}
 
 	defer func() {
@@ -199,7 +200,15 @@ func executeAttempt[T any](ctx *Context, r *RDD[T], jobID, p, attempt, worker in
 		return nil, dur, err
 	}
 	if ctx.workerDead(worker) { // worker died mid-flight: result is lost
-		return nil, dur, fmt.Errorf("worker %d lost during task", worker)
+		return nil, dur, resilience.MarkTransient(fmt.Errorf("worker %d lost during task", worker))
+	}
+	if rf, ok := ctx.faults.(ResultFaultInjector); ok {
+		// Crash-after-success: the computation finished but the result
+		// never left the executor, so it is discarded and the attempt
+		// fails like any lost worker.
+		if ferr := rf.AfterTask(jobID, p, attempt, worker); ferr != nil {
+			return nil, dur, resilience.MarkTransient(ferr)
+		}
 	}
 	return out, dur, nil
 }

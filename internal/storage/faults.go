@@ -1,0 +1,311 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"ompcloud/internal/resilience"
+)
+
+// FaultOp names a Store operation for fault matching.
+type FaultOp string
+
+// The matchable operations. OpAny matches every operation.
+const (
+	OpAny    FaultOp = ""
+	OpPut    FaultOp = "put"
+	OpGet    FaultOp = "get"
+	OpDelete FaultOp = "delete"
+	OpList   FaultOp = "list"
+	OpStat   FaultOp = "stat"
+)
+
+// Fault is one deterministic fault rule of a FaultStore. A rule matches an
+// operation (by op kind and key predicate), skips its first Skip matches,
+// then fires on the next Count matches (Count <= 0 fires forever). Firing
+// applies, in order: the latency Delay, the payload Corrupt (Get only, after
+// the inner call), and the error Err — so one rule can model a slow-then-
+// failing endpoint or a spike that still succeeds.
+type Fault struct {
+	// Op restricts the rule to one operation kind; OpAny matches all.
+	Op FaultOp
+	// Match restricts the rule to keys it accepts; nil matches every key.
+	// (List and Stat match on the prefix/key argument.)
+	Match func(key string) bool
+	// Skip lets this many matching calls through before the rule arms —
+	// "fail the third PUT" is Skip: 2, Count: 1.
+	Skip int
+	// Count bounds how many times the rule fires; <= 0 means unlimited
+	// (a permanently-dead store is Fault{Err: ...} with Count 0).
+	Count int
+	// Prob, when in (0, 1), fires the rule only on that fraction of
+	// armed matches, decided by a deterministic seeded sequence — the
+	// soak-test random injector. Zero or >= 1 fires on every match.
+	Prob float64
+	// Seed drives the Prob sequence; two stores with equal rules and
+	// seeds inject identical fault schedules.
+	Seed uint64
+
+	// Delay injects latency before the operation proceeds (or fails).
+	Delay time.Duration
+	// Corrupt mutates a Get's returned payload (truncation, bit flips).
+	// It receives a private copy and its return value is handed to the
+	// caller.
+	Corrupt func(data []byte) []byte
+	// Err fails the operation. A nil Err with a nil Corrupt and zero
+	// Delay is a no-op rule. Unclassified errors are marked transient:
+	// injected faults model the recoverable chaos of real object stores.
+	Err error
+}
+
+// faultRule is a Fault plus its firing state.
+type faultRule struct {
+	Fault
+	seen  int    // armed matches observed (post-Skip)
+	fired int    // times the rule actually fired
+	draws uint64 // Prob sequence position
+}
+
+// matches reports whether the rule covers (op, key).
+func (r *faultRule) matches(op FaultOp, key string) bool {
+	if r.Op != OpAny && r.Op != op {
+		return false
+	}
+	return r.Match == nil || r.Match(key)
+}
+
+// FaultStore wraps a Store with a deterministic fault-injection schedule —
+// the storage-plane sibling of spark.FaultInjector. It lets chaos tests
+// cover the four Fig. 1 transfer legs with the failure modes real object
+// stores exhibit: transient request failures, latency spikes, and truncated
+// or bit-flipped payloads.
+//
+// Rules are evaluated in injection order on every operation; all matching
+// rules advance their schedules, delays and corruptions accumulate, and the
+// first matching error wins. All methods are safe for concurrent use; the
+// schedule counters are shared, so concurrent callers see one global
+// ordering (which ordering is scheduling-dependent, but the *number* of
+// injected faults is exact).
+type FaultStore struct {
+	inner Store
+	sleep func(time.Duration)
+
+	mu    sync.Mutex
+	rules []*faultRule
+	fired int
+}
+
+// NewFaultStore wraps inner with an empty schedule.
+func NewFaultStore(inner Store) *FaultStore {
+	return &FaultStore{inner: inner, sleep: time.Sleep}
+}
+
+// Inject appends a rule to the schedule and returns the store for chaining.
+func (s *FaultStore) Inject(f Fault) *FaultStore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = append(s.rules, &faultRule{Fault: f})
+	return s
+}
+
+// SetSleep replaces the latency clock (tests inject a recorder instead of
+// sleeping for real).
+func (s *FaultStore) SetSleep(fn func(time.Duration)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fn == nil {
+		fn = time.Sleep
+	}
+	s.sleep = fn
+}
+
+// Fired reports how many faults the schedule has injected so far.
+func (s *FaultStore) Fired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired
+}
+
+// Clear drops every rule (the store heals).
+func (s *FaultStore) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = nil
+}
+
+// apply advances the schedule for (op, key) and returns the injected delay,
+// payload corruptor and error, if any.
+func (s *FaultStore) apply(op FaultOp, key string) (delay time.Duration, corrupt func([]byte) []byte, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.rules {
+		if !r.matches(op, key) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.Skip {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 {
+			r.draws++
+			frac := float64(splitmix(r.Seed^r.draws)>>11) / float64(1<<53)
+			if frac >= r.Prob {
+				continue
+			}
+		}
+		r.fired++
+		s.fired++
+		delay += r.Delay
+		if r.Corrupt != nil {
+			if prev := corrupt; prev != nil {
+				next := r.Corrupt
+				corrupt = func(b []byte) []byte { return next(prev(b)) }
+			} else {
+				corrupt = r.Corrupt
+			}
+		}
+		if r.Err != nil && err == nil {
+			err = r.Err
+			if resilience.ClassOf(err) == resilience.Unknown {
+				err = resilience.MarkTransient(err)
+			}
+		}
+	}
+	return delay, corrupt, err
+}
+
+// splitmix is the SplitMix64 mix used for the Prob sequence (kept local so
+// the storage package stays dependency-light).
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// run executes the injected effects around inner, shared by all ops.
+func (s *FaultStore) run(op FaultOp, key string, inner func() error) error {
+	delay, _, ferr := s.apply(op, key)
+	if delay > 0 {
+		s.sleep(delay)
+	}
+	if ferr != nil {
+		return fmt.Errorf("storage: injected %s fault on %q: %w", op, key, ferr)
+	}
+	return inner()
+}
+
+// Put implements Store.
+func (s *FaultStore) Put(key string, data []byte) error {
+	return s.run(OpPut, key, func() error { return s.inner.Put(key, data) })
+}
+
+// Get implements Store. Corrupt rules mutate the returned payload.
+func (s *FaultStore) Get(key string) ([]byte, error) {
+	delay, corrupt, ferr := s.apply(OpGet, key)
+	if delay > 0 {
+		s.sleep(delay)
+	}
+	if ferr != nil {
+		return nil, fmt.Errorf("storage: injected get fault on %q: %w", key, ferr)
+	}
+	b, err := s.inner.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	if corrupt != nil {
+		b = corrupt(b)
+	}
+	return b, nil
+}
+
+// Delete implements Store.
+func (s *FaultStore) Delete(key string) error {
+	return s.run(OpDelete, key, func() error { return s.inner.Delete(key) })
+}
+
+// List implements Store.
+func (s *FaultStore) List(prefix string) ([]string, error) {
+	var keys []string
+	err := s.run(OpList, prefix, func() (e error) {
+		keys, e = s.inner.List(prefix)
+		return e
+	})
+	return keys, err
+}
+
+// Stat implements Store.
+func (s *FaultStore) Stat(key string) (int64, error) {
+	var n int64
+	err := s.run(OpStat, key, func() (e error) {
+		n, e = s.inner.Stat(key)
+		return e
+	})
+	return n, err
+}
+
+var _ Store = (*FaultStore)(nil)
+
+// --- Schedule constructors ---------------------------------------------
+
+// MatchSubstr builds a key predicate matching keys containing substr.
+func MatchSubstr(substr string) func(string) bool {
+	return func(key string) bool { return strings.Contains(key, substr) }
+}
+
+// FailFirstN fails the first n operations of the given kind (transient).
+func FailFirstN(op FaultOp, n int) Fault {
+	return Fault{Op: op, Count: n, Err: fmt.Errorf("fail-first-%d", n)}
+}
+
+// FailKeysMatching fails up to count operations of the given kind whose key
+// contains substr; count <= 0 fails them forever.
+func FailKeysMatching(op FaultOp, substr string, count int) Fault {
+	return Fault{Op: op, Match: MatchSubstr(substr), Count: count,
+		Err: fmt.Errorf("fail-keys %q", substr)}
+}
+
+// SpikeLatency delays up to count operations of the given kind by d without
+// failing them; count <= 0 spikes forever.
+func SpikeLatency(op FaultOp, d time.Duration, count int) Fault {
+	return Fault{Op: op, Delay: d, Count: count}
+}
+
+// TruncateGets truncates the payload of up to count Gets of keys containing
+// substr to keep bytes — the short-read corruption mode.
+func TruncateGets(substr string, keep, count int) Fault {
+	return Fault{Op: OpGet, Match: MatchSubstr(substr), Count: count,
+		Corrupt: func(b []byte) []byte {
+			if keep < 0 || keep > len(b) {
+				return b
+			}
+			return b[:keep]
+		}}
+}
+
+// FlipBitGets XOR-flips one bit of the payload of up to count Gets of keys
+// containing substr — the bit-rot corruption mode.
+func FlipBitGets(substr string, bit int, count int) Fault {
+	return Fault{Op: OpGet, Match: MatchSubstr(substr), Count: count,
+		Corrupt: func(b []byte) []byte {
+			if len(b) == 0 {
+				return b
+			}
+			i := (bit / 8) % len(b)
+			b[i] ^= 1 << (bit % 8)
+			return b
+		}}
+}
+
+// RandomFaults fails each matching operation with probability prob, decided
+// by a deterministic seeded sequence — the storage half of a seeded soak
+// test. count <= 0 leaves the rule armed forever.
+func RandomFaults(op FaultOp, prob float64, seed uint64, count int) Fault {
+	return Fault{Op: op, Prob: prob, Seed: seed, Count: count,
+		Err: fmt.Errorf("seeded random fault (p=%g)", prob)}
+}

@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"ompcloud/internal/resilience"
+)
+
+func TestFaultStoreFailFirstN(t *testing.T) {
+	fs := NewFaultStore(NewMemStore()).Inject(FailFirstN(OpPut, 2))
+	if err := fs.Put("a", []byte("x")); err == nil {
+		t.Fatal("first put should fail")
+	} else if !resilience.IsTransient(err) {
+		t.Fatalf("injected fault not classified transient: %v", err)
+	}
+	if err := fs.Put("b", []byte("x")); err == nil {
+		t.Fatal("second put should fail")
+	}
+	if err := fs.Put("c", []byte("x")); err != nil {
+		t.Fatalf("third put should pass: %v", err)
+	}
+	// Other ops are untouched.
+	if _, err := fs.Get("c"); err != nil {
+		t.Fatalf("get hit a put-only rule: %v", err)
+	}
+	if fs.Fired() != 2 {
+		t.Fatalf("Fired() = %d, want 2", fs.Fired())
+	}
+}
+
+func TestFaultStoreSkipAndKeyMatch(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	fs.Inject(Fault{Op: OpPut, Match: MatchSubstr("/out/"), Skip: 1, Count: 1,
+		Err: errors.New("third strike")})
+	if err := fs.Put("jobs/1/in/A", []byte("x")); err != nil {
+		t.Fatalf("non-matching key failed: %v", err)
+	}
+	if err := fs.Put("jobs/1/out/C", []byte("x")); err != nil {
+		t.Fatalf("skipped match failed: %v", err)
+	}
+	if err := fs.Put("jobs/1/out/D", []byte("x")); err == nil {
+		t.Fatal("armed match should fail")
+	}
+	if err := fs.Put("jobs/1/out/E", []byte("x")); err != nil {
+		t.Fatalf("count exhausted but still failing: %v", err)
+	}
+}
+
+func TestFaultStoreCorruption(t *testing.T) {
+	inner := NewMemStore()
+	payload := []byte("hello, object store")
+	if err := inner.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaultStore(inner).Inject(TruncateGets("k", 5, 1))
+	// First get: truncated to 5 bytes.
+	got, err := fs.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[:5]) {
+		t.Fatalf("truncation not applied: %q", got)
+	}
+	// Second get: truncate is spent; arm a bit flip and observe it.
+	fs.Inject(FlipBitGets("k", 3, 1))
+	got, err = fs.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, payload) {
+		t.Fatal("bit flip not applied")
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("bit flip changed length: %d", len(got))
+	}
+	// Third get: schedule exhausted, pristine payload; and the inner
+	// store was never corrupted.
+	got, err = fs.Get("k")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("store healed wrong: %q, %v", got, err)
+	}
+	// Composition: two corruptions firing on one call chain in order.
+	fs.Inject(TruncateGets("k", 10, 1)).Inject(TruncateGets("k", 4, 1))
+	got, err = fs.Get("k")
+	if err != nil || !bytes.Equal(got, payload[:4]) {
+		t.Fatalf("composed corruptions wrong: %q, %v", got, err)
+	}
+}
+
+func TestFaultStoreLatencySpike(t *testing.T) {
+	var slept []time.Duration
+	fs := NewFaultStore(NewMemStore()).Inject(SpikeLatency(OpPut, 50*time.Millisecond, 2))
+	fs.SetSleep(func(d time.Duration) { slept = append(slept, d) })
+	for i := 0; i < 3; i++ {
+		if err := fs.Put("k", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(slept) != 2 || slept[0] != 50*time.Millisecond {
+		t.Fatalf("latency spikes = %v, want two 50ms", slept)
+	}
+}
+
+func TestFaultStoreSeededRandomDeterministic(t *testing.T) {
+	run := func(seed uint64) []bool {
+		fs := NewFaultStore(NewMemStore()).Inject(RandomFaults(OpPut, 0.5, seed, 0))
+		outcomes := make([]bool, 64)
+		for i := range outcomes {
+			outcomes[i] = fs.Put("k", []byte("x")) != nil
+		}
+		return outcomes
+	}
+	a, b := run(9), run(9)
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("p=0.5 schedule fired %d/%d times; want a mix", fails, len(a))
+	}
+	c := run(10)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestFaultStorePermanentErrorKeepsClass(t *testing.T) {
+	fs := NewFaultStore(NewMemStore()).
+		Inject(Fault{Op: OpGet, Count: 1, Err: resilience.MarkPermanent(errors.New("tombstone"))})
+	_, err := fs.Get("k")
+	if err == nil || !resilience.IsPermanent(err) {
+		t.Fatalf("explicit permanent classification lost: %v", err)
+	}
+}
+
+func TestFaultStorePassthrough(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	if err := fs.Put("a/b", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Get("a/b")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("passthrough get: %q, %v", got, err)
+	}
+	if n, err := fs.Stat("a/b"); err != nil || n != 1 {
+		t.Fatalf("passthrough stat: %d, %v", n, err)
+	}
+	keys, err := fs.List("a/")
+	if err != nil || len(keys) != 1 {
+		t.Fatalf("passthrough list: %v, %v", keys, err)
+	}
+	if err := fs.Delete("a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Get("a/b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound after delete, got %v", err)
+	}
+}

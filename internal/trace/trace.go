@@ -56,9 +56,16 @@ type Report struct {
 	BytesCollected int64 `json:"bytes_collected"`
 	// TaskFailures counts retried task attempts (fault tolerance events).
 	TaskFailures int `json:"task_failures"`
-	// FellBack records that the requested device was unavailable and the
-	// region ran on the host instead (paper §III.A dynamic fallback).
+	// StorageRetries counts storage-leg operations that had to be
+	// re-attempted by the retry policy (recovered transfer faults).
+	StorageRetries int `json:"storage_retries,omitempty"`
+	// FellBack records that the region ran on the host instead of the
+	// requested device (paper §III.A dynamic fallback) — either because
+	// the device was unavailable at entry or because it failed
+	// mid-flight with a transient error.
 	FellBack bool `json:"fell_back,omitempty"`
+	// FallbackReason says why FellBack happened, empty otherwise.
+	FallbackReason string `json:"fallback_reason,omitempty"`
 }
 
 // NewReport builds an empty report.
