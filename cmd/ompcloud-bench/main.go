@@ -8,6 +8,7 @@
 //	ompcloud-bench -bench gemm,3mm   # restrict the benchmark set
 //	ompcloud-bench -transfer         # transfer-path microbenchmark -> BENCH_transfer.json
 //	ompcloud-bench -chaos            # fault-injection soak (all 8 kernels) -> BENCH_chaos.json
+//	ompcloud-bench -overlap          # barriered vs streaming dataflow -> BENCH_overlap.json
 //
 // The tool first calibrates the machine (real single-core kernel runs and
 // real gzip probes; takes a few seconds at the default -caln), then derives
@@ -47,10 +48,18 @@ func main() {
 		chaos    = flag.Bool("chaos", false, "run the fault-injection soak (retry, fallback and breaker scenarios)")
 		chaosN   = flag.Int("chaos-n", 96, "matrix dimension for -chaos")
 		chaosOut = flag.String("chaos-out", "BENCH_chaos.json", "output path for the -chaos results")
+		overlap  = flag.Bool("overlap", false, "run the streaming-overlap benchmark (barriered vs streaming wall time)")
+		ovMiB    = flag.String("overlap-mib", "64,256", "comma-separated input sizes for -overlap, in MiB")
+		ovBW     = flag.Float64("overlap-bw", 200, "simulated WAN bandwidth for -overlap, Mbit/s per direction")
+		ovOut    = flag.String("overlap-out", "BENCH_overlap.json", "output path for the -overlap results")
 	)
 	flag.Parse()
 	if *transfer {
 		runTransfer(*xferMiB, *seed, *xferOut)
+		return
+	}
+	if *overlap {
+		runOverlap(*ovMiB, *ovBW, *ovOut)
 		return
 	}
 	if *chaos {
@@ -189,6 +198,50 @@ func runTransfer(mib int, seed int64, outPath string) {
 	fmt.Printf("\nsparse upload speedup (wall):    %.2fx\n", res.SpeedupS)
 	fmt.Printf("sparse upload speedup (virtual): %.2fx\n", res.SpeedupV)
 	fmt.Printf("dense  upload speedup (wall):    %.2fx\n", res.SpeedupD)
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+}
+
+// runOverlap measures the tile-granular streaming dataflow against the
+// stage-barriered workflow on a bandwidth-throttled store and writes the
+// result set to outPath.
+func runOverlap(mibs string, bw float64, outPath string) {
+	var cfg bench.OverlapConfig
+	for _, s := range strings.Split(mibs, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		var mib int
+		if _, err := fmt.Sscanf(s, "%d", &mib); err != nil || mib <= 0 {
+			fatal(fmt.Errorf("bad -overlap-mib entry %q", s))
+		}
+		cfg.MiBs = append(cfg.MiBs, mib)
+	}
+	cfg.WANMbps = bw
+	cfg.Log = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	res, err := bench.RunOverlapBench(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-8s %6s %6s %14s %13s %8s %10s\n",
+		"kind", "mib", "tiles", "barrier_wall_s", "stream_wall_s", "speedup", "identical")
+	for _, c := range res.Cases {
+		fmt.Printf("%-8s %6d %6d %14.2f %13.2f %7.2fx %10v\n",
+			c.Kind, c.MiB, c.Tiles, c.BarrierWallS, c.StreamWallS, c.WallSpeedup, c.Identical)
+	}
+	if res.Chaos != nil {
+		fmt.Printf("\nchaos streaming: %d faults fired, %d storage retries, identical=%v\n",
+			res.Chaos.FaultsFired, res.Chaos.StorageRetries, res.Chaos.Identical)
+	}
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		fatal(err)

@@ -40,6 +40,7 @@ func main() {
 		storeAddr = flag.String("storage", "", "remote storage address (use with ompcloud-storaged)")
 		workers   = flag.String("workers", "", "comma-separated remote worker addresses (use with ompcloud-worker)")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+		verbose   = flag.Bool("v", false, "also print the streaming-dataflow critical path and overlap")
 		list      = flag.Bool("list", false, "list available benchmarks")
 	)
 	flag.Parse()
@@ -129,6 +130,14 @@ func main() {
 	rep.WriteBreakdown(os.Stdout, 48)
 	fmt.Printf("wire traffic: %.2f MB up, %.2f MB down; %d task failures\n",
 		float64(rep.BytesUploaded)/1e6, float64(rep.BytesDownloaded)/1e6, rep.TaskFailures)
+	if *verbose {
+		if rep.CriticalPath > 0 {
+			fmt.Printf("streaming dataflow: critical path %v, wall overlap %v (phase sum %v)\n",
+				rep.CriticalPath, rep.WallOverlap, rep.Total())
+		} else {
+			fmt.Println("streaming dataflow: inactive (stage-barriered run, critical path = phase sum)")
+		}
+	}
 }
 
 func fatal(err error) {

@@ -80,6 +80,24 @@ type Options struct {
 	Have func(key string) (wire int64, ok bool)
 	// OnStored is invoked after each part is written (cache bookkeeping).
 	OnStored func(key string, wire int64)
+	// OnManifest is invoked after a multipart upload commits its manifest
+	// frame, handing the caller the exact bytes just written. A reader on
+	// the same side of the WAN can then pass them back via HaveObject and
+	// skip re-fetching metadata it authored. Never invoked for
+	// single-object layouts: there the frame is the payload itself, and
+	// skipping its GET would skip the actual data transfer.
+	OnManifest func(key string, frame []byte)
+	// HaveObject, when non-nil, is consulted before the root GET of a
+	// Download. If it returns a chunked manifest frame for the key, the
+	// manifest round trip is skipped (DownloadResult.RootCached reports
+	// this); non-manifest or unparseable frames fall back to the store.
+	HaveObject func(key string) ([]byte, bool)
+	// OnChunk is invoked by Download after each chunk of a multipart
+	// object has been fetched, decoded, and written to its [lo, hi)
+	// window of the result buffer. Chunks complete out of order; the
+	// streaming scheduler uses this to release tiles whose input windows
+	// are fully resident. Must be safe for concurrent calls.
+	OnChunk func(lo, hi int64)
 
 	// Retry re-attempts failed store operations at chunk granularity: a
 	// failed part PUT resends just that part's already-encoded bytes, a
@@ -148,6 +166,15 @@ type manifest struct {
 // manifest key ("<key>.00007.part"), never children, so file-backed stores
 // can keep one flat file per key.
 func partKey(key string, i int) string { return fmt.Sprintf("%s.%05d.part", key, i) }
+
+// encBufs pools per-chunk encode scratch. Stores copy on Put, so a buffer is
+// reusable the moment its PUT returns; without the pool every chunk of every
+// transfer allocates ~1 MiB of garbage (xcompress pools the deflate state,
+// this pools the output it writes into).
+var encBufs = sync.Pool{New: func() any {
+	b := make([]byte, 0, DefaultChunkSize+DefaultChunkSize/8+64)
+	return &b
+}}
 
 // classifyGetErr routes a store read error through the resilience taxonomy:
 // a missing key is permanent (re-reading will not materialize it; recovery
@@ -256,6 +283,7 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 	type putJob struct {
 		key string
 		enc []byte
+		bp  *[]byte // pooled backing buffer, returned to encBufs after PUT
 	}
 	var (
 		mu       sync.Mutex
@@ -317,17 +345,21 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 						}
 					}
 				}
+				bp := encBufs.Get().(*[]byte)
 				start := time.Now()
-				enc, err := o.Codec.EncodeWith(chunk, verdict)
+				enc, err := o.Codec.AppendEncode((*bp)[:0], chunk, verdict)
 				durs[i] = time.Since(start)
 				if err != nil {
+					encBufs.Put(bp)
 					fail(resilience.MarkPermanent(fmt.Errorf("chunkio: encoding %s: %w", ckey, err)))
 					return
 				}
+				*bp = enc // keep any growth for the next borrower
 				entries[i] = chunkEntry{Key: ckey, Raw: int64(len(chunk)), Wire: int64(len(enc))}
 				select {
-				case puts <- putJob{key: ckey, enc: enc}:
+				case puts <- putJob{key: ckey, enc: enc, bp: bp}:
 				case <-stop:
+					encBufs.Put(bp)
 					return
 				}
 			}
@@ -345,17 +377,21 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 			defer pwg.Done()
 			for pj := range puts {
 				if failed() {
+					encBufs.Put(pj.bp)
 					continue // drain without writing
 				}
-				if err := put(pj.key, pj.enc); err != nil {
+				err := put(pj.key, pj.enc)
+				wire := int64(len(pj.enc))
+				encBufs.Put(pj.bp) // stores copy on Put; safe once put returns
+				if err != nil {
 					fail(fmt.Errorf("chunkio: storing %s: %w", pj.key, err))
 					continue
 				}
 				mu.Lock()
-				sent += int64(len(pj.enc))
+				sent += wire
 				mu.Unlock()
 				if o.OnStored != nil {
-					o.OnStored(pj.key, int64(len(pj.enc)))
+					o.OnStored(pj.key, wire)
 				}
 			}
 		}()
@@ -375,6 +411,9 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 	copy(frame[1:], body)
 	if err := put(key, frame); err != nil {
 		return nil, fmt.Errorf("chunkio: storing manifest %s: %w", key, err)
+	}
+	if o.OnManifest != nil {
+		o.OnManifest(key, frame)
 	}
 
 	res := &UploadResult{Chunks: n, Reused: reused, Retries: int(retries.Load())}
@@ -401,12 +440,29 @@ type DownloadResult struct {
 	DecompressCPU time.Duration
 	// Retries counts store-operation re-attempts this download needed.
 	Retries int
+	// RootCached reports that the manifest came from Options.HaveObject,
+	// avoiding the root GET round trip (WireBytes excludes it).
+	RootCached bool
 }
 
 // Download fetches the object stored under key, transparently handling both
 // layouts: a legacy single xcompress frame or a chunked manifest, whose
 // parts are fetched and decompressed concurrently.
 func Download(st storage.Store, key string, o Options) ([]byte, *DownloadResult, error) {
+	return downloadInto(st, key, nil, o)
+}
+
+// DownloadInto is Download decoding into a caller-provided buffer, whose
+// length must equal the object's raw size. The streaming scheduler needs
+// the destination fixed up front: Options.OnChunk windows refer to a buffer
+// that consumers are already allowed to read behind the readiness frontier,
+// which an internally-allocated buffer returned at the end cannot provide.
+func DownloadInto(st storage.Store, key string, dst []byte, o Options) (*DownloadResult, error) {
+	_, res, err := downloadInto(st, key, dst, o)
+	return res, err
+}
+
+func downloadInto(st storage.Store, key string, dst []byte, o Options) ([]byte, *DownloadResult, error) {
 	var retries atomic.Int64
 
 	// The root object's fetch, frame discrimination and validation form
@@ -414,22 +470,27 @@ func Download(st storage.Store, key string, o Options) ([]byte, *DownloadResult,
 	// manifest alike) re-fetches the object, because the store's
 	// authoritative copy may be intact.
 	var (
-		m        manifest
-		chunked  bool
-		raw      []byte
-		rootWire int64
-		rootDur  time.Duration
-		offsets  []int64
+		m          manifest
+		chunked    bool
+		raw        []byte
+		rootWire   int64
+		rootDur    time.Duration
+		offsets    []int64
+		rootCached bool
 	)
-	rout, err := o.Retry.Do(func() error {
-		obj, err := st.Get(key)
-		if err != nil {
-			return classifyGetErr(err)
-		}
-		rootWire = int64(len(obj))
+	parseRoot := func(obj []byte) error {
 		if len(obj) == 0 || obj[0] != xcompress.TagChunked {
 			chunked = false
 			start := time.Now()
+			if dst != nil {
+				if err := xcompress.DecodeInto(obj, dst); err != nil {
+					rootDur = time.Since(start)
+					return corruptErr(fmt.Errorf("chunkio: decoding %s: %w", key, err))
+				}
+				rootDur = time.Since(start)
+				raw = dst
+				return nil
+			}
 			r, err := xcompress.Decode(obj)
 			rootDur = time.Since(start)
 			if err != nil {
@@ -464,12 +525,37 @@ func Download(st storage.Store, key string, o Options) ([]byte, *DownloadResult,
 			return corruptErr(fmt.Errorf("chunkio: manifest %s: chunks sum to %d bytes, want %d", key, off, m.RawSize))
 		}
 		return nil
-	})
-	retries.Add(int64(rout.Attempts - 1))
-	if err != nil {
-		return nil, nil, err
+	}
+	// A manifest this process authored (storeOutputs keeps the frames it
+	// just PUT) need not be re-fetched: parse the local copy and skip the
+	// round trip. Only chunked frames qualify — a single-object frame IS
+	// the payload, and its GET is the actual data transfer. Any parse
+	// failure falls through to the authoritative store copy.
+	if o.HaveObject != nil {
+		if frame, ok := o.HaveObject(key); ok && len(frame) > 0 && frame[0] == xcompress.TagChunked {
+			if parseRoot(frame) == nil {
+				rootCached = true
+			}
+		}
+	}
+	if !rootCached {
+		rout, err := o.Retry.Do(func() error {
+			obj, err := st.Get(key)
+			if err != nil {
+				return classifyGetErr(err)
+			}
+			rootWire = int64(len(obj))
+			return parseRoot(obj)
+		})
+		retries.Add(int64(rout.Attempts - 1))
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	if !chunked {
+		if o.OnChunk != nil {
+			o.OnChunk(0, int64(len(raw)))
+		}
 		return raw, &DownloadResult{
 			WireBytes: rootWire, Chunks: 1,
 			DecompressWall: rootDur, DecompressCPU: rootDur,
@@ -477,7 +563,12 @@ func Download(st storage.Store, key string, o Options) ([]byte, *DownloadResult,
 		}, nil
 	}
 
-	out := make([]byte, m.RawSize)
+	out := dst
+	if out == nil {
+		out = make([]byte, m.RawSize)
+	} else if int64(len(out)) != m.RawSize {
+		return nil, nil, resilience.MarkPermanent(fmt.Errorf("chunkio: %s holds %d raw bytes, destination wants %d", key, m.RawSize, len(out)))
+	}
 	durs := make([]time.Duration, len(m.Chunks))
 	errs := make([]error, len(m.Chunks))
 	wire := rootWire
@@ -485,9 +576,11 @@ func Download(st storage.Store, key string, o Options) ([]byte, *DownloadResult,
 
 	// One worker pool does Get and decode back to back: while worker a
 	// decompresses chunk k, worker b's Get of chunk k+1 is in flight —
-	// the download mirror of the upload pipeline. Each chunk's fetch,
-	// decode and size check form one retry unit decoding into private
-	// buffers, so a corrupted read retries just that chunk.
+	// the download mirror of the upload pipeline. Each chunk's fetch and
+	// decode form one retry unit: DecodeInto writes straight into the
+	// chunk's disjoint window of out (no private buffer, no copy), rejects
+	// any size mismatch, and a successful re-attempt fully overwrites
+	// whatever a failed one left in the window.
 	jobs := make(chan int)
 	go func() {
 		defer close(jobs)
@@ -508,22 +601,21 @@ func Download(st storage.Store, key string, o Options) ([]byte, *DownloadResult,
 						return classifyGetErr(fmt.Errorf("chunkio: fetching %s: %w", e.Key, err))
 					}
 					start := time.Now()
-					raw, err := xcompress.Decode(enc)
+					err = xcompress.DecodeInto(enc, out[offsets[i]:offsets[i]+e.Raw])
 					durs[i] = time.Since(start)
 					if err != nil {
 						return corruptErr(fmt.Errorf("chunkio: decoding %s: %w", e.Key, err))
 					}
-					if int64(len(raw)) != e.Raw {
-						return corruptErr(fmt.Errorf("chunkio: %s decoded to %d bytes, want %d", e.Key, len(raw), e.Raw))
-					}
 					mu.Lock()
 					wire += int64(len(enc))
 					mu.Unlock()
-					copy(out[offsets[i]:], raw)
 					return nil
 				})
 				retries.Add(int64(cout.Attempts - 1))
 				errs[i] = err
+				if err == nil && o.OnChunk != nil {
+					o.OnChunk(offsets[i], offsets[i]+e.Raw)
+				}
 			}
 		}()
 	}
@@ -533,7 +625,7 @@ func Download(st storage.Store, key string, o Options) ([]byte, *DownloadResult,
 			return nil, nil, err
 		}
 	}
-	res := &DownloadResult{WireBytes: wire, Chunks: len(m.Chunks), Retries: int(retries.Load())}
+	res := &DownloadResult{WireBytes: wire, Chunks: len(m.Chunks), Retries: int(retries.Load()), RootCached: rootCached}
 	res.DecompressWall, res.DecompressCPU = wallOf(durs, o.parallel())
 	return out, res, nil
 }

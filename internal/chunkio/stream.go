@@ -1,0 +1,436 @@
+package chunkio
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ompcloud/internal/resilience"
+	"ompcloud/internal/storage"
+	"ompcloud/internal/xcompress"
+)
+
+// This file is the streaming face of the transfer engine. Upload and
+// Download move a whole buffer and return; the offload workflow's barriers
+// between "uploaded", "fetched", "computed", and "downloaded" live above
+// them. Pipe and OutStream dissolve those barriers at chunk granularity:
+//
+//   - Pipe fuses an input's host-side upload with its driver-side fetch:
+//     the moment chunk k's PUT lands it is fetched back and decoded into
+//     the driver buffer, and a readiness callback fires for its byte
+//     window — so the tile scheduler can launch tile k while chunk k+1 is
+//     still compressing on the host.
+//   - OutStream is the mirror for outputs: the driver reconstructs tiles
+//     in index order into a buffer, advancing a watermark; every chunk
+//     that falls fully below the watermark is encoded, stored, fetched,
+//     and decoded into the host buffer while later tiles still compute.
+//
+// Both commit the manifest last, after every part, exactly like Upload —
+// a reader never observes a manifest whose parts are missing. Neither
+// fetches the manifest back: the consumer lives in the same process and
+// learns completion from the call returning, which is why the fetch half
+// reports DownloadResult.RootCached.
+
+// PipeResult pairs the upload and fetch halves of one fused transfer.
+type PipeResult struct {
+	Up   UploadResult
+	Down DownloadResult
+}
+
+// pipeState is the per-chunk machinery shared by Pipe and OutStream: each
+// chunk flows encode -> PUT -> GET -> decode-into-window within a single
+// worker, with the PUT and the GET+decode as independent retry units, so
+// the only difference between the two entry points is who decides when a
+// chunk is ready to flow.
+type pipeState struct {
+	st      storage.Store
+	o       Options
+	key     string
+	src     []byte
+	dst     []byte
+	cs      int
+	verdict xcompress.Verdict
+	ready   func(lo, hi int64)
+
+	entries          []chunkEntry
+	encDurs, decDurs []time.Duration
+	fetched          []int64
+	errs             []error
+	sent, reused     atomic.Int64
+	putRetries       atomic.Int64
+	getRetries       atomic.Int64
+	stopped          atomic.Bool
+}
+
+func newPipeState(st storage.Store, key string, src, dst []byte, o Options, ready func(lo, hi int64)) *pipeState {
+	ps := &pipeState{st: st, o: o, key: key, src: src, dst: dst, cs: o.chunkSize(), ready: ready}
+	n := ps.chunks()
+	ps.entries = make([]chunkEntry, n)
+	ps.encDurs = make([]time.Duration, n)
+	ps.decDurs = make([]time.Duration, n)
+	ps.fetched = make([]int64, n)
+	ps.errs = make([]error, n)
+	return ps
+}
+
+func (ps *pipeState) chunks() int { return (len(ps.src) + ps.cs - 1) / ps.cs }
+
+func (ps *pipeState) put(k string, data []byte) error {
+	out, err := ps.o.Retry.Do(func() error { return ps.st.Put(k, data) })
+	ps.putRetries.Add(int64(out.Attempts - 1))
+	return err
+}
+
+// fetch GETs one part and decodes it into its window of dst; the whole unit
+// retries together (a corrupted read re-fetches, and a successful attempt
+// fully overwrites the window).
+func (ps *pipeState) fetch(k string, win []byte) (wire int64, dur time.Duration, err error) {
+	out, err := ps.o.Retry.Do(func() error {
+		enc, err := ps.st.Get(k)
+		if err != nil {
+			return classifyGetErr(fmt.Errorf("chunkio: fetching %s: %w", k, err))
+		}
+		start := time.Now()
+		derr := xcompress.DecodeInto(enc, win)
+		dur = time.Since(start)
+		if derr != nil {
+			return corruptErr(fmt.Errorf("chunkio: decoding %s: %w", k, derr))
+		}
+		wire = int64(len(enc))
+		return nil
+	})
+	ps.getRetries.Add(int64(out.Attempts - 1))
+	return wire, dur, err
+}
+
+// fail records chunk i's error and stops launching further work; chunks
+// already in flight drain on their own.
+func (ps *pipeState) fail(i int, err error) {
+	ps.errs[i] = err
+	ps.stopped.Store(true)
+}
+
+// runChunk moves chunk i end to end. Cache hooks are honored like Upload's:
+// a chunk the cache already has skips its encode and PUT but is still
+// fetched into dst — the consumer side needs the bytes regardless of who
+// stored them.
+func (ps *pipeState) runChunk(i int) {
+	if ps.stopped.Load() {
+		return
+	}
+	lo := i * ps.cs
+	hi := lo + ps.cs
+	if hi > len(ps.src) {
+		hi = len(ps.src)
+	}
+	chunk := ps.src[lo:hi]
+	ckey := partKey(ps.key, i)
+	have := false
+	if ps.o.ChunkKey != nil {
+		sum := sha256.Sum256(chunk)
+		ckey = ps.o.ChunkKey(sum)
+		if ps.o.Have != nil {
+			if wire, ok := ps.o.Have(ckey); ok {
+				ps.entries[i] = chunkEntry{Key: ckey, Raw: int64(len(chunk)), Wire: wire}
+				ps.reused.Add(1)
+				have = true
+			}
+		}
+	}
+	if !have {
+		bp := encBufs.Get().(*[]byte)
+		start := time.Now()
+		enc, err := ps.o.Codec.AppendEncode((*bp)[:0], chunk, ps.verdict)
+		ps.encDurs[i] = time.Since(start)
+		if err != nil {
+			encBufs.Put(bp)
+			ps.fail(i, resilience.MarkPermanent(fmt.Errorf("chunkio: encoding %s: %w", ckey, err)))
+			return
+		}
+		*bp = enc
+		err = ps.put(ckey, enc)
+		wire := int64(len(enc))
+		encBufs.Put(bp) // stores copy on Put; safe once put returns
+		if err != nil {
+			ps.fail(i, fmt.Errorf("chunkio: storing %s: %w", ckey, err))
+			return
+		}
+		ps.entries[i] = chunkEntry{Key: ckey, Raw: int64(len(chunk)), Wire: wire}
+		ps.sent.Add(wire)
+		if ps.o.OnStored != nil {
+			ps.o.OnStored(ckey, wire)
+		}
+	}
+	wire, dur, err := ps.fetch(ckey, ps.dst[lo:hi])
+	if err != nil {
+		ps.fail(i, err)
+		return
+	}
+	ps.decDurs[i] = dur
+	ps.fetched[i] = wire
+	if ps.ready != nil {
+		ps.ready(int64(lo), int64(hi))
+	}
+}
+
+func (ps *pipeState) firstErr() error {
+	for _, err := range ps.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// commitManifest writes the manifest frame after every part has landed,
+// returning its wire length.
+func (ps *pipeState) commitManifest() (int, error) {
+	m := manifest{Version: manifestVersion, ChunkSize: ps.cs, RawSize: int64(len(ps.src)), Chunks: ps.entries}
+	body, err := json.Marshal(m)
+	if err != nil {
+		return 0, fmt.Errorf("chunkio: %w", err)
+	}
+	frame := make([]byte, 1+len(body))
+	frame[0] = xcompress.TagChunked
+	copy(frame[1:], body)
+	if err := ps.put(ps.key, frame); err != nil {
+		return 0, fmt.Errorf("chunkio: storing manifest %s: %w", ps.key, err)
+	}
+	if ps.o.OnManifest != nil {
+		ps.o.OnManifest(ps.key, frame)
+	}
+	return len(frame), nil
+}
+
+// results assembles the two halves' accounting after a successful run.
+func (ps *pipeState) results(frameLen int) *PipeResult {
+	up := UploadResult{
+		Chunks:  ps.chunks(),
+		Reused:  int(ps.reused.Load()),
+		Retries: int(ps.putRetries.Load()),
+	}
+	up.TotalWire = int64(frameLen)
+	for _, e := range ps.entries {
+		up.TotalWire += e.Wire
+	}
+	up.SentWire = ps.sent.Load() + int64(frameLen)
+	up.CompressWall, up.CompressCPU = wallOf(ps.encDurs, ps.o.parallel())
+
+	down := DownloadResult{
+		Chunks:     ps.chunks(),
+		Retries:    int(ps.getRetries.Load()),
+		RootCached: true,
+	}
+	for _, w := range ps.fetched {
+		down.WireBytes += w
+	}
+	down.DecompressWall, down.DecompressCPU = wallOf(ps.decDurs, ps.o.parallel())
+	return &PipeResult{Up: up, Down: down}
+}
+
+// pipeSingle handles the at-most-one-chunk layout shared by Pipe and
+// OutStream.Finish: a plain legacy-framed object, encoded, stored, fetched
+// back, and decoded into dst.
+func pipeSingle(st storage.Store, key string, buf, dst []byte, o Options, ready func(lo, hi int64)) (*PipeResult, error) {
+	ps := &pipeState{st: st, o: o, key: key, src: buf, dst: dst}
+	start := time.Now()
+	enc, err := o.Codec.Encode(buf)
+	encDur := time.Since(start)
+	if err != nil {
+		return nil, resilience.MarkPermanent(fmt.Errorf("chunkio: encoding %s: %w", key, err))
+	}
+	if err := ps.put(key, enc); err != nil {
+		return nil, fmt.Errorf("chunkio: storing %s: %w", key, err)
+	}
+	wire, decDur, err := ps.fetch(key, dst)
+	if err != nil {
+		return nil, err
+	}
+	if ready != nil {
+		ready(0, int64(len(buf)))
+	}
+	w := int64(len(enc))
+	return &PipeResult{
+		Up: UploadResult{
+			TotalWire: w, SentWire: w, Chunks: 1,
+			CompressWall: encDur, CompressCPU: encDur,
+			Retries: int(ps.putRetries.Load()),
+		},
+		Down: DownloadResult{
+			WireBytes: wire, Chunks: 1,
+			DecompressWall: decDur, DecompressCPU: decDur,
+			Retries: int(ps.getRetries.Load()),
+		},
+	}, nil
+}
+
+// Pipe stores buf under key while concurrently fetching it back into dst
+// (which must be len(buf) bytes), invoking ready(lo, hi) — when non-nil —
+// after each byte window of dst is final. Windows complete out of order and
+// ready must be safe for concurrent calls. The stored layout is identical
+// to Upload's, so the object stays readable by Download and reusable by the
+// content cache.
+func Pipe(st storage.Store, key string, buf, dst []byte, o Options, ready func(lo, hi int64)) (*PipeResult, error) {
+	if len(dst) != len(buf) {
+		return nil, resilience.MarkPermanent(fmt.Errorf("chunkio: pipe %s: dst is %d bytes, want %d", key, len(dst), len(buf)))
+	}
+	if len(buf) <= o.chunkSize() {
+		return pipeSingle(st, key, buf, dst, o, ready)
+	}
+
+	ps := newPipeState(st, key, buf, dst, o, ready)
+	// One probe serves every chunk, exactly like Upload: the chunks of one
+	// buffer share its entropy profile.
+	ps.verdict = o.Codec.ProbeVerdict(buf)
+
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for i := 0; i < ps.chunks(); i++ {
+			jobs <- i
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < o.parallel(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				ps.runChunk(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ps.firstErr(); err != nil {
+		return nil, err
+	}
+	frameLen, err := ps.commitManifest()
+	if err != nil {
+		return nil, err
+	}
+	return ps.results(frameLen), nil
+}
+
+// OutStream ships a buffer that is still being produced. The producer fills
+// src front to back (the driver reconstructs tiles in index order) and
+// calls Advance as the frontier moves; every chunk that falls entirely
+// below the frontier is encoded, stored, fetched, and decoded into dst by
+// background workers while the producer keeps going. Finish flushes the
+// tail, commits the manifest, and reports both halves' accounting.
+type OutStream struct {
+	ps     *pipeState
+	single bool
+
+	jobs      chan int
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	mu     sync.Mutex
+	water  int64
+	next   int // next chunk index not yet enqueued
+	probed bool
+}
+
+// NewOutStream prepares a stream storing src under key and mirroring it
+// into dst (len(dst) must equal len(src)). ready — when non-nil — fires
+// after each window of dst is final, like Pipe's. Payloads of at most one
+// chunk defer all work to Finish: there is nothing to overlap.
+func NewOutStream(st storage.Store, key string, src, dst []byte, o Options, ready func(lo, hi int64)) (*OutStream, error) {
+	if len(dst) != len(src) {
+		return nil, resilience.MarkPermanent(fmt.Errorf("chunkio: outstream %s: dst is %d bytes, want %d", key, len(dst), len(src)))
+	}
+	s := &OutStream{ps: newPipeState(st, key, src, dst, o, ready)}
+	if len(src) <= s.ps.cs {
+		s.single = true
+		return s, nil
+	}
+	// Buffered to the chunk count so Advance never blocks the producer.
+	s.jobs = make(chan int, s.ps.chunks())
+	for w := 0; w < o.parallel(); w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for i := range s.jobs {
+				s.ps.runChunk(i)
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Advance tells the stream that src[:hi] is final. It is monotonic (a lower
+// hi than before is a no-op) and enqueues every chunk now fully below the
+// frontier. The producer must not mutate finalized bytes afterwards.
+func (s *OutStream) Advance(hi int64) {
+	if hi > int64(len(s.ps.src)) {
+		hi = int64(len(s.ps.src))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hi <= s.water {
+		return
+	}
+	s.water = hi
+	if s.single {
+		return
+	}
+	for s.next < s.ps.chunks() {
+		end := int64(s.next+1) * int64(s.ps.cs)
+		if end > int64(len(s.ps.src)) {
+			end = int64(len(s.ps.src))
+		}
+		if end > s.water {
+			break
+		}
+		if !s.probed {
+			// First chunk is final, so the probe window (which never
+			// exceeds chunk 0 at its 256 KiB default sample) reads only
+			// finalized bytes.
+			s.ps.verdict = s.ps.o.Codec.ProbeVerdict(s.ps.src[:end])
+			s.probed = true
+		}
+		s.jobs <- s.next
+		s.next++
+	}
+}
+
+// Finish flushes everything, commits the manifest last, and returns the
+// accounting of both halves. The producer must have advanced the frontier
+// to the full length first.
+func (s *OutStream) Finish() (*PipeResult, error) {
+	s.mu.Lock()
+	complete := s.water == int64(len(s.ps.src))
+	s.mu.Unlock()
+	if !complete {
+		s.Abort()
+		return nil, resilience.MarkPermanent(fmt.Errorf("chunkio: outstream %s: Finish before the frontier reached %d bytes", s.ps.key, len(s.ps.src)))
+	}
+	if s.single {
+		return pipeSingle(s.ps.st, s.ps.key, s.ps.src, s.ps.dst, s.ps.o, s.ps.ready)
+	}
+	s.closeOnce.Do(func() { close(s.jobs) })
+	s.wg.Wait()
+	if err := s.ps.firstErr(); err != nil {
+		return nil, err
+	}
+	frameLen, err := s.ps.commitManifest()
+	if err != nil {
+		return nil, err
+	}
+	return s.ps.results(frameLen), nil
+}
+
+// Abort stops the stream early (error paths): no manifest is committed, and
+// in-flight chunks drain before it returns. Parts already stored are left
+// for the caller's cleanup, like a failed Upload's.
+func (s *OutStream) Abort() {
+	s.ps.stopped.Store(true)
+	if s.single {
+		return
+	}
+	s.closeOnce.Do(func() { close(s.jobs) })
+	s.wg.Wait()
+}

@@ -59,6 +59,22 @@ type CostInputs struct {
 	// of their sum. False keeps the paper's sequential model
 	// (compress-then-send), where the legs add.
 	PipelinedTransfers bool
+
+	// StreamTiles, when > 1, declares that the run used the tile-granular
+	// streaming dataflow with that many tiles flowing through the phases
+	// concurrently: tile k computes while tile k+1's inputs upload and
+	// tile k-1's outputs download. The phase durations still report the
+	// per-phase work (the Figure 5 decomposition is unchanged); the
+	// accountant additionally derives the overlapped critical path into
+	// Report.CriticalPath/WallOverlap. 0 or 1 models the stage-barriered
+	// workflow, where the critical path is simply the phase sum.
+	StreamTiles int
+	// BarrierOutWire is the portion of the output wire volume that cannot
+	// stream: reduction outputs are only final after the last tile lands,
+	// so their transfer serializes behind the whole compute phase. The
+	// download phase's cost is split pro rata by wire volume between the
+	// streamable and barriered shares.
+	BarrierOutWire int64
 }
 
 // transferLeg charges one host<->storage leg: codec work plus wire time
@@ -163,5 +179,41 @@ func Account(p netsim.Profile, ci CostInputs, rep *trace.Report) error {
 	rep.BytesScattered += ci.DistributeWire
 	rep.BytesBroadcast += ci.BroadcastWire
 	rep.BytesCollected += ci.CollectWire
+
+	// Streaming dataflow: the four phases form a linear pipeline over the
+	// tiles, so the end-to-end critical path is the pipeline makespan of
+	// the phase durations — except the barriered share of the download
+	// (reduction outputs, final only after the last tile), which trails
+	// the pipeline sequentially.
+	if ci.StreamTiles > 1 {
+		up := rep.Phases[trace.PhaseUpload]
+		spark := rep.Phases[trace.PhaseSpark]
+		compute := rep.Phases[trace.PhaseCompute]
+		down := rep.Phases[trace.PhaseDownload]
+		var totalOut int64
+		for _, s := range ci.OutWireSizes {
+			totalOut += s
+		}
+		var downBarrier simtime.Duration
+		if totalOut > 0 && ci.BarrierOutWire > 0 {
+			bw := ci.BarrierOutWire
+			if bw > totalOut {
+				bw = totalOut
+			}
+			downBarrier = simtime.Duration(float64(down) * float64(bw) / float64(totalOut))
+			if downBarrier > down {
+				downBarrier = down
+			}
+		}
+		cp := simtime.PipelineMakespan(
+			[]simtime.Duration{up, spark, compute, down - downBarrier},
+			ci.StreamTiles,
+		) + downBarrier
+		if total := rep.Total(); cp > total {
+			cp = total
+		}
+		rep.CriticalPath = cp
+		rep.WallOverlap = rep.Total() - cp
+	}
 	return nil
 }

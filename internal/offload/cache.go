@@ -107,6 +107,12 @@ func (c *uploadCache) forgetChunk(key string) {
 type CacheStats struct {
 	Hits, Misses           int64
 	ChunkHits, ChunkMisses int64
+	// AvoidedGets counts manifest round trips the plugin skipped because
+	// it still held the frame it had just written (downloadOutputs reading
+	// back a manifest storeOutputs authored, and the streaming paths,
+	// whose in-process consumers never fetch the manifest at all). Filled
+	// even when the content cache itself is disabled.
+	AvoidedGets int64
 }
 
 func (c *uploadCache) stats() CacheStats {

@@ -65,6 +65,18 @@ type CloudConfig struct {
 	// machine cores.
 	ChunkParallel int
 
+	// Overlap selects the tile-granular streaming dataflow: the workflow's
+	// four stages overlap at tile granularity — the Spark task for tile k
+	// launches as soon as tile k's input chunks are resident on the
+	// driver, and finished tiles are reconstructed, stored, and
+	// host-downloaded while later tiles still compute. 0 (the default)
+	// enables it whenever the chunked data path is active and the region
+	// has more than one tile; negative forces the stage-barriered workflow
+	// (the paper's strict Fig. 1 ordering), which is also what ChunkBytes
+	// < 0 implies — the sequential policy has no sub-buffer readiness to
+	// stream on. Both modes produce bit-identical outputs.
+	Overlap int
+
 	// HealthTTL is how long one storage health probe's verdict is
 	// trusted by Available(). 0 means DefaultHealthTTL; negative probes
 	// on every call (the pre-TTL behaviour, needed by tests that kill
@@ -169,6 +181,10 @@ type CloudPlugin struct {
 	initErr  error
 	jobSeq   atomic.Int64
 	lastCost float64
+
+	// avoidedGets counts manifest GETs skipped via locally-held frames
+	// (see CacheStats.AvoidedGets); independent of the content cache.
+	avoidedGets atomic.Int64
 
 	// Cached health verdict (see Available).
 	healthMu sync.Mutex
@@ -432,12 +448,15 @@ func (p *CloudPlugin) Cluster() *cloud.Cluster {
 func (p *CloudPlugin) SparkContext() *spark.Context { return p.sctx }
 
 // CacheStats reports upload-cache effectiveness (zero value when the cache
-// is disabled).
+// is disabled) plus the manifest round trips avoided by frame reuse, which
+// accrue regardless of the cache setting.
 func (p *CloudPlugin) CacheStats() CacheStats {
-	if p.cache == nil {
-		return CacheStats{}
+	var s CacheStats
+	if p.cache != nil {
+		s = p.cache.stats()
 	}
-	return p.cache.stats()
+	s.AvoidedGets = p.avoidedGets.Load()
+	return s
 }
 
 // logf emits a workflow log line when a logger is configured.
@@ -509,6 +528,10 @@ func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 	// the trace report so chaos soaks can see recovery work.
 	var retries atomic.Int64
 
+	if p.streaming() && tiles > 1 {
+		return p.streamWorkflow(rep, r, tiles, prefix, &retries)
+	}
+
 	// Steps 1-2: compress and upload every input on its own goroutine.
 	up, err := p.uploadInputs(prefix, r, &retries)
 	if err != nil {
@@ -528,14 +551,17 @@ func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 	}
 
 	// Step 7: reconstruct outputs on the driver and write them back to
-	// storage (encoded), measuring the codec work.
-	outWire, driverCompress, err := p.reconstructAndStore(prefix, r, tiles, parts, &retries)
+	// storage (encoded), measuring the codec work. The memo keeps the
+	// manifests this process writes, so step 8 does not pay a round trip
+	// re-reading metadata it authored.
+	memo := newManifestMemo()
+	outWire, driverCompress, err := p.reconstructAndStore(prefix, r, tiles, parts, &retries, memo)
 	if err != nil {
 		return nil, err
 	}
 
 	// Step 8: the host downloads and decodes the outputs.
-	hostDecompress, err := p.downloadOutputs(prefix, r, &retries)
+	hostDecompress, err := p.downloadOutputs(prefix, r, &retries, memo)
 	if err != nil {
 		return nil, err
 	}
@@ -558,6 +584,37 @@ func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 // pipelined reports whether the chunked streaming engine is active (the
 // default). ChunkBytes < 0 selects the paper's original sequential policy.
 func (p *CloudPlugin) pipelined() bool { return p.cfg.ChunkBytes >= 0 }
+
+// streaming reports whether the tile-granular streaming dataflow is active:
+// the chunked data path must be on (sub-buffer readiness needs chunks) and
+// the overlap knob not forced off.
+func (p *CloudPlugin) streaming() bool { return p.pipelined() && p.cfg.Overlap >= 0 }
+
+// manifestMemo retains the manifest frames one run writes, so the same
+// process's later reads skip the round trip (CacheStats.AvoidedGets). It is
+// scoped to a run: keys are per-job prefixed, and holding frames across
+// jobs would risk serving stale metadata after a store wipe.
+type manifestMemo struct {
+	mu     sync.Mutex
+	frames map[string][]byte
+}
+
+func newManifestMemo() *manifestMemo {
+	return &manifestMemo{frames: make(map[string][]byte)}
+}
+
+func (m *manifestMemo) store(key string, frame []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.frames[key] = frame
+}
+
+func (m *manifestMemo) lookup(key string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.frames[key]
+	return f, ok
+}
 
 // chunkOpts assembles the transfer-engine options, including the per-leg
 // retry policy (rc accumulates the run's retry count). withCache
@@ -740,6 +797,14 @@ func tileBytes(r *Region, tiles, p int) int64 {
 // inputs broadcast, and the loop body invoked through the fat-binary
 // registry (the JNI analog).
 func (p *CloudPlugin) runSparkJob(r *Region, tiles int, decoded [][]byte) ([][]tileResult, *spark.JobMetrics, int64, error) {
+	return p.runSparkJobWith(r, tiles, decoded, nil, nil)
+}
+
+// runSparkJobWith is runSparkJob with the streaming dataflow's two hooks:
+// sched (non-nil) gates each tile's task on its input readiness and aborts
+// queued tiles once the transfer side has failed; sink (non-nil) receives
+// each tile's result the moment its task succeeds, while others still run.
+func (p *CloudPlugin) runSparkJobWith(r *Region, tiles int, decoded [][]byte, sched *tileSched, sink func(p int, items []tileResult)) ([][]tileResult, *spark.JobMetrics, int64, error) {
 	reg := r.registry()
 	// Broadcast the unpartitioned inputs so the engine's accounting sees
 	// them; partitioned inputs are captured per tile by the closure,
@@ -760,6 +825,14 @@ func (p *CloudPlugin) runSparkJob(r *Region, tiles int, decoded [][]byte) ([][]t
 		return nil, nil, 0, err
 	}
 	job := spark.MapPartitions(rdd, func(part int, _ []int64) ([]tileResult, error) {
+		if sched != nil {
+			// The gate has opened, but possibly because the transfer side
+			// failed and released everything: abort instead of computing
+			// on incomplete inputs.
+			if err := sched.Err(); err != nil {
+				return nil, err
+			}
+		}
 		lo, hi := TileRange(r.N, tiles, part)
 		ins := make([][]byte, len(r.Ins))
 		for k := range r.Ins {
@@ -810,7 +883,10 @@ func (p *CloudPlugin) runSparkJob(r *Region, tiles int, decoded [][]byte) ([][]t
 		}
 		return []tileResult{{tile: part, outs: outs}}, nil
 	})
-	parts, jm, err := job.CollectPartitions()
+	if sched != nil {
+		job = spark.Gated(job, sched.gate)
+	}
+	parts, jm, err := job.CollectPartitionsEach(sink)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("offload: spark job: %w", err)
 	}
@@ -852,11 +928,15 @@ func reconstruct(r *Region, tiles int, parts [][]tileResult) ([][]byte, error) {
 // storage (step 7) through the transfer engine, measuring the driver's
 // codec work (summed across the serial per-buffer loop; each term already
 // reflects within-buffer parallel chunk compression).
-func (p *CloudPlugin) storeOutputs(prefix string, r *Region, finals [][]byte, rc *atomic.Int64) ([]int64, simtime.Duration, error) {
+func (p *CloudPlugin) storeOutputs(prefix string, r *Region, finals [][]byte, rc *atomic.Int64, memo *manifestMemo) ([]int64, simtime.Duration, error) {
 	wire := make([]int64, len(r.Outs))
 	var compress time.Duration
 	for l := range r.Outs {
-		up, err := chunkio.Upload(p.cfg.Store, prefix+"/out/"+r.Outs[l].Name, finals[l], p.chunkOpts(false, rc))
+		o := p.chunkOpts(false, rc)
+		if memo != nil {
+			o.OnManifest = memo.store
+		}
+		up, err := chunkio.Upload(p.cfg.Store, prefix+"/out/"+r.Outs[l].Name, finals[l], o)
 		if err != nil {
 			return nil, 0, fmt.Errorf("offload: storing output %s: %w", r.Outs[l].Name, err)
 		}
@@ -868,18 +948,18 @@ func (p *CloudPlugin) storeOutputs(prefix string, r *Region, finals [][]byte, rc
 
 // reconstructAndStore composes reconstruct and storeOutputs for a
 // standalone region run.
-func (p *CloudPlugin) reconstructAndStore(prefix string, r *Region, tiles int, parts [][]tileResult, rc *atomic.Int64) ([]int64, simtime.Duration, error) {
+func (p *CloudPlugin) reconstructAndStore(prefix string, r *Region, tiles int, parts [][]tileResult, rc *atomic.Int64, memo *manifestMemo) ([]int64, simtime.Duration, error) {
 	finals, err := reconstruct(r, tiles, parts)
 	if err != nil {
 		return nil, 0, err
 	}
-	return p.storeOutputs(prefix, r, finals, rc)
+	return p.storeOutputs(prefix, r, finals, rc, memo)
 }
 
 // downloadOutputs brings the results back to the host buffers (step 8),
 // decoding in parallel, one stream per buffer; chunked objects additionally
 // fetch and decompress their parts concurrently within the stream.
-func (p *CloudPlugin) downloadOutputs(prefix string, r *Region, rc *atomic.Int64) (simtime.Duration, error) {
+func (p *CloudPlugin) downloadOutputs(prefix string, r *Region, rc *atomic.Int64, memo *manifestMemo) (simtime.Duration, error) {
 	durs := make([]time.Duration, len(r.Outs))
 	errs := make([]error, len(r.Outs))
 	var wg sync.WaitGroup
@@ -887,10 +967,17 @@ func (p *CloudPlugin) downloadOutputs(prefix string, r *Region, rc *atomic.Int64
 		wg.Add(1)
 		go func(l int) {
 			defer wg.Done()
-			raw, down, err := chunkio.Download(p.cfg.Store, prefix+"/out/"+r.Outs[l].Name, p.chunkOpts(false, rc))
+			o := p.chunkOpts(false, rc)
+			if memo != nil {
+				o.HaveObject = memo.lookup
+			}
+			raw, down, err := chunkio.Download(p.cfg.Store, prefix+"/out/"+r.Outs[l].Name, o)
 			if err != nil {
 				errs[l] = err
 				return
+			}
+			if down.RootCached {
+				p.avoidedGets.Add(1)
 			}
 			durs[l] = down.DecompressWall
 			if len(raw) != len(r.Outs[l].Data) {

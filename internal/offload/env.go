@@ -69,6 +69,12 @@ func MergeReports(device, kernel string, reps ...*trace.Report) *trace.Report {
 		if out.FallbackReason == "" {
 			out.FallbackReason = r.FallbackReason
 		}
+		// Overlap folds additively: each phase report's hidden time stays
+		// hidden in the merged wall view.
+		out.WallOverlap += r.WallOverlap
+	}
+	if out.WallOverlap > 0 {
+		out.CriticalPath = out.Total() - out.WallOverlap
 	}
 	return out
 }
@@ -349,7 +355,8 @@ func (e *cloudEnv) Close() (*trace.Report, error) {
 	for i := range downBufs {
 		finals[i] = downBufs[i].Data
 	}
-	wire, driverCompress, err := p.storeOutputs(e.prefix, pseudo, finals, &retries)
+	memo := newManifestMemo()
+	wire, driverCompress, err := p.storeOutputs(e.prefix, pseudo, finals, &retries, memo)
 	if err != nil {
 		return nil, err
 	}
@@ -359,7 +366,7 @@ func (e *cloudEnv) Close() (*trace.Report, error) {
 	for i := range pseudo.Outs {
 		pseudo.Outs[i].Data = hostData[i]
 	}
-	hostDecompress, err := p.downloadOutputs(e.prefix, pseudo, &retries)
+	hostDecompress, err := p.downloadOutputs(e.prefix, pseudo, &retries, memo)
 	if err != nil {
 		return nil, err
 	}

@@ -27,7 +27,7 @@ import (
 //	[storage]     type (memory | disk | remote), address, path
 //	[network]     wan-mbps, wan-latency-ms, lan-gbps, lan-latency-us,
 //	              mem-gbps
-//	[offload]     compress-min-bytes, chunk-bytes, chunk-parallel,
+//	[offload]     compress-min-bytes, chunk-bytes, chunk-parallel, overlap,
 //	              health-ttl-ms, jni-base-ms, jni-mbps, enable-cache,
 //	              verbose, run-on-driver, retry-max, retry-base-ms,
 //	              retry-cap-ms, breaker-failures, breaker-cooldown-ms,
@@ -156,6 +156,17 @@ func NewCloudPluginFromConfig(f *config.File) (*CloudPlugin, error) {
 		return nil, err
 	}
 	cfg.ChunkBytes = chunkBytes
+	// overlap: on (default) streams tiles through upload, compute, and
+	// download concurrently; off keeps the stage-barriered workflow. Both
+	// modes produce bit-identical outputs.
+	switch ov := f.Str("offload", "overlap", "on"); ov {
+	case "on":
+		cfg.Overlap = 0
+	case "off":
+		cfg.Overlap = -1
+	default:
+		return nil, fmt.Errorf("offload: unknown overlap policy %q (want on|off)", ov)
+	}
 	chunkParallel, err := f.Int("offload", "chunk-parallel", 0)
 	if err != nil {
 		return nil, err

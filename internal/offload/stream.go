@@ -1,0 +1,393 @@
+package offload
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ompcloud/internal/chunkio"
+	"ompcloud/internal/simtime"
+	"ompcloud/internal/trace"
+)
+
+// This file is the tile-granular streaming dataflow: the Fig. 1 workflow
+// with its stage barriers dissolved. The barriered runWorkflow finishes
+// every input's upload and driver fetch before the first Spark task starts,
+// and finishes every task before the first output byte heads home; here the
+// four stages form a pipeline over tiles instead:
+//
+//	host chunks  --Pipe-->  driver buffers  --gates-->  Spark tasks
+//	     tasks --sink--> in-order reconstruction --OutStream--> host buffers
+//
+// A tileSched tracks how much of each input is resident on the driver and
+// opens per-tile readiness gates (spark.Gated) in index order; finished
+// tiles stream through reconstruction in index order — which keeps
+// floating-point reductions combining in exactly the barriered order, the
+// bit-identity requirement — and a per-output OutStream ships every
+// finalized chunk while later tiles still compute. Everything both modes
+// store is laid out identically, so caches, cleanup, and readers are
+// shared.
+
+// ivl is a half-open byte interval [lo, hi).
+type ivl struct{ lo, hi int64 }
+
+// tileSched is the bounded-concurrency readiness scheduler: chunk-level
+// coverage marks come in out of order from the transfer workers, tiles
+// unlock in index order as soon as every input covers their windows.
+type tileSched struct {
+	r     *Region
+	tiles int
+	gates []chan struct{}
+
+	mu      sync.Mutex
+	next    int     // next gate to open; gates open in index order
+	water   []int64 // per-input contiguous coverage from byte 0
+	pending [][]ivl // per-input coverage above the watermark
+	err     error
+}
+
+func newTileSched(r *Region, tiles int) *tileSched {
+	s := &tileSched{
+		r:       r,
+		tiles:   tiles,
+		gates:   make([]chan struct{}, tiles),
+		water:   make([]int64, len(r.Ins)),
+		pending: make([][]ivl, len(r.Ins)),
+	}
+	for i := range s.gates {
+		s.gates[i] = make(chan struct{})
+	}
+	return s
+}
+
+// gate exposes tile t's readiness channel (closed = ready) to spark.Gated.
+func (s *tileSched) gate(t int) <-chan struct{} { return s.gates[t] }
+
+// mark records that input k's bytes [lo, hi) are resident on the driver.
+// Marks arrive concurrently and out of order; the contiguous watermark only
+// advances when the gap below an interval has filled.
+func (s *tileSched) mark(k int, lo, hi int64) {
+	if hi <= lo {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if lo > s.water[k] {
+		s.pending[k] = append(s.pending[k], ivl{lo, hi})
+		return
+	}
+	if hi > s.water[k] {
+		s.water[k] = hi
+	}
+	// Absorb any buffered intervals the new watermark now touches. The
+	// list is tiny (chunks arrive nearly in order), so a repeated linear
+	// scan beats maintaining a sorted structure.
+	for absorbed := true; absorbed; {
+		absorbed = false
+		for i, iv := range s.pending[k] {
+			if iv.lo <= s.water[k] {
+				if iv.hi > s.water[k] {
+					s.water[k] = iv.hi
+				}
+				last := len(s.pending[k]) - 1
+				s.pending[k][i] = s.pending[k][last]
+				s.pending[k] = s.pending[k][:last]
+				absorbed = true
+				break
+			}
+		}
+	}
+	s.openReadyLocked()
+}
+
+// readyLocked reports whether tile t's input windows are fully resident.
+func (s *tileSched) readyLocked(t int) bool {
+	_, hi := TileRange(s.r.N, s.tiles, t)
+	for k := range s.r.Ins {
+		in := &s.r.Ins[k]
+		if in.Partitioned() {
+			if s.water[k] < hi*in.BytesPerIter {
+				return false
+			}
+		} else if s.water[k] < int64(len(in.Data)) {
+			return false
+		}
+	}
+	return true
+}
+
+// openReadyLocked opens gates in index order as far as coverage allows.
+// Coverage is contiguous from zero, so tile k ready implies tile j < k
+// ready — index order loses no parallelism.
+func (s *tileSched) openReadyLocked() {
+	for s.next < s.tiles && s.readyLocked(s.next) {
+		close(s.gates[s.next])
+		s.next++
+	}
+}
+
+// fail aborts the schedule: the first error is kept and every unopened gate
+// is released so gated tasks can observe the error and exit instead of
+// waiting forever.
+func (s *tileSched) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = err
+	for ; s.next < s.tiles; s.next++ {
+		close(s.gates[s.next])
+	}
+}
+
+// Err reports the abort error, nil while healthy.
+func (s *tileSched) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// inTransfer is one input's transfer accounting on the streaming path.
+type inTransfer struct {
+	wire       int64 // full stored wire size (driver fetch accounting)
+	sent       int64 // wire actually sent by this run (cache hits absent)
+	cached     bool  // whole-buffer content-cache hit
+	compress   time.Duration
+	decompress time.Duration
+}
+
+// streamWorkflow executes steps 1-8 of Fig. 1 as a tile-granular pipeline.
+// The caller has validated the region, opened the cluster, and owns cleanup
+// of the job prefix.
+func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, prefix string, retries *atomic.Int64) (*trace.Report, error) {
+	p.logf("offload: job %s: streaming dataflow (%d tiles)", prefix, tiles)
+	sched := newTileSched(r, tiles)
+
+	// Driver-side input buffers exist up front: gates open against windows
+	// of these, so their headers must be fixed before any transfer starts.
+	decoded := make([][]byte, len(r.Ins))
+	for k := range r.Ins {
+		decoded[k] = make([]byte, len(r.Ins[k].Data))
+	}
+
+	// Steps 1-3, fused per input: each buffer's chunks flow host-encode ->
+	// PUT -> GET -> driver-decode, with every decoded window marked into
+	// the scheduler. A whole-buffer cache hit skips the upload half and
+	// marks windows as the driver fetch proceeds.
+	ins := make([]inTransfer, len(r.Ins))
+	inErrs := make([]error, len(r.Ins))
+	var iwg sync.WaitGroup
+	for k := range r.Ins {
+		iwg.Add(1)
+		go func(k int) {
+			defer iwg.Done()
+			mark := func(lo, hi int64) { sched.mark(k, lo, hi) }
+			key := prefix + "/in/" + r.Ins[k].Name
+			if p.cache != nil {
+				key = contentKey(r.Ins[k].Data)
+				if wireSize, ok := p.cache.lookup(key); ok {
+					if _, err := p.cfg.Store.Stat(key); err == nil {
+						o := p.chunkOpts(false, retries)
+						o.OnChunk = mark
+						down, err := chunkio.DownloadInto(p.cfg.Store, key, decoded[k], o)
+						if err != nil {
+							inErrs[k] = fmt.Errorf("offload: driver input %s: %w", r.Ins[k].Name, err)
+							sched.fail(inErrs[k])
+							return
+						}
+						ins[k] = inTransfer{wire: wireSize, cached: true, decompress: down.DecompressWall}
+						return
+					}
+					p.cache.forget(key)
+				}
+			}
+			res, err := chunkio.Pipe(p.cfg.Store, key, r.Ins[k].Data, decoded[k], p.chunkOpts(true, retries), mark)
+			if err != nil {
+				inErrs[k] = fmt.Errorf("offload: uploading %s: %w", r.Ins[k].Name, err)
+				sched.fail(inErrs[k])
+				return
+			}
+			if res.Down.RootCached {
+				p.avoidedGets.Add(1)
+			}
+			ins[k] = inTransfer{
+				wire:       res.Up.TotalWire,
+				sent:       res.Up.SentWire,
+				compress:   res.Up.CompressWall,
+				decompress: res.Down.DecompressWall,
+			}
+			if p.cache != nil {
+				p.cache.remember(key, res.Up.TotalWire)
+			}
+		}(k)
+	}
+
+	// Steps 6-8 start before the job does: output streams mirror each
+	// reconstructed chunk into the host buffer as the frontier advances.
+	finals := make([][]byte, len(r.Outs))
+	outStreams := make([]*chunkio.OutStream, len(r.Outs))
+	abortStreams := func() {
+		for _, os := range outStreams {
+			if os != nil {
+				os.Abort()
+			}
+		}
+	}
+	for l := range r.Outs {
+		finals[l] = reduceIdentity(r.Outs[l].Reduce, len(r.Outs[l].Data))
+		os, err := chunkio.NewOutStream(p.cfg.Store, prefix+"/out/"+r.Outs[l].Name, finals[l], r.Outs[l].Data, p.chunkOpts(false, retries), nil)
+		if err != nil {
+			sched.fail(err)
+			abortStreams()
+			iwg.Wait()
+			return nil, fmt.Errorf("offload: storing output %s: %w", r.Outs[l].Name, err)
+		}
+		outStreams[l] = os
+	}
+
+	// The reconstruction consumer applies tiles strictly in index order —
+	// the same order the barriered reconstruct() walks partitions — so
+	// order-sensitive float reductions stay bit-identical. Out-of-order
+	// arrivals park in pending until their turn.
+	resCh := make(chan tileResult, tiles)
+	reconDone := make(chan struct{})
+	var reconErr error
+	go func() {
+		defer close(reconDone)
+		pending := make(map[int][][]byte, tiles)
+		next := 0
+		for tr := range resCh {
+			pending[tr.tile] = tr.outs
+			for {
+				outs, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				lo, hi := TileRange(r.N, tiles, next)
+				for l := range r.Outs {
+					if r.Outs[l].Partitioned() {
+						bpi := r.Outs[l].BytesPerIter
+						copy(finals[l][lo*bpi:hi*bpi], outs[l])
+					} else if err := combine(r.Outs[l].Reduce, finals[l], outs[l]); err != nil && reconErr == nil {
+						reconErr = err
+					}
+				}
+				next++
+				if reconErr != nil {
+					continue
+				}
+				for l := range r.Outs {
+					if r.Outs[l].Partitioned() {
+						outStreams[l].Advance(hi * r.Outs[l].BytesPerIter)
+					}
+				}
+			}
+		}
+		if next == tiles && reconErr == nil {
+			// Reduction outputs are final only after the last tile: their
+			// whole transfer is the barriered tail of the pipeline.
+			for l := range r.Outs {
+				if !r.Outs[l].Partitioned() {
+					outStreams[l].Advance(int64(len(finals[l])))
+				}
+			}
+		}
+	}()
+
+	// Steps 4-6: the gated Spark job. Tasks launch as their gates open and
+	// every finished tile flows to the reconstruction consumer immediately.
+	_, jm, tileRaw, jobErr := p.runSparkJobWith(r, tiles, decoded, sched, func(_ int, items []tileResult) {
+		for _, tr := range items {
+			resCh <- tr
+		}
+	})
+	close(resCh)
+	<-reconDone
+	iwg.Wait()
+
+	// Input-side failures surface even when the job squeaked through (a
+	// manifest commit can fail after every chunk was piped and marked).
+	for k := range r.Ins {
+		if inErrs[k] != nil {
+			abortStreams()
+			return nil, inErrs[k]
+		}
+	}
+	if jobErr != nil {
+		abortStreams()
+		return nil, jobErr
+	}
+	if reconErr != nil {
+		abortStreams()
+		return nil, reconErr
+	}
+
+	// Step 7-8 epilogue: flush the output streams (most chunks are already
+	// home; Finish ships the tail and commits the manifests).
+	outWire := make([]int64, len(r.Outs))
+	var driverCompress time.Duration
+	var hostDecompress time.Duration
+	var barrierOutWire int64
+	for l := range r.Outs {
+		res, err := outStreams[l].Finish()
+		if err != nil {
+			abortStreams()
+			return nil, fmt.Errorf("offload: storing output %s: %w", r.Outs[l].Name, err)
+		}
+		outWire[l] = res.Up.TotalWire
+		driverCompress += res.Up.CompressWall
+		if res.Down.DecompressWall > hostDecompress {
+			hostDecompress = res.Down.DecompressWall
+		}
+		if res.Down.RootCached {
+			p.avoidedGets.Add(1)
+		}
+		if !r.Outs[l].Partitioned() {
+			barrierOutWire += res.Up.TotalWire
+		}
+	}
+
+	// Accounting: identical per-phase charges to the barriered path, plus
+	// the pipeline critical path over the tiles.
+	fetchWire := make([]int64, len(r.Ins))
+	var sent []int64
+	var hostCompress time.Duration
+	var driverDecompress time.Duration
+	hits := 0
+	for k := range r.Ins {
+		fetchWire[k] = ins[k].wire
+		if ins[k].cached {
+			hits++
+		} else {
+			sent = append(sent, ins[k].sent)
+			if ins[k].compress > hostCompress {
+				hostCompress = ins[k].compress
+			}
+		}
+		if ins[k].decompress > driverDecompress {
+			driverDecompress = ins[k].decompress
+		}
+	}
+	rep.StorageRetries = int(retries.Load())
+	p.logf("offload: job %s: done streaming (%d cache hits, %d task failures, %d storage retries)",
+		prefix, hits, jm.Failures, rep.StorageRetries)
+
+	ci := p.costInputs(r, tiles, jm, fetchWire, outWire, tileRaw,
+		simtime.FromReal(hostCompress), simtime.FromReal(hostDecompress),
+		simtime.FromReal(driverDecompress)+simtime.FromReal(driverCompress))
+	ci.InWireSizes = sent
+	ci.FetchWireSizes = fetchWire
+	ci.StreamTiles = tiles
+	ci.BarrierOutWire = barrierOutWire
+	if err := Account(p.cfg.Profile, ci, rep); err != nil {
+		return nil, err
+	}
+	rep.TaskFailures = jm.Failures
+	return rep, nil
+}

@@ -156,6 +156,38 @@ func MakespanStaggered(durations []Duration, n int, dispatch Duration) Duration 
 	return finish
 }
 
+// PipelineMakespan models a linear pipeline: items work units each flow
+// through every stage in order, where stages[i] is the *total* virtual time
+// stage i spends across all items (so one item occupies stage i for
+// stages[i]/items). Stages process different items concurrently, so the
+// completion time is the first item's latency through every stage plus the
+// remaining items spaced at the bottleneck stage's per-item time:
+//
+//	makespan = sum(stages)/items + (items-1)/items * max(stages)
+//
+// With items == 1 this degenerates to the barriered sum of the stages; as
+// items grows it approaches max(stages), the steady state of a saturated
+// pipeline. This is the accounting model of the tile-granular streaming
+// dataflow: the offload workflow's four phases (upload, spark, compute,
+// download) overlap at tile granularity instead of running stage-barriered.
+func PipelineMakespan(stages []Duration, items int) Duration {
+	var sum, max Duration
+	for _, s := range stages {
+		if s < 0 {
+			panic("simtime: negative pipeline stage")
+		}
+		sum += s
+		if s > max {
+			max = s
+		}
+	}
+	if items <= 1 {
+		return sum
+	}
+	n := Duration(items)
+	return sum/n + (n-1)*max/n
+}
+
 // Span is a named interval on a Timeline.
 type Span struct {
 	Name  string

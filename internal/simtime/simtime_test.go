@@ -220,3 +220,48 @@ func TestTimelineBadSpanPanics(t *testing.T) {
 	var tl Timeline
 	tl.Add("x", 2*Second, Second)
 }
+
+func TestPipelineMakespan(t *testing.T) {
+	stages := []Duration{4 * Second, 8 * Second, 2 * Second}
+
+	// One item cannot overlap anything: the pipeline is the barriered sum.
+	if got := PipelineMakespan(stages, 1); got != 14*Second {
+		t.Fatalf("items=1: %v, want 14s (stage sum)", got)
+	}
+	if got := PipelineMakespan(stages, 0); got != 14*Second {
+		t.Fatalf("items=0: %v, want 14s (stage sum)", got)
+	}
+
+	// Two items: first item's latency through all stages (sum/2) plus one
+	// more spacing at the bottleneck (max/2) = 7s + 4s = 11s.
+	if got := PipelineMakespan(stages, 2); got != 11*Second {
+		t.Fatalf("items=2: %v, want 11s", got)
+	}
+
+	// Many items approach the bottleneck stage from above and never go
+	// below it, and never exceed the barriered sum.
+	prev := PipelineMakespan(stages, 1)
+	for items := 2; items <= 1024; items *= 2 {
+		got := PipelineMakespan(stages, items)
+		if got > prev {
+			t.Fatalf("items=%d: makespan %v grew above %v", items, got, prev)
+		}
+		if got < 8*Second {
+			t.Fatalf("items=%d: makespan %v fell below the bottleneck stage", items, got)
+		}
+		prev = got
+	}
+
+	if got := PipelineMakespan(nil, 5); got != 0 {
+		t.Fatalf("empty stage list: %v, want 0", got)
+	}
+}
+
+func TestPipelineMakespanNegativeStagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for a negative stage")
+		}
+	}()
+	PipelineMakespan([]Duration{Second, -1}, 4)
+}

@@ -28,7 +28,7 @@ func Distinct[T comparable](r *RDD[T], numPartitions int) (*RDD[T], error) {
 		}
 		return out, nil
 	})
-	parts, _, err := runJob(local)
+	parts, _, err := runJob(local, nil)
 	if err != nil {
 		return nil, fmt.Errorf("spark: distinct: %w", err)
 	}
@@ -108,7 +108,7 @@ func SortByKey[K cmp.Ordered, V any](r *RDD[KV[K, V]], numPartitions int) (*RDD[
 	if numPartitions < 1 {
 		return nil, fmt.Errorf("spark: sortByKey needs >= 1 partition, got %d", numPartitions)
 	}
-	parts, _, err := runJob(r)
+	parts, _, err := runJob(r, nil)
 	if err != nil {
 		return nil, fmt.Errorf("spark: sortByKey: %w", err)
 	}

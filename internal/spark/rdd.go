@@ -17,6 +17,14 @@ type RDD[T any] struct {
 	// side-effect free: the scheduler may call it again on another worker
 	// after a failure.
 	compute func(p int) ([]T, error)
+	// gate, when non-nil, defers partition p's first attempt until the
+	// returned channel closes — the engine-side half of the tile-readiness
+	// protocol: the offload layer closes gate(p) when tile p's input bytes
+	// are resident on the driver, so a job can be submitted before its
+	// data finishes arriving. Waiting happens before a core slot is
+	// acquired and before timing starts, so gated waits never pollute
+	// compute measurements or hold executor cores idle.
+	gate func(p int) <-chan struct{}
 }
 
 // Context reports the owning context.
@@ -144,6 +152,22 @@ func MapPartitions[T, U any](r *RDD[T], f func(p int, items []T) ([]U, error)) *
 	}
 }
 
+// Gated returns r with a per-partition readiness gate: partition p's task
+// does not start executing until gate(p) is closed. gate must be total over
+// [0, NumPartitions) and each channel must eventually close (or the job
+// must be abandoned by its caller); the engine itself never times out a
+// gate. Gating applies when the returned RDD is run by an action — further
+// transformations derive unguarded RDDs.
+func Gated[T any](r *RDD[T], gate func(p int) <-chan struct{}) *RDD[T] {
+	return &RDD[T]{
+		ctx:           r.ctx,
+		name:          fmt.Sprintf("gated(%s)", r.name),
+		numPartitions: r.numPartitions,
+		compute:       r.compute,
+		gate:          gate,
+	}
+}
+
 // Filter keeps the elements for which pred is true.
 func Filter[T any](r *RDD[T], pred func(T) bool) *RDD[T] {
 	return &RDD[T]{
@@ -169,7 +193,7 @@ func Filter[T any](r *RDD[T], pred func(T) bool) *RDD[T] {
 // Collect materializes the RDD on the driver, partitions concatenated in
 // index order, and reports the job's virtual-time metrics.
 func (r *RDD[T]) Collect() ([]T, *JobMetrics, error) {
-	parts, jm, err := runJob(r)
+	parts, jm, err := runJob(r, nil)
 	if err != nil {
 		return nil, jm, err
 	}
@@ -182,7 +206,19 @@ func (r *RDD[T]) Collect() ([]T, *JobMetrics, error) {
 
 // CollectPartitions materializes the RDD keeping the partition structure.
 func (r *RDD[T]) CollectPartitions() ([][]T, *JobMetrics, error) {
-	return runJob(r)
+	return runJob(r, nil)
+}
+
+// CollectPartitionsEach is CollectPartitions with a streaming sink: sink
+// receives each partition's result the moment its task succeeds, while
+// other tasks are still running — the driver-side half of the tile
+// streaming dataflow, where finished tiles start their journey back to the
+// host before the job's collect barrier. sink runs on task goroutines and
+// must be safe for concurrent calls; partitions arrive in completion
+// order, not index order. The full partition structure is still returned
+// at the end, so error handling and metrics match CollectPartitions.
+func (r *RDD[T]) CollectPartitionsEach(sink func(p int, items []T)) ([][]T, *JobMetrics, error) {
+	return runJob(r, sink)
 }
 
 // Reduce folds all elements with the associative, commutative op. The fold
@@ -203,7 +239,7 @@ func (r *RDD[T]) Reduce(op func(a, b T) T) (T, *JobMetrics, error) {
 		}
 		return []T{acc}, nil
 	})
-	parts, jm, err := runJob(partials)
+	parts, jm, err := runJob(partials, nil)
 	if err != nil {
 		return zero, jm, err
 	}
@@ -229,7 +265,7 @@ func (r *RDD[T]) Count() (int64, *JobMetrics, error) {
 	counts := MapPartitions(r, func(_ int, items []T) ([]int64, error) {
 		return []int64{int64(len(items))}, nil
 	})
-	parts, jm, err := runJob(counts)
+	parts, jm, err := runJob(counts, nil)
 	if err != nil {
 		return 0, jm, err
 	}
@@ -253,6 +289,6 @@ func (r *RDD[T]) Foreach(f func(T) error) (*JobMetrics, error) {
 		}
 		return nil, nil
 	})
-	_, jm, err := runJob(marks)
+	_, jm, err := runJob(marks, nil)
 	return jm, err
 }

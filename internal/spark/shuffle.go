@@ -54,7 +54,7 @@ func ReduceByKey[K comparable, V any](r *RDD[KV[K, V]], numPartitions int, op fu
 		}
 		return out, nil
 	})
-	parts, _, err := runJob(combined)
+	parts, _, err := runJob(combined, nil)
 	if err != nil {
 		return nil, fmt.Errorf("spark: reduceByKey shuffle: %w", err)
 	}
@@ -93,7 +93,7 @@ func GroupByKey[K comparable, V any](r *RDD[KV[K, V]], numPartitions int) (*RDD[
 	if numPartitions < 1 {
 		return nil, fmt.Errorf("spark: groupByKey needs >= 1 partition, got %d", numPartitions)
 	}
-	parts, _, err := runJob(r)
+	parts, _, err := runJob(r, nil)
 	if err != nil {
 		return nil, fmt.Errorf("spark: groupByKey shuffle: %w", err)
 	}

@@ -72,7 +72,12 @@ type EngineMetrics struct {
 // runJob executes one job: one task per partition, with per-task retry and
 // worker reassignment on failure, real execution on bounded machine-core
 // slots, and virtual-time accounting onto the simulated topology.
-func runJob[T any](r *RDD[T]) ([][]T, *JobMetrics, error) {
+//
+// each, when non-nil, is invoked with every partition's result as soon as
+// its task succeeds — while other tasks are still running — so a caller can
+// stream results out of the job instead of waiting for the collect barrier.
+// It runs on the task's goroutine and must be safe for concurrent calls.
+func runJob[T any](r *RDD[T], each func(p int, out []T)) ([][]T, *JobMetrics, error) {
 	ctx := r.ctx
 	ctx.mu.Lock()
 	ctx.jobSeq++
@@ -101,6 +106,9 @@ func runJob[T any](r *RDD[T]) ([][]T, *JobMetrics, error) {
 		go func(p int) {
 			defer wg.Done()
 			tm, out, err := runTask(ctx, r, jobID, p, numTasks)
+			if err == nil && each != nil {
+				each(p, out)
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			jm.Tasks[p] = tm
@@ -145,6 +153,13 @@ func runJob[T any](r *RDD[T]) ([][]T, *JobMetrics, error) {
 // meaningful even on error (attempt counts for diagnostics).
 func runTask[T any](ctx *Context, r *RDD[T], jobID, p, numTasks int) (TaskMetrics, []T, error) {
 	tm := TaskMetrics{Partition: p}
+	if r.gate != nil {
+		// Tile readiness: wait before acquiring a core slot and before any
+		// timing starts, so the wait neither occupies an executor core nor
+		// leaks into Compute/Effective. Retries skip the wait — data that
+		// arrived once is still resident.
+		<-r.gate(p)
+	}
 	assigned := ctx.PartitionWorker(p, numTasks)
 	var lastErr error
 	for attempt := 0; attempt <= ctx.maxRetries; attempt++ {

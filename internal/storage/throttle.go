@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"sync"
+	"time"
+)
+
+// Throttled wraps a Store behind a simulated full-duplex WAN link: uploads
+// (Put) and downloads (Get) each get their own serialized direction with a
+// shared bandwidth per direction, plus a fixed per-operation latency. It
+// exists for benchmarks that need real wall-clock contention — a laptop
+// talking to cloud storage can send and receive at line rate simultaneously,
+// but two concurrent uploads halve each other — without leaving the process.
+//
+// Full duplex matters: modelling the link as one half-duplex resource would
+// serialize uploads against downloads and erase exactly the overlap a
+// streaming dataflow buys.
+type Throttled struct {
+	inner   Store
+	bytesPS float64
+	latency time.Duration
+
+	mu   sync.Mutex
+	up   time.Time // upload direction busy until
+	down time.Time // download direction busy until
+}
+
+// NewThrottled wraps inner with a bandwidth cap of mbps megabits per second
+// in each direction and a fixed per-operation latency. mbps <= 0 disables
+// the bandwidth cap (latency still applies).
+func NewThrottled(inner Store, mbps float64, latency time.Duration) *Throttled {
+	return &Throttled{inner: inner, bytesPS: mbps * 1e6 / 8, latency: latency}
+}
+
+// reserve books a transfer of n bytes on one direction and returns when the
+// transfer would have completed on the simulated link. Reservations queue:
+// each starts when the direction frees up, so concurrent transfers in one
+// direction share the pipe serially (equivalent makespan to fair sharing).
+func (t *Throttled) reserve(busy *time.Time, n int64) {
+	var xfer time.Duration
+	if t.bytesPS > 0 {
+		xfer = time.Duration(float64(n) / t.bytesPS * float64(time.Second))
+	}
+	t.mu.Lock()
+	now := time.Now()
+	start := *busy
+	if start.Before(now) {
+		start = now
+	}
+	end := start.Add(xfer)
+	*busy = end
+	t.mu.Unlock()
+	time.Sleep(time.Until(end) + t.latency)
+}
+
+// Put implements Store, charging the upload direction.
+func (t *Throttled) Put(key string, data []byte) error {
+	t.reserve(&t.up, int64(len(data)))
+	return t.inner.Put(key, data)
+}
+
+// Get implements Store, charging the download direction.
+func (t *Throttled) Get(key string) ([]byte, error) {
+	obj, err := t.inner.Get(key)
+	if err != nil {
+		time.Sleep(t.latency)
+		return nil, err
+	}
+	t.reserve(&t.down, int64(len(obj)))
+	return obj, nil
+}
+
+// Delete implements Store; metadata operations pay only latency.
+func (t *Throttled) Delete(key string) error {
+	time.Sleep(t.latency)
+	return t.inner.Delete(key)
+}
+
+// List implements Store; metadata operations pay only latency.
+func (t *Throttled) List(prefix string) ([]string, error) {
+	time.Sleep(t.latency)
+	return t.inner.List(prefix)
+}
+
+// Stat implements Store; metadata operations pay only latency.
+func (t *Throttled) Stat(key string) (int64, error) {
+	time.Sleep(t.latency)
+	return t.inner.Stat(key)
+}

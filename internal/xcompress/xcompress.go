@@ -138,10 +138,12 @@ func (c Codec) Encode(buf []byte) ([]byte, error) {
 	var b bytes.Buffer
 	b.Grow(len(buf)/2 + 64)
 	b.WriteByte(tagGzip)
-	zw, err := gzip.NewWriterLevel(&b, c.level())
+	level := c.level()
+	zw, err := getGzipWriter(level, &b)
 	if err != nil {
-		return nil, fmt.Errorf("xcompress: %w", err)
+		return nil, err
 	}
+	defer putGzipWriter(level, zw)
 	if _, err := zw.Write(buf[:sampleSize]); err != nil {
 		return nil, fmt.Errorf("xcompress: %w", err)
 	}
@@ -178,10 +180,12 @@ func (c Codec) gzipFrame(buf []byte) ([]byte, error) {
 	var b bytes.Buffer
 	b.Grow(len(buf)/2 + 64)
 	b.WriteByte(tagGzip)
-	zw, err := gzip.NewWriterLevel(&b, c.level())
+	level := c.level()
+	zw, err := getGzipWriter(level, &b)
 	if err != nil {
-		return nil, fmt.Errorf("xcompress: %w", err)
+		return nil, err
 	}
+	defer putGzipWriter(level, zw)
 	if _, err := zw.Write(buf); err != nil {
 		return nil, fmt.Errorf("xcompress: %w", err)
 	}
@@ -206,12 +210,12 @@ func Decode(wire []byte) ([]byte, error) {
 		copy(out, wire[1:])
 		return out, nil
 	case tagGzip:
-		zr, err := gzip.NewReader(bytes.NewReader(wire[1:]))
+		pr, err := getGzipReader(wire[1:])
 		if err != nil {
-			return nil, fmt.Errorf("xcompress: %w", err)
+			return nil, err
 		}
-		defer zr.Close()
-		out, err := io.ReadAll(zr)
+		defer putGzipReader(pr)
+		out, err := io.ReadAll(&pr.zr)
 		if err != nil {
 			return nil, fmt.Errorf("xcompress: %w", err)
 		}
@@ -231,10 +235,12 @@ func IsCompressed(wire []byte) bool { return len(wire) > 0 && wire[0] == tagGzip
 // "perfectly compressible": the full encode will find out the truth.
 func (c Codec) headRatio(buf []byte) float64 {
 	var b bytes.Buffer
-	zw, err := gzip.NewWriterLevel(&b, c.level())
+	level := c.level()
+	zw, err := getGzipWriter(level, &b)
 	if err != nil {
 		return 0
 	}
+	defer putGzipWriter(level, zw)
 	if _, err := zw.Write(buf[:sampleSize]); err != nil {
 		return 0
 	}
