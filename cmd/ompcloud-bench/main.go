@@ -8,6 +8,7 @@
 //	ompcloud-bench -bench gemm,3mm   # restrict the benchmark set
 //	ompcloud-bench -transfer         # transfer-path microbenchmark -> BENCH_transfer.json
 //	ompcloud-bench -chaos            # fault-injection soak (all 8 kernels) -> BENCH_chaos.json
+//	ompcloud-bench -workerchaos      # worker-fault soak (death, speculation, resume) -> BENCH_workerchaos.json
 //	ompcloud-bench -overlap          # barriered vs streaming dataflow -> BENCH_overlap.json
 //
 // The tool first calibrates the machine (real single-core kernel runs and
@@ -48,6 +49,9 @@ func main() {
 		chaos    = flag.Bool("chaos", false, "run the fault-injection soak (retry, fallback and breaker scenarios)")
 		chaosN   = flag.Int("chaos-n", 96, "matrix dimension for -chaos")
 		chaosOut = flag.String("chaos-out", "BENCH_chaos.json", "output path for the -chaos results")
+		wchaos   = flag.Bool("workerchaos", false, "run the worker-fault soak (death, re-execution, speculation, kill-and-resume)")
+		wchaosN  = flag.Int("workerchaos-n", 96, "matrix dimension for -workerchaos")
+		wchaosO  = flag.String("workerchaos-out", "BENCH_workerchaos.json", "output path for the -workerchaos results")
 		overlap  = flag.Bool("overlap", false, "run the streaming-overlap benchmark (barriered vs streaming wall time)")
 		ovMiB    = flag.String("overlap-mib", "64,256", "comma-separated input sizes for -overlap, in MiB")
 		ovBW     = flag.Float64("overlap-bw", 200, "simulated WAN bandwidth for -overlap, Mbit/s per direction")
@@ -64,6 +68,10 @@ func main() {
 	}
 	if *chaos {
 		runChaos(*chaosN, *seed, *chaosOut)
+		return
+	}
+	if *wchaos {
+		runWorkerChaos(*wchaosN, *seed, *wchaosO)
 		return
 	}
 	if *fig == 0 && !*stats && !*ablation {
@@ -274,6 +282,40 @@ func runChaos(n int, seed int64, outPath string) {
 	}
 	fmt.Printf("\nbreaker: tripped after %d failed offloads, %d probes while open, recovered=%v\n",
 		res.Breaker.FailuresToTrip, res.Breaker.ProbesWhileOpen, res.Breaker.Recovered)
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+}
+
+// runWorkerChaos executes the worker-fault soak — every kernel clean and
+// under executor-level fault schedules (worker death, heartbeat loss, a
+// deterministic straggler, kill-and-resume) across both dataflow modes —
+// and writes the result set to outPath.
+func runWorkerChaos(n int, seed int64, outPath string) {
+	fmt.Fprintf(os.Stderr, "worker-chaos soak: 8 kernels x 2 dataflow modes at n=%d, seed %d ...\n", n, seed)
+	res, err := bench.RunWorkerChaosBench(n, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-16s %-22s %-8s %5s %6s %5s %6s %7s %6s %10s\n",
+		"kernel", "scenario", "dataflow", "dead", "reexec", "wins", "losses", "resumed", "tasks", "identical")
+	for _, k := range res.Kernels {
+		mode := "barrier"
+		if k.Overlap {
+			mode = "stream"
+		}
+		fmt.Printf("%-16s %-22s %-8s %5d %6d %5d %6d %7d %6d %10v\n",
+			k.Name, k.Scenario, mode, k.DeadWorkers, k.ReexecutedTasks,
+			k.SpeculativeWins, k.SpeculativeLosses, k.ResumedTiles, k.TaskFailures, k.Identical)
+	}
+	fmt.Printf("\ntotals: %d dead workers, %d re-executed tasks, %d speculative wins (%d losses), %d resumed tiles\n",
+		res.Totals.DeadWorkers, res.Totals.ReexecutedTasks,
+		res.Totals.SpeculativeWins, res.Totals.SpeculativeLosses, res.Totals.ResumedTiles)
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		fatal(err)

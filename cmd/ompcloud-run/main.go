@@ -39,6 +39,7 @@ func main() {
 		confPath  = flag.String("conf", "", "OmpCloud configuration file (overrides -cores topology)")
 		storeAddr = flag.String("storage", "", "remote storage address (use with ompcloud-storaged)")
 		workers   = flag.String("workers", "", "comma-separated remote worker addresses (use with ompcloud-worker)")
+		resume    = flag.Bool("resume", false, "resumable offload sessions: a re-run after a crash skips uploaded chunks and committed tiles (needs -storage to persist across processes)")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
 		verbose   = flag.Bool("v", false, "also print the streaming-dataflow critical path and overlap")
 		list      = flag.Bool("list", false, "list available benchmarks")
@@ -93,6 +94,7 @@ func main() {
 	default:
 		cfg := bench.MeasuredConfig{
 			Bench: b, N: *n, Kind: kind, Cores: *cores, Seed: *seed, Verify: *verify,
+			Resume: *resume,
 		}
 		if *workers != "" {
 			for _, a := range strings.Split(*workers, ",") {
@@ -130,6 +132,10 @@ func main() {
 	rep.WriteBreakdown(os.Stdout, 48)
 	fmt.Printf("wire traffic: %.2f MB up, %.2f MB down; %d task failures\n",
 		float64(rep.BytesUploaded)/1e6, float64(rep.BytesDownloaded)/1e6, rep.TaskFailures)
+	if rep.ResumedTiles > 0 || rep.ReexecutedTasks > 0 || rep.DeadWorkers > 0 {
+		fmt.Printf("fault tolerance: %d tiles resumed, %d tasks re-executed, %d workers died, %d speculative wins\n",
+			rep.ResumedTiles, rep.ReexecutedTasks, rep.DeadWorkers, rep.SpeculativeWins)
+	}
 	if *verbose {
 		if rep.CriticalPath > 0 {
 			fmt.Printf("streaming dataflow: critical path %v, wall overlap %v (phase sum %v)\n",

@@ -32,6 +32,10 @@ type MeasuredConfig struct {
 	// Verify additionally checks the offloaded result against the serial
 	// reference.
 	Verify bool
+	// Resume enables resumable offload sessions (with the content-addressed
+	// upload cache they depend on): an interrupted run's journal in Store
+	// lets a re-invocation skip uploaded chunks and committed tiles.
+	Resume bool
 }
 
 // MeasuredResult pairs the cloud report with the host baseline.
@@ -65,6 +69,8 @@ func RunMeasured(cfg MeasuredConfig) (*MeasuredResult, error) {
 		Spec:        ClusterFor(cfg.Cores),
 		Store:       cfg.Store,
 		WorkerAddrs: cfg.WorkerAddrs,
+		EnableCache: cfg.Resume,
+		Resume:      cfg.Resume,
 	})
 	if err != nil {
 		return nil, err

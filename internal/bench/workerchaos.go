@@ -1,0 +1,369 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ompcloud/internal/data"
+	"ompcloud/internal/kernels"
+	"ompcloud/internal/offload"
+	"ompcloud/internal/omp"
+	"ompcloud/internal/spark"
+	"ompcloud/internal/storage"
+	"ompcloud/internal/trace"
+)
+
+// WorkerChaosKernel is one benchmark's clean-vs-worker-fault comparison:
+// the same workload runs once on a healthy cluster and once under an
+// executor-level fault schedule (worker death, heartbeat loss, a
+// deterministic straggler, or a kill-and-resume restart), and the recovered
+// outputs must be bitwise identical to the clean run.
+type WorkerChaosKernel struct {
+	Name     string `json:"name"`
+	Scenario string `json:"scenario"`
+	// Overlap records the dataflow mode of the row: tile-granular
+	// streaming (true) or the stage-barriered workflow (false).
+	Overlap bool `json:"overlap"`
+	// The recovery events the faulted run absorbed.
+	DeadWorkers       int `json:"dead_workers"`
+	ReexecutedTasks   int `json:"reexecuted_tasks"`
+	SpeculativeWins   int `json:"speculative_wins"`
+	SpeculativeLosses int `json:"speculative_losses"`
+	ResumedTiles      int `json:"resumed_tiles"`
+	TaskFailures      int `json:"task_failures"`
+	// CleanVirtualS/FaultVirtualS are the virtual end-to-end durations.
+	CleanVirtualS float64 `json:"clean_virtual_s"`
+	FaultVirtualS float64 `json:"fault_virtual_s"`
+	// Identical confirms the faulted (or resumed) outputs matched the
+	// clean run bit for bit.
+	Identical bool `json:"identical"`
+}
+
+// WorkerChaosTotals aggregates the recovery counters across the soak; the
+// bench fails unless every mechanism actually engaged.
+type WorkerChaosTotals struct {
+	DeadWorkers       int `json:"dead_workers"`
+	ReexecutedTasks   int `json:"reexecuted_tasks"`
+	SpeculativeWins   int `json:"speculative_wins"`
+	SpeculativeLosses int `json:"speculative_losses"`
+	ResumedTiles      int `json:"resumed_tiles"`
+}
+
+// WorkerChaosBench is the full worker-fault soak result set, serialized to
+// BENCH_workerchaos.json by cmd/ompcloud-bench -workerchaos.
+type WorkerChaosBench struct {
+	N              int                 `json:"n"`
+	Seed           int64               `json:"seed"`
+	Workers        int                 `json:"workers"`
+	CoresPerWorker int                 `json:"cores_per_worker"`
+	Kernels        []WorkerChaosKernel `json:"kernels"`
+	Totals         WorkerChaosTotals   `json:"totals"`
+}
+
+// The soak cluster spreads the 8 cores over 4 workers so a single worker's
+// death removes a quarter of the cluster instead of all of it, and Eq. 3
+// re-partitioning over the live set has survivors to land on.
+const (
+	workerChaosWorkers = 4
+	workerChaosCores   = 2
+)
+
+// workerChaosHeartbeat is the virtual lease interval of the membership
+// scenarios; misses are counted against a budget of one, so a silenced
+// worker dies on the first expiry check.
+const workerChaosHeartbeat = time.Millisecond
+
+// workerChaosPlugin builds the cloud device for one soak run: the 4x2
+// cluster, chunked transfers, storage retries without real sleeping, and —
+// because speculation races a sleeping straggler against its backup — at
+// least four real cores regardless of the machine's GOMAXPROCS.
+func workerChaosPlugin(st storage.Store, overlap bool, mut func(*offload.CloudConfig)) (*offload.CloudPlugin, error) {
+	cfg := offload.CloudConfig{
+		Spec:            spark.ClusterSpec{Workers: workerChaosWorkers, CoresPerWorker: workerChaosCores},
+		Store:           st,
+		ChunkBytes:      4096,
+		RetryMax:        4,
+		RetrySleep:      func(time.Duration) {},
+		RealParallelism: 4,
+	}
+	if !overlap {
+		cfg.Overlap = -1
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return offload.NewCloudPlugin(cfg)
+}
+
+// workerChaosScenario is one deterministic executor-fault schedule.
+type workerChaosScenario struct {
+	name string
+	// resume switches the row to the kill-and-restart flow: a sabotaged
+	// first run dies mid-job, then a fresh plugin resumes its session.
+	resume bool
+	// mutate arms the faulted run's config; called once per run so
+	// stateful injectors start fresh.
+	mutate func(cfg *offload.CloudConfig)
+	// check validates the row's counters after a successful faulted run.
+	check func(row *WorkerChaosKernel) error
+}
+
+// workerChaosScenarios cycle across benchmark x dataflow-mode rows so every
+// schedule runs under both barriered and streaming dataflow.
+var workerChaosScenarios = []workerChaosScenario{
+	{
+		// Worker 1 dies permanently once it starts its second task: the
+		// in-flight attempt is lost, the lease expires, and the task
+		// re-executes on a survivor.
+		name: "die-at-task",
+		mutate: func(cfg *offload.CloudConfig) {
+			cfg.Heartbeat = workerChaosHeartbeat
+			cfg.LeaseMisses = 1
+			cfg.WorkerFaults = &spark.WorkerFaults{DieAtTask: map[int]int{1: 2}}
+		},
+		check: func(row *WorkerChaosKernel) error {
+			if row.DeadWorkers == 0 {
+				return fmt.Errorf("die-at-task never killed a worker")
+			}
+			if row.ReexecutedTasks == 0 {
+				return fmt.Errorf("worker death re-executed no tasks")
+			}
+			return nil
+		},
+	},
+	{
+		// Worker 2 goes silent past its lease budget (declared dead, tasks
+		// re-enqueued), then rejoins two heartbeat intervals later and
+		// receives new work — the flapping-executor scenario.
+		name: "flapping-rejoin",
+		mutate: func(cfg *offload.CloudConfig) {
+			cfg.Heartbeat = workerChaosHeartbeat
+			cfg.LeaseMisses = 1
+			cfg.WorkerFaults = &spark.WorkerFaults{
+				DropBeats:   map[int]int{2: 4},
+				RejoinTicks: 2,
+			}
+		},
+		check: func(row *WorkerChaosKernel) error {
+			if row.DeadWorkers == 0 {
+				return fmt.Errorf("flapping worker was never declared dead")
+			}
+			return nil
+		},
+	},
+	{
+		// One partition's first attempt stalls for 150 ms of real time; the
+		// speculation monitor launches a backup once half the stage has
+		// finished, and the backup commits first.
+		name: "straggler-speculation",
+		mutate: func(cfg *offload.CloudConfig) {
+			cfg.Speculate = true
+			cfg.SpeculateQuantile = 0.5
+			cfg.Faults = &spark.DelayTaskOnce{Partition: 5, Delay: 150 * time.Millisecond}
+		},
+		check: func(row *WorkerChaosKernel) error {
+			if row.SpeculativeWins == 0 {
+				return fmt.Errorf("straggler's backup copy never won the race")
+			}
+			return nil
+		},
+	},
+	{
+		// Kill-and-resume: the first run dies with one task failing every
+		// attempt, leaving a session journal and committed tiles behind; a
+		// fresh plugin over the same store resumes, serving committed tiles
+		// and recomputing only the rest.
+		name:   "kill-and-resume",
+		resume: true,
+		mutate: func(cfg *offload.CloudConfig) {
+			cfg.EnableCache = true
+			cfg.Resume = true
+		},
+		check: func(row *WorkerChaosKernel) error {
+			if row.ResumedTiles == 0 {
+				return fmt.Errorf("resumed run recomputed everything")
+			}
+			return nil
+		},
+	},
+}
+
+// faultedRun bundles a faulted run's merged report with the output snapshot
+// taken before the workload goes out of scope.
+type faultedRun struct {
+	rep  *trace.Report
+	outs [][]float32
+}
+
+// runWorkerChaosRow executes one benchmark clean and then under the
+// scenario's fault schedule, verifying both runs and comparing their
+// outputs bit for bit.
+func runWorkerChaosRow(b *kernels.Benchmark, scen workerChaosScenario, overlap bool, n int, seed int64) (WorkerChaosKernel, error) {
+	row := WorkerChaosKernel{Name: b.Name, Scenario: scen.name, Overlap: overlap}
+
+	rt, err := omp.NewRuntime(4)
+	if err != nil {
+		return row, err
+	}
+	clean, err := workerChaosPlugin(storage.NewMemStore(), overlap, nil)
+	if err != nil {
+		return row, err
+	}
+	defer clean.Close()
+	w := b.Prepare(n, data.Dense, seed)
+	cleanRep, err := w.Run(rt, rt.RegisterDevice(clean))
+	if err != nil {
+		return row, fmt.Errorf("%s clean run: %w", b.Name, err)
+	}
+	if err := w.Verify(); err != nil {
+		return row, fmt.Errorf("%s clean run: %w", b.Name, err)
+	}
+	cleanOuts := snapshotOutputs(w)
+	row.CleanVirtualS = cleanRep.Total().Seconds()
+
+	var fr *faultedRun
+	if scen.resume {
+		fr, err = runWorkerChaosResume(b, scen, overlap, n, seed)
+	} else {
+		fr, err = runWorkerChaosFaulted(b, scen, overlap, n, seed)
+	}
+	if err != nil {
+		return row, fmt.Errorf("%s (%s): %w", b.Name, scen.name, err)
+	}
+	row.DeadWorkers = fr.rep.DeadWorkers
+	row.ReexecutedTasks = fr.rep.ReexecutedTasks
+	row.SpeculativeWins = fr.rep.SpeculativeWins
+	row.SpeculativeLosses = fr.rep.SpeculativeLosses
+	row.ResumedTiles = fr.rep.ResumedTiles
+	row.TaskFailures = fr.rep.TaskFailures
+	row.FaultVirtualS = fr.rep.Total().Seconds()
+	if fr.rep.FellBack {
+		return row, fmt.Errorf("%s (%s): faulted run fell back to the host: %s",
+			b.Name, scen.name, fr.rep.FallbackReason)
+	}
+	if err := compareOutputs(cleanOuts, fr.outs); err != nil {
+		return row, fmt.Errorf("%s (%s): %w", b.Name, scen.name, err)
+	}
+	row.Identical = true
+	if err := scen.check(&row); err != nil {
+		return row, fmt.Errorf("%s (%s): %w", b.Name, scen.name, err)
+	}
+	return row, nil
+}
+
+// runWorkerChaosFaulted runs the workload once under the scenario's
+// executor faults and returns its report and outputs.
+func runWorkerChaosFaulted(b *kernels.Benchmark, scen workerChaosScenario, overlap bool, n int, seed int64) (*faultedRun, error) {
+	rt, err := omp.NewRuntime(4)
+	if err != nil {
+		return nil, err
+	}
+	plugin, err := workerChaosPlugin(storage.NewMemStore(), overlap, scen.mutate)
+	if err != nil {
+		return nil, err
+	}
+	defer plugin.Close()
+	w := b.Prepare(n, data.Dense, seed)
+	rep, err := w.Run(rt, rt.RegisterDevice(plugin))
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Verify(); err != nil {
+		return nil, err
+	}
+	return &faultedRun{rep: rep, outs: snapshotOutputs(w)}, nil
+}
+
+// runWorkerChaosResume is the kill-and-restart flow. Run one executes with
+// resumable sessions on and one task failing every attempt; it must die
+// mid-job, after the healthy tiles committed their results through the
+// session journal. Run two — a fresh plugin over the same store, modeling a
+// restarted process — resumes the session, serves the committed tiles, and
+// recomputes only the rest.
+func runWorkerChaosResume(b *kernels.Benchmark, scen workerChaosScenario, overlap bool, n int, seed int64) (*faultedRun, error) {
+	st := storage.NewMemStore()
+
+	rt1, err := omp.NewRuntime(4)
+	if err != nil {
+		return nil, err
+	}
+	killed, err := workerChaosPlugin(st, overlap, func(cfg *offload.CloudConfig) {
+		scen.mutate(cfg)
+		// The last tile fails every attempt: the job dies only after the
+		// other tiles committed. FallbackFail keeps the host from masking
+		// the death — the run must error like a killed process would.
+		cfg.Faults = spark.FailPartitionAttempts(workerChaosWorkers*workerChaosCores-1, 1<<20)
+		cfg.Fallback = offload.FallbackFail
+	})
+	if err != nil {
+		return nil, err
+	}
+	w1 := b.Prepare(n, data.Dense, seed)
+	_, err = w1.Run(rt1, rt1.RegisterDevice(killed))
+	killed.Close()
+	if err == nil {
+		return nil, fmt.Errorf("sabotaged run should have died mid-job")
+	}
+
+	rt2, err := omp.NewRuntime(4)
+	if err != nil {
+		return nil, err
+	}
+	resumed, err := workerChaosPlugin(st, overlap, func(cfg *offload.CloudConfig) {
+		scen.mutate(cfg)
+		cfg.Fallback = offload.FallbackFail
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer resumed.Close()
+	w2 := b.Prepare(n, data.Dense, seed)
+	rep, err := w2.Run(rt2, rt2.RegisterDevice(resumed))
+	if err != nil {
+		return nil, fmt.Errorf("resumed run: %w", err)
+	}
+	if err := w2.Verify(); err != nil {
+		return nil, fmt.Errorf("resumed run: %w", err)
+	}
+	return &faultedRun{rep: rep, outs: snapshotOutputs(w2)}, nil
+}
+
+// RunWorkerChaosBench executes every benchmark under every worker-fault
+// scenario across both dataflow modes and returns the full soak result set.
+// The cycling is arranged so each scenario covers both the barriered and
+// the streaming path, and the aggregate totals prove every recovery
+// mechanism — death detection, task re-execution, straggler speculation,
+// and session resume — actually engaged.
+func RunWorkerChaosBench(n int, seed int64) (*WorkerChaosBench, error) {
+	if n <= 0 {
+		n = 96
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	out := &WorkerChaosBench{
+		N: n, Seed: seed,
+		Workers:        workerChaosWorkers,
+		CoresPerWorker: workerChaosCores,
+	}
+	for k, b := range kernels.All {
+		for ov := 0; ov < 2; ov++ {
+			scen := workerChaosScenarios[(k+2*ov)%len(workerChaosScenarios)]
+			row, err := runWorkerChaosRow(b, scen, ov == 0, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			out.Kernels = append(out.Kernels, row)
+			out.Totals.DeadWorkers += row.DeadWorkers
+			out.Totals.ReexecutedTasks += row.ReexecutedTasks
+			out.Totals.SpeculativeWins += row.SpeculativeWins
+			out.Totals.SpeculativeLosses += row.SpeculativeLosses
+			out.Totals.ResumedTiles += row.ResumedTiles
+		}
+	}
+	if out.Totals.DeadWorkers == 0 || out.Totals.ReexecutedTasks == 0 ||
+		out.Totals.SpeculativeWins == 0 || out.Totals.ResumedTiles == 0 {
+		return nil, fmt.Errorf("worker-chaos soak missed a recovery mechanism: %+v", out.Totals)
+	}
+	return out, nil
+}

@@ -1,0 +1,45 @@
+package bench
+
+import "testing"
+
+func TestWorkerChaosBenchSoak(t *testing.T) {
+	res, err := RunWorkerChaosBench(64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kernels) != 16 {
+		t.Fatalf("worker-chaos soak produced %d rows, want 8 kernels x 2 dataflow modes", len(res.Kernels))
+	}
+	seen := map[string][2]bool{} // scenario -> {barriered, streaming} coverage
+	for _, k := range res.Kernels {
+		if !k.Identical {
+			t.Errorf("%s (%s): outputs not bitwise identical to the clean run", k.Name, k.Scenario)
+		}
+		cov := seen[k.Scenario]
+		if k.Overlap {
+			cov[1] = true
+		} else {
+			cov[0] = true
+		}
+		seen[k.Scenario] = cov
+	}
+	for scen, cov := range seen {
+		if !cov[0] || !cov[1] {
+			t.Errorf("scenario %s missed a dataflow mode (barriered=%v streaming=%v)", scen, cov[0], cov[1])
+		}
+	}
+	// RunWorkerChaosBench already fails unless every mechanism engaged, but
+	// pin the acceptance counters here too.
+	if res.Totals.ReexecutedTasks == 0 {
+		t.Fatal("no task was ever re-executed")
+	}
+	if res.Totals.SpeculativeWins == 0 {
+		t.Fatal("no speculative backup ever won")
+	}
+	if res.Totals.DeadWorkers == 0 {
+		t.Fatal("no worker was ever declared dead")
+	}
+	if res.Totals.ResumedTiles == 0 {
+		t.Fatal("no tile was ever resumed from a session")
+	}
+}

@@ -185,6 +185,23 @@ func (ps *pipeState) firstErr() error {
 	return nil
 }
 
+// discardParts deletes the parts a failed pipe stored, so an aborted
+// transfer leaves no orphaned objects behind. Content-addressed chunks
+// (ChunkKey set) are exempt: they are shared cache entries that other
+// manifests may already reference, and re-uploads find them by content.
+// Best effort — a store too broken to delete is a store whose garbage the
+// caller's prefix cleanup or wipe handles.
+func (ps *pipeState) discardParts() {
+	if ps.o.ChunkKey != nil {
+		return
+	}
+	for _, e := range ps.entries {
+		if e.Key != "" {
+			_ = ps.st.Delete(e.Key)
+		}
+	}
+}
+
 // commitManifest writes the manifest frame after every part has landed,
 // returning its wire length.
 func (ps *pipeState) commitManifest() (int, error) {
@@ -247,6 +264,12 @@ func pipeSingle(st storage.Store, key string, buf, dst []byte, o Options, ready 
 	}
 	wire, decDur, err := ps.fetch(key, dst)
 	if err != nil {
+		if o.ChunkKey == nil {
+			// The object this call stored is unreadable: remove it rather
+			// than orphan it (content-addressed objects stay — they are
+			// shared cache entries re-verified on every hit).
+			_ = st.Delete(key)
+		}
 		return nil, err
 	}
 	if ready != nil {
@@ -305,10 +328,12 @@ func Pipe(st storage.Store, key string, buf, dst []byte, o Options, ready func(l
 	}
 	wg.Wait()
 	if err := ps.firstErr(); err != nil {
+		ps.discardParts()
 		return nil, err
 	}
 	frameLen, err := ps.commitManifest()
 	if err != nil {
+		ps.discardParts()
 		return nil, err
 	}
 	return ps.results(frameLen), nil
@@ -414,18 +439,20 @@ func (s *OutStream) Finish() (*PipeResult, error) {
 	s.closeOnce.Do(func() { close(s.jobs) })
 	s.wg.Wait()
 	if err := s.ps.firstErr(); err != nil {
+		s.ps.discardParts()
 		return nil, err
 	}
 	frameLen, err := s.ps.commitManifest()
 	if err != nil {
+		s.ps.discardParts()
 		return nil, err
 	}
 	return s.ps.results(frameLen), nil
 }
 
-// Abort stops the stream early (error paths): no manifest is committed, and
-// in-flight chunks drain before it returns. Parts already stored are left
-// for the caller's cleanup, like a failed Upload's.
+// Abort stops the stream early (error paths): no manifest is committed,
+// in-flight chunks drain before it returns, and the parts already stored
+// are deleted — an aborted stream leaves no orphaned objects.
 func (s *OutStream) Abort() {
 	s.ps.stopped.Store(true)
 	if s.single {
@@ -433,4 +460,5 @@ func (s *OutStream) Abort() {
 	}
 	s.closeOnce.Do(func() { close(s.jobs) })
 	s.wg.Wait()
+	s.ps.discardParts()
 }

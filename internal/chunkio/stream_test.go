@@ -3,8 +3,10 @@ package chunkio
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"ompcloud/internal/storage"
 	"ompcloud/internal/xcompress"
@@ -191,5 +193,108 @@ func TestOutStreamFinishRequiresFullWatermark(t *testing.T) {
 	}
 	if _, err := st.Get("k"); err == nil {
 		t.Fatal("aborted stream must not commit a manifest")
+	}
+}
+
+// TestPipeFailureLeavesNoOrphans is the cancellation regression test: a pipe
+// that dies mid-flight (some parts stored, then the store starts failing)
+// must delete the parts it stored, commit no manifest, and leak no
+// goroutines. Run with -race.
+func TestPipeFailureLeavesNoOrphans(t *testing.T) {
+	ms := storage.NewMemStore()
+	fs := storage.NewFaultStore(ms)
+	// Let the first three part PUTs land, then kill every further PUT: the
+	// failure arrives with real orphan candidates already in the store.
+	fs.Inject(storage.Fault{
+		Op:    storage.OpPut,
+		Match: storage.MatchSubstr(".part"),
+		Skip:  3,
+		Err:   fmt.Errorf("mid-flight death"),
+	})
+	src := make([]byte, 16<<10)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	before := runtime.NumGoroutine()
+	_, err := Pipe(fs, "jobs/000001/in/a", src, make([]byte, len(src)), streamTestOptions(1<<10), nil)
+	if err == nil {
+		t.Fatal("failing store must fail the pipe")
+	}
+	keys, err := ms.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("failed pipe orphaned %d objects: %v", len(keys), keys)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestPipeFailureKeepsContentAddressedChunks: with the chunk cache wired,
+// stored parts are shared cache entries — a failed pipe must NOT delete
+// them (another manifest may reference them; resumed runs reuse them).
+func TestPipeFailureKeepsContentAddressedChunks(t *testing.T) {
+	ms := storage.NewMemStore()
+	fs := storage.NewFaultStore(ms)
+	fs.Inject(storage.Fault{
+		Op:    storage.OpPut,
+		Match: storage.MatchSubstr("cache/"),
+		Skip:  3,
+		Err:   fmt.Errorf("mid-flight death"),
+	})
+	src := make([]byte, 16<<10)
+	for i := range src {
+		src[i] = byte(i * 131)
+	}
+	o := streamTestOptions(1 << 10)
+	o.ChunkKey = func(sum [32]byte) string { return "cache/" + fmt.Sprintf("%x", sum[:8]) }
+	_, err := Pipe(fs, "cache/root", src, make([]byte, len(src)), o, nil)
+	if err == nil {
+		t.Fatal("failing store must fail the pipe")
+	}
+	keys, err := ms.List("cache/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) == 0 {
+		t.Fatal("content-addressed chunks must survive a failed pipe")
+	}
+}
+
+// TestOutStreamAbortLeavesNoOrphans: aborting an output stream removes the
+// parts it already shipped.
+func TestOutStreamAbortLeavesNoOrphans(t *testing.T) {
+	ms := storage.NewMemStore()
+	src := make([]byte, 8<<10)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	before := runtime.NumGoroutine()
+	os, err := NewOutStream(ms, "jobs/000002/out/y", src, make([]byte, len(src)), streamTestOptions(1<<10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Advance(6 << 10) // ship a few chunks
+	os.Abort()
+	keys, err := ms.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("aborted stream orphaned %d objects: %v", len(keys), keys)
+	}
+	waitGoroutines(t, before)
+}
+
+// waitGoroutines waits for the goroutine count to settle back to the
+// baseline; in-flight chunk workers drain asynchronously.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Fatalf("leaked goroutines: %d running, baseline %d", g, baseline)
 	}
 }

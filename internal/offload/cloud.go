@@ -138,9 +138,36 @@ type CloudConfig struct {
 
 	// Faults optionally injects task failures (tests, chaos benches).
 	Faults spark.FaultInjector
+	// WorkerFaults optionally injects executor-level failures (worker
+	// deaths, heartbeat loss, flapping) into the membership layer.
+	WorkerFaults *spark.WorkerFaults
 	// RealParallelism bounds the machine cores used for real execution;
 	// 0 means all.
 	RealParallelism int
+
+	// Heartbeat enables lease-based worker membership: executors renew a
+	// lease every Heartbeat of virtual time and a worker that misses
+	// LeaseMisses consecutive beats is declared dead, its tasks re-executed
+	// on survivors. 0 disables membership (workers never die on their own).
+	Heartbeat time.Duration
+	// LeaseMisses is the lease budget in missed heartbeats; 0 means
+	// spark.DefaultLeaseMisses.
+	LeaseMisses int
+
+	// Speculate enables straggler mitigation: tasks running beyond the
+	// configured slowdown quantile get one speculative backup copy; the
+	// first finisher wins via idempotent result commit.
+	Speculate bool
+	// SpeculateQuantile is the fraction of a stage's tasks that must have
+	// finished before backups launch; 0 means
+	// spark.DefaultSpeculationQuantile.
+	SpeculateQuantile float64
+
+	// Resume enables resumable offload sessions: a journal persisted
+	// through the storage layer records input objects and committed tiles,
+	// so a killed-and-restarted run re-executes only uncommitted tiles and
+	// (with EnableCache) skips already-uploaded inputs.
+	Resume bool
 }
 
 // withDefaults fills zero values.
@@ -233,8 +260,23 @@ func NewCloudPlugin(cfg CloudConfig) (*CloudPlugin, error) {
 	if cfg.Faults != nil {
 		opts = append(opts, spark.WithFaults(cfg.Faults))
 	}
+	if cfg.WorkerFaults != nil {
+		opts = append(opts, spark.WithWorkerFaults(cfg.WorkerFaults))
+	}
 	if cfg.RealParallelism > 0 {
 		opts = append(opts, spark.WithRealParallelism(cfg.RealParallelism))
+	}
+	if cfg.Heartbeat > 0 {
+		opts = append(opts, spark.WithLease(spark.LeaseConfig{
+			Heartbeat: simtime.FromReal(cfg.Heartbeat),
+			Misses:    cfg.LeaseMisses,
+		}))
+	}
+	if cfg.Speculate {
+		opts = append(opts, spark.WithSpeculation(spark.SpeculationConfig{
+			Enabled:  true,
+			Quantile: cfg.SpeculateQuantile,
+		}))
 	}
 	sctx, err := spark.NewContext(cfg.Spec, opts...)
 	if err != nil {
@@ -528,14 +570,30 @@ func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 	// the trace report so chaos soaks can see recovery work.
 	var retries atomic.Int64
 
+	// Resumable session: loads an interrupted predecessor's journal (cache
+	// priming + committed-tile set) or starts fresh bookkeeping.
+	var sess *session
+	if p.cfg.Resume {
+		inputs := make([][]byte, len(r.Ins))
+		for k := range r.Ins {
+			inputs[k] = r.Ins[k].Data
+		}
+		sess = p.openSession(r, tiles, inputs)
+	}
+
 	if p.streaming() && tiles > 1 {
-		return p.streamWorkflow(rep, r, tiles, prefix, &retries)
+		return p.streamWorkflow(rep, r, tiles, prefix, &retries, sess)
 	}
 
 	// Steps 1-2: compress and upload every input on its own goroutine.
 	up, err := p.uploadInputs(prefix, r, &retries)
 	if err != nil {
 		return nil, err
+	}
+	if sess != nil {
+		// Inputs are durable: journal them so a killed run's successor can
+		// skip the upload leg.
+		sess.writeJournal(r, up.keys, up.wire)
 	}
 
 	// Step 3: the driver fetches and decodes the inputs.
@@ -545,7 +603,7 @@ func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 	}
 
 	// Steps 4-6: build and run the Spark job.
-	parts, jm, tileRaw, err := p.runSparkJob(r, tiles, decoded)
+	parts, jm, tileRaw, err := p.runSparkJob(r, tiles, decoded, sess)
 	if err != nil {
 		return nil, err
 	}
@@ -577,8 +635,24 @@ func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 	if err := Account(p.cfg.Profile, ci, rep); err != nil {
 		return nil, err
 	}
-	rep.TaskFailures = jm.Failures
+	applyEngineCounters(rep, jm, sess)
+	if sess != nil {
+		sess.finish()
+	}
 	return rep, nil
+}
+
+// applyEngineCounters copies a job's fault-tolerance counters into the
+// region report.
+func applyEngineCounters(rep *trace.Report, jm *spark.JobMetrics, sess *session) {
+	rep.TaskFailures = jm.Failures
+	rep.ReexecutedTasks = jm.Reexecuted
+	rep.SpeculativeWins = jm.SpeculativeWins
+	rep.SpeculativeLosses = jm.SpeculativeLosses
+	rep.DeadWorkers = jm.DeadWorkers
+	if sess != nil {
+		rep.ResumedTiles = sess.resumedTiles()
+	}
 }
 
 // pipelined reports whether the chunked streaming engine is active (the
@@ -796,15 +870,18 @@ func tileBytes(r *Region, tiles, p int) int64 {
 // RDD partition per tile, partitioned inputs sliced per tile, unpartitioned
 // inputs broadcast, and the loop body invoked through the fat-binary
 // registry (the JNI analog).
-func (p *CloudPlugin) runSparkJob(r *Region, tiles int, decoded [][]byte) ([][]tileResult, *spark.JobMetrics, int64, error) {
-	return p.runSparkJobWith(r, tiles, decoded, nil, nil)
+func (p *CloudPlugin) runSparkJob(r *Region, tiles int, decoded [][]byte, sess *session) ([][]tileResult, *spark.JobMetrics, int64, error) {
+	return p.runSparkJobWith(r, tiles, decoded, nil, nil, sess)
 }
 
 // runSparkJobWith is runSparkJob with the streaming dataflow's two hooks:
 // sched (non-nil) gates each tile's task on its input readiness and aborts
 // queued tiles once the transfer side has failed; sink (non-nil) receives
 // each tile's result the moment its task succeeds, while others still run.
-func (p *CloudPlugin) runSparkJobWith(r *Region, tiles int, decoded [][]byte, sched *tileSched, sink func(p int, items []tileResult)) ([][]tileResult, *spark.JobMetrics, int64, error) {
+// sess (non-nil) makes the job resumable: tiles already committed by an
+// interrupted predecessor are served from storage, and every finished tile
+// commits its outputs before the result flows onward.
+func (p *CloudPlugin) runSparkJobWith(r *Region, tiles int, decoded [][]byte, sched *tileSched, sink func(p int, items []tileResult), sess *session) ([][]tileResult, *spark.JobMetrics, int64, error) {
 	reg := r.registry()
 	// Broadcast the unpartitioned inputs so the engine's accounting sees
 	// them; partitioned inputs are captured per tile by the closure,
@@ -831,6 +908,11 @@ func (p *CloudPlugin) runSparkJobWith(r *Region, tiles int, decoded [][]byte, sc
 			// on incomplete inputs.
 			if err := sched.Err(); err != nil {
 				return nil, err
+			}
+		}
+		if sess != nil {
+			if outs, ok := sess.lookupTile(part, len(r.Outs)); ok {
+				return []tileResult{{tile: part, outs: outs}}, nil
 			}
 		}
 		lo, hi := TileRange(r.N, tiles, part)
@@ -868,6 +950,9 @@ func (p *CloudPlugin) runSparkJobWith(r *Region, tiles int, decoded [][]byte, sc
 			if err != nil {
 				return nil, err
 			}
+			if sess != nil {
+				sess.commitTile(part, outs)
+			}
 			return []tileResult{{tile: part, outs: outs}}, nil
 		}
 		outs := make([][]byte, len(r.Outs))
@@ -880,6 +965,9 @@ func (p *CloudPlugin) runSparkJobWith(r *Region, tiles int, decoded [][]byte, sc
 		}
 		if err := reg.Invoke(r.Kernel, lo, hi, r.Scalars, ins, outs); err != nil {
 			return nil, err
+		}
+		if sess != nil {
+			sess.commitTile(part, outs)
 		}
 		return []tileResult{{tile: part, outs: outs}}, nil
 	})

@@ -61,6 +61,11 @@ func MergeReports(device, kernel string, reps ...*trace.Report) *trace.Report {
 		out.BytesCollected += r.BytesCollected
 		out.TaskFailures += r.TaskFailures
 		out.StorageRetries += r.StorageRetries
+		out.ReexecutedTasks += r.ReexecutedTasks
+		out.SpeculativeWins += r.SpeculativeWins
+		out.SpeculativeLosses += r.SpeculativeLosses
+		out.DeadWorkers += r.DeadWorkers
+		out.ResumedTiles += r.ResumedTiles
 		out.Tiles += r.Tiles
 		if r.Cores > out.Cores {
 			out.Cores = r.Cores
@@ -261,7 +266,16 @@ func (e *cloudEnv) Run(r *Region) (*trace.Report, error) {
 		}
 	}
 
-	parts, jm, tileRaw, err := p.runSparkJob(r, tiles, decoded)
+	// Env loops get their own per-loop session keyed on the device-resident
+	// inputs: tile-level resume (committed tiles skip recomputation). The
+	// open-phase upload is not journaled, so a restarted environment re-opens
+	// normally and each loop resumes at tile granularity.
+	var sess *session
+	if p.cfg.Resume {
+		sess = p.openSession(r, tiles, decoded)
+	}
+
+	parts, jm, tileRaw, err := p.runSparkJob(r, tiles, decoded, sess)
 	if err != nil {
 		return nil, err
 	}
@@ -280,7 +294,10 @@ func (e *cloudEnv) Run(r *Region) (*trace.Report, error) {
 	if err := Account(p.cfg.Profile, ci, rep); err != nil {
 		return nil, err
 	}
-	rep.TaskFailures = jm.Failures
+	applyEngineCounters(rep, jm, sess)
+	if sess != nil {
+		sess.finish()
+	}
 	return rep, nil
 }
 

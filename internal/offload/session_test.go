@@ -1,0 +1,207 @@
+package offload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ompcloud/internal/data"
+	"ompcloud/internal/spark"
+	"ompcloud/internal/storage"
+)
+
+// resumeConfig is a resumable cloud device over the given store: sessions
+// on, content cache on (journal priming needs it), no fallback masking.
+func resumeConfig(st storage.Store) CloudConfig {
+	return CloudConfig{
+		Spec:        spark.ClusterSpec{Workers: 2, CoresPerWorker: 2},
+		Store:       st,
+		ChunkBytes:  1024,
+		EnableCache: true,
+		Resume:      true,
+		Fallback:    FallbackFail,
+		RetrySleep:  func(time.Duration) {},
+	}
+}
+
+// TestResumeSkipsCommittedTiles is the kill-and-restart scenario: run one,
+// sabotaged past its first few tiles, fails and leaves a session behind; run
+// two, a fresh plugin over the same store, serves the committed tiles from
+// the journal and recomputes only the rest — bitwise identical to a clean
+// run. Covered in both dataflow modes.
+func TestResumeSkipsCommittedTiles(t *testing.T) {
+	for _, mode := range []struct {
+		name    string
+		overlap int
+	}{{"overlap-on", 0}, {"overlap-off", -1}} {
+		t.Run(mode.name, func(t *testing.T) {
+			n := int64(4096)
+			in := data.Generate(1, int(n), data.Dense, 11)
+
+			// Clean reference output.
+			want := make([]byte, 4*n)
+			{
+				cfg := resumeConfig(storage.NewMemStore())
+				cfg.Overlap = mode.overlap
+				p, err := NewCloudPlugin(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := scale2Region(n, in.Bytes(), want)
+				r.Tiles = 8
+				if _, err := p.Run(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			st := storage.NewMemStore()
+
+			// Run one: the last tile's task fails every attempt, so the job
+			// dies after the earlier tiles committed their results.
+			cfg := resumeConfig(st)
+			cfg.Overlap = mode.overlap
+			cfg.Faults = spark.FailPartitionAttempts(7, 1<<20)
+			p1, err := NewCloudPlugin(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out1 := make([]byte, 4*n)
+			r1 := scale2Region(n, in.Bytes(), out1)
+			r1.Tiles = 8
+			if _, err := p1.Run(r1); err == nil {
+				t.Fatal("sabotaged run should have failed")
+			}
+			keys, err := st.List("sessions/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed := 0
+			for _, k := range keys {
+				if strings.Contains(k, "/tiles/") {
+					committed++
+				}
+			}
+			if committed == 0 {
+				t.Fatalf("failed run left no committed tiles (session keys: %v)", keys)
+			}
+
+			// Run two: a fresh process resumes from the session.
+			cfg2 := resumeConfig(st)
+			cfg2.Overlap = mode.overlap
+			p2, err := NewCloudPlugin(cfg2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out2 := make([]byte, 4*n)
+			r2 := scale2Region(n, in.Bytes(), out2)
+			r2.Tiles = 8
+			rep, err := p2.Run(r2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ResumedTiles == 0 {
+				t.Fatal("resumed run recomputed everything (ResumedTiles = 0)")
+			}
+			if rep.ResumedTiles != committed {
+				t.Fatalf("ResumedTiles = %d, want the %d committed tiles", rep.ResumedTiles, committed)
+			}
+			if !bytes.Equal(out2, want) {
+				t.Fatal("resumed output diverged from the clean run")
+			}
+			// A completed offload leaves no resume state behind.
+			keys, err = st.List("sessions/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != 0 {
+				t.Fatalf("session not cleaned up after success: %v", keys)
+			}
+		})
+	}
+}
+
+// TestResumeCorruptCommitRecomputes: a damaged tile commit must degrade to
+// recomputation, never to wrong output.
+func TestResumeCorruptCommitRecomputes(t *testing.T) {
+	n := int64(1024)
+	in := data.Generate(1, int(n), data.Dense, 3)
+	st := storage.NewMemStore()
+
+	cfg := resumeConfig(st)
+	cfg.Faults = spark.FailPartitionAttempts(3, 1<<20)
+	p1, err := NewCloudPlugin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1 := make([]byte, 4*n)
+	r1 := scale2Region(n, in.Bytes(), out1)
+	r1.Tiles = 4
+	if _, err := p1.Run(r1); err == nil {
+		t.Fatal("sabotaged run should have failed")
+	}
+	keys, err := st.List("sessions/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if strings.Contains(k, "/tiles/") {
+			if err := st.Put(k, []byte("garbage")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	p2, err := NewCloudPlugin(resumeConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := make([]byte, 4*n)
+	r2 := scale2Region(n, in.Bytes(), out2)
+	r2.Tiles = 4
+	rep, err := p2.Run(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResumedTiles != 0 {
+		t.Fatalf("corrupt commits must not be served (ResumedTiles = %d)", rep.ResumedTiles)
+	}
+	for i := 0; i < int(n); i++ {
+		if data.GetFloat(out2, i) != 2*in.V[i] {
+			t.Fatalf("wrong result at %d after corrupt-commit recovery", i)
+		}
+	}
+}
+
+// TestResumeUnavailableDeviceFallsBack: resume changes nothing about the
+// manager's dynamic fallback — a dead store still reroutes to the host.
+func TestResumeUnavailableDeviceFallsBack(t *testing.T) {
+	fs := storage.NewFaultStore(storage.NewMemStore()).
+		Inject(storage.FailKeysMatching(storage.OpPut, "", 1<<20)).
+		Inject(storage.FailKeysMatching(storage.OpGet, "", 1<<20))
+	cfg := resumeConfig(fs)
+	cfg.Fallback = FallbackHost
+	cfg.HealthTTL = -1
+	p, err := NewCloudPlugin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, _ := NewHostPlugin(2)
+	m, _ := NewManager(host)
+	id := m.Register(p)
+	n := int64(64)
+	in := data.Generate(1, int(n), data.Dense, 5)
+	out := make([]byte, 4*n)
+	rep, err := m.Run(id, scale2Region(n, in.Bytes(), out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FellBack {
+		t.Fatal("resume-enabled device with dead storage must fall back to the host")
+	}
+	for i := 0; i < int(n); i++ {
+		if data.GetFloat(out, i) != 2*in.V[i] {
+			t.Fatalf("host fallback wrong at %d", i)
+		}
+	}
+}

@@ -22,19 +22,23 @@ import (
 //
 //	[cluster]     workers, cores-per-worker, instance-type, provider
 //	              (sim | none), auto-start, boot-seconds, worker-addrs
-//	              (comma-separated ompcloud-worker endpoints)
+//	              (comma-separated ompcloud-worker endpoints),
+//	              heartbeat-ms, lease-misses, speculate, speculate-quantile
 //	[credentials] access-key, secret-key, region
 //	[storage]     type (memory | disk | remote), address, path
 //	[network]     wan-mbps, wan-latency-ms, lan-gbps, lan-latency-us,
 //	              mem-gbps
 //	[offload]     compress-min-bytes, chunk-bytes, chunk-parallel, overlap,
 //	              health-ttl-ms, jni-base-ms, jni-mbps, enable-cache,
-//	              verbose, run-on-driver, retry-max, retry-base-ms,
+//	              verbose, run-on-driver, resume, retry-max, retry-base-ms,
 //	              retry-cap-ms, breaker-failures, breaker-cooldown-ms,
 //	              fallback (host | fail)
 //
 // Every key has a sensible default; an empty file yields the paper's
-// 16-worker c3.8xlarge deployment over an in-memory store.
+// 16-worker c3.8xlarge deployment over an in-memory store. Knobs whose
+// explicit value would silently select a different mechanism than the
+// key's name promises (a zero retry backoff, a zero-threshold breaker, a
+// non-positive heartbeat) are rejected at parse time.
 func NewCloudPluginFromConfig(f *config.File) (*CloudPlugin, error) {
 	if f == nil {
 		f = config.New()
@@ -64,6 +68,39 @@ func NewCloudPluginFromConfig(f *config.File) (*CloudPlugin, error) {
 			}
 		}
 	}
+
+	// heartbeat-ms turns on lease-based worker membership; absent means no
+	// membership (workers never die on their own), so an explicit value
+	// must be a usable interval.
+	heartbeatMs, err := f.Float("cluster", "heartbeat-ms", 0)
+	if err != nil {
+		return nil, err
+	}
+	if f.Has("cluster", "heartbeat-ms") && heartbeatMs <= 0 {
+		return nil, fmt.Errorf("offload: heartbeat-ms must be positive, got %v", heartbeatMs)
+	}
+	cfg.Heartbeat = time.Duration(heartbeatMs * float64(time.Millisecond))
+	leaseMisses, err := f.Int("cluster", "lease-misses", 0)
+	if err != nil {
+		return nil, err
+	}
+	if f.Has("cluster", "lease-misses") && leaseMisses < 1 {
+		return nil, fmt.Errorf("offload: lease-misses must be at least 1, got %d", leaseMisses)
+	}
+	cfg.LeaseMisses = leaseMisses
+	speculate, err := f.Bool("cluster", "speculate", false)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Speculate = speculate
+	specQuantile, err := f.Float("cluster", "speculate-quantile", 0)
+	if err != nil {
+		return nil, err
+	}
+	if f.Has("cluster", "speculate-quantile") && (specQuantile <= 0 || specQuantile > 1) {
+		return nil, fmt.Errorf("offload: speculate-quantile must be in (0, 1], got %v", specQuantile)
+	}
+	cfg.SpeculateQuantile = specQuantile
 
 	switch provider := f.Str("cluster", "provider", "none"); provider {
 	case "none":
@@ -149,11 +186,14 @@ func NewCloudPluginFromConfig(f *config.File) (*CloudPlugin, error) {
 		return nil, err
 	}
 	cfg.Codec = xcompress.Codec{MinSize: minBytes}
-	// chunk-bytes: 0 = default 1 MiB chunks; negative = sequential
-	// single-stream transfers (the paper's original policy).
+	// chunk-bytes: 0 = default 1 MiB chunks; -1 = sequential single-stream
+	// transfers (the paper's original policy). Other negatives mean nothing.
 	chunkBytes, err := f.Int("offload", "chunk-bytes", 0)
 	if err != nil {
 		return nil, err
+	}
+	if chunkBytes < -1 {
+		return nil, fmt.Errorf("offload: chunk-bytes must be -1 (sequential), 0 (default), or a positive size, got %d", chunkBytes)
 	}
 	cfg.ChunkBytes = chunkBytes
 	// overlap: on (default) streams tiles through upload, compute, and
@@ -196,9 +236,16 @@ func NewCloudPluginFromConfig(f *config.File) (*CloudPlugin, error) {
 		return nil, err
 	}
 	cfg.RunOnDriver = runOnDriver
+	resume, err := f.Bool("offload", "resume", false)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Resume = resume
 	// retry-max: 0 = default 3 attempts per storage leg; negative = no
 	// retries. retry-base-ms/retry-cap-ms follow the same 0-means-default
-	// convention as the other duration knobs.
+	// convention as the other duration knobs, so an explicit zero (or
+	// negative) backoff is a config mistake, not a request for hot-loop
+	// retries.
 	retryMax, err := f.Int("offload", "retry-max", 0)
 	if err != nil {
 		return nil, err
@@ -208,16 +255,24 @@ func NewCloudPluginFromConfig(f *config.File) (*CloudPlugin, error) {
 	if err != nil {
 		return nil, err
 	}
+	if f.Has("offload", "retry-base-ms") && retryBaseMs <= 0 {
+		return nil, fmt.Errorf("offload: retry-base-ms must be positive, got %v", retryBaseMs)
+	}
 	cfg.RetryBase = time.Duration(retryBaseMs * float64(time.Millisecond))
 	retryCapMs, err := f.Float("offload", "retry-cap-ms", 0)
 	if err != nil {
 		return nil, err
 	}
 	cfg.RetryCap = time.Duration(retryCapMs * float64(time.Millisecond))
-	// breaker-failures: 0 = default threshold; negative = breaker off.
+	// breaker-failures: 0 = default threshold; -1 = breaker off. An
+	// explicit zero would build a breaker that trips instantly, and other
+	// negatives are typos for the -1 sentinel — both rejected.
 	breakerFailures, err := f.Int("offload", "breaker-failures", 0)
 	if err != nil {
 		return nil, err
+	}
+	if f.Has("offload", "breaker-failures") && (breakerFailures == 0 || breakerFailures < -1) {
+		return nil, fmt.Errorf("offload: breaker-failures must be a positive threshold or -1 to disable, got %d", breakerFailures)
 	}
 	cfg.BreakerFailures = breakerFailures
 	breakerCooldownMs, err := f.Float("offload", "breaker-cooldown-ms", 0)

@@ -3,6 +3,7 @@ package offload
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"ompcloud/internal/config"
 	"ompcloud/internal/data"
@@ -151,6 +152,84 @@ func TestFromConfigErrors(t *testing.T) {
 		if _, err := NewCloudPluginFromConfig(parseConf(t, c)); err == nil {
 			t.Errorf("config %q should fail", c)
 		}
+	}
+}
+
+func TestFromConfigKnobValidation(t *testing.T) {
+	// Explicit values that would silently select a different mechanism
+	// than the key promises must fail the parse, not misbehave.
+	bad := []string{
+		"[offload]\nretry-base-ms = 0\n",
+		"[offload]\nretry-base-ms = -2\n",
+		"[offload]\nbreaker-failures = 0\n",
+		"[offload]\nbreaker-failures = -3\n",
+		"[offload]\nchunk-bytes = -2\n",
+		"[cluster]\nheartbeat-ms = 0\n",
+		"[cluster]\nheartbeat-ms = -5\n",
+		"[cluster]\nlease-misses = 0\n",
+		"[cluster]\nlease-misses = -1\n",
+		"[cluster]\nspeculate-quantile = 0\n",
+		"[cluster]\nspeculate-quantile = 1.5\n",
+		"[cluster]\nspeculate = perhaps\n",
+		"[offload]\nresume = perhaps\n",
+	}
+	for _, c := range bad {
+		if _, err := NewCloudPluginFromConfig(parseConf(t, c)); err == nil {
+			t.Errorf("config %q should fail validation", c)
+		}
+	}
+	// The documented sentinels and the new knobs' valid values still parse.
+	good := []string{
+		"[offload]\nbreaker-failures = -1\n", // disable breaker
+		"[offload]\nchunk-bytes = -1\n",      // sequential transfers
+		"[offload]\nretry-base-ms = 25\n",
+		"[cluster]\nheartbeat-ms = 5\nlease-misses = 2\nspeculate = true\nspeculate-quantile = 0.6\n[offload]\nresume = true\n",
+	}
+	for _, c := range good {
+		if _, err := NewCloudPluginFromConfig(parseConf(t, c)); err != nil {
+			t.Errorf("config %q should parse: %v", c, err)
+		}
+	}
+}
+
+func TestFromConfigFaultToleranceKnobs(t *testing.T) {
+	f := parseConf(t, `
+[cluster]
+workers = 2
+cores-per-worker = 2
+heartbeat-ms = 4
+lease-misses = 2
+speculate = true
+speculate-quantile = 0.5
+
+[offload]
+resume = true
+enable-cache = true
+`)
+	p, err := NewCloudPluginFromConfig(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.cfg.Heartbeat != 4*time.Millisecond {
+		t.Fatalf("Heartbeat = %v", p.cfg.Heartbeat)
+	}
+	if p.cfg.LeaseMisses != 2 {
+		t.Fatalf("LeaseMisses = %d", p.cfg.LeaseMisses)
+	}
+	if !p.cfg.Speculate || p.cfg.SpeculateQuantile != 0.5 {
+		t.Fatalf("Speculate = %v q=%v", p.cfg.Speculate, p.cfg.SpeculateQuantile)
+	}
+	if !p.cfg.Resume {
+		t.Fatal("resume knob not wired")
+	}
+	n := int64(256)
+	in := data.Generate(1, int(n), data.Dense, 7)
+	out := make([]byte, 4*n)
+	if _, err := p.Run(scale2Region(n, in.Bytes(), out)); err != nil {
+		t.Fatal(err)
+	}
+	if data.GetFloat(out, 9) != 2*in.V[9] {
+		t.Fatal("configured device computed wrong result")
 	}
 }
 

@@ -164,7 +164,7 @@ type inTransfer struct {
 // streamWorkflow executes steps 1-8 of Fig. 1 as a tile-granular pipeline.
 // The caller has validated the region, opened the cluster, and owns cleanup
 // of the job prefix.
-func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, prefix string, retries *atomic.Int64) (*trace.Report, error) {
+func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, prefix string, retries *atomic.Int64, sess *session) (*trace.Report, error) {
 	p.logf("offload: job %s: streaming dataflow (%d tiles)", prefix, tiles)
 	sched := newTileSched(r, tiles)
 
@@ -180,6 +180,7 @@ func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, pr
 	// the scheduler. A whole-buffer cache hit skips the upload half and
 	// marks windows as the driver fetch proceeds.
 	ins := make([]inTransfer, len(r.Ins))
+	inKeys := make([]string, len(r.Ins))
 	inErrs := make([]error, len(r.Ins))
 	var iwg sync.WaitGroup
 	for k := range r.Ins {
@@ -188,6 +189,7 @@ func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, pr
 			defer iwg.Done()
 			mark := func(lo, hi int64) { sched.mark(k, lo, hi) }
 			key := prefix + "/in/" + r.Ins[k].Name
+			defer func() { inKeys[k] = key }()
 			if p.cache != nil {
 				key = contentKey(r.Ins[k].Data)
 				if wireSize, ok := p.cache.lookup(key); ok {
@@ -306,7 +308,7 @@ func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, pr
 		for _, tr := range items {
 			resCh <- tr
 		}
-	})
+	}, sess)
 	close(resCh)
 	<-reconDone
 	iwg.Wait()
@@ -318,6 +320,16 @@ func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, pr
 			abortStreams()
 			return nil, inErrs[k]
 		}
+	}
+	if sess != nil {
+		// Inputs are durable (all transfers landed) even when the job itself
+		// failed: journal them now so a killed run's successor skips the
+		// upload leg and resumes from the committed tiles.
+		wire := make([]int64, len(r.Ins))
+		for k := range r.Ins {
+			wire[k] = ins[k].wire
+		}
+		sess.writeJournal(r, inKeys, wire)
 	}
 	if jobErr != nil {
 		abortStreams()
@@ -388,6 +400,9 @@ func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, pr
 	if err := Account(p.cfg.Profile, ci, rep); err != nil {
 		return nil, err
 	}
-	rep.TaskFailures = jm.Failures
+	applyEngineCounters(rep, jm, sess)
+	if sess != nil {
+		sess.finish()
+	}
 	return rep, nil
 }

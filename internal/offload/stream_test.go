@@ -2,11 +2,14 @@ package offload
 
 import (
 	"bytes"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"ompcloud/internal/data"
+	"ompcloud/internal/spark"
 	"ompcloud/internal/storage"
 )
 
@@ -265,5 +268,97 @@ func TestStreamingAvoidedGets(t *testing.T) {
 	// are the data themselves and cannot be skipped.
 	if got := p.CacheStats().AvoidedGets; got < 2 {
 		t.Fatalf("AvoidedGets = %d, want >= 2 (input pipe + output stream)", got)
+	}
+}
+
+// TestTileSchedConcurrentFailAndMark races fail() against a storm of marks
+// and duplicate fails: every gate must be released exactly once (a double
+// close panics under the race detector's eyes too) and the first error must
+// win. Regression test for the worker-death-during-streaming abort path.
+func TestTileSchedConcurrentFailAndMark(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		r := &Region{
+			N:   64,
+			Ins: []Buffer{{Name: "p", Data: make([]byte, 64), BytesPerIter: 1}},
+		}
+		s := newTileSched(r, 16)
+		first := errors.New("worker lost")
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for lo := int64(g * 16); lo < 64; lo += 4 {
+					s.mark(0, lo, lo+4)
+				}
+			}(g)
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				if g == 0 {
+					s.fail(first)
+				} else {
+					s.fail(errors.New("late error"))
+				}
+			}(g)
+		}
+		wg.Wait()
+		for tile := 0; tile < 16; tile++ {
+			if !gateOpen(s.gate(tile)) {
+				t.Fatalf("iter %d: gate %d still closed after concurrent fail", iter, tile)
+			}
+		}
+		if s.Err() == nil {
+			t.Fatalf("iter %d: abort error lost", iter)
+		}
+	}
+}
+
+// TestStreamingWorkerDeathFallsBackWithReason is the end-to-end satellite of
+// the abort path: every worker's heartbeat lease expires mid-stream, the
+// gated job dies with a transient cluster-loss error, and the manager's host
+// fallback reruns the region and surfaces the reason.
+func TestStreamingWorkerDeathFallsBackWithReason(t *testing.T) {
+	cfg := memCloudConfig()
+	cfg.ChunkBytes = 1024
+	cfg.Heartbeat = time.Millisecond
+	cfg.LeaseMisses = 1
+	cfg.WorkerFaults = &spark.WorkerFaults{
+		DropBeats: map[int]int{0: 1 << 20, 1: 1 << 20, 2: 1 << 20, 3: 1 << 20},
+	}
+	p, err := NewCloudPlugin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	host, _ := NewHostPlugin(2)
+	m, _ := NewManager(host)
+	id := m.Register(p)
+	r := streamTestRegion(4096, 7)
+	rep, err := m.Run(id, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FellBack {
+		t.Fatal("full cluster loss during streaming must fall back to the host")
+	}
+	if rep.FallbackReason == "" {
+		t.Fatal("fallback must carry the device's failure reason")
+	}
+	if !strings.Contains(rep.FallbackReason, "alive") && !strings.Contains(rep.FallbackReason, "worker") {
+		t.Fatalf("FallbackReason %q should name the worker loss", rep.FallbackReason)
+	}
+
+	// The host pass rewrote the outputs in full: verify against a clean run.
+	want := streamTestRegion(4096, 7)
+	hostOnly, _ := NewHostPlugin(2)
+	if _, err := hostOnly.Run(want); err != nil {
+		t.Fatal(err)
+	}
+	for l := range r.Outs {
+		if !bytes.Equal(r.Outs[l].Data, want.Outs[l].Data) {
+			t.Fatalf("fallback output %s diverged", r.Outs[l].Name)
+		}
 	}
 }

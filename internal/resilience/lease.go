@@ -1,0 +1,44 @@
+package resilience
+
+import "ompcloud/internal/simtime"
+
+// Lease models a renewable liveness lease on the virtual clock: the holder
+// must renew at least once every Interval, and after Misses consecutive
+// missed intervals the lease expires and the holder may be declared dead.
+// This is the membership policy behind spark's executor heartbeats; it lives
+// here because it is a generic failure-detection primitive, not a scheduling
+// one.
+type Lease struct {
+	// Interval is the expected renewal period.
+	Interval simtime.Duration
+	// Misses is how many consecutive intervals may elapse without a
+	// renewal before the lease expires; values below 1 are treated as 1.
+	Misses int
+
+	renewed simtime.Duration
+}
+
+// Renew records a renewal at virtual time now.
+func (l *Lease) Renew(now simtime.Duration) { l.renewed = now }
+
+// LastRenewed reports the most recent renewal time.
+func (l *Lease) LastRenewed() simtime.Duration { return l.renewed }
+
+// Budget reports the grace period: the virtual time that may pass since the
+// last renewal before the lease expires.
+func (l *Lease) Budget() simtime.Duration {
+	m := l.Misses
+	if m < 1 {
+		m = 1
+	}
+	return l.Interval * simtime.Duration(m)
+}
+
+// Expired reports whether the lease has outlived its budget at virtual time
+// now. A lease with a non-positive Interval never expires.
+func (l *Lease) Expired(now simtime.Duration) bool {
+	if l.Interval <= 0 {
+		return false
+	}
+	return now-l.renewed > l.Budget()
+}

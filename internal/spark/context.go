@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 
+	"ompcloud/internal/resilience"
 	"ompcloud/internal/simtime"
 )
 
@@ -81,8 +82,15 @@ type Context struct {
 	maxRetries int
 	log        Logf
 
+	lease       LeaseConfig
+	speculation SpeculationConfig
+	wfaults     *WorkerFaults
+
 	mu          sync.Mutex
 	deadWorkers map[int]bool
+	leases      []resilience.Lease
+	vnow        simtime.Duration          // virtual membership clock
+	diedAt      map[int]simtime.Duration  // lease-expiry death times (for rejoin)
 	jobSeq      int
 	metrics     EngineMetrics
 }
@@ -130,6 +138,17 @@ func NewContext(spec ClusterSpec, opts ...Option) (*Context, error) {
 	for _, o := range opts {
 		o(ctx)
 	}
+	if ctx.lease.Heartbeat > 0 {
+		if ctx.lease.Misses < 1 {
+			ctx.lease.Misses = DefaultLeaseMisses
+		}
+		ctx.leases = make([]resilience.Lease, spec.Workers)
+		for w := range ctx.leases {
+			ctx.leases[w] = resilience.Lease{Interval: ctx.lease.Heartbeat, Misses: ctx.lease.Misses}
+		}
+		ctx.diedAt = make(map[int]simtime.Duration)
+	}
+	ctx.speculation = ctx.speculation.normalized()
 	return ctx, nil
 }
 
@@ -185,7 +204,8 @@ func (c *Context) nextWorker(w int) (int, error) {
 			return cand, nil
 		}
 	}
-	return 0, fmt.Errorf("spark: no alive workers")
+	// Transient: the manager may still recover the region on the host.
+	return 0, resilience.MarkTransient(fmt.Errorf("spark: no alive workers"))
 }
 
 // Metrics returns a snapshot of the accumulated engine metrics.
@@ -197,14 +217,33 @@ func (c *Context) Metrics() EngineMetrics {
 
 // PartitionWorker reports the worker a partition is assigned to on its first
 // attempt: the block distribution of Eq. 3 (partition p of P goes to worker
-// floor(p*W/P)).
+// floor(p*W/P)), re-derived over the live worker set so that unstarted tasks
+// of a shrunk cluster spread evenly across survivors instead of piling onto
+// the blacklist's neighbors.
 func (c *Context) PartitionWorker(p, numPartitions int) int {
 	if numPartitions <= 0 {
 		return 0
 	}
-	w := p * c.spec.Workers / numPartitions
-	if w >= c.spec.Workers {
-		w = c.spec.Workers - 1
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	alive := make([]int, 0, c.spec.Workers)
+	for w := 0; w < c.spec.Workers; w++ {
+		if !c.deadWorkers[w] {
+			alive = append(alive, w)
+		}
 	}
-	return w
+	if len(alive) == 0 {
+		// Cluster lost: return the static map; nextWorker reports the
+		// actual error.
+		w := p * c.spec.Workers / numPartitions
+		if w >= c.spec.Workers {
+			w = c.spec.Workers - 1
+		}
+		return w
+	}
+	i := p * len(alive) / numPartitions
+	if i >= len(alive) {
+		i = len(alive) - 1
+	}
+	return alive[i]
 }

@@ -1,0 +1,189 @@
+package spark
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ompcloud/internal/resilience"
+	"ompcloud/internal/simtime"
+)
+
+// leaseOpts enables a tight membership clock for tests.
+func leaseOpts(misses int) Option {
+	return WithLease(LeaseConfig{Heartbeat: simtime.Millisecond, Misses: misses})
+}
+
+func TestLeaseExpiryKillsSilentWorker(t *testing.T) {
+	wf := &WorkerFaults{DropBeats: map[int]int{1: 1000}} // worker 1 never beats again
+	ctx := testContext(t, 4, 2, leaseOpts(2), WithWorkerFaults(wf))
+	r, _ := Range(ctx, 64, 16)
+	got, _, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 64 {
+		t.Fatalf("collect len = %d", len(got))
+	}
+	em := ctx.Metrics()
+	if em.DeadWorkers != 1 {
+		t.Fatalf("DeadWorkers = %d, want 1", em.DeadWorkers)
+	}
+	if ctx.AliveWorkers() != 3 {
+		t.Fatalf("AliveWorkers = %d, want 3", ctx.AliveWorkers())
+	}
+}
+
+func TestDieAtTaskLosesInFlightAttempt(t *testing.T) {
+	// Misses=1 guarantees the lease expires between a doomed attempt's
+	// launch tick and its completion tick, so the attempt's result is lost
+	// and the work re-executes on a survivor.
+	wf := &WorkerFaults{DieAtTask: map[int]int{2: 2}}
+	ctx := testContext(t, 4, 1, leaseOpts(1), WithWorkerFaults(wf))
+	r, _ := Range(ctx, 64, 16)
+	got, jm, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 64 {
+		t.Fatalf("collect len = %d", len(got))
+	}
+	if jm.Reexecuted == 0 {
+		t.Fatal("die-at-task-N must force at least one re-execution")
+	}
+	if jm.DeadWorkers != 1 {
+		t.Fatalf("DeadWorkers = %d, want 1", jm.DeadWorkers)
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("got[%d] = %d after re-execution", i, v)
+		}
+	}
+}
+
+func TestFlappingRejoin(t *testing.T) {
+	// Worker 0 goes silent for 3 beats (budget 2 -> dies), then resumes
+	// beating; RejoinTicks lets it back in.
+	wf := &WorkerFaults{DropBeats: map[int]int{0: 3}, RejoinTicks: 2}
+	ctx := testContext(t, 2, 1, leaseOpts(2), WithWorkerFaults(wf))
+	r, _ := Range(ctx, 128, 32)
+	if _, _, err := r.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	em := ctx.Metrics()
+	if em.DeadWorkers == 0 {
+		t.Fatal("flapping worker never died")
+	}
+	if em.Rejoins == 0 {
+		t.Fatal("flapping worker never rejoined")
+	}
+	if ctx.AliveWorkers() != 2 {
+		t.Fatalf("AliveWorkers = %d after rejoin, want 2", ctx.AliveWorkers())
+	}
+}
+
+func TestPartitionWorkerRederivesOverLiveSet(t *testing.T) {
+	ctx := testContext(t, 4, 1)
+	// Healthy cluster: Eq. 3 block distribution.
+	if w := ctx.PartitionWorker(0, 8); w != 0 {
+		t.Fatalf("partition 0 -> worker %d, want 0", w)
+	}
+	if w := ctx.PartitionWorker(7, 8); w != 3 {
+		t.Fatalf("partition 7 -> worker %d, want 3", w)
+	}
+	ctx.KillWorker(0)
+	ctx.KillWorker(2)
+	// Live set is {1, 3}: the same blocks now spread over the survivors.
+	for p := 0; p < 8; p++ {
+		w := ctx.PartitionWorker(p, 8)
+		if w != 1 && w != 3 {
+			t.Fatalf("partition %d assigned to dead worker %d", p, w)
+		}
+	}
+	if ctx.PartitionWorker(0, 8) != 1 || ctx.PartitionWorker(7, 8) != 3 {
+		t.Fatal("live-set Eq. 3 must span the survivors")
+	}
+	ctx.ReviveWorker(0)
+	ctx.ReviveWorker(2)
+	if w := ctx.PartitionWorker(7, 8); w != 3 {
+		t.Fatalf("revived cluster: partition 7 -> worker %d, want 3", w)
+	}
+}
+
+func TestNoAliveWorkersIsTransient(t *testing.T) {
+	ctx := testContext(t, 2, 1)
+	ctx.KillWorker(0)
+	ctx.KillWorker(1)
+	r, _ := Range(ctx, 4, 2)
+	_, _, err := r.Collect()
+	if err == nil {
+		t.Fatal("full cluster loss must fail the job")
+	}
+	if !resilience.IsTransient(err) {
+		t.Fatalf("cluster loss must classify transient for host fallback: %v", err)
+	}
+}
+
+func TestSpeculationBackupWinsBitIdentical(t *testing.T) {
+	run := func(opts ...Option) ([]int64, *JobMetrics) {
+		// More real slots than machine cores: a sleeping straggler must not
+		// starve its own backup of the execution slot (nproc can be 1 in CI).
+		opts = append(opts, WithRealParallelism(4))
+		ctx := testContext(t, 4, 4, opts...)
+		r, _ := Range(ctx, 64, 16)
+		got, jm, err := r.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, jm
+	}
+	clean, _ := run()
+	spec := SpeculationConfig{Enabled: true, Quantile: 0.5, Multiplier: 1.2}
+	delayed, jm := run(
+		WithSpeculation(spec),
+		WithFaults(&DelayTaskOnce{Partition: 3, Delay: 150 * time.Millisecond}),
+	)
+	if jm.SpeculativeWins == 0 {
+		t.Fatal("the stalled task's backup copy should have won")
+	}
+	if !jm.Tasks[3].Speculative {
+		t.Fatal("partition 3's committed result should come from the backup copy")
+	}
+	if len(clean) != len(delayed) {
+		t.Fatalf("result lengths differ: %d vs %d", len(clean), len(delayed))
+	}
+	for i := range clean {
+		if clean[i] != delayed[i] {
+			t.Fatalf("speculated run diverged at %d: %d vs %d", i, clean[i], delayed[i])
+		}
+	}
+}
+
+func TestSpeculationSinkFiresOncePerPartition(t *testing.T) {
+	ctx := testContext(t, 4, 4,
+		WithSpeculation(SpeculationConfig{Enabled: true, Quantile: 0.5, Multiplier: 1.2}),
+		WithFaults(&DelayTaskOnce{Partition: 1, Delay: 150 * time.Millisecond}),
+		WithRealParallelism(4))
+	r, _ := Range(ctx, 32, 8)
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	_, jm, err := r.CollectPartitionsEach(func(p int, items []int64) {
+		mu.Lock()
+		seen[p]++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jm.SpeculativeWins+jm.SpeculativeLosses == 0 {
+		t.Fatal("no speculative copy raced")
+	}
+	for p, n := range seen {
+		if n != 1 {
+			t.Fatalf("sink fired %d times for partition %d", n, p)
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("sink covered %d partitions, want 8", len(seen))
+	}
+}

@@ -1,13 +1,26 @@
 package spark
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"time"
 
 	"ompcloud/internal/resilience"
 	"ompcloud/internal/simtime"
 )
+
+// ErrWorkerLost marks task-attempt failures caused by executor loss (the
+// worker was blacklisted or its lease expired while the attempt was in
+// flight). Retries after such a failure are re-executions of lost work and
+// are counted separately from ordinary fault retries.
+var ErrWorkerLost = errors.New("worker lost")
+
+// errCopyAbandoned is returned by a task copy that stopped because another
+// copy of the same partition already committed the result.
+var errCopyAbandoned = errors.New("copy abandoned: partition already committed")
 
 // TaskMetrics describes one task's execution within a job.
 type TaskMetrics struct {
@@ -20,6 +33,8 @@ type TaskMetrics struct {
 	// Effective additionally includes failed attempts and retry latency;
 	// the virtual scheduler places this on the simulated cores.
 	Effective simtime.Duration
+	// Speculative marks results committed by a backup copy.
+	Speculative bool
 }
 
 // JobMetrics aggregates one job (= one stage here: the OmpCloud jobs are
@@ -30,6 +45,16 @@ type JobMetrics struct {
 	NumTasks int
 	Tasks    []TaskMetrics
 	Failures int // failed attempts across all tasks
+
+	// Reexecuted counts attempts re-run because their worker was lost
+	// (lease expiry or blacklist), the lineage-recovery path.
+	Reexecuted int
+	// SpeculativeWins / SpeculativeLosses count backup copies that did /
+	// did not commit their partition first.
+	SpeculativeWins   int
+	SpeculativeLosses int
+	// DeadWorkers is how many workers' leases expired during this job.
+	DeadWorkers int
 
 	// Submit is the fixed job-submission cost.
 	Submit simtime.Duration
@@ -67,16 +92,57 @@ type EngineMetrics struct {
 	TasksRun       int
 	AttemptsFailed int
 	ComputeTotal   simtime.Duration
+
+	// Reexecuted counts attempts re-run after executor loss.
+	Reexecuted int
+	// SpeculativeWins / SpeculativeLosses count speculative backup copies
+	// by race outcome.
+	SpeculativeWins   int
+	SpeculativeLosses int
+	// DeadWorkers / Rejoins count lease expiries and flapping rejoins.
+	DeadWorkers int
+	Rejoins     int
 }
 
-// runJob executes one job: one task per partition, with per-task retry and
-// worker reassignment on failure, real execution on bounded machine-core
-// slots, and virtual-time accounting onto the simulated topology.
+// jobState tracks one job's in-flight task copies: the original copy per
+// partition plus any speculative backups, with first-finisher-wins commit.
+type jobState[T any] struct {
+	ctx      *Context
+	r        *RDD[T]
+	jobID    int
+	numTasks int
+	each     func(p int, out []T)
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	slots    []copySlot
+	results  [][]T
+	jm       *JobMetrics
+	durs     []time.Duration // real durations of committed tasks (speculation baseline)
+	done     int             // partitions with a committed outcome (result or failure)
+	recheck  *time.Timer     // pending deferred speculation re-check, nil when unarmed
+	firstErr error
+}
+
+// copySlot is the per-partition commit state.
+type copySlot struct {
+	outstanding int       // copies still running
+	committed   bool      // an outcome (success or final failure) is recorded
+	speculated  bool      // a backup copy was launched
+	started     time.Time // when the original copy began executing
+	copyErr     error     // first copy failure, kept in case every copy fails
+}
+
+// runJob executes one job: one task per partition, with per-task retry,
+// worker reassignment on failure, straggler speculation, real execution on
+// bounded machine-core slots, and virtual-time accounting onto the simulated
+// topology.
 //
 // each, when non-nil, is invoked with every partition's result as soon as
 // its task succeeds — while other tasks are still running — so a caller can
 // stream results out of the job instead of waiting for the collect barrier.
-// It runs on the task's goroutine and must be safe for concurrent calls.
+// It runs on the task's goroutine, fires exactly once per partition even
+// when speculative copies race, and must be safe for concurrent calls.
 func runJob[T any](r *RDD[T], each func(p int, out []T)) ([][]T, *JobMetrics, error) {
 	ctx := r.ctx
 	ctx.mu.Lock()
@@ -88,38 +154,39 @@ func runJob[T any](r *RDD[T], each func(p int, out []T)) ([][]T, *JobMetrics, er
 		jobID, r.name, r.numPartitions, ctx.spec.Workers, ctx.spec.CoresPerWorker)
 
 	numTasks := r.numPartitions
-	results := make([][]T, numTasks)
 	jm := &JobMetrics{
 		JobID:    jobID,
 		NumTasks: numTasks,
 		Tasks:    make([]TaskMetrics, numTasks),
 		Submit:   ctx.costs.JobSubmit,
 	}
+	deaths0 := ctx.deaths()
 
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
+	j := &jobState[T]{
+		ctx:      ctx,
+		r:        r,
+		jobID:    jobID,
+		numTasks: numTasks,
+		each:     each,
+		slots:    make([]copySlot, numTasks),
+		results:  make([][]T, numTasks),
+		jm:       jm,
+	}
 	for p := 0; p < numTasks; p++ {
-		wg.Add(1)
+		j.slots[p].outstanding = 1
+		j.wg.Add(1)
 		go func(p int) {
-			defer wg.Done()
-			tm, out, err := runTask(ctx, r, jobID, p, numTasks)
-			if err == nil && each != nil {
-				each(p, out)
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			jm.Tasks[p] = tm
-			jm.Failures += tm.Attempts - 1
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			results[p] = out
+			defer j.wg.Done()
+			j.runCopy(p, false)
 		}(p)
 	}
-	wg.Wait()
+	j.wg.Wait()
+	j.mu.Lock()
+	if j.recheck != nil {
+		j.recheck.Stop()
+		j.recheck = nil
+	}
+	j.mu.Unlock()
 
 	computeDurs := make([]simtime.Duration, numTasks)
 	effectiveDurs := make([]simtime.Duration, numTasks)
@@ -132,43 +199,70 @@ func runJob[T any](r *RDD[T], each func(p int, out []T)) ([][]T, *JobMetrics, er
 	cores := ctx.spec.TotalCores()
 	jm.ComputeMakespan = simtime.Makespan(computeDurs, cores)
 	jm.TotalMakespan = simtime.MakespanStaggered(effectiveDurs, cores, ctx.costs.TaskDispatch)
+	jm.DeadWorkers = ctx.deaths() - deaths0
 
 	ctx.mu.Lock()
 	ctx.metrics.JobsRun++
 	ctx.metrics.TasksRun += numTasks
 	ctx.metrics.AttemptsFailed += jm.Failures
 	ctx.metrics.ComputeTotal += computeTotal
+	ctx.metrics.Reexecuted += jm.Reexecuted
+	ctx.metrics.SpeculativeWins += jm.SpeculativeWins
+	ctx.metrics.SpeculativeLosses += jm.SpeculativeLosses
 	ctx.mu.Unlock()
 
+	firstErr := j.firstErr
 	if firstErr != nil {
 		ctx.logf("spark: job %d: FAILED: %v", jobID, firstErr)
 		return nil, jm, fmt.Errorf("spark: job %d failed: %w", jobID, firstErr)
 	}
 	ctx.logf("spark: job %d: finished (compute makespan %v, %d failed attempts)",
 		jobID, jm.ComputeMakespan.Real(), jm.Failures)
-	return results, jm, nil
+	return j.results, jm, nil
 }
 
-// runTask runs one partition with retries. The returned TaskMetrics is
-// meaningful even on error (attempt counts for diagnostics).
-func runTask[T any](ctx *Context, r *RDD[T], jobID, p, numTasks int) (TaskMetrics, []T, error) {
-	tm := TaskMetrics{Partition: p}
-	if r.gate != nil {
+// runCopy executes one copy (original or speculative backup) of a partition
+// to completion and feeds its outcome into the commit protocol.
+func (j *jobState[T]) runCopy(p int, speculative bool) {
+	tm, out, err := j.runAttempts(p, speculative)
+	j.finish(p, speculative, tm, out, err)
+}
+
+// runAttempts runs one copy of a partition with retries. The returned
+// TaskMetrics is meaningful even on error (attempt counts for diagnostics).
+func (j *jobState[T]) runAttempts(p int, speculative bool) (TaskMetrics, []T, error) {
+	ctx := j.ctx
+	tm := TaskMetrics{Partition: p, Speculative: speculative}
+	if j.r.gate != nil && !speculative {
 		// Tile readiness: wait before acquiring a core slot and before any
 		// timing starts, so the wait neither occupies an executor core nor
 		// leaks into Compute/Effective. Retries skip the wait — data that
-		// arrived once is still resident.
-		<-r.gate(p)
+		// arrived once is still resident. Backups are only ever launched
+		// for tasks already past their gate.
+		<-j.r.gate(p)
 	}
-	assigned := ctx.PartitionWorker(p, numTasks)
+	if !speculative {
+		j.mu.Lock()
+		j.slots[p].started = time.Now()
+		j.mu.Unlock()
+	}
+	assigned := ctx.PartitionWorker(p, j.numTasks)
+	if speculative {
+		// Race the backup on a different executor than the original's
+		// preferred one.
+		assigned = (assigned + 1) % ctx.spec.Workers
+	}
 	var lastErr error
 	for attempt := 0; attempt <= ctx.maxRetries; attempt++ {
+		if j.abandoned(p) {
+			return tm, nil, errCopyAbandoned
+		}
 		worker, err := ctx.nextWorker(assigned)
 		if err != nil {
 			return tm, nil, err // cluster lost
 		}
 		tm.Attempts++
-		out, dur, err := executeAttempt(ctx, r, jobID, p, attempt, worker)
+		out, dur, err := executeAttempt(ctx, j.r, j.jobID, p, attempt, worker)
 		if err == nil {
 			tm.Worker = worker
 			tm.Compute = dur
@@ -177,20 +271,178 @@ func runTask[T any](ctx *Context, r *RDD[T], jobID, p, numTasks int) (TaskMetric
 		}
 		lastErr = err
 		ctx.logf("spark: job %d: task %d attempt %d failed on worker %d: %v",
-			jobID, p, attempt, worker, err)
+			j.jobID, p, attempt, worker, err)
 		tm.Effective += dur + ctx.costs.TaskRetry
+		if errors.Is(err, ErrWorkerLost) && attempt < ctx.maxRetries {
+			// The work was lost with its executor; the next attempt is a
+			// lineage re-execution on a survivor.
+			j.mu.Lock()
+			j.jm.Reexecuted++
+			j.mu.Unlock()
+		}
 		// Reassign: skip past the failing worker on the next attempt.
 		assigned = (worker + 1) % ctx.spec.Workers
 	}
 	return tm, nil, fmt.Errorf("task %d exhausted %d attempts: %w", p, tm.Attempts, lastErr)
 }
 
+// abandoned reports whether partition p already has a committed result, so a
+// racing copy can stop between attempts.
+func (j *jobState[T]) abandoned(p int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.slots[p].committed
+}
+
+// finish is the idempotent result commit: the first copy to succeed records
+// the partition's result and fires the streaming sink; later finishers are
+// discarded. A failure only commits once every copy of the partition has
+// failed, so a healthy backup can still rescue a partition whose original
+// exhausted its retries.
+func (j *jobState[T]) finish(p int, speculative bool, tm TaskMetrics, out []T, err error) {
+	j.mu.Lock()
+	s := &j.slots[p]
+	s.outstanding--
+	failed := tm.Attempts
+	if err == nil {
+		failed--
+	}
+	j.jm.Failures += failed
+	if err == nil && !s.committed {
+		s.committed = true
+		j.done++
+		j.jm.Tasks[p] = tm
+		j.results[p] = out
+		j.durs = append(j.durs, tm.Compute.Real())
+		if speculative {
+			j.jm.SpeculativeWins++
+			j.ctx.logf("spark: job %d: speculative copy of task %d won on worker %d",
+				j.jobID, p, tm.Worker)
+		}
+		each := j.each
+		j.mu.Unlock()
+		if each != nil {
+			each(p, out)
+		}
+		j.maybeSpeculate()
+		return
+	}
+	if err == nil { // late success: another copy already committed
+		if speculative {
+			j.jm.SpeculativeLosses++
+		}
+		j.mu.Unlock()
+		return
+	}
+	// This copy failed (or abandoned the race).
+	if speculative && !errors.Is(err, errCopyAbandoned) {
+		j.jm.SpeculativeLosses++
+	}
+	if s.copyErr == nil && !errors.Is(err, errCopyAbandoned) {
+		s.copyErr = err
+	}
+	if !s.committed && s.outstanding == 0 {
+		// Every copy of this partition failed: commit the failure.
+		s.committed = true
+		j.done++
+		j.jm.Tasks[p] = tm
+		e := s.copyErr
+		if e == nil {
+			e = err
+		}
+		if j.firstErr == nil {
+			j.firstErr = e
+		}
+	}
+	j.mu.Unlock()
+}
+
+// maybeSpeculate launches backup copies for stragglers: once the quantile
+// of tasks has finished, any running task slower than Multiplier x the
+// median finished duration gets exactly one backup. It is evaluated after
+// each commit and, when a still-running task sits below the threshold, once
+// more after the task could have crossed it — the deferred re-check stands
+// in for Spark's periodic speculation thread, covering stragglers that slow
+// down only after the stage's final healthy commit.
+func (j *jobState[T]) maybeSpeculate() {
+	sc := j.ctx.speculation
+	if !sc.Enabled {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	quorum := int(math.Ceil(sc.Quantile * float64(j.numTasks)))
+	if quorum < 1 {
+		quorum = 1
+	}
+	if j.done < quorum || j.done >= j.numTasks || len(j.durs) == 0 {
+		return
+	}
+	durs := make([]time.Duration, len(j.durs))
+	copy(durs, j.durs)
+	sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+	median := durs[len(durs)/2]
+	threshold := time.Duration(float64(median) * sc.Multiplier)
+	now := time.Now()
+	// rearm tracks the soonest a still-running task could cross the
+	// threshold; -1 means no candidate needs a re-check.
+	rearm := time.Duration(-1)
+	for p := range j.slots {
+		s := &j.slots[p]
+		if s.committed || s.speculated {
+			continue
+		}
+		if s.started.IsZero() {
+			// Copy goroutine not yet scheduled: unmeasurable now, but it
+			// may become a straggler — re-check one threshold from now.
+			if rearm < 0 || threshold < rearm {
+				rearm = threshold
+			}
+			continue
+		}
+		if el := now.Sub(s.started); el <= threshold {
+			if rem := threshold - el; rearm < 0 || rem < rearm {
+				rearm = rem
+			}
+			continue
+		}
+		s.speculated = true
+		s.outstanding++
+		j.ctx.logf("spark: job %d: task %d running %v > %v threshold, launching backup",
+			j.jobID, p, now.Sub(s.started), threshold)
+		j.wg.Add(1)
+		go func(p int) {
+			defer j.wg.Done()
+			j.runCopy(p, true)
+		}(p)
+	}
+	if rearm >= 0 && j.recheck == nil {
+		// Some task is still below the threshold: re-evaluate once it could
+		// have crossed it, even if no further commit event arrives. The
+		// grace keeps a borderline elapsed from re-arming a cascade of
+		// near-zero timers.
+		const grace = 100 * time.Microsecond
+		j.recheck = time.AfterFunc(rearm+grace, func() {
+			j.mu.Lock()
+			j.recheck = nil
+			j.mu.Unlock()
+			j.maybeSpeculate()
+		})
+	}
+}
+
 // executeAttempt runs the partition computation on a real machine-core slot
 // and measures its duration while it exclusively holds the slot, so that
-// concurrent tasks do not pollute each other's measurements.
+// concurrent tasks do not pollute each other's measurements. Attempt
+// boundaries pump the membership clock: one heartbeat tick at launch and one
+// at completion, which is what makes a die-at-task-N worker lose the attempt
+// it is running.
 func executeAttempt[T any](ctx *Context, r *RDD[T], jobID, p, attempt, worker int) (out []T, dur simtime.Duration, err error) {
 	ctx.slots <- struct{}{}
 	defer func() { <-ctx.slots }()
+
+	ctx.wfaults.taskStarted(worker)
+	ctx.tick()
 
 	if ctx.faults != nil {
 		if ferr := ctx.faults.BeforeTask(jobID, p, attempt, worker); ferr != nil {
@@ -198,7 +450,7 @@ func executeAttempt[T any](ctx *Context, r *RDD[T], jobID, p, attempt, worker in
 		}
 	}
 	if ctx.workerDead(worker) {
-		return nil, 0, resilience.MarkTransient(fmt.Errorf("worker %d lost", worker))
+		return nil, 0, resilience.MarkTransient(fmt.Errorf("executor %d: %w", worker, ErrWorkerLost))
 	}
 
 	defer func() {
@@ -214,8 +466,9 @@ func executeAttempt[T any](ctx *Context, r *RDD[T], jobID, p, attempt, worker in
 	if err != nil {
 		return nil, dur, err
 	}
+	ctx.tick()
 	if ctx.workerDead(worker) { // worker died mid-flight: result is lost
-		return nil, dur, resilience.MarkTransient(fmt.Errorf("worker %d lost during task", worker))
+		return nil, dur, resilience.MarkTransient(fmt.Errorf("executor %d died during task, result lost: %w", worker, ErrWorkerLost))
 	}
 	if rf, ok := ctx.faults.(ResultFaultInjector); ok {
 		// Crash-after-success: the computation finished but the result

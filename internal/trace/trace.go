@@ -59,6 +59,19 @@ type Report struct {
 	// StorageRetries counts storage-leg operations that had to be
 	// re-attempted by the retry policy (recovered transfer faults).
 	StorageRetries int `json:"storage_retries,omitempty"`
+	// ReexecutedTasks counts task attempts re-run because their worker
+	// died mid-flight (lease expiry): Spark's lineage-recovery path.
+	ReexecutedTasks int `json:"reexecuted_tasks,omitempty"`
+	// SpeculativeWins/SpeculativeLosses count straggler backup copies by
+	// race outcome: a win means the backup committed the partition first.
+	SpeculativeWins   int `json:"speculative_wins,omitempty"`
+	SpeculativeLosses int `json:"speculative_losses,omitempty"`
+	// DeadWorkers counts workers whose heartbeat lease expired during the
+	// region.
+	DeadWorkers int `json:"dead_workers,omitempty"`
+	// ResumedTiles counts tiles whose results were served from a resumed
+	// session's journal instead of being recomputed.
+	ResumedTiles int `json:"resumed_tiles,omitempty"`
 	// FellBack records that the region ran on the host instead of the
 	// requested device (paper §III.A dynamic fallback) — either because
 	// the device was unavailable at entry or because it failed
