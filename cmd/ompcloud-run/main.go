@@ -26,6 +26,7 @@ import (
 	"ompcloud/internal/omp"
 	"ompcloud/internal/storage"
 	"ompcloud/internal/trace"
+	"ompcloud/internal/trace/span"
 )
 
 func main() {
@@ -41,10 +42,17 @@ func main() {
 		workers   = flag.String("workers", "", "comma-separated remote worker addresses (use with ompcloud-worker)")
 		resume    = flag.Bool("resume", false, "resumable offload sessions: a re-run after a crash skips uploaded chunks and committed tiles (needs -storage to persist across processes)")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run (open in Perfetto / chrome://tracing)")
+		metrics   = flag.Bool("metrics", false, "print the run's metrics registry (counters, gauges, latency histograms) to stderr")
 		verbose   = flag.Bool("v", false, "also print the streaming-dataflow critical path and overlap")
 		list      = flag.Bool("list", false, "list available benchmarks")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		span.Enable(span.Options{})
+	}
+	span.ResetMetrics()
 
 	if *list {
 		for _, b := range kernels.All {
@@ -120,6 +128,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, "verify: results match the serial reference on both devices")
 		}
 		fmt.Printf("host baseline (%d threads): compute %v\n", 16, res.Host.ComputeTime().Real())
+	}
+
+	if *traceOut != "" {
+		rec := span.Default()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := span.WriteChrome(f, rec.Spans(), rec.Dropped()); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %d spans (%d dropped) to %s\n",
+			rec.Len(), rec.Dropped(), *traceOut)
+	}
+	if *metrics {
+		span.Metrics().WriteText(os.Stderr)
 	}
 
 	if *jsonOut {

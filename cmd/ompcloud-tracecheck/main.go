@@ -1,0 +1,35 @@
+// Command ompcloud-tracecheck validates a Chrome trace_event JSON file
+// produced by ompcloud-run -trace-out: well-formed JSON, globally
+// non-decreasing timestamps, and name-matched B/E pairs per thread. CI runs
+// it on a smoke trace so a malformed exporter fails the build, not the
+// first person to open the file in Perfetto.
+//
+//	ompcloud-tracecheck run.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ompcloud/internal/trace/span"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: ompcloud-tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	if err := span.ValidateChrome(data); err != nil {
+		fatal(fmt.Errorf("%s: %w", os.Args[1], err))
+	}
+	fmt.Printf("%s: valid Chrome trace (%d bytes)\n", os.Args[1], len(data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ompcloud-tracecheck:", err)
+	os.Exit(1)
+}

@@ -9,6 +9,7 @@ import (
 	"ompcloud/internal/fatbin"
 	"ompcloud/internal/offload"
 	"ompcloud/internal/storage"
+	"ompcloud/internal/trace/span"
 )
 
 // The overlap bench measures what the tile-granular streaming dataflow
@@ -67,6 +68,11 @@ type OverlapCase struct {
 	// Identical confirms the two modes produced bit-identical outputs
 	// (and both match the serial reference).
 	Identical bool `json:"identical"`
+	// Per-chunk transfer latency summaries from the streaming run's
+	// metrics registry: what each PUT and GET actually cost against the
+	// throttled store, straight from the always-on histograms.
+	StreamChunkPut *span.Summary `json:"stream_chunk_put,omitempty"`
+	StreamChunkGet *span.Summary `json:"stream_chunk_get,omitempty"`
 }
 
 // OverlapChaos is the resilience cross-check: the streaming run under the
@@ -217,9 +223,18 @@ func RunOverlapBench(cfg OverlapConfig) (*OverlapBench, error) {
 			}
 			logf("overlap: %s %d MiB: streaming run", kind, mib)
 			sSt := storage.NewThrottled(storage.NewMemStore(), cfg.WANMbps, latency)
+			m := span.ResetMetrics() // fresh registry: summaries cover this run only
 			sWall, sVirt, sY, sSum, _, err := runOverlapOnce(sSt, x, cfg.Tiles, 0)
 			if err != nil {
 				return nil, fmt.Errorf("bench: overlap streaming %s %d MiB: %w", kind, mib, err)
+			}
+			if put := m.Histogram("chunkio.put.seconds"); put.Count() > 0 {
+				s := put.Summarize()
+				c.StreamChunkPut = &s
+			}
+			if get := m.Histogram("chunkio.get.seconds"); get.Count() > 0 {
+				s := get.Summarize()
+				c.StreamChunkGet = &s
 			}
 
 			c.BarrierWallS, c.StreamWallS = bWall, sWall

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"ompcloud/internal/data"
+	"ompcloud/internal/kernels"
+	"ompcloud/internal/offload"
+	"ompcloud/internal/omp"
+	"ompcloud/internal/simtime"
+	"ompcloud/internal/storage"
+	"ompcloud/internal/trace"
+	"ompcloud/internal/trace/span"
+)
+
+// traceRegion is one region's span tree re-read from the recorder.
+type traceRegion struct {
+	root    span.Span
+	work    map[string]simtime.Duration // streamed stage work (work_ns attr)
+	barrier simtime.Duration            // download.barrier span length
+	stages  int
+	tiles   int
+}
+
+// collectRegions groups recorded cloud-region spans with their children.
+func collectRegions(t *testing.T, spans []span.Span) []*traceRegion {
+	t.Helper()
+	byID := map[span.ID]*traceRegion{}
+	var regions []*traceRegion
+	for _, sp := range spans {
+		if sp.Cat == "region" && strings.Contains(sp.Name, "cloud-spark") {
+			r := &traceRegion{root: sp, work: map[string]simtime.Duration{}}
+			byID[sp.ID] = r
+			regions = append(regions, r)
+		}
+	}
+	for _, sp := range spans {
+		r, ok := byID[sp.Parent]
+		if !ok {
+			continue
+		}
+		switch sp.Cat {
+		case "stage":
+			r.stages++
+			if sp.Name == "download.barrier" {
+				r.barrier += sp.Len()
+				break
+			}
+			ns, err := strconv.ParseInt(sp.Attr("work_ns"), 10, 64)
+			if err != nil {
+				t.Fatalf("stage span %q lacks a work_ns attr: %v", sp.Name, err)
+			}
+			r.work[sp.Name] += simtime.Duration(ns)
+		case "tile":
+			r.tiles++
+		}
+	}
+	return regions
+}
+
+// checkSpanCriticalPath asserts the span-layout invariants on one traced
+// run: every streamed region's root length equals
+// simtime.PipelineMakespan over its stage work plus the barriered tail,
+// and the report's Effective() is the sum of the region roots.
+func checkSpanCriticalPath(t *testing.T, rep *trace.Report, spans []span.Span) (streamed int) {
+	t.Helper()
+	regions := collectRegions(t, spans)
+	if len(regions) == 0 {
+		t.Fatal("no cloud region spans recorded")
+	}
+	var rootSum simtime.Duration
+	for _, r := range regions {
+		rootSum += r.root.Len()
+		if r.stages == 0 {
+			continue // barriered region: root = phase sum by construction
+		}
+		streamed++
+		if r.tiles < 2 {
+			t.Fatalf("%s: streamed region has %d tile spans", r.root.Name, r.tiles)
+		}
+		stages := []simtime.Duration{
+			r.work["upload"],
+			r.work["spark"],
+			r.work["compute"],
+			r.work["download"],
+		}
+		want := simtime.PipelineMakespan(stages, r.tiles) + r.barrier
+		if got := r.root.Len(); got != want {
+			t.Errorf("%s: span critical path %v != PipelineMakespan %v (stages %v, %d tiles)",
+				r.root.Name, got, want, stages, r.tiles)
+		}
+	}
+	if rep.Effective() != rootSum {
+		t.Errorf("report Effective() %v != sum of region root spans %v",
+			rep.Effective(), rootSum)
+	}
+	return streamed
+}
+
+// streamedLoop runs one standalone streamed target of the given loop on a
+// fresh cloud device — the vehicle for kernels whose full workload keeps
+// its loops inside a device data environment (which never streams).
+func streamedLoop(t *testing.T, kernel string, n int, run func(rt *omp.Runtime, dev omp.Device) (*trace.Report, error)) *trace.Report {
+	t.Helper()
+	rt, err := omp.NewRuntime(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plugin, err := offload.NewCloudPlugin(offload.CloudConfig{
+		Spec:  ClusterFor(16),
+		Store: storage.NewMemStore(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plugin.Close()
+	rep, err := run(rt, rt.RegisterDevice(plugin))
+	if err != nil {
+		t.Fatalf("streamed %s loop: %v", kernel, err)
+	}
+	return rep
+}
+
+// TestSpanCriticalPathMatchesPipelineMakespan is the tentpole acceptance
+// check: for every one of the eight kernels, a streamed run with tracing on
+// proves the span layout IS the critical-path arithmetic. Direct-offload
+// kernels run their full measured workload; the data-environment kernels
+// (covar, 2mm, 3mm) additionally run their constituent loops as standalone
+// streamed targets, since env-resident loops are barriered by design.
+func TestSpanCriticalPathMatchesPipelineMakespan(t *testing.T) {
+	const n = 64
+
+	// Standalone streamed loop runs for the env-resident kernels, built
+	// from the same buffer shapes their env.Loop calls declare.
+	envLoops := map[string]func(rt *omp.Runtime, dev omp.Device) (*trace.Report, error){
+		"covar": func(rt *omp.Runtime, dev omp.Device) (*trace.Report, error) {
+			d := data.Generate(n, n, data.Dense, 7)
+			mean := make([]float32, n)
+			sym := data.NewMatrix(n, n)
+			return rt.Target(dev,
+				omp.To("data", d),
+				omp.To("mean", mean),
+				omp.From("sym", sym).Partition(n),
+			).ParallelFor(int64(n), "covar.sym", int64(n), int64(n))
+		},
+		"2mm": func(rt *omp.Runtime, dev omp.Device) (*trace.Report, error) {
+			a := data.Generate(n, n, data.Dense, 7)
+			b := data.Generate(n, n, data.Dense, 8)
+			tmp := data.NewMatrix(n, n)
+			return rt.Target(dev,
+				omp.To("A", a).Partition(n),
+				omp.To("B", b),
+				omp.From("tmp", tmp).Partition(n),
+			).ParallelFor(int64(n), "mm", int64(n))
+		},
+	}
+	envLoops["3mm"] = envLoops["2mm"] // 3mm's loops are the same "mm" kernel
+
+	for _, b := range kernels.All {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			rec := span.Enable(span.Options{})
+			defer span.Disable()
+
+			res, err := RunMeasured(MeasuredConfig{
+				Bench: b, N: n, Kind: data.Dense, Cores: 16, Seed: 7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamed := checkSpanCriticalPath(t, res.Cloud, rec.Spans())
+
+			if loop, ok := envLoops[b.Name]; ok {
+				rec2 := span.Enable(span.Options{})
+				rep := streamedLoop(t, b.Name, n, loop)
+				streamed += checkSpanCriticalPath(t, rep, rec2.Spans())
+			}
+			if streamed == 0 {
+				t.Fatal("kernel never exercised the streamed pipeline layout")
+			}
+		})
+	}
+}

@@ -30,12 +30,14 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ompcloud/internal/resilience"
 	"ompcloud/internal/storage"
+	"ompcloud/internal/trace/span"
 	"ompcloud/internal/xcompress"
 )
 
@@ -244,17 +246,31 @@ func wallOf(durs []time.Duration, width int) (wall, cpu time.Duration) {
 func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult, error) {
 	cs := o.chunkSize()
 	var retries atomic.Int64
+	putHist := span.Metrics().Histogram("chunkio.put.seconds")
 	// put writes one object with the configured retry policy; a re-sent
-	// PUT overwrites the whole object, so retrying is idempotent.
+	// PUT overwrites the whole object, so retrying is idempotent. Every
+	// attempt set is one "chunk.put" span and one latency observation.
 	put := func(k string, data []byte) error {
+		sc := span.Start("chunk.put", "chunk", 0)
+		sc.SetAttr("key", k)
+		start := time.Now()
 		out, err := o.Retry.Do(func() error { return st.Put(k, data) })
+		putHist.Observe(time.Since(start).Seconds())
 		retries.Add(int64(out.Attempts - 1))
+		if out.Attempts > 1 {
+			sc.SetAttr("retries", strconv.Itoa(out.Attempts-1))
+		}
+		sc.End()
 		return err
 	}
 	if len(buf) <= cs {
+		sc := span.Start("chunk.compress", "chunk", 0)
+		sc.SetAttr("key", key)
 		start := time.Now()
 		enc, err := o.Codec.Encode(buf)
 		dur := time.Since(start)
+		sc.End()
+		span.Metrics().Histogram("chunkio.compress.seconds").Observe(dur.Seconds())
 		if err != nil {
 			// Encoding is local CPU work: retrying cannot help.
 			return nil, resilience.MarkPermanent(fmt.Errorf("chunkio: encoding %s: %w", key, err))
@@ -346,9 +362,13 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 					}
 				}
 				bp := encBufs.Get().(*[]byte)
+				sc := span.Start("chunk.compress", "chunk", 0)
+				sc.SetAttr("key", ckey)
 				start := time.Now()
 				enc, err := o.Codec.AppendEncode((*bp)[:0], chunk, verdict)
 				durs[i] = time.Since(start)
+				sc.End()
+				span.Metrics().Histogram("chunkio.compress.seconds").Observe(durs[i].Seconds())
 				if err != nil {
 					encBufs.Put(bp)
 					fail(resilience.MarkPermanent(fmt.Errorf("chunkio: encoding %s: %w", ckey, err)))
@@ -539,6 +559,9 @@ func downloadInto(st storage.Store, key string, dst []byte, o Options) ([]byte, 
 		}
 	}
 	if !rootCached {
+		sc := span.Start("chunk.get", "chunk", 0)
+		sc.SetAttr("key", key)
+		start := time.Now()
 		rout, err := o.Retry.Do(func() error {
 			obj, err := st.Get(key)
 			if err != nil {
@@ -547,7 +570,12 @@ func downloadInto(st storage.Store, key string, dst []byte, o Options) ([]byte, 
 			rootWire = int64(len(obj))
 			return parseRoot(obj)
 		})
+		span.Metrics().Histogram("chunkio.get.seconds").Observe(time.Since(start).Seconds())
 		retries.Add(int64(rout.Attempts - 1))
+		if rout.Attempts > 1 {
+			sc.SetAttr("retries", strconv.Itoa(rout.Attempts-1))
+		}
+		sc.End()
 		if err != nil {
 			return nil, nil, err
 		}
@@ -595,6 +623,9 @@ func downloadInto(st storage.Store, key string, dst []byte, o Options) ([]byte, 
 			defer wg.Done()
 			for i := range jobs {
 				e := m.Chunks[i]
+				sc := span.Start("chunk.get", "chunk", 0)
+				sc.SetAttr("key", e.Key)
+				start := time.Now()
 				cout, err := o.Retry.Do(func() error {
 					enc, err := st.Get(e.Key)
 					if err != nil {
@@ -611,7 +642,12 @@ func downloadInto(st storage.Store, key string, dst []byte, o Options) ([]byte, 
 					mu.Unlock()
 					return nil
 				})
+				span.Metrics().Histogram("chunkio.get.seconds").Observe(time.Since(start).Seconds())
 				retries.Add(int64(cout.Attempts - 1))
+				if cout.Attempts > 1 {
+					sc.SetAttr("retries", strconv.Itoa(cout.Attempts-1))
+				}
+				sc.End()
 				errs[i] = err
 				if err == nil && o.OnChunk != nil {
 					o.OnChunk(offsets[i], offsets[i]+e.Raw)

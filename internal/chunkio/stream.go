@@ -4,12 +4,14 @@ import (
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ompcloud/internal/resilience"
 	"ompcloud/internal/storage"
+	"ompcloud/internal/trace/span"
 	"ompcloud/internal/xcompress"
 )
 
@@ -79,8 +81,16 @@ func newPipeState(st storage.Store, key string, src, dst []byte, o Options, read
 func (ps *pipeState) chunks() int { return (len(ps.src) + ps.cs - 1) / ps.cs }
 
 func (ps *pipeState) put(k string, data []byte) error {
+	sc := span.Start("chunk.put", "chunk", 0)
+	sc.SetAttr("key", k)
+	start := time.Now()
 	out, err := ps.o.Retry.Do(func() error { return ps.st.Put(k, data) })
+	span.Metrics().Histogram("chunkio.put.seconds").Observe(time.Since(start).Seconds())
 	ps.putRetries.Add(int64(out.Attempts - 1))
+	if out.Attempts > 1 {
+		sc.SetAttr("retries", strconv.Itoa(out.Attempts-1))
+	}
+	sc.End()
 	return err
 }
 
@@ -88,6 +98,13 @@ func (ps *pipeState) put(k string, data []byte) error {
 // retries together (a corrupted read re-fetches, and a successful attempt
 // fully overwrites the window).
 func (ps *pipeState) fetch(k string, win []byte) (wire int64, dur time.Duration, err error) {
+	sc := span.Start("chunk.get", "chunk", 0)
+	sc.SetAttr("key", k)
+	fetchStart := time.Now()
+	defer func() {
+		span.Metrics().Histogram("chunkio.get.seconds").Observe(time.Since(fetchStart).Seconds())
+		sc.End()
+	}()
 	out, err := ps.o.Retry.Do(func() error {
 		enc, err := ps.st.Get(k)
 		if err != nil {
@@ -142,9 +159,13 @@ func (ps *pipeState) runChunk(i int) {
 	}
 	if !have {
 		bp := encBufs.Get().(*[]byte)
+		sc := span.Start("chunk.compress", "chunk", 0)
+		sc.SetAttr("key", ckey)
 		start := time.Now()
 		enc, err := ps.o.Codec.AppendEncode((*bp)[:0], chunk, ps.verdict)
 		ps.encDurs[i] = time.Since(start)
+		sc.End()
+		span.Metrics().Histogram("chunkio.compress.seconds").Observe(ps.encDurs[i].Seconds())
 		if err != nil {
 			encBufs.Put(bp)
 			ps.fail(i, resilience.MarkPermanent(fmt.Errorf("chunkio: encoding %s: %w", ckey, err)))
@@ -253,9 +274,13 @@ func (ps *pipeState) results(frameLen int) *PipeResult {
 // back, and decoded into dst.
 func pipeSingle(st storage.Store, key string, buf, dst []byte, o Options, ready func(lo, hi int64)) (*PipeResult, error) {
 	ps := &pipeState{st: st, o: o, key: key, src: buf, dst: dst}
+	sc := span.Start("chunk.compress", "chunk", 0)
+	sc.SetAttr("key", key)
 	start := time.Now()
 	enc, err := o.Codec.Encode(buf)
 	encDur := time.Since(start)
+	sc.End()
+	span.Metrics().Histogram("chunkio.compress.seconds").Observe(encDur.Seconds())
 	if err != nil {
 		return nil, resilience.MarkPermanent(fmt.Errorf("chunkio: encoding %s: %w", key, err))
 	}

@@ -2,11 +2,13 @@ package offload
 
 import (
 	"fmt"
+	"strconv"
 
 	"ompcloud/internal/netsim"
 	"ompcloud/internal/simtime"
 	"ompcloud/internal/spark"
 	"ompcloud/internal/trace"
+	"ompcloud/internal/trace/span"
 )
 
 // CostInputs describes everything the virtual-time accountant needs about
@@ -75,6 +77,11 @@ type CostInputs struct {
 	// download phase's cost is split pro rata by wire volume between the
 	// streamable and barriered shares.
 	BarrierOutWire int64
+
+	// Tasks optionally carries the engine's per-task metrics so the span
+	// layout can annotate each tile span (worker, attempts, speculative).
+	// Indexed by partition when present; nil is fine.
+	Tasks []spark.TaskMetrics
 }
 
 // transferLeg charges one host<->storage leg: codec work plus wire time
@@ -180,16 +187,45 @@ func Account(p netsim.Profile, ci CostInputs, rep *trace.Report) error {
 	rep.BytesBroadcast += ci.BroadcastWire
 	rep.BytesCollected += ci.CollectWire
 
-	// Streaming dataflow: the four phases form a linear pipeline over the
-	// tiles, so the end-to-end critical path is the pipeline makespan of
-	// the phase durations — except the barriered share of the download
-	// (reduction outputs, final only after the last tile), which trails
-	// the pipeline sequentially.
+	// Lay the accounted phases out as a span tree on the virtual timeline
+	// and read the critical path off its horizon. The layout — not a
+	// separate arithmetic — is the source of truth: the exported trace and
+	// the report's CriticalPath/WallOverlap are projections of the same
+	// spans, so they cannot disagree.
+	layoutReport(ci, rep)
+	return nil
+}
+
+// Names of the virtual-timeline phase spans (Fig. 1 legs plus the
+// non-streamable reduction tail).
+const (
+	spanUpload          = "upload"
+	spanSpark           = "spark"
+	spanCompute         = "compute"
+	spanDownload        = "download"
+	spanDownloadBarrier = "download.barrier"
+)
+
+// layoutReport builds the region's virtual span layout from the accounted
+// phases, derives CriticalPath/WallOverlap from it on streamed runs, and
+// emits the spans to the default recorder (a no-op when tracing is off).
+//
+// Barriered runs lay the four phases end to end. Streamed runs
+// (ci.StreamTiles > 1) lay them as a tile pipeline, whose horizon is exactly
+// simtime.PipelineMakespan over the phase durations — except the barriered
+// share of the download (reduction outputs, final only after the last
+// tile), which trails the pipeline sequentially. Per-tile task spans are
+// placed inside the compute window on the simulated cores, annotated from
+// ci.Tasks when present.
+func layoutReport(ci CostInputs, rep *trace.Report) {
+	rec := span.Default()
+	up := rep.Phases[trace.PhaseUpload]
+	spk := rep.Phases[trace.PhaseSpark]
+	compute := rep.Phases[trace.PhaseCompute]
+	down := rep.Phases[trace.PhaseDownload]
+	l := span.NewLayout(rep.Device, rep.Kernel, rec.VirtualFrontier())
+
 	if ci.StreamTiles > 1 {
-		up := rep.Phases[trace.PhaseUpload]
-		spark := rep.Phases[trace.PhaseSpark]
-		compute := rep.Phases[trace.PhaseCompute]
-		down := rep.Phases[trace.PhaseDownload]
 		var totalOut int64
 		for _, s := range ci.OutWireSizes {
 			totalOut += s
@@ -205,15 +241,46 @@ func Account(p netsim.Profile, ci CostInputs, rep *trace.Report) error {
 				downBarrier = down
 			}
 		}
-		cp := simtime.PipelineMakespan(
-			[]simtime.Duration{up, spark, compute, down - downBarrier},
-			ci.StreamTiles,
-		) + downBarrier
-		if total := rep.Total(); cp > total {
-			cp = total
-		}
+		l.Streamed([]span.Stage{
+			{Name: spanUpload, Dur: up},
+			{Name: spanSpark, Dur: spk},
+			{Name: spanCompute, Dur: compute},
+			{Name: spanDownload, Dur: down - downBarrier},
+		}, ci.StreamTiles, span.Stage{Name: spanDownloadBarrier, Dur: downBarrier})
+		cp := l.CriticalPath()
+		// The pipeline makespan never exceeds the stage sum, so cp <= Total
+		// and the overlap below is non-negative.
 		rep.CriticalPath = cp
 		rep.WallOverlap = rep.Total() - cp
+	} else {
+		l.Barriered([]span.Stage{
+			{Name: spanUpload, Dur: up},
+			{Name: spanSpark, Dur: spk},
+			{Name: spanCompute, Dur: compute},
+			{Name: spanDownload, Dur: down},
+		})
 	}
-	return nil
+
+	// Per-tile task spans, inside the compute window. Only worth recording
+	// when a trace is being collected: a large sweep would otherwise build
+	// thousands of spans nobody reads.
+	if rec != nil && len(ci.TaskCompute) > 0 {
+		if start, _, ok := l.Window(spanCompute); ok {
+			l.Tiles(start, ci.TaskCompute, ci.Cores, 0, func(i int) []span.Attr {
+				if i >= len(ci.Tasks) {
+					return nil
+				}
+				t := ci.Tasks[i]
+				attrs := []span.Attr{
+					{Key: "worker", Val: strconv.Itoa(t.Worker)},
+					{Key: "attempts", Val: strconv.Itoa(t.Attempts)},
+				}
+				if t.Speculative {
+					attrs = append(attrs, span.Attr{Key: "speculative", Val: "true"})
+				}
+				return attrs
+			})
+		}
+	}
+	l.EmitTo(rec)
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"ompcloud/internal/spark"
 	"ompcloud/internal/storage"
 	"ompcloud/internal/trace"
+	"ompcloud/internal/trace/span"
 	"ompcloud/internal/xcompress"
 )
 
@@ -288,6 +290,12 @@ func NewCloudPlugin(cfg CloudConfig) (*CloudPlugin, error) {
 			Threshold: cfg.BreakerFailures,
 			Cooldown:  cfg.BreakerCooldown,
 			Now:       cfg.BreakerNow,
+			OnStateChange: func(from, to resilience.BreakerState) {
+				span.Event("breaker", "resilience",
+					span.Attr{Key: "from", Val: from.String()},
+					span.Attr{Key: "to", Val: to.String()})
+				span.Metrics().Counter("resilience.breaker.transitions").Inc()
+			},
 		}
 	}
 	if cfg.EnableCache {
@@ -458,6 +466,11 @@ func (p *CloudPlugin) retryPolicy(rc *atomic.Int64) resilience.Policy {
 			if rc != nil {
 				rc.Add(1)
 			}
+			span.Event("storage.retry", "resilience",
+				span.Attr{Key: "attempt", Val: strconv.Itoa(attempt)},
+				span.Attr{Key: "error", Val: err.Error()},
+				span.Attr{Key: "backoff", Val: backoff.String()})
+			span.Metrics().Counter("storage.retries").Inc()
 			p.logf("offload: storage retry: attempt %d failed (%v), backing off %v", attempt, err, backoff)
 		},
 	}
@@ -566,6 +579,13 @@ func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 	defer p.cleanup(prefix)
 	p.logf("offload: job %s: offloading %s (N=%d, %d tiles) to %s", prefix, r.Kernel, r.N, tiles, p.Name())
 
+	// Wall-clock region span on the host track; the four Fig. 1 legs hang
+	// under it so a trace shows measured time next to the modelled timeline.
+	region := span.Start("offload.region "+r.Kernel, "offload", 0)
+	region.SetAttr("job", prefix)
+	region.SetAttr("tiles", strconv.Itoa(tiles))
+	defer region.End()
+
 	// One retry counter spans the run's four storage legs; it lands in
 	// the trace report so chaos soaks can see recovery work.
 	var retries atomic.Int64
@@ -586,7 +606,9 @@ func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 	}
 
 	// Steps 1-2: compress and upload every input on its own goroutine.
+	leg := span.Start("leg.upload", "offload", 0)
 	up, err := p.uploadInputs(prefix, r, &retries)
+	leg.End()
 	if err != nil {
 		return nil, err
 	}
@@ -597,13 +619,17 @@ func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 	}
 
 	// Step 3: the driver fetches and decodes the inputs.
+	leg = span.Start("leg.fetch", "offload", 0)
 	decoded, driverDecompress, err := p.driverFetch(up.keys, r, &retries)
+	leg.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Steps 4-6: build and run the Spark job.
+	leg = span.Start("leg.spark", "offload", 0)
 	parts, jm, tileRaw, err := p.runSparkJob(r, tiles, decoded, sess)
+	leg.End()
 	if err != nil {
 		return nil, err
 	}
@@ -613,13 +639,17 @@ func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 	// manifests this process writes, so step 8 does not pay a round trip
 	// re-reading metadata it authored.
 	memo := newManifestMemo()
+	leg = span.Start("leg.store", "offload", 0)
 	outWire, driverCompress, err := p.reconstructAndStore(prefix, r, tiles, parts, &retries, memo)
+	leg.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Step 8: the host downloads and decodes the outputs.
+	leg = span.Start("leg.download", "offload", 0)
 	hostDecompress, err := p.downloadOutputs(prefix, r, &retries, memo)
+	leg.End()
 	if err != nil {
 		return nil, err
 	}
@@ -1137,6 +1167,7 @@ func (p *CloudPlugin) costInputs(r *Region, tiles int, jm *spark.JobMetrics,
 		PipelinedTransfers: p.pipelined(),
 		TaskCompute:        taskCompute,
 		TaskEffective:      taskEffective,
+		Tasks:              jm.Tasks,
 		InWireSizes:        inWire,
 		OutWireSizes:       outWire,
 		HostCompress:       hostCompress,

@@ -5,7 +5,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ompcloud/internal/simtime"
 	"ompcloud/internal/trace"
+	"ompcloud/internal/trace/span"
 )
 
 // EnvBuffer declares one variable of a device data environment (`#pragma
@@ -47,6 +49,8 @@ type EnvPlugin interface {
 // region-level report, the per-benchmark total used by the harness.
 func MergeReports(device, kernel string, reps ...*trace.Report) *trace.Report {
 	out := trace.NewReport(device, kernel)
+	var effSum simtime.Duration
+	anyOverlap := false
 	for _, r := range reps {
 		if r == nil {
 			continue
@@ -74,12 +78,21 @@ func MergeReports(device, kernel string, reps ...*trace.Report) *trace.Report {
 		if out.FallbackReason == "" {
 			out.FallbackReason = r.FallbackReason
 		}
-		// Overlap folds additively: each phase report's hidden time stays
-		// hidden in the merged wall view.
-		out.WallOverlap += r.WallOverlap
+		// The merged end-to-end time is the sum of each report's effective
+		// duration: phase reports run sequentially (open, loops, close), so
+		// the region's critical path is each report's own critical path —
+		// overlapped or not — laid end to end. Summing WallOverlap and
+		// subtracting from the merged Total would double-count: a fallback
+		// report's phases would inflate Total but contribute no overlap,
+		// understating the merged critical path.
+		effSum += r.Effective()
+		if r.CriticalPath > 0 {
+			anyOverlap = true
+		}
 	}
-	if out.WallOverlap > 0 {
-		out.CriticalPath = out.Total() - out.WallOverlap
+	if anyOverlap {
+		out.CriticalPath = effSum
+		out.WallOverlap = out.Total() - effSum
 	}
 	return out
 }
@@ -213,8 +226,23 @@ func (p *CloudPlugin) OpenEnv(bufs []EnvBuffer) (Env, *trace.Report, error) {
 		for _, w := range up.sent {
 			rep.BytesUploaded += w
 		}
+		emitEnvLayout(rep)
 	}
 	return e, rep, nil
+}
+
+// emitEnvLayout lays an environment open/close report's phases out as a
+// barriered span tree on the virtual timeline, like Account does for region
+// reports — the env legs are modeled units too, so they appear in the trace
+// and count into the span-derived end-to-end time.
+func emitEnvLayout(rep *trace.Report) {
+	rec := span.Default()
+	span.NewLayout(rep.Device, rep.Kernel, rec.VirtualFrontier()).
+		Barriered([]span.Stage{
+			{Name: spanUpload, Dur: rep.Phases[trace.PhaseUpload]},
+			{Name: spanSpark, Dur: rep.Phases[trace.PhaseSpark]},
+			{Name: spanDownload, Dur: rep.Phases[trace.PhaseDownload]},
+		}).EmitTo(rec)
 }
 
 func (e *cloudEnv) Buffer(name string) ([]byte, error) {
@@ -392,6 +420,7 @@ func (e *cloudEnv) Close() (*trace.Report, error) {
 	for _, w := range wire {
 		rep.BytesDownloaded += w
 	}
+	emitEnvLayout(rep)
 	return rep, nil
 }
 

@@ -1,0 +1,81 @@
+package offload
+
+import (
+	"testing"
+
+	"ompcloud/internal/simtime"
+	"ompcloud/internal/trace"
+)
+
+// A region mixing a host-fallback loop (barriered, no overlap) with a
+// streamed loop must merge to critical path = sum of per-loop effective
+// durations. Reconstructing it as Total - ΣWallOverlap misattributes the
+// barriered loop's time whenever the streamed loop's own bookkeeping is not
+// exactly Total-CP, and drops the critical path entirely when the streamed
+// loop's pipeline saved nothing (CriticalPath == Total, WallOverlap == 0).
+func TestMergeReportsFallbackPlusStreamed(t *testing.T) {
+	fallback := trace.NewReport("host", "k")
+	fallback.Add(trace.PhaseCompute, 100*simtime.Second)
+	fallback.FellBack = true
+	fallback.FallbackReason = "cloud unavailable"
+
+	streamed := trace.NewReport("cloud", "k")
+	streamed.Add(trace.PhaseUpload, 10*simtime.Second)
+	streamed.Add(trace.PhaseSpark, 5*simtime.Second)
+	streamed.Add(trace.PhaseCompute, 80*simtime.Second)
+	streamed.Add(trace.PhaseDownload, 5*simtime.Second)
+	streamed.CriticalPath = 60 * simtime.Second
+	streamed.WallOverlap = 40 * simtime.Second
+
+	m := MergeReports("cloud", "k", fallback, streamed)
+	if want := 160 * simtime.Second; m.CriticalPath != want {
+		t.Fatalf("merged CriticalPath = %v, want %v (100s barriered + 60s streamed)", m.CriticalPath, want)
+	}
+	if want := 40 * simtime.Second; m.WallOverlap != want {
+		t.Fatalf("merged WallOverlap = %v, want %v", m.WallOverlap, want)
+	}
+	if m.Effective() != 160*simtime.Second {
+		t.Fatalf("merged Effective = %v, want 160s", m.Effective())
+	}
+	if !m.FellBack || m.FallbackReason == "" {
+		t.Fatalf("fallback flags lost in merge")
+	}
+}
+
+// Account legitimately produces CriticalPath == Total with WallOverlap == 0
+// when the pipeline grants no saving (a single dominant stage). The merge
+// must still keep the streamed loop's critical path instead of keying off a
+// zero WallOverlap and discarding it.
+func TestMergeReportsKeepsCriticalPathWhenOverlapIsZero(t *testing.T) {
+	streamed := trace.NewReport("cloud", "k")
+	streamed.Add(trace.PhaseCompute, 80*simtime.Second)
+	streamed.CriticalPath = 80 * simtime.Second // pipeline saved nothing
+	streamed.WallOverlap = 0
+
+	fallback := trace.NewReport("host", "k")
+	fallback.Add(trace.PhaseCompute, 20*simtime.Second)
+	fallback.FellBack = true
+
+	m := MergeReports("cloud", "k", streamed, fallback)
+	if want := 100 * simtime.Second; m.CriticalPath != want {
+		t.Fatalf("merged CriticalPath = %v, want %v (streaming info must survive the merge)", m.CriticalPath, want)
+	}
+	if m.WallOverlap != 0 {
+		t.Fatalf("merged WallOverlap = %v, want 0", m.WallOverlap)
+	}
+}
+
+// All-barriered merges stay barriered: no CriticalPath materializes.
+func TestMergeReportsBarrieredStaysBarriered(t *testing.T) {
+	a := trace.NewReport("host", "k")
+	a.Add(trace.PhaseCompute, 10*simtime.Second)
+	b := trace.NewReport("host", "k")
+	b.Add(trace.PhaseCompute, 20*simtime.Second)
+	m := MergeReports("host", "k", a, b)
+	if m.CriticalPath != 0 || m.WallOverlap != 0 {
+		t.Fatalf("barriered merge grew overlap state: %+v", m)
+	}
+	if m.Effective() != 30*simtime.Second {
+		t.Fatalf("Effective = %v, want 30s", m.Effective())
+	}
+}

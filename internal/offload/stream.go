@@ -9,6 +9,7 @@ import (
 	"ompcloud/internal/chunkio"
 	"ompcloud/internal/simtime"
 	"ompcloud/internal/trace"
+	"ompcloud/internal/trace/span"
 )
 
 // This file is the tile-granular streaming dataflow: the Fig. 1 workflow
@@ -179,6 +180,10 @@ func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, pr
 	// PUT -> GET -> driver-decode, with every decoded window marked into
 	// the scheduler. A whole-buffer cache hit skips the upload half and
 	// marks windows as the driver fetch proceeds.
+	// The streaming legs overlap by construction, so their host spans do
+	// too: the input transfer span covers first chunk to last decode, and
+	// the Spark span opens while transfers are still in flight.
+	inLeg := span.Start("leg.transfer.in", "offload", 0)
 	ins := make([]inTransfer, len(r.Ins))
 	inKeys := make([]string, len(r.Ins))
 	inErrs := make([]error, len(r.Ins))
@@ -304,14 +309,17 @@ func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, pr
 
 	// Steps 4-6: the gated Spark job. Tasks launch as their gates open and
 	// every finished tile flows to the reconstruction consumer immediately.
+	sparkLeg := span.Start("leg.spark", "offload", 0)
 	_, jm, tileRaw, jobErr := p.runSparkJobWith(r, tiles, decoded, sched, func(_ int, items []tileResult) {
 		for _, tr := range items {
 			resCh <- tr
 		}
 	}, sess)
+	sparkLeg.End()
 	close(resCh)
 	<-reconDone
 	iwg.Wait()
+	inLeg.End()
 
 	// Input-side failures surface even when the job squeaked through (a
 	// manifest commit can fail after every chunk was piped and marked).
@@ -342,6 +350,8 @@ func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, pr
 
 	// Step 7-8 epilogue: flush the output streams (most chunks are already
 	// home; Finish ships the tail and commits the manifests).
+	outLeg := span.Start("leg.flush.out", "offload", 0)
+	defer outLeg.End()
 	outWire := make([]int64, len(r.Outs))
 	var driverCompress time.Duration
 	var hostDecompress time.Duration

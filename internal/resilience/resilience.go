@@ -269,6 +269,13 @@ type Breaker struct {
 	Cooldown time.Duration
 	// Now is the injected clock; nil means time.Now.
 	Now func() time.Time
+	// OnStateChange, when non-nil, observes every state transition as
+	// (from, to) pairs: closed->open (trip), open->half-open (cooldown
+	// probe admitted), half-open->open (probe failed), and any->closed
+	// (success). It is invoked after the breaker lock is released, so the
+	// callback may call back into the breaker; trace/metrics emission
+	// hangs here.
+	OnStateChange func(from, to BreakerState)
 
 	mu       sync.Mutex
 	state    BreakerState
@@ -304,22 +311,30 @@ func (b *Breaker) cooldown() time.Duration {
 // exactly one probe until that probe's outcome is reported.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
+		b.mu.Unlock()
 		return true
 	case BreakerOpen:
 		if b.now().Sub(b.openedAt) < b.cooldown() {
+			b.mu.Unlock()
 			return false
 		}
 		b.state = BreakerHalfOpen
 		b.probing = true
+		hook := b.OnStateChange
+		b.mu.Unlock()
+		if hook != nil {
+			hook(BreakerOpen, BreakerHalfOpen)
+		}
 		return true
 	default: // half-open
 		if b.probing {
+			b.mu.Unlock()
 			return false
 		}
 		b.probing = true
+		b.mu.Unlock()
 		return true
 	}
 }
@@ -328,29 +343,42 @@ func (b *Breaker) Allow() bool {
 // the failure streak resets.
 func (b *Breaker) Success() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.state = BreakerClosed
 	b.consec = 0
 	b.probing = false
+	hook := b.OnStateChange
+	b.mu.Unlock()
+	if hook != nil && from != BreakerClosed {
+		hook(from, BreakerClosed)
+	}
 }
 
 // Failure reports a failed workflow (or probe). In the closed state it
 // counts toward the trip threshold; in half-open it re-opens immediately.
 func (b *Breaker) Failure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
+	tripped := false
 	switch b.state {
 	case BreakerHalfOpen:
 		b.trip()
+		tripped = true
 	case BreakerClosed:
 		b.consec++
 		if b.consec >= b.threshold() {
 			b.trip()
+			tripped = true
 		}
 	case BreakerOpen:
 		// Late failure reports from in-flight work keep the cooldown
 		// fresh but do not re-count.
 		b.openedAt = b.now()
+	}
+	hook := b.OnStateChange
+	b.mu.Unlock()
+	if tripped && hook != nil {
+		hook(from, BreakerOpen)
 	}
 }
 

@@ -240,3 +240,40 @@ func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 		t.Fatal("recovered probe should close the breaker")
 	}
 }
+
+func TestBreakerOnStateChangeObservesTransitions(t *testing.T) {
+	clock := time.Unix(0, 0)
+	type hop struct{ from, to BreakerState }
+	var seen []hop
+	b := &Breaker{Threshold: 2, Cooldown: time.Second, Now: func() time.Time { return clock }}
+	b.OnStateChange = func(from, to BreakerState) {
+		seen = append(seen, hop{from, to})
+		b.State() // re-entrancy: the hook runs outside the breaker lock
+	}
+
+	b.Failure() // 1/2: no transition
+	b.Failure() // trip: closed -> open
+	clock = clock.Add(2 * time.Second)
+	b.Allow()   // open -> half-open probe
+	b.Failure() // probe failed: half-open -> open
+	clock = clock.Add(2 * time.Second)
+	b.Allow()   // open -> half-open again
+	b.Success() // probe recovered: half-open -> closed
+	b.Success() // already closed: no transition
+
+	want := []hop{
+		{BreakerClosed, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerClosed},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("saw %d transitions %v, want %d", len(seen), seen, len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transition %d = %v->%v, want %v->%v", i, seen[i].from, seen[i].to, want[i].from, want[i].to)
+		}
+	}
+}

@@ -125,16 +125,27 @@ func Makespan(durations []Duration, n int) Duration {
 // This is what makes scheduling overhead grow with the task count, a central
 // effect in the paper's Figure 4/5 analysis.
 func MakespanStaggered(durations []Duration, n int, dispatch Duration) Duration {
+	_, finish := AssignStaggered(durations, n, dispatch)
+	return finish
+}
+
+// AssignStaggered runs the staggered list scheduler and reports every task's
+// start time along with the makespan — the placement the span tracer uses to
+// lay per-tile task spans on the virtual timeline. MakespanStaggered is this
+// function keeping only the finish time; dispatch 0 degenerates to the plain
+// Makespan schedule.
+func AssignStaggered(durations []Duration, n int, dispatch Duration) ([]Duration, Duration) {
 	if n < 1 {
-		panic("simtime: MakespanStaggered needs at least one core")
+		panic("simtime: AssignStaggered needs at least one core")
 	}
 	if len(durations) == 0 {
-		return 0
+		return nil, 0
 	}
 	if n > len(durations) {
 		n = len(durations)
 	}
 	cores := make([]Duration, n)
+	starts := make([]Duration, len(durations))
 	var finish Duration
 	for k, d := range durations {
 		release := Duration(k) * dispatch
@@ -148,12 +159,13 @@ func MakespanStaggered(durations []Duration, n int, dispatch Duration) Duration 
 		if release > start {
 			start = release
 		}
+		starts[k] = start
 		cores[best] = start + d
 		if cores[best] > finish {
 			finish = cores[best]
 		}
 	}
-	return finish
+	return starts, finish
 }
 
 // PipelineMakespan models a linear pipeline: items work units each flow

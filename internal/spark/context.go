@@ -89,8 +89,8 @@ type Context struct {
 	mu          sync.Mutex
 	deadWorkers map[int]bool
 	leases      []resilience.Lease
-	vnow        simtime.Duration          // virtual membership clock
-	diedAt      map[int]simtime.Duration  // lease-expiry death times (for rejoin)
+	vnow        simtime.Duration         // virtual membership clock
+	diedAt      map[int]simtime.Duration // lease-expiry death times (for rejoin)
 	jobSeq      int
 	metrics     EngineMetrics
 }

@@ -1,9 +1,11 @@
 package spark
 
 import (
+	"strconv"
 	"sync"
 
 	"ompcloud/internal/simtime"
+	"ompcloud/internal/trace/span"
 )
 
 // DefaultLeaseMisses is how many consecutive heartbeats a worker may miss
@@ -125,6 +127,8 @@ func (c *Context) tick() {
 				c.leases[w].Renew(c.vnow)
 				c.metrics.Rejoins++
 				c.logf("spark: worker %d rejoined at t=%v", w, c.vnow.Real())
+				span.Event("spark.worker.rejoin", "spark",
+					span.Attr{Key: "worker", Val: strconv.Itoa(w)})
 			}
 			continue
 		}
@@ -138,6 +142,9 @@ func (c *Context) tick() {
 			c.metrics.DeadWorkers++
 			c.logf("spark: worker %d lease expired at t=%v (last heartbeat %v ago)",
 				w, c.vnow.Real(), (c.vnow - c.leases[w].LastRenewed()).Real())
+			span.Event("spark.worker.dead", "spark",
+				span.Attr{Key: "worker", Val: strconv.Itoa(w)})
+			span.Metrics().Counter("spark.worker.deaths").Inc()
 		}
 	}
 }

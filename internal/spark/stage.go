@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"ompcloud/internal/resilience"
 	"ompcloud/internal/simtime"
+	"ompcloud/internal/trace/span"
 )
 
 // ErrWorkerLost marks task-attempt failures caused by executor loss (the
@@ -161,6 +163,9 @@ func runJob[T any](r *RDD[T], each func(p int, out []T)) ([][]T, *JobMetrics, er
 		Submit:   ctx.costs.JobSubmit,
 	}
 	deaths0 := ctx.deaths()
+	jobSpan := span.Start(fmt.Sprintf("spark.job %d", jobID), "spark", 0)
+	jobSpan.SetAttr("name", r.name)
+	jobSpan.SetAttr("tasks", strconv.Itoa(numTasks))
 
 	j := &jobState[T]{
 		ctx:      ctx,
@@ -200,6 +205,16 @@ func runJob[T any](r *RDD[T], each func(p int, out []T)) ([][]T, *JobMetrics, er
 	jm.ComputeMakespan = simtime.Makespan(computeDurs, cores)
 	jm.TotalMakespan = simtime.MakespanStaggered(effectiveDurs, cores, ctx.costs.TaskDispatch)
 	jm.DeadWorkers = ctx.deaths() - deaths0
+
+	// The tile-skew histogram: per-task compute durations, whose spread is
+	// what speculation exists to fight.
+	taskHist := span.Metrics().Histogram("spark.task.compute.seconds")
+	for p := range jm.Tasks {
+		taskHist.Observe(jm.Tasks[p].Compute.Seconds())
+	}
+	jobSpan.SetAttr("failures", strconv.Itoa(jm.Failures))
+	jobSpan.SetAttr("dead_workers", strconv.Itoa(jm.DeadWorkers))
+	jobSpan.End()
 
 	ctx.mu.Lock()
 	ctx.metrics.JobsRun++
@@ -279,6 +294,10 @@ func (j *jobState[T]) runAttempts(p int, speculative bool) (TaskMetrics, []T, er
 			j.mu.Lock()
 			j.jm.Reexecuted++
 			j.mu.Unlock()
+			span.Event("spark.reexecute", "spark",
+				span.Attr{Key: "partition", Val: strconv.Itoa(p)},
+				span.Attr{Key: "worker", Val: strconv.Itoa(worker)})
+			span.Metrics().Counter("spark.reexecutions").Inc()
 		}
 		// Reassign: skip past the failing worker on the next attempt.
 		assigned = (worker + 1) % ctx.spec.Workers
@@ -318,6 +337,9 @@ func (j *jobState[T]) finish(p int, speculative bool, tm TaskMetrics, out []T, e
 			j.jm.SpeculativeWins++
 			j.ctx.logf("spark: job %d: speculative copy of task %d won on worker %d",
 				j.jobID, p, tm.Worker)
+			span.Event("spark.speculative.win", "spark",
+				span.Attr{Key: "partition", Val: strconv.Itoa(p)},
+				span.Attr{Key: "worker", Val: strconv.Itoa(tm.Worker)})
 		}
 		each := j.each
 		j.mu.Unlock()
@@ -410,6 +432,9 @@ func (j *jobState[T]) maybeSpeculate() {
 		s.outstanding++
 		j.ctx.logf("spark: job %d: task %d running %v > %v threshold, launching backup",
 			j.jobID, p, now.Sub(s.started), threshold)
+		span.Event("spark.speculate", "spark",
+			span.Attr{Key: "partition", Val: strconv.Itoa(p)})
+		span.Metrics().Counter("spark.speculations").Inc()
 		j.wg.Add(1)
 		go func(p int) {
 			defer j.wg.Done()

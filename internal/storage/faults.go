@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ompcloud/internal/resilience"
+	"ompcloud/internal/trace/span"
 )
 
 // FaultOp names a Store operation for fault matching.
@@ -66,6 +67,24 @@ type faultRule struct {
 	seen  int    // armed matches observed (post-Skip)
 	fired int    // times the rule actually fired
 	draws uint64 // Prob sequence position
+}
+
+// effect names what a firing of this rule does, for the trace event.
+func (r *faultRule) effect() string {
+	var parts []string
+	if r.Delay > 0 {
+		parts = append(parts, "delay")
+	}
+	if r.Corrupt != nil {
+		parts = append(parts, "corrupt")
+	}
+	if r.Err != nil {
+		parts = append(parts, "error")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "+")
 }
 
 // matches reports whether the rule covers (op, key).
@@ -160,6 +179,11 @@ func (s *FaultStore) apply(op FaultOp, key string) (delay time.Duration, corrupt
 		}
 		r.fired++
 		s.fired++
+		span.Event("storage.fault", "storage",
+			span.Attr{Key: "op", Val: string(op)},
+			span.Attr{Key: "key", Val: key},
+			span.Attr{Key: "effect", Val: r.effect()})
+		span.Metrics().Counter("storage.faults.injected").Inc()
 		delay += r.Delay
 		if r.Corrupt != nil {
 			if prev := corrupt; prev != nil {

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ompcloud/internal/simtime"
+)
+
+// streamedReport models a tile-streamed run: 100s of phase work overlapped
+// down to a 60s critical path.
+func streamedReport() *Report {
+	r := NewReport("cloud", "gemm")
+	r.Cores = 64
+	r.Tiles = 64
+	r.Add(PhaseUpload, 10*simtime.Second)
+	r.Add(PhaseSpark, 5*simtime.Second)
+	r.Add(PhaseCompute, 80*simtime.Second)
+	r.Add(PhaseDownload, 5*simtime.Second)
+	r.CriticalPath = 60 * simtime.Second
+	r.WallOverlap = 40 * simtime.Second
+	return r
+}
+
+// Shares must use the effective end-to-end duration as its basis. On a
+// streamed run the caller experienced the 60s critical path, so 80s of
+// compute is 4/3 of the wall time — dividing by the 100s phase total instead
+// understates every component.
+func TestSharesUseEffectiveBasisWhenStreamed(t *testing.T) {
+	r := streamedReport()
+	comm, spark, compute := r.Shares()
+	const eps = 1e-9
+	close := func(got, want float64) bool { return got > want-eps && got < want+eps }
+	if !close(comm, 15.0/60) || !close(spark, 5.0/60) || !close(compute, 80.0/60) {
+		t.Fatalf("Shares = %v %v %v, want basis Effective() (0.25, 0.0833, 1.333)", comm, spark, compute)
+	}
+}
+
+// The breakdown's percentage column must share the same effective basis and
+// say so in the header.
+func TestWriteBreakdownLabelsEffectiveBasis(t *testing.T) {
+	r := streamedReport()
+	var buf bytes.Buffer
+	r.WriteBreakdown(&buf, 40)
+	out := buf.String()
+	if !strings.Contains(out, "critical path") {
+		t.Fatalf("streamed breakdown does not name its basis:\n%s", out)
+	}
+	if !strings.Contains(out, "133.3%") {
+		t.Fatalf("compute share not reported against the 60s critical path:\n%s", out)
+	}
+	// Barriered report: basis is the total and says so.
+	var buf2 bytes.Buffer
+	sampleReport().WriteBreakdown(&buf2, 40)
+	if !strings.Contains(buf2.String(), "total") {
+		t.Fatalf("barriered breakdown does not name its basis:\n%s", buf2.String())
+	}
+}
+
+// Per-row rounding (share*width + 0.5) could overshoot: durations 2:1:1 at
+// width 10 rounded to 5+3+3 = 11 cells. Largest-remainder allocation must
+// tile the width exactly for every row mix.
+func TestWriteBreakdownBarsSumToWidth(t *testing.T) {
+	cases := []struct {
+		up, spark, compute, down simtime.Duration
+	}{
+		{1 * simtime.Second, 1 * simtime.Second, 2 * simtime.Second, 0}, // 2:1:1 comm-heavy
+		{5 * simtime.Second, 1 * simtime.Second, 1 * simtime.Second, 5 * simtime.Second},
+		{1, 1, 1, 0}, // tiny equal thirds
+		{333 * simtime.Millisecond, 333 * simtime.Millisecond, 334 * simtime.Millisecond, 0},
+	}
+	for _, width := range []int{10, 33, 40} {
+		for _, tc := range cases {
+			r := NewReport("d", "k")
+			r.Add(PhaseUpload, tc.up)
+			r.Add(PhaseSpark, tc.spark)
+			r.Add(PhaseCompute, tc.compute)
+			r.Add(PhaseDownload, tc.down)
+			var buf bytes.Buffer
+			r.WriteBreakdown(&buf, width)
+			glyphs := strings.Count(buf.String(), "#") +
+				strings.Count(buf.String(), "=") +
+				strings.Count(buf.String(), "*")
+			if glyphs != width {
+				t.Fatalf("width %d, rows %+v: bars use %d cells, want exactly %d:\n%s",
+					width, tc, glyphs, width, buf.String())
+			}
+		}
+	}
+}
+
+func TestApportionExact(t *testing.T) {
+	cases := []struct {
+		weights []simtime.Duration
+		width   int
+	}{
+		{[]simtime.Duration{2, 1, 1}, 10},
+		{[]simtime.Duration{1, 1, 1}, 10},
+		{[]simtime.Duration{7, 0, 3}, 33},
+		{[]simtime.Duration{1, 1, 1, 1, 1, 1, 1}, 3},
+	}
+	for _, tc := range cases {
+		cells := apportion(tc.weights, tc.width)
+		sum := 0
+		for _, c := range cells {
+			sum += c
+		}
+		if sum != tc.width {
+			t.Fatalf("apportion(%v, %d) = %v, sums to %d", tc.weights, tc.width, cells, sum)
+		}
+	}
+	// Zero weights allocate nothing.
+	for _, c := range apportion([]simtime.Duration{0, 0}, 10) {
+		if c != 0 {
+			t.Fatalf("zero weights allocated cells")
+		}
+	}
+}
+
+// The serialized report must carry the derived effective duration so JSON
+// consumers (bench, external tooling) never re-derive the
+// CriticalPath-or-Total fallback chain themselves.
+func TestJSONCarriesEffectiveField(t *testing.T) {
+	var m map[string]any
+
+	streamed := streamedReport()
+	var buf bytes.Buffer
+	if err := streamed.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	eff, ok := m["effective"]
+	if !ok {
+		t.Fatalf("JSON omits the effective field:\n%s", buf.String())
+	}
+	if simtime.Duration(eff.(float64)) != streamed.CriticalPath {
+		t.Fatalf("effective = %v, want the 60s critical path", eff)
+	}
+
+	barriered := sampleReport()
+	buf.Reset()
+	if err := barriered.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if simtime.Duration(m["effective"].(float64)) != barriered.Total() {
+		t.Fatalf("barriered effective = %v, want Total %v", m["effective"], barriered.Total())
+	}
+}

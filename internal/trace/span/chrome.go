@@ -1,0 +1,249 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"ompcloud/internal/simtime"
+)
+
+// This file exports a recorder's spans as Chrome trace_event JSON (the
+// "JSON Object Format" with a traceEvents array), loadable in Perfetto and
+// chrome://tracing. Durations are emitted as matched B/E begin/end pairs —
+// not "X" complete events — because B/E is what the CI schema check can
+// verify structurally: every begin has a matching end on its (pid, tid)
+// with non-decreasing timestamps.
+//
+// A Chrome trace nests B/E pairs per thread (tid), but our spans overlap
+// freely (parallel chunk streams, concurrent tiles). The exporter therefore
+// lays spans out into lanes: a span goes to the first lane where it either
+// properly nests inside the lane's innermost open span or starts after the
+// lane's last event, opening a new lane otherwise. Each lane becomes one
+// tid, so every lane's event stream is properly nested by construction.
+
+// Chrome trace process IDs: one "process" per clock domain.
+const (
+	chromePidHost    = 1
+	chromePidVirtual = 2
+)
+
+// chromeEvent is one trace_event entry.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// usec converts a virtual offset to Chrome microseconds.
+func usec(d simtime.Duration) float64 { return float64(d) / 1e3 }
+
+func args(sp Span) map[string]any {
+	if len(sp.Attrs) == 0 && sp.Parent == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(sp.Attrs)+1)
+	for _, a := range sp.Attrs {
+		m[a.Key] = a.Val
+	}
+	if sp.Parent != 0 {
+		m["parent"] = uint64(sp.Parent)
+	}
+	return m
+}
+
+// laneEvents lays the given (single-track) spans out into lanes and returns
+// the per-lane event streams concatenated, each lane internally ordered.
+// baseTid numbers the lanes.
+func laneEvents(spans []Span, pid, baseTid int) []chromeEvent {
+	// Instants need no lane discipline; give them a dedicated tid 0 lane.
+	var events []chromeEvent
+	var durable []Span
+	for _, sp := range spans {
+		if sp.Instant || sp.Len() == 0 {
+			events = append(events, chromeEvent{
+				Name: sp.Name, Cat: sp.Cat, Ph: "i", Ts: usec(sp.Start),
+				Pid: pid, Tid: baseTid, S: "t", Args: args(sp),
+			})
+			continue
+		}
+		durable = append(durable, sp)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
+	// Sort spans by start asc, end desc: a parent interval is processed
+	// before anything it encloses.
+	sort.SliceStable(durable, func(i, j int) bool {
+		if durable[i].Start != durable[j].Start {
+			return durable[i].Start < durable[j].Start
+		}
+		return durable[i].End > durable[j].End
+	})
+
+	type lane struct {
+		stack  []Span // open spans, innermost last
+		events []chromeEvent
+		free   simtime.Duration // earliest start the lane can accept outside the stack
+	}
+	var lanes []*lane
+	tid := func(i int) int { return baseTid + 1 + i }
+	popUntil := func(l *lane, li int, t simtime.Duration) {
+		for len(l.stack) > 0 && l.stack[len(l.stack)-1].End <= t {
+			top := l.stack[len(l.stack)-1]
+			l.stack = l.stack[:len(l.stack)-1]
+			l.events = append(l.events, chromeEvent{
+				Name: top.Name, Cat: top.Cat, Ph: "E", Ts: usec(top.End), Pid: pid, Tid: tid(li),
+			})
+		}
+	}
+	for _, sp := range durable {
+		placed := false
+		for li, l := range lanes {
+			popUntil(l, li, sp.Start)
+			if len(l.stack) == 0 {
+				if l.free > sp.Start {
+					continue
+				}
+			} else {
+				top := l.stack[len(l.stack)-1]
+				if !(top.Start <= sp.Start && sp.End <= top.End) {
+					continue
+				}
+			}
+			l.stack = append(l.stack, sp)
+			if sp.End > l.free {
+				l.free = sp.End
+			}
+			l.events = append(l.events, chromeEvent{
+				Name: sp.Name, Cat: sp.Cat, Ph: "B", Ts: usec(sp.Start), Pid: pid, Tid: tid(li), Args: args(sp),
+			})
+			placed = true
+			break
+		}
+		if !placed {
+			l := &lane{free: sp.End}
+			l.stack = append(l.stack, sp)
+			l.events = append(l.events, chromeEvent{
+				Name: sp.Name, Cat: sp.Cat, Ph: "B", Ts: usec(sp.Start), Pid: pid, Tid: tid(len(lanes)), Args: args(sp),
+			})
+			lanes = append(lanes, l)
+		}
+	}
+	for li, l := range lanes {
+		popUntil(l, li, simtime.Duration(1)<<62)
+		events = append(events, l.events...)
+	}
+	return events
+}
+
+// WriteChrome exports spans (plus the drop count as trace metadata) as
+// Chrome trace_event JSON.
+func WriteChrome(w io.Writer, spans []Span, dropped uint64) error {
+	byTrack := map[Track][]Span{}
+	for _, sp := range spans {
+		byTrack[sp.Track] = append(byTrack[sp.Track], sp)
+	}
+	var events []chromeEvent
+	meta := func(pid int, name string) chromeEvent {
+		return chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": name},
+		}
+	}
+	events = append(events,
+		meta(chromePidHost, "measured host activity (wall clock)"),
+		meta(chromePidVirtual, "modelled virtual timeline (simtime)"),
+	)
+	events = append(events, laneEvents(byTrack[TrackHost], chromePidHost, 0)...)
+	events = append(events, laneEvents(byTrack[TrackVirtual], chromePidVirtual, 1000)...)
+
+	// Global order: metadata first, then all B/E/i events by non-decreasing
+	// ts. The per-lane streams are each internally ordered and stable
+	// sorting preserves that, so per-(pid,tid) nesting survives the merge.
+	head := events[:2]
+	rest := events[2:]
+	sort.SliceStable(rest, func(i, j int) bool { return rest[i].Ts < rest[j].Ts })
+	out := chromeTrace{
+		TraceEvents:     append(head, rest...),
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"spans":   len(spans),
+			"dropped": dropped,
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ValidateChrome structurally checks a Chrome trace_event JSON document:
+// well-formed JSON with a traceEvents array, non-decreasing ts across the
+// file, and matched B/E pairs (per pid/tid, LIFO, same name). This is the
+// CI smoke check behind cmd/ompcloud-tracecheck.
+func ValidateChrome(data []byte) error {
+	var doc chromeTrace
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("span: trace is not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("span: trace has no traceEvents")
+	}
+	type key struct{ pid, tid int }
+	stacks := map[key][]chromeEvent{}
+	lastTs := map[key]float64{}
+	prev := -1.0
+	began := 0
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "B", "E", "i":
+		default:
+			return fmt.Errorf("span: event %d has unexpected phase %q", i, ev.Ph)
+		}
+		if ev.Ts < prev {
+			return fmt.Errorf("span: event %d (%s %q) ts %v precedes %v", i, ev.Ph, ev.Name, ev.Ts, prev)
+		}
+		prev = ev.Ts
+		k := key{ev.Pid, ev.Tid}
+		if ev.Ts < lastTs[k] {
+			return fmt.Errorf("span: event %d (%s %q) rewinds tid %d/%d", i, ev.Ph, ev.Name, ev.Pid, ev.Tid)
+		}
+		lastTs[k] = ev.Ts
+		switch ev.Ph {
+		case "B":
+			stacks[k] = append(stacks[k], ev)
+			began++
+		case "E":
+			st := stacks[k]
+			if len(st) == 0 {
+				return fmt.Errorf("span: event %d: E %q on pid %d tid %d without open B", i, ev.Name, ev.Pid, ev.Tid)
+			}
+			top := st[len(st)-1]
+			if top.Name != ev.Name {
+				return fmt.Errorf("span: event %d: E %q does not match open B %q on pid %d tid %d", i, ev.Name, top.Name, ev.Pid, ev.Tid)
+			}
+			stacks[k] = st[:len(st)-1]
+		}
+	}
+	for k, st := range stacks {
+		if len(st) > 0 {
+			return fmt.Errorf("span: %d unclosed B events on pid %d tid %d (first %q)", len(st), k.pid, k.tid, st[0].Name)
+		}
+	}
+	if began == 0 {
+		return fmt.Errorf("span: trace has no duration events")
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ompcloud/internal/simtime"
+)
+
+func mustChrome(t *testing.T, spans []Span, dropped uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, spans, dropped); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// Overlapping and nested spans on both tracks must round-trip through the
+// exporter into a trace the structural validator accepts.
+func TestChromeRoundTripValidates(t *testing.T) {
+	spans := []Span{
+		{ID: 1, Name: "region", Cat: "region", Track: TrackVirtual, Start: 0, End: 1000},
+		{ID: 2, Parent: 1, Name: "upload", Cat: "phase", Track: TrackVirtual, Start: 0, End: 400},
+		{ID: 3, Parent: 1, Name: "compute", Cat: "phase", Track: TrackVirtual, Start: 200, End: 800}, // overlaps upload
+		{ID: 4, Parent: 3, Name: "tile 0", Cat: "tile", Track: TrackVirtual, Start: 210, End: 500},
+		{ID: 5, Parent: 3, Name: "tile 1", Cat: "tile", Track: TrackVirtual, Start: 210, End: 700}, // parallel tile
+		{ID: 6, Name: "chunk.put", Cat: "chunk", Track: TrackHost, Start: 5, End: 25},
+		{ID: 7, Name: "retry", Cat: "event", Track: TrackHost, Start: 17, End: 17, Instant: true},
+	}
+	data := mustChrome(t, spans, 3)
+	if err := ValidateChrome(data); err != nil {
+		t.Fatalf("ValidateChrome rejected exporter output: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got := doc.OtherData["dropped"].(float64); got != 3 {
+		t.Fatalf("dropped metadata = %v, want 3", got)
+	}
+	var b, e, i int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "B":
+			b++
+		case "E":
+			e++
+		case "i":
+			i++
+		}
+	}
+	if b != 6 || e != 6 || i != 1 {
+		t.Fatalf("B/E/i = %d/%d/%d, want 6/6/1", b, e, i)
+	}
+}
+
+// Parallel same-interval spans must land in distinct lanes (tids), or the
+// B/E streams would interleave unmatchably.
+func TestChromeParallelSpansGetDistinctLanes(t *testing.T) {
+	spans := []Span{
+		{ID: 1, Name: "tile 0", Track: TrackVirtual, Start: 0, End: 100},
+		{ID: 2, Name: "tile 1", Track: TrackVirtual, Start: 0, End: 100},
+		{ID: 3, Name: "tile 2", Track: TrackVirtual, Start: 50, End: 150},
+	}
+	data := mustChrome(t, spans, 0)
+	if err := ValidateChrome(data); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	tids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "B" {
+			tids[ev.Tid] = true
+		}
+	}
+	if len(tids) < 2 {
+		t.Fatalf("parallel spans share a single lane: tids %v", tids)
+	}
+}
+
+// A span nested strictly inside another reuses its lane.
+func TestChromeNestingReusesLane(t *testing.T) {
+	spans := []Span{
+		{ID: 1, Name: "outer", Track: TrackVirtual, Start: 0, End: 100},
+		{ID: 2, Name: "inner", Track: TrackVirtual, Start: 10, End: 90},
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(mustChrome(t, spans, 0), &doc); err != nil {
+		t.Fatal(err)
+	}
+	tids := map[int]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "B" {
+			tids[ev.Tid]++
+		}
+	}
+	if len(tids) != 1 {
+		t.Fatalf("nested spans split across lanes: %v", tids)
+	}
+}
+
+func TestChromeAttrsAndParentExported(t *testing.T) {
+	spans := []Span{
+		{ID: 1, Name: "root", Track: TrackVirtual, Start: 0, End: 10},
+		{ID: 2, Parent: 1, Name: "tile 3", Track: TrackVirtual, Start: 1, End: 9,
+			Attrs: []Attr{{Key: "speculative", Val: "true"}, {Key: "worker", Val: "w2"}}},
+	}
+	data := mustChrome(t, spans, 0)
+	s := string(data)
+	for _, want := range []string{`"speculative":"true"`, `"worker":"w2"`, `"parent":1`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("export missing %s in %s", want, s)
+		}
+	}
+}
+
+func TestValidateChromeRejectsBadTraces(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{"traceEvents": [`,
+		"empty":           `{"traceEvents": []}`,
+		"unmatched B":     `{"traceEvents":[{"name":"a","ph":"B","ts":1,"pid":1,"tid":1}]}`,
+		"E without B":     `{"traceEvents":[{"name":"a","ph":"E","ts":1,"pid":1,"tid":1}]}`,
+		"wrong E name":    `{"traceEvents":[{"name":"a","ph":"B","ts":1,"pid":1,"tid":1},{"name":"b","ph":"E","ts":2,"pid":1,"tid":1}]}`,
+		"ts rewinds":      `{"traceEvents":[{"name":"a","ph":"B","ts":5,"pid":1,"tid":1},{"name":"a","ph":"E","ts":4,"pid":1,"tid":1}]}`,
+		"bad phase":       `{"traceEvents":[{"name":"a","ph":"X","ts":1,"pid":1,"tid":1}]}`,
+		"no duration evs": `{"traceEvents":[{"name":"a","ph":"i","ts":1,"pid":1,"tid":1}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateChrome([]byte(data)); err == nil {
+			t.Errorf("%s: ValidateChrome accepted invalid trace", name)
+		}
+	}
+}
+
+// The drop-heavy path must still export a valid trace (drops only shrink the
+// span set, never corrupt it).
+func TestChromeFromBoundedRecorder(t *testing.T) {
+	r := New(Options{Capacity: 32, Shards: 4})
+	for i := 0; i < 200; i++ {
+		r.Emit(Span{
+			Name: "chunk.get", Cat: "chunk", Track: TrackHost,
+			Start: simtime.Duration(i * 10), End: simtime.Duration(i*10 + 7),
+		})
+	}
+	data := mustChrome(t, r.Spans(), r.Dropped())
+	if err := ValidateChrome(data); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}

@@ -1,0 +1,186 @@
+package span
+
+import (
+	"fmt"
+	"strconv"
+
+	"ompcloud/internal/simtime"
+)
+
+// Layout positions one region's phase work on the virtual timeline and is
+// the single source of the region's critical path: the offload accountant
+// builds a Layout, reads CriticalPath() — the horizon of the laid-out span
+// tree — into the report, and emits the same spans to the recorder. The
+// timeline and the Fig. 5 numbers therefore cannot disagree: both are
+// projections of one span set.
+//
+// Barriered runs lay the four phases end to end (critical path = phase
+// sum). Streamed runs lay them out as a tile pipeline: stage s starts after
+// the first tile's latency through the earlier stages (sum of per-tile
+// times stages[t<s]/tiles) and ends when its last tile leaves, which for
+// the final stage is the pipeline makespan; a barriered reduction tail
+// (outputs final only after the last tile) trails the pipeline
+// sequentially. The horizon of that layout equals
+// simtime.PipelineMakespan(stages, tiles) (+ tail) — asserted by tests
+// across all eight kernels.
+type Layout struct {
+	base  simtime.Duration
+	spans []Span
+	root  Span
+}
+
+// NewLayout opens a region layout at base (the recorder's virtual frontier,
+// so sequential regions append on the shared timeline).
+func NewLayout(device, kernel string, base simtime.Duration) *Layout {
+	l := &Layout{base: base}
+	l.root = Span{
+		Name: fmt.Sprintf("region %s/%s", device, kernel), Cat: "region",
+		Track: TrackVirtual, Start: base, End: base,
+	}
+	return l
+}
+
+// add appends a span (with Track/parent fixed) and grows the root to
+// enclose it.
+func (l *Layout) add(sp Span) {
+	sp.Track = TrackVirtual
+	if sp.End > l.root.End {
+		l.root.End = sp.End
+	}
+	l.spans = append(l.spans, sp)
+}
+
+// Barriered lays out the four phases sequentially, in the order given.
+// Returns the layout for chaining.
+func (l *Layout) Barriered(phases []Stage) *Layout {
+	at := l.base
+	for _, ph := range phases {
+		if ph.Dur <= 0 {
+			continue
+		}
+		l.add(Span{Name: ph.Name, Cat: "phase", Start: at, End: at + ph.Dur, Attrs: ph.Attrs})
+		at += ph.Dur
+	}
+	return l
+}
+
+// Stage is one pipeline stage's total work.
+type Stage struct {
+	Name  string
+	Dur   simtime.Duration
+	Attrs []Attr
+}
+
+// Streamed lays out the stages as a tile-granular pipeline over items
+// tiles, with an optional barriered tail (the reduction outputs' download,
+// which cannot stream) appended after the pipeline drains.
+//
+// Stage placement: stage s's span opens when the first tile reaches it
+// (sum of per-tile times of the earlier stages) and closes when the last
+// tile leaves it (the makespan minus the later stages' per-tile times); the
+// final stage closes exactly at the pipeline makespan. Integer per-tile
+// times floor like simtime.PipelineMakespan's own arithmetic, keeping the
+// two in exact agreement.
+func (l *Layout) Streamed(stages []Stage, items int, tail Stage) *Layout {
+	if items < 1 {
+		items = 1
+	}
+	durs := make([]simtime.Duration, len(stages))
+	for i, s := range stages {
+		if s.Dur < 0 {
+			panic(fmt.Sprintf("span: negative stage %q", s.Name))
+		}
+		durs[i] = s.Dur
+	}
+	makespan := simtime.PipelineMakespan(durs, items)
+	n := simtime.Duration(items)
+	// prefix[s]: first tile's latency through stages < s; suffix[s]: last
+	// tile's residual through stages > s.
+	at := l.base
+	var prefix simtime.Duration
+	var suffix simtime.Duration
+	for _, d := range durs {
+		suffix += d / n
+	}
+	for i, s := range stages {
+		suffix -= durs[i] / n
+		start := at + prefix
+		end := at + makespan - suffix
+		if end < start {
+			end = start
+		}
+		if s.Dur > 0 {
+			// A streamed stage's span covers its pipelined window, not its
+			// work: carry the work duration as an attribute so the trace
+			// (and tests) can recompute the makespan from the spans alone.
+			attrs := append([]Attr{{Key: "work_ns", Val: strconv.FormatInt(int64(s.Dur), 10)}}, s.Attrs...)
+			l.add(Span{Name: s.Name, Cat: "stage", Start: start, End: end, Attrs: attrs})
+		}
+		prefix += durs[i] / n
+	}
+	if tail.Dur > 0 {
+		l.add(Span{Name: tail.Name, Cat: "stage", Start: at + makespan, End: at + makespan + tail.Dur, Attrs: tail.Attrs})
+	}
+	return l
+}
+
+// Tiles lays per-tile task spans inside the window [start, start+span of
+// the compute stage], scheduled like the virtual list scheduler: tile k
+// dispatches at k*dispatch onto the earliest-free of cores. Window start is
+// relative to the layout base. attrs(i) annotates tile i (nil for none).
+func (l *Layout) Tiles(windowStart simtime.Duration, durs []simtime.Duration, cores int, dispatch simtime.Duration, attrs func(i int) []Attr) *Layout {
+	if len(durs) == 0 {
+		return l
+	}
+	starts, _ := simtime.AssignStaggered(durs, cores, dispatch)
+	base := l.base + windowStart
+	for i, d := range durs {
+		var as []Attr
+		if attrs != nil {
+			as = attrs(i)
+		}
+		l.add(Span{
+			Name: fmt.Sprintf("tile %d", i), Cat: "tile",
+			Start: base + starts[i], End: base + starts[i] + d, Attrs: as,
+		})
+	}
+	return l
+}
+
+// CriticalPath reports the horizon of the span tree laid out so far — the
+// region's end-to-end virtual duration, measured from the layout base.
+func (l *Layout) CriticalPath() simtime.Duration { return l.root.End - l.base }
+
+// Window reports the placed span with the given name as [start, end)
+// offsets relative to the layout base — how a caller finds the compute
+// stage's window to lay tile spans into. ok is false when no span has the
+// name.
+func (l *Layout) Window(name string) (start, end simtime.Duration, ok bool) {
+	for _, sp := range l.spans {
+		if sp.Name == name {
+			return sp.Start - l.base, sp.End - l.base, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Spans returns the laid-out spans, root first, parents resolved.
+func (l *Layout) Spans() []Span {
+	out := make([]Span, 0, len(l.spans)+1)
+	out = append(out, l.root)
+	out = append(out, l.spans...)
+	return out
+}
+
+// EmitTo records the layout into a recorder (no-op on nil): the root region
+// span first, then every child with its Parent set to the root's ID.
+func (l *Layout) EmitTo(r *Recorder) {
+	if r == nil {
+		return
+	}
+	rootID := r.Emit(l.root)
+	for _, sp := range l.spans {
+		sp.Parent = rootID
+		r.Emit(sp)
+	}
+}

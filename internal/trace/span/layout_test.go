@@ -1,0 +1,160 @@
+package span
+
+import (
+	"testing"
+
+	"ompcloud/internal/simtime"
+)
+
+func stages(durs ...simtime.Duration) []Stage {
+	names := []string{"upload", "spark", "compute", "download"}
+	out := make([]Stage, len(durs))
+	for i, d := range durs {
+		out[i] = Stage{Name: names[i%len(names)], Dur: d}
+	}
+	return out
+}
+
+func TestBarrieredCriticalPathIsPhaseSum(t *testing.T) {
+	l := NewLayout("cloud", "gemm", 100).Barriered(stages(10, 0, 30, 5))
+	if got := l.CriticalPath(); got != 45 {
+		t.Fatalf("CriticalPath = %v, want 45", got)
+	}
+	sp := l.Spans()
+	if len(sp) != 4 { // root + 3 non-zero phases
+		t.Fatalf("got %d spans, want 4", len(sp))
+	}
+	// Phases run end to end from the base.
+	if sp[1].Start != 100 || sp[1].End != 110 || sp[2].Start != 110 || sp[3].End != 145 {
+		t.Fatalf("phases misplaced: %+v", sp[1:])
+	}
+}
+
+// The layout's whole reason to exist: its streamed horizon must equal
+// simtime.PipelineMakespan exactly, for any stage mix and tile count, so the
+// report's CriticalPath can be read off the span tree.
+func TestStreamedHorizonEqualsPipelineMakespan(t *testing.T) {
+	cases := []struct {
+		durs  []simtime.Duration
+		items int
+	}{
+		{[]simtime.Duration{400, 70, 900, 230}, 1},
+		{[]simtime.Duration{400, 70, 900, 230}, 7},
+		{[]simtime.Duration{400, 70, 900, 230}, 64},
+		{[]simtime.Duration{1, 1, 1, 1}, 3},           // degenerate: quotients floor to 0
+		{[]simtime.Duration{0, 500, 0, 500}, 8},       // zero stages skipped but counted
+		{[]simtime.Duration{1e9, 33, 7e8, 12345}, 17}, // uneven division
+	}
+	for _, tc := range cases {
+		want := simtime.PipelineMakespan(tc.durs, tc.items)
+		l := NewLayout("cloud", "k", 0).Streamed(stages(tc.durs...), tc.items, Stage{})
+		if got := l.CriticalPath(); got != want {
+			t.Fatalf("durs %v items %d: CriticalPath %v != PipelineMakespan %v",
+				tc.durs, tc.items, got, want)
+		}
+	}
+}
+
+func TestStreamedBarrierTailAppends(t *testing.T) {
+	durs := []simtime.Duration{400, 70, 900, 230}
+	want := simtime.PipelineMakespan(durs, 8) + 50
+	l := NewLayout("cloud", "k", 0).Streamed(stages(durs...), 8, Stage{Name: "download.barrier", Dur: 50})
+	if got := l.CriticalPath(); got != want {
+		t.Fatalf("CriticalPath = %v, want %v", got, want)
+	}
+	sp := l.Spans()
+	tail := sp[len(sp)-1]
+	if tail.Name != "download.barrier" || tail.Start != want-50 || tail.End != want {
+		t.Fatalf("tail misplaced: %+v", tail)
+	}
+}
+
+// Stage spans must overlap in streamed mode (that is the whole point of the
+// pipeline) and each must be at least as long as its phase work.
+func TestStreamedStagesOverlap(t *testing.T) {
+	durs := []simtime.Duration{4000, 700, 9000, 2300}
+	l := NewLayout("cloud", "k", 0).Streamed(stages(durs...), 16, Stage{})
+	sp := l.Spans()[1:] // skip root
+	if len(sp) != 4 {
+		t.Fatalf("got %d stage spans, want 4", len(sp))
+	}
+	for i, s := range sp {
+		if s.Len() < durs[i] {
+			t.Fatalf("stage %q window %v shorter than its work %v", s.Name, s.Len(), durs[i])
+		}
+		if i > 0 && sp[i].Start >= sp[i-1].End {
+			t.Fatalf("stages %q and %q do not overlap", sp[i-1].Name, sp[i].Name)
+		}
+	}
+}
+
+func TestTilesRespectWindowAndAttrs(t *testing.T) {
+	durs := []simtime.Duration{30, 10, 20, 40}
+	computeLen := simtime.Makespan(durs, 2) // 2 cores
+	l := NewLayout("cloud", "k", 1000)
+	l.Barriered([]Stage{{Name: "compute", Dur: computeLen}})
+	l.Tiles(0, durs, 2, 0, func(i int) []Attr {
+		if i == 3 {
+			return []Attr{{Key: "speculative", Val: "true"}}
+		}
+		return nil
+	})
+	if got := l.CriticalPath(); got != computeLen {
+		t.Fatalf("tiles stretched the critical path: %v != %v", got, computeLen)
+	}
+	var specs int
+	for _, sp := range l.Spans() {
+		if sp.Cat == "tile" && sp.Attr("speculative") == "true" {
+			specs++
+		}
+	}
+	if specs != 1 {
+		t.Fatalf("got %d speculative tiles, want 1", specs)
+	}
+}
+
+func TestEmitToParentsEverything(t *testing.T) {
+	r := New(Options{})
+	l := NewLayout("cloud", "gemm", 0).Barriered(stages(10, 20, 30, 40))
+	l.EmitTo(r)
+	spans := r.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(spans))
+	}
+	root := spans[0]
+	if root.Cat != "region" {
+		t.Fatalf("first emitted span is %q, want the region root", root.Cat)
+	}
+	for _, sp := range spans[1:] {
+		if sp.Parent != root.ID {
+			t.Fatalf("span %q parent %d, want root %d", sp.Name, sp.Parent, root.ID)
+		}
+	}
+	if got := r.VirtualFrontier(); got != 100 {
+		t.Fatalf("frontier = %v, want 100", got)
+	}
+	l.EmitTo(nil) // nil recorder: no panic
+}
+
+func TestAssignStaggeredMatchesMakespan(t *testing.T) {
+	durs := []simtime.Duration{50, 20, 90, 10, 60, 30}
+	for _, n := range []int{1, 2, 4, 16} {
+		for _, disp := range []simtime.Duration{0, 5, 100} {
+			starts, finish := simtime.AssignStaggered(durs, n, disp)
+			if want := simtime.MakespanStaggered(durs, n, disp); finish != want {
+				t.Fatalf("n=%d disp=%v: finish %v != MakespanStaggered %v", n, disp, finish, want)
+			}
+			if len(starts) != len(durs) {
+				t.Fatalf("got %d starts, want %d", len(starts), len(durs))
+			}
+			for k, s := range starts {
+				if s < simtime.Duration(k)*disp {
+					t.Fatalf("task %d starts %v before its release %v", k, s, simtime.Duration(k)*disp)
+				}
+				if s+durs[k] > finish {
+					t.Fatalf("task %d ends past the makespan", k)
+				}
+			}
+		}
+	}
+}

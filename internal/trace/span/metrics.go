@@ -1,0 +1,284 @@
+package span
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is the runtime's metrics surface: named counters, gauges, and
+// histograms hanging off the same instrumentation sites that emit spans.
+// ompcloud-run -metrics renders it after a run; ompcloud-bench folds
+// histogram summaries (chunk PUT/GET latency, tile skew) into its JSON
+// artifacts. Get-or-create is idempotent and instruments are safe for
+// concurrent use, so call sites never pre-register anything.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	histos map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		histos: make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing integer.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments by n (negative n is ignored: counters never decrease).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable integer level.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value reports the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histogram bucketing: exponential, base 2, from 1µs up — wide enough for
+// chunk latencies (sub-ms memstore PUTs to multi-second WAN legs) and tile
+// durations alike without per-metric bound configuration.
+const (
+	histoBuckets = 40
+	histoBase    = 1e-6 // seconds
+)
+
+// Histogram accumulates float64 observations (seconds by convention) into
+// exponential buckets, retaining count/sum/min/max for summary rendering.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [histoBuckets]uint64
+	n       uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+func bucketOf(v float64) int {
+	if v <= histoBase {
+		return 0
+	}
+	b := int(math.Ceil(math.Log2(v / histoBase)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= histoBuckets {
+		b = histoBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper reports bucket b's upper bound in seconds.
+func bucketUpper(b int) float64 { return histoBase * math.Pow(2, float64(b)) }
+
+// Observe records one sample. NaN and negative samples are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketOf(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Count reports the sample count.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean reports the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1) as the upper bound of the
+// bucket holding the q-th sample — a bounded-error estimate, exact enough
+// for p50/p99 skew lines.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for b, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			up := bucketUpper(b)
+			if up > h.max {
+				up = h.max
+			}
+			return up
+		}
+	}
+	return h.max
+}
+
+// Summary is a histogram snapshot for JSON artifacts.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Summarize snapshots the histogram.
+func (h *Histogram) Summarize() Summary {
+	h.mu.Lock()
+	n, sum, min, max := h.n, h.sum, h.min, h.max
+	h.mu.Unlock()
+	s := Summary{Count: n, Min: min, Max: max}
+	if n > 0 {
+		s.Mean = sum / float64(n)
+		s.P50 = h.Quantile(0.5)
+		s.P99 = h.Quantile(0.99)
+	}
+	return s
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe:
+// a nil registry hands back a throwaway instrument.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return &Histogram{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histos[name]
+	if !ok {
+		h = &Histogram{}
+		r.histos[name] = h
+	}
+	return h
+}
+
+// WriteText renders every instrument, sorted by name, one per line.
+func (r *Registry) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counts)+len(r.gauges)+len(r.histos))
+	for n := range r.counts {
+		names = append(names, "counter\t"+n)
+	}
+	for n := range r.gauges {
+		names = append(names, "gauge\t"+n)
+	}
+	for n := range r.histos {
+		names = append(names, "histogram\t"+n)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, tagged := range names {
+		kind, name, _ := strings.Cut(tagged, "\t")
+		switch kind {
+		case "counter":
+			fmt.Fprintf(w, "counter   %-40s %d\n", name, r.Counter(name).Value())
+		case "gauge":
+			fmt.Fprintf(w, "gauge     %-40s %d\n", name, r.Gauge(name).Value())
+		case "histogram":
+			s := r.Histogram(name).Summarize()
+			fmt.Fprintf(w, "histogram %-40s n=%d mean=%.6fs p50=%.6fs p99=%.6fs max=%.6fs\n",
+				name, s.Count, s.Mean, s.P50, s.P99, s.Max)
+		}
+	}
+}
+
+// --- Default registry ---------------------------------------------------
+
+var defaultReg atomic.Pointer[Registry]
+
+func init() { defaultReg.Store(NewRegistry()) }
+
+// Metrics reports the process-wide default registry. Unlike span recording
+// it is always on: instruments are cheap (atomics, a mutexed array) and the
+// bench harness reads them without any enable step.
+func Metrics() *Registry { return defaultReg.Load() }
+
+// ResetMetrics replaces the default registry with a fresh one and returns
+// it (tests, back-to-back bench cases).
+func ResetMetrics() *Registry {
+	r := NewRegistry()
+	defaultReg.Store(r)
+	return r
+}

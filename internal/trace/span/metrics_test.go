@@ -1,0 +1,115 @@
+package span
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("offload.retries")
+	c.Inc()
+	c.Add(4)
+	c.Add(-100) // counters never decrease
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if reg.Counter("offload.retries") != c {
+		t.Fatalf("get-or-create returned a different counter")
+	}
+	g := reg.Gauge("spark.workers")
+	g.Set(16)
+	g.Set(12)
+	if got := g.Value(); got != 12 {
+		t.Fatalf("gauge = %d, want 12", got)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("chunk.put.seconds")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.001) // 1ms..100ms
+	}
+	h.Observe(-1) // dropped
+	s := h.Summarize()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Min != 0.001 || s.Max != 0.1 {
+		t.Fatalf("min/max = %v/%v, want 0.001/0.1", s.Min, s.Max)
+	}
+	if s.Mean < 0.050 || s.Mean > 0.051 {
+		t.Fatalf("mean = %v, want ~0.0505", s.Mean)
+	}
+	// Bucketed quantiles are upper-bound estimates: p50 must bracket the
+	// true median within one base-2 bucket, and p99 must not exceed max.
+	if s.P50 < 0.050 || s.P50 > 0.1 {
+		t.Fatalf("p50 = %v, want within [0.05, 0.1]", s.P50)
+	}
+	if s.P99 < s.P50 || s.P99 > s.Max {
+		t.Fatalf("p99 = %v outside [p50=%v, max=%v]", s.P99, s.P50, s.Max)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewRegistry().Histogram("h")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestWriteTextSortedAndComplete(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z.count").Inc()
+	reg.Gauge("a.level").Set(7)
+	reg.Histogram("m.lat").Observe(0.5)
+	var buf bytes.Buffer
+	reg.WriteText(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"z.count", "a.level", "m.lat"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Gauge("y").Set(1)
+	reg.Histogram("z").Observe(1)
+	reg.WriteText(&bytes.Buffer{}) // no panic
+}
+
+func TestResetMetricsReplacesDefault(t *testing.T) {
+	old := Metrics()
+	old.Counter("stale").Inc()
+	fresh := ResetMetrics()
+	if fresh == old {
+		t.Fatalf("ResetMetrics returned the old registry")
+	}
+	if Metrics() != fresh {
+		t.Fatalf("default registry not replaced")
+	}
+	if got := Metrics().Counter("stale").Value(); got != 0 {
+		t.Fatalf("fresh registry inherited stale count %d", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"ompcloud/internal/simtime"
@@ -138,9 +139,14 @@ func (r *Report) SparkTime() simtime.Duration {
 // OmpCloud-computation series.
 func (r *Report) ComputeTime() simtime.Duration { return r.Phases[PhaseCompute] }
 
-// Shares reports each Figure 5 component as a fraction of the total.
+// Shares reports each Figure 5 component as a fraction of the effective
+// end-to-end duration (Effective()): the critical path on streamed runs, the
+// phase sum on barriered ones. Dividing by Total() instead would understate
+// every component on a streamed run, where overlapped work exceeds the
+// wall-clock the caller experienced — on such runs the shares legitimately
+// sum past 1.
 func (r *Report) Shares() (comm, spark, compute float64) {
-	t := r.Total().Seconds()
+	t := r.Effective().Seconds()
 	if t == 0 {
 		return 0, 0, 0
 	}
@@ -164,6 +170,18 @@ func (r *Report) String() string {
 	return b.String()
 }
 
+// MarshalJSON adds the derived "effective" field — the end-to-end duration
+// consumers should compare runs by. It is computed at serialization time so
+// it can never go stale against CriticalPath/Phases; ompcloud-bench reads it
+// instead of re-deriving the fallback chain client-side.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	type alias Report // drops the method set, avoiding marshal recursion
+	return json.Marshal(&struct {
+		*alias
+		Effective simtime.Duration `json:"effective"`
+	}{(*alias)(r), r.Effective()})
+}
+
 // WriteJSON serializes the report.
 func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -171,13 +189,49 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
+// apportion splits width cells among the weights by largest remainder
+// (Hamilton's method): each row gets floor(weight/sum * width), then the
+// leftover cells go to the largest fractional remainders (earlier rows win
+// ties). The allocations always sum to exactly width, unlike per-row
+// rounding, which can over- or under-shoot by a cell per row.
+func apportion(weights []simtime.Duration, width int) []int {
+	cells := make([]int, len(weights))
+	var sum simtime.Duration
+	for _, w := range weights {
+		sum += w
+	}
+	if sum <= 0 || width <= 0 {
+		return cells
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, len(weights))
+	used := 0
+	for i, wt := range weights {
+		exact := float64(wt) / float64(sum) * float64(width)
+		cells[i] = int(exact)
+		used += cells[i]
+		rems[i] = rem{i, exact - float64(cells[i])}
+	}
+	sort.SliceStable(rems, func(i, j int) bool { return rems[i].frac > rems[j].frac })
+	for k := 0; k < width-used; k++ {
+		cells[rems[k%len(rems)].idx]++
+	}
+	return cells
+}
+
 // WriteBreakdown renders the Figure 5-style decomposition as an ASCII bar
-// chart, width columns wide.
+// chart, width columns wide. Bars apportion the width across the components'
+// work (largest remainder, so the glyphs always tile the width exactly);
+// the percentage column is each component's share of the effective
+// end-to-end duration, with the basis named in the header.
 func (r *Report) WriteBreakdown(w io.Writer, width int) {
 	if width < 10 {
 		width = 10
 	}
-	total := r.Total()
+	eff := r.Effective()
 	rows := []struct {
 		label string
 		d     simtime.Duration
@@ -187,22 +241,27 @@ func (r *Report) WriteBreakdown(w io.Writer, width int) {
 		{"spark overhead", r.Phases[PhaseSpark], '='},
 		{"computation", r.Phases[PhaseCompute], '*'},
 	}
-	fmt.Fprintf(w, "%s/%s — total %v on %d cores\n", r.Device, r.Kernel, total.Real(), r.Cores)
-	for _, row := range rows {
-		cells := 0
+	basis := "total"
+	if r.CriticalPath > 0 {
+		basis = "critical path"
+	}
+	fmt.Fprintf(w, "%s/%s — %s %v on %d cores (shares of %s)\n",
+		r.Device, r.Kernel, basis, eff.Real(), r.Cores, basis)
+	weights := make([]simtime.Duration, len(rows))
+	for i, row := range rows {
+		weights[i] = row.d
+	}
+	cells := apportion(weights, width)
+	for i, row := range rows {
 		share := 0.0
-		if total > 0 {
-			share = row.d.Seconds() / total.Seconds()
-			cells = int(share*float64(width) + 0.5)
+		if eff > 0 {
+			share = row.d.Seconds() / eff.Seconds()
 		}
-		if cells > width {
-			cells = width
-		}
-		bar := strings.Repeat(string(row.glyph), cells) + strings.Repeat(".", width-cells)
+		bar := strings.Repeat(string(row.glyph), cells[i]) + strings.Repeat(".", width-cells[i])
 		fmt.Fprintf(w, "  %-18s |%s| %5.1f%%  %v\n", row.label, bar, 100*share, row.d.Real())
 	}
 	if r.CriticalPath > 0 {
-		fmt.Fprintf(w, "  streaming overlap hides %v: critical path %v\n",
-			r.WallOverlap.Real(), r.CriticalPath.Real())
+		fmt.Fprintf(w, "  streaming overlap hides %v: phase work totals %v\n",
+			r.WallOverlap.Real(), r.Total().Real())
 	}
 }
