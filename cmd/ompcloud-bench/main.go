@@ -46,6 +46,7 @@ func main() {
 		transfer = flag.Bool("transfer", false, "run the transfer-path microbenchmark (sequential vs pipelined upload)")
 		xferMiB  = flag.Int("transfer-mib", 256, "payload size for -transfer, in MiB")
 		xferOut  = flag.String("transfer-out", "BENCH_transfer.json", "output path for the -transfer results")
+		xferGate = flag.Bool("transfer-assert", false, "with -transfer: exit non-zero unless the dedup second pass re-sends <1% of bytes and the adaptive codec stays within 10%% of the best fixed codec (CI gate)")
 		chaos    = flag.Bool("chaos", false, "run the fault-injection soak (retry, fallback and breaker scenarios)")
 		chaosN   = flag.Int("chaos-n", 96, "matrix dimension for -chaos")
 		chaosOut = flag.String("chaos-out", "BENCH_chaos.json", "output path for the -chaos results")
@@ -59,7 +60,7 @@ func main() {
 	)
 	flag.Parse()
 	if *transfer {
-		runTransfer(*xferMiB, *seed, *xferOut)
+		runTransfer(*xferMiB, *seed, *xferOut, *xferGate)
 		return
 	}
 	if *overlap {
@@ -184,9 +185,10 @@ func main() {
 }
 
 // runTransfer executes the transfer-path microbenchmark (sequential vs
-// pipelined upload of sparse and dense payloads) and writes the result set
-// to outPath for trend tracking.
-func runTransfer(mib int, seed int64, outPath string) {
+// pipelined, a codec sweep, and the cross-session dedup second pass) and
+// writes the result set to outPath for trend tracking. With assert, the
+// result must also clear the CI gates.
+func runTransfer(mib int, seed int64, outPath string, assert bool) {
 	if mib <= 0 {
 		mib = 256 // keep the progress line honest about RunTransferBench's default
 	}
@@ -196,16 +198,25 @@ func runTransfer(mib int, seed int64, outPath string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%-8s %-12s %10s %10s %8s %10s %10s %10s\n",
-		"kind", "mode", "raw", "wire", "chunks", "up_wall_s", "down_wall_s", "up_virt_s")
+	fmt.Printf("%-8s %-12s %-10s %10s %10s %8s %10s %10s %10s\n",
+		"kind", "mode", "codec", "raw", "wire", "chunks", "up_wall_s", "down_wall_s", "up_virt_s")
 	for _, c := range res.Cases {
-		fmt.Printf("%-8s %-12s %10d %10d %8d %10.3f %10.3f %10.3f\n",
-			c.Kind, c.Mode, c.RawBytes, c.WireBytes, c.Chunks,
+		fmt.Printf("%-8s %-12s %-10s %10d %10d %8d %10.3f %10.3f %10.3f\n",
+			c.Kind, c.Mode, c.Codec, c.RawBytes, c.WireBytes, c.Chunks,
 			c.UploadS, c.DownloadS, c.VirtualS)
+	}
+	fmt.Printf("\n%-8s %8s %12s %12s %10s %10s %10s %8s\n",
+		"dedup", "chunks", "first_sent", "second_sent", "resend_%", "virt1_s", "virt2_s", "speedup")
+	for _, d := range res.Dedup {
+		fmt.Printf("%-8s %8d %12d %12d %9.3f%% %10.3f %10.3f %7.1fx\n",
+			d.Kind, d.Chunks, d.FirstSentB, d.SecondSentB, d.ResendPct,
+			d.FirstVirtS, d.SecondVirtS, d.SpeedupV)
 	}
 	fmt.Printf("\nsparse upload speedup (wall):    %.2fx\n", res.SpeedupS)
 	fmt.Printf("sparse upload speedup (virtual): %.2fx\n", res.SpeedupV)
 	fmt.Printf("dense  upload speedup (wall):    %.2fx\n", res.SpeedupD)
+	fmt.Printf("dense  dedup 2nd-pass (virtual): %.2fx\n", res.DedupSpeedupV)
+	fmt.Printf("adaptive vs best fixed codec:    %+.1f%%\n", res.AdaptiveWorstPct)
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -214,6 +225,20 @@ func runTransfer(mib int, seed int64, outPath string) {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	if assert {
+		for _, d := range res.Dedup {
+			if d.ResendPct >= 1 {
+				fatal(fmt.Errorf("transfer gate: %s dedup second pass re-sent %.2f%% of bytes (want <1%%)", d.Kind, d.ResendPct))
+			}
+		}
+		if res.AdaptiveWorstPct > 10 {
+			fatal(fmt.Errorf("transfer gate: adaptive codec trails the best fixed codec by %.1f%% (want <=10%%)", res.AdaptiveWorstPct))
+		}
+		if res.DedupSpeedupV < 2 {
+			fatal(fmt.Errorf("transfer gate: dense dedup virtual speedup %.2fx (want >=2x)", res.DedupSpeedupV))
+		}
+		fmt.Fprintln(os.Stderr, "transfer gate: ok")
+	}
 }
 
 // runOverlap measures the tile-granular streaming dataflow against the

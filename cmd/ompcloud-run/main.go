@@ -41,6 +41,9 @@ func main() {
 		storeAddr = flag.String("storage", "", "remote storage address (use with ompcloud-storaged)")
 		workers   = flag.String("workers", "", "comma-separated remote worker addresses (use with ompcloud-worker)")
 		resume    = flag.Bool("resume", false, "resumable offload sessions: a re-run after a crash skips uploaded chunks and committed tiles (needs -storage to persist across processes)")
+		codec     = flag.String("codec", "auto", "transfer codec: auto|adaptive|raw|fast|deflate")
+		cdc       = flag.Bool("cdc", false, "content-defined chunk boundaries (Gear), so shifted data still dedups")
+		dedup     = flag.Bool("dedup", false, "cross-session chunk dedup via a persistent content-addressed index (pair with -storage to persist across processes)")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run (open in Perfetto / chrome://tracing)")
 		metrics   = flag.Bool("metrics", false, "print the run's metrics registry (counters, gauges, latency histograms) to stderr")
@@ -102,7 +105,7 @@ func main() {
 	default:
 		cfg := bench.MeasuredConfig{
 			Bench: b, N: *n, Kind: kind, Cores: *cores, Seed: *seed, Verify: *verify,
-			Resume: *resume,
+			Resume: *resume, Codec: *codec, CDC: *cdc, Dedup: *dedup,
 		}
 		if *workers != "" {
 			for _, a := range strings.Split(*workers, ",") {

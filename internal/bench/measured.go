@@ -9,6 +9,7 @@ import (
 	"ompcloud/internal/omp"
 	"ompcloud/internal/storage"
 	"ompcloud/internal/trace"
+	"ompcloud/internal/xcompress"
 )
 
 // MeasuredConfig describes one real end-to-end run: the whole pipeline
@@ -36,6 +37,16 @@ type MeasuredConfig struct {
 	// upload cache they depend on): an interrupted run's journal in Store
 	// lets a re-invocation skip uploaded chunks and committed tiles.
 	Resume bool
+	// Codec names the transfer codec policy (auto | adaptive | raw | fast |
+	// deflate); empty means auto, the legacy whole-buffer probe.
+	Codec string
+	// CDC places chunk boundaries by content (Gear rolling hash) instead of
+	// fixed sizes, so shifted data still dedups.
+	CDC bool
+	// Dedup turns on the persistent cross-session chunk index: chunks any
+	// earlier run left in Store are recognized by content hash and not
+	// re-sent (pair with a remote Store to persist across processes).
+	Dedup bool
 }
 
 // MeasuredResult pairs the cloud report with the host baseline.
@@ -65,12 +76,21 @@ func RunMeasured(cfg MeasuredConfig) (*MeasuredResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	algo := xcompress.AlgoAuto
+	if cfg.Codec != "" {
+		if algo, err = xcompress.ParseAlgo(cfg.Codec); err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+	}
 	plugin, err := offload.NewCloudPlugin(offload.CloudConfig{
 		Spec:        ClusterFor(cfg.Cores),
 		Store:       cfg.Store,
 		WorkerAddrs: cfg.WorkerAddrs,
 		EnableCache: cfg.Resume,
 		Resume:      cfg.Resume,
+		Codec:       xcompress.Codec{Algo: algo},
+		CDC:         cfg.CDC,
+		Dedup:       cfg.Dedup,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,483 @@
+package chunkio
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ompcloud/internal/resilience"
+	"ompcloud/internal/storage"
+	"ompcloud/internal/xcompress"
+)
+
+func TestCutPointsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	mixed := make([]byte, 300<<10)
+	rng.Read(mixed)
+	copy(mixed[100<<10:], compressible(80<<10, 22))
+
+	for _, cdc := range []bool{false, true} {
+		for _, buf := range [][]byte{
+			compressible(200<<10+37, 23),
+			incompressible(200<<10, 24),
+			mixed,
+			compressible(1000, 25),
+		} {
+			const avg = 8 << 10
+			cuts := cutPoints(buf, avg, cdc)
+			if len(cuts) == 0 || cuts[len(cuts)-1] != len(buf) {
+				t.Fatalf("cdc=%v: cuts must end at len(buf)=%d, got %v", cdc, len(buf), cuts)
+			}
+			prev := 0
+			for i, c := range cuts {
+				if c <= prev {
+					t.Fatalf("cdc=%v: cuts not strictly increasing at %d: %v", cdc, i, cuts)
+				}
+				size := c - prev
+				if cdc && len(buf) > avg && i < len(cuts)-1 {
+					if size < avg/4 || size > avg*4 {
+						t.Fatalf("cdc chunk %d is %d bytes, want within [%d, %d]", i, size, avg/4, avg*4)
+					}
+				}
+				if !cdc && size > avg {
+					t.Fatalf("fixed chunk %d is %d bytes, want <= %d", i, size, avg)
+				}
+				prev = c
+			}
+			again := cutPoints(buf, avg, cdc)
+			if len(again) != len(cuts) {
+				t.Fatalf("cdc=%v: cuts not deterministic", cdc)
+			}
+			for i := range cuts {
+				if again[i] != cuts[i] {
+					t.Fatalf("cdc=%v: cuts not deterministic at %d", cdc, i)
+				}
+			}
+		}
+	}
+	// Unchunked mode (negative ChunkSize maps to MaxInt) must not overflow.
+	if got := cutPoints(make([]byte, 100), Options{ChunkSize: -1}.chunkSize(), false); len(got) != 1 || got[0] != 100 {
+		t.Fatalf("unchunked cutPoints = %v, want [100]", got)
+	}
+}
+
+// chunkSums hashes every chunk of buf under the given cuts.
+func chunkSums(buf []byte, cuts []int) map[[sha256.Size]byte]bool {
+	sums := make(map[[sha256.Size]byte]bool, len(cuts))
+	lo := 0
+	for _, hi := range cuts {
+		sums[sha256.Sum256(buf[lo:hi])] = true
+		lo = hi
+	}
+	return sums
+}
+
+func TestCDCBoundariesSurviveInsertion(t *testing.T) {
+	const avg = 8 << 10
+	// Unique (random) content: periodic data degenerates — identical
+	// chunks dedup regardless of cuts, proving nothing about boundaries.
+	base := incompressible(512<<10, 31)
+	// Insert 100 bytes near the front: every fixed-size chunk after the
+	// insertion point shifts and re-hashes; CDC boundaries re-synchronize
+	// within a few chunks.
+	edited := append(append(append([]byte{}, base[:999]...), incompressible(100, 32)...), base[999:]...)
+
+	for _, tc := range []struct {
+		cdc     bool
+		minKeep float64
+	}{
+		{cdc: true, minKeep: 0.8},
+		{cdc: false, minKeep: 0}, // fixed cuts: expect near-total loss
+	} {
+		baseSums := chunkSums(base, cutPoints(base, avg, tc.cdc))
+		keep := 0
+		editedCuts := cutPoints(edited, avg, tc.cdc)
+		lo := 0
+		for _, hi := range editedCuts {
+			if baseSums[sha256.Sum256(edited[lo:hi])] {
+				keep++
+			}
+			lo = hi
+		}
+		frac := float64(keep) / float64(len(editedCuts))
+		if tc.cdc && frac < tc.minKeep {
+			t.Errorf("cdc: only %.0f%% of chunks survived a 100-byte insertion, want >= %.0f%%",
+				frac*100, tc.minKeep*100)
+		}
+		if !tc.cdc && frac > 0.2 {
+			// Sanity on the premise: fixed cuts really do lose alignment.
+			t.Errorf("fixed cuts kept %.0f%% of chunks after an insertion; CDC would be pointless", frac*100)
+		}
+	}
+}
+
+func TestCDCUploadDownloadRoundTrip(t *testing.T) {
+	const chunk = 8 << 10
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"compressible", compressible(6*chunk+777, 41)},
+		{"incompressible", incompressible(6*chunk+123, 42)},
+		{"sub-chunk", compressible(chunk/2, 43)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			st := storage.NewMemStore()
+			o := Options{Codec: xcompress.Codec{MinSize: 1}, ChunkSize: chunk, Parallel: 2, CDC: true}
+			up, err := Upload(st, "obj", tc.data, o)
+			if err != nil {
+				t.Fatalf("Upload: %v", err)
+			}
+			if len(tc.data) > chunk && up.Chunks < 2 {
+				t.Fatalf("CDC upload produced %d chunks, want several", up.Chunks)
+			}
+			back, down, err := Download(st, "obj", o)
+			if err != nil {
+				t.Fatalf("Download: %v", err)
+			}
+			if !bytes.Equal(back, tc.data) {
+				t.Fatal("CDC round trip mismatch")
+			}
+			if down.WireBytes != up.TotalWire {
+				t.Errorf("WireBytes %d != TotalWire %d", down.WireBytes, up.TotalWire)
+			}
+		})
+	}
+}
+
+func TestCDCPipeRoundTrip(t *testing.T) {
+	const chunk = 8 << 10
+	data := compressible(5*chunk+555, 44)
+	dst := make([]byte, len(data))
+	st := storage.NewMemStore()
+	o := Options{Codec: xcompress.Codec{MinSize: 1}, ChunkSize: chunk, Parallel: 2, CDC: true}
+	res, err := Pipe(st, "obj", data, dst, o, nil)
+	if err != nil {
+		t.Fatalf("Pipe: %v", err)
+	}
+	if !bytes.Equal(dst, data) {
+		t.Fatal("CDC pipe mismatch")
+	}
+	if res.Up.Chunks < 2 {
+		t.Fatalf("CDC pipe used %d chunks, want several", res.Up.Chunks)
+	}
+	// The stored object stays readable by the plain download path.
+	back, _, err := Download(st, "obj", o)
+	if err != nil || !bytes.Equal(back, data) {
+		t.Fatalf("CDC-piped object unreadable by Download: %v", err)
+	}
+}
+
+// cachedOptions wires the content-addressed cache hooks the offload layer
+// uses, backed by a shared map, and returns the options plus the sum
+// registry (key -> decoded-content sha256) for ChunkSum-style lookups.
+func cachedOptions(chunk int, cdc bool, have *sync.Map) Options {
+	return Options{
+		Codec:     xcompress.Codec{MinSize: 1},
+		ChunkSize: chunk,
+		Parallel:  2,
+		CDC:       cdc,
+		ChunkKey: func(sum [sha256.Size]byte) string {
+			return fmt.Sprintf("cache/c/%x", sum)
+		},
+		Have: func(key string) (int64, bool) {
+			v, ok := have.Load(key)
+			if !ok {
+				return 0, false
+			}
+			return v.(int64), true
+		},
+		OnStored: func(key string, wire int64) {
+			if strings.HasPrefix(key, "cache/c/") {
+				have.Store(key, wire)
+			}
+		},
+	}
+}
+
+func TestCDCDedupResendsOnlyDirtyChunks(t *testing.T) {
+	const chunk = 8 << 10
+	// Unique content, for the same reason as the boundary test: a
+	// repeating pattern would dedup under fixed cuts too.
+	base := incompressible(512<<10, 51)
+	edited := append(append(append([]byte{}, base[:999]...), incompressible(100, 52)...), base[999:]...)
+
+	resend := func(cdc bool) float64 {
+		st := storage.NewMemStore()
+		var have sync.Map
+		o := cachedOptions(chunk, cdc, &have)
+		if _, err := Upload(st, "v1", base, o); err != nil {
+			t.Fatalf("Upload v1: %v", err)
+		}
+		up, err := Upload(st, "v2", edited, o)
+		if err != nil {
+			t.Fatalf("Upload v2: %v", err)
+		}
+		if up.ReusedRaw == 0 && up.Reused > 0 {
+			t.Fatal("Reused chunks must report ReusedRaw bytes")
+		}
+		back, _, err := Download(st, "v2", o)
+		if err != nil || !bytes.Equal(back, edited) {
+			t.Fatalf("dedup'd object corrupt: %v", err)
+		}
+		return float64(int64(len(edited))-up.ReusedRaw) / float64(len(edited))
+	}
+
+	cdcResend, fixedResend := resend(true), resend(false)
+	if cdcResend > 0.2 {
+		t.Errorf("CDC re-sent %.0f%% of an almost-identical buffer, want <= 20%%", cdcResend*100)
+	}
+	if fixedResend < 0.8 {
+		t.Errorf("fixed cuts re-sent only %.0f%%; the CDC premise is broken", fixedResend*100)
+	}
+}
+
+func TestCDCDedupSecondPassResendsNothing(t *testing.T) {
+	const chunk = 8 << 10
+	data := compressible(256<<10, 53)
+	st := storage.NewMemStore()
+	var have sync.Map
+	o := cachedOptions(chunk, true, &have)
+	if _, err := Upload(st, "run1", data, o); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Second session": fresh hook state rebuilt from the store, the way
+	// the offload plugin primes storage.ChunkIndex.
+	idx := storage.NewChunkIndex("cache/c/")
+	if _, err := idx.Load(st); err != nil {
+		t.Fatal(err)
+	}
+	o2 := cachedOptions(chunk, true, &sync.Map{})
+	o2.Have = func(key string) (int64, bool) {
+		if !idx.Have(key) {
+			return 0, false
+		}
+		return idx.WireSize(key)
+	}
+	up, err := Upload(st, "run2", data, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Reused != up.Chunks {
+		t.Fatalf("second pass reused %d/%d chunks, want all", up.Reused, up.Chunks)
+	}
+	if up.ReusedRaw != int64(len(data)) {
+		t.Fatalf("ReusedRaw = %d, want %d", up.ReusedRaw, len(data))
+	}
+	// Only the manifest goes over the wire again.
+	if up.SentWire >= int64(len(data))/10 {
+		t.Fatalf("second pass sent %d wire bytes for %d raw, want manifest only", up.SentWire, len(data))
+	}
+	back, _, err := Download(st, "run2", o2)
+	if err != nil || !bytes.Equal(back, data) {
+		t.Fatalf("second-pass object corrupt: %v", err)
+	}
+}
+
+// TestChunkSumChaosDetectsCorruptCachedChunk is the dedup x FaultStore chaos
+// case: raw frames carry no checksum, so a bit-rotted content-addressed
+// chunk would decode "successfully" into wrong bytes and be served. The
+// ChunkSum hook must catch it, classify it transient, and heal via re-fetch.
+func TestChunkSumChaosDetectsCorruptCachedChunk(t *testing.T) {
+	const chunk = 8 << 10
+	data := incompressible(6*chunk, 61) // raw frames: no CRC of their own
+	inner := storage.NewMemStore()
+	var have sync.Map
+	sums := sync.Map{} // part key -> content sha256
+	o := cachedOptions(chunk, true, &have)
+	baseKey := o.ChunkKey
+	o.ChunkKey = func(sum [sha256.Size]byte) string {
+		key := baseKey(sum)
+		sums.Store(key, sum)
+		return key
+	}
+	if _, err := Upload(inner, "obj", data, o); err != nil {
+		t.Fatal(err)
+	}
+
+	chunkSum := func(key string) ([sha256.Size]byte, bool) {
+		v, ok := sums.Load(key)
+		if !ok {
+			return [sha256.Size]byte{}, false
+		}
+		return v.([sha256.Size]byte), true
+	}
+
+	// The flipped bit lands at payload byte 100 — past the frame tag, so
+	// a raw frame still "decodes" cleanly, just wrong.
+	const flipBit = 100*8 + 3
+
+	// Control: without ChunkSum the flipped bit sails straight through.
+	fs := storage.NewFaultStore(inner).Inject(storage.FlipBitGets("cache/c/", flipBit, 1))
+	o.Parallel = 1 // deterministic fault placement
+	got, _, err := Download(fs, "obj", o)
+	if err != nil {
+		t.Fatalf("control download: %v", err)
+	}
+	if bytes.Equal(got, data) {
+		t.Fatal("control: injected bit flip had no effect; chaos premise broken")
+	}
+
+	// With ChunkSum and a retry budget the corruption is detected and the
+	// chunk re-fetched rather than served.
+	fs = storage.NewFaultStore(inner).Inject(storage.FlipBitGets("cache/c/", flipBit, 1))
+	o.ChunkSum = chunkSum
+	o.Retry = resilience.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Sleep: func(time.Duration) {}}
+	got, res, err := Download(fs, "obj", o)
+	if err != nil {
+		t.Fatalf("ChunkSum download did not heal: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("healed download is not byte-identical")
+	}
+	if res.Retries < 1 {
+		t.Fatalf("Retries = %d, want >= 1 (the detected corruption)", res.Retries)
+	}
+	if fs.Fired() != 1 {
+		t.Fatalf("schedule fired %d faults, want 1", fs.Fired())
+	}
+
+	// Exhausted budget: the corrupt chunk must surface as an error, never
+	// as silently-wrong bytes.
+	fs = storage.NewFaultStore(inner).Inject(storage.FlipBitGets("cache/c/", flipBit, 0))
+	o.Retry = resilience.Policy{}
+	if _, _, err := Download(fs, "obj", o); err == nil {
+		t.Fatal("persistent corruption with no retry budget must fail, not serve wrong bytes")
+	}
+}
+
+// discardStore swallows writes: the PUT-path alloc gate needs a store with
+// no defensive copy of its own (MemStore's copy-on-Put is a real allocation,
+// but it belongs to the store, not the transfer hot path).
+type discardStore struct{}
+
+func (discardStore) Put(string, []byte) error      { return nil }
+func (discardStore) Get(string) ([]byte, error)    { return nil, storage.ErrNotFound }
+func (discardStore) Delete(string) error           { return nil }
+func (discardStore) List(string) ([]string, error) { return nil, nil }
+func (discardStore) Stat(string) (int64, error)    { return 0, storage.ErrNotFound }
+
+func TestPutUnitSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc gates are meaningless under -race instrumentation")
+	}
+	o := Options{Codec: xcompress.Codec{MinSize: 1}}
+	var retries atomic.Int64
+	pu := newPutUnit(discardStore{}, &o, &retries)
+	data := compressible(64<<10, 71)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := pu.put("cache/c/feed", data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("putUnit.put: %v allocs/run, want 0", allocs)
+	}
+}
+
+func TestGetUnitSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc gates are meaningless under -race instrumentation")
+	}
+	st := storage.NewMemStore()
+	raw := compressible(64<<10, 72)
+	sum := sha256.Sum256(raw)
+	codec := xcompress.Codec{MinSize: 1}
+	for _, frame := range []struct {
+		name    string
+		verdict xcompress.Verdict
+	}{
+		{"raw", xcompress.VerdictRaw},
+		{"fast", xcompress.VerdictFast},
+		{"gzip", xcompress.VerdictGzip},
+	} {
+		t.Run(frame.name, func(t *testing.T) {
+			enc, err := codec.AppendEncode(nil, raw, frame.verdict)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Put("cache/c/chunk", enc); err != nil {
+				t.Fatal(err)
+			}
+			o := Options{
+				Codec: codec,
+				ChunkSum: func(string) ([sha256.Size]byte, bool) {
+					return sum, true
+				},
+			}
+			var retries atomic.Int64
+			gu := newGetUnit(st, &o, &retries)
+			dst := make([]byte, len(raw))
+			allocs := testing.AllocsPerRun(100, func() {
+				if _, _, err := gu.fetch("cache/c/chunk", dst); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 0 {
+				t.Errorf("getUnit.fetch(%s): %v allocs/run, want 0", frame.name, allocs)
+			}
+		})
+	}
+}
+
+// TestTransferAllocBudget bounds whole-call allocation for a multi-chunk
+// transfer. The per-chunk scratch (encode output, wire bytes) is pooled, so
+// total allocation must stay far below the payload size; without the pools
+// each chunk allocates its own ~ChunkSize buffers and the total rivals the
+// payload.
+func TestTransferAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc gates are meaningless under -race instrumentation")
+	}
+	const chunk = 128 << 10
+	const nChunks = 64
+	data := compressible(nChunks*chunk, 73)
+	o := Options{Codec: xcompress.Codec{MinSize: 1}, ChunkSize: chunk, Parallel: 2}
+
+	measure := func(f func()) uint64 {
+		f() // warm-up: populate pools, grow channels
+		f()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		f()
+		runtime.ReadMemStats(&after)
+		return after.TotalAlloc - before.TotalAlloc
+	}
+
+	upBytes := measure(func() {
+		if _, err := Upload(discardStore{}, "obj", data, o); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 1 << 20 // fixed overhead allowance, vs an 8 MiB payload
+	if upBytes > budget {
+		t.Errorf("Upload allocated %d bytes for %d payload, want <= %d", upBytes, len(data), budget)
+	}
+
+	st := storage.NewMemStore()
+	if _, err := Upload(st, "obj", data, o); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(data))
+	downBytes := measure(func() {
+		if _, err := DownloadInto(st, "obj", dst, o); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Download re-reads the manifest JSON each call (~chunk-count sized)
+	// but must not allocate per-chunk wire buffers.
+	if downBytes > budget {
+		t.Errorf("Download allocated %d bytes for %d payload, want <= %d", downBytes, len(data), budget)
+	}
+	if !bytes.Equal(dst, data) {
+		t.Fatal("round trip mismatch")
+	}
+}

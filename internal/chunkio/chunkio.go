@@ -5,11 +5,13 @@
 // matrix is gzip-compressed on one core and fully encoded before its first
 // byte reaches cloud storage. Figure 4's breakdown shows exactly that leg
 // (upload, gzip, download) dominating data-heavy kernels. This package
-// parallelizes *within* a buffer: the payload is split into fixed-size
-// chunks, chunks are compressed concurrently on all host cores (the raw/gzip
-// adaptive-skip verdict is probed once per buffer, not per chunk), and
-// encoded chunks flow through a bounded producer->consumer pipeline into the
-// object store, so compression of chunk k+1 overlaps the upload of chunk k.
+// parallelizes *within* a buffer: the payload is split into chunks (fixed
+// size, or content-defined cuts when Options.CDC is set), each chunk gets
+// its own codec verdict from the configured policy (one probed verdict per
+// buffer for the legacy AlgoAuto codec, a per-chunk adaptive choice for
+// AlgoAdaptive), and encoded chunks flow through a bounded
+// producer->consumer pipeline into the object store, so compression of
+// chunk k+1 overlaps the upload of chunk k.
 // Download mirrors the pipeline: concurrent Get + decompress into a
 // preallocated buffer.
 //
@@ -70,6 +72,27 @@ type Options struct {
 	// min(4, Parallel): enough streams to hide per-object round trips
 	// without flooding a remote store.
 	Putters int
+	// CDC switches Upload and Pipe from fixed-size cuts to Gear
+	// content-defined chunking with ChunkSize as the target average (see
+	// cdc.go): chunk boundaries follow content, so shifted or partially
+	// edited buffers keep most chunk hashes stable and the cross-session
+	// dedup index keeps hitting. OutStream ignores it (the producer
+	// streams, so content cuts cannot be placed ahead of the data) and
+	// keeps fixed cuts.
+	CDC bool
+	// WireBytesPerS tells the adaptive codec (xcompress.AlgoAdaptive) how
+	// fast the store link is, in wire bytes per second for the whole
+	// transfer; each parallel worker is modelled with its share. 0 means
+	// unknown, which the verdict treats as codec-bound (an effectively
+	// infinite wire).
+	WireBytesPerS float64
+	// ChunkSum, when non-nil, resolves a part key to the sha256 of its
+	// decoded content. Fetches verify every resolvable chunk after
+	// decoding and treat a mismatch as a transient corruption (the retry
+	// policy re-fetches). This closes the raw-frame integrity hole —
+	// deflate frames carry a CRC, raw frames carry nothing — and is how
+	// dedup'd cache chunks are guarded against bit rot.
+	ChunkSum func(key string) (sum [sha256.Size]byte, ok bool)
 
 	// ChunkKey, when non-nil, stores parts content-addressed under the
 	// returned key instead of "<key>.NNNNN.part" — the hook for
@@ -149,6 +172,15 @@ func (o Options) putters() int {
 	return p
 }
 
+// wireShare is the wire bandwidth one parallel worker can count on: the
+// transfer's total rate divided evenly across workers. 0 when unknown.
+func (o Options) wireShare() float64 {
+	if o.WireBytesPerS <= 0 {
+		return 0
+	}
+	return o.WireBytesPerS / float64(o.parallel())
+}
+
 // chunkEntry describes one part in the manifest.
 type chunkEntry struct {
 	Key  string `json:"key"`
@@ -178,6 +210,127 @@ var encBufs = sync.Pool{New: func() any {
 	return &b
 }}
 
+// wireBufs pools download-side wire scratch: the encoded bytes fetched from
+// the store before decoding. The upload mirror is encBufs; without this pool
+// every chunk GET materializes ~1 MiB of garbage through storage.Get even
+// though the bytes are dead the moment DecodeInto returns.
+var wireBufs = sync.Pool{New: func() any {
+	b := make([]byte, 0, DefaultChunkSize+DefaultChunkSize/8+64)
+	return &b
+}}
+
+// putUnit is one store-writer's retry machinery, allocated once per worker.
+// resilience.Policy.Do takes a closure; building that closure inside the
+// per-chunk loop makes it escape and allocate every chunk, so the unit binds
+// one op over mutable key/data fields instead.
+type putUnit struct {
+	st      storage.Store
+	o       *Options
+	retries *atomic.Int64
+	hist    *span.Histogram
+	op      func() error
+
+	key  string
+	data []byte
+}
+
+func newPutUnit(st storage.Store, o *Options, retries *atomic.Int64) *putUnit {
+	u := &putUnit{st: st, o: o, retries: retries, hist: span.Metrics().Histogram("chunkio.put.seconds")}
+	u.op = func() error { return u.st.Put(u.key, u.data) }
+	return u
+}
+
+// put writes one object with the configured retry policy; a re-sent PUT
+// overwrites the whole object, so retrying is idempotent. Every attempt set
+// is one "chunk.put" span and one latency observation.
+func (u *putUnit) put(key string, data []byte) error {
+	u.key, u.data = key, data
+	sc := span.Start("chunk.put", "chunk", 0)
+	sc.SetAttr("key", key)
+	start := time.Now()
+	out, err := u.o.Retry.Do(u.op)
+	u.hist.Observe(time.Since(start).Seconds())
+	u.retries.Add(int64(out.Attempts - 1))
+	if out.Attempts > 1 {
+		sc.SetAttr("retries", strconv.Itoa(out.Attempts-1))
+	}
+	sc.End()
+	u.key, u.data = "", nil
+	return err
+}
+
+// getUnit is one download worker's retry machinery, allocated once per
+// worker for the same reason as putUnit. Each fetch is one retry unit: pull
+// the encoded bytes into pooled scratch, decode into the chunk's disjoint
+// destination window, then verify the decoded content hash when
+// Options.ChunkSum can resolve the key. A hash mismatch is classified
+// transient — the store's authoritative copy may be intact — so the policy
+// re-fetches and fully overwrites the window.
+type getUnit struct {
+	st      storage.Store
+	o       *Options
+	retries *atomic.Int64
+	hist    *span.Histogram
+	op      func() error
+
+	key  string
+	dst  []byte
+	wire int64         // wire size of the last successful attempt
+	dur  time.Duration // decode time of the last attempt
+}
+
+func newGetUnit(st storage.Store, o *Options, retries *atomic.Int64) *getUnit {
+	u := &getUnit{st: st, o: o, retries: retries, hist: span.Metrics().Histogram("chunkio.get.seconds")}
+	u.op = u.fetchOnce
+	return u
+}
+
+func (u *getUnit) fetchOnce() error {
+	bp := wireBufs.Get().(*[]byte)
+	enc, err := storage.GetAppend(u.st, u.key, (*bp)[:0])
+	if cap(enc) > cap(*bp) {
+		*bp = enc[:0] // keep any growth for the next borrower
+	}
+	if err != nil {
+		wireBufs.Put(bp)
+		return classifyGetErr(fmt.Errorf("chunkio: fetching %s: %w", u.key, err))
+	}
+	start := time.Now()
+	derr := xcompress.DecodeInto(enc, u.dst)
+	u.dur = time.Since(start)
+	wire := int64(len(enc))
+	wireBufs.Put(bp) // enc aliases the pooled buffer; dead once decoded
+	if derr != nil {
+		return corruptErr(fmt.Errorf("chunkio: decoding %s: %w", u.key, derr))
+	}
+	if u.o.ChunkSum != nil {
+		if want, ok := u.o.ChunkSum(u.key); ok && sha256.Sum256(u.dst) != want {
+			return corruptErr(fmt.Errorf("chunkio: %s decoded bytes fail their content hash", u.key))
+		}
+	}
+	u.wire = wire
+	return nil
+}
+
+// fetch retrieves key and decodes it into dst, with retries, spans and
+// latency accounting. Returns the wire size and decode time on success.
+func (u *getUnit) fetch(key string, dst []byte) (int64, time.Duration, error) {
+	u.key, u.dst = key, dst
+	u.wire, u.dur = 0, 0
+	sc := span.Start("chunk.get", "chunk", 0)
+	sc.SetAttr("key", key)
+	start := time.Now()
+	out, err := u.o.Retry.Do(u.op)
+	u.hist.Observe(time.Since(start).Seconds())
+	u.retries.Add(int64(out.Attempts - 1))
+	if out.Attempts > 1 {
+		sc.SetAttr("retries", strconv.Itoa(out.Attempts-1))
+	}
+	sc.End()
+	u.key, u.dst = "", nil
+	return u.wire, u.dur, err
+}
+
 // classifyGetErr routes a store read error through the resilience taxonomy:
 // a missing key is permanent (re-reading will not materialize it; recovery
 // belongs to a higher layer, e.g. re-running the job), anything else keeps
@@ -206,6 +359,9 @@ type UploadResult struct {
 	// Chunks and Reused count the object's parts and how many were
 	// already present (chunk-cache hits).
 	Chunks, Reused int
+	// ReusedRaw is the raw byte volume covered by reused chunks — the
+	// payload bytes dedup kept off the wire.
+	ReusedRaw int64
 	// CompressWall is the modelled wall time of the parallel compress
 	// stage: total compress CPU divided by the worker count, floored at
 	// the slowest single chunk. It deliberately excludes store
@@ -246,28 +402,20 @@ func wallOf(durs []time.Duration, width int) (wall, cpu time.Duration) {
 func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult, error) {
 	cs := o.chunkSize()
 	var retries atomic.Int64
-	putHist := span.Metrics().Histogram("chunkio.put.seconds")
-	// put writes one object with the configured retry policy; a re-sent
-	// PUT overwrites the whole object, so retrying is idempotent. Every
-	// attempt set is one "chunk.put" span and one latency observation.
-	put := func(k string, data []byte) error {
-		sc := span.Start("chunk.put", "chunk", 0)
-		sc.SetAttr("key", k)
-		start := time.Now()
-		out, err := o.Retry.Do(func() error { return st.Put(k, data) })
-		putHist.Observe(time.Since(start).Seconds())
-		retries.Add(int64(out.Attempts - 1))
-		if out.Attempts > 1 {
-			sc.SetAttr("retries", strconv.Itoa(out.Attempts-1))
-		}
-		sc.End()
-		return err
-	}
+	rootPut := newPutUnit(st, &o, &retries)
 	if len(buf) <= cs {
 		sc := span.Start("chunk.compress", "chunk", 0)
 		sc.SetAttr("key", key)
 		start := time.Now()
-		enc, err := o.Codec.Encode(buf)
+		var enc []byte
+		var err error
+		if o.Codec.Algo == xcompress.AlgoAdaptive {
+			// The whole payload is one chunk: decide with the adaptive
+			// verdict and the full (single-stream) wire rate.
+			enc, err = o.Codec.EncodeWith(buf, o.Codec.ChunkVerdict(buf, o.WireBytesPerS))
+		} else {
+			enc, err = o.Codec.Encode(buf)
+		}
 		dur := time.Since(start)
 		sc.End()
 		span.Metrics().Histogram("chunkio.compress.seconds").Observe(dur.Seconds())
@@ -275,7 +423,7 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 			// Encoding is local CPU work: retrying cannot help.
 			return nil, resilience.MarkPermanent(fmt.Errorf("chunkio: encoding %s: %w", key, err))
 		}
-		if err := put(key, enc); err != nil {
+		if err := rootPut.put(key, enc); err != nil {
 			return nil, fmt.Errorf("chunkio: storing %s: %w", key, err)
 		}
 		wire := int64(len(enc))
@@ -286,15 +434,17 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 		}, nil
 	}
 
-	// The raw/gzip verdict is probed once from the buffer's head and
-	// reused by every chunk: chunks of one buffer share its entropy
-	// profile, and re-probing per chunk would re-compress 256 KiB of
-	// every chunk just to decide.
-	verdict := o.Codec.ProbeVerdict(buf)
-	n := (len(buf) + cs - 1) / cs
+	// Cut the payload (fixed-size or content-defined) and build the
+	// per-chunk codec plan: AlgoAuto probes the buffer once and reuses the
+	// verdict for every chunk; AlgoAdaptive re-decides per chunk against
+	// each worker's share of the wire.
+	cuts := cutPoints(buf, cs, o.CDC)
+	plan := o.Codec.Planner(buf, o.wireShare())
+	n := len(cuts)
 	entries := make([]chunkEntry, n)
 	durs := make([]time.Duration, n)
 	reused := 0
+	var reusedRaw int64
 
 	type putJob struct {
 		key string
@@ -341,11 +491,11 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 		go func() {
 			defer cwg.Done()
 			for i := range jobs {
-				lo := i * cs
-				hi := lo + cs
-				if hi > len(buf) {
-					hi = len(buf)
+				lo := 0
+				if i > 0 {
+					lo = cuts[i-1]
 				}
+				hi := cuts[i]
 				chunk := buf[lo:hi]
 				ckey := partKey(key, i)
 				if o.ChunkKey != nil {
@@ -356,6 +506,7 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 							entries[i] = chunkEntry{Key: ckey, Raw: int64(len(chunk)), Wire: wire}
 							mu.Lock()
 							reused++
+							reusedRaw += int64(len(chunk))
 							mu.Unlock()
 							continue
 						}
@@ -365,7 +516,7 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 				sc := span.Start("chunk.compress", "chunk", 0)
 				sc.SetAttr("key", ckey)
 				start := time.Now()
-				enc, err := o.Codec.AppendEncode((*bp)[:0], chunk, verdict)
+				enc, err := o.Codec.AppendEncode((*bp)[:0], chunk, plan(chunk))
 				durs[i] = time.Since(start)
 				sc.End()
 				span.Metrics().Histogram("chunkio.compress.seconds").Observe(durs[i].Seconds())
@@ -395,12 +546,13 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 		pwg.Add(1)
 		go func() {
 			defer pwg.Done()
+			pu := newPutUnit(st, &o, &retries)
 			for pj := range puts {
 				if failed() {
 					encBufs.Put(pj.bp)
 					continue // drain without writing
 				}
-				err := put(pj.key, pj.enc)
+				err := pu.put(pj.key, pj.enc)
 				wire := int64(len(pj.enc))
 				encBufs.Put(pj.bp) // stores copy on Put; safe once put returns
 				if err != nil {
@@ -429,14 +581,14 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 	frame := make([]byte, 1+len(body))
 	frame[0] = xcompress.TagChunked
 	copy(frame[1:], body)
-	if err := put(key, frame); err != nil {
+	if err := rootPut.put(key, frame); err != nil {
 		return nil, fmt.Errorf("chunkio: storing manifest %s: %w", key, err)
 	}
 	if o.OnManifest != nil {
 		o.OnManifest(key, frame)
 	}
 
-	res := &UploadResult{Chunks: n, Reused: reused, Retries: int(retries.Load())}
+	res := &UploadResult{Chunks: n, Reused: reused, ReusedRaw: reusedRaw, Retries: int(retries.Load())}
 	res.TotalWire = int64(len(frame))
 	for _, e := range entries {
 		res.TotalWire += e.Wire
@@ -604,11 +756,12 @@ func downloadInto(st storage.Store, key string, dst []byte, o Options) ([]byte, 
 
 	// One worker pool does Get and decode back to back: while worker a
 	// decompresses chunk k, worker b's Get of chunk k+1 is in flight —
-	// the download mirror of the upload pipeline. Each chunk's fetch and
-	// decode form one retry unit: DecodeInto writes straight into the
-	// chunk's disjoint window of out (no private buffer, no copy), rejects
-	// any size mismatch, and a successful re-attempt fully overwrites
-	// whatever a failed one left in the window.
+	// the download mirror of the upload pipeline. Each chunk's fetch,
+	// decode and content-hash check form one retry unit (see getUnit):
+	// DecodeInto writes straight into the chunk's disjoint window of out
+	// (the wire bytes land in pooled scratch, the decode has no private
+	// result buffer), rejects any size mismatch, and a successful
+	// re-attempt fully overwrites whatever a failed one left behind.
 	jobs := make(chan int)
 	go func() {
 		defer close(jobs)
@@ -621,35 +774,19 @@ func downloadInto(st storage.Store, key string, dst []byte, o Options) ([]byte, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			gu := newGetUnit(st, &o, &retries)
 			for i := range jobs {
 				e := m.Chunks[i]
-				sc := span.Start("chunk.get", "chunk", 0)
-				sc.SetAttr("key", e.Key)
-				start := time.Now()
-				cout, err := o.Retry.Do(func() error {
-					enc, err := st.Get(e.Key)
-					if err != nil {
-						return classifyGetErr(fmt.Errorf("chunkio: fetching %s: %w", e.Key, err))
-					}
-					start := time.Now()
-					err = xcompress.DecodeInto(enc, out[offsets[i]:offsets[i]+e.Raw])
-					durs[i] = time.Since(start)
-					if err != nil {
-						return corruptErr(fmt.Errorf("chunkio: decoding %s: %w", e.Key, err))
-					}
-					mu.Lock()
-					wire += int64(len(enc))
-					mu.Unlock()
-					return nil
-				})
-				span.Metrics().Histogram("chunkio.get.seconds").Observe(time.Since(start).Seconds())
-				retries.Add(int64(cout.Attempts - 1))
-				if cout.Attempts > 1 {
-					sc.SetAttr("retries", strconv.Itoa(cout.Attempts-1))
-				}
-				sc.End()
+				w, dur, err := gu.fetch(e.Key, out[offsets[i]:offsets[i]+e.Raw])
+				durs[i] = dur
 				errs[i] = err
-				if err == nil && o.OnChunk != nil {
+				if err != nil {
+					continue
+				}
+				mu.Lock()
+				wire += w
+				mu.Unlock()
+				if o.OnChunk != nil {
 					o.OnChunk(offsets[i], offsets[i]+e.Raw)
 				}
 			}
@@ -668,7 +805,10 @@ func downloadInto(st storage.Store, key string, dst []byte, o Options) ([]byte, 
 
 // PartKeys lists the storage keys a chunked object at key would occupy for a
 // payload of rawSize bytes (manifest key itself excluded) — used by cleanup
-// paths that cannot List.
+// paths that cannot List. It assumes fixed-size cuts at default part keys:
+// content-defined (CDC) or content-addressed (ChunkKey) layouts cannot be
+// enumerated from a size alone — their cleanup must track keys explicitly
+// or parse the manifest.
 func PartKeys(key string, rawSize int64, o Options) []string {
 	cs := int64(o.chunkSize())
 	if rawSize <= cs {

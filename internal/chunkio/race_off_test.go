@@ -1,0 +1,6 @@
+//go:build !race
+
+package chunkio
+
+// raceEnabled flags that the race detector is instrumenting this build.
+const raceEnabled = false

@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,20 +47,22 @@ type PipeResult struct {
 // the only difference between the two entry points is who decides when a
 // chunk is ready to flow.
 type pipeState struct {
-	st      storage.Store
-	o       Options
-	key     string
-	src     []byte
-	dst     []byte
-	cs      int
-	verdict xcompress.Verdict
-	ready   func(lo, hi int64)
+	st    storage.Store
+	o     Options
+	key   string
+	src   []byte
+	dst   []byte
+	cs    int
+	cuts  []int // chunk end-offsets (see cutPoints); empty in single mode
+	plan  func(chunk []byte) xcompress.Verdict
+	ready func(lo, hi int64)
 
 	entries          []chunkEntry
 	encDurs, decDurs []time.Duration
 	fetched          []int64
 	errs             []error
 	sent, reused     atomic.Int64
+	reusedRaw        atomic.Int64
 	putRetries       atomic.Int64
 	getRetries       atomic.Int64
 	stopped          atomic.Bool
@@ -69,6 +70,7 @@ type pipeState struct {
 
 func newPipeState(st storage.Store, key string, src, dst []byte, o Options, ready func(lo, hi int64)) *pipeState {
 	ps := &pipeState{st: st, o: o, key: key, src: src, dst: dst, cs: o.chunkSize(), ready: ready}
+	ps.cuts = cutPoints(src, ps.cs, o.CDC)
 	n := ps.chunks()
 	ps.entries = make([]chunkEntry, n)
 	ps.encDurs = make([]time.Duration, n)
@@ -78,49 +80,14 @@ func newPipeState(st storage.Store, key string, src, dst []byte, o Options, read
 	return ps
 }
 
-func (ps *pipeState) chunks() int { return (len(ps.src) + ps.cs - 1) / ps.cs }
+func (ps *pipeState) chunks() int { return len(ps.cuts) }
 
-func (ps *pipeState) put(k string, data []byte) error {
-	sc := span.Start("chunk.put", "chunk", 0)
-	sc.SetAttr("key", k)
-	start := time.Now()
-	out, err := ps.o.Retry.Do(func() error { return ps.st.Put(k, data) })
-	span.Metrics().Histogram("chunkio.put.seconds").Observe(time.Since(start).Seconds())
-	ps.putRetries.Add(int64(out.Attempts - 1))
-	if out.Attempts > 1 {
-		sc.SetAttr("retries", strconv.Itoa(out.Attempts-1))
+// window returns chunk i's [lo, hi) byte range of src.
+func (ps *pipeState) window(i int) (lo, hi int) {
+	if i > 0 {
+		lo = ps.cuts[i-1]
 	}
-	sc.End()
-	return err
-}
-
-// fetch GETs one part and decodes it into its window of dst; the whole unit
-// retries together (a corrupted read re-fetches, and a successful attempt
-// fully overwrites the window).
-func (ps *pipeState) fetch(k string, win []byte) (wire int64, dur time.Duration, err error) {
-	sc := span.Start("chunk.get", "chunk", 0)
-	sc.SetAttr("key", k)
-	fetchStart := time.Now()
-	defer func() {
-		span.Metrics().Histogram("chunkio.get.seconds").Observe(time.Since(fetchStart).Seconds())
-		sc.End()
-	}()
-	out, err := ps.o.Retry.Do(func() error {
-		enc, err := ps.st.Get(k)
-		if err != nil {
-			return classifyGetErr(fmt.Errorf("chunkio: fetching %s: %w", k, err))
-		}
-		start := time.Now()
-		derr := xcompress.DecodeInto(enc, win)
-		dur = time.Since(start)
-		if derr != nil {
-			return corruptErr(fmt.Errorf("chunkio: decoding %s: %w", k, derr))
-		}
-		wire = int64(len(enc))
-		return nil
-	})
-	ps.getRetries.Add(int64(out.Attempts - 1))
-	return wire, dur, err
+	return lo, ps.cuts[i]
 }
 
 // fail records chunk i's error and stops launching further work; chunks
@@ -130,19 +97,15 @@ func (ps *pipeState) fail(i int, err error) {
 	ps.stopped.Store(true)
 }
 
-// runChunk moves chunk i end to end. Cache hooks are honored like Upload's:
-// a chunk the cache already has skips its encode and PUT but is still
-// fetched into dst — the consumer side needs the bytes regardless of who
-// stored them.
-func (ps *pipeState) runChunk(i int) {
+// runChunk moves chunk i end to end through the caller's worker-owned put
+// and get units. Cache hooks are honored like Upload's: a chunk the cache
+// already has skips its encode and PUT but is still fetched into dst — the
+// consumer side needs the bytes regardless of who stored them.
+func (ps *pipeState) runChunk(i int, pu *putUnit, gu *getUnit) {
 	if ps.stopped.Load() {
 		return
 	}
-	lo := i * ps.cs
-	hi := lo + ps.cs
-	if hi > len(ps.src) {
-		hi = len(ps.src)
-	}
+	lo, hi := ps.window(i)
 	chunk := ps.src[lo:hi]
 	ckey := partKey(ps.key, i)
 	have := false
@@ -153,6 +116,7 @@ func (ps *pipeState) runChunk(i int) {
 			if wire, ok := ps.o.Have(ckey); ok {
 				ps.entries[i] = chunkEntry{Key: ckey, Raw: int64(len(chunk)), Wire: wire}
 				ps.reused.Add(1)
+				ps.reusedRaw.Add(int64(len(chunk)))
 				have = true
 			}
 		}
@@ -162,7 +126,7 @@ func (ps *pipeState) runChunk(i int) {
 		sc := span.Start("chunk.compress", "chunk", 0)
 		sc.SetAttr("key", ckey)
 		start := time.Now()
-		enc, err := ps.o.Codec.AppendEncode((*bp)[:0], chunk, ps.verdict)
+		enc, err := ps.o.Codec.AppendEncode((*bp)[:0], chunk, ps.plan(chunk))
 		ps.encDurs[i] = time.Since(start)
 		sc.End()
 		span.Metrics().Histogram("chunkio.compress.seconds").Observe(ps.encDurs[i].Seconds())
@@ -172,7 +136,7 @@ func (ps *pipeState) runChunk(i int) {
 			return
 		}
 		*bp = enc
-		err = ps.put(ckey, enc)
+		err = pu.put(ckey, enc)
 		wire := int64(len(enc))
 		encBufs.Put(bp) // stores copy on Put; safe once put returns
 		if err != nil {
@@ -185,7 +149,7 @@ func (ps *pipeState) runChunk(i int) {
 			ps.o.OnStored(ckey, wire)
 		}
 	}
-	wire, dur, err := ps.fetch(ckey, ps.dst[lo:hi])
+	wire, dur, err := gu.fetch(ckey, ps.dst[lo:hi])
 	if err != nil {
 		ps.fail(i, err)
 		return
@@ -234,7 +198,7 @@ func (ps *pipeState) commitManifest() (int, error) {
 	frame := make([]byte, 1+len(body))
 	frame[0] = xcompress.TagChunked
 	copy(frame[1:], body)
-	if err := ps.put(ps.key, frame); err != nil {
+	if err := newPutUnit(ps.st, &ps.o, &ps.putRetries).put(ps.key, frame); err != nil {
 		return 0, fmt.Errorf("chunkio: storing manifest %s: %w", ps.key, err)
 	}
 	if ps.o.OnManifest != nil {
@@ -246,9 +210,10 @@ func (ps *pipeState) commitManifest() (int, error) {
 // results assembles the two halves' accounting after a successful run.
 func (ps *pipeState) results(frameLen int) *PipeResult {
 	up := UploadResult{
-		Chunks:  ps.chunks(),
-		Reused:  int(ps.reused.Load()),
-		Retries: int(ps.putRetries.Load()),
+		Chunks:    ps.chunks(),
+		Reused:    int(ps.reused.Load()),
+		ReusedRaw: ps.reusedRaw.Load(),
+		Retries:   int(ps.putRetries.Load()),
 	}
 	up.TotalWire = int64(frameLen)
 	for _, e := range ps.entries {
@@ -277,17 +242,24 @@ func pipeSingle(st storage.Store, key string, buf, dst []byte, o Options, ready 
 	sc := span.Start("chunk.compress", "chunk", 0)
 	sc.SetAttr("key", key)
 	start := time.Now()
-	enc, err := o.Codec.Encode(buf)
+	var enc []byte
+	var err error
+	if o.Codec.Algo == xcompress.AlgoAdaptive {
+		// One chunk, one stream: decide with the full wire rate.
+		enc, err = o.Codec.EncodeWith(buf, o.Codec.ChunkVerdict(buf, o.WireBytesPerS))
+	} else {
+		enc, err = o.Codec.Encode(buf)
+	}
 	encDur := time.Since(start)
 	sc.End()
 	span.Metrics().Histogram("chunkio.compress.seconds").Observe(encDur.Seconds())
 	if err != nil {
 		return nil, resilience.MarkPermanent(fmt.Errorf("chunkio: encoding %s: %w", key, err))
 	}
-	if err := ps.put(key, enc); err != nil {
+	if err := newPutUnit(st, &ps.o, &ps.putRetries).put(key, enc); err != nil {
 		return nil, fmt.Errorf("chunkio: storing %s: %w", key, err)
 	}
-	wire, decDur, err := ps.fetch(key, dst)
+	wire, decDur, err := newGetUnit(st, &ps.o, &ps.getRetries).fetch(key, dst)
 	if err != nil {
 		if o.ChunkKey == nil {
 			// The object this call stored is unreadable: remove it rather
@@ -330,9 +302,9 @@ func Pipe(st storage.Store, key string, buf, dst []byte, o Options, ready func(l
 	}
 
 	ps := newPipeState(st, key, buf, dst, o, ready)
-	// One probe serves every chunk, exactly like Upload: the chunks of one
-	// buffer share its entropy profile.
-	ps.verdict = o.Codec.ProbeVerdict(buf)
+	// Same per-chunk codec plan as Upload: AlgoAuto probes once and reuses
+	// the verdict; AlgoAdaptive decides per chunk.
+	ps.plan = o.Codec.Planner(buf, o.wireShare())
 
 	jobs := make(chan int)
 	go func() {
@@ -346,8 +318,10 @@ func Pipe(st storage.Store, key string, buf, dst []byte, o Options, ready func(l
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			pu := newPutUnit(st, &ps.o, &ps.putRetries)
+			gu := newGetUnit(st, &ps.o, &ps.getRetries)
 			for i := range jobs {
-				ps.runChunk(i)
+				ps.runChunk(i, pu, gu)
 			}
 		}()
 	}
@@ -388,10 +362,17 @@ type OutStream struct {
 // into dst (len(dst) must equal len(src)). ready — when non-nil — fires
 // after each window of dst is final, like Pipe's. Payloads of at most one
 // chunk defer all work to Finish: there is nothing to overlap.
+//
+// Content-defined chunking is forced off: Gear cuts depend on bytes that a
+// streaming producer has not written yet, so an OutStream always uses
+// fixed-size cuts regardless of Options.CDC. Output buffers are fresh per
+// job anyway — the cross-session dedup payoff CDC exists for belongs to the
+// input side.
 func NewOutStream(st storage.Store, key string, src, dst []byte, o Options, ready func(lo, hi int64)) (*OutStream, error) {
 	if len(dst) != len(src) {
 		return nil, resilience.MarkPermanent(fmt.Errorf("chunkio: outstream %s: dst is %d bytes, want %d", key, len(dst), len(src)))
 	}
+	o.CDC = false
 	s := &OutStream{ps: newPipeState(st, key, src, dst, o, ready)}
 	if len(src) <= s.ps.cs {
 		s.single = true
@@ -403,8 +384,10 @@ func NewOutStream(st storage.Store, key string, src, dst []byte, o Options, read
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			pu := newPutUnit(st, &s.ps.o, &s.ps.putRetries)
+			gu := newGetUnit(st, &s.ps.o, &s.ps.getRetries)
 			for i := range s.jobs {
-				s.ps.runChunk(i)
+				s.ps.runChunk(i, pu, gu)
 			}
 		}()
 	}
@@ -428,18 +411,16 @@ func (s *OutStream) Advance(hi int64) {
 		return
 	}
 	for s.next < s.ps.chunks() {
-		end := int64(s.next+1) * int64(s.ps.cs)
-		if end > int64(len(s.ps.src)) {
-			end = int64(len(s.ps.src))
-		}
+		end := int64(s.ps.cuts[s.next])
 		if end > s.water {
 			break
 		}
 		if !s.probed {
-			// First chunk is final, so the probe window (which never
-			// exceeds chunk 0 at its 256 KiB default sample) reads only
-			// finalized bytes.
-			s.ps.verdict = s.ps.o.Codec.ProbeVerdict(s.ps.src[:end])
+			// First chunk is final, so building the plan from src[:end]
+			// reads only finalized bytes: AlgoAuto's probe samples within
+			// chunk 0, and AlgoAdaptive's plan defers all reads to each
+			// chunk's own enqueue-time verdict.
+			s.ps.plan = s.ps.o.Codec.Planner(s.ps.src[:end], s.ps.o.wireShare())
 			s.probed = true
 		}
 		s.jobs <- s.next

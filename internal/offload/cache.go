@@ -42,11 +42,49 @@ func contentKey(data []byte) string {
 	return "cache/" + hex.EncodeToString(sum[:])
 }
 
+// chunkPrefix is the namespace of content-addressed chunks. Per-job cleanup
+// never touches it (only "jobs/..." prefixes are wiped), which is what makes
+// chunks durable across sessions for Dedup; a store wipe of "cache/" clears
+// both cache granularities together.
+const chunkPrefix = "cache/c/"
+
 // chunkContentKey derives the content-addressed storage key for one chunk.
-// Chunks live under their own namespace so a store wipe of "cache/" clears
-// both granularities together.
 func chunkContentKey(sum [sha256.Size]byte) string {
-	return "cache/c/" + hex.EncodeToString(sum[:])
+	return chunkPrefix + hex.EncodeToString(sum[:])
+}
+
+// chunkSumOf recovers the expected content hash from a content-addressed
+// chunk key ("cache/c/<sha256 hex>"), letting the transfer engine verify
+// decoded chunk bytes end to end. Non-chunk keys (per-job part keys) report
+// ok=false and are not verified. Decodes by hand: this runs once per chunk
+// GET on the zero-alloc hot path, and hex.Decode would need a []byte
+// conversion of the key.
+func chunkSumOf(key string) (sum [sha256.Size]byte, ok bool) {
+	if len(key) != len(chunkPrefix)+2*sha256.Size || key[:len(chunkPrefix)] != chunkPrefix {
+		return sum, false
+	}
+	hx := key[len(chunkPrefix):]
+	for i := 0; i < sha256.Size; i++ {
+		hi, ok1 := unhex(hx[2*i])
+		lo, ok2 := unhex(hx[2*i+1])
+		if !ok1 || !ok2 {
+			return [sha256.Size]byte{}, false
+		}
+		sum[i] = hi<<4 | lo
+	}
+	return sum, true
+}
+
+// unhex decodes one lowercase hex digit (the only case hex.EncodeToString
+// emits).
+func unhex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
 }
 
 // lookup reports the wire size of a previously uploaded buffer, if any.
@@ -113,6 +151,11 @@ type CacheStats struct {
 	// whose in-process consumers never fetch the manifest at all). Filled
 	// even when the content cache itself is disabled.
 	AvoidedGets int64
+	// DedupHits/DedupBytes count the chunks (and their wire bytes) that
+	// were not re-sent because the persistent cross-session index already
+	// had them — reuse of data an earlier session uploaded. Zero unless
+	// Dedup; session-cache reuse counts under ChunkHits instead.
+	DedupHits, DedupBytes int64
 }
 
 func (c *uploadCache) stats() CacheStats {

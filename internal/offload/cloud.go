@@ -67,6 +67,24 @@ type CloudConfig struct {
 	// machine cores.
 	ChunkParallel int
 
+	// CDC switches the chunked data path to content-defined (Gear rolling
+	// hash) chunk boundaries instead of fixed ChunkBytes-sized cuts. Cuts
+	// then follow the content, so an insert or prepend only perturbs the
+	// chunks around the edit and every other chunk keeps its content hash —
+	// the property chunk-granular caching and Dedup need to recognize
+	// shifted data. ChunkBytes becomes the target average chunk size.
+	// Requires the chunked data path (ChunkBytes >= 0).
+	CDC bool
+
+	// Dedup turns on cross-session chunk dedup: a persistent content-
+	// addressed index over the store's "cache/c/" namespace, primed by
+	// listing the store at first upload, so chunks any earlier session
+	// already shipped are never re-sent. Per-job cleanup leaves "cache/"
+	// untouched, which is what makes the index durable across sessions.
+	// Works with or without EnableCache (EnableCache adds the in-session
+	// whole-buffer layer on top). Requires ChunkBytes >= 0.
+	Dedup bool
+
 	// Overlap selects the tile-granular streaming dataflow: the workflow's
 	// four stages overlap at tile granularity — the Spark task for tile k
 	// launches as soon as tile k's input chunks are resident on the
@@ -198,6 +216,15 @@ type CloudPlugin struct {
 	cache *uploadCache     // nil unless EnableCache
 	pool  *remoteexec.Pool // nil unless WorkerAddrs configured
 
+	// chunkIdx is the persistent cross-session chunk index (nil unless
+	// Dedup); idxOnce lazily primes it from the store at first upload.
+	// dedupHits/dedupBytes count chunks (and wire bytes) the index kept
+	// off the WAN.
+	chunkIdx   *storage.ChunkIndex
+	idxOnce    sync.Once
+	dedupHits  atomic.Int64
+	dedupBytes atomic.Int64
+
 	// breaker guards the device against consecutive workflow failures
 	// (nil when disabled); healthKey is this plugin's private probe key,
 	// so concurrent plugins sharing one store never race on a probe
@@ -251,6 +278,15 @@ func NewCloudPlugin(cfg CloudConfig) (*CloudPlugin, error) {
 	if err := cfg.Profile.Validate(); err != nil {
 		return nil, err
 	}
+	// CDC and Dedup are properties of chunks; the sequential single-stream
+	// policy (ChunkBytes < 0) has none, so combining them is a config
+	// mistake, not a request for silent no-ops.
+	if cfg.CDC && cfg.ChunkBytes < 0 {
+		return nil, fmt.Errorf("offload: content-defined chunking needs the chunked data path; use chunk-bytes >= 0, not %d", cfg.ChunkBytes)
+	}
+	if cfg.Dedup && cfg.ChunkBytes < 0 {
+		return nil, fmt.Errorf("offload: dedup needs the chunked data path; use chunk-bytes >= 0, not %d", cfg.ChunkBytes)
+	}
 	if cfg.RunOnDriver {
 		cfg.Profile.WAN = cfg.Profile.LAN
 		cfg.Profile.WAN.Name = "lan-as-wan"
@@ -300,6 +336,9 @@ func NewCloudPlugin(cfg CloudConfig) (*CloudPlugin, error) {
 	}
 	if cfg.EnableCache {
 		p.cache = newUploadCache()
+	}
+	if cfg.Dedup {
+		p.chunkIdx = storage.NewChunkIndex(chunkPrefix)
 	}
 	p.initErr = p.init()
 	if p.initErr == nil && len(cfg.WorkerAddrs) > 0 {
@@ -511,6 +550,8 @@ func (p *CloudPlugin) CacheStats() CacheStats {
 		s = p.cache.stats()
 	}
 	s.AvoidedGets = p.avoidedGets.Load()
+	s.DedupHits = p.dedupHits.Load()
+	s.DedupBytes = p.dedupBytes.Load()
 	return s
 }
 
@@ -730,28 +771,89 @@ func (p *CloudPlugin) chunkOpts(withCache bool, rc *atomic.Int64) chunkio.Option
 		Codec:     p.cfg.Codec,
 		ChunkSize: p.cfg.ChunkBytes,
 		Parallel:  p.cfg.ChunkParallel,
-		Retry:     p.retryPolicy(rc),
+		CDC:       p.cfg.CDC,
+		// The adaptive codec weighs compression speed against the
+		// host-target link; the upload legs ride the (possibly
+		// RunOnDriver-rewritten) WAN.
+		WireBytesPerS: p.cfg.Profile.WAN.BitsPerSs / 8,
+		// Content-addressed chunk keys carry their own content hash;
+		// verifying decoded bytes against it turns a corrupt cached chunk
+		// into a transient retry instead of silently reused wrong data.
+		// Non-content keys (per-job part keys) are not affected.
+		ChunkSum: chunkSumOf,
+		Retry:    p.retryPolicy(rc),
 	}
-	if withCache && p.cache != nil {
+	if withCache && (p.cache != nil || p.chunkIdx != nil) {
+		if p.chunkIdx != nil {
+			p.primeIndex()
+		}
 		o.ChunkKey = chunkContentKey
 		o.Have = p.chunkHave
-		o.OnStored = p.cache.rememberChunk
+		o.OnStored = p.rememberChunk
 	}
 	return o
 }
 
+// primeIndex loads the persistent chunk index from the store, once per
+// plugin: a fresh session discovers the chunks earlier sessions left under
+// "cache/c/" and reuses them instead of re-sending. A failed Load is
+// non-fatal — the index is an availability hint, and an empty one only
+// costs re-uploads.
+func (p *CloudPlugin) primeIndex() {
+	p.idxOnce.Do(func() {
+		if n, err := p.chunkIdx.Load(p.cfg.Store); err == nil && n > 0 {
+			span.Metrics().Counter("cache.dedup.indexed").Add(int64(n))
+		}
+	})
+}
+
 // chunkHave answers the engine's "is this chunk already stored?" query from
-// the chunk cache, verifying against the store before trusting it.
+// the session chunk cache and, with Dedup, the persistent cross-session
+// index — verifying against the store before trusting either, since stores
+// can be wiped between jobs. Index hits are what dedup saves: chunks some
+// earlier session (or earlier upload with no session cache) shipped.
 func (p *CloudPlugin) chunkHave(key string) (int64, bool) {
-	wire, ok := p.cache.lookupChunk(key)
+	wire, ok := int64(0), false
+	if p.cache != nil {
+		wire, ok = p.cache.lookupChunk(key)
+	}
+	fromIdx := false
+	if !ok && p.chunkIdx != nil && p.chunkIdx.Have(key) {
+		wire, ok = p.chunkIdx.WireSize(key)
+		fromIdx = ok
+	}
 	if !ok {
 		return 0, false
 	}
 	if _, err := p.cfg.Store.Stat(key); err != nil {
-		p.cache.forgetChunk(key)
+		if p.cache != nil {
+			p.cache.forgetChunk(key)
+		}
+		if p.chunkIdx != nil {
+			p.chunkIdx.Forget(key)
+		}
 		return 0, false
 	}
+	if fromIdx {
+		p.dedupHits.Add(1)
+		p.dedupBytes.Add(wire)
+		m := span.Metrics()
+		m.Counter("cache.dedup.hits").Inc()
+		m.Counter("cache.dedup.bytes").Add(wire)
+	}
 	return wire, true
+}
+
+// rememberChunk records a freshly stored chunk with the session cache and
+// the persistent index, so both within-run repeats and future sessions
+// recognize it.
+func (p *CloudPlugin) rememberChunk(key string, wire int64) {
+	if p.cache != nil {
+		p.cache.rememberChunk(key, wire)
+	}
+	if p.chunkIdx != nil {
+		p.chunkIdx.Remember(key, wire)
+	}
 }
 
 // uploadResult describes one input buffer's journey to cloud storage.

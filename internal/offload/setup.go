@@ -28,11 +28,12 @@ import (
 //	[storage]     type (memory | disk | remote), address, path
 //	[network]     wan-mbps, wan-latency-ms, lan-gbps, lan-latency-us,
 //	              mem-gbps
-//	[offload]     compress-min-bytes, chunk-bytes, chunk-parallel, overlap,
-//	              health-ttl-ms, jni-base-ms, jni-mbps, enable-cache,
-//	              verbose, run-on-driver, resume, retry-max, retry-base-ms,
-//	              retry-cap-ms, breaker-failures, breaker-cooldown-ms,
-//	              fallback (host | fail)
+//	[offload]     compress-min-bytes, codec (auto | adaptive | raw | fast |
+//	              deflate), chunk-bytes (size | -1 | cdc), chunk-parallel,
+//	              overlap, dedup, health-ttl-ms, jni-base-ms, jni-mbps,
+//	              enable-cache, verbose, run-on-driver, resume, retry-max,
+//	              retry-base-ms, retry-cap-ms, breaker-failures,
+//	              breaker-cooldown-ms, fallback (host | fail)
 //
 // Every key has a sensible default; an empty file yields the paper's
 // 16-worker c3.8xlarge deployment over an in-memory store. Knobs whose
@@ -185,17 +186,36 @@ func NewCloudPluginFromConfig(f *config.File) (*CloudPlugin, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg.Codec = xcompress.Codec{MinSize: minBytes}
+	// codec: auto (default, one probe per buffer) | adaptive (per-chunk
+	// verdicts weighing entropy against the configured WAN speed) | raw |
+	// fast | deflate (forced). ParseAlgo's error already lists the valid
+	// names.
+	algo, err := xcompress.ParseAlgo(f.Str("offload", "codec", "auto"))
+	if err != nil {
+		return nil, fmt.Errorf("offload: %w", err)
+	}
+	cfg.Codec = xcompress.Codec{MinSize: minBytes, Algo: algo}
 	// chunk-bytes: 0 = default 1 MiB chunks; -1 = sequential single-stream
-	// transfers (the paper's original policy). Other negatives mean nothing.
-	chunkBytes, err := f.Int("offload", "chunk-bytes", 0)
+	// transfers (the paper's original policy); "cdc" = content-defined
+	// (Gear) chunk boundaries at the default average size. Other negatives
+	// mean nothing.
+	if strings.EqualFold(strings.TrimSpace(f.Str("offload", "chunk-bytes", "")), "cdc") {
+		cfg.CDC = true
+	} else {
+		chunkBytes, err := f.Int("offload", "chunk-bytes", 0)
+		if err != nil {
+			return nil, err
+		}
+		if chunkBytes < -1 {
+			return nil, fmt.Errorf("offload: chunk-bytes must be -1 (sequential), 0 (default), a positive size, or cdc, got %d", chunkBytes)
+		}
+		cfg.ChunkBytes = chunkBytes
+	}
+	dedup, err := f.Bool("offload", "dedup", false)
 	if err != nil {
 		return nil, err
 	}
-	if chunkBytes < -1 {
-		return nil, fmt.Errorf("offload: chunk-bytes must be -1 (sequential), 0 (default), or a positive size, got %d", chunkBytes)
-	}
-	cfg.ChunkBytes = chunkBytes
+	cfg.Dedup = dedup
 	// overlap: on (default) streams tiles through upload, compute, and
 	// download concurrently; off keeps the stage-barriered workflow. Both
 	// modes produce bit-identical outputs.

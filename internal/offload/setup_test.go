@@ -8,6 +8,7 @@ import (
 	"ompcloud/internal/config"
 	"ompcloud/internal/data"
 	"ompcloud/internal/storage"
+	"ompcloud/internal/xcompress"
 )
 
 func parseConf(t *testing.T, text string) *config.File {
@@ -188,6 +189,65 @@ func TestFromConfigKnobValidation(t *testing.T) {
 	for _, c := range good {
 		if _, err := NewCloudPluginFromConfig(parseConf(t, c)); err != nil {
 			t.Errorf("config %q should parse: %v", c, err)
+		}
+	}
+}
+
+func TestFromConfigCodecAndDedupKnobs(t *testing.T) {
+	p, err := NewCloudPluginFromConfig(parseConf(t, `
+[cluster]
+workers = 2
+cores-per-worker = 2
+
+[offload]
+codec = fast
+chunk-bytes = cdc
+dedup = true
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.cfg.Codec.Algo != xcompress.AlgoFast {
+		t.Fatalf("codec = %v, want fast", p.cfg.Codec.Algo)
+	}
+	if !p.cfg.CDC || p.cfg.ChunkBytes != 0 {
+		t.Fatalf("chunk-bytes = cdc should select CDC at the default size, got CDC=%v ChunkBytes=%d",
+			p.cfg.CDC, p.cfg.ChunkBytes)
+	}
+	if !p.cfg.Dedup {
+		t.Fatal("dedup knob not wired")
+	}
+
+	// Defaults: legacy probe codec, fixed cuts, no dedup.
+	d, err := NewCloudPluginFromConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.cfg.Codec.Algo != xcompress.AlgoAuto || d.cfg.CDC || d.cfg.Dedup {
+		t.Fatalf("defaults changed: %+v", d.cfg)
+	}
+
+	// Friendly rejections: unknown codec names (the error lists the valid
+	// ones) and dedup/cdc over the sequential transfer policy.
+	for _, c := range []string{
+		"[offload]\ncodec = zstd\n",
+		"[offload]\ncodec = gzip9\n",
+		"[offload]\ndedup = true\nchunk-bytes = -1\n",
+		"[offload]\ndedup = perhaps\n",
+	} {
+		if _, err := NewCloudPluginFromConfig(parseConf(t, c)); err == nil {
+			t.Errorf("config %q should fail", c)
+		}
+	}
+	if _, err := NewCloudPluginFromConfig(parseConf(t, "[offload]\ncodec = zstd\n")); err == nil ||
+		!strings.Contains(err.Error(), "adaptive") {
+		t.Errorf("unknown-codec error should list valid names, got: %v", err)
+	}
+
+	// Every named codec parses.
+	for _, name := range []string{"auto", "adaptive", "raw", "fast", "deflate", "gzip"} {
+		if _, err := NewCloudPluginFromConfig(parseConf(t, "[offload]\ncodec = "+name+"\n")); err != nil {
+			t.Errorf("codec %q should parse: %v", name, err)
 		}
 	}
 }

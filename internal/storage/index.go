@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ChunkIndex is a cross-session view of the content-addressed chunks already
+// present in a store. The store itself is the persistence: chunk objects live
+// under a stable prefix (e.g. "cache/c/<sha256>") that job cleanup never
+// deletes, so a new process — a re-run, a resumed session, a second tenant
+// sharing the bucket — rebuilds the index with Load and skips re-uploading
+// every chunk whose hash it already holds. The index is an availability hint,
+// not a source of truth: callers should Stat-verify a hit before trusting it
+// (the offload plugin does) and Forget entries that turn out to be gone.
+type ChunkIndex struct {
+	prefix string
+	mu     sync.RWMutex
+	wire   map[string]int64 // key -> stored wire size
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewChunkIndex creates an empty index over keys with the given prefix.
+func NewChunkIndex(prefix string) *ChunkIndex {
+	return &ChunkIndex{prefix: prefix, wire: make(map[string]int64)}
+}
+
+// Prefix reports the key prefix this index covers.
+func (x *ChunkIndex) Prefix() string { return x.prefix }
+
+// Load scans st for existing chunk objects under the index prefix and
+// records their sizes. It is additive: entries already in the index are kept
+// (re-Loading after new uploads is cheap and safe). Returns the number of
+// chunks indexed from the store.
+func (x *ChunkIndex) Load(st Store) (int, error) {
+	keys, err := st.List(x.prefix)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, key := range keys {
+		size, err := st.Stat(key)
+		if err != nil {
+			continue // raced with a delete; skip
+		}
+		x.mu.Lock()
+		x.wire[key] = size
+		x.mu.Unlock()
+		n++
+	}
+	return n, nil
+}
+
+// Have reports whether key is indexed, counting the lookup as a dedup hit
+// or miss. Keys outside the index prefix report false without counting.
+func (x *ChunkIndex) Have(key string) bool {
+	if !strings.HasPrefix(key, x.prefix) {
+		return false
+	}
+	x.mu.RLock()
+	_, ok := x.wire[key]
+	x.mu.RUnlock()
+	if ok {
+		x.hits.Add(1)
+	} else {
+		x.misses.Add(1)
+	}
+	return ok
+}
+
+// WireSize reports the stored wire size of an indexed key (0, false when
+// absent). Unlike Have it does not count toward hit/miss stats.
+func (x *ChunkIndex) WireSize(key string) (int64, bool) {
+	x.mu.RLock()
+	size, ok := x.wire[key]
+	x.mu.RUnlock()
+	return size, ok
+}
+
+// Remember records that key now exists in the store with the given wire size.
+func (x *ChunkIndex) Remember(key string, wire int64) {
+	if !strings.HasPrefix(key, x.prefix) {
+		return
+	}
+	x.mu.Lock()
+	x.wire[key] = wire
+	x.mu.Unlock()
+}
+
+// Forget drops key (a Stat-verify found it missing, or it was deleted).
+func (x *ChunkIndex) Forget(key string) {
+	x.mu.Lock()
+	delete(x.wire, key)
+	x.mu.Unlock()
+}
+
+// Len reports how many chunks are indexed.
+func (x *ChunkIndex) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.wire)
+}
+
+// Hits reports how many Have lookups found their chunk.
+func (x *ChunkIndex) Hits() int64 { return x.hits.Load() }
+
+// Misses reports how many Have lookups missed.
+func (x *ChunkIndex) Misses() int64 { return x.misses.Load() }

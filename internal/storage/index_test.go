@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestChunkIndexLoadAcrossInstances(t *testing.T) {
+	st := NewMemStore()
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("cache/c/%02d", i)
+		if err := st.Put(key, make([]byte, 100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Put("jobs/a/in.0", []byte("not a chunk")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A "second session" builds a fresh index over the same store.
+	x := NewChunkIndex("cache/c/")
+	n, err := x.Load(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 || x.Len() != 5 {
+		t.Fatalf("loaded %d chunks (len %d), want 5", n, x.Len())
+	}
+	if !x.Have("cache/c/03") {
+		t.Fatal("loaded chunk must report Have")
+	}
+	if x.Have("cache/c/99") {
+		t.Fatal("absent chunk must miss")
+	}
+	if x.Have("jobs/a/in.0") {
+		t.Fatal("keys outside the prefix must not be indexed")
+	}
+	if size, ok := x.WireSize("cache/c/04"); !ok || size != 104 {
+		t.Fatalf("WireSize = %d, %v; want 104, true", size, ok)
+	}
+	if x.Hits() != 1 || x.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", x.Hits(), x.Misses())
+	}
+}
+
+func TestChunkIndexRememberForget(t *testing.T) {
+	x := NewChunkIndex("cache/c/")
+	x.Remember("cache/c/aa", 42)
+	x.Remember("jobs/other", 7) // outside prefix: ignored
+	if x.Len() != 1 {
+		t.Fatalf("len = %d, want 1", x.Len())
+	}
+	if !x.Have("cache/c/aa") {
+		t.Fatal("remembered chunk must hit")
+	}
+	x.Forget("cache/c/aa")
+	if x.Have("cache/c/aa") {
+		t.Fatal("forgotten chunk must miss")
+	}
+}
+
+func TestGetAppendFallbackAndNative(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		st   Store
+	}{
+		{"mem", NewMemStore()},
+		{"metered", NewMetered(NewMemStore())},
+	} {
+		data := []byte("hello chunk payload")
+		if err := tc.st.Put("k", data); err != nil {
+			t.Fatal(err)
+		}
+		dst := append(make([]byte, 0, 64), "prefix:"...)
+		out, err := GetAppend(tc.st, "k", dst)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if string(out) != "prefix:"+string(data) {
+			t.Fatalf("%s: got %q", tc.name, out)
+		}
+		if _, err := GetAppend(tc.st, "missing", dst); err == nil {
+			t.Fatalf("%s: missing key must error", tc.name)
+		}
+	}
+}
+
+func TestDiskStoreGetAppend(t *testing.T) {
+	st, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 10_000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := st.Put("dir/obj", data); err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.GetAppend("dir/obj", make([]byte, 0, 16_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(data) {
+		t.Fatalf("got %d bytes, want %d", len(out), len(data))
+	}
+	for i := range out {
+		if out[i] != byte(i) {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+	if _, err := st.GetAppend("missing", nil); err == nil {
+		t.Fatal("missing key must error")
+	}
+}
+
+func TestMemStoreGetAppendZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc gates are meaningless under -race instrumentation")
+	}
+	st := NewMemStore()
+	if err := st.Put("k", make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 0, 1<<21)
+	allocs := testing.AllocsPerRun(10, func() {
+		out, err := st.GetAppend("k", dst[:0])
+		if err != nil || len(out) != 1<<20 {
+			t.Fatal("GetAppend failed")
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("MemStore.GetAppend: %v allocs/run, want 0", allocs)
+	}
+}

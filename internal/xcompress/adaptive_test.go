@@ -1,0 +1,250 @@
+package xcompress
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// mixedBuffer builds a buffer whose head is dense random bytes and whose
+// remainder is zeros — the shape that used to defeat the head-only probe.
+func mixedBuffer(n, denseHead int) []byte {
+	b := make([]byte, n)
+	copy(b, denseBytes(denseHead, 21))
+	return b
+}
+
+// TestProbeVerdictMixedBuffer is the regression for the head-probe
+// misclassification: a buffer with a dense 512 KiB head but a sparse 3.5 MiB
+// tail used to probe as VerdictRaw and ship ~4 MiB of zeros uncompressed.
+// The fixed probe samples head, middle, and tail.
+func TestProbeVerdictMixedBuffer(t *testing.T) {
+	c := Codec{}
+	buf := mixedBuffer(4<<20, 512<<10)
+	if v := c.ProbeVerdict(buf); v != VerdictGzip {
+		t.Fatalf("mixed buffer probed as %v; dense head must not veto a sparse bulk", v)
+	}
+	// The reverse shape (sparse head, dense tail) already compressed via
+	// the head sample; it must keep doing so, relying on the per-chunk
+	// expansion fallback for the dense fraction.
+	rev := make([]byte, 4<<20)
+	copy(rev[len(rev)-(512<<10):], denseBytes(512<<10, 22))
+	if v := c.ProbeVerdict(rev); v != VerdictGzip {
+		t.Fatalf("sparse-head buffer probed as %v, want VerdictGzip", v)
+	}
+	// Fully dense buffers must still ship raw.
+	if v := c.ProbeVerdict(denseBytes(4<<20, 23)); v != VerdictRaw {
+		t.Fatal("fully dense buffer must still probe as VerdictRaw")
+	}
+	// Fully sparse buffers compress.
+	if v := c.ProbeVerdict(make([]byte, 4<<20)); v != VerdictGzip {
+		t.Fatal("sparse buffer must probe as VerdictGzip")
+	}
+}
+
+// TestEncodeMixedBuffer checks the same fix inside Encode's stream probe:
+// the whole-buffer entry point must compress a dense-head/sparse-tail buffer
+// instead of abandoning the stream after the head sample.
+func TestEncodeMixedBuffer(t *testing.T) {
+	c := Codec{}
+	buf := mixedBuffer(4<<20, 512<<10)
+	wire, err := c.Encode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsCompressed(wire) {
+		t.Fatal("mixed buffer shipped raw: head probe vetoed a sparse bulk")
+	}
+	if len(wire) > len(buf)/2 {
+		t.Fatalf("mixed buffer wire is %d of %d raw bytes", len(wire), len(buf))
+	}
+	out, err := Decode(wire)
+	if err != nil || !bytes.Equal(out, buf) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestChunkVerdictMatrix(t *testing.T) {
+	c := Codec{Algo: AlgoAdaptive}
+	sparse := make([]byte, 1<<20)
+	dense := denseBytes(1<<20, 31)
+	const (
+		slowWire    = 25e6  // 200 Mbps — slower than deflate on raw bytes
+		fastWire    = 500e6 // faster than deflate: codec is the critical path
+		starvedWire = 1e3   // slower than deflate even on compressed bytes
+	)
+	cases := []struct {
+		name    string
+		chunk   []byte
+		wireBPS float64
+		want    Verdict
+	}{
+		{"sparse/codec-bound", sparse, fastWire, VerdictFast},
+		{"sparse/unknown-wire", sparse, 0, VerdictFast},
+		// 200 Mbps looks wire-bound against raw bytes, but sparse data
+		// compresses ~25x: the wire drains compressed bytes far faster
+		// than deflate produces them, so fast (not deflate) minimizes
+		// pipelined time. Only a wire slow on *compressed* bytes
+		// justifies deflate's extra compression wall.
+		{"sparse/wire-bound-raw-bytes", sparse, slowWire, VerdictFast},
+		{"sparse/wire-starved", sparse, starvedWire, VerdictGzip},
+		{"dense/codec-bound", dense, fastWire, VerdictRaw},
+		{"dense/wire-bound", dense, slowWire, VerdictRaw}, // entropy ~8 bits: nothing helps
+		{"tiny", make([]byte, 1024), slowWire, VerdictRaw},
+	}
+	for _, tc := range cases {
+		if got := c.ChunkVerdict(tc.chunk, tc.wireBPS); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestChunkVerdictDenseFloat32: random-mantissa float32 data has byte
+// entropy below the raw cut (the exponent byte is skewed) but LZ77 finds no
+// matches — it must ship raw when codec-bound and deflate when wire-bound
+// (deflate's entropy coder still wins ~9%).
+func TestChunkVerdictDenseFloat32(t *testing.T) {
+	c := Codec{Algo: AlgoAdaptive}
+	buf := make([]byte, 1<<20)
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i+4 <= len(buf); i += 4 {
+		// sign/exponent byte fixed-ish, mantissa random: ~23 random bits.
+		buf[i] = byte(rng.Intn(256))
+		buf[i+1] = byte(rng.Intn(256))
+		buf[i+2] = byte(rng.Intn(128))
+		buf[i+3] = 0x3f
+	}
+	if got := c.ChunkVerdict(buf, 500e6); got != VerdictRaw {
+		t.Errorf("codec-bound dense floats: got %v, want VerdictRaw", got)
+	}
+	if got := c.ChunkVerdict(buf, 25e6); got != VerdictGzip {
+		t.Errorf("wire-bound dense floats: got %v, want VerdictGzip", got)
+	}
+}
+
+func TestPlanner(t *testing.T) {
+	sparse := make([]byte, 4<<20)
+	mixed := mixedBuffer(4<<20, 2<<20)
+
+	// Forced algos: constant verdict regardless of content.
+	if v := (Codec{Algo: AlgoFast}).Planner(mixed, 0)(denseBytes(1<<20, 51)); v != VerdictFast {
+		t.Fatalf("forced fast planner returned %v", v)
+	}
+	// Auto: one probe for the whole buffer.
+	plan := (Codec{}).Planner(sparse, 0)
+	if v := plan(sparse[:1<<20]); v != VerdictGzip {
+		t.Fatalf("auto planner on sparse buffer returned %v", v)
+	}
+	// Adaptive: the dense half ships raw, the sparse half fast — the
+	// per-chunk policy the one-verdict-per-buffer probe cannot express.
+	plan = (Codec{Algo: AlgoAdaptive}).Planner(mixed, 500e6)
+	if v := plan(mixed[:1<<20]); v != VerdictRaw {
+		t.Fatalf("adaptive planner on dense chunk returned %v", v)
+	}
+	if v := plan(mixed[3<<20:]); v != VerdictFast {
+		t.Fatalf("adaptive planner on sparse chunk returned %v", v)
+	}
+}
+
+func TestSampleEntropyBounds(t *testing.T) {
+	if h := sampleEntropy(make([]byte, 1<<20)); h != 0 {
+		t.Fatalf("zeros entropy = %v, want 0", h)
+	}
+	if h := sampleEntropy(denseBytes(1<<20, 61)); h < 7.9 {
+		t.Fatalf("random entropy = %v, want ~8", h)
+	}
+	if h := sampleEntropy(nil); h != 0 {
+		t.Fatalf("empty entropy = %v", h)
+	}
+}
+
+// --- alloc gates ---------------------------------------------------------
+
+func TestAppendEncodeZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc gates are meaningless under -race instrumentation")
+	}
+	c := Codec{}
+	sparse := make([]byte, 1<<20)
+	dense := denseBytes(1<<20, 71)
+	dst := make([]byte, 0, (1<<20)+(1<<16))
+	for _, tc := range []struct {
+		name  string
+		buf   []byte
+		v     Verdict
+		allow float64
+	}{
+		{"raw", dense, VerdictRaw, 0},
+		{"fast", sparse, VerdictFast, 0},
+		{"gzip", sparse, VerdictGzip, 0},
+		{"fast-fallback", dense, VerdictFast, 0},
+	} {
+		// Warm the pools outside the measured region.
+		if _, err := c.AppendEncode(dst[:0], tc.buf, tc.v); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			out, err := c.AppendEncode(dst[:0], tc.buf, tc.v)
+			if err != nil || len(out) == 0 {
+				t.Fatal("encode failed")
+			}
+		})
+		if allocs > tc.allow {
+			t.Errorf("AppendEncode/%s: %v allocs/run, want %v", tc.name, allocs, tc.allow)
+		}
+	}
+}
+
+func TestDecodeIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc gates are meaningless under -race instrumentation")
+	}
+	c := Codec{}
+	sparse := make([]byte, 1<<20)
+	dense := denseBytes(1<<20, 81)
+	out := make([]byte, 1<<20)
+	for _, tc := range []struct {
+		name string
+		buf  []byte
+		v    Verdict
+	}{
+		{"raw", dense, VerdictRaw},
+		{"fast", sparse, VerdictFast},
+		{"gzip", sparse, VerdictGzip},
+	} {
+		wire, err := c.AppendEncode(nil, tc.buf, tc.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeInto(wire, out); err != nil { // warm pools
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if err := DecodeInto(wire, out); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("DecodeInto/%s: %v allocs/run, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func TestChunkVerdictZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc gates are meaningless under -race instrumentation")
+	}
+	c := Codec{Algo: AlgoAdaptive}
+	sparse := make([]byte, 1<<20)
+	dense := denseBytes(1<<20, 91)
+	c.ChunkVerdict(sparse, 25e6) // warm the probe pool
+	allocs := testing.AllocsPerRun(10, func() {
+		c.ChunkVerdict(sparse, 25e6)
+		c.ChunkVerdict(dense, 25e6)
+		c.ChunkVerdict(sparse, 500e6)
+		c.ChunkVerdict(dense, 500e6)
+	})
+	if allocs > 0 {
+		t.Errorf("ChunkVerdict: %v allocs/run, want 0", allocs)
+	}
+}

@@ -43,10 +43,14 @@ func putGzipWriter(level int, zw *gzip.Writer) {
 }
 
 // pooledReader bundles the gzip reader with its byte source so one pool
-// entry covers both allocations of a decode.
+// entry covers both allocations of a decode. The one-byte scratch for the
+// end-of-stream check lives here too: a stack array passed through the
+// reader's io.Reader interface would be forced to escape, costing one heap
+// allocation per decode.
 type pooledReader struct {
-	br bytes.Reader
-	zr gzip.Reader
+	br  bytes.Reader
+	zr  gzip.Reader
+	one [1]byte
 }
 
 var gzReaderPool = sync.Pool{New: func() any { return new(pooledReader) }}
@@ -58,6 +62,9 @@ func getGzipReader(wire []byte) (*pooledReader, error) {
 		gzReaderPool.Put(pr)
 		return nil, fmt.Errorf("xcompress: %w", err)
 	}
+	// A wire frame carries exactly one gzip stream; multistream mode would
+	// try to parse a second member at stream end (and allocate doing so).
+	pr.zr.Multistream(false)
 	return pr, nil
 }
 
@@ -67,7 +74,9 @@ func putGzipReader(pr *pooledReader) {
 }
 
 // sliceWriter appends into a caller-owned slice, so pooled encode buffers
-// can back a gzip stream without a bytes.Buffer allocation.
+// can back a gzip stream without a bytes.Buffer allocation. Writers are
+// pooled too: the gzip.Writer holds its io.Writer, so a per-call &sliceWriter
+// would escape to the heap and cost one allocation per chunk.
 type sliceWriter struct{ b []byte }
 
 func (w *sliceWriter) Write(p []byte) (int, error) {
@@ -75,40 +84,91 @@ func (w *sliceWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+var sliceWriters = sync.Pool{New: func() any { return new(sliceWriter) }}
+
+// deflateFrameCodec is the gzip/deflate codec behind tagGzip.
+type deflateFrameCodec struct{}
+
+func (deflateFrameCodec) Name() string { return "deflate" }
+func (deflateFrameCodec) Tag() byte    { return tagGzip }
+func (deflateFrameCodec) Append(dst, src []byte, level int) ([]byte, error) {
+	if level == 0 {
+		level = gzip.BestSpeed
+	}
+	start := len(dst)
+	sw := sliceWriters.Get().(*sliceWriter)
+	sw.b = append(dst, tagGzip)
+	zw, err := getGzipWriter(level, sw)
+	if err != nil {
+		sw.b = nil
+		sliceWriters.Put(sw)
+		return nil, err
+	}
+	_, werr := zw.Write(src)
+	cerr := zw.Close()
+	putGzipWriter(level, zw)
+	out := sw.b
+	sw.b = nil
+	sliceWriters.Put(sw)
+	if werr != nil {
+		return nil, fmt.Errorf("xcompress: %w", werr)
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("xcompress: %w", cerr)
+	}
+	if len(out)-start > len(src)+1 {
+		// gzip expanded the payload (dense random floats can): ship
+		// raw instead, so the wire size never exceeds len(src)+1.
+		out = append(out[:start], tagRaw)
+		return append(out, src...), nil
+	}
+	return out, nil
+}
+func (deflateFrameCodec) DecodeInto(body, dst []byte) error {
+	pr, err := getGzipReader(body)
+	if err != nil {
+		return err
+	}
+	defer putGzipReader(pr)
+	if _, err := io.ReadFull(&pr.zr, dst); err != nil {
+		return fmt.Errorf("xcompress: %w", err)
+	}
+	// The stream must end exactly at len(dst) bytes.
+	if n, err := pr.zr.Read(pr.one[:]); n != 0 || err != io.EOF {
+		if err == nil || err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("stream longer than %d bytes", len(dst))
+		}
+		return fmt.Errorf("xcompress: %w", err)
+	}
+	return nil
+}
+func (deflateFrameCodec) Decode(body []byte) ([]byte, error) {
+	pr, err := getGzipReader(body)
+	if err != nil {
+		return nil, err
+	}
+	defer putGzipReader(pr)
+	out, err := io.ReadAll(&pr.zr)
+	if err != nil {
+		return nil, fmt.Errorf("xcompress: %w", err)
+	}
+	return out, nil
+}
+
 // AppendEncode appends buf's wire frame to dst (reusing dst's capacity, so a
 // pooled scratch slice makes the hot path allocation-free once warm) and
-// returns the extended slice. The raw/gzip decision must be supplied by the
-// caller — chunked transfers probe it once per buffer with ProbeVerdict;
-// VerdictAuto falls back to Encode's own probe and allocates.
+// returns the extended slice. The codec decision must be supplied by the
+// caller — chunked transfers probe it per buffer with ProbeVerdict or per
+// chunk with ChunkVerdict; VerdictAuto falls back to Encode's own probe and
+// allocates.
 func (c Codec) AppendEncode(dst, buf []byte, v Verdict) ([]byte, error) {
 	switch v {
 	case VerdictRaw:
-		dst = append(dst, tagRaw)
-		return append(dst, buf...), nil
+		return rawFrameCodec{}.Append(dst, buf, 0)
 	case VerdictGzip:
-		start := len(dst)
-		sw := &sliceWriter{b: append(dst, tagGzip)}
-		level := c.level()
-		zw, err := getGzipWriter(level, sw)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := zw.Write(buf); err != nil {
-			putGzipWriter(level, zw)
-			return nil, fmt.Errorf("xcompress: %w", err)
-		}
-		if err := zw.Close(); err != nil {
-			putGzipWriter(level, zw)
-			return nil, fmt.Errorf("xcompress: %w", err)
-		}
-		putGzipWriter(level, zw)
-		if len(sw.b)-start > len(buf)+1 {
-			// gzip expanded the payload (dense random floats can): ship
-			// raw instead, so the wire size never exceeds len(buf)+1.
-			dst = append(sw.b[:start], tagRaw)
-			return append(dst, buf...), nil
-		}
-		return sw.b, nil
+		return deflateFrameCodec{}.Append(dst, buf, c.level())
+	case VerdictFast:
+		return fastFrameCodec{}.Append(dst, buf, 0)
 	default:
 		enc, err := c.Encode(buf)
 		if err != nil {
@@ -121,41 +181,20 @@ func (c Codec) AppendEncode(dst, buf []byte, v Verdict) ([]byte, error) {
 // DecodeInto reverses Encode directly into dst, which must be exactly the
 // decoded payload's length — the transfer engine decodes each chunk into its
 // precomputed window of the assembled buffer, avoiding Decode's allocation
-// and the follow-up copy. On error dst's contents are unspecified (a failed
-// attempt may have partially written its window); callers retrying must
-// treat only a nil return as completion.
+// and the follow-up copy. Dispatch goes through the Frame registry, so every
+// registered codec decodes here. On error dst's contents are unspecified (a
+// failed attempt may have partially written its window); callers retrying
+// must treat only a nil return as completion.
 func DecodeInto(wire, dst []byte) error {
 	if len(wire) == 0 {
 		return fmt.Errorf("xcompress: empty payload")
 	}
-	switch wire[0] {
-	case tagRaw:
-		if len(wire)-1 != len(dst) {
-			return fmt.Errorf("xcompress: raw payload is %d bytes, want %d", len(wire)-1, len(dst))
-		}
-		copy(dst, wire[1:])
-		return nil
-	case tagGzip:
-		pr, err := getGzipReader(wire[1:])
-		if err != nil {
-			return err
-		}
-		defer putGzipReader(pr)
-		if _, err := io.ReadFull(&pr.zr, dst); err != nil {
-			return fmt.Errorf("xcompress: %w", err)
-		}
-		// The stream must end exactly at len(dst) bytes.
-		var one [1]byte
-		if n, err := pr.zr.Read(one[:]); n != 0 || err != io.EOF {
-			if err == nil || err == io.ErrUnexpectedEOF {
-				err = fmt.Errorf("stream longer than %d bytes", len(dst))
-			}
-			return fmt.Errorf("xcompress: %w", err)
-		}
-		return nil
-	case TagChunked:
+	if wire[0] == TagChunked {
 		return fmt.Errorf("xcompress: payload is a chunked manifest; fetch it via chunkio.Download")
-	default:
+	}
+	f := frames[wire[0]]
+	if f == nil {
 		return fmt.Errorf("xcompress: unknown tag %d", wire[0])
 	}
+	return f.DecodeInto(wire[1:], dst)
 }

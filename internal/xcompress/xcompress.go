@@ -11,7 +11,6 @@ import (
 	"bytes"
 	"compress/gzip"
 	"fmt"
-	"io"
 	"time"
 
 	"ompcloud/internal/simtime"
@@ -30,6 +29,61 @@ const SkipRatio = 0.85
 // sampleSize is how much of a buffer's head the adaptive probe compresses.
 const sampleSize = 256 << 10
 
+// Algo selects the frame codec family a Codec uses.
+type Algo int
+
+const (
+	// AlgoAuto is the legacy policy: probe the whole buffer once and pick
+	// raw or deflate for all of it. It is the zero value, so existing
+	// Codec literals keep their exact behaviour.
+	AlgoAuto Algo = iota
+	// AlgoAdaptive probes every chunk independently and picks raw, fast,
+	// or deflate per chunk from an entropy probe plus a wire-rate cost
+	// model (see ChunkVerdict).
+	AlgoAdaptive
+	// AlgoRaw forces raw frames.
+	AlgoRaw
+	// AlgoFast forces the LZ4-class fast codec (raw fallback on expansion).
+	AlgoFast
+	// AlgoDeflate forces deflate (raw fallback on expansion).
+	AlgoDeflate
+)
+
+// String reports the Algo's config name.
+func (a Algo) String() string {
+	switch a {
+	case AlgoAuto:
+		return "auto"
+	case AlgoAdaptive:
+		return "adaptive"
+	case AlgoRaw:
+		return "raw"
+	case AlgoFast:
+		return "fast"
+	case AlgoDeflate:
+		return "deflate"
+	}
+	return fmt.Sprintf("algo(%d)", int(a))
+}
+
+// ParseAlgo resolves a config/CLI codec name. "gzip" is accepted as an
+// alias for deflate (the wire frame is a gzip stream).
+func ParseAlgo(name string) (Algo, error) {
+	switch name {
+	case "auto":
+		return AlgoAuto, nil
+	case "adaptive":
+		return AlgoAdaptive, nil
+	case "raw":
+		return AlgoRaw, nil
+	case "fast":
+		return AlgoFast, nil
+	case "deflate", "gzip":
+		return AlgoDeflate, nil
+	}
+	return 0, fmt.Errorf("xcompress: unknown codec %q (want auto, adaptive, raw, fast, or deflate)", name)
+}
+
 // Codec carries the compression policy for a device plugin instance.
 type Codec struct {
 	// MinSize is the smallest payload that gets compressed. Zero means
@@ -37,6 +91,9 @@ type Codec struct {
 	MinSize int
 	// Level is the gzip level; zero means gzip.DefaultCompression.
 	Level int
+	// Algo selects the codec family; the zero value (AlgoAuto) keeps the
+	// legacy probe-once-per-buffer behaviour.
+	Algo Algo
 }
 
 // Enabled reports whether this codec ever compresses.
@@ -67,14 +124,15 @@ const (
 	tagGzip byte = 1
 	// TagChunked marks a multipart-object manifest. The frame body is
 	// owned by internal/chunkio; this package only reserves the tag so
-	// the three layouts share one self-describing first byte.
+	// the layouts share one self-describing first byte.
 	TagChunked byte = 2
+	// tagFast marks an LZ4-class fast-codec frame (see fast.go).
+	tagFast byte = 3
 )
 
-// Verdict is a per-buffer compression decision, probed once and then applied
-// to every chunk of that buffer. Chunks of one buffer share its entropy
-// profile, so re-probing each chunk would re-compress 256 KiB per chunk just
-// to reach the same answer.
+// Verdict is a per-payload compression decision. Under the legacy AlgoAuto
+// policy it is probed once per buffer and applied to every chunk; under
+// AlgoAdaptive each chunk gets its own verdict (see ChunkVerdict).
 type Verdict int
 
 const (
@@ -82,37 +140,73 @@ const (
 	VerdictAuto Verdict = iota
 	// VerdictRaw ships the payload uncompressed.
 	VerdictRaw
-	// VerdictGzip compresses (still falling back to raw if gzip expands
-	// the payload, so the wire size never exceeds len(buf)+1).
+	// VerdictGzip compresses with deflate (still falling back to raw if
+	// gzip expands the payload, so the wire size never exceeds len(buf)+1).
 	VerdictGzip
+	// VerdictFast compresses with the LZ4-class fast codec (raw fallback
+	// on expansion, same wire-size guarantee).
+	VerdictFast
 )
 
-// ProbeVerdict decides raw-vs-gzip for a whole buffer by gzipping its head,
-// for callers (internal/chunkio) that encode the buffer in independent
-// chunks and want the policy applied once per buffer rather than per chunk.
+// forcedVerdict maps a forced Algo to its constant verdict.
+func (c Codec) forcedVerdict() (Verdict, bool) {
+	switch c.Algo {
+	case AlgoRaw:
+		return VerdictRaw, true
+	case AlgoFast:
+		return VerdictFast, true
+	case AlgoDeflate:
+		return VerdictGzip, true
+	}
+	return VerdictAuto, false
+}
+
+// ProbeVerdict decides raw-vs-gzip for a whole buffer by compressing samples
+// of it, for callers (internal/chunkio) that encode the buffer in
+// independent chunks and want the policy applied once per buffer rather than
+// per chunk.
+//
+// The probe samples the head, middle, and tail: a buffer whose head is dense
+// but whose bulk is sparse (a header-prefixed matrix, a partly-initialised
+// arena) must not ship entirely raw on the head's verdict alone — gzip's
+// per-chunk expansion fallback already protects the dense fraction, while
+// shipping a mostly-sparse buffer raw can cost a 10-20x larger transfer.
 func (c Codec) ProbeVerdict(buf []byte) Verdict {
 	if !c.Enabled() || len(buf) < c.minSize() {
 		return VerdictRaw
+	}
+	if v, ok := c.forcedVerdict(); ok {
+		return v
 	}
 	if len(buf) <= sampleSize {
 		// Too small to probe meaningfully; gzipFrame's expansion
 		// fallback is the decider.
 		return VerdictGzip
 	}
-	if c.headRatio(buf) > SkipRatio {
-		return VerdictRaw
+	if c.sampleRatio(buf[:sampleSize]) <= SkipRatio {
+		return VerdictGzip
 	}
-	return VerdictGzip
+	mid := (len(buf) - sampleSize) / 2
+	if c.sampleRatio(buf[mid:mid+sampleSize]) <= SkipRatio {
+		return VerdictGzip
+	}
+	if c.sampleRatio(buf[len(buf)-sampleSize:]) <= SkipRatio {
+		return VerdictGzip
+	}
+	return VerdictRaw
 }
 
-// EncodeWith is Encode with the raw/gzip decision supplied by the caller
-// (typically a per-buffer ProbeVerdict shared across chunks).
+// EncodeWith is Encode with the codec decision supplied by the caller
+// (typically a per-buffer ProbeVerdict shared across chunks, or a per-chunk
+// ChunkVerdict).
 func (c Codec) EncodeWith(buf []byte, v Verdict) ([]byte, error) {
 	switch v {
 	case VerdictRaw:
 		return rawFrame(buf), nil
 	case VerdictGzip:
 		return c.gzipFrame(buf)
+	case VerdictFast:
+		return c.fastFrame(buf)
 	default:
 		return c.Encode(buf)
 	}
@@ -131,6 +225,19 @@ func (c Codec) EncodeWith(buf []byte, v Verdict) ([]byte, error) {
 func (c Codec) Encode(buf []byte) ([]byte, error) {
 	if !c.Enabled() || len(buf) < c.minSize() {
 		return rawFrame(buf), nil
+	}
+	switch c.Algo {
+	case AlgoRaw:
+		return rawFrame(buf), nil
+	case AlgoFast:
+		return c.fastFrame(buf)
+	case AlgoDeflate:
+		return c.gzipFrame(buf)
+	case AlgoAdaptive:
+		// Whole-buffer entry point: apply the per-chunk policy to the
+		// buffer as one chunk (chunked transfers call ChunkVerdict
+		// per chunk themselves).
+		return c.EncodeWith(buf, c.ChunkVerdict(buf, 0))
 	}
 	if len(buf) <= sampleSize {
 		return c.gzipFrame(buf)
@@ -151,7 +258,16 @@ func (c Codec) Encode(buf []byte) ([]byte, error) {
 		return nil, fmt.Errorf("xcompress: %w", err)
 	}
 	if float64(b.Len()-1)/float64(sampleSize) > SkipRatio {
-		return rawFrame(buf), nil
+		// The head looks incompressible, but a mixed buffer (dense head,
+		// sparse bulk) must not ship entirely raw on the head's verdict:
+		// probe the middle and tail before abandoning the stream. When
+		// either compresses, keep gzipping — the end-of-encode expansion
+		// guard still protects a genuinely dense buffer.
+		mid := (len(buf) - sampleSize) / 2
+		if c.sampleRatio(buf[mid:mid+sampleSize]) > SkipRatio &&
+			c.sampleRatio(buf[len(buf)-sampleSize:]) > SkipRatio {
+			return rawFrame(buf), nil
+		}
 	}
 	if _, err := zw.Write(buf[sampleSize:]); err != nil {
 		return nil, fmt.Errorf("xcompress: %w", err)
@@ -198,42 +314,40 @@ func (c Codec) gzipFrame(buf []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
+// fastFrame compresses buf with the LZ4-class fast codec, falling back to a
+// raw frame when fast compression would not pay for itself.
+func (c Codec) fastFrame(buf []byte) ([]byte, error) {
+	out := make([]byte, 0, len(buf)+len(buf)/32+16)
+	return fastFrameCodec{}.Append(out, buf, 0)
+}
+
 // Decode reverses Encode. It accepts payloads produced by any codec
-// configuration (the tag byte is self-describing).
+// configuration: the tag byte is self-describing and dispatches through the
+// Frame registry.
 func Decode(wire []byte) ([]byte, error) {
 	if len(wire) == 0 {
 		return nil, fmt.Errorf("xcompress: empty payload")
 	}
-	switch wire[0] {
-	case tagRaw:
-		out := make([]byte, len(wire)-1)
-		copy(out, wire[1:])
-		return out, nil
-	case tagGzip:
-		pr, err := getGzipReader(wire[1:])
-		if err != nil {
-			return nil, err
-		}
-		defer putGzipReader(pr)
-		out, err := io.ReadAll(&pr.zr)
-		if err != nil {
-			return nil, fmt.Errorf("xcompress: %w", err)
-		}
-		return out, nil
-	case TagChunked:
+	if wire[0] == TagChunked {
 		return nil, fmt.Errorf("xcompress: payload is a chunked manifest; fetch it via chunkio.Download")
-	default:
+	}
+	f := frames[wire[0]]
+	if f == nil {
 		return nil, fmt.Errorf("xcompress: unknown tag %d", wire[0])
 	}
+	return f.Decode(wire[1:])
 }
 
-// IsCompressed reports whether a wire payload carries a gzip stream.
-func IsCompressed(wire []byte) bool { return len(wire) > 0 && wire[0] == tagGzip }
+// IsCompressed reports whether a wire payload carries a compressed stream
+// (deflate or fast).
+func IsCompressed(wire []byte) bool {
+	return len(wire) > 0 && (wire[0] == tagGzip || wire[0] == tagFast)
+}
 
-// headRatio gzips the head of buf (which must be longer than sampleSize)
-// and returns the observed compression ratio. Errors report 0, i.e.
-// "perfectly compressible": the full encode will find out the truth.
-func (c Codec) headRatio(buf []byte) float64 {
+// sampleRatio gzips one probe sample and returns the observed compression
+// ratio. Errors report 0, i.e. "perfectly compressible": the full encode
+// will find out the truth.
+func (c Codec) sampleRatio(sample []byte) float64 {
 	var b bytes.Buffer
 	level := c.level()
 	zw, err := getGzipWriter(level, &b)
@@ -241,13 +355,13 @@ func (c Codec) headRatio(buf []byte) float64 {
 		return 0
 	}
 	defer putGzipWriter(level, zw)
-	if _, err := zw.Write(buf[:sampleSize]); err != nil {
+	if _, err := zw.Write(sample); err != nil {
 		return 0
 	}
 	if err := zw.Close(); err != nil {
 		return 0
 	}
-	return float64(b.Len()) / float64(sampleSize)
+	return float64(b.Len()) / float64(len(sample))
 }
 
 // Probe is the result of measuring gzip behaviour on a data sample. The
