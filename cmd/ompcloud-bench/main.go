@@ -9,6 +9,7 @@
 //	ompcloud-bench -transfer         # transfer-path microbenchmark -> BENCH_transfer.json
 //	ompcloud-bench -chaos            # fault-injection soak (all 8 kernels) -> BENCH_chaos.json
 //	ompcloud-bench -workerchaos      # worker-fault soak (death, speculation, resume) -> BENCH_workerchaos.json
+//	ompcloud-bench -netchaos         # link-fault soak (partition, collapse, flap, jitter) -> BENCH_netchaos.json
 //	ompcloud-bench -overlap          # barriered vs streaming dataflow -> BENCH_overlap.json
 //
 // The tool first calibrates the machine (real single-core kernel runs and
@@ -53,6 +54,9 @@ func main() {
 		wchaos   = flag.Bool("workerchaos", false, "run the worker-fault soak (death, re-execution, speculation, kill-and-resume)")
 		wchaosN  = flag.Int("workerchaos-n", 96, "matrix dimension for -workerchaos")
 		wchaosO  = flag.String("workerchaos-out", "BENCH_workerchaos.json", "output path for the -workerchaos results")
+		nchaos   = flag.Bool("netchaos", false, "run the link-fault soak (hard partition, bandwidth collapse, flapping, latency jitter)")
+		nchaosN  = flag.Int("netchaos-n", 96, "matrix dimension for -netchaos")
+		nchaosO  = flag.String("netchaos-out", "BENCH_netchaos.json", "output path for the -netchaos results")
 		overlap  = flag.Bool("overlap", false, "run the streaming-overlap benchmark (barriered vs streaming wall time)")
 		ovMiB    = flag.String("overlap-mib", "64,256", "comma-separated input sizes for -overlap, in MiB")
 		ovBW     = flag.Float64("overlap-bw", 200, "simulated WAN bandwidth for -overlap, Mbit/s per direction")
@@ -73,6 +77,10 @@ func main() {
 	}
 	if *wchaos {
 		runWorkerChaos(*wchaosN, *seed, *wchaosO)
+		return
+	}
+	if *nchaos {
+		runNetChaos(*nchaosN, *seed, *nchaosO)
 		return
 	}
 	if *fig == 0 && !*stats && !*ablation {
@@ -341,6 +349,44 @@ func runWorkerChaos(n int, seed int64, outPath string) {
 	fmt.Printf("\ntotals: %d dead workers, %d re-executed tasks, %d speculative wins (%d losses), %d resumed tiles\n",
 		res.Totals.DeadWorkers, res.Totals.ReexecutedTasks,
 		res.Totals.SpeculativeWins, res.Totals.SpeculativeLosses, res.Totals.ResumedTiles)
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+}
+
+// runNetChaos executes the link-fault soak — every kernel clean and under
+// scheduled link faults (hard partition, bandwidth collapse, flapping,
+// latency jitter) across both dataflow modes — and writes the result set to
+// outPath.
+func runNetChaos(n int, seed int64, outPath string) {
+	fmt.Fprintf(os.Stderr, "net-chaos soak: 8 kernels x 2 dataflow modes at n=%d, seed %d ...\n", n, seed)
+	res, err := bench.RunNetChaosBench(n, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-16s %-22s %-8s %7s %6s %5s %9s %8s %7s %5s %10s\n",
+		"kernel", "scenario", "dataflow", "aborts", "hedged", "wins", "degraded", "refused", "part_s", "fell", "identical")
+	for _, k := range res.Kernels {
+		mode := "barrier"
+		if k.Overlap {
+			mode = "stream"
+		}
+		fell := "-"
+		if k.FellBack {
+			fell = "host"
+		}
+		fmt.Printf("%-16s %-22s %-8s %7d %6d %5d %9d %8d %7.3f %5s %10v\n",
+			k.Name, k.Scenario, mode, k.DeadlineAborts, k.HedgedGets, k.HedgeWins,
+			k.DegradedSwitches, k.RefusedOps, k.PartitionSeconds, fell, k.Identical)
+	}
+	fmt.Printf("\ntotals: %d deadline aborts, %d hedged gets (%d wins), %d degraded switches, %d fallbacks, %d refused ops, %.3fs partitioned\n",
+		res.Totals.DeadlineAborts, res.Totals.HedgedGets, res.Totals.HedgeWins,
+		res.Totals.DegradedSwitches, res.Totals.Fallbacks, res.Totals.RefusedOps, res.Totals.PartitionSeconds)
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		fatal(err)

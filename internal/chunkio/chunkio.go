@@ -26,6 +26,7 @@
 package chunkio
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
@@ -134,6 +135,40 @@ type Options struct {
 	// resilience.Permanent — missing keys, manifest version mismatches,
 	// local encode failures — stop immediately.
 	Retry resilience.Policy
+
+	// Ctx, when non-nil, cancels the transfer: workers stop launching
+	// chunks, retry backoffs return promptly, and the whole call fails with
+	// a permanent error wrapping the context's cause. nil means
+	// uncancellable (the pre-guard behaviour).
+	Ctx context.Context
+	// PutTimeout and GetTimeout bound a single store attempt per leg; a
+	// stuck attempt is abandoned and retried as a transient DeadlineError.
+	// 0 disables the guard for that leg (and keeps the transfer path free
+	// of per-op goroutines and timers).
+	PutTimeout time.Duration
+	GetTimeout time.Duration
+	// HedgeDelay launches a backup GET if the primary has not returned
+	// within the delay; first result wins, the loser is drained. 0 disables
+	// hedging. Safe because GETs are read-only and attempts decode into
+	// private buffers.
+	HedgeDelay time.Duration
+	// Stats, when non-nil, accrues deadline/hedge engagement counts for
+	// this transfer on top of the process-wide metrics counters.
+	Stats *TransferStats
+}
+
+// ctxErr reports the configured context's cancellation without blocking;
+// nil-context safe.
+func (o Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return o.Ctx.Err()
+	default:
+		return nil
+	}
 }
 
 func (o Options) chunkSize() int {
@@ -236,7 +271,7 @@ type putUnit struct {
 
 func newPutUnit(st storage.Store, o *Options, retries *atomic.Int64) *putUnit {
 	u := &putUnit{st: st, o: o, retries: retries, hist: span.Metrics().Histogram("chunkio.put.seconds")}
-	u.op = func() error { return u.st.Put(u.key, u.data) }
+	u.op = func() error { return guardedPut(u.st, u.key, u.data, u.o.PutTimeout, u.o.Stats) }
 	return u
 }
 
@@ -244,11 +279,18 @@ func newPutUnit(st storage.Store, o *Options, retries *atomic.Int64) *putUnit {
 // overwrites the whole object, so retrying is idempotent. Every attempt set
 // is one "chunk.put" span and one latency observation.
 func (u *putUnit) put(key string, data []byte) error {
+	if u.o.PutTimeout > 0 {
+		// A deadline-abandoned attempt keeps reading data after put
+		// returns, and most callers recycle it through encBufs the moment
+		// we do — so the guard pays one private copy per object. The
+		// deadline-off path (the default) stays zero-copy.
+		data = append([]byte(nil), data...)
+	}
 	u.key, u.data = key, data
 	sc := span.Start("chunk.put", "chunk", 0)
 	sc.SetAttr("key", key)
 	start := time.Now()
-	out, err := u.o.Retry.Do(u.op)
+	out, err := u.o.Retry.DoCtx(u.o.Ctx, u.op)
 	u.hist.Observe(time.Since(start).Seconds())
 	u.retries.Add(int64(out.Attempts - 1))
 	if out.Attempts > 1 {
@@ -286,13 +328,8 @@ func newGetUnit(st storage.Store, o *Options, retries *atomic.Int64) *getUnit {
 }
 
 func (u *getUnit) fetchOnce() error {
-	bp := wireBufs.Get().(*[]byte)
-	enc, err := storage.GetAppend(u.st, u.key, (*bp)[:0])
-	if cap(enc) > cap(*bp) {
-		*bp = enc[:0] // keep any growth for the next borrower
-	}
+	enc, bp, err := guardedGet(u.st, u.key, u.o.GetTimeout, u.o.HedgeDelay, u.o.Stats)
 	if err != nil {
-		wireBufs.Put(bp)
 		return classifyGetErr(fmt.Errorf("chunkio: fetching %s: %w", u.key, err))
 	}
 	start := time.Now()
@@ -320,7 +357,7 @@ func (u *getUnit) fetch(key string, dst []byte) (int64, time.Duration, error) {
 	sc := span.Start("chunk.get", "chunk", 0)
 	sc.SetAttr("key", key)
 	start := time.Now()
-	out, err := u.o.Retry.Do(u.op)
+	out, err := u.o.Retry.DoCtx(u.o.Ctx, u.op)
 	u.hist.Observe(time.Since(start).Seconds())
 	u.retries.Add(int64(out.Attempts - 1))
 	if out.Attempts > 1 {
@@ -491,6 +528,10 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 		go func() {
 			defer cwg.Done()
 			for i := range jobs {
+				if cerr := o.ctxErr(); cerr != nil {
+					fail(resilience.MarkPermanent(fmt.Errorf("chunkio: upload %s cancelled: %w", key, cerr)))
+					return
+				}
 				lo := 0
 				if i > 0 {
 					lo = cuts[i-1]
@@ -714,13 +755,20 @@ func downloadInto(st storage.Store, key string, dst []byte, o Options) ([]byte, 
 		sc := span.Start("chunk.get", "chunk", 0)
 		sc.SetAttr("key", key)
 		start := time.Now()
-		rout, err := o.Retry.Do(func() error {
-			obj, err := st.Get(key)
+		rout, err := o.Retry.DoCtx(o.Ctx, func() error {
+			// The root GET rides the same guards as part GETs: a stalled
+			// manifest read would otherwise serialize the whole download
+			// behind one stuck stream. parseRoot never keeps a reference
+			// into obj (decode copies, JSON copies), so the pooled wire
+			// buffer goes straight back.
+			obj, bp, err := guardedGet(st, key, o.GetTimeout, o.HedgeDelay, o.Stats)
 			if err != nil {
 				return classifyGetErr(err)
 			}
 			rootWire = int64(len(obj))
-			return parseRoot(obj)
+			perr := parseRoot(obj)
+			wireBufs.Put(bp)
+			return perr
 		})
 		span.Metrics().Histogram("chunkio.get.seconds").Observe(time.Since(start).Seconds())
 		retries.Add(int64(rout.Attempts - 1))
@@ -776,6 +824,10 @@ func downloadInto(st storage.Store, key string, dst []byte, o Options) ([]byte, 
 			defer wg.Done()
 			gu := newGetUnit(st, &o, &retries)
 			for i := range jobs {
+				if cerr := o.ctxErr(); cerr != nil {
+					errs[i] = resilience.MarkPermanent(fmt.Errorf("chunkio: download %s cancelled: %w", key, cerr))
+					continue
+				}
 				e := m.Chunks[i]
 				w, dur, err := gu.fetch(e.Key, out[offsets[i]:offsets[i]+e.Raw])
 				durs[i] = dur

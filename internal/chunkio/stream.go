@@ -105,6 +105,10 @@ func (ps *pipeState) runChunk(i int, pu *putUnit, gu *getUnit) {
 	if ps.stopped.Load() {
 		return
 	}
+	if cerr := ps.o.ctxErr(); cerr != nil {
+		ps.fail(i, resilience.MarkPermanent(fmt.Errorf("chunkio: pipe %s cancelled: %w", ps.key, cerr)))
+		return
+	}
 	lo, hi := ps.window(i)
 	chunk := ps.src[lo:hi]
 	ckey := partKey(ps.key, i)

@@ -1,0 +1,201 @@
+package netsim
+
+// Time-varying link quality. The static Link model prices a transfer on a
+// healthy network; real WANs partition, collapse to a fraction of their
+// provisioned bandwidth, spike in latency, and flap. A Schedule describes
+// those episodes as windows over elapsed time, and storage.NetFault
+// materializes them against the real data path (blocked, slow, or refused
+// Puts/Gets) while the virtual-clock accounting keeps pricing the healthy
+// profile unless the degraded-mode policy substitutes the observed rate.
+//
+// The schedule is a pure function of elapsed time: every consumer injects
+// its own clock (wall time since a start point, a virtual clock, or an
+// operation counter scaled to a per-op tick), so identical schedules replay
+// identically under test.
+
+import (
+	"sort"
+	"time"
+)
+
+// LinkState is the link's quality during one window.
+type LinkState struct {
+	// Up is false during a partition: every operation is refused or
+	// blocked, nothing gets through.
+	Up bool
+	// BandwidthFrac scales the link's nominal bandwidth: 1 (or 0, which
+	// normalizes to 1) is healthy, 0.1 is a 10x collapse. Only meaningful
+	// while Up.
+	BandwidthFrac float64
+	// ExtraLatency is added to every operation in the window (a sustained
+	// latency spike).
+	ExtraLatency time.Duration
+	// JitterProb is the per-operation probability of drawing JitterExtra
+	// on top of ExtraLatency — transient spikes that hit some operations
+	// and not others, the case hedged reads exist for. Draws are made by
+	// the consumer from its own deterministic seed.
+	JitterProb  float64
+	JitterExtra time.Duration
+}
+
+// Healthy is the link state outside every window.
+func Healthy() LinkState { return LinkState{Up: true, BandwidthFrac: 1} }
+
+// Window applies State during [From, To) of elapsed time. To <= 0 means
+// open-ended (the state holds forever after From).
+type Window struct {
+	From, To time.Duration
+	State    LinkState
+}
+
+// contains reports whether elapsed time t falls inside the window.
+func (w Window) contains(t time.Duration) bool {
+	return t >= w.From && (w.To <= 0 || t < w.To)
+}
+
+// Schedule is an ordered set of link-state windows. Later windows win where
+// they overlap, so a broad "jittery all run" window can be punched through
+// by a narrow partition. Outside every window the link is Healthy.
+type Schedule struct {
+	Windows []Window
+}
+
+// NewSchedule returns an empty (always-healthy) schedule.
+func NewSchedule() *Schedule { return &Schedule{} }
+
+// Add appends one window; returns the schedule for chaining.
+func (s *Schedule) Add(w Window) *Schedule {
+	s.Windows = append(s.Windows, w)
+	return s
+}
+
+// Partition takes the link down during [from, to).
+func (s *Schedule) Partition(from, to time.Duration) *Schedule {
+	return s.Add(Window{From: from, To: to, State: LinkState{Up: false}})
+}
+
+// PartitionFrom takes the link down at from and never brings it back — the
+// hard-partition case whose only exit is host fallback.
+func (s *Schedule) PartitionFrom(from time.Duration) *Schedule {
+	return s.Partition(from, 0)
+}
+
+// Collapse reduces the link to frac of its nominal bandwidth during
+// [from, to). frac is clamped to (0, 1].
+func (s *Schedule) Collapse(from, to time.Duration, frac float64) *Schedule {
+	if frac <= 0 {
+		frac = 0.01
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return s.Add(Window{From: from, To: to, State: LinkState{Up: true, BandwidthFrac: frac}})
+}
+
+// Spike adds extra latency to every operation during [from, to).
+func (s *Schedule) Spike(from, to, extra time.Duration) *Schedule {
+	return s.Add(Window{From: from, To: to, State: LinkState{Up: true, BandwidthFrac: 1, ExtraLatency: extra}})
+}
+
+// Jitter makes each operation in [from, to) independently draw extra
+// latency with probability prob — the transient-spike model hedged reads
+// are designed against.
+func (s *Schedule) Jitter(from, to time.Duration, prob float64, extra time.Duration) *Schedule {
+	if prob < 0 {
+		prob = 0
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	return s.Add(Window{From: from, To: to, State: LinkState{Up: true, BandwidthFrac: 1, JitterProb: prob, JitterExtra: extra}})
+}
+
+// Flap alternates the link down for downFor and up for upFor, starting at
+// from, until the last down window that begins before until. The link is
+// healthy after the flapping stops.
+func (s *Schedule) Flap(from, until, downFor, upFor time.Duration) *Schedule {
+	if downFor <= 0 || upFor <= 0 {
+		return s
+	}
+	for start := from; start < until; start += downFor + upFor {
+		s.Partition(start, start+downFor)
+	}
+	return s
+}
+
+// At reports the link state at elapsed time t: the last matching window
+// wins, Healthy outside every window. A matching window's zero
+// BandwidthFrac normalizes to 1 so plain partition/spike windows don't
+// accidentally declare a collapsed link.
+func (s *Schedule) At(t time.Duration) LinkState {
+	st := Healthy()
+	if s == nil {
+		return st
+	}
+	for _, w := range s.Windows {
+		if w.contains(t) {
+			st = w.State
+		}
+	}
+	if st.Up && st.BandwidthFrac <= 0 {
+		st.BandwidthFrac = 1
+	}
+	return st
+}
+
+// boundaries returns every window edge, sorted ascending.
+func (s *Schedule) boundaries() []time.Duration {
+	var bs []time.Duration
+	for _, w := range s.Windows {
+		bs = append(bs, w.From)
+		if w.To > 0 {
+			bs = append(bs, w.To)
+		}
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	return bs
+}
+
+// NextUp reports the earliest elapsed time >= t at which the link is up.
+// ok is false when the schedule never brings the link back (an open-ended
+// partition) — the caller must fail the operation rather than wait forever.
+func (s *Schedule) NextUp(t time.Duration) (time.Duration, bool) {
+	if s.At(t).Up {
+		return t, true
+	}
+	for _, b := range s.boundaries() {
+		if b > t && s.At(b).Up {
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// DownDuring integrates the link's downtime over elapsed [0, t): the total
+// time the schedule had the link partitioned. Consumers report it as the
+// run's partition seconds.
+func (s *Schedule) DownDuring(t time.Duration) time.Duration {
+	if s == nil || t <= 0 {
+		return 0
+	}
+	edges := append([]time.Duration{0}, s.boundaries()...)
+	edges = append(edges, t)
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	var down time.Duration
+	for i := 0; i+1 < len(edges); i++ {
+		a, b := edges[i], edges[i+1]
+		if a >= t {
+			break
+		}
+		if b > t {
+			b = t
+		}
+		if b <= a {
+			continue
+		}
+		if !s.At(a).Up {
+			down += b - a
+		}
+	}
+	return down
+}

@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleAtDefaultsHealthy(t *testing.T) {
+	var s *Schedule
+	st := s.At(time.Second)
+	if !st.Up || st.BandwidthFrac != 1 || st.ExtraLatency != 0 {
+		t.Fatalf("nil schedule should be healthy, got %+v", st)
+	}
+	st = NewSchedule().At(0)
+	if !st.Up || st.BandwidthFrac != 1 {
+		t.Fatalf("empty schedule should be healthy, got %+v", st)
+	}
+}
+
+func TestSchedulePartitionWindow(t *testing.T) {
+	s := NewSchedule().Partition(10*time.Millisecond, 20*time.Millisecond)
+	if !s.At(9 * time.Millisecond).Up {
+		t.Fatal("link should be up before the window")
+	}
+	if s.At(10 * time.Millisecond).Up {
+		t.Fatal("link should be down at window start")
+	}
+	if s.At(19 * time.Millisecond).Up {
+		t.Fatal("link should be down inside the window")
+	}
+	if !s.At(20 * time.Millisecond).Up {
+		t.Fatal("window end is exclusive: link should be up at To")
+	}
+}
+
+func TestScheduleOpenEndedPartition(t *testing.T) {
+	s := NewSchedule().PartitionFrom(5 * time.Millisecond)
+	if s.At(time.Hour).Up {
+		t.Fatal("open-ended partition should hold forever")
+	}
+	if _, ok := s.NextUp(6 * time.Millisecond); ok {
+		t.Fatal("NextUp must report no recovery for an open-ended partition")
+	}
+}
+
+func TestScheduleNextUp(t *testing.T) {
+	s := NewSchedule().Partition(10*time.Millisecond, 30*time.Millisecond)
+	if up, ok := s.NextUp(0); !ok || up != 0 {
+		t.Fatalf("link already up: want (0,true), got (%v,%v)", up, ok)
+	}
+	up, ok := s.NextUp(15 * time.Millisecond)
+	if !ok || up != 30*time.Millisecond {
+		t.Fatalf("want recovery at 30ms, got (%v,%v)", up, ok)
+	}
+}
+
+func TestScheduleLastWindowWins(t *testing.T) {
+	s := NewSchedule().
+		Jitter(0, 0, 0.5, 40*time.Millisecond).
+		Partition(10*time.Millisecond, 20*time.Millisecond)
+	if st := s.At(5 * time.Millisecond); !st.Up || st.JitterProb != 0.5 {
+		t.Fatalf("jitter window should apply outside the partition, got %+v", st)
+	}
+	if st := s.At(15 * time.Millisecond); st.Up {
+		t.Fatalf("later partition window should win, got %+v", st)
+	}
+}
+
+func TestScheduleCollapseClampsFrac(t *testing.T) {
+	s := NewSchedule().Collapse(0, 0, 0.1)
+	if st := s.At(0); !st.Up || st.BandwidthFrac != 0.1 {
+		t.Fatalf("want 10x collapse, got %+v", st)
+	}
+	s = NewSchedule().Collapse(0, 0, 7)
+	if st := s.At(0); st.BandwidthFrac != 1 {
+		t.Fatalf("frac must clamp to 1, got %+v", st)
+	}
+}
+
+func TestScheduleFlap(t *testing.T) {
+	s := NewSchedule().Flap(0, 100*time.Millisecond, 10*time.Millisecond, 20*time.Millisecond)
+	// Pattern: down [0,10), up [10,30), down [30,40), up [40,60), ...
+	cases := []struct {
+		t  time.Duration
+		up bool
+	}{
+		{5 * time.Millisecond, false},
+		{15 * time.Millisecond, true},
+		{35 * time.Millisecond, false},
+		{50 * time.Millisecond, true},
+		{200 * time.Millisecond, true}, // flapping over
+	}
+	for _, c := range cases {
+		if got := s.At(c.t).Up; got != c.up {
+			t.Errorf("At(%v).Up = %v, want %v", c.t, got, c.up)
+		}
+	}
+}
+
+func TestScheduleDownDuring(t *testing.T) {
+	s := NewSchedule().
+		Partition(10*time.Millisecond, 20*time.Millisecond).
+		Partition(40*time.Millisecond, 50*time.Millisecond)
+	if d := s.DownDuring(100 * time.Millisecond); d != 20*time.Millisecond {
+		t.Fatalf("want 20ms downtime, got %v", d)
+	}
+	// Truncated at the observation horizon.
+	if d := s.DownDuring(15 * time.Millisecond); d != 5*time.Millisecond {
+		t.Fatalf("want 5ms downtime up to 15ms, got %v", d)
+	}
+	// Open-ended partition accrues until the horizon.
+	s2 := NewSchedule().PartitionFrom(10 * time.Millisecond)
+	if d := s2.DownDuring(60 * time.Millisecond); d != 50*time.Millisecond {
+		t.Fatalf("want 50ms downtime, got %v", d)
+	}
+}

@@ -124,6 +124,33 @@ type CloudConfig struct {
 	// RetrySleep replaces the backoff clock; nil means time.Sleep.
 	RetrySleep func(time.Duration)
 
+	// DeadlineMult derives adaptive per-attempt deadlines for the storage
+	// legs from the observed chunk-latency histograms: an attempt is
+	// abandoned (and retried) after p99 × DeadlineMult, clamped to
+	// [DeadlineFloor, DeadlineCap]. 0 disables attempt deadlines — a stuck
+	// stream then holds its chunk until the store gives up on its own.
+	DeadlineMult float64
+	// DeadlineFloor/DeadlineCap clamp the derived deadline; 0 means
+	// DefaultDeadlineFloor/DefaultDeadlineCap.
+	DeadlineFloor time.Duration
+	DeadlineCap   time.Duration
+	// Hedge enables hedged reads on the download legs: a GET stalled past
+	// the observed HedgeQuantile latency gets one backup request, first
+	// result wins. Off by default — hedging buys tail latency with extra
+	// load, a trade the user opts into.
+	Hedge bool
+	// HedgeQuantile is the observed GET latency quantile past which the
+	// backup launches; 0 means DefaultHedgeQuantile.
+	HedgeQuantile float64
+	// AdaptDegraded enables the degraded-mode transfer ladder: when the
+	// store's observed bandwidth (storage.BandwidthObserver) collapses
+	// below half the provisioned WAN rate, the adaptive codec re-plans
+	// against the observed rate (dense data re-qualifies for compression),
+	// chunks shrink for finer re-route granularity, and virtual-time
+	// accounting bills the rate transfers actually sustained. Hysteresis
+	// (recover past 0.8×) keeps a boundary-hovering link from flapping.
+	AdaptDegraded bool
+
 	// BreakerFailures trips the device's circuit breaker after this many
 	// consecutive transient workflow failures: Available() then reports
 	// false without paying probe round trips or retry timeouts until
@@ -241,6 +268,10 @@ type CloudPlugin struct {
 	// avoidedGets counts manifest GETs skipped via locally-held frames
 	// (see CacheStats.AvoidedGets); independent of the content cache.
 	avoidedGets atomic.Int64
+
+	// degraded is the degraded-mode latch (see CloudConfig.AdaptDegraded);
+	// it outlives a single run — the link, not the job, is what degraded.
+	degraded atomic.Bool
 
 	// Cached health verdict (see Available).
 	healthMu sync.Mutex
@@ -627,9 +658,13 @@ func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 	region.SetAttr("tiles", strconv.Itoa(tiles))
 	defer region.End()
 
-	// One retry counter spans the run's four storage legs; it lands in
-	// the trace report so chaos soaks can see recovery work.
-	var retries atomic.Int64
+	// One accounting block spans the run's four storage legs (retries,
+	// deadline aborts, hedges, degraded-mode switches); it lands in the
+	// trace report so chaos soaks can see recovery work. Its context
+	// cancels stragglers when the workflow unwinds.
+	rs, cancel := newRunStats()
+	defer cancel()
+	partBase := p.partitionBase()
 
 	// Resumable session: loads an interrupted predecessor's journal (cache
 	// priming + committed-tile set) or starts fresh bookkeeping.
@@ -643,12 +678,12 @@ func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 	}
 
 	if p.streaming() && tiles > 1 {
-		return p.streamWorkflow(rep, r, tiles, prefix, &retries, sess)
+		return p.streamWorkflow(rep, r, tiles, prefix, rs, sess)
 	}
 
 	// Steps 1-2: compress and upload every input on its own goroutine.
 	leg := span.Start("leg.upload", "offload", 0)
-	up, err := p.uploadInputs(prefix, r, &retries)
+	up, err := p.uploadInputs(prefix, r, rs)
 	leg.End()
 	if err != nil {
 		return nil, err
@@ -661,7 +696,7 @@ func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 
 	// Step 3: the driver fetches and decodes the inputs.
 	leg = span.Start("leg.fetch", "offload", 0)
-	decoded, driverDecompress, err := p.driverFetch(up.keys, r, &retries)
+	decoded, driverDecompress, err := p.driverFetch(up.keys, r, rs)
 	leg.End()
 	if err != nil {
 		return nil, err
@@ -681,7 +716,7 @@ func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 	// re-reading metadata it authored.
 	memo := newManifestMemo()
 	leg = span.Start("leg.store", "offload", 0)
-	outWire, driverCompress, err := p.reconstructAndStore(prefix, r, tiles, parts, &retries, memo)
+	outWire, driverCompress, err := p.reconstructAndStore(prefix, r, tiles, parts, rs, memo)
 	leg.End()
 	if err != nil {
 		return nil, err
@@ -689,12 +724,12 @@ func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 
 	// Step 8: the host downloads and decodes the outputs.
 	leg = span.Start("leg.download", "offload", 0)
-	hostDecompress, err := p.downloadOutputs(prefix, r, &retries, memo)
+	hostDecompress, err := p.downloadOutputs(prefix, r, rs, memo)
 	leg.End()
 	if err != nil {
 		return nil, err
 	}
-	rep.StorageRetries = int(retries.Load())
+	p.applyNetCounters(rep, rs, partBase)
 	p.logf("offload: job %s: done (%d cache hits, %d task failures, %d storage retries)",
 		prefix, up.hits, jm.Failures, rep.StorageRetries)
 
@@ -703,7 +738,7 @@ func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 		up.compress, hostDecompress, driverDecompress+driverCompress)
 	ci.InWireSizes = up.sent
 	ci.FetchWireSizes = up.wire
-	if err := Account(p.cfg.Profile, ci, rep); err != nil {
+	if err := Account(p.accountProfile(), ci, rep); err != nil {
 		return nil, err
 	}
 	applyEngineCounters(rep, jm, sess)
@@ -762,11 +797,11 @@ func (m *manifestMemo) lookup(key string) ([]byte, bool) {
 }
 
 // chunkOpts assembles the transfer-engine options, including the per-leg
-// retry policy (rc accumulates the run's retry count). withCache
+// retry policy (rs accumulates the run's resilience accounting). withCache
 // additionally wires the chunk-granular content-addressed cache hooks, so
 // clean chunks of a partially-changed buffer are recognized and not
 // re-sent.
-func (p *CloudPlugin) chunkOpts(withCache bool, rc *atomic.Int64) chunkio.Options {
+func (p *CloudPlugin) chunkOpts(withCache bool, rs *runStats) chunkio.Options {
 	o := chunkio.Options{
 		Codec:     p.cfg.Codec,
 		ChunkSize: p.cfg.ChunkBytes,
@@ -781,7 +816,19 @@ func (p *CloudPlugin) chunkOpts(withCache bool, rc *atomic.Int64) chunkio.Option
 		// into a transient retry instead of silently reused wrong data.
 		// Non-content keys (per-job part keys) are not affected.
 		ChunkSum: chunkSumOf,
-		Retry:    p.retryPolicy(rc),
+		Retry:    p.retryPolicy(&rs.retries),
+		Ctx:      rs.ctx,
+		Stats:    &rs.xfer,
+	}
+	o.PutTimeout, o.GetTimeout = p.legDeadlines()
+	o.HedgeDelay = p.hedgeDelay()
+	// Degraded mode re-plans this leg around the rate the link actually
+	// sustains: the codec verdict sees the observed (not provisioned)
+	// bandwidth, so dense data re-qualifies for compression, and chunks
+	// shrink so a refused or abandoned attempt wastes less.
+	if obs := p.updateDegraded(rs); p.cfg.AdaptDegraded && p.degraded.Load() && obs > 0 {
+		o.WireBytesPerS = obs
+		o.ChunkSize = degradedChunkBytes(p.cfg.ChunkBytes)
 	}
 	if withCache && (p.cache != nil || p.chunkIdx != nil) {
 		if p.chunkIdx != nil {
@@ -875,7 +922,7 @@ type uploadResult struct {
 // contents are already in cloud storage are not re-sent — the paper's
 // future-work data caching — and partially-changed buffers resend only
 // their dirty chunks.
-func (p *CloudPlugin) uploadInputs(prefix string, r *Region, rc *atomic.Int64) (*uploadResult, error) {
+func (p *CloudPlugin) uploadInputs(prefix string, r *Region, rs *runStats) (*uploadResult, error) {
 	res := &uploadResult{
 		keys: make([]string, len(r.Ins)),
 		wire: make([]int64, len(r.Ins)),
@@ -904,7 +951,7 @@ func (p *CloudPlugin) uploadInputs(prefix string, r *Region, rc *atomic.Int64) (
 					p.cache.forget(key)
 				}
 			}
-			up, err := chunkio.Upload(p.cfg.Store, key, r.Ins[k].Data, p.chunkOpts(true, rc))
+			up, err := chunkio.Upload(p.cfg.Store, key, r.Ins[k].Data, p.chunkOpts(true, rs))
 			if err != nil {
 				errs[k] = err
 				return
@@ -942,7 +989,7 @@ func (p *CloudPlugin) uploadInputs(prefix string, r *Region, rc *atomic.Int64) (
 // per datum, the paper's §III.A transfer policy), so the virtual cost is
 // the slowest stream; within a stream, chunked objects fetch and decompress
 // their parts concurrently through the transfer engine.
-func (p *CloudPlugin) driverFetch(keys []string, r *Region, rc *atomic.Int64) ([][]byte, simtime.Duration, error) {
+func (p *CloudPlugin) driverFetch(keys []string, r *Region, rs *runStats) ([][]byte, simtime.Duration, error) {
 	decoded := make([][]byte, len(r.Ins))
 	durs := make([]time.Duration, len(r.Ins))
 	errs := make([]error, len(r.Ins))
@@ -951,7 +998,7 @@ func (p *CloudPlugin) driverFetch(keys []string, r *Region, rc *atomic.Int64) ([
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			raw, down, err := chunkio.Download(p.cfg.Store, keys[k], p.chunkOpts(false, rc))
+			raw, down, err := chunkio.Download(p.cfg.Store, keys[k], p.chunkOpts(false, rs))
 			if err != nil {
 				errs[k] = fmt.Errorf("fetching: %w", err)
 				return
@@ -1148,11 +1195,11 @@ func reconstruct(r *Region, tiles int, parts [][]tileResult) ([][]byte, error) {
 // storage (step 7) through the transfer engine, measuring the driver's
 // codec work (summed across the serial per-buffer loop; each term already
 // reflects within-buffer parallel chunk compression).
-func (p *CloudPlugin) storeOutputs(prefix string, r *Region, finals [][]byte, rc *atomic.Int64, memo *manifestMemo) ([]int64, simtime.Duration, error) {
+func (p *CloudPlugin) storeOutputs(prefix string, r *Region, finals [][]byte, rs *runStats, memo *manifestMemo) ([]int64, simtime.Duration, error) {
 	wire := make([]int64, len(r.Outs))
 	var compress time.Duration
 	for l := range r.Outs {
-		o := p.chunkOpts(false, rc)
+		o := p.chunkOpts(false, rs)
 		if memo != nil {
 			o.OnManifest = memo.store
 		}
@@ -1168,18 +1215,18 @@ func (p *CloudPlugin) storeOutputs(prefix string, r *Region, finals [][]byte, rc
 
 // reconstructAndStore composes reconstruct and storeOutputs for a
 // standalone region run.
-func (p *CloudPlugin) reconstructAndStore(prefix string, r *Region, tiles int, parts [][]tileResult, rc *atomic.Int64, memo *manifestMemo) ([]int64, simtime.Duration, error) {
+func (p *CloudPlugin) reconstructAndStore(prefix string, r *Region, tiles int, parts [][]tileResult, rs *runStats, memo *manifestMemo) ([]int64, simtime.Duration, error) {
 	finals, err := reconstruct(r, tiles, parts)
 	if err != nil {
 		return nil, 0, err
 	}
-	return p.storeOutputs(prefix, r, finals, rc, memo)
+	return p.storeOutputs(prefix, r, finals, rs, memo)
 }
 
 // downloadOutputs brings the results back to the host buffers (step 8),
 // decoding in parallel, one stream per buffer; chunked objects additionally
 // fetch and decompress their parts concurrently within the stream.
-func (p *CloudPlugin) downloadOutputs(prefix string, r *Region, rc *atomic.Int64, memo *manifestMemo) (simtime.Duration, error) {
+func (p *CloudPlugin) downloadOutputs(prefix string, r *Region, rs *runStats, memo *manifestMemo) (simtime.Duration, error) {
 	durs := make([]time.Duration, len(r.Outs))
 	errs := make([]error, len(r.Outs))
 	var wg sync.WaitGroup
@@ -1187,7 +1234,7 @@ func (p *CloudPlugin) downloadOutputs(prefix string, r *Region, rc *atomic.Int64
 		wg.Add(1)
 		go func(l int) {
 			defer wg.Done()
-			o := p.chunkOpts(false, rc)
+			o := p.chunkOpts(false, rs)
 			if memo != nil {
 				o.HaveObject = memo.lookup
 			}

@@ -3,7 +3,6 @@ package offload
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"ompcloud/internal/simtime"
 	"ompcloud/internal/trace"
@@ -70,6 +69,11 @@ func MergeReports(device, kernel string, reps ...*trace.Report) *trace.Report {
 		out.SpeculativeLosses += r.SpeculativeLosses
 		out.DeadWorkers += r.DeadWorkers
 		out.ResumedTiles += r.ResumedTiles
+		out.DeadlineAborts += r.DeadlineAborts
+		out.HedgedGets += r.HedgedGets
+		out.HedgeWins += r.HedgeWins
+		out.DegradedSwitches += r.DegradedSwitches
+		out.PartitionSeconds += r.PartitionSeconds
 		out.Tiles += r.Tiles
 		if r.Cores > out.Cores {
 			out.Cores = r.Cores
@@ -207,17 +211,19 @@ func (p *CloudPlugin) OpenEnv(bufs []EnvBuffer) (Env, *trace.Report, error) {
 		}
 	}
 	if len(upBufs) > 0 {
-		var retries atomic.Int64
+		rs, cancel := newRunStats()
+		defer cancel()
+		partBase := p.partitionBase()
 		pseudo := &Region{Ins: upBufs}
-		up, err := p.uploadInputs(e.prefix, pseudo, &retries)
+		up, err := p.uploadInputs(e.prefix, pseudo, rs)
 		if err != nil {
 			return nil, nil, err
 		}
-		decoded, driverDecompress, err := p.driverFetch(up.keys, pseudo, &retries)
+		decoded, driverDecompress, err := p.driverFetch(up.keys, pseudo, rs)
 		if err != nil {
 			return nil, nil, err
 		}
-		rep.StorageRetries = int(retries.Load())
+		p.applyNetCounters(rep, rs, partBase)
 		for i, name := range upNames {
 			e.device[name] = decoded[i]
 		}
@@ -394,14 +400,16 @@ func (e *cloudEnv) Close() (*trace.Report, error) {
 		return rep, nil
 	}
 	// Driver -> storage (encode + put), charged to Spark overhead.
-	var retries atomic.Int64
+	rs, cancel := newRunStats()
+	defer cancel()
+	partBase := p.partitionBase()
 	pseudo := &Region{Outs: downBufs}
 	finals := make([][]byte, len(downBufs))
 	for i := range downBufs {
 		finals[i] = downBufs[i].Data
 	}
 	memo := newManifestMemo()
-	wire, driverCompress, err := p.storeOutputs(e.prefix, pseudo, finals, &retries, memo)
+	wire, driverCompress, err := p.storeOutputs(e.prefix, pseudo, finals, rs, memo)
 	if err != nil {
 		return nil, err
 	}
@@ -411,11 +419,11 @@ func (e *cloudEnv) Close() (*trace.Report, error) {
 	for i := range pseudo.Outs {
 		pseudo.Outs[i].Data = hostData[i]
 	}
-	hostDecompress, err := p.downloadOutputs(e.prefix, pseudo, &retries, memo)
+	hostDecompress, err := p.downloadOutputs(e.prefix, pseudo, rs, memo)
 	if err != nil {
 		return nil, err
 	}
-	rep.StorageRetries = int(retries.Load())
+	p.applyNetCounters(rep, rs, partBase)
 	rep.Add(trace.PhaseDownload, transferLeg(p.pipelined(), hostDecompress, p.cfg.Profile.WAN.TransferParallel(wire)))
 	for _, w := range wire {
 		rep.BytesDownloaded += w

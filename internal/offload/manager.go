@@ -137,12 +137,28 @@ func (m *Manager) Run(id int, r *Region) (*trace.Report, error) {
 	if !dev.Available() {
 		return m.runFallback(r, fmt.Sprintf("device %s unavailable", dev.Name()), nil)
 	}
+	// A device run may write output tiles into the user's buffers before it
+	// fails (the streaming dataflow downloads as it goes), and in/out
+	// variables appear in Ins with the same backing array — so "the host
+	// rewrites every output in full" is not enough to erase a half-done
+	// run. Snapshot the output buffers while fallback is still possible and
+	// restore them before the host pass.
+	var outSnap [][]byte
+	if fallbackPolicyOf(dev) != FallbackFail {
+		outSnap = make([][]byte, len(r.Outs))
+		for i := range r.Outs {
+			outSnap[i] = append([]byte(nil), r.Outs[i].Data...)
+		}
+	}
 	rep, err := dev.Run(r)
 	if err == nil {
 		return rep, nil
 	}
 	if !resilience.IsTransient(err) || fallbackPolicyOf(dev) == FallbackFail {
 		return nil, err
+	}
+	for i := range outSnap {
+		copy(r.Outs[i].Data, outSnap[i])
 	}
 	return m.runFallback(r, err.Error(), err)
 }

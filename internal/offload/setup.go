@@ -33,7 +33,9 @@ import (
 //	              overlap, dedup, health-ttl-ms, jni-base-ms, jni-mbps,
 //	              enable-cache, verbose, run-on-driver, resume, retry-max,
 //	              retry-base-ms, retry-cap-ms, breaker-failures,
-//	              breaker-cooldown-ms, fallback (host | fail)
+//	              breaker-cooldown-ms, fallback (host | fail),
+//	              deadline-mult, deadline-floor-ms, deadline-cap-ms,
+//	              hedge, hedge-quantile, adapt-degraded
 //
 // Every key has a sensible default; an empty file yields the paper's
 // 16-worker c3.8xlarge deployment over an in-memory store. Knobs whose
@@ -300,6 +302,52 @@ func NewCloudPluginFromConfig(f *config.File) (*CloudPlugin, error) {
 		return nil, err
 	}
 	cfg.BreakerCooldown = time.Duration(breakerCooldownMs * float64(time.Millisecond))
+	// deadline-mult: 0 (default) = no attempt deadlines; positive = abort a
+	// storage attempt past p99 × mult of its observed latency. The floor/cap
+	// knobs clamp the derived value, so explicit non-positive values would
+	// silently disable the clamp they name — rejected.
+	deadlineMult, err := f.Float("offload", "deadline-mult", 0)
+	if err != nil {
+		return nil, err
+	}
+	if f.Has("offload", "deadline-mult") && deadlineMult <= 0 {
+		return nil, fmt.Errorf("offload: deadline-mult must be positive, got %v", deadlineMult)
+	}
+	cfg.DeadlineMult = deadlineMult
+	deadlineFloorMs, err := f.Float("offload", "deadline-floor-ms", 0)
+	if err != nil {
+		return nil, err
+	}
+	if f.Has("offload", "deadline-floor-ms") && deadlineFloorMs <= 0 {
+		return nil, fmt.Errorf("offload: deadline-floor-ms must be positive, got %v", deadlineFloorMs)
+	}
+	cfg.DeadlineFloor = time.Duration(deadlineFloorMs * float64(time.Millisecond))
+	deadlineCapMs, err := f.Float("offload", "deadline-cap-ms", 0)
+	if err != nil {
+		return nil, err
+	}
+	if f.Has("offload", "deadline-cap-ms") && deadlineCapMs <= 0 {
+		return nil, fmt.Errorf("offload: deadline-cap-ms must be positive, got %v", deadlineCapMs)
+	}
+	cfg.DeadlineCap = time.Duration(deadlineCapMs * float64(time.Millisecond))
+	hedge, err := f.Bool("offload", "hedge", false)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Hedge = hedge
+	hedgeQuantile, err := f.Float("offload", "hedge-quantile", 0)
+	if err != nil {
+		return nil, err
+	}
+	if f.Has("offload", "hedge-quantile") && (hedgeQuantile <= 0 || hedgeQuantile >= 1) {
+		return nil, fmt.Errorf("offload: hedge-quantile must be in (0, 1), got %v", hedgeQuantile)
+	}
+	cfg.HedgeQuantile = hedgeQuantile
+	adaptDegraded, err := f.Bool("offload", "adapt-degraded", false)
+	if err != nil {
+		return nil, err
+	}
+	cfg.AdaptDegraded = adaptDegraded
 	switch fb := f.Str("offload", "fallback", "host"); fb {
 	case "host":
 		cfg.Fallback = FallbackHost

@@ -293,6 +293,53 @@ enable-cache = true
 	}
 }
 
+func TestFromConfigNetPolicyKnobs(t *testing.T) {
+	f := parseConf(t, `
+[cluster]
+workers = 2
+cores-per-worker = 2
+
+[offload]
+deadline-mult = 3
+deadline-floor-ms = 20
+deadline-cap-ms = 1500
+hedge = true
+hedge-quantile = 0.95
+adapt-degraded = true
+`)
+	p, err := NewCloudPluginFromConfig(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.cfg.DeadlineMult != 3 {
+		t.Fatalf("DeadlineMult = %v", p.cfg.DeadlineMult)
+	}
+	if p.cfg.DeadlineFloor != 20*time.Millisecond || p.cfg.DeadlineCap != 1500*time.Millisecond {
+		t.Fatalf("deadline clamp = [%v, %v]", p.cfg.DeadlineFloor, p.cfg.DeadlineCap)
+	}
+	if !p.cfg.Hedge || p.cfg.HedgeQuantile != 0.95 {
+		t.Fatalf("Hedge = %v q=%v", p.cfg.Hedge, p.cfg.HedgeQuantile)
+	}
+	if !p.cfg.AdaptDegraded {
+		t.Fatal("adapt-degraded knob not wired")
+	}
+	bad := []string{
+		"[offload]\ndeadline-mult = 0\n",
+		"[offload]\ndeadline-mult = -1\n",
+		"[offload]\ndeadline-floor-ms = 0\n",
+		"[offload]\ndeadline-cap-ms = -5\n",
+		"[offload]\nhedge = perhaps\n",
+		"[offload]\nhedge-quantile = 0\n",
+		"[offload]\nhedge-quantile = 1\n",
+		"[offload]\nadapt-degraded = perhaps\n",
+	}
+	for _, c := range bad {
+		if _, err := NewCloudPluginFromConfig(parseConf(t, c)); err == nil {
+			t.Errorf("config %q should fail validation", c)
+		}
+	}
+}
+
 func TestFromConfigCacheAndVerbose(t *testing.T) {
 	f := parseConf(t, "[cluster]\nworkers = 1\ncores-per-worker = 2\n[offload]\nenable-cache = true\nverbose = false\n")
 	p, err := NewCloudPluginFromConfig(f)

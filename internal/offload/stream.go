@@ -3,7 +3,6 @@ package offload
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"ompcloud/internal/chunkio"
@@ -165,8 +164,9 @@ type inTransfer struct {
 // streamWorkflow executes steps 1-8 of Fig. 1 as a tile-granular pipeline.
 // The caller has validated the region, opened the cluster, and owns cleanup
 // of the job prefix.
-func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, prefix string, retries *atomic.Int64, sess *session) (*trace.Report, error) {
+func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, prefix string, rs *runStats, sess *session) (*trace.Report, error) {
 	p.logf("offload: job %s: streaming dataflow (%d tiles)", prefix, tiles)
+	partBase := p.partitionBase()
 	sched := newTileSched(r, tiles)
 
 	// Driver-side input buffers exist up front: gates open against windows
@@ -199,7 +199,7 @@ func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, pr
 				key = contentKey(r.Ins[k].Data)
 				if wireSize, ok := p.cache.lookup(key); ok {
 					if _, err := p.cfg.Store.Stat(key); err == nil {
-						o := p.chunkOpts(false, retries)
+						o := p.chunkOpts(false, rs)
 						o.OnChunk = mark
 						down, err := chunkio.DownloadInto(p.cfg.Store, key, decoded[k], o)
 						if err != nil {
@@ -213,7 +213,7 @@ func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, pr
 					p.cache.forget(key)
 				}
 			}
-			res, err := chunkio.Pipe(p.cfg.Store, key, r.Ins[k].Data, decoded[k], p.chunkOpts(true, retries), mark)
+			res, err := chunkio.Pipe(p.cfg.Store, key, r.Ins[k].Data, decoded[k], p.chunkOpts(true, rs), mark)
 			if err != nil {
 				inErrs[k] = fmt.Errorf("offload: uploading %s: %w", r.Ins[k].Name, err)
 				sched.fail(inErrs[k])
@@ -247,7 +247,7 @@ func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, pr
 	}
 	for l := range r.Outs {
 		finals[l] = reduceIdentity(r.Outs[l].Reduce, len(r.Outs[l].Data))
-		os, err := chunkio.NewOutStream(p.cfg.Store, prefix+"/out/"+r.Outs[l].Name, finals[l], r.Outs[l].Data, p.chunkOpts(false, retries), nil)
+		os, err := chunkio.NewOutStream(p.cfg.Store, prefix+"/out/"+r.Outs[l].Name, finals[l], r.Outs[l].Data, p.chunkOpts(false, rs), nil)
 		if err != nil {
 			sched.fail(err)
 			abortStreams()
@@ -396,7 +396,7 @@ func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, pr
 			driverDecompress = ins[k].decompress
 		}
 	}
-	rep.StorageRetries = int(retries.Load())
+	p.applyNetCounters(rep, rs, partBase)
 	p.logf("offload: job %s: done streaming (%d cache hits, %d task failures, %d storage retries)",
 		prefix, hits, jm.Failures, rep.StorageRetries)
 
@@ -407,7 +407,7 @@ func (p *CloudPlugin) streamWorkflow(rep *trace.Report, r *Region, tiles int, pr
 	ci.FetchWireSizes = fetchWire
 	ci.StreamTiles = tiles
 	ci.BarrierOutWire = barrierOutWire
-	if err := Account(p.cfg.Profile, ci, rep); err != nil {
+	if err := Account(p.accountProfile(), ci, rep); err != nil {
 		return nil, err
 	}
 	applyEngineCounters(rep, jm, sess)

@@ -1,0 +1,153 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryCancelMidBackoff drives DoCtx on a virtual clock: the injected
+// Sleep parks the retry in a backoff that virtual time will never finish,
+// the context is cancelled, and the call must return promptly with a
+// Permanent classification wrapping context.Canceled.
+func TestRetryCancelMidBackoff(t *testing.T) {
+	backoffEntered := make(chan struct{})
+	block := make(chan struct{})
+	p := Policy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Second,
+		Seed:        1,
+		// Virtual clock: the sleeper reports the backoff and then blocks
+		// until the test releases it (after cancellation, to prove the
+		// cancelled retry did not wait for the sleeper).
+		Sleep: func(time.Duration) {
+			close(backoffEntered)
+			<-block
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	opErr := MarkTransient(fmt.Errorf("flaky"))
+	done := make(chan error, 1)
+	var out Outcome
+	go func() {
+		var err error
+		out, err = p.DoCtx(ctx, func() error { return opErr })
+		done <- err
+	}()
+
+	<-backoffEntered
+	cancel()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled retry did not return promptly")
+	}
+	close(block)
+
+	if err == nil {
+		t.Fatal("cancelled retry must fail")
+	}
+	if !IsPermanent(err) {
+		t.Fatalf("cancellation must classify permanent, got %v (%v)", ClassOf(err), err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error must wrap context.Canceled: %v", err)
+	}
+	if out.Attempts != 1 {
+		t.Fatalf("one attempt should have run before the backoff, got %d", out.Attempts)
+	}
+}
+
+// TestRetryCancelBeforeAttempt: an already-cancelled context never invokes
+// the operation.
+func TestRetryCancelBeforeAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, err := Policy{MaxAttempts: 3}.DoCtx(ctx, func() error { ran = true; return nil })
+	if ran {
+		t.Fatal("op must not run under a cancelled context")
+	}
+	if !IsPermanent(err) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want permanent context.Canceled, got %v", err)
+	}
+}
+
+// TestRetryNilCtxMatchesDo: DoCtx(nil, ...) is Do.
+func TestRetryNilCtxMatchesDo(t *testing.T) {
+	var slept time.Duration
+	p := Policy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, Seed: 7,
+		Sleep: func(d time.Duration) { slept += d }}
+	n := 0
+	out, err := p.DoCtx(nil, func() error {
+		n++
+		if n < 3 {
+			return MarkTransient(fmt.Errorf("flaky"))
+		}
+		return nil
+	})
+	if err != nil || out.Attempts != 3 {
+		t.Fatalf("want success on attempt 3, got %v (attempts %d)", err, out.Attempts)
+	}
+	if slept != out.Backoff || slept == 0 {
+		t.Fatalf("synchronous injected sleep must account backoff: slept %v, outcome %v", slept, out.Backoff)
+	}
+}
+
+// TestBreakerHalfOpenSingleProbeRace: when the cooldown expires, racing
+// callers must be admitted exactly one at a time — one probe per Allow
+// window, no thundering herd into a barely-recovered device. Run with
+// -race.
+func TestBreakerHalfOpenSingleProbeRace(t *testing.T) {
+	var clockMu sync.Mutex
+	clock := time.Unix(0, 0)
+	now := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return clock
+	}
+	b := &Breaker{Threshold: 1, Cooldown: time.Second, Now: now}
+	b.Failure() // trip
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker should be open")
+	}
+	clockMu.Lock()
+	clock = clock.Add(2 * time.Second)
+	clockMu.Unlock()
+
+	const racers = 64
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.Allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open must admit exactly one concurrent probe, admitted %d of %d", got, racers)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("breaker should be half-open, got %v", b.State())
+	}
+	// The probe's outcome gates the next admission: failure re-opens,
+	// nobody else was let through meanwhile.
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("freshly re-opened breaker admitted a request before its cooldown")
+	}
+}

@@ -21,6 +21,7 @@
 package resilience
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -184,6 +185,18 @@ func (p Policy) attempts() int {
 // immediately; Transient and Unknown errors retry (see Class for why Unknown
 // retries). The returned Outcome is meaningful on success and failure alike.
 func (p Policy) Do(op func() error) (Outcome, error) {
+	return p.DoCtx(nil, op)
+}
+
+// DoCtx is Do with cooperative cancellation: ctx is consulted before every
+// attempt and during backoff, so a caller tearing down a transfer (an
+// aborted tile pipeline, a workflow that already failed elsewhere) stops a
+// retrying operation promptly instead of paying out its remaining backoff
+// schedule. Cancellation is classified Permanent — it is a caller decision
+// no amount of retrying may override — and the returned error wraps
+// ctx.Err() so errors.Is(err, context.Canceled) works. A nil ctx behaves
+// exactly like Do.
+func (p Policy) DoCtx(ctx context.Context, op func() error) (Outcome, error) {
 	sleep := p.Sleep
 	if sleep == nil {
 		sleep = time.Sleep
@@ -199,6 +212,12 @@ func (p Policy) Do(op func() error) (Outcome, error) {
 	out := Outcome{}
 	var err error
 	for attempt := 1; ; attempt++ {
+		if cerr := ctxErr(ctx); cerr != nil {
+			if err != nil {
+				return out, MarkPermanent(fmt.Errorf("retry cancelled after %d attempts: %w (last error: %w)", out.Attempts, cerr, err))
+			}
+			return out, MarkPermanent(fmt.Errorf("retry cancelled before first attempt: %w", cerr))
+		}
 		out.Attempts = attempt
 		err = op()
 		if err == nil {
@@ -215,9 +234,58 @@ func (p Policy) Do(op func() error) (Outcome, error) {
 			p.OnRetry(attempt, err, d)
 		}
 		if d > 0 {
-			sleep(d)
+			if cerr := p.sleepCtx(ctx, sleep, d); cerr != nil {
+				return out, MarkPermanent(fmt.Errorf("retry cancelled during backoff after %d attempts: %w (last error: %w)", attempt, cerr, err))
+			}
 			out.Backoff += d
 		}
+	}
+}
+
+// ctxErr reports a nil-safe ctx.Err without blocking.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// sleepCtx sleeps d, returning early with ctx's error on cancellation. With
+// an injected Sleep the sleeper runs on its own goroutine and the wait
+// races it against ctx — an injected recorder or virtual clock that never
+// returns cannot pin a cancelled retry. With the real clock a timer is
+// raced instead, avoiding the goroutine. A nil ctx degrades to a plain
+// synchronous sleep.
+func (p Policy) sleepCtx(ctx context.Context, sleep func(time.Duration), d time.Duration) error {
+	if ctx == nil {
+		sleep(d)
+		return nil
+	}
+	if p.Sleep != nil {
+		done := make(chan struct{})
+		go func() {
+			sleep(d)
+			close(done)
+		}()
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

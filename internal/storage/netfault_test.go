@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ompcloud/internal/netsim"
+	"ompcloud/internal/resilience"
+)
+
+func TestNetFaultPartitionDropRefusesTransient(t *testing.T) {
+	sched := netsim.NewSchedule().PartitionFrom(0)
+	nf := NewNetFault(NewMemStore(), sched)
+	if err := nf.Put("k", []byte("v")); err == nil {
+		t.Fatal("partitioned put should fail")
+	} else {
+		if !errors.Is(err, ErrPartitioned) {
+			t.Fatalf("want ErrPartitioned in the chain, got %v", err)
+		}
+		if !resilience.IsTransient(err) {
+			t.Fatalf("partition errors must be transient, got class %v", resilience.ClassOf(err))
+		}
+	}
+	if _, err := nf.Get("k"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned get should refuse, got %v", err)
+	}
+	if _, err := nf.List("j"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned list should refuse, got %v", err)
+	}
+	if nf.Refused() != 3 {
+		t.Fatalf("want 3 refused ops, got %d", nf.Refused())
+	}
+}
+
+func TestNetFaultOpClockDeterministicWindow(t *testing.T) {
+	// Partition from the 3rd operation onward, forever, regardless of wall
+	// time: elapsed = ops × 1ms.
+	sched := netsim.NewSchedule().PartitionFrom(3 * time.Millisecond)
+	nf := NewNetFault(NewMemStore(), sched).UseOpClock(time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if err := nf.Put("k", []byte("v")); err != nil {
+			t.Fatalf("op %d before the window should pass: %v", i, err)
+		}
+	}
+	if err := nf.Put("k", []byte("v")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("4th op should be partitioned, got %v", err)
+	}
+	if nf.PartitionSeconds() <= 0 {
+		t.Fatal("partition seconds should accrue once the window opens")
+	}
+}
+
+func TestNetFaultHangBlocksUntilWindowEnds(t *testing.T) {
+	sched := netsim.NewSchedule().Partition(0, 50*time.Millisecond)
+	var slept time.Duration
+	clock := time.Duration(0)
+	nf := NewNetFault(NewMemStore(), sched).SetMode(PartitionHang)
+	nf.SetClock(func() time.Duration { return clock }).
+		SetSleep(func(d time.Duration) { slept += d })
+	if err := nf.Put("k", []byte("v")); err != nil {
+		t.Fatalf("hang-mode put should succeed after the window: %v", err)
+	}
+	if slept != 50*time.Millisecond {
+		t.Fatalf("op should have blocked 50ms until the window end, slept %v", slept)
+	}
+	// Open-ended partitions cannot hang forever: they degrade to drop.
+	nf2 := NewNetFault(NewMemStore(), netsim.NewSchedule().PartitionFrom(0)).SetMode(PartitionHang)
+	if err := nf2.Put("k", []byte("v")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("open-ended hang must refuse, got %v", err)
+	}
+}
+
+func TestNetFaultCollapseChargesAndMetersRate(t *testing.T) {
+	const rate = 1e6 // 1 MB/s nominal
+	sched := netsim.NewSchedule().Collapse(0, 0, 0.1)
+	var slept time.Duration
+	nf := NewNetFault(NewMemStore(), sched).SetRate(rate)
+	nf.SetClock(func() time.Duration { return 0 }).
+		SetSleep(func(d time.Duration) { slept += d })
+	data := make([]byte, 10_000)
+	for i := 0; i < meterMinSamples; i++ {
+		if err := nf.Put("k", data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each put pays n/rate × (1/frac − 1) = 10ms × 9 = 90ms surcharge.
+	wantPer := 90 * time.Millisecond
+	got := slept / meterMinSamples
+	if got < wantPer-time.Millisecond || got > wantPer+time.Millisecond {
+		t.Fatalf("collapse surcharge per op = %v, want ~%v", got, wantPer)
+	}
+	// Observed rate reflects real wall time, which here excludes the
+	// injected (recorded, not slept) surcharge — so just check the meter
+	// is live and the observer interface is wired.
+	up, _ := nf.ObservedBPS()
+	if up <= 0 {
+		t.Fatal("upload meter should report a rate after enough samples")
+	}
+	var bo BandwidthObserver = nf
+	if u, _ := bo.ObservedBPS(); u != up {
+		t.Fatal("BandwidthObserver disagrees with direct accessor")
+	}
+}
+
+func TestNetFaultJitterDeterministicDraws(t *testing.T) {
+	sched := netsim.NewSchedule().Jitter(0, 0, 0.5, 7*time.Millisecond)
+	run := func(seed uint64) time.Duration {
+		var slept time.Duration
+		nf := NewNetFault(NewMemStore(), sched).SetSeed(seed)
+		nf.SetClock(func() time.Duration { return 0 }).
+			SetSleep(func(d time.Duration) { slept += d })
+		for i := 0; i < 64; i++ {
+			if err := nf.Put("k", []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return slept
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("equal seeds must replay identical jitter: %v vs %v", a, b)
+	}
+	if a == 0 {
+		t.Fatal("prob-0.5 jitter over 64 ops should have fired at least once")
+	}
+	if c := run(7); c == a {
+		t.Logf("different seeds drew identical jitter totals (%v); unlikely but legal", c)
+	}
+}
+
+func TestNetFaultHealthyPassThrough(t *testing.T) {
+	nf := NewNetFault(NewMemStore(), netsim.NewSchedule())
+	if err := nf.Put("k", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nf.Get("k")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if n, err := nf.Stat("k"); err != nil || n != 5 {
+		t.Fatalf("Stat = %d, %v", n, err)
+	}
+	if err := nf.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nf.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound after delete, got %v", err)
+	}
+}
+
+func TestThrottledObservedBPS(t *testing.T) {
+	// 8 Mbps = 1 MB/s; 64 KiB per op takes ~65ms, so the observed rate
+	// should land near the configured cap.
+	th := NewThrottled(NewMemStore(), 8, 0)
+	data := make([]byte, 64<<10)
+	for i := 0; i < meterMinSamples; i++ {
+		if err := th.Put("k", data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	up, down := th.ObservedBPS()
+	if down != 0 {
+		t.Fatalf("no downloads yet, want down=0, got %v", down)
+	}
+	if up < 0.5e6 || up > 1.5e6 {
+		t.Fatalf("observed upload rate %v, want ~1e6", up)
+	}
+	for i := 0; i < meterMinSamples; i++ {
+		if _, err := th.Get("k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, down = th.ObservedBPS(); down < 0.5e6 || down > 1.5e6 {
+		t.Fatalf("observed download rate %v, want ~1e6", down)
+	}
+}

@@ -23,6 +23,13 @@ type Throttled struct {
 	mu   sync.Mutex
 	up   time.Time // upload direction busy until
 	down time.Time // download direction busy until
+
+	// Windowed effective-rate meters per direction (queueing included),
+	// behind the BandwidthObserver interface. They measure what callers
+	// actually experience, which under contention is less than bytesPS —
+	// the number the degraded-mode policy and the throttle tests share.
+	upMeter   rateMeter
+	downMeter rateMeter
 }
 
 // NewThrottled wraps inner with a bandwidth cap of mbps megabits per second
@@ -36,7 +43,7 @@ func NewThrottled(inner Store, mbps float64, latency time.Duration) *Throttled {
 // transfer would have completed on the simulated link. Reservations queue:
 // each starts when the direction frees up, so concurrent transfers in one
 // direction share the pipe serially (equivalent makespan to fair sharing).
-func (t *Throttled) reserve(busy *time.Time, n int64) {
+func (t *Throttled) reserve(busy *time.Time, meter *rateMeter, n int64) {
 	var xfer time.Duration
 	if t.bytesPS > 0 {
 		xfer = time.Duration(float64(n) / t.bytesPS * float64(time.Second))
@@ -51,11 +58,22 @@ func (t *Throttled) reserve(busy *time.Time, n int64) {
 	*busy = end
 	t.mu.Unlock()
 	time.Sleep(time.Until(end) + t.latency)
+	// Effective rate as the caller saw it: bytes over wall time from
+	// reservation to completion, so queueing behind concurrent transfers
+	// counts against the observed rate.
+	meter.add(n, time.Since(now))
+}
+
+// ObservedBPS implements BandwidthObserver: the effective rate each
+// direction has recently sustained, in bytes/s (0 until enough transfers
+// have been observed).
+func (t *Throttled) ObservedBPS() (upBPS, downBPS float64) {
+	return t.upMeter.rate(), t.downMeter.rate()
 }
 
 // Put implements Store, charging the upload direction.
 func (t *Throttled) Put(key string, data []byte) error {
-	t.reserve(&t.up, int64(len(data)))
+	t.reserve(&t.up, &t.upMeter, int64(len(data)))
 	return t.inner.Put(key, data)
 }
 
@@ -66,7 +84,7 @@ func (t *Throttled) Get(key string) ([]byte, error) {
 		time.Sleep(t.latency)
 		return nil, err
 	}
-	t.reserve(&t.down, int64(len(obj)))
+	t.reserve(&t.down, &t.downMeter, int64(len(obj)))
 	return obj, nil
 }
 

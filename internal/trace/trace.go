@@ -73,6 +73,20 @@ type Report struct {
 	// ResumedTiles counts tiles whose results were served from a resumed
 	// session's journal instead of being recomputed.
 	ResumedTiles int `json:"resumed_tiles,omitempty"`
+	// DeadlineAborts counts storage attempts cut off by the per-leg
+	// adaptive deadline (the attempt was abandoned and retried).
+	DeadlineAborts int `json:"deadline_aborts,omitempty"`
+	// HedgedGets/HedgeWins count backup reads launched past the hedge
+	// delay and how many of them beat the primary.
+	HedgedGets int `json:"hedged_gets,omitempty"`
+	HedgeWins  int `json:"hedge_wins,omitempty"`
+	// DegradedSwitches counts degraded-mode policy transitions (in either
+	// direction) during the region: the transfer engine re-planned around
+	// an observed bandwidth collapse.
+	DegradedSwitches int `json:"degraded_switches,omitempty"`
+	// PartitionSeconds is how long the storage link reported itself
+	// partitioned during the region (simulated link schedules).
+	PartitionSeconds float64 `json:"partition_seconds,omitempty"`
 	// FellBack records that the region ran on the host instead of the
 	// requested device (paper §III.A dynamic fallback) — either because
 	// the device was unavailable at entry or because it failed
