@@ -11,6 +11,7 @@
 //	ompcloud-bench -workerchaos      # worker-fault soak (death, speculation, resume) -> BENCH_workerchaos.json
 //	ompcloud-bench -netchaos         # link-fault soak (partition, collapse, flap, jitter) -> BENCH_netchaos.json
 //	ompcloud-bench -overlap          # barriered vs streaming dataflow -> BENCH_overlap.json
+//	ompcloud-bench -multidev         # heterogeneous host+2-cloud split -> BENCH_multidev.json
 //
 // The tool first calibrates the machine (real single-core kernel runs and
 // real gzip probes; takes a few seconds at the default -caln), then derives
@@ -61,6 +62,10 @@ func main() {
 		ovMiB    = flag.String("overlap-mib", "64,256", "comma-separated input sizes for -overlap, in MiB")
 		ovBW     = flag.Float64("overlap-bw", 200, "simulated WAN bandwidth for -overlap, Mbit/s per direction")
 		ovOut    = flag.String("overlap-out", "BENCH_overlap.json", "output path for the -overlap results")
+		mdev     = flag.Bool("multidev", false, "run the heterogeneous multi-device benchmark (host+2 clouds split vs single-device baselines)")
+		mdevMiB  = flag.Int("multidev-mib", 256, "dense input size for -multidev, in MiB")
+		mdevSer  = flag.Float64("multidev-serial-s", 0, "calibrated serial seconds for the -multidev kernel (0: default 10)")
+		mdevOut  = flag.String("multidev-out", "BENCH_multidev.json", "output path for the -multidev results")
 	)
 	flag.Parse()
 	if *transfer {
@@ -69,6 +74,10 @@ func main() {
 	}
 	if *overlap {
 		runOverlap(*ovMiB, *ovBW, *ovOut)
+		return
+	}
+	if *mdev {
+		runMultidev(*mdevMiB, *mdevSer, *mdevOut)
 		return
 	}
 	if *chaos {
@@ -282,6 +291,46 @@ func runOverlap(mibs string, bw float64, outPath string) {
 	if res.Chaos != nil {
 		fmt.Printf("\nchaos streaming: %d faults fired, %d storage retries, identical=%v\n",
 			res.Chaos.FaultsFired, res.Chaos.StorageRetries, res.Chaos.Identical)
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+}
+
+// runMultidev splits one dense region across the host and two asymmetric
+// cloud clusters (seeded, then rebalanced from measured rates), runs each
+// member alone as a baseline, exercises the 10x-slower-member degradation
+// scenario, and writes the result set to outPath.
+func runMultidev(mib int, serialS float64, outPath string) {
+	res, err := bench.RunMultidevBench(bench.MultidevConfig{
+		MiB:           mib,
+		TargetSerialS: serialS,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	c := res.Case
+	fmt.Printf("%-10s %6s %10s %10s %16s\n", "device", "cores", "wall_s", "virtual_s", "share_run1->2")
+	for i, s := range c.Singles {
+		fmt.Printf("%-10s %6d %10.2f %10.2f %8d->%d\n",
+			s.Device, s.Cores, s.WallS, s.VirtualS, c.Run1Shares[i], c.Run2Shares[i])
+	}
+	fmt.Printf("%-10s %6s %10.2f %10.2f\n", "multi run1", "-", c.Run1WallS, c.Run1VirtualS)
+	fmt.Printf("%-10s %6s %10.2f %10.2f\n", "multi run2", "-", c.Run2WallS, c.Run2VirtualS)
+	fmt.Printf("\nbest single (by model): %s\n", c.BestSingle)
+	fmt.Printf("rebalanced split speedup: %.2fx wall, %.2fx virtual, identical=%v\n",
+		c.WallSpeedup, c.VirtualSpeedup, c.Identical)
+	if d := res.Degraded; d != nil {
+		fmt.Printf("degraded member share: %d -> %d, completed=%v, identical=%v\n",
+			d.SlowShare1, d.SlowShare2, d.Completed, d.Identical)
 	}
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

@@ -82,9 +82,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		plugin, err := offload.NewCloudPluginFromConfig(f)
+		// [device "..."] blocks select the multi-device split: the region
+		// fans out across the host and every named cloud. A flat file keeps
+		// the legacy single cloud device.
+		plugin, err := offload.NewDevicePluginFromConfig(f)
 		if err != nil {
 			fatal(err)
+		}
+		if _, multi := plugin.(*offload.MultiDevice); multi {
+			fmt.Fprintf(os.Stderr, "device table: splitting regions across %s\n", plugin.Name())
 		}
 		rt, err := omp.NewRuntime(16)
 		if err != nil {

@@ -1,0 +1,417 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"ompcloud/internal/data"
+	"ompcloud/internal/fatbin"
+	"ompcloud/internal/netsim"
+	"ompcloud/internal/offload"
+	"ompcloud/internal/simtime"
+	"ompcloud/internal/spark"
+	"ompcloud/internal/storage"
+	"ompcloud/internal/trace/span"
+)
+
+// The multidev bench measures what the heterogeneous multi-device split buys
+// over the best single device: one target region fanned out across a small
+// local host and two asymmetric cloud clusters, each cloud behind its own
+// bandwidth-throttled store. The kernel is compute-tunable — a per-element
+// FMA chain calibrated so the serial run costs a few seconds — which puts
+// the devices in the regime the split is for: the host is compute-starved,
+// the clouds have cores to spare but pay their own WAN for every byte of
+// their slice. A second multi-device run of the same kernel rebalances from
+// the rates the first run published into the metrics registry, and a
+// degradation scenario checks that a 10x-slower member ends up with a
+// shrunken share instead of failing the region.
+
+// multidevKernel scales each element through an R-step FMA chain
+// (scalars[0] = R) and folds a sum of the inputs — per-element output is
+// order-insensitive, the scalar tail exercises the reduction merge.
+const multidevKernel = "multidev-scale"
+
+func multidevRegistry() *fatbin.Registry {
+	reg := fatbin.NewRegistry()
+	reg.Register(multidevKernel, func(lo, hi int64, scalars []int64, in, out [][]byte) error {
+		x := in[0]
+		y := out[0]
+		r := int(scalars[0])
+		var sum float32
+		for i := 0; i < int(hi-lo); i++ {
+			v := data.GetFloat(x, i)
+			sum += v
+			for k := 0; k < r; k++ {
+				v = v*1.0000001 + 1e-7
+			}
+			data.PutFloat(y, i, v)
+		}
+		data.PutFloat(out[1], 0, data.GetFloat(out[1], 0)+sum)
+		return nil
+	})
+	return reg
+}
+
+// MultidevSingle is one whole-region baseline run on a single member.
+type MultidevSingle struct {
+	Device   string  `json:"device"`
+	Cores    int     `json:"cores"`
+	WallS    float64 `json:"wall_s"`
+	VirtualS float64 `json:"virtual_s"`
+}
+
+// MultidevCase is the headline comparison: the region split across
+// host+2 clouds (seeded first run, rebalanced second run) against each
+// member running the whole region alone.
+type MultidevCase struct {
+	MiB          int     `json:"mib"`
+	FlopsPerElem int     `json:"flops_per_elem"`
+	Run1Shares   []int64 `json:"run1_shares"`
+	Run2Shares   []int64 `json:"run2_shares"`
+	// Run1 splits on provisioned seeds; Run2 on the rates Run1 published.
+	Run1WallS    float64 `json:"run1_wall_s"`
+	Run1VirtualS float64 `json:"run1_virtual_s"`
+	Run2WallS    float64 `json:"run2_wall_s"`
+	Run2VirtualS float64 `json:"run2_virtual_s"`
+	// Singles are the whole-region baselines, one per member.
+	Singles []MultidevSingle `json:"singles"`
+	// BestSingle is the fastest single device by virtual time.
+	BestSingle string `json:"best_single"`
+	// WallSpeedup and VirtualSpeedup compare the rebalanced multi-device
+	// run against the best single device in each metric.
+	WallSpeedup    float64 `json:"wall_speedup"`
+	VirtualSpeedup float64 `json:"virtual_speedup"`
+	// Identical confirms every run produced bit-identical per-element
+	// outputs; the scalar reduction is checked against the serial sum.
+	Identical bool `json:"identical"`
+}
+
+// MultidevDegraded is the degradation scenario: twin cloud members, one
+// 10x slower in every scheduling cost — invisible to the provisioned seed,
+// so only the measured rates can react.
+type MultidevDegraded struct {
+	MiB        int     `json:"mib"`
+	Run1Shares []int64 `json:"run1_shares"`
+	Run2Shares []int64 `json:"run2_shares"`
+	// SlowShare1/2 are the slow member's iteration counts before and
+	// after rebalancing.
+	SlowShare1 int64 `json:"slow_share_run1"`
+	SlowShare2 int64 `json:"slow_share_run2"`
+	// Completed is true when both runs finished without region failure
+	// or host fallback.
+	Completed    bool    `json:"completed"`
+	Identical    bool    `json:"identical"`
+	Run1VirtualS float64 `json:"run1_virtual_s"`
+	Run2VirtualS float64 `json:"run2_virtual_s"`
+}
+
+// MultidevBench is the full result set, serialized to BENCH_multidev.json.
+type MultidevBench struct {
+	Case     MultidevCase      `json:"case"`
+	Degraded *MultidevDegraded `json:"degraded,omitempty"`
+}
+
+// MultidevConfig tunes the multidev bench.
+type MultidevConfig struct {
+	// MiB is the dense input size (default 256).
+	MiB int
+	// TargetSerialS calibrates the kernel's FMA chain so one serial pass
+	// over the input costs about this many real seconds (default 10).
+	TargetSerialS float64
+	// Log receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// calibrateFlops measures the kernel's per-element-per-flop cost on this
+// machine and returns the chain length hitting the serial target.
+func calibrateFlops(reg *fatbin.Registry, targetS float64, nElem int) (int, error) {
+	const calElems, calR = 1 << 20, 64
+	x := data.Generate(1, calElems, data.Dense, 9).Bytes()
+	y := make([]byte, len(x))
+	sum := make([]byte, data.FloatSize)
+	start := time.Now()
+	err := reg.Invoke(multidevKernel, 0, calElems, []int64{calR},
+		[][]byte{x}, [][]byte{y, sum})
+	if err != nil {
+		return 0, err
+	}
+	perElemFlop := time.Since(start).Seconds() / float64(calElems) / calR
+	r := int(targetS / (perElemFlop * float64(nElem)))
+	if r < 8 {
+		r = 8
+	}
+	if r > 1<<13 {
+		r = 1 << 13
+	}
+	return r, nil
+}
+
+// multidevRegion builds the bench region over x with the given chain length.
+func multidevRegion(reg *fatbin.Registry, x []byte, flops int) *offload.Region {
+	n := int64(len(x)) / data.FloatSize
+	return &offload.Region{
+		Kernel:   multidevKernel,
+		Registry: reg,
+		N:        n,
+		Scalars:  []int64{int64(flops)},
+		Ins: []offload.Buffer{
+			{Name: "x", Data: x, BytesPerIter: data.FloatSize},
+		},
+		Outs: []offload.Buffer{
+			{Name: "y", Data: make([]byte, len(x)), BytesPerIter: data.FloatSize},
+			{Name: "sum", Data: make([]byte, data.FloatSize), Reduce: offload.ReduceSumF32},
+		},
+	}
+}
+
+// warmCosts models a long-lived warm session: the driver JVM is up and the
+// DAG cached, so per-job overhead is small against multi-second regions.
+func warmCosts() spark.Costs {
+	return spark.Costs{
+		JobSubmit:    200 * simtime.Millisecond,
+		TaskDispatch: simtime.Millisecond,
+		TaskRetry:    100 * simtime.Millisecond,
+	}
+}
+
+// multidevCloud builds one named cloud member: its own throttled store and
+// a network profile matching the throttle, so wall and virtual time see the
+// same link. The dataflow is barriered: the bench measures what splitting
+// buys, so each device's transfer cost must be visible, not hidden under
+// its own compute by the streaming overlap (that trade has its own bench).
+func multidevCloud(name string, workers, cores int, wanMbps float64, costs spark.Costs) (*offload.CloudPlugin, error) {
+	profile := netsim.DefaultProfile()
+	profile.WAN.BitsPerSs = netsim.Mbps(wanMbps)
+	return offload.NewCloudPlugin(offload.CloudConfig{
+		Spec:       spark.ClusterSpec{Workers: workers, CoresPerWorker: cores},
+		Store:      storage.NewThrottled(storage.NewMemStore(), wanMbps, 2*time.Millisecond),
+		Profile:    profile,
+		Costs:      costs,
+		DeviceName: name,
+		Overlap:    -1,
+		RetryBase:  -1,
+	})
+}
+
+// timedRun executes the region on p and reports wall seconds, virtual
+// seconds, and the outputs.
+func timedRun(p offload.Plugin, r *offload.Region) (wallS, virtS float64, y, sum []byte, fellBack bool, err error) {
+	start := time.Now()
+	rep, err := p.Run(r)
+	if err != nil {
+		return 0, 0, nil, nil, false, err
+	}
+	return time.Since(start).Seconds(), rep.Effective().Seconds(),
+		r.Outs[0].Data, r.Outs[1].Data, rep.FellBack, nil
+}
+
+// RunMultidevBench measures the heterogeneous split against single-device
+// baselines and runs the slow-member degradation scenario.
+func RunMultidevBench(cfg MultidevConfig) (*MultidevBench, error) {
+	if cfg.MiB == 0 {
+		cfg.MiB = 256
+	}
+	if cfg.TargetSerialS == 0 {
+		cfg.TargetSerialS = 10
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	reg := multidevRegistry()
+	nElem := cfg.MiB * 1024 * 1024 / data.FloatSize
+	flops, err := calibrateFlops(reg, cfg.TargetSerialS, nElem)
+	if err != nil {
+		return nil, err
+	}
+	logf("multidev: calibrated to %d flops/elem (~%.0fs serial at %d MiB)",
+		flops, cfg.TargetSerialS, cfg.MiB)
+	x := data.Generate(1, nElem, data.Dense, 42).Bytes()
+
+	// Serial sum reference (the per-element outputs are checked run
+	// against run: each element is computed by exactly one device, so all
+	// runs must agree bit for bit).
+	var serialSum float64
+	for _, v := range data.Floats(x) {
+		serialSum += float64(v)
+	}
+
+	// The device set: a 2-thread host (the paper's weak local machine — the
+	// reason to offload at all) plus two asymmetric clouds on their own
+	// links and stores.
+	newMembers := func() (*offload.HostPlugin, *offload.CloudPlugin, *offload.CloudPlugin, error) {
+		host, err := offload.NewHostPlugin(2)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		big, err := multidevCloud("big", 8, 8, 1000, warmCosts())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		small, err := multidevCloud("small", 4, 4, 500, warmCosts())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return host, big, small, nil
+	}
+
+	host, big, small, err := newMembers()
+	if err != nil {
+		return nil, err
+	}
+	md, err := offload.NewMultiDevice(offload.MultiDeviceConfig{
+		Members: []offload.Plugin{host, big, small},
+		Log:     logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	span.ResetMetrics() // run 1 must split on provisioned seeds
+	c := MultidevCase{MiB: cfg.MiB, FlopsPerElem: flops}
+
+	logf("multidev: split run 1 (seeded weights)")
+	r1 := multidevRegion(reg, x, flops)
+	c.Run1WallS, c.Run1VirtualS, _, _, _, err = timedRun(md, r1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: multidev run 1: %w", err)
+	}
+	refY := r1.Outs[0].Data
+	c.Run1Shares = md.LastShares()
+
+	logf("multidev: split run 2 (rebalanced from measured rates)")
+	r2 := multidevRegion(reg, x, flops)
+	var y2, sum2 []byte
+	c.Run2WallS, c.Run2VirtualS, y2, sum2, _, err = timedRun(md, r2)
+	if err != nil {
+		return nil, fmt.Errorf("bench: multidev run 2: %w", err)
+	}
+	c.Run2Shares = md.LastShares()
+
+	// Single-device baselines: every member runs the whole region alone
+	// on fresh plugins and stores.
+	hostA, bigA, smallA, err := newMembers()
+	if err != nil {
+		return nil, err
+	}
+	c.Identical = bytes.Equal(y2, refY)
+	bestVirt, bestWall := 0.0, 0.0
+	for _, m := range []offload.Plugin{hostA, bigA, smallA} {
+		logf("multidev: single-device baseline on %s", m.Name())
+		rs := multidevRegion(reg, x, flops)
+		wall, virt, y, _, _, err := timedRun(m, rs)
+		if err != nil {
+			return nil, fmt.Errorf("bench: multidev single %s: %w", m.Name(), err)
+		}
+		c.Identical = c.Identical && bytes.Equal(y, refY)
+		c.Singles = append(c.Singles, MultidevSingle{
+			Device: m.Name(), Cores: m.Cores(), WallS: wall, VirtualS: virt,
+		})
+		if c.BestSingle == "" || virt < bestVirt {
+			c.BestSingle, bestVirt, bestWall = m.Name(), virt, wall
+		}
+	}
+	if !c.Identical {
+		return nil, fmt.Errorf("bench: multidev: per-element outputs diverge across devices")
+	}
+	gotSum := float64(data.GetFloat(sum2, 0))
+	if rel := (gotSum - serialSum) / serialSum; rel > 1e-3 || rel < -1e-3 {
+		return nil, fmt.Errorf("bench: multidev: reduction %v too far from serial %v", gotSum, serialSum)
+	}
+	if c.Run2WallS > 0 {
+		c.WallSpeedup = bestWall / c.Run2WallS
+	}
+	if c.Run2VirtualS > 0 {
+		c.VirtualSpeedup = bestVirt / c.Run2VirtualS
+	}
+	logf("multidev: %.2fx wall / %.2fx virtual over best single (%s), shares %v -> %v",
+		c.WallSpeedup, c.VirtualSpeedup, c.BestSingle, c.Run1Shares, c.Run2Shares)
+
+	deg, err := runMultidevDegraded(reg, cfg, flops, logf)
+	if err != nil {
+		return nil, err
+	}
+	return &MultidevBench{Case: c, Degraded: deg}, nil
+}
+
+// runMultidevDegraded splits a region across the host and twin clouds, one
+// of which pays 10x every scheduling cost — a degraded instance the
+// provisioned seed cannot distinguish from its twin. The second run must
+// shrink the slow member's share from what the first run measured, and
+// neither run may fail the region or fall back.
+func runMultidevDegraded(reg *fatbin.Registry, cfg MultidevConfig, flops int, logf func(string, ...any)) (*MultidevDegraded, error) {
+	mib := cfg.MiB / 4
+	if mib == 0 {
+		mib = 1
+	}
+	nElem := mib * 1024 * 1024 / data.FloatSize
+	x := data.Generate(1, nElem, data.Dense, 43).Bytes()
+
+	host, err := offload.NewHostPlugin(2)
+	if err != nil {
+		return nil, err
+	}
+	fast, err := multidevCloud("steady", 4, 4, 1000, warmCosts())
+	if err != nil {
+		return nil, err
+	}
+	slowCosts := warmCosts()
+	slowCosts.JobSubmit *= 10
+	slowCosts.TaskDispatch *= 10
+	slow, err := multidevCloud("laggard", 4, 4, 1000, slowCosts)
+	if err != nil {
+		return nil, err
+	}
+	md, err := offload.NewMultiDevice(offload.MultiDeviceConfig{
+		Members: []offload.Plugin{host, fast, slow},
+		Log:     logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Host reference for the per-element outputs.
+	refHost, err := offload.NewHostPlugin(2)
+	if err != nil {
+		return nil, err
+	}
+	rref := multidevRegion(reg, x, flops)
+	if _, err := refHost.Run(rref); err != nil {
+		return nil, err
+	}
+	refY := rref.Outs[0].Data
+
+	span.ResetMetrics() // seeds first, observation second
+	d := &MultidevDegraded{MiB: mib}
+
+	logf("multidev: degraded run 1 (twin seeds, one member 10x slower)")
+	r1 := multidevRegion(reg, x, flops)
+	_, virt1, y1, _, fell1, err := timedRun(md, r1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: multidev degraded run 1: %w", err)
+	}
+	d.Run1Shares, d.Run1VirtualS = md.LastShares(), virt1
+
+	logf("multidev: degraded run 2 (rebalanced)")
+	r2 := multidevRegion(reg, x, flops)
+	_, virt2, y2, _, fell2, err := timedRun(md, r2)
+	if err != nil {
+		return nil, fmt.Errorf("bench: multidev degraded run 2: %w", err)
+	}
+	d.Run2Shares, d.Run2VirtualS = md.LastShares(), virt2
+
+	d.SlowShare1, d.SlowShare2 = d.Run1Shares[2], d.Run2Shares[2]
+	d.Completed = !fell1 && !fell2
+	d.Identical = bytes.Equal(y1, refY) && bytes.Equal(y2, refY)
+	if !d.Identical {
+		return nil, fmt.Errorf("bench: multidev degraded: outputs diverge from host reference")
+	}
+	if d.SlowShare2 >= d.SlowShare1 {
+		return nil, fmt.Errorf("bench: multidev degraded: slow member's share did not shrink (%d -> %d)",
+			d.SlowShare1, d.SlowShare2)
+	}
+	logf("multidev: degraded slow share %d -> %d, completed=%v",
+		d.SlowShare1, d.SlowShare2, d.Completed)
+	return d, nil
+}

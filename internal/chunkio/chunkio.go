@@ -155,6 +155,16 @@ type Options struct {
 	// Stats, when non-nil, accrues deadline/hedge engagement counts for
 	// this transfer on top of the process-wide metrics counters.
 	Stats *TransferStats
+
+	// MetricDevice, when non-empty, additionally records every latency
+	// histogram observation (chunk PUT/GET, compress) under a
+	// device-keyed metric name (span.DevKey), so concurrent transfers on
+	// behalf of different devices stay separable: the multi-device
+	// splitter reads per-device rates, and per-device adaptive deadlines
+	// stop cross-contaminating when two cloud plugins are live. The
+	// unkeyed base histograms keep receiving every sample as the
+	// all-device aggregate.
+	MetricDevice string
 }
 
 // ctxErr reports the configured context's cancellation without blocking;
@@ -254,6 +264,29 @@ var wireBufs = sync.Pool{New: func() any {
 	return &b
 }}
 
+// histPair fans one latency observation into the base histogram and, when a
+// device is configured, its device-keyed variant (span.DevKey). The base
+// name stays the all-device aggregate so existing consumers keep working.
+type histPair struct {
+	base *span.Histogram
+	dev  *span.Histogram // nil without Options.MetricDevice
+}
+
+func newHistPair(name, dev string) histPair {
+	p := histPair{base: span.Metrics().Histogram(name)}
+	if dev != "" {
+		p.dev = span.Metrics().Histogram(span.DevKey(name, dev))
+	}
+	return p
+}
+
+func (p histPair) Observe(v float64) {
+	p.base.Observe(v)
+	if p.dev != nil {
+		p.dev.Observe(v)
+	}
+}
+
 // putUnit is one store-writer's retry machinery, allocated once per worker.
 // resilience.Policy.Do takes a closure; building that closure inside the
 // per-chunk loop makes it escape and allocate every chunk, so the unit binds
@@ -262,7 +295,7 @@ type putUnit struct {
 	st      storage.Store
 	o       *Options
 	retries *atomic.Int64
-	hist    *span.Histogram
+	hist    histPair
 	op      func() error
 
 	key  string
@@ -270,7 +303,7 @@ type putUnit struct {
 }
 
 func newPutUnit(st storage.Store, o *Options, retries *atomic.Int64) *putUnit {
-	u := &putUnit{st: st, o: o, retries: retries, hist: span.Metrics().Histogram("chunkio.put.seconds")}
+	u := &putUnit{st: st, o: o, retries: retries, hist: newHistPair("chunkio.put.seconds", o.MetricDevice)}
 	u.op = func() error { return guardedPut(u.st, u.key, u.data, u.o.PutTimeout, u.o.Stats) }
 	return u
 }
@@ -312,7 +345,7 @@ type getUnit struct {
 	st      storage.Store
 	o       *Options
 	retries *atomic.Int64
-	hist    *span.Histogram
+	hist    histPair
 	op      func() error
 
 	key  string
@@ -322,7 +355,7 @@ type getUnit struct {
 }
 
 func newGetUnit(st storage.Store, o *Options, retries *atomic.Int64) *getUnit {
-	u := &getUnit{st: st, o: o, retries: retries, hist: span.Metrics().Histogram("chunkio.get.seconds")}
+	u := &getUnit{st: st, o: o, retries: retries, hist: newHistPair("chunkio.get.seconds", o.MetricDevice)}
 	u.op = u.fetchOnce
 	return u
 }
@@ -440,6 +473,7 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 	cs := o.chunkSize()
 	var retries atomic.Int64
 	rootPut := newPutUnit(st, &o, &retries)
+	compHist := newHistPair("chunkio.compress.seconds", o.MetricDevice)
 	if len(buf) <= cs {
 		sc := span.Start("chunk.compress", "chunk", 0)
 		sc.SetAttr("key", key)
@@ -455,7 +489,7 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 		}
 		dur := time.Since(start)
 		sc.End()
-		span.Metrics().Histogram("chunkio.compress.seconds").Observe(dur.Seconds())
+		compHist.Observe(dur.Seconds())
 		if err != nil {
 			// Encoding is local CPU work: retrying cannot help.
 			return nil, resilience.MarkPermanent(fmt.Errorf("chunkio: encoding %s: %w", key, err))
@@ -560,7 +594,7 @@ func Upload(st storage.Store, key string, buf []byte, o Options) (*UploadResult,
 				enc, err := o.Codec.AppendEncode((*bp)[:0], chunk, plan(chunk))
 				durs[i] = time.Since(start)
 				sc.End()
-				span.Metrics().Histogram("chunkio.compress.seconds").Observe(durs[i].Seconds())
+				compHist.Observe(durs[i].Seconds())
 				if err != nil {
 					encBufs.Put(bp)
 					fail(resilience.MarkPermanent(fmt.Errorf("chunkio: encoding %s: %w", ckey, err)))
@@ -770,7 +804,7 @@ func downloadInto(st storage.Store, key string, dst []byte, o Options) ([]byte, 
 			wireBufs.Put(bp)
 			return perr
 		})
-		span.Metrics().Histogram("chunkio.get.seconds").Observe(time.Since(start).Seconds())
+		newHistPair("chunkio.get.seconds", o.MetricDevice).Observe(time.Since(start).Seconds())
 		retries.Add(int64(rout.Attempts - 1))
 		if rout.Attempts > 1 {
 			sc.SetAttr("retries", strconv.Itoa(rout.Attempts-1))

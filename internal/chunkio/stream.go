@@ -133,7 +133,7 @@ func (ps *pipeState) runChunk(i int, pu *putUnit, gu *getUnit) {
 		enc, err := ps.o.Codec.AppendEncode((*bp)[:0], chunk, ps.plan(chunk))
 		ps.encDurs[i] = time.Since(start)
 		sc.End()
-		span.Metrics().Histogram("chunkio.compress.seconds").Observe(ps.encDurs[i].Seconds())
+		newHistPair("chunkio.compress.seconds", ps.o.MetricDevice).Observe(ps.encDurs[i].Seconds())
 		if err != nil {
 			encBufs.Put(bp)
 			ps.fail(i, resilience.MarkPermanent(fmt.Errorf("chunkio: encoding %s: %w", ckey, err)))
@@ -256,7 +256,7 @@ func pipeSingle(st storage.Store, key string, buf, dst []byte, o Options, ready 
 	}
 	encDur := time.Since(start)
 	sc.End()
-	span.Metrics().Histogram("chunkio.compress.seconds").Observe(encDur.Seconds())
+	newHistPair("chunkio.compress.seconds", o.MetricDevice).Observe(encDur.Seconds())
 	if err != nil {
 		return nil, resilience.MarkPermanent(fmt.Errorf("chunkio: encoding %s: %w", key, err))
 	}

@@ -27,12 +27,16 @@ const EnvConfigPath = "OMPCLOUD_CONF"
 // File is a parsed configuration file.
 type File struct {
 	sections map[string]map[string]string
+	dups     map[string]bool
 	path     string
 }
 
 // New returns an empty configuration (useful as a base for Set).
 func New() *File {
-	return &File{sections: make(map[string]map[string]string)}
+	return &File{
+		sections: make(map[string]map[string]string),
+		dups:     make(map[string]bool),
+	}
 }
 
 // Parse reads a configuration from r.
@@ -57,6 +61,13 @@ func Parse(r io.Reader) (*File, error) {
 			}
 			if _, ok := f.sections[section]; !ok {
 				f.sections[section] = make(map[string]string)
+			} else {
+				// Re-opening a section merges keys (last value wins), the
+				// historical behaviour; the duplicate is recorded so layers
+				// for which a repeated header is a likely mistake — two
+				// [device "a"] blocks configuring different clusters — can
+				// reject it instead of silently running on the merge.
+				f.dups[section] = true
 			}
 			continue
 		}
@@ -135,6 +146,10 @@ func (f *File) Has(section, key string) bool {
 	_, ok := f.sections[section][key]
 	return ok
 }
+
+// Duplicated reports whether the section header appeared more than once in
+// the parsed input. Sections created or extended via Set never count.
+func (f *File) Duplicated(section string) bool { return f.dups[section] }
 
 // Sections lists the section names, sorted.
 func (f *File) Sections() []string {

@@ -204,3 +204,30 @@ plain = value
 		t.Fatalf("plain = %q", got)
 	}
 }
+
+func TestDuplicatedSections(t *testing.T) {
+	f, err := Parse(strings.NewReader("[a]\nx = 1\n[b]\ny = 2\n[a]\nz = 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merge behaviour is preserved...
+	if got := f.Str("a", "x", ""); got != "1" {
+		t.Fatalf("a.x = %q", got)
+	}
+	if got := f.Str("a", "z", ""); got != "3" {
+		t.Fatalf("a.z = %q", got)
+	}
+	// ...but the repeat is recorded for layers that must reject it.
+	if !f.Duplicated("a") {
+		t.Fatal("re-opened section not recorded")
+	}
+	if f.Duplicated("b") {
+		t.Fatal("single section flagged as duplicate")
+	}
+	// Sections built programmatically never count.
+	f.Set("b", "k", "v")
+	f.Set("c", "k", "v")
+	if f.Duplicated("b") || f.Duplicated("c") {
+		t.Fatal("Set must not mark duplicates")
+	}
+}

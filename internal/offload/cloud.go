@@ -35,6 +35,15 @@ type CloudConfig struct {
 	JNI     JNI
 	Store   storage.Store
 
+	// DeviceName names this device instance. Non-empty names become the
+	// plugin's Name(), prefix its storage keys (so two devices sharing a
+	// store never collide), and key its metrics (chunk/tile histograms,
+	// net.link gauges) via span.DevKey, which is what keeps per-device
+	// rates separable when several cloud plugins are live — the
+	// multi-device splitter's refinement source. Empty keeps the legacy
+	// single-device behaviour: topology-derived name, global metric names.
+	DeviceName string
+
 	// Provider, when non-nil, gives the plugin an infrastructure control
 	// plane. With AutoStartStop the workers are started before a job and
 	// stopped after it, the paper's pay-per-use mode (§III.A).
@@ -335,6 +344,9 @@ func NewCloudPlugin(cfg CloudConfig) (*CloudPlugin, error) {
 	if cfg.RealParallelism > 0 {
 		opts = append(opts, spark.WithRealParallelism(cfg.RealParallelism))
 	}
+	if cfg.DeviceName != "" {
+		opts = append(opts, spark.WithMetricDevice(cfg.DeviceName))
+	}
 	if cfg.Heartbeat > 0 {
 		opts = append(opts, spark.WithLease(spark.LeaseConfig{
 			Heartbeat: simtime.FromReal(cfg.Heartbeat),
@@ -404,13 +416,27 @@ func (p *CloudPlugin) init() error {
 	return nil
 }
 
-// Name implements Plugin.
+// Name implements Plugin. A configured DeviceName wins; otherwise the name
+// is derived from the topology as before.
 func (p *CloudPlugin) Name() string {
+	if p.cfg.DeviceName != "" {
+		return p.cfg.DeviceName
+	}
 	return fmt.Sprintf("cloud-spark-%dx%d", p.cfg.Spec.Workers, p.cfg.Spec.CoresPerWorker)
 }
 
 // Cores implements Plugin.
 func (p *CloudPlugin) Cores() int { return p.cfg.Spec.TotalCores() }
+
+// keyScope is the per-device storage-key segment ("<dev>/" or ""): two named
+// devices sharing one store must not collide on job prefixes, since each
+// plugin numbers its jobs independently.
+func (p *CloudPlugin) keyScope() string {
+	if p.cfg.DeviceName == "" {
+		return ""
+	}
+	return p.cfg.DeviceName + "/"
+}
 
 // randomNonce returns a short per-plugin identifier for the health-probe
 // key. Two plugins over one store must not share a probe object: one's
@@ -647,7 +673,7 @@ func (p *CloudPlugin) runWorkflow(r *Region) (*trace.Report, error) {
 	}
 
 	jobID := p.jobSeq.Add(1)
-	prefix := fmt.Sprintf("jobs/%06d", jobID)
+	prefix := fmt.Sprintf("jobs/%s%06d", p.keyScope(), jobID)
 	defer p.cleanup(prefix)
 	p.logf("offload: job %s: offloading %s (N=%d, %d tiles) to %s", prefix, r.Kernel, r.N, tiles, p.Name())
 
@@ -815,10 +841,11 @@ func (p *CloudPlugin) chunkOpts(withCache bool, rs *runStats) chunkio.Options {
 		// verifying decoded bytes against it turns a corrupt cached chunk
 		// into a transient retry instead of silently reused wrong data.
 		// Non-content keys (per-job part keys) are not affected.
-		ChunkSum: chunkSumOf,
-		Retry:    p.retryPolicy(&rs.retries),
-		Ctx:      rs.ctx,
-		Stats:    &rs.xfer,
+		ChunkSum:     chunkSumOf,
+		Retry:        p.retryPolicy(&rs.retries),
+		Ctx:          rs.ctx,
+		Stats:        &rs.xfer,
+		MetricDevice: p.cfg.DeviceName,
 	}
 	o.PutTimeout, o.GetTimeout = p.legDeadlines()
 	o.HedgeDelay = p.hedgeDelay()
@@ -1123,7 +1150,7 @@ func (p *CloudPlugin) runSparkJobWith(r *Region, tiles int, decoded [][]byte, sc
 			// the JNI boundary made literal.
 			worker := p.sctx.PartitionWorker(part, tiles)
 			outs, err := p.pool.Run(worker, &remoteexec.TileRequest{
-				Kernel: r.Kernel, Lo: lo, Hi: hi, Scalars: r.Scalars,
+				Kernel: r.Kernel, Lo: r.Base + lo, Hi: r.Base + hi, Scalars: r.Scalars,
 				Ins: ins, OutSizes: outSizes, OutInit: outInit,
 			})
 			if err != nil {
@@ -1142,7 +1169,7 @@ func (p *CloudPlugin) runSparkJobWith(r *Region, tiles int, decoded [][]byte, sc
 				outs[l] = reduceIdentity(r.Outs[l].Reduce, len(r.Outs[l].Data))
 			}
 		}
-		if err := reg.Invoke(r.Kernel, lo, hi, r.Scalars, ins, outs); err != nil {
+		if err := reg.Invoke(r.Kernel, r.Base+lo, r.Base+hi, r.Scalars, ins, outs); err != nil {
 			return nil, err
 		}
 		if sess != nil {

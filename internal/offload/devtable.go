@@ -1,0 +1,264 @@
+package offload
+
+// The device table: named [device "..."] configuration blocks parsed into a
+// set of cloud devices for the multi-device split. Each block overlays the
+// file's flat sections, so shared knobs ([network], [offload]) are written
+// once and a device customizes only what differs:
+//
+//	[device "eu"]
+//	cluster.workers = 4
+//	network.wan-mbps = 500
+//	weight = 2.5          # optional static share weight (default: derived)
+//
+// Keys inside a device block are "<section>.<key>" for any key
+// NewCloudPluginFromConfig documents, plus the device-local "weight".
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ompcloud/internal/config"
+)
+
+// deviceSectionPrefix introduces a named device block; the name may be
+// quoted git-config style ([device "eu"]) or bare ([device eu]).
+const deviceSectionPrefix = "device "
+
+// deviceView overlays one named device section on the flat file: a lookup
+// of section s, key k first consults the device block's "s.k", then falls
+// back to the flat [s] section, then the built-in default.
+type deviceView struct {
+	f       *config.File
+	section string // the raw section name, e.g. `device "eu"`
+}
+
+func (v deviceView) devKey(section, key string) string { return section + "." + key }
+
+func (v deviceView) Has(section, key string) bool {
+	return v.f.Has(v.section, v.devKey(section, key)) || v.f.Has(section, key)
+}
+
+func (v deviceView) Str(section, key, def string) string {
+	if v.f.Has(v.section, v.devKey(section, key)) {
+		return v.f.Str(v.section, v.devKey(section, key), def)
+	}
+	return v.f.Str(section, key, def)
+}
+
+func (v deviceView) Int(section, key string, def int) (int, error) {
+	if v.f.Has(v.section, v.devKey(section, key)) {
+		return v.f.Int(v.section, v.devKey(section, key), def)
+	}
+	return v.f.Int(section, key, def)
+}
+
+func (v deviceView) Float(section, key string, def float64) (float64, error) {
+	if v.f.Has(v.section, v.devKey(section, key)) {
+		return v.f.Float(v.section, v.devKey(section, key), def)
+	}
+	return v.f.Float(section, key, def)
+}
+
+func (v deviceView) Bool(section, key string, def bool) (bool, error) {
+	if v.f.Has(v.section, v.devKey(section, key)) {
+		return v.f.Bool(v.section, v.devKey(section, key), def)
+	}
+	return v.f.Bool(section, key, def)
+}
+
+var _ confView = deviceView{}
+
+// DeviceEntry is one row of the parsed device table.
+type DeviceEntry struct {
+	// Name is the unquoted device name; it becomes the plugin's Name(),
+	// its storage key scope, and its metric label.
+	Name string
+	// Weight is the static split weight (> 0) when the block sets one;
+	// 0 means the splitter derives the weight from provisioned cores and
+	// WAN rate, refined by observed throughput.
+	Weight float64
+	// Config is the assembled per-device configuration (DeviceName set).
+	Config CloudConfig
+}
+
+// parseDeviceName extracts and validates the name of a device section
+// header, or returns "" for sections that are not device blocks.
+func parseDeviceName(section string) (string, error) {
+	if !strings.HasPrefix(section, deviceSectionPrefix) {
+		return "", nil
+	}
+	name := strings.TrimSpace(strings.TrimPrefix(section, deviceSectionPrefix))
+	if len(name) >= 2 && name[0] == '"' && name[len(name)-1] == '"' {
+		name = name[1 : len(name)-1]
+	}
+	if name == "" {
+		return "", fmt.Errorf("offload: device section %q has an empty name", "["+section+"]")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			// The name flows into storage key prefixes and metric labels;
+			// separators and braces there would corrupt both.
+			return "", fmt.Errorf("offload: device name %q: character %q not allowed (want [A-Za-z0-9._-])", name, r)
+		}
+	}
+	return name, nil
+}
+
+// ParseDeviceTable reads the named device blocks of a configuration file
+// into a device table, sorted by name (the split's deterministic device
+// order). An empty table — no [device "..."] sections — means the file uses
+// the legacy single-[cluster] layout; callers then fall back to
+// NewCloudPluginFromConfig. Duplicate blocks, duplicate names, and
+// non-positive explicit weights are configuration errors.
+func ParseDeviceTable(f *config.File) ([]DeviceEntry, error) {
+	if f == nil {
+		return nil, nil
+	}
+	seen := make(map[string]string) // name -> section header
+	var entries []DeviceEntry
+	for _, section := range f.Sections() {
+		name, err := parseDeviceName(section)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			continue
+		}
+		if f.Duplicated(section) {
+			return nil, fmt.Errorf("offload: device %q is declared twice", name)
+		}
+		if prev, dup := seen[name]; dup {
+			return nil, fmt.Errorf("offload: device name %q is declared by both [%s] and [%s]", name, prev, section)
+		}
+		seen[name] = section
+
+		view := deviceView{f: f, section: section}
+		cfg, err := cloudConfigFromView(view)
+		if err != nil {
+			return nil, fmt.Errorf("offload: device %q: %w", name, err)
+		}
+		cfg.DeviceName = name
+
+		weight, err := f.Float(section, "weight", 0)
+		if err != nil {
+			return nil, err
+		}
+		if f.Has(section, "weight") && weight <= 0 {
+			return nil, fmt.Errorf("offload: device %q: weight must be positive, got %v", name, weight)
+		}
+		entries = append(entries, DeviceEntry{Name: name, Weight: weight, Config: cfg})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries, nil
+}
+
+// NewDeviceSetFromConfig builds the cloud plugins of a device table. The
+// returned slice preserves the table's name order.
+func NewDeviceSetFromConfig(f *config.File) ([]*CloudPlugin, []float64, error) {
+	entries, err := ParseDeviceTable(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	plugins := make([]*CloudPlugin, 0, len(entries))
+	weights := make([]float64, 0, len(entries))
+	for _, e := range entries {
+		p, err := NewCloudPlugin(e.Config)
+		if err != nil {
+			return nil, nil, fmt.Errorf("offload: device %q: %w", e.Name, err)
+		}
+		plugins = append(plugins, p)
+		weights = append(weights, e.Weight)
+	}
+	return plugins, weights, nil
+}
+
+// NewMultiDeviceFromConfig assembles the multi-device split of a config
+// file with [device "..."] blocks: the named clouds, plus a host member
+// when [host] threads is positive (default 16 — the paper's region splits
+// across the local machine AND the clouds; threads = 0 opts the host out).
+// Static weights are all-or-nothing: either every member sets one (each
+// device block's weight, plus [host] weight when the host participates) or
+// none does and the splitter derives weights from provisioned capacity,
+// refined by measured throughput. A file without device blocks returns
+// (nil, nil): the caller falls back to the legacy single-device path.
+func NewMultiDeviceFromConfig(f *config.File) (*MultiDevice, error) {
+	entries, err := ParseDeviceTable(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	var members []Plugin
+	var weights []float64
+	withWeight := 0
+
+	hostThreads, err := f.Int("host", "threads", 16)
+	if err != nil {
+		return nil, err
+	}
+	if f.Has("host", "threads") && hostThreads < 0 {
+		return nil, fmt.Errorf("offload: [host] threads must be >= 0, got %d", hostThreads)
+	}
+	var absorber *HostPlugin
+	if hostThreads > 0 {
+		host, err := NewHostPlugin(hostThreads)
+		if err != nil {
+			return nil, err
+		}
+		hostWeight, err := f.Float("host", "weight", 0)
+		if err != nil {
+			return nil, err
+		}
+		if f.Has("host", "weight") && hostWeight <= 0 {
+			return nil, fmt.Errorf("offload: [host] weight must be positive, got %v", hostWeight)
+		}
+		members = append(members, host)
+		weights = append(weights, hostWeight)
+		if hostWeight > 0 {
+			withWeight++
+		}
+		absorber = host
+	}
+	for _, e := range entries {
+		p, err := NewCloudPlugin(e.Config)
+		if err != nil {
+			return nil, fmt.Errorf("offload: device %q: %w", e.Name, err)
+		}
+		members = append(members, p)
+		weights = append(weights, e.Weight)
+		if e.Weight > 0 {
+			withWeight++
+		}
+	}
+	switch withWeight {
+	case 0:
+		weights = nil // derive from provisioned capacity, refine from metrics
+	case len(members):
+	default:
+		return nil, fmt.Errorf("offload: static weights are all-or-nothing: %d of %d members set one", withWeight, len(members))
+	}
+	return NewMultiDevice(MultiDeviceConfig{
+		Members:  members,
+		Weights:  weights,
+		Absorber: absorber,
+	})
+}
+
+// NewDevicePluginFromConfig builds whatever device the config file
+// describes: a MultiDevice when [device "..."] blocks are present, else the
+// legacy single cloud plugin of the flat sections.
+func NewDevicePluginFromConfig(f *config.File) (Plugin, error) {
+	md, err := NewMultiDeviceFromConfig(f)
+	if err != nil {
+		return nil, err
+	}
+	if md != nil {
+		return md, nil
+	}
+	return NewCloudPluginFromConfig(f)
+}

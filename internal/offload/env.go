@@ -186,7 +186,7 @@ func (p *CloudPlugin) OpenEnv(bufs []EnvBuffer) (Env, *trace.Report, error) {
 	}
 	e := &cloudEnv{
 		p:      p,
-		prefix: fmt.Sprintf("envs/%06d", p.jobSeq.Add(1)),
+		prefix: fmt.Sprintf("envs/%s%06d", p.keyScope(), p.jobSeq.Add(1)),
 		open:   true,
 		decl:   append([]EnvBuffer(nil), bufs...),
 		device: make(map[string][]byte, len(bufs)),

@@ -94,7 +94,7 @@ func (h *HostPlugin) Run(r *Region) (*trace.Report, error) {
 				}
 			}
 			start := time.Now()
-			err := reg.Invoke(r.Kernel, lo, hi, r.Scalars, ins, outs)
+			err := reg.Invoke(r.Kernel, r.Base+lo, r.Base+hi, r.Scalars, ins, outs)
 			durs[p] = simtime.FromReal(time.Since(start))
 			errs[p] = err
 			temps[p] = tileTemps

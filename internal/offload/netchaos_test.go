@@ -130,11 +130,11 @@ func TestDegradedModeSwitchesAndRecovers(t *testing.T) {
 // grown, sequential policy untouched.
 func TestDegradedChunkBytes(t *testing.T) {
 	cases := []struct{ in, want int }{
-		{0, 256 << 10},       // default 1 MiB -> quarter
-		{4 << 20, 1 << 20},   // 4 MiB -> 1 MiB
+		{0, 256 << 10},        // default 1 MiB -> quarter
+		{4 << 20, 1 << 20},    // 4 MiB -> 1 MiB
 		{128 << 10, 64 << 10}, // floor engages
-		{32 << 10, 32 << 10}, // already below floor: never grow
-		{-1, -1},             // sequential policy: no chunks to shrink
+		{32 << 10, 32 << 10},  // already below floor: never grow
+		{-1, -1},              // sequential policy: no chunks to shrink
 	}
 	for _, c := range cases {
 		if got := degradedChunkBytes(c.in); got != c.want {

@@ -85,7 +85,9 @@ func (p *CloudPlugin) legDeadlines() (put, get time.Duration) {
 		ceil = DefaultDeadlineCap
 	}
 	derive := func(hist string) time.Duration {
-		h := span.Metrics().Histogram(hist)
+		// A named device reads its own latency history: two links with
+		// different RTTs must not contaminate each other's deadlines.
+		h := span.Metrics().Histogram(span.DevKey(hist, p.cfg.DeviceName))
 		if h.Count() < minLatencySamples {
 			return ceil
 		}
@@ -112,7 +114,7 @@ func (p *CloudPlugin) hedgeDelay() time.Duration {
 	if q <= 0 || q >= 1 {
 		q = DefaultHedgeQuantile
 	}
-	h := span.Metrics().Histogram("chunkio.get.seconds")
+	h := span.Metrics().Histogram(span.DevKey("chunkio.get.seconds", p.cfg.DeviceName))
 	if h.Count() < minLatencySamples {
 		return 0
 	}
@@ -159,7 +161,7 @@ func (p *CloudPlugin) updateDegraded(rs *runStats) float64 {
 	if obs <= 0 {
 		return 0
 	}
-	span.Metrics().Gauge("net.link.observed_bps").Set(int64(obs))
+	span.Metrics().Gauge(span.DevKey("net.link.observed_bps", p.cfg.DeviceName)).Set(int64(obs))
 	conf := p.cfg.Profile.WAN.BitsPerSs / 8
 	if conf <= 0 {
 		return obs

@@ -85,6 +85,13 @@ type Region struct {
 	Registry *fatbin.Registry
 	// N is the parallel-for trip count.
 	N int64
+	// Base is the global iteration index of local iteration 0. Kernel
+	// bodies receive global indices (broadcast inputs are indexed by the
+	// original loop variable), so a sub-region covering iterations
+	// [Base, Base+N) of a split loop carries window-sliced partitioned
+	// buffers plus this offset; plugins invoke the kernel with
+	// [Base+lo, Base+hi). Zero for an unsplit region.
+	Base int64
 	// Scalars are the firstprivate scalar parameters.
 	Scalars []int64
 	// Ins and Outs are the map(to:) and map(from:) buffers, in clause
@@ -110,6 +117,9 @@ func (r *Region) Validate() error {
 	}
 	if r.N < 0 {
 		return fmt.Errorf("offload: negative trip count %d", r.N)
+	}
+	if r.Base < 0 {
+		return fmt.Errorf("offload: negative iteration base %d", r.Base)
 	}
 	if r.Tiles < 0 {
 		return fmt.Errorf("offload: negative tile count %d", r.Tiles)

@@ -46,25 +46,48 @@ func NewCloudPluginFromConfig(f *config.File) (*CloudPlugin, error) {
 	if f == nil {
 		f = config.New()
 	}
+	cfg, err := cloudConfigFromView(f)
+	if err != nil {
+		return nil, err
+	}
+	return NewCloudPlugin(cfg)
+}
+
+// confView is the configuration surface cloudConfigFromView reads. Both
+// *config.File itself (the legacy flat layout) and deviceView (a named
+// [device "..."] block overlaying the flat sections) implement it, so one
+// assembly path serves single-device and multi-device configurations.
+type confView interface {
+	Str(section, key, def string) string
+	Int(section, key string, def int) (int, error)
+	Float(section, key string, def float64) (float64, error)
+	Bool(section, key string, def bool) (bool, error)
+	Has(section, key string) bool
+}
+
+// cloudConfigFromView assembles one cloud device's configuration from a
+// view, applying the defaults and validation documented on
+// NewCloudPluginFromConfig.
+func cloudConfigFromView(v confView) (CloudConfig, error) {
 	cfg := CloudConfig{}
 
 	// [cluster]
-	workers, err := f.Int("cluster", "workers", 16)
+	workers, err := v.Int("cluster", "workers", 16)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
-	cpw, err := f.Int("cluster", "cores-per-worker", 16)
+	cpw, err := v.Int("cluster", "cores-per-worker", 16)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	cfg.Spec = spark.ClusterSpec{Workers: workers, CoresPerWorker: cpw}
-	cfg.InstanceType = f.Str("cluster", "instance-type", "c3.8xlarge")
-	autoStart, err := f.Bool("cluster", "auto-start", false)
+	cfg.InstanceType = v.Str("cluster", "instance-type", "c3.8xlarge")
+	autoStart, err := v.Bool("cluster", "auto-start", false)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	cfg.AutoStartStop = autoStart
-	if addrs := f.Str("cluster", "worker-addrs", ""); addrs != "" {
+	if addrs := v.Str("cluster", "worker-addrs", ""); addrs != "" {
 		for _, a := range strings.Split(addrs, ",") {
 			if a = strings.TrimSpace(a); a != "" {
 				cfg.WorkerAddrs = append(cfg.WorkerAddrs, a)
@@ -75,72 +98,72 @@ func NewCloudPluginFromConfig(f *config.File) (*CloudPlugin, error) {
 	// heartbeat-ms turns on lease-based worker membership; absent means no
 	// membership (workers never die on their own), so an explicit value
 	// must be a usable interval.
-	heartbeatMs, err := f.Float("cluster", "heartbeat-ms", 0)
+	heartbeatMs, err := v.Float("cluster", "heartbeat-ms", 0)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
-	if f.Has("cluster", "heartbeat-ms") && heartbeatMs <= 0 {
-		return nil, fmt.Errorf("offload: heartbeat-ms must be positive, got %v", heartbeatMs)
+	if v.Has("cluster", "heartbeat-ms") && heartbeatMs <= 0 {
+		return cfg, fmt.Errorf("offload: heartbeat-ms must be positive, got %v", heartbeatMs)
 	}
 	cfg.Heartbeat = time.Duration(heartbeatMs * float64(time.Millisecond))
-	leaseMisses, err := f.Int("cluster", "lease-misses", 0)
+	leaseMisses, err := v.Int("cluster", "lease-misses", 0)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
-	if f.Has("cluster", "lease-misses") && leaseMisses < 1 {
-		return nil, fmt.Errorf("offload: lease-misses must be at least 1, got %d", leaseMisses)
+	if v.Has("cluster", "lease-misses") && leaseMisses < 1 {
+		return cfg, fmt.Errorf("offload: lease-misses must be at least 1, got %d", leaseMisses)
 	}
 	cfg.LeaseMisses = leaseMisses
-	speculate, err := f.Bool("cluster", "speculate", false)
+	speculate, err := v.Bool("cluster", "speculate", false)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	cfg.Speculate = speculate
-	specQuantile, err := f.Float("cluster", "speculate-quantile", 0)
+	specQuantile, err := v.Float("cluster", "speculate-quantile", 0)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
-	if f.Has("cluster", "speculate-quantile") && (specQuantile <= 0 || specQuantile > 1) {
-		return nil, fmt.Errorf("offload: speculate-quantile must be in (0, 1], got %v", specQuantile)
+	if v.Has("cluster", "speculate-quantile") && (specQuantile <= 0 || specQuantile > 1) {
+		return cfg, fmt.Errorf("offload: speculate-quantile must be in (0, 1], got %v", specQuantile)
 	}
 	cfg.SpeculateQuantile = specQuantile
 
-	switch provider := f.Str("cluster", "provider", "none"); provider {
+	switch provider := v.Str("cluster", "provider", "none"); provider {
 	case "none":
 	case "sim":
-		bootSecs, err := f.Float("cluster", "boot-seconds", 45)
+		bootSecs, err := v.Float("cluster", "boot-seconds", 45)
 		if err != nil {
-			return nil, err
+			return cfg, err
 		}
 		creds := cloud.Credentials{
-			AccessKey: f.Str("credentials", "access-key", ""),
-			SecretKey: f.Str("credentials", "secret-key", ""),
-			Region:    f.Str("credentials", "region", "us-east-1"),
+			AccessKey: v.Str("credentials", "access-key", ""),
+			SecretKey: v.Str("credentials", "secret-key", ""),
+			Region:    v.Str("credentials", "region", "us-east-1"),
 		}
 		cfg.Provider = cloud.NewSimProvider(creds,
 			cloud.WithBootTime(simtime.FromSeconds(bootSecs)))
 	default:
-		return nil, fmt.Errorf("offload: unknown provider %q (want sim|none)", provider)
+		return cfg, fmt.Errorf("offload: unknown provider %q (want sim|none)", provider)
 	}
 
 	// [storage]
-	switch st := f.Str("storage", "type", "memory"); st {
+	switch st := v.Str("storage", "type", "memory"); st {
 	case "memory":
 		cfg.Store = storage.NewMemStore()
 	case "disk":
-		path := f.Str("storage", "path", "")
+		path := v.Str("storage", "path", "")
 		if path == "" {
-			return nil, fmt.Errorf("offload: storage type disk needs a path")
+			return cfg, fmt.Errorf("offload: storage type disk needs a path")
 		}
 		ds, err := storage.NewDiskStore(path)
 		if err != nil {
-			return nil, err
+			return cfg, err
 		}
 		cfg.Store = ds
 	case "remote":
-		addr := f.Str("storage", "address", "")
+		addr := v.Str("storage", "address", "")
 		if addr == "" {
-			return nil, fmt.Errorf("offload: storage type remote needs an address")
+			return cfg, fmt.Errorf("offload: storage type remote needs an address")
 		}
 		rs, err := storage.Dial(addr)
 		if err != nil {
@@ -152,30 +175,30 @@ func NewCloudPluginFromConfig(f *config.File) (*CloudPlugin, error) {
 			cfg.Store = rs
 		}
 	default:
-		return nil, fmt.Errorf("offload: unknown storage type %q (want memory|disk|remote)", st)
+		return cfg, fmt.Errorf("offload: unknown storage type %q (want memory|disk|remote)", st)
 	}
 
 	// [network]
 	profile := netsim.DefaultProfile()
-	wanMbps, err := f.Float("network", "wan-mbps", profile.WAN.BitsPerSs/1e6)
+	wanMbps, err := v.Float("network", "wan-mbps", profile.WAN.BitsPerSs/1e6)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
-	wanLatMs, err := f.Float("network", "wan-latency-ms", profile.WAN.Latency.Seconds()*1e3)
+	wanLatMs, err := v.Float("network", "wan-latency-ms", profile.WAN.Latency.Seconds()*1e3)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
-	lanGbps, err := f.Float("network", "lan-gbps", profile.LAN.BitsPerSs/1e9)
+	lanGbps, err := v.Float("network", "lan-gbps", profile.LAN.BitsPerSs/1e9)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
-	lanLatUs, err := f.Float("network", "lan-latency-us", profile.LAN.Latency.Seconds()*1e6)
+	lanLatUs, err := v.Float("network", "lan-latency-us", profile.LAN.Latency.Seconds()*1e6)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
-	memGbps, err := f.Float("network", "mem-gbps", profile.MemBytesPerS/1e9)
+	memGbps, err := v.Float("network", "mem-gbps", profile.MemBytesPerS/1e9)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	cfg.Profile = netsim.Profile{
 		WAN:          netsim.Link{Name: "wan", BitsPerSs: netsim.Mbps(wanMbps), Latency: simtime.FromSeconds(wanLatMs / 1e3)},
@@ -184,83 +207,83 @@ func NewCloudPluginFromConfig(f *config.File) (*CloudPlugin, error) {
 	}
 
 	// [offload]
-	minBytes, err := f.Int("offload", "compress-min-bytes", 0)
+	minBytes, err := v.Int("offload", "compress-min-bytes", 0)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	// codec: auto (default, one probe per buffer) | adaptive (per-chunk
 	// verdicts weighing entropy against the configured WAN speed) | raw |
 	// fast | deflate (forced). ParseAlgo's error already lists the valid
 	// names.
-	algo, err := xcompress.ParseAlgo(f.Str("offload", "codec", "auto"))
+	algo, err := xcompress.ParseAlgo(v.Str("offload", "codec", "auto"))
 	if err != nil {
-		return nil, fmt.Errorf("offload: %w", err)
+		return cfg, fmt.Errorf("offload: %w", err)
 	}
 	cfg.Codec = xcompress.Codec{MinSize: minBytes, Algo: algo}
 	// chunk-bytes: 0 = default 1 MiB chunks; -1 = sequential single-stream
 	// transfers (the paper's original policy); "cdc" = content-defined
 	// (Gear) chunk boundaries at the default average size. Other negatives
 	// mean nothing.
-	if strings.EqualFold(strings.TrimSpace(f.Str("offload", "chunk-bytes", "")), "cdc") {
+	if strings.EqualFold(strings.TrimSpace(v.Str("offload", "chunk-bytes", "")), "cdc") {
 		cfg.CDC = true
 	} else {
-		chunkBytes, err := f.Int("offload", "chunk-bytes", 0)
+		chunkBytes, err := v.Int("offload", "chunk-bytes", 0)
 		if err != nil {
-			return nil, err
+			return cfg, err
 		}
 		if chunkBytes < -1 {
-			return nil, fmt.Errorf("offload: chunk-bytes must be -1 (sequential), 0 (default), a positive size, or cdc, got %d", chunkBytes)
+			return cfg, fmt.Errorf("offload: chunk-bytes must be -1 (sequential), 0 (default), a positive size, or cdc, got %d", chunkBytes)
 		}
 		cfg.ChunkBytes = chunkBytes
 	}
-	dedup, err := f.Bool("offload", "dedup", false)
+	dedup, err := v.Bool("offload", "dedup", false)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	cfg.Dedup = dedup
 	// overlap: on (default) streams tiles through upload, compute, and
 	// download concurrently; off keeps the stage-barriered workflow. Both
 	// modes produce bit-identical outputs.
-	switch ov := f.Str("offload", "overlap", "on"); ov {
+	switch ov := v.Str("offload", "overlap", "on"); ov {
 	case "on":
 		cfg.Overlap = 0
 	case "off":
 		cfg.Overlap = -1
 	default:
-		return nil, fmt.Errorf("offload: unknown overlap policy %q (want on|off)", ov)
+		return cfg, fmt.Errorf("offload: unknown overlap policy %q (want on|off)", ov)
 	}
-	chunkParallel, err := f.Int("offload", "chunk-parallel", 0)
+	chunkParallel, err := v.Int("offload", "chunk-parallel", 0)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	cfg.ChunkParallel = chunkParallel
-	healthTTLMs, err := f.Float("offload", "health-ttl-ms", 0)
+	healthTTLMs, err := v.Float("offload", "health-ttl-ms", 0)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	cfg.HealthTTL = time.Duration(healthTTLMs * float64(time.Millisecond))
-	jniBaseMs, err := f.Float("offload", "jni-base-ms", 1)
+	jniBaseMs, err := v.Float("offload", "jni-base-ms", 1)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
-	jniMbps, err := f.Float("offload", "jni-mbps", DefaultJNI().BytesPerS/1e6)
+	jniMbps, err := v.Float("offload", "jni-mbps", DefaultJNI().BytesPerS/1e6)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	cfg.JNI = JNI{CallBase: simtime.FromSeconds(jniBaseMs / 1e3), BytesPerS: jniMbps * 1e6}
-	cache, err := f.Bool("offload", "enable-cache", false)
+	cache, err := v.Bool("offload", "enable-cache", false)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	cfg.EnableCache = cache
-	runOnDriver, err := f.Bool("offload", "run-on-driver", false)
+	runOnDriver, err := v.Bool("offload", "run-on-driver", false)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	cfg.RunOnDriver = runOnDriver
-	resume, err := f.Bool("offload", "resume", false)
+	resume, err := v.Bool("offload", "resume", false)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	cfg.Resume = resume
 	// retry-max: 0 = default 3 attempts per storage leg; negative = no
@@ -268,103 +291,103 @@ func NewCloudPluginFromConfig(f *config.File) (*CloudPlugin, error) {
 	// convention as the other duration knobs, so an explicit zero (or
 	// negative) backoff is a config mistake, not a request for hot-loop
 	// retries.
-	retryMax, err := f.Int("offload", "retry-max", 0)
+	retryMax, err := v.Int("offload", "retry-max", 0)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	cfg.RetryMax = retryMax
-	retryBaseMs, err := f.Float("offload", "retry-base-ms", 0)
+	retryBaseMs, err := v.Float("offload", "retry-base-ms", 0)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
-	if f.Has("offload", "retry-base-ms") && retryBaseMs <= 0 {
-		return nil, fmt.Errorf("offload: retry-base-ms must be positive, got %v", retryBaseMs)
+	if v.Has("offload", "retry-base-ms") && retryBaseMs <= 0 {
+		return cfg, fmt.Errorf("offload: retry-base-ms must be positive, got %v", retryBaseMs)
 	}
 	cfg.RetryBase = time.Duration(retryBaseMs * float64(time.Millisecond))
-	retryCapMs, err := f.Float("offload", "retry-cap-ms", 0)
+	retryCapMs, err := v.Float("offload", "retry-cap-ms", 0)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	cfg.RetryCap = time.Duration(retryCapMs * float64(time.Millisecond))
 	// breaker-failures: 0 = default threshold; -1 = breaker off. An
 	// explicit zero would build a breaker that trips instantly, and other
 	// negatives are typos for the -1 sentinel — both rejected.
-	breakerFailures, err := f.Int("offload", "breaker-failures", 0)
+	breakerFailures, err := v.Int("offload", "breaker-failures", 0)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
-	if f.Has("offload", "breaker-failures") && (breakerFailures == 0 || breakerFailures < -1) {
-		return nil, fmt.Errorf("offload: breaker-failures must be a positive threshold or -1 to disable, got %d", breakerFailures)
+	if v.Has("offload", "breaker-failures") && (breakerFailures == 0 || breakerFailures < -1) {
+		return cfg, fmt.Errorf("offload: breaker-failures must be a positive threshold or -1 to disable, got %d", breakerFailures)
 	}
 	cfg.BreakerFailures = breakerFailures
-	breakerCooldownMs, err := f.Float("offload", "breaker-cooldown-ms", 0)
+	breakerCooldownMs, err := v.Float("offload", "breaker-cooldown-ms", 0)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	cfg.BreakerCooldown = time.Duration(breakerCooldownMs * float64(time.Millisecond))
 	// deadline-mult: 0 (default) = no attempt deadlines; positive = abort a
 	// storage attempt past p99 × mult of its observed latency. The floor/cap
 	// knobs clamp the derived value, so explicit non-positive values would
 	// silently disable the clamp they name — rejected.
-	deadlineMult, err := f.Float("offload", "deadline-mult", 0)
+	deadlineMult, err := v.Float("offload", "deadline-mult", 0)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
-	if f.Has("offload", "deadline-mult") && deadlineMult <= 0 {
-		return nil, fmt.Errorf("offload: deadline-mult must be positive, got %v", deadlineMult)
+	if v.Has("offload", "deadline-mult") && deadlineMult <= 0 {
+		return cfg, fmt.Errorf("offload: deadline-mult must be positive, got %v", deadlineMult)
 	}
 	cfg.DeadlineMult = deadlineMult
-	deadlineFloorMs, err := f.Float("offload", "deadline-floor-ms", 0)
+	deadlineFloorMs, err := v.Float("offload", "deadline-floor-ms", 0)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
-	if f.Has("offload", "deadline-floor-ms") && deadlineFloorMs <= 0 {
-		return nil, fmt.Errorf("offload: deadline-floor-ms must be positive, got %v", deadlineFloorMs)
+	if v.Has("offload", "deadline-floor-ms") && deadlineFloorMs <= 0 {
+		return cfg, fmt.Errorf("offload: deadline-floor-ms must be positive, got %v", deadlineFloorMs)
 	}
 	cfg.DeadlineFloor = time.Duration(deadlineFloorMs * float64(time.Millisecond))
-	deadlineCapMs, err := f.Float("offload", "deadline-cap-ms", 0)
+	deadlineCapMs, err := v.Float("offload", "deadline-cap-ms", 0)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
-	if f.Has("offload", "deadline-cap-ms") && deadlineCapMs <= 0 {
-		return nil, fmt.Errorf("offload: deadline-cap-ms must be positive, got %v", deadlineCapMs)
+	if v.Has("offload", "deadline-cap-ms") && deadlineCapMs <= 0 {
+		return cfg, fmt.Errorf("offload: deadline-cap-ms must be positive, got %v", deadlineCapMs)
 	}
 	cfg.DeadlineCap = time.Duration(deadlineCapMs * float64(time.Millisecond))
-	hedge, err := f.Bool("offload", "hedge", false)
+	hedge, err := v.Bool("offload", "hedge", false)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	cfg.Hedge = hedge
-	hedgeQuantile, err := f.Float("offload", "hedge-quantile", 0)
+	hedgeQuantile, err := v.Float("offload", "hedge-quantile", 0)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
-	if f.Has("offload", "hedge-quantile") && (hedgeQuantile <= 0 || hedgeQuantile >= 1) {
-		return nil, fmt.Errorf("offload: hedge-quantile must be in (0, 1), got %v", hedgeQuantile)
+	if v.Has("offload", "hedge-quantile") && (hedgeQuantile <= 0 || hedgeQuantile >= 1) {
+		return cfg, fmt.Errorf("offload: hedge-quantile must be in (0, 1), got %v", hedgeQuantile)
 	}
 	cfg.HedgeQuantile = hedgeQuantile
-	adaptDegraded, err := f.Bool("offload", "adapt-degraded", false)
+	adaptDegraded, err := v.Bool("offload", "adapt-degraded", false)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	cfg.AdaptDegraded = adaptDegraded
-	switch fb := f.Str("offload", "fallback", "host"); fb {
+	switch fb := v.Str("offload", "fallback", "host"); fb {
 	case "host":
 		cfg.Fallback = FallbackHost
 	case "fail":
 		cfg.Fallback = FallbackFail
 	default:
-		return nil, fmt.Errorf("offload: unknown fallback policy %q (want host|fail)", fb)
+		return cfg, fmt.Errorf("offload: unknown fallback policy %q (want host|fail)", fb)
 	}
-	verbose, err := f.Bool("offload", "verbose", false)
+	verbose, err := v.Bool("offload", "verbose", false)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	if verbose {
 		cfg.Log = log.Printf
 	}
 
-	return NewCloudPlugin(cfg)
+	return cfg, nil
 }
 
 // unreachableStore is a Store whose every operation fails with the original

@@ -1,0 +1,102 @@
+package offload
+
+// Weighted block partitioning: the multi-device generalization of the
+// paper's Eq. 3. Eq. 3 hands every tile of one device the same contiguous
+// iteration block; splitting one target region across heterogeneous devices
+// needs the same contiguity but proportional shares — the host's threads
+// and each cloud cluster advance through their own block at their own
+// measured rate, and the merger reassembles by offset exactly as the
+// single-device reconstruct does.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WeightedShares splits a loop bound of total iterations among devices in
+// proportion to weights, by largest-remainder (Hamilton) apportionment:
+// every positive-weight device first receives floor(w/sum * total)
+// iterations, then the leftover iterations go one each to the largest
+// fractional remainders (earlier devices win ties). The shares sum to
+// exactly total — independent per-device rounding can drift by an
+// iteration per device, and a split loop that drops or duplicates an
+// iteration is not bit-identical to its serial reference. A zero-weight
+// device always receives zero iterations.
+func WeightedShares(total int64, weights []float64) ([]int64, error) {
+	if total < 0 {
+		return nil, fmt.Errorf("offload: negative split total %d", total)
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("offload: splitting across zero devices")
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("offload: device weight %d is %v, want finite >= 0", i, w)
+		}
+		sum += w
+	}
+	shares := make([]int64, len(weights))
+	if total == 0 {
+		return shares, nil
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("offload: all %d device weights are zero", len(weights))
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, 0, len(weights))
+	var used int64
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		exact := w / sum * float64(total)
+		shares[i] = int64(exact)
+		used += shares[i]
+		rems = append(rems, rem{i, exact - float64(shares[i])})
+	}
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	// Floating-point drift can leave more leftover iterations than
+	// positive-weight devices (or, pathologically, an overshoot); cycling
+	// keeps both correction loops in bounds either way.
+	for k := int64(0); used < total; k++ {
+		shares[rems[int(k)%len(rems)].idx]++
+		used++
+	}
+	for k := 0; used > total; k++ {
+		i := rems[len(rems)-1-k%len(rems)].idx
+		if shares[i] > 0 {
+			shares[i]--
+			used--
+		}
+	}
+	return shares, nil
+}
+
+// ShareRange is one device's contiguous slice of a split loop.
+type ShareRange struct {
+	Lo, Hi int64 // global iteration interval [Lo, Hi); Lo == Hi for no work
+}
+
+// Width reports the share's iteration count.
+func (s ShareRange) Width() int64 { return s.Hi - s.Lo }
+
+// ShareRanges converts WeightedShares into contiguous [Lo, Hi) intervals in
+// device order, tiling [0, total) exactly.
+func ShareRanges(total int64, weights []float64) ([]ShareRange, error) {
+	shares, err := WeightedShares(total, weights)
+	if err != nil {
+		return nil, err
+	}
+	ranges := make([]ShareRange, len(shares))
+	var lo int64
+	for i, n := range shares {
+		ranges[i] = ShareRange{Lo: lo, Hi: lo + n}
+		lo += n
+	}
+	return ranges, nil
+}

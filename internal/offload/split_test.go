@@ -1,0 +1,126 @@
+package offload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWeightedSharesExact(t *testing.T) {
+	cases := []struct {
+		name    string
+		total   int64
+		weights []float64
+		want    []int64
+	}{
+		{"even", 10, []float64{1, 1}, []int64{5, 5}},
+		{"remainder-to-largest-frac", 10, []float64{1, 2}, []int64{3, 7}},
+		{"tie-earlier-wins", 3, []float64{1, 1}, []int64{2, 1}},
+		{"zero-weight-gets-zero", 7, []float64{3, 0, 4}, []int64{3, 0, 4}},
+		{"single", 9, []float64{2.5}, []int64{9}},
+		{"fewer-iterations-than-devices", 2, []float64{1, 1, 1}, []int64{1, 1, 0}},
+		{"zero-total", 0, []float64{1, 2}, []int64{0, 0}},
+	}
+	for _, c := range cases {
+		got, err := WeightedShares(c.total, c.weights)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: got %v, want %v", c.name, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("%s: got %v, want %v", c.name, got, c.want)
+			}
+		}
+	}
+}
+
+func TestWeightedSharesErrors(t *testing.T) {
+	if _, err := WeightedShares(-1, []float64{1}); err == nil {
+		t.Fatal("negative total accepted")
+	}
+	if _, err := WeightedShares(5, nil); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+	if _, err := WeightedShares(5, []float64{0, 0}); err == nil {
+		t.Fatal("all-zero weights accepted")
+	}
+	if _, err := WeightedShares(5, []float64{1, -2}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := WeightedShares(5, []float64{math.NaN()}); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+	if _, err := WeightedShares(5, []float64{math.Inf(1)}); err == nil {
+		t.Fatal("Inf weight accepted")
+	}
+}
+
+// TestWeightedSharesProperty drives random weights and bounds through the
+// apportionment and checks the invariants a split loop depends on: shares
+// sum to exactly the bound, no share is negative, zero weight means zero
+// share, and every share is within one iteration of its exact proportional
+// entitlement (the defining property of largest-remainder rounding).
+func TestWeightedSharesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(8)
+		weights := make([]float64, n)
+		var sum float64
+		for i := range weights {
+			switch rng.Intn(10) {
+			case 0:
+				weights[i] = 0
+			case 1:
+				weights[i] = math.Ldexp(rng.Float64(), rng.Intn(60)-30) // wild scales
+			default:
+				weights[i] = rng.Float64() * 100
+			}
+			sum += weights[i]
+		}
+		if sum == 0 {
+			weights[rng.Intn(n)] = 1
+			sum = 1
+		}
+		total := int64(rng.Intn(1 << 20))
+		shares, err := WeightedShares(total, weights)
+		if err != nil {
+			t.Fatalf("trial %d: %v (weights %v, total %d)", trial, err, weights, total)
+		}
+		var got int64
+		for i, s := range shares {
+			if s < 0 {
+				t.Fatalf("trial %d: negative share %d at %d (weights %v, total %d)", trial, s, i, weights, total)
+			}
+			if weights[i] == 0 && s != 0 {
+				t.Fatalf("trial %d: zero-weight device got %d iterations", trial, s)
+			}
+			exact := weights[i] / sum * float64(total)
+			if d := math.Abs(float64(s) - exact); d > 1.0000001 {
+				t.Fatalf("trial %d: share %d = %d, exact %.4f, off by %.4f (weights %v, total %d)",
+					trial, i, s, exact, d, weights, total)
+			}
+			got += s
+		}
+		if got != total {
+			t.Fatalf("trial %d: shares %v sum to %d, want %d (weights %v)", trial, shares, got, total, weights)
+		}
+
+		ranges, err := ShareRanges(total, weights)
+		if err != nil {
+			t.Fatalf("trial %d: ranges: %v", trial, err)
+		}
+		var lo int64
+		for i, r := range ranges {
+			if r.Lo != lo || r.Width() != shares[i] {
+				t.Fatalf("trial %d: range %d = %+v, want Lo=%d width=%d", trial, i, r, lo, shares[i])
+			}
+			lo = r.Hi
+		}
+		if lo != total {
+			t.Fatalf("trial %d: ranges end at %d, want %d", trial, lo, total)
+		}
+	}
+}

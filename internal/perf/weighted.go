@@ -1,0 +1,81 @@
+package perf
+
+// Weighted Eq. 3: predicting the proportional split of one target region
+// across a heterogeneous device set. Eq. 3 of the paper block-partitions a
+// loop uniformly because every Spark core is identical; with the host and
+// several differently-provisioned clusters sharing one loop, each device's
+// share must instead match its end-to-end throughput — compute spread over
+// its cores plus its own host-target link moving its slice of the
+// partitioned buffers. The calibration supplies the compute term for real;
+// offload.WeightedShares turns the weights into exact iteration counts.
+
+import (
+	"fmt"
+
+	"ompcloud/internal/kernels"
+	"ompcloud/internal/offload"
+)
+
+// DeviceSpec describes one member of a heterogeneous device set for Eq. 3
+// weighting: its provisioned core count and the host-target link rate its
+// slice of the partitioned buffers must cross. WANBitsPerS 0 marks a device
+// with no host-target link (the host itself, or a driver-resident run).
+type DeviceSpec struct {
+	Name        string
+	Cores       int
+	WANBitsPerS float64
+}
+
+// Eq3Weights predicts throughput weights for splitting benchmark b at
+// dimension n across devs. A device owning fraction f of the loop costs
+// f*serial/cores compute plus f*partitionedBytes/wan transfer, so its weight
+// is the inverse of the bracket — the marginal rate at which it retires loop
+// fractions. Broadcast inputs are deliberately excluded: every device
+// receives them whole regardless of its share, so they shift no iterations
+// between devices.
+func (c *Calibration) Eq3Weights(b *kernels.Benchmark, n int, devs []DeviceSpec) ([]float64, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("perf: no devices to weight")
+	}
+	serial, err := c.SerialSeconds(b, n)
+	if err != nil {
+		return nil, err
+	}
+	var partBytes int64
+	for _, shape := range b.Shape(n) {
+		partBytes += shape.PartInBytes + shape.PartOutBytes
+	}
+	weights := make([]float64, len(devs))
+	for i, d := range devs {
+		if d.Cores < 1 {
+			return nil, fmt.Errorf("perf: device %q has %d cores", d.Name, d.Cores)
+		}
+		if d.WANBitsPerS < 0 {
+			return nil, fmt.Errorf("perf: device %q has negative WAN rate", d.Name)
+		}
+		cost := serial / float64(d.Cores)
+		if d.WANBitsPerS > 0 {
+			cost += float64(partBytes) * 8 / d.WANBitsPerS
+		}
+		if cost <= 0 {
+			return nil, fmt.Errorf("perf: device %q has non-positive per-fraction cost", d.Name)
+		}
+		weights[i] = 1 / cost
+	}
+	return weights, nil
+}
+
+// Eq3Shares composes Eq3Weights with the exact largest-remainder partitioner:
+// the contiguous iteration shares of benchmark b's outer loop (trip count
+// derived from its first region shape) across devs.
+func (c *Calibration) Eq3Shares(b *kernels.Benchmark, n int, devs []DeviceSpec) ([]int64, error) {
+	weights, err := c.Eq3Weights(b, n, devs)
+	if err != nil {
+		return nil, err
+	}
+	shapes := b.Shape(n)
+	if len(shapes) == 0 {
+		return nil, fmt.Errorf("perf: benchmark %s has no shape", b.Name)
+	}
+	return offload.WeightedShares(shapes[0].Trip, weights)
+}

@@ -1,0 +1,82 @@
+package perf
+
+import (
+	"testing"
+
+	"ompcloud/internal/kernels"
+)
+
+func eq3Cal(t *testing.T) (*Calibration, *kernels.Benchmark) {
+	t.Helper()
+	b, err := kernels.ByName("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Calibration{Throughput: map[string]float64{b.Name: 1e9}, CalN: 256}, b
+}
+
+func TestEq3WeightsOrdering(t *testing.T) {
+	cal, b := eq3Cal(t)
+	devs := []DeviceSpec{
+		{Name: "host", Cores: 16},
+		{Name: "big", Cores: 64, WANBitsPerS: 2e9},
+		{Name: "small", Cores: 16, WANBitsPerS: 2e9},
+	}
+	w, err := cal.Eq3Weights(b, 512, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[1] <= w[2] {
+		t.Fatalf("64-core cloud should out-weigh 16-core cloud on the same link: %v", w)
+	}
+	if w[0] <= w[2] {
+		t.Fatalf("host (no WAN leg) should out-weigh the same-size cloud: %v", w)
+	}
+
+	// A slower link must shrink the weight, all else equal.
+	slow, err := cal.Eq3Weights(b, 512, []DeviceSpec{{Name: "slow", Cores: 64, WANBitsPerS: 2e8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow[0] >= w[1] {
+		t.Fatalf("10x slower link should shrink the weight: slow %v vs fast %v", slow[0], w[1])
+	}
+}
+
+func TestEq3SharesSumToTrip(t *testing.T) {
+	cal, b := eq3Cal(t)
+	n := 384
+	devs := []DeviceSpec{
+		{Name: "host", Cores: 16},
+		{Name: "a", Cores: 48, WANBitsPerS: 2e9},
+		{Name: "b", Cores: 16, WANBitsPerS: 5e8},
+	}
+	shares, err := cal.Eq3Shares(b, n, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip := b.Shape(n)[0].Trip
+	var sum int64
+	for _, s := range shares {
+		if s < 0 {
+			t.Fatalf("negative share in %v", shares)
+		}
+		sum += s
+	}
+	if sum != trip {
+		t.Fatalf("shares %v sum to %d, want trip %d", shares, sum, trip)
+	}
+}
+
+func TestEq3WeightsErrors(t *testing.T) {
+	cal, b := eq3Cal(t)
+	if _, err := cal.Eq3Weights(b, 256, nil); err == nil {
+		t.Fatal("empty device set accepted")
+	}
+	if _, err := cal.Eq3Weights(b, 256, []DeviceSpec{{Name: "x", Cores: 0}}); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := cal.Eq3Weights(b, 256, []DeviceSpec{{Name: "x", Cores: 4, WANBitsPerS: -1}}); err == nil {
+		t.Fatal("negative WAN rate accepted")
+	}
+}

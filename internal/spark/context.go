@@ -81,6 +81,7 @@ type Context struct {
 	faults     FaultInjector
 	maxRetries int
 	log        Logf
+	metricDev  string // keys per-task metrics by device (span.DevKey)
 
 	lease       LeaseConfig
 	speculation SpeculationConfig
@@ -111,6 +112,12 @@ func WithMaxRetries(n int) Option { return func(ctx *Context) { ctx.maxRetries =
 // WithLogger forwards engine events (job/task lifecycle, failures,
 // retries) to the given sink.
 func WithLogger(l Logf) Option { return func(ctx *Context) { ctx.log = l } }
+
+// WithMetricDevice keys this context's tile-compute histogram
+// ("spark.task.compute.seconds") by device name, so two clusters running
+// concurrently keep separable skew distributions; the unkeyed histogram
+// still receives every sample as the all-device aggregate.
+func WithMetricDevice(dev string) Option { return func(ctx *Context) { ctx.metricDev = dev } }
 
 // WithRealParallelism bounds the number of machine cores used for real
 // execution (default: runtime.NumCPU()). Tests use 1 for determinism probes.

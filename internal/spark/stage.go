@@ -207,10 +207,18 @@ func runJob[T any](r *RDD[T], each func(p int, out []T)) ([][]T, *JobMetrics, er
 	jm.DeadWorkers = ctx.deaths() - deaths0
 
 	// The tile-skew histogram: per-task compute durations, whose spread is
-	// what speculation exists to fight.
+	// what speculation exists to fight. A device-keyed sibling keeps two
+	// concurrent clusters' distributions separable.
 	taskHist := span.Metrics().Histogram("spark.task.compute.seconds")
+	var devHist *span.Histogram
+	if ctx.metricDev != "" {
+		devHist = span.Metrics().Histogram(span.DevKey("spark.task.compute.seconds", ctx.metricDev))
+	}
 	for p := range jm.Tasks {
 		taskHist.Observe(jm.Tasks[p].Compute.Seconds())
+		if devHist != nil {
+			devHist.Observe(jm.Tasks[p].Compute.Seconds())
+		}
 	}
 	jobSpan.SetAttr("failures", strconv.Itoa(jm.Failures))
 	jobSpan.SetAttr("dead_workers", strconv.Itoa(jm.DeadWorkers))

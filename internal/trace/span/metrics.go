@@ -161,6 +161,20 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// DevKey returns the per-device variant of a metric name: the base name
+// labelled with the device ("chunkio.put.seconds{dev=eu}"). An empty device
+// returns the base name unchanged, so single-device call sites keep their
+// historical metric names. Histogram sites observe into both the base and
+// the device-keyed instrument — the base stays a meaningful aggregate —
+// while gauges (last-writer-wins, not mergeable) move wholesale to the
+// keyed name once a device is set.
+func DevKey(base, dev string) string {
+	if dev == "" {
+		return base
+	}
+	return base + "{dev=" + dev + "}"
+}
+
 // Summary is a histogram snapshot for JSON artifacts.
 type Summary struct {
 	Count uint64  `json:"count"`
