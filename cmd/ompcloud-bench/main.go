@@ -55,6 +55,11 @@ func main() {
 		wchaos   = flag.Bool("workerchaos", false, "run the worker-fault soak (death, re-execution, speculation, kill-and-resume)")
 		wchaosN  = flag.Int("workerchaos-n", 96, "matrix dimension for -workerchaos")
 		wchaosO  = flag.String("workerchaos-out", "BENCH_workerchaos.json", "output path for the -workerchaos results")
+		service  = flag.Bool("service", false, "run the multi-tenant service soak (admission, quotas, fairness, overload shedding, kill-and-recover)")
+		svcN     = flag.Int("service-n", 16, "matrix dimension for -service")
+		svcTen   = flag.Int("service-tenants", 6, "tenant count for -service")
+		svcCli   = flag.Int("service-clients", 40, "simulated clients per tenant for -service")
+		svcOut   = flag.String("service-out", "BENCH_service.json", "output path for the -service results")
 		nchaos   = flag.Bool("netchaos", false, "run the link-fault soak (hard partition, bandwidth collapse, flapping, latency jitter)")
 		nchaosN  = flag.Int("netchaos-n", 96, "matrix dimension for -netchaos")
 		nchaosO  = flag.String("netchaos-out", "BENCH_netchaos.json", "output path for the -netchaos results")
@@ -90,6 +95,10 @@ func main() {
 	}
 	if *nchaos {
 		runNetChaos(*nchaosN, *seed, *nchaosO)
+		return
+	}
+	if *service {
+		runService(*svcN, *svcTen, *svcCli, *seed, *svcOut)
 		return
 	}
 	if *fig == 0 && !*stats && !*ablation {
@@ -462,6 +471,44 @@ func writeSVG(dir, name string, render func(io.Writer) error) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	return nil
+}
+
+// runService executes the multi-tenant service soak — hundreds of
+// simulated clients against the offload daemon's admission, quota,
+// fair-share, overload-shedding and kill-recovery machinery — and writes
+// the result set to outPath. The soak itself errors unless every
+// mechanism engaged, so a clean exit IS the assertion.
+func runService(n, tenants, clients int, seed int64, outPath string) {
+	fmt.Fprintf(os.Stderr, "service soak: %d tenants x %d clients, mixed kernels at n=%d, seed %d ...\n",
+		tenants, clients, n, seed)
+	res, err := bench.RunServiceBench(bench.ServiceOptions{
+		N: n, Seed: seed, Tenants: tenants, Clients: clients,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-10s %8s %8s %6s %7s %7s %6s %6s\n",
+		"phase", "offered", "admitted", "done", "qrej", "shed", "peak", "jain")
+	for _, ph := range res.Phases {
+		jain := ""
+		if ph.Jain > 0 {
+			jain = fmt.Sprintf("%.3f", ph.Jain)
+		}
+		fmt.Printf("%-10s %8d %8d %6d %7d %7d %6d %6s\n",
+			ph.Phase, ph.Offered, ph.Admitted, ph.Done,
+			ph.RejectedQuota, ph.RejectedLoad, ph.QueuePeak, jain)
+	}
+	fmt.Printf("\nrecovery: %d admitted, %d journaled, %d recovered, %d tiles resumed, identical=%v\n",
+		res.Recovery.Admitted, res.Recovery.Journaled, res.Recovery.Recovered,
+		res.Recovery.ResumedTiles, res.Recovery.Identical)
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
 }
 
 func fatal(err error) {

@@ -1,0 +1,136 @@
+// Command ompcloud-offloadd is the long-lived offload daemon: the runtime
+// grown into a multi-tenant service. Clients submit target-region jobs over
+// TCP; the daemon admits them through per-tenant token-bucket quotas and a
+// bounded queue (overload is shed with a retry-after hint, never buffered
+// unboundedly), schedules admitted jobs by weighted fair share, and hands
+// each a slice of the shared executor pool via the Eq. 3 partitioner. Every
+// admission is written ahead to a job journal through the storage layer, so
+// a killed-and-restarted daemon re-admits the jobs it owed and resumes them
+// on the resumable-session machinery. SIGTERM drains gracefully: admission
+// stops, in-flight jobs get a deadline to finish, and whatever remains
+// stays journaled for the next life.
+//
+//	ompcloud-offloadd -addr 127.0.0.1:9500 -dir /tmp/ompcloud-serve &
+//	ompcloud-worker -addr 127.0.0.1:9401 -register 127.0.0.1:9500 &
+//
+// Policy comes from the [service] and [tenant "..."] sections of the
+// configuration file (-conf or $OMPCLOUD_CONF); flags override.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ompcloud/internal/config"
+	_ "ompcloud/internal/kernels" // link the benchmark kernels
+	"ompcloud/internal/serve"
+	"ompcloud/internal/storage"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9500", "service listen address")
+		confPath = flag.String("conf", "", "configuration file (default $OMPCLOUD_CONF)")
+		dir      = flag.String("dir", "", "backing store directory (empty = in-memory)")
+		storAddr = flag.String("storage-addr", "", "also serve the backing store over TCP at this address")
+		verify   = flag.Bool("verify", false, "verify every job against the serial reference")
+	)
+	flag.Parse()
+
+	settings, err := loadSettings(*confPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var store storage.Store
+	if *dir == "" {
+		store = storage.NewMemStore()
+	} else {
+		ds, err := storage.NewDiskStore(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		store = ds
+	}
+	settings.Config.Store = store
+
+	d, err := serve.New(settings.Config)
+	if err != nil {
+		fatal(err)
+	}
+	// Crash-safe recovery: whatever the previous life admitted but never
+	// completed comes back before the listener opens.
+	recovered, err := d.Recover(0)
+	if err != nil {
+		fatal(err)
+	}
+
+	exec := &serve.PoolExecutor{Base: store, ChunkBytes: 4096, Verify: *verify}
+	front, err := serve.ListenAndServe(*addr, d, exec)
+	if err != nil {
+		fatal(err)
+	}
+	// Registered workers grow the pool and execute tiles for real; the
+	// executor reads the live set at each dispatch.
+	exec.Workers = func() []string { return d.LiveWorkers(front.Now()) }
+
+	// The daemon can double as the storage endpoint, so one process serves
+	// both planes; its drain rides the same SIGTERM.
+	var storSrv *storage.Server
+	if *storAddr != "" {
+		storSrv, err = storage.Serve(*storAddr, store)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("ompcloud-offloadd: serving on %s (pool %d cores, queue %d, recovered %d jobs)\n",
+		front.Addr(), d.PoolCores(), settings.Config.MaxQueue, len(recovered))
+	if storSrv != nil {
+		fmt.Printf("ompcloud-offloadd: storage plane on %s\n", storSrv.Addr())
+	}
+	front.Pump() // start executing recovered jobs
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	deadline := settings.Drain.Real()
+	fmt.Printf("ompcloud-offloadd: draining (deadline %v)\n", deadline)
+	if err := front.Drain(deadline); err != nil {
+		fmt.Fprintln(os.Stderr, "ompcloud-offloadd:", err)
+	}
+	if storSrv != nil {
+		if err := storSrv.Drain(time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "ompcloud-offloadd:", err)
+		}
+	}
+	s := d.Snapshot()
+	fmt.Printf("ompcloud-offloadd: drained; %d jobs still journaled for the next life\n",
+		s.Queued+s.Running)
+}
+
+func loadSettings(path string) (serve.ServiceSettings, error) {
+	var f *config.File
+	var err error
+	if path != "" {
+		f, err = config.Load(path)
+	} else {
+		f, err = config.LoadDefault()
+	}
+	if err != nil {
+		return serve.ServiceSettings{}, err
+	}
+	if f == nil {
+		f = config.New()
+	}
+	return serve.ParseSettings(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ompcloud-offloadd:", err)
+	os.Exit(1)
+}

@@ -14,14 +14,16 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"ompcloud/internal/storage"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:9333", "listen address")
-		dir  = flag.String("dir", "", "backing directory (empty = in-memory)")
+		addr    = flag.String("addr", "127.0.0.1:9333", "listen address")
+		dir     = flag.String("dir", "", "backing directory (empty = in-memory)")
+		drainMS = flag.Int("drain-ms", 2000, "graceful-drain deadline on SIGTERM (milliseconds)")
 	)
 	flag.Parse()
 
@@ -45,12 +47,15 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	snap := metered.Snapshot()
-	fmt.Printf("ompcloud-storaged: shutting down; served %d puts (%.1f MB), %d gets (%.1f MB)\n",
-		snap.Puts, float64(snap.BytesIn)/1e6, snap.Gets, float64(snap.BytesOut)/1e6)
-	if err := srv.Close(); err != nil {
+	// Graceful drain: stop accepting, let in-flight requests finish their
+	// response within the deadline, then force-close stragglers. A client
+	// mid-PUT when SIGTERM lands still gets its ack.
+	if err := srv.Drain(time.Duration(*drainMS) * time.Millisecond); err != nil {
 		fatal(err)
 	}
+	snap := metered.Snapshot()
+	fmt.Printf("ompcloud-storaged: drained; served %d puts (%.1f MB), %d gets (%.1f MB)\n",
+		snap.Puts, float64(snap.BytesIn)/1e6, snap.Gets, float64(snap.BytesOut)/1e6)
 }
 
 func backing(dir string) string {

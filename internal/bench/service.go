@@ -1,0 +1,674 @@
+package bench
+
+// The service soak: hundreds of simulated clients drive the multi-tenant
+// offload daemon through a discrete-event loop on the virtual clock. Four
+// phases, each over a fresh daemon (the kill phase over two daemons and
+// one shared store):
+//
+//	steady   — every tenant offers well under capacity; everyone is served.
+//	flood    — one tenant offers ~20x its quota; the token bucket caps it,
+//	           nobody else sees a quota rejection, and throughput stays
+//	           fair (Jain index over per-tenant completions >= 0.9).
+//	overload — a burst far past the queue watermark; admission control
+//	           sheds the excess and the p99 sojourn of ADMITTED jobs stays
+//	           bounded — the queue never grows without bound.
+//	kill     — the daemon dies with jobs queued and running; a new daemon
+//	           over the same store recovers every journaled job, resumes
+//	           the committed tiles of the killed runs, and produces
+//	           bit-identical outputs.
+//
+// The soak errors unless every mechanism actually engaged: at least one
+// shed, the flooder quota-capped while compliant tenants are untouched,
+// fairness above threshold, and recovery complete and identical. Jobs
+// execute for real through serve.PoolExecutor (cloud plugin, per-tenant
+// storage namespaces, resumable sessions); only their durations are
+// virtual.
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ompcloud/internal/offload"
+	"ompcloud/internal/serve"
+	"ompcloud/internal/simtime"
+	"ompcloud/internal/spark"
+	"ompcloud/internal/storage"
+)
+
+// ServiceOptions sizes the soak. The zero value picks the full-scale run;
+// CI uses Reduced.
+type ServiceOptions struct {
+	N       int   // kernel dimension
+	Seed    int64 // input generation seed
+	Tenants int   // tenant count (flood phase floods the first)
+	Clients int   // simulated clients per tenant
+	JobsPer int   // target jobs per client in the steady phase
+
+	PoolCores int
+	FairShare int
+	MaxQueue  int
+}
+
+func (o ServiceOptions) withDefaults() ServiceOptions {
+	if o.N <= 0 {
+		o.N = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Tenants <= 0 {
+		o.Tenants = 6
+	}
+	if o.Clients <= 0 {
+		o.Clients = 40
+	}
+	if o.JobsPer <= 0 {
+		o.JobsPer = 1
+	}
+	if o.PoolCores <= 0 {
+		o.PoolCores = 16
+	}
+	if o.FairShare <= 0 {
+		o.FairShare = 4
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 64
+	}
+	return o
+}
+
+// serviceKernels is the mixed-kernel rotation submitted by the clients.
+var serviceKernels = []string{"gemm", "syrk", "mat-mul", "syr2k"}
+
+// ServiceTenantRow is one tenant's phase outcome.
+type ServiceTenantRow struct {
+	Tenant        string  `json:"tenant"`
+	Offered       int     `json:"offered"`
+	Admitted      int     `json:"admitted"`
+	Done          int     `json:"done"`
+	Failed        int     `json:"failed"`
+	RejectedQuota int     `json:"rejected_quota"`
+	RejectedLoad  int     `json:"rejected_load"`
+	P50SojournS   float64 `json:"p50_sojourn_s"`
+	P99SojournS   float64 `json:"p99_sojourn_s"`
+}
+
+// ServicePhaseResult is one phase of the soak.
+type ServicePhaseResult struct {
+	Phase         string             `json:"phase"`
+	VirtualS      float64            `json:"virtual_s"`
+	Offered       int                `json:"offered"`
+	Admitted      int                `json:"admitted"`
+	Done          int                `json:"done"`
+	RejectedQuota int                `json:"rejected_quota"`
+	RejectedLoad  int                `json:"rejected_load"`
+	QueuePeak     int                `json:"queue_peak"`
+	Jain          float64            `json:"jain,omitempty"`
+	Tenants       []ServiceTenantRow `json:"tenants"`
+}
+
+// ServiceRecovery is the kill-phase outcome.
+type ServiceRecovery struct {
+	Admitted     int  `json:"admitted"`
+	Journaled    int  `json:"journaled"`
+	Recovered    int  `json:"recovered"`
+	ResumedTiles int  `json:"resumed_tiles"`
+	Identical    bool `json:"identical"`
+}
+
+// ServiceBench is the full soak result set, serialized to
+// BENCH_service.json by cmd/ompcloud-bench -service.
+type ServiceBench struct {
+	N               int                  `json:"n"`
+	Seed            int64                `json:"seed"`
+	Tenants         int                  `json:"tenants"`
+	Clients         int                  `json:"clients_per_tenant"`
+	Kernels         []string             `json:"kernels"`
+	PoolCores       int                  `json:"pool_cores"`
+	FairShare       int                  `json:"fair_share"`
+	MaxQueue        int                  `json:"max_queue"`
+	MeanJobVirtualS float64              `json:"mean_job_virtual_s"`
+	MaxJobVirtualS  float64              `json:"max_job_virtual_s"`
+	P99BoundS       float64              `json:"p99_bound_s"`
+	Phases          []ServicePhaseResult `json:"phases"`
+	Recovery        ServiceRecovery      `json:"recovery"`
+}
+
+// --- discrete-event machinery --------------------------------------------
+
+const (
+	evArrival = iota
+	evComplete
+)
+
+type serviceEvent struct {
+	at   simtime.Duration
+	seq  int // FIFO tie-break: determinism at equal timestamps
+	kind int
+
+	// arrival
+	tenant, client string
+	spec           serve.JobSpec
+
+	// completion
+	job *serve.Job
+	res serve.Result
+}
+
+type eventHeap []*serviceEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*serviceEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// phaseRunner drives one daemon through its event schedule.
+type phaseRunner struct {
+	d    *serve.Daemon
+	exec serve.Executor
+
+	events   eventHeap
+	seq      int
+	now      simtime.Duration
+	sojourns map[string][]float64
+	rows     map[string]*ServiceTenantRow
+	order    []string
+	peak     int
+}
+
+func newPhaseRunner(d *serve.Daemon, exec serve.Executor) *phaseRunner {
+	return &phaseRunner{
+		d: d, exec: exec,
+		sojourns: make(map[string][]float64),
+		rows:     make(map[string]*ServiceTenantRow),
+	}
+}
+
+func (p *phaseRunner) row(tenant string) *ServiceTenantRow {
+	r, ok := p.rows[tenant]
+	if !ok {
+		r = &ServiceTenantRow{Tenant: tenant}
+		p.rows[tenant] = r
+		p.order = append(p.order, tenant)
+	}
+	return r
+}
+
+func (p *phaseRunner) push(e *serviceEvent) {
+	e.seq = p.seq
+	p.seq++
+	heap.Push(&p.events, e)
+}
+
+func (p *phaseRunner) arrival(at simtime.Duration, tenant, client string, spec serve.JobSpec) {
+	p.push(&serviceEvent{at: at, kind: evArrival, tenant: tenant, client: client, spec: spec})
+}
+
+// pump dispatches whatever slots and cores allow, executing each grant for
+// real and scheduling its completion at now + the modelled duration.
+func (p *phaseRunner) pump() {
+	for _, g := range p.d.Dispatch(p.now) {
+		res := p.exec.Run(g.Job, g.Cores)
+		dur := res.Virtual
+		if dur <= 0 {
+			dur = simtime.Millisecond
+		}
+		p.push(&serviceEvent{at: p.now + dur, kind: evComplete, job: g.Job, res: res})
+	}
+}
+
+// run consumes the event schedule to quiescence.
+func (p *phaseRunner) run() error {
+	for p.events.Len() > 0 {
+		e := heap.Pop(&p.events).(*serviceEvent)
+		p.now = e.at
+		switch e.kind {
+		case evArrival:
+			r := p.row(e.tenant)
+			r.Offered++
+			job, rej, err := p.d.Submit(e.tenant, e.client, e.spec, p.now)
+			if err != nil {
+				return err
+			}
+			if rej != nil {
+				switch rej.Reason {
+				case "quota":
+					r.RejectedQuota++
+				case "overload":
+					r.RejectedLoad++
+				default:
+					return fmt.Errorf("service: unexpected rejection %q", rej.Reason)
+				}
+				break
+			}
+			r.Admitted++
+			if q := p.d.QueuedCount(); q > p.peak {
+				p.peak = q
+			}
+			_ = job
+			p.pump()
+		case evComplete:
+			if err := p.d.Complete(e.job, e.res, p.now); err != nil {
+				return err
+			}
+			r := p.row(e.job.Tenant)
+			if e.res.Err != nil {
+				r.Failed++
+				return fmt.Errorf("service: job %s failed: %w", e.job.ID, e.res.Err)
+			}
+			r.Done++
+			p.sojourns[e.job.Tenant] = append(p.sojourns[e.job.Tenant], e.job.Sojourn().Seconds())
+			p.pump()
+		}
+	}
+	if !p.d.Idle() {
+		return fmt.Errorf("service: event schedule drained with work still pending")
+	}
+	return nil
+}
+
+func (p *phaseRunner) result(name string) ServicePhaseResult {
+	out := ServicePhaseResult{Phase: name, VirtualS: p.now.Seconds(), QueuePeak: p.peak}
+	sort.Strings(p.order)
+	for _, tenant := range p.order {
+		r := *p.rows[tenant]
+		s := append([]float64(nil), p.sojourns[tenant]...)
+		sort.Float64s(s)
+		r.P50SojournS = pctile(s, 0.50)
+		r.P99SojournS = pctile(s, 0.99)
+		out.Offered += r.Offered
+		out.Admitted += r.Admitted
+		out.Done += r.Done
+		out.RejectedQuota += r.RejectedQuota
+		out.RejectedLoad += r.RejectedLoad
+		out.Tenants = append(out.Tenants, r)
+	}
+	return out
+}
+
+func pctile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func jainIndex(xs []float64) float64 {
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// --- the soak -------------------------------------------------------------
+
+// RunServiceBench executes the full service soak and verifies every
+// robustness mechanism engaged.
+func RunServiceBench(opts ServiceOptions) (*ServiceBench, error) {
+	opts = opts.withDefaults()
+	out := &ServiceBench{
+		N: opts.N, Seed: opts.Seed, Tenants: opts.Tenants, Clients: opts.Clients,
+		Kernels:   serviceKernels,
+		PoolCores: opts.PoolCores, FairShare: opts.FairShare, MaxQueue: opts.MaxQueue,
+	}
+
+	// Calibrate: one job per kernel at the steady-state grant width
+	// (PoolCores split across FairShare slots) gives the service time the
+	// arrival rates and latency bounds are expressed against.
+	calCores := opts.PoolCores / opts.FairShare
+	if calCores < 1 {
+		calCores = 1
+	}
+	var meanV, maxV float64
+	for i, k := range serviceKernels {
+		exec := &serve.PoolExecutor{Base: storage.NewMemStore(), ChunkBytes: 4096}
+		res := exec.Run(&serve.Job{
+			ID: fmt.Sprintf("cal-%d", i), Tenant: "cal",
+			Spec: serve.JobSpec{Bench: k, N: opts.N, Seed: opts.Seed},
+		}, calCores)
+		if res.Err != nil {
+			return nil, fmt.Errorf("service: calibration %s: %w", k, res.Err)
+		}
+		v := res.Virtual.Seconds()
+		meanV += v
+		if v > maxV {
+			maxV = v
+		}
+	}
+	meanV /= float64(len(serviceKernels))
+	out.MeanJobVirtualS = meanV
+	out.MaxJobVirtualS = maxV
+	// The admitted-job latency bound: a full queue's worth of batches plus
+	// slack. Shedding exists precisely to keep sojourns under this.
+	bound := float64(opts.MaxQueue/opts.FairShare+2) * maxV
+	out.P99BoundS = bound
+	capacity := float64(opts.FairShare) / meanV // jobs per virtual second
+
+	// Phase 1: steady. Aggregate offered load at 60% of capacity, split
+	// evenly; quotas are set far above the offered rate so only scheduling
+	// is exercised.
+	steady, err := runServicePhase(opts, servicePhaseSpec{
+		name:      "steady",
+		rates:     evenRates(opts.Tenants, 0.6*capacity),
+		jobs:      evenJobs(opts.Tenants, opts.Clients*opts.JobsPer*opts.Tenants),
+		quotaRate: capacity, // never binds
+		seedBase:  opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Phases = append(out.Phases, steady)
+	if steady.RejectedQuota+steady.RejectedLoad > 0 {
+		return nil, fmt.Errorf("service: steady phase rejected %d jobs under light load",
+			steady.RejectedQuota+steady.RejectedLoad)
+	}
+	if steady.Done != steady.Offered {
+		return nil, fmt.Errorf("service: steady phase completed %d of %d", steady.Done, steady.Offered)
+	}
+
+	// Phase 2: flood. Per-tenant quota at 80% of a fair capacity slice;
+	// compliant tenants offer just under their quota, the first tenant
+	// offers ~20x. The bucket must cap the flooder without a single quota
+	// rejection landing on a compliant tenant, and completed-job
+	// throughput must stay near-even (Jain >= 0.9).
+	quotaR := 0.8 * capacity / float64(opts.Tenants)
+	floodRates := make([]float64, opts.Tenants)
+	floodJobs := make([]int, opts.Tenants)
+	perTenant := opts.Clients * opts.JobsPer
+	for i := range floodRates {
+		floodRates[i] = 0.85 * quotaR
+		floodJobs[i] = perTenant
+	}
+	floodRates[0] = 20 * quotaR
+	floodJobs[0] = 4 * perTenant // offered, mostly rejected
+	flood, err := runServicePhase(opts, servicePhaseSpec{
+		name:      "flood",
+		rates:     floodRates,
+		jobs:      floodJobs,
+		quotaRate: quotaR,
+		seedBase:  opts.Seed + 10_000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Phases = append(out.Phases, flood)
+	var doneCounts []float64
+	for i, row := range flood.Tenants {
+		if row.Tenant == serviceTenantName(0) {
+			if row.RejectedQuota == 0 {
+				return nil, fmt.Errorf("service: flooding tenant was never quota-capped")
+			}
+		} else {
+			if row.RejectedQuota > 0 {
+				return nil, fmt.Errorf("service: compliant tenant %s saw %d quota rejections",
+					row.Tenant, row.RejectedQuota)
+			}
+			if row.P99SojournS > bound {
+				return nil, fmt.Errorf("service: tenant %s p99 sojourn %.2fs exceeds bound %.2fs",
+					row.Tenant, row.P99SojournS, bound)
+			}
+		}
+		doneCounts = append(doneCounts, float64(row.Done))
+		_ = i
+	}
+	jain := jainIndex(doneCounts)
+	flood.Jain = jain
+	out.Phases[len(out.Phases)-1] = flood
+	if jain < 0.9 {
+		return nil, fmt.Errorf("service: flood-phase Jain fairness %.3f < 0.9 (done=%v)", jain, doneCounts)
+	}
+
+	// Phase 3: overload. One tenant (quota disabled) dumps twice the
+	// queue watermark in a near-instant burst: the excess must shed with
+	// retry-after hints, and what was admitted must still finish inside
+	// the latency bound — bounded queue, bounded promise.
+	burst := 2 * opts.MaxQueue
+	overload, err := runServicePhase(opts, servicePhaseSpec{
+		name:      "overload",
+		rates:     []float64{float64(burst) / (0.01 * meanV)},
+		jobs:      []int{burst},
+		quotaRate: -1,
+		seedBase:  opts.Seed + 20_000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Phases = append(out.Phases, overload)
+	if overload.RejectedLoad == 0 {
+		return nil, fmt.Errorf("service: overload burst of %d was never shed (queue %d)", burst, opts.MaxQueue)
+	}
+	if p99 := overload.Tenants[0].P99SojournS; p99 > bound {
+		return nil, fmt.Errorf("service: overload admitted-job p99 %.2fs exceeds bound %.2fs", p99, bound)
+	}
+	if overload.QueuePeak > opts.MaxQueue {
+		return nil, fmt.Errorf("service: queue peaked at %d past watermark %d", overload.QueuePeak, opts.MaxQueue)
+	}
+
+	// Phase 4: kill mid-flight and recover.
+	rec, err := runServiceKillRecovery(opts)
+	if err != nil {
+		return nil, err
+	}
+	out.Recovery = *rec
+	return out, nil
+}
+
+type servicePhaseSpec struct {
+	name      string
+	rates     []float64 // per-tenant offered arrival rate, jobs/virtual-sec
+	jobs      []int     // per-tenant offered job count
+	quotaRate float64   // per-tenant token rate (negative disables)
+	seedBase  int64
+}
+
+func serviceTenantName(i int) string { return fmt.Sprintf("tenant-%02d", i) }
+
+func evenRates(n int, total float64) []float64 {
+	rs := make([]float64, n)
+	for i := range rs {
+		rs[i] = total / float64(n)
+	}
+	return rs
+}
+
+func evenJobs(n, total int) []int {
+	js := make([]int, n)
+	for i := range js {
+		js[i] = total / n
+	}
+	return js
+}
+
+func runServicePhase(opts ServiceOptions, ph servicePhaseSpec) (ServicePhaseResult, error) {
+	st := storage.NewMemStore()
+	d, err := serve.New(serve.Config{
+		Store:     st,
+		MaxQueue:  opts.MaxQueue,
+		FairShare: opts.FairShare,
+		PoolCores: opts.PoolCores,
+		Limits:    serve.Limits{Rate: ph.quotaRate, Burst: 8, Weight: 1},
+	})
+	if err != nil {
+		return ServicePhaseResult{}, err
+	}
+	exec := &serve.PoolExecutor{Base: st, ChunkBytes: 4096}
+	p := newPhaseRunner(d, exec)
+
+	// Deterministic Poisson arrivals per tenant; each arrival is stamped
+	// with a rotating client label so the phase models Tenants x Clients
+	// independent submitters.
+	rng := rand.New(rand.NewSource(ph.seedBase))
+	job := 0
+	for ti, rate := range ph.rates {
+		tenant := serviceTenantName(ti)
+		var t float64
+		for k := 0; k < ph.jobs[ti]; k++ {
+			t += rng.ExpFloat64() / rate
+			client := fmt.Sprintf("%s/c%03d", tenant, k%opts.Clients)
+			spec := serve.JobSpec{
+				Bench: serviceKernels[job%len(serviceKernels)],
+				N:     opts.N,
+				Seed:  ph.seedBase + int64(job),
+			}
+			p.arrival(simtime.FromSeconds(t), tenant, client, spec)
+			job++
+		}
+	}
+	if err := p.run(); err != nil {
+		return ServicePhaseResult{}, fmt.Errorf("service: %s: %w", ph.name, err)
+	}
+	return p.result(ph.name), nil
+}
+
+// runServiceKillRecovery admits a batch of jobs, lets the first dispatch
+// wave die mid-run (every started job loses its last tile on every
+// attempt, the kill-a-process model whose healthy tiles still committed
+// through the session journal), abandons the daemon without completing
+// anything, and then brings up a second daemon over the same store. The
+// second life must recover exactly the journaled jobs, resume the
+// committed tiles, and produce outputs bit-identical to clean reference
+// runs.
+func runServiceKillRecovery(opts ServiceOptions) (*ServiceRecovery, error) {
+	const killJobs = 6
+	st := storage.NewMemStore()
+	cfg := serve.Config{
+		Store:     st,
+		MaxQueue:  opts.MaxQueue,
+		FairShare: 2,
+		PoolCores: 8,
+		Limits:    serve.Limits{Rate: -1},
+	}
+	d1, err := serve.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]serve.JobSpec, killJobs)
+	tenants := make([]string, killJobs)
+	for i := range specs {
+		specs[i] = serve.JobSpec{
+			Bench: serviceKernels[i%len(serviceKernels)],
+			N:     opts.N,
+			Seed:  opts.Seed + 30_000 + int64(i),
+		}
+		tenants[i] = serviceTenantName(i % 2)
+		if _, rej, err := d1.Submit(tenants[i], "kill-cli", specs[i], 0); rej != nil || err != nil {
+			return nil, fmt.Errorf("service: kill-phase submit %d: %v %v", i, rej, err)
+		}
+	}
+	rec := &ServiceRecovery{Admitted: killJobs}
+
+	// First dispatch wave runs sabotaged: the job's last tile fails every
+	// attempt, so the run dies after its other tiles committed — exactly
+	// the storage state a SIGKILL mid-job leaves behind. Nothing is
+	// Completed: the daemon is then abandoned, journal intact.
+	sabotage := &serve.PoolExecutor{Base: st, ChunkBytes: 4096,
+		Mutate: func(job *serve.Job, cfg *offload.CloudConfig) {
+			cfg.Faults = spark.FailPartitionAttempts(cfg.Spec.TotalCores()-1, 1<<20)
+			cfg.Fallback = offload.FallbackFail
+		}}
+	started := 0
+	for _, g := range d1.Dispatch(0) {
+		if g.Cores < 2 {
+			return nil, fmt.Errorf("service: kill-phase grant of %d cores cannot leave committed tiles", g.Cores)
+		}
+		if res := sabotage.Run(g.Job, g.Cores); res.Err == nil {
+			return nil, fmt.Errorf("service: sabotaged job %s survived", g.Job.ID)
+		}
+		started++
+	}
+	if started == 0 {
+		return nil, fmt.Errorf("service: kill phase dispatched nothing")
+	}
+
+	keys, err := st.List(serve.JournalPrefix)
+	if err != nil {
+		return nil, err
+	}
+	rec.Journaled = len(keys)
+	if rec.Journaled != killJobs {
+		return nil, fmt.Errorf("service: %d of %d jobs journaled at kill time", rec.Journaled, killJobs)
+	}
+
+	// Second life: recover, re-dispatch, run clean over the same store.
+	d2, err := serve.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	recovered, err := d2.Recover(0)
+	if err != nil {
+		return nil, err
+	}
+	rec.Recovered = len(recovered)
+	if rec.Recovered != rec.Journaled {
+		return nil, fmt.Errorf("service: recovered %d of %d journaled jobs", rec.Recovered, rec.Journaled)
+	}
+	clean := &serve.PoolExecutor{Base: st, ChunkBytes: 4096}
+	outputs := make(map[string][][]float32)
+	p := newPhaseRunner(d2, clean)
+	p.pump()
+	for p.events.Len() > 0 {
+		e := heap.Pop(&p.events).(*serviceEvent)
+		p.now = e.at
+		if err := p.d.Complete(e.job, e.res, p.now); err != nil {
+			return nil, err
+		}
+		if e.res.Err != nil {
+			return nil, fmt.Errorf("service: recovered job %s failed: %w", e.job.ID, e.res.Err)
+		}
+		rec.ResumedTiles += e.res.ResumedTiles
+		outputs[e.job.ID] = e.res.Outputs
+		p.pump()
+	}
+	if !d2.Idle() {
+		return nil, fmt.Errorf("service: recovery left work pending")
+	}
+	if len(outputs) != killJobs {
+		return nil, fmt.Errorf("service: recovery completed %d of %d jobs", len(outputs), killJobs)
+	}
+	if rec.ResumedTiles == 0 {
+		return nil, fmt.Errorf("service: recovery recomputed everything — no tiles resumed")
+	}
+
+	// Bit-identity: every recovered job against a clean reference run of
+	// the same spec at the same grant width on pristine storage.
+	for i, j := range recovered {
+		ref := (&serve.PoolExecutor{Base: storage.NewMemStore(), ChunkBytes: 4096}).Run(&serve.Job{
+			ID: j.ID, Tenant: tenants[i], Spec: specs[i],
+		}, 4)
+		if ref.Err != nil {
+			return nil, fmt.Errorf("service: reference run %s: %w", j.ID, ref.Err)
+		}
+		if err := compareOutputs(ref.Outputs, outputs[j.ID]); err != nil {
+			return nil, fmt.Errorf("service: recovered job %s not bit-identical: %w", j.ID, err)
+		}
+	}
+	rec.Identical = true
+	return rec, nil
+}

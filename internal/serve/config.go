@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"ompcloud/internal/config"
+	"ompcloud/internal/simtime"
+)
+
+// The daemon reads its policy from the [service] section of ompcloud.conf,
+// with per-tenant overrides in [tenant "name"] blocks (the device-table
+// idiom applied to the admission layer):
+//
+//	[service]
+//	max-queue   = 64     # admission high watermark (queued jobs)
+//	tenant-rate = 4      # default quota, jobs per virtual second
+//	tenant-burst = 8     # default bucket depth
+//	fair-share  = 4      # concurrent dispatch slots
+//	pool-cores  = 16     # executor pool width with no registered workers
+//	drain-ms    = 5000   # graceful-drain deadline on SIGTERM
+//
+//	[tenant "analytics"]
+//	rate   = 16
+//	burst  = 32
+//	weight = 2
+
+const tenantSectionPrefix = "tenant "
+
+// ServiceSettings is the parsed [service] policy plus the drain deadline
+// the daemon binary applies on SIGTERM.
+type ServiceSettings struct {
+	Config Config
+	Drain  simtime.Duration
+}
+
+// DefaultDrain is the graceful-drain deadline when drain-ms is unset.
+const DefaultDrain = 5 * simtime.Second
+
+// parseTenantName extracts the name of a [tenant "..."] header, or ""
+// for sections that are not tenant blocks.
+func parseTenantName(section string) (string, error) {
+	if !strings.HasPrefix(section, tenantSectionPrefix) {
+		return "", nil
+	}
+	name := strings.TrimSpace(strings.TrimPrefix(section, tenantSectionPrefix))
+	if len(name) >= 2 && name[0] == '"' && name[len(name)-1] == '"' {
+		name = name[1 : len(name)-1]
+	}
+	if !ValidTenant(name) {
+		return "", fmt.Errorf("serve: tenant section %q: bad name", "["+section+"]")
+	}
+	return name, nil
+}
+
+// ParseSettings reads the [service] section and every [tenant "..."]
+// block. A file with no [service] section yields the daemon defaults.
+func ParseSettings(f *config.File) (ServiceSettings, error) {
+	var s ServiceSettings
+	maxQueue, err := f.Int("service", "max-queue", 0)
+	if err != nil {
+		return s, err
+	}
+	rate, err := f.Float("service", "tenant-rate", 0)
+	if err != nil {
+		return s, err
+	}
+	burst, err := f.Float("service", "tenant-burst", 0)
+	if err != nil {
+		return s, err
+	}
+	fairShare, err := f.Int("service", "fair-share", 0)
+	if err != nil {
+		return s, err
+	}
+	poolCores, err := f.Int("service", "pool-cores", 0)
+	if err != nil {
+		return s, err
+	}
+	drainMS, err := f.Int("service", "drain-ms", 0)
+	if err != nil {
+		return s, err
+	}
+	s.Config = Config{
+		MaxQueue:  maxQueue,
+		Limits:    Limits{Rate: rate, Burst: burst},
+		FairShare: fairShare,
+		PoolCores: poolCores,
+	}
+	s.Drain = DefaultDrain
+	if drainMS > 0 {
+		s.Drain = simtime.Duration(drainMS) * simtime.Millisecond
+	}
+	for _, sec := range f.Sections() {
+		name, err := parseTenantName(sec)
+		if err != nil {
+			return s, err
+		}
+		if name == "" {
+			continue
+		}
+		if f.Duplicated(sec) {
+			return s, fmt.Errorf("serve: duplicate section [%s]", sec)
+		}
+		if s.Config.Overrides == nil {
+			s.Config.Overrides = make(map[string]Limits)
+		}
+		if _, ok := s.Config.Overrides[name]; ok {
+			return s, fmt.Errorf("serve: tenant %q configured twice", name)
+		}
+		var lim Limits
+		if lim.Rate, err = f.Float(sec, "rate", 0); err != nil {
+			return s, err
+		}
+		if lim.Burst, err = f.Float(sec, "burst", 0); err != nil {
+			return s, err
+		}
+		if lim.Weight, err = f.Float(sec, "weight", 0); err != nil {
+			return s, err
+		}
+		if lim.Weight < 0 {
+			return s, fmt.Errorf("serve: tenant %q: negative weight", name)
+		}
+		s.Config.Overrides[name] = lim
+	}
+	return s, nil
+}

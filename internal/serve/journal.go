@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"ompcloud/internal/storage"
+)
+
+// JournalPrefix roots the write-ahead job journal in the daemon's store.
+// It lives outside the tenants/ namespaces on purpose: the journal is
+// daemon state, not tenant data, and per-tenant cleanup must never be able
+// to delete it.
+const JournalPrefix = "serve/journal/"
+
+// journal is the daemon's write-ahead log through the storage layer: an
+// entry is written before a job is enqueued (admission is durable before
+// it is acknowledged) and deleted when the job completes. After a crash,
+// listing the prefix yields exactly the admitted-but-unfinished jobs in
+// admission order — the recovery set.
+type journal struct {
+	store storage.Store
+}
+
+func (w *journal) key(id string) string { return JournalPrefix + id }
+
+// append persists the job's admission record. An append failure fails the
+// admission: a job the daemon could lose on restart is never accepted.
+func (w *journal) append(j *Job) error {
+	b, err := encodeEntry(j)
+	if err != nil {
+		return err
+	}
+	if err := w.store.Put(w.key(j.ID), b); err != nil {
+		return fmt.Errorf("serve: journal append: %w", err)
+	}
+	return nil
+}
+
+// release removes the job's record after completion.
+func (w *journal) release(id string) error {
+	return w.store.Delete(w.key(id))
+}
+
+// replay lists and decodes every surviving entry, in admission order
+// (List returns keys sorted, and IDs are zero-padded sequence numbers).
+func (w *journal) replay() ([]*journalEntry, error) {
+	keys, err := w.store.List(JournalPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("serve: journal list: %w", err)
+	}
+	entries := make([]*journalEntry, 0, len(keys))
+	for _, k := range keys {
+		b, err := w.store.Get(k)
+		if err != nil {
+			return nil, fmt.Errorf("serve: journal read %s: %w", k, err)
+		}
+		e, err := decodeEntry(b)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %s: %w", k, err)
+		}
+		if got := strings.TrimPrefix(k, JournalPrefix); got != e.ID {
+			return nil, fmt.Errorf("serve: journal key %s holds entry %s", k, e.ID)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}

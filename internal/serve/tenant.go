@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"ompcloud/internal/simtime"
+)
+
+// Limits is one tenant's admission contract: a token-bucket quota on
+// submission rate and a weight for fair-share scheduling.
+type Limits struct {
+	// Rate is the sustained admission quota in jobs per virtual second.
+	// 0 picks the daemon default; negative disables the quota.
+	Rate float64
+	// Burst is the bucket depth — how many jobs may arrive back-to-back
+	// before the rate applies. 0 picks the daemon default.
+	Burst float64
+	// Weight is the tenant's fair-share weight (stride scheduling uses
+	// 1/Weight as the pass increment; the Eq. 3 core partitioner uses it
+	// directly). 0 means 1.
+	Weight float64
+}
+
+func (l Limits) withDefaults(def Limits) Limits {
+	if l.Rate == 0 {
+		l.Rate = def.Rate
+	}
+	if l.Burst == 0 {
+		l.Burst = def.Burst
+	}
+	if l.Weight == 0 {
+		l.Weight = def.Weight
+	}
+	if l.Weight <= 0 {
+		l.Weight = 1
+	}
+	return l
+}
+
+// tenantState is the daemon's per-tenant bookkeeping: the token bucket,
+// the stride-scheduler pass, the FIFO of queued jobs, and counters.
+type tenantState struct {
+	name string
+	lim  Limits
+
+	// Token bucket on the virtual clock.
+	tokens   float64
+	refilled simtime.Duration
+
+	// Stride scheduling: the tenant with the minimum pass among those
+	// with queued work dispatches next; each dispatch advances pass by
+	// 1/Weight, so a weight-2 tenant is picked twice as often as a
+	// weight-1 tenant under contention.
+	pass float64
+
+	queue []*Job
+
+	admitted      int
+	done          int
+	failed        int
+	rejectedQuota int
+	rejectedLoad  int
+}
+
+func newTenantState(name string, lim Limits, now simtime.Duration) *tenantState {
+	t := &tenantState{name: name, lim: lim, refilled: now}
+	t.tokens = lim.Burst // a fresh tenant starts with a full bucket
+	return t
+}
+
+// refill advances the bucket to now.
+func (t *tenantState) refill(now simtime.Duration) {
+	if now <= t.refilled {
+		return
+	}
+	if t.lim.Rate > 0 {
+		t.tokens += (now - t.refilled).Seconds() * t.lim.Rate
+		if t.tokens > t.lim.Burst {
+			t.tokens = t.lim.Burst
+		}
+	}
+	t.refilled = now
+}
+
+// takeToken consumes one admission token; when the bucket is dry it
+// reports false and the virtual delay until the next token accrues.
+func (t *tenantState) takeToken(now simtime.Duration) (bool, simtime.Duration) {
+	if t.lim.Rate < 0 { // quota disabled
+		return true, 0
+	}
+	t.refill(now)
+	if t.tokens >= 1 {
+		t.tokens--
+		return true, 0
+	}
+	if t.lim.Rate == 0 {
+		return false, 0
+	}
+	need := 1 - t.tokens
+	return false, simtime.FromSeconds(need / t.lim.Rate)
+}

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ompcloud/internal/simtime"
+	"ompcloud/internal/storage"
+)
+
+// fakeExec is a deterministic Executor: outputs derive from the spec and
+// grant, latency is a fixed wall delay.
+type fakeExec struct {
+	delay time.Duration
+	runs  atomic.Int64
+}
+
+func (e *fakeExec) Run(job *Job, cores int) Result {
+	e.runs.Add(1)
+	if e.delay > 0 {
+		time.Sleep(e.delay)
+	}
+	return Result{
+		Outputs: [][]float32{{float32(job.Spec.Seed), float32(cores)}},
+		Virtual: simtime.Second,
+	}
+}
+
+func startFront(t *testing.T, exec Executor, mutate func(*Config)) (*Front, *storage.MemStore) {
+	t.Helper()
+	d, st := newTestDaemon(t, mutate)
+	f, err := ListenAndServe("127.0.0.1:0", d, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f, st
+}
+
+func TestFrontSubmitEndToEnd(t *testing.T) {
+	exec := &fakeExec{}
+	f, _ := startFront(t, exec, func(c *Config) {
+		c.Limits = Limits{Rate: -1}
+	})
+	c, err := DialFront(f.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Submit("alice", "cli-1", JobSpec{Bench: "gemm", N: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Status != "done" {
+		t.Fatalf("submit: %+v", resp)
+	}
+	if len(resp.Outputs) != 1 || resp.Outputs[0][0] != 42 {
+		t.Fatalf("outputs %v", resp.Outputs)
+	}
+	if resp.VirtualMS != 1000 {
+		t.Fatalf("virtual %v ms", resp.VirtualMS)
+	}
+	if resp.JobID == "" {
+		t.Fatal("no job id")
+	}
+	// Invalid specs are rejected at the wire, not executed.
+	resp, err = c.Submit("alice", "cli-1", JobSpec{Bench: "", N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Status != "invalid" {
+		t.Fatalf("invalid spec: %+v", resp)
+	}
+	if got := exec.runs.Load(); got != 1 {
+		t.Fatalf("executor ran %d times", got)
+	}
+	stats, err := c.FrontStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Tenants) != 1 || stats.Tenants[0].Done != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestFrontQuotaRejectionOnWire(t *testing.T) {
+	f, _ := startFront(t, &fakeExec{delay: 50 * time.Millisecond}, func(c *Config) {
+		// One-token bucket with a glacial refill: the second submission in
+		// quick succession must bounce with a retry-after hint.
+		c.Limits = Limits{Rate: 0.001, Burst: 1}
+	})
+	c1, err := DialFront(f.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := DialFront(f.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	done := make(chan *Response, 1)
+	go func() {
+		r, _ := c1.Submit("flood", "a", JobSpec{Bench: "gemm", N: 8})
+		done <- r
+	}()
+	time.Sleep(10 * time.Millisecond) // let the first submission take the token
+	r2, err := c2.Submit("flood", "b", JobSpec{Bench: "gemm", N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.OK || r2.Status != "quota" {
+		t.Fatalf("second submit: %+v", r2)
+	}
+	if r2.RetryAfterMS <= 0 {
+		t.Fatal("no retry-after on quota rejection")
+	}
+	if r1 := <-done; r1 == nil || !r1.OK {
+		t.Fatalf("first submit: %+v", r1)
+	}
+}
+
+func TestFrontWorkerRegistry(t *testing.T) {
+	f, _ := startFront(t, &fakeExec{}, func(c *Config) { c.PoolCores = 2 })
+	c, err := DialFront(f.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register("w1:9", 16); err != nil {
+		t.Fatal(err)
+	}
+	if f.d.PoolCores() != 16 {
+		t.Fatalf("pool %d", f.d.PoolCores())
+	}
+	ok, err := c.Heartbeat("w1:9")
+	if err != nil || !ok {
+		t.Fatalf("heartbeat %v %v", ok, err)
+	}
+	ok, err = c.Heartbeat("ghost:1")
+	if err != nil || ok {
+		t.Fatalf("ghost heartbeat %v %v", ok, err)
+	}
+	if err := c.Deregister("w1:9"); err != nil {
+		t.Fatal(err)
+	}
+	if f.d.PoolCores() != 2 {
+		t.Fatalf("pool after deregister %d", f.d.PoolCores())
+	}
+}
+
+// TestDrainZeroLostJobs is the graceful-drain integration test: every
+// admitted job either completes before the deadline or survives in the
+// journal for the next daemon life — none are lost.
+func TestDrainZeroLostJobs(t *testing.T) {
+	exec := &fakeExec{delay: 40 * time.Millisecond}
+	f, st := startFront(t, exec, func(c *Config) {
+		c.Limits = Limits{Rate: -1}
+		c.FairShare = 1
+		c.PoolCores = 1
+	})
+	const jobs = 6
+	var wg sync.WaitGroup
+	statuses := make(chan string, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := DialFront(f.Addr())
+			if err != nil {
+				statuses <- "dial-error"
+				return
+			}
+			defer c.Close()
+			r, err := c.Submit("t", "c", JobSpec{Bench: "gemm", N: 8, Seed: int64(i)})
+			if err != nil {
+				statuses <- "rpc-error"
+				return
+			}
+			statuses <- r.Status
+		}(i)
+	}
+	// Let every submission land, then drain with a deadline that lets only
+	// part of the serial queue (6 jobs x 40ms on one slot) complete.
+	time.Sleep(30 * time.Millisecond)
+	if err := f.Drain(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(statuses)
+	done, journaled := 0, 0
+	for s := range statuses {
+		switch s {
+		case "done":
+			done++
+		case "journaled":
+			journaled++
+		default:
+			t.Fatalf("client saw %q", s)
+		}
+	}
+	if done+journaled != jobs {
+		t.Fatalf("done %d + journaled %d != %d admitted", done, journaled, jobs)
+	}
+	if done == 0 || journaled == 0 {
+		t.Fatalf("drain phase boundary missed both ways: done=%d journaled=%d", done, journaled)
+	}
+	// The journal holds exactly the unfinished jobs; a new daemon recovers
+	// every one of them.
+	keys, err := st.List(JournalPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != journaled {
+		t.Fatalf("journal holds %d entries, %d clients saw journaled", len(keys), journaled)
+	}
+	d2, err := New(Config{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := d2.Recover(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != journaled {
+		t.Fatalf("recovered %d of %d journaled jobs", len(recovered), journaled)
+	}
+}
+
+func TestFrontDrainingRejectsNewSubmissions(t *testing.T) {
+	f, _ := startFront(t, &fakeExec{}, nil)
+	c, err := DialFront(f.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f.d.BeginDrain()
+	r, err := c.Submit("t", "c", JobSpec{Bench: "gemm", N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK || r.Status != "draining" {
+		t.Fatalf("draining submit: %+v", r)
+	}
+}

@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestPrefixStoreIsolation(t *testing.T) {
+	base := NewMemStore()
+	a, err := NewPrefix(base, "tenants/alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPrefix(base, "tenants/bob/")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.Put("jobs/1", []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("jobs/1", []byte("B")); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := a.Get("jobs/1")
+	if err != nil || string(got) != "A" {
+		t.Fatalf("alice read %q, %v", got, err)
+	}
+	got, err = b.Get("jobs/1")
+	if err != nil || string(got) != "B" {
+		t.Fatalf("bob read %q, %v", got, err)
+	}
+
+	// List strips the namespace root; neither tenant sees the other.
+	keys, err := a.List("")
+	if err != nil || !reflect.DeepEqual(keys, []string{"jobs/1"}) {
+		t.Fatalf("alice list = %v, %v", keys, err)
+	}
+	if n, err := a.Stat("jobs/1"); err != nil || n != 1 {
+		t.Fatalf("alice stat = %d, %v", n, err)
+	}
+
+	// The physical keys live under the expected roots.
+	all, _ := base.List("tenants/")
+	if len(all) != 2 || all[0] != "tenants/alice/jobs/1" || all[1] != "tenants/bob/jobs/1" {
+		t.Fatalf("physical keys = %v", all)
+	}
+
+	// Delete stays scoped.
+	if err := a.Delete("jobs/1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Get("jobs/1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("alice get after delete: %v", err)
+	}
+	if _, err := b.Get("jobs/1"); err != nil {
+		t.Fatalf("bob's object vanished: %v", err)
+	}
+}
+
+func TestPrefixStoreGetAppend(t *testing.T) {
+	base := NewMemStore()
+	p, err := NewPrefix(base, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put("k", []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	dst := append(make([]byte, 0, 16), "ab"...)
+	out, err := p.GetAppend("k", dst)
+	if err != nil || string(out) != "abxyz" {
+		t.Fatalf("GetAppend = %q, %v", out, err)
+	}
+}
+
+func TestPrefixStoreRejectsBadPrefix(t *testing.T) {
+	for _, bad := range []string{"/abs", "a/../b", "nul\x00"} {
+		if _, err := NewPrefix(NewMemStore(), bad); err == nil {
+			t.Errorf("prefix %q accepted", bad)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // The remote store speaks a minimal S3-flavoured binary protocol over TCP.
@@ -85,9 +86,16 @@ type Server struct {
 	ln    net.Listener
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*connState
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// connState tracks whether a connection is mid-request. Graceful drain
+// closes idle connections immediately but lets a busy one finish writing
+// its current response before tearing it down.
+type connState struct {
+	busy bool
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") backed by store. It
@@ -98,7 +106,7 @@ func Serve(addr string, store Store) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
-	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]*connState)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -107,7 +115,8 @@ func Serve(addr string, store Store) (*Server, error) {
 // Addr reports the listener address, usable by clients.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and tears down open connections.
+// Close stops the listener and tears down open connections immediately,
+// mid-request included. Prefer Drain for a graceful shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -116,6 +125,49 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Drain shuts the server down gracefully: the listener closes first (no new
+// connections), idle connections are torn down immediately, and connections
+// mid-request get until the deadline to finish their current operation and
+// receive their response. Connections still busy past the deadline are
+// force-closed and their handlers abandoned — a request stuck inside the
+// backing store cannot be interrupted, and shutdown must not hang on it.
+// After a fully graceful drain every handler goroutine has exited.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		busy := 0
+		for c, st := range s.conns {
+			if st.busy {
+				busy++
+			} else {
+				c.Close()
+			}
+		}
+		s.mu.Unlock()
+		if busy == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			s.mu.Lock()
+			for c := range s.conns {
+				c.Close()
+			}
+			s.mu.Unlock()
+			// The sockets are gone; handlers blocked in a store call will
+			// notice on their next write. Don't wait for them.
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
 	s.wg.Wait()
 	return err
 }
@@ -133,14 +185,15 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		st := &connState{}
+		s.conns[conn] = st
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.handle(conn)
+		go s.handle(conn, st)
 	}
 }
 
-func (s *Server) handle(conn net.Conn) {
+func (s *Server) handle(conn net.Conn, st *connState) {
 	defer s.wg.Done()
 	defer func() {
 		conn.Close()
@@ -151,17 +204,27 @@ func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 1<<16)
 	w := bufio.NewWriterSize(conn, 1<<16)
 	for {
-		if err := s.serveOne(r, w); err != nil {
+		// The blocking wait for the next op byte happens with busy unset, so
+		// a drain can close an idle connection without cutting a request off.
+		op, err := r.ReadByte()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		st.busy = true
+		s.mu.Unlock()
+		err = s.serveOne(op, r, w)
+		s.mu.Lock()
+		st.busy = false
+		closed := s.closed
+		s.mu.Unlock()
+		if err != nil || closed {
 			return
 		}
 	}
 }
 
-func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
-	op, err := r.ReadByte()
-	if err != nil {
-		return err
-	}
+func (s *Server) serveOne(op byte, r *bufio.Reader, w *bufio.Writer) error {
 	var keyLen [4]byte
 	if _, err := io.ReadFull(r, keyLen[:]); err != nil {
 		return err

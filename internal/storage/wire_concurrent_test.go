@@ -1,0 +1,231 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestServeConcurrentClients hammers one server with many goroutine clients
+// doing PUT/GET/Stat/List/Delete at once (run under -race in CI). Every
+// client works its own key range, so all results are exactly checkable.
+func TestServeConcurrentClients(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients = 8
+	const opsPer = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rs, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer rs.Close()
+			for i := 0; i < opsPer; i++ {
+				key := fmt.Sprintf("t/%d/%d", c, i)
+				body := []byte(fmt.Sprintf("payload-%d-%d", c, i))
+				if err := rs.Put(key, body); err != nil {
+					errs <- fmt.Errorf("put %s: %w", key, err)
+					return
+				}
+				got, err := rs.Get(key)
+				if err != nil || string(got) != string(body) {
+					errs <- fmt.Errorf("get %s: %v (got %q)", key, err, got)
+					return
+				}
+				if n, err := rs.Stat(key); err != nil || n != int64(len(body)) {
+					errs <- fmt.Errorf("stat %s: %v (n=%d)", key, err, n)
+					return
+				}
+				if i%8 == 7 {
+					if err := rs.Delete(key); err != nil {
+						errs <- fmt.Errorf("delete %s: %w", key, err)
+						return
+					}
+					if _, err := rs.Get(key); !errors.Is(err, ErrNotFound) {
+						errs <- fmt.Errorf("get after delete %s: %v", key, err)
+						return
+					}
+				}
+			}
+			keys, err := rs.List(fmt.Sprintf("t/%d/", c))
+			if err != nil {
+				errs <- fmt.Errorf("list: %w", err)
+				return
+			}
+			want := opsPer - opsPer/8
+			if len(keys) != want {
+				errs <- fmt.Errorf("client %d listed %d keys, want %d", c, len(keys), want)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestServeMidOpDisconnect opens raw connections that die mid-request — a
+// partial header, a partial key, a PUT whose body never arrives — while
+// healthy clients keep working. The server must survive all of it.
+func TestServeMidOpDisconnect(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	partials := [][]byte{
+		{},           // connect and vanish
+		{2},          // op byte only (GET)
+		{2, 0, 0},    // half a key length
+		{1, 0, 0, 0}, // PUT with truncated key length
+		append([]byte{1, 0, 0, 0, 3}, []byte("abc")...), // PUT, key but no body header
+	}
+	var wg sync.WaitGroup
+	for round := 0; round < 4; round++ {
+		for _, p := range partials {
+			wg.Add(1)
+			go func(p []byte) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", srv.Addr())
+				if err != nil {
+					return
+				}
+				conn.Write(p)
+				conn.Close()
+			}(p)
+		}
+		wg.Add(1)
+		go func(round int) {
+			defer wg.Done()
+			rs, err := Dial(srv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer rs.Close()
+			key := fmt.Sprintf("healthy/%d", round)
+			if err := rs.Put(key, []byte("ok")); err != nil {
+				t.Errorf("healthy put: %v", err)
+				return
+			}
+			if b, err := rs.Get(key); err != nil || string(b) != "ok" {
+				t.Errorf("healthy get: %v (%q)", err, b)
+			}
+		}(round)
+	}
+	wg.Wait()
+}
+
+// TestServerDrain proves the graceful-shutdown contract: a request in
+// flight when Drain begins still receives its response, idle connections
+// close, and no new connections are accepted.
+func TestServerDrain(t *testing.T) {
+	slow := newSlowStore(50 * time.Millisecond)
+	srv, err := Serve("127.0.0.1:0", slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An idle connection: drain should close it without a response.
+	idle, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+
+	// A busy connection: its PUT is inside the store when drain starts.
+	busy, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer busy.Close()
+	putDone := make(chan error, 1)
+	go func() { putDone <- busy.Put("slow/key", []byte("v")) }()
+	<-slow.entered // the PUT is now mid-operation server-side
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(2 * time.Second) }()
+
+	if err := <-putDone; err != nil {
+		t.Fatalf("in-flight PUT lost during drain: %v", err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Dial can succeed against a closing socket on some platforms; a round
+	// trip must fail either way.
+	if rs, err := Dial(srv.Addr()); err == nil {
+		if putErr := rs.Put("x", []byte("y")); putErr == nil {
+			t.Fatal("server accepted work after drain")
+		}
+		rs.Close()
+	}
+}
+
+// TestServerDrainDeadline proves a request stuck past the deadline is
+// force-closed rather than holding shutdown forever.
+func TestServerDrainDeadline(t *testing.T) {
+	stuck := newSlowStore(5 * time.Second)
+	srv, err := Serve("127.0.0.1:0", stuck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	go rs.Put("stuck/key", []byte("v"))
+	<-stuck.entered
+
+	start := time.Now()
+	done := make(chan struct{})
+	go func() { srv.Drain(50 * time.Millisecond); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("drain did not force-close a stuck connection")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("drain took %v, deadline was 50ms", elapsed)
+	}
+}
+
+// slowStore delays every Put and signals entry, so tests can interleave a
+// drain with an in-flight request deterministically.
+type slowStore struct {
+	Store
+	delay   time.Duration
+	entered chan struct{}
+	n       atomic.Int64
+}
+
+func newSlowStore(delay time.Duration) *slowStore {
+	return &slowStore{Store: NewMemStore(), delay: delay, entered: make(chan struct{}, 16)}
+}
+
+func (s *slowStore) Put(key string, data []byte) error {
+	select {
+	case s.entered <- struct{}{}:
+	default:
+	}
+	time.Sleep(s.delay)
+	s.n.Add(1)
+	return s.Store.Put(key, data)
+}

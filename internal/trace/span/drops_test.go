@@ -1,0 +1,45 @@
+package span
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRecorderDropGauge forces collector overflow and checks the drops are
+// counted exactly and mirrored into the trace.spans.dropped gauge.
+func TestRecorderDropGauge(t *testing.T) {
+	reg := ResetMetrics()
+	r := New(Options{Capacity: 8, Shards: 1})
+
+	const emits = 50
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < emits/5; j++ {
+				r.Emit(Span{Name: "x", Cat: "test", Start: 0, End: 1})
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := r.Len() + int(r.Dropped()); got != emits {
+		t.Fatalf("len+dropped = %d, want %d", got, emits)
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("no spans dropped despite overflow")
+	}
+	if g := reg.Gauge(DroppedSpansMetric).Value(); g != int64(r.Dropped()) {
+		t.Fatalf("gauge %s = %d, recorder dropped %d", DroppedSpansMetric, g, r.Dropped())
+	}
+}
+
+func TestTenantKey(t *testing.T) {
+	if got := TenantKey("serve.jobs.admitted", "acme"); got != "serve.jobs.admitted{tenant=acme}" {
+		t.Fatalf("TenantKey = %q", got)
+	}
+	if got := TenantKey("serve.jobs.admitted", ""); got != "serve.jobs.admitted" {
+		t.Fatalf("TenantKey empty = %q", got)
+	}
+}

@@ -175,6 +175,19 @@ func DevKey(base, dev string) string {
 	return base + "{dev=" + dev + "}"
 }
 
+// TenantKey returns the per-tenant variant of a metric name, the service
+// plane's analog of DevKey: admission counters and job-latency histograms
+// are labelled with the submitting tenant ("serve.job.latency.seconds
+// {tenant=acme}") so one tenant's traffic is separable from another's —
+// the observability half of multi-tenant isolation. An empty tenant keeps
+// the base name.
+func TenantKey(base, tenant string) string {
+	if tenant == "" {
+		return base
+	}
+	return base + "{tenant=" + tenant + "}"
+}
+
 // Summary is a histogram snapshot for JSON artifacts.
 type Summary struct {
 	Count uint64  `json:"count"`

@@ -80,6 +80,11 @@ func (s Span) Attr(key string) string {
 	return ""
 }
 
+// DroppedSpansMetric is the registry gauge mirroring a recorder's drop
+// count: the number of spans the capacity bound rejected. Non-zero means
+// the trace is incomplete — the collector is overloaded.
+const DroppedSpansMetric = "trace.spans.dropped"
+
 // DefaultCapacity bounds the default collector: enough for a multi-region
 // chaos run with per-chunk spans (a 256 MiB transfer is ~256 chunk spans per
 // leg), small enough that a runaway emitter cannot eat the heap. Overflow
@@ -172,7 +177,11 @@ func (r *Recorder) Emit(sp Span) ID {
 	s.mu.Lock()
 	if len(s.spans) >= s.cap {
 		s.mu.Unlock()
-		r.drops.Add(1)
+		// Overflow is the recorder's overload signal; mirroring the drop
+		// count into the always-on metrics registry makes it observable
+		// without a recorder snapshot (DESIGN.md §15: overload must be
+		// visible while it is happening, not after).
+		Metrics().Gauge(DroppedSpansMetric).Set(int64(r.drops.Add(1)))
 		return ID(seq)
 	}
 	s.spans = append(s.spans, sp)
