@@ -71,6 +71,11 @@ func main() {
 		mdevMiB  = flag.Int("multidev-mib", 256, "dense input size for -multidev, in MiB")
 		mdevSer  = flag.Float64("multidev-serial-s", 0, "calibrated serial seconds for the -multidev kernel (0: default 10)")
 		mdevOut  = flag.String("multidev-out", "BENCH_multidev.json", "output path for the -multidev results")
+		elastic  = flag.Bool("elastic", false, "run the elastic autoscaling soak (fixed vs reactive vs cost-capped fleets under a traffic spike)")
+		elN      = flag.Int("elastic-n", 16, "matrix dimension for -elastic")
+		elJobs   = flag.Int("elastic-jobs", 48, "jobs per kernel for -elastic")
+		elKern   = flag.String("elastic-kernels", "gemm,syrk", "comma-separated kernel set for -elastic")
+		elOut    = flag.String("elastic-out", "BENCH_elastic.json", "output path for the -elastic results")
 	)
 	flag.Parse()
 	if *transfer {
@@ -99,6 +104,10 @@ func main() {
 	}
 	if *service {
 		runService(*svcN, *svcTen, *svcCli, *seed, *svcOut)
+		return
+	}
+	if *elastic {
+		runElastic(*elN, *elJobs, *elKern, *seed, *elOut)
 		return
 	}
 	if *fig == 0 && !*stats && !*ablation {
@@ -501,6 +510,52 @@ func runService(n, tenants, clients int, seed int64, outPath string) {
 	fmt.Printf("\nrecovery: %d admitted, %d journaled, %d recovered, %d tiles resumed, identical=%v\n",
 		res.Recovery.Admitted, res.Recovery.Journaled, res.Recovery.Recovered,
 		res.Recovery.ResumedTiles, res.Recovery.Identical)
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+}
+
+// runElastic executes the elastic autoscaling soak — the same seeded
+// traffic spike under fixed-small, fixed-large, reactive and cost-capped
+// fleets — prints each kernel's cost–makespan plane, and writes the
+// Pareto frontier set to outPath. RunElasticBench errors unless
+// elasticity engaged and paid off (reactive beat fixed-small, costcap
+// undercut fixed-large, both scale directions fired, zero stranded jobs,
+// bit-identical outputs), so a clean exit IS the assertion.
+func runElastic(n, jobs int, kernelCSV string, seed int64, outPath string) {
+	var kernelSet []string
+	for _, k := range strings.Split(kernelCSV, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			kernelSet = append(kernelSet, k)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "elastic soak: %d jobs x %v at n=%d, seed %d ...\n",
+		jobs, kernelSet, n, seed)
+	res, err := bench.RunElasticBench(bench.ElasticOptions{
+		N: n, Seed: seed, Jobs: jobs, Kernels: kernelSet,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, kr := range res.Kernels {
+		fmt.Printf("%s (mean job %.1fs, %d spike jobs)\n", kr.Kernel, kr.MeanJobS, kr.SpikeJobs)
+		fmt.Printf("  %-12s %10s %10s %5s %5s %4s %7s %8s\n",
+			"policy", "makespan", "cost", "peak", "outs", "ins", "denied", "frontier")
+		for _, p := range kr.Policies {
+			mark := ""
+			if p.OnFrontier {
+				mark = "*"
+			}
+			fmt.Printf("  %-12s %9.1fs %9.4f$ %5d %5d %4d %7d %8s\n",
+				p.Policy, p.MakespanS, p.CostUSD, p.PeakWorkers,
+				p.ScaleOuts, p.ScaleIns, p.DeniedOuts, mark)
+		}
+	}
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		fatal(err)

@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"ompcloud/internal/autoscale"
 	"ompcloud/internal/config"
 	_ "ompcloud/internal/kernels" // link the benchmark kernels
 	"ompcloud/internal/serve"
@@ -41,7 +42,7 @@ func main() {
 	)
 	flag.Parse()
 
-	settings, err := loadSettings(*confPath)
+	settings, conf, err := loadSettings(*confPath)
 	if err != nil {
 		fatal(err)
 	}
@@ -95,9 +96,53 @@ func main() {
 	}
 	front.Pump() // start executing recovered jobs
 
+	// Advisory autoscaling: with an [autoscale] section, a policy engine
+	// watches the daemon's queue and running gauges and prints scale
+	// recommendations. Workers are external processes, so the daemon cannot
+	// launch them itself; an operator (or a supervisor wrapping
+	// ompcloud-worker) is the actuator, and the engine's warm-up/cost model
+	// keeps its advice honest about boot latency and spend.
+	stopAdvisor := make(chan struct{})
+	if autoscale.Enabled(conf) {
+		asCfg, err := autoscale.ParseSettings(conf)
+		if err != nil {
+			fatal(err)
+		}
+		eng, err := autoscale.New(asCfg)
+		if err != nil {
+			fatal(err)
+		}
+		eng.Bootstrap(front.Now())
+		fmt.Printf("ompcloud-offloadd: autoscale advisor on (policy %s, %d-%d workers)\n",
+			asCfg.Policy, asCfg.MinWorkers, asCfg.MaxWorkers)
+		go func() {
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopAdvisor:
+					return
+				case <-tick.C:
+					now := front.Now()
+					eng.Ready(now)
+					d := eng.Tick(now)
+					switch {
+					case d.Delta > 0:
+						fmt.Printf("ompcloud-offloadd: autoscale advises +%d worker(s) (target %d, %s): start ompcloud-worker -register %s\n",
+							d.Delta, d.Target, d.Reason, *addr)
+					case d.Delta < 0:
+						fmt.Printf("ompcloud-offloadd: autoscale advises %d worker(s) (target %d, %s): stop idle ompcloud-worker processes\n",
+							d.Delta, d.Target, d.Reason)
+					}
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	close(stopAdvisor)
 	deadline := settings.Drain.Real()
 	fmt.Printf("ompcloud-offloadd: draining (deadline %v)\n", deadline)
 	if err := front.Drain(deadline); err != nil {
@@ -113,7 +158,7 @@ func main() {
 		s.Queued+s.Running)
 }
 
-func loadSettings(path string) (serve.ServiceSettings, error) {
+func loadSettings(path string) (serve.ServiceSettings, *config.File, error) {
 	var f *config.File
 	var err error
 	if path != "" {
@@ -122,12 +167,13 @@ func loadSettings(path string) (serve.ServiceSettings, error) {
 		f, err = config.LoadDefault()
 	}
 	if err != nil {
-		return serve.ServiceSettings{}, err
+		return serve.ServiceSettings{}, nil, err
 	}
 	if f == nil {
 		f = config.New()
 	}
-	return serve.ParseSettings(f)
+	s, err := serve.ParseSettings(f)
+	return s, f, err
 }
 
 func fatal(err error) {

@@ -1,0 +1,369 @@
+// Package autoscale is the elastic control loop over the virtual clock: a
+// policy engine that watches the live metrics registry — service queue
+// depth, jobs in flight, per-device observed throughput — and decides when
+// a cloud device should grow or shrink. It owns WHEN and HOW MANY; the
+// actuators own the mechanics (offload.CloudPlugin.ScaleWorkers resizes
+// the simulated Spark cluster, serve.Daemon's worker leases grow and
+// retire the service pool). Every scale-out charges the instance warm-up
+// latency on the virtual clock — capacity decided at t serves at
+// t+WarmUp, but bills from t, exactly the asymmetry that makes reactive
+// scaling a trade and not a free lunch. The engine also meters modelled
+// spend ($/core-hour on live capacity plus $/GiB on egress it is told
+// about), which the cost-capped policy holds under a budget.
+package autoscale
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ompcloud/internal/simtime"
+	"ompcloud/internal/trace/span"
+)
+
+// Policy selects the scaling strategy.
+type Policy string
+
+const (
+	// PolicyFixed never scales: the fleet stays at MinWorkers. The
+	// baseline both elastic policies are judged against.
+	PolicyFixed Policy = "fixed"
+	// PolicyReactive scales out when queue pressure crosses
+	// ScaleOutDepth per live worker and back in after ScaleInIdle of
+	// quiet, bounded by [MinWorkers, MaxWorkers].
+	PolicyReactive Policy = "reactive"
+	// PolicyCostCap is reactive with a spend ceiling: a scale-out that
+	// would push projected spend past BudgetUSD is denied.
+	PolicyCostCap Policy = "costcap"
+)
+
+// ParsePolicy maps a config string to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch p := Policy(strings.ToLower(strings.TrimSpace(s))); p {
+	case PolicyFixed, PolicyReactive, PolicyCostCap:
+		return p, nil
+	default:
+		return "", fmt.Errorf("autoscale: unknown policy %q (want fixed|reactive|costcap)", s)
+	}
+}
+
+// Config parameterizes the engine. The zero value is not usable; apply
+// withDefaults via New.
+type Config struct {
+	Policy Policy
+
+	// MinWorkers/MaxWorkers bound the fleet. Fixed policies pin at Min.
+	MinWorkers int
+	MaxWorkers int
+	// WorkerCores is each worker's core count, the unit the cost meter
+	// bills and the capacity the actuator adds per worker.
+	WorkerCores int
+	// Step is how many workers one scale event adds or removes.
+	Step int
+
+	// ScaleOutDepth is the queue-pressure trigger: scale out when
+	// depth > ScaleOutDepth × live workers.
+	ScaleOutDepth int
+	// ScaleInIdle is how long the service must stay quiet (empty queue,
+	// nothing running) before a scale-in.
+	ScaleInIdle simtime.Duration
+	// WarmUp is the instance boot latency: a worker decided at t is
+	// ready at t+WarmUp and billed from t.
+	WarmUp simtime.Duration
+	// CoolDown is the minimum gap between scale events, preventing
+	// thrash on a bursty queue.
+	CoolDown simtime.Duration
+
+	// CoreHourUSD/EgressGiBUSD price the fleet for the spend meter.
+	CoreHourUSD  float64
+	EgressGiBUSD float64
+	// BudgetUSD is the costcap policy's spend ceiling (0 = no cap, which
+	// makes costcap behave exactly like reactive).
+	BudgetUSD float64
+}
+
+// Defaults (CoolDown deliberately exceeds WarmUp so one decision's
+// capacity is live before the next is made).
+const (
+	DefaultMinWorkers    = 1
+	DefaultMaxWorkers    = 8
+	DefaultWorkerCores   = 4
+	DefaultStep          = 1
+	DefaultScaleOutDepth = 2
+)
+
+var (
+	DefaultScaleInIdle = 30 * simtime.Second
+	DefaultWarmUp      = 45 * simtime.Second
+	DefaultCoolDown    = simtime.Minute
+)
+
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = PolicyReactive
+	}
+	if c.MinWorkers <= 0 {
+		c.MinWorkers = DefaultMinWorkers
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = DefaultMaxWorkers
+	}
+	if c.WorkerCores <= 0 {
+		c.WorkerCores = DefaultWorkerCores
+	}
+	if c.Step <= 0 {
+		c.Step = DefaultStep
+	}
+	if c.ScaleOutDepth <= 0 {
+		c.ScaleOutDepth = DefaultScaleOutDepth
+	}
+	if c.ScaleInIdle <= 0 {
+		c.ScaleInIdle = DefaultScaleInIdle
+	}
+	// WarmUp: 0 = unset (default boot latency); negative = explicitly
+	// pre-warmed capacity (no boot charge).
+	if c.WarmUp == 0 {
+		c.WarmUp = DefaultWarmUp
+	} else if c.WarmUp < 0 {
+		c.WarmUp = 0
+	}
+	if c.CoolDown <= 0 {
+		c.CoolDown = DefaultCoolDown
+	}
+	return c
+}
+
+// Validate rejects configurations whose bounds cannot hold.
+func (c Config) Validate() error {
+	if c.MaxWorkers < c.MinWorkers {
+		return fmt.Errorf("autoscale: max-workers %d below min-workers %d", c.MaxWorkers, c.MinWorkers)
+	}
+	if c.BudgetUSD < 0 {
+		return fmt.Errorf("autoscale: budget-usd must be >= 0, got %v", c.BudgetUSD)
+	}
+	return nil
+}
+
+// Decision is one Tick's verdict. Delta is workers to add (positive) or
+// drain (negative); 0 means hold. Target is the fleet size the engine is
+// steering toward (launched + live), and Reason says why — it lands in
+// the scale-event log and the bench output.
+type Decision struct {
+	Delta  int
+	Target int
+	Reason string
+}
+
+// ScaleEvent is one entry of the engine's audit log.
+type ScaleEvent struct {
+	At     simtime.Duration `json:"at"`
+	Delta  int              `json:"delta"`
+	Target int              `json:"target"`
+	Reason string           `json:"reason"`
+}
+
+// launch is capacity bought but not yet serving.
+type launch struct {
+	ready simtime.Duration // now + WarmUp at decision time
+	n     int
+}
+
+// Engine runs one device's scaling loop. Not safe for concurrent use: the
+// bench and the daemon drive it from the single virtual-clock goroutine.
+type Engine struct {
+	cfg Config
+	reg *span.Registry
+
+	live    int // workers serving now
+	pending []launch
+	billed  simtime.Duration // Σ worker-duration billed so far (core-time/cores)
+	lastAt  simtime.Duration // last spend-meter checkpoint
+	lastOut simtime.Duration // last scale-out decision
+	lastIn  simtime.Duration // last scale-in decision
+	busyAt  simtime.Duration // last instant the service was non-idle
+
+	spentCoreUSD   float64
+	spentEgressUSD float64
+	events         []ScaleEvent
+	denied         int // scale-outs refused by the budget
+}
+
+// New builds an engine over the process metrics registry.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, reg: span.Metrics()}, nil
+}
+
+// Config reports the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Bootstrap charges the initial fleet at time now: MinWorkers live
+// immediately (the deployment existed before the experiment window) and
+// billed from now.
+func (e *Engine) Bootstrap(now simtime.Duration) int {
+	e.live = e.cfg.MinWorkers
+	e.lastAt = now
+	e.busyAt = now
+	e.lastOut = now - e.cfg.CoolDown // first decision is not cooldown-gated
+	e.lastIn = now - e.cfg.CoolDown
+	return e.live
+}
+
+// Live reports workers serving now (excludes pending warm-ups).
+func (e *Engine) Live() int { return e.live }
+
+// Launched reports the steering target: live plus warming-up capacity.
+func (e *Engine) Launched() int {
+	n := e.live
+	for _, l := range e.pending {
+		n += l.n
+	}
+	return n
+}
+
+// Ready pops workers whose warm-up has elapsed by now, returning how many
+// just became servable. The caller hands them to the actuator
+// (CloudPlugin.ScaleWorkers / daemon worker registration).
+func (e *Engine) Ready(now simtime.Duration) int {
+	e.meter(now)
+	n := 0
+	rest := e.pending[:0]
+	for _, l := range e.pending {
+		if l.ready <= now {
+			n += l.n
+		} else {
+			rest = append(rest, l)
+		}
+	}
+	e.pending = rest
+	e.live += n
+	return n
+}
+
+// NextReady reports when the earliest pending launch becomes servable
+// (0, false with nothing in flight) — the bench schedules a wake-up there.
+func (e *Engine) NextReady() (simtime.Duration, bool) {
+	if len(e.pending) == 0 {
+		return 0, false
+	}
+	min := e.pending[0].ready
+	for _, l := range e.pending[1:] {
+		if l.ready < min {
+			min = l.ready
+		}
+	}
+	return min, true
+}
+
+// meter accrues core-hour spend for [lastAt, now] over the billed fleet:
+// live workers plus pending ones (billed from launch, not from ready).
+func (e *Engine) meter(now simtime.Duration) {
+	if now <= e.lastAt {
+		return
+	}
+	dt := now - e.lastAt
+	e.lastAt = now
+	fleet := e.Launched()
+	if fleet <= 0 {
+		return
+	}
+	e.billed += dt * simtime.Duration(fleet)
+	e.spentCoreUSD += e.cfg.CoreHourUSD * float64(e.cfg.WorkerCores) * float64(fleet) * dt.Seconds() / 3600
+}
+
+// AddEgress folds downloaded bytes into the spend meter; the bench calls
+// it with each completed job's BytesDownloaded.
+func (e *Engine) AddEgress(bytes int64) {
+	if bytes > 0 {
+		e.spentEgressUSD += e.cfg.EgressGiBUSD * float64(bytes) / (1 << 30)
+	}
+}
+
+// SpentUSD reports modelled spend accrued so far (core-hours + egress).
+func (e *Engine) SpentUSD() float64 { return e.spentCoreUSD + e.spentEgressUSD }
+
+// DeniedScaleOuts reports how many scale-outs the budget refused.
+func (e *Engine) DeniedScaleOuts() int { return e.denied }
+
+// Events returns the scale-event audit log in decision order.
+func (e *Engine) Events() []ScaleEvent {
+	out := make([]ScaleEvent, len(e.events))
+	copy(out, e.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Tick runs one decision at virtual time now, reading queue depth and
+// running jobs from the registry. A positive Decision.Delta means the
+// engine has LAUNCHED that many workers — they bill from now and surface
+// through Ready(now+WarmUp); the caller must still retire Delta < 0
+// workers through the actuator (drain, then deregister), which is why
+// scale-in is returned rather than applied.
+func (e *Engine) Tick(now simtime.Duration) Decision {
+	e.meter(now)
+	depth := int(e.reg.Gauge("serve.queue.depth").Value())
+	running := int(e.reg.Gauge("serve.jobs.running").Value())
+	if depth > 0 || running > 0 {
+		e.busyAt = now
+	}
+
+	if e.cfg.Policy == PolicyFixed {
+		return Decision{Target: e.Launched(), Reason: "fixed"}
+	}
+
+	fleet := e.Launched()
+	// Scale out on queue pressure: more than ScaleOutDepth queued jobs
+	// per launched worker means the backlog outruns the fleet even after
+	// the capacity already bought warms up.
+	if depth > e.cfg.ScaleOutDepth*fleet && fleet < e.cfg.MaxWorkers {
+		if now-e.lastOut < e.cfg.CoolDown {
+			return Decision{Target: fleet, Reason: "cooldown"}
+		}
+		n := e.cfg.Step
+		if fleet+n > e.cfg.MaxWorkers {
+			n = e.cfg.MaxWorkers - fleet
+		}
+		if e.cfg.Policy == PolicyCostCap && e.cfg.BudgetUSD > 0 {
+			// Deny the launch if buying n workers for at least the
+			// cooldown window would cross the budget: committed spend
+			// the meter cannot un-accrue.
+			projected := e.SpentUSD() + e.cfg.CoreHourUSD*float64(e.cfg.WorkerCores)*float64(n)*
+				(e.cfg.WarmUp+e.cfg.CoolDown).Seconds()/3600
+			if projected > e.cfg.BudgetUSD {
+				e.denied++
+				return Decision{Target: fleet, Reason: "budget"}
+			}
+		}
+		e.lastOut = now
+		e.pending = append(e.pending, launch{ready: now + e.cfg.WarmUp, n: n})
+		d := Decision{Delta: n, Target: fleet + n,
+			Reason: fmt.Sprintf("depth %d > %d per worker", depth, e.cfg.ScaleOutDepth)}
+		e.events = append(e.events, ScaleEvent{At: now, Delta: n, Target: d.Target, Reason: d.Reason})
+		return d
+	}
+
+	// Scale in after sustained quiet. Pending launches block scale-in:
+	// retiring capacity while other capacity warms up is thrash by
+	// construction.
+	if depth == 0 && running == 0 && len(e.pending) == 0 &&
+		fleet > e.cfg.MinWorkers && now-e.busyAt >= e.cfg.ScaleInIdle {
+		if now-e.lastIn < e.cfg.CoolDown {
+			return Decision{Target: fleet, Reason: "cooldown"}
+		}
+		n := e.cfg.Step
+		if fleet-n < e.cfg.MinWorkers {
+			n = fleet - e.cfg.MinWorkers
+		}
+		e.lastIn = now
+		e.live -= n
+		d := Decision{Delta: -n, Target: fleet - n,
+			Reason: fmt.Sprintf("idle %v", (now - e.busyAt).Real())}
+		e.events = append(e.events, ScaleEvent{At: now, Delta: -n, Target: d.Target, Reason: d.Reason})
+		return d
+	}
+
+	return Decision{Target: fleet, Reason: "hold"}
+}

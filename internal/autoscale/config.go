@@ -1,0 +1,131 @@
+package autoscale
+
+import (
+	"fmt"
+
+	"ompcloud/internal/config"
+	"ompcloud/internal/simtime"
+)
+
+// ParseSettings reads the [autoscale] section of a configuration file:
+//
+//	[autoscale]
+//	policy            = reactive        # fixed | reactive | costcap
+//	min-workers       = 1
+//	max-workers       = 8
+//	worker-cores      = 4
+//	step              = 1               # workers per scale event
+//	scale-out-depth   = 2               # queued jobs per worker that trigger growth
+//	scale-in-idle-ms  = 30000           # quiet time before shrink
+//	warmup-ms         = 45000           # boot latency charged on the virtual clock
+//	cooldown-ms       = 60000           # min gap between scale events
+//	budget-usd        = 0               # costcap ceiling (0 = uncapped)
+//	cost-core-hour    = 0.105           # $/core-hour for the spend meter
+//	cost-gib-egress   = 0.09            # $/GiB egress for the spend meter
+//
+// Every key has the engine's default; enabled is a separate concern (the
+// daemon treats a missing section as autoscaling off). Zero or negative
+// values for knobs whose name promises a positive quantity are rejected
+// rather than silently remapped.
+func ParseSettings(f *config.File) (Config, error) {
+	cfg := Config{}
+	if f == nil {
+		return cfg.withDefaults(), nil
+	}
+	const sec = "autoscale"
+	if p := f.Str(sec, "policy", ""); p != "" {
+		pol, err := ParsePolicy(p)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Policy = pol
+	}
+	intKnob := func(key string, dst *int) error {
+		v, err := f.Int(sec, key, 0)
+		if err != nil {
+			return err
+		}
+		if f.Has(sec, key) && v <= 0 {
+			return fmt.Errorf("autoscale: %s must be positive, got %d", key, v)
+		}
+		*dst = v
+		return nil
+	}
+	for _, k := range []struct {
+		key string
+		dst *int
+	}{
+		{"min-workers", &cfg.MinWorkers},
+		{"max-workers", &cfg.MaxWorkers},
+		{"worker-cores", &cfg.WorkerCores},
+		{"step", &cfg.Step},
+		{"scale-out-depth", &cfg.ScaleOutDepth},
+	} {
+		if err := intKnob(k.key, k.dst); err != nil {
+			return cfg, err
+		}
+	}
+	durKnob := func(key string, dst *simtime.Duration, allowZero bool) error {
+		ms, err := f.Float(sec, key, 0)
+		if err != nil {
+			return err
+		}
+		if f.Has(sec, key) && (ms < 0 || (!allowZero && ms == 0)) {
+			return fmt.Errorf("autoscale: %s must be positive, got %v", key, ms)
+		}
+		*dst = simtime.FromSeconds(ms / 1e3)
+		return nil
+	}
+	if err := durKnob("scale-in-idle-ms", &cfg.ScaleInIdle, false); err != nil {
+		return cfg, err
+	}
+	if err := durKnob("warmup-ms", &cfg.WarmUp, true); err != nil {
+		return cfg, err
+	}
+	if err := durKnob("cooldown-ms", &cfg.CoolDown, false); err != nil {
+		return cfg, err
+	}
+	// warmup-ms = 0 is a legitimate ask (pre-warmed capacity) but the
+	// engine's withDefaults treats 0 as unset for the other durations, so
+	// remember the explicit zero via a sentinel-free path: WarmUp < 0 is
+	// already clamped to 0 by withDefaults.
+	if f.Has(sec, "warmup-ms") && cfg.WarmUp == 0 {
+		cfg.WarmUp = -1 // withDefaults clamps to 0: explicit pre-warmed fleet
+	}
+	budget, err := f.Float(sec, "budget-usd", 0)
+	if err != nil {
+		return cfg, err
+	}
+	if f.Has(sec, "budget-usd") && budget < 0 {
+		return cfg, fmt.Errorf("autoscale: budget-usd must be >= 0, got %v", budget)
+	}
+	cfg.BudgetUSD = budget
+	coreHour, err := f.Float(sec, "cost-core-hour", 0)
+	if err != nil {
+		return cfg, err
+	}
+	if f.Has(sec, "cost-core-hour") && coreHour <= 0 {
+		return cfg, fmt.Errorf("autoscale: cost-core-hour must be positive, got %v", coreHour)
+	}
+	cfg.CoreHourUSD = coreHour
+	egress, err := f.Float(sec, "cost-gib-egress", 0)
+	if err != nil {
+		return cfg, err
+	}
+	if f.Has(sec, "cost-gib-egress") && egress < 0 {
+		return cfg, fmt.Errorf("autoscale: cost-gib-egress must be >= 0, got %v", egress)
+	}
+	cfg.EgressGiBUSD = egress
+
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// Enabled reports whether the file asks for autoscaling at all: an
+// [autoscale] section present turns the daemon's advisory loop on.
+func Enabled(f *config.File) bool {
+	return f != nil && f.HasSection("autoscale")
+}

@@ -1,0 +1,634 @@
+package bench
+
+// The elastic soak: the same seeded traffic spike driven through the
+// offload daemon four times, once per scaling policy, on the virtual
+// clock. The daemon runs in workers-only mode (no static pool); the
+// autoscale engine watches the live queue/running gauges and its scale
+// decisions register and retire lease workers — the service-plane
+// actuator of PR 9. Capacity bought at t serves at t+WarmUp but bills
+// from t, so every policy's cost and makespan land on a comparable
+// $/seconds plane:
+//
+//	fixed-small — MinWorkers forever: cheapest fleet, worst spike makespan.
+//	fixed-large — MaxWorkers forever: best makespan money can buy.
+//	reactive    — scale out on queue pressure, in after sustained idle.
+//	costcap     — reactive under a budget (a fraction of fixed-large's
+//	              measured spend): scale-outs that would cross it are denied.
+//
+// RunElasticBench errors unless elasticity actually engaged and paid off:
+// reactive must beat fixed-small's makespan, costcap must undercut
+// fixed-large's spend while holding its budget's deny log, the reactive
+// policies must both scale out AND scale back in, no admitted job may be
+// lost to a scale event (zero stranded work), and every policy's outputs
+// must be bit-identical per job — elasticity must never change results.
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"ompcloud/internal/autoscale"
+	"ompcloud/internal/serve"
+	"ompcloud/internal/simtime"
+	"ompcloud/internal/storage"
+	"ompcloud/internal/trace/span"
+)
+
+// ElasticOptions sizes the soak. The zero value is the full-scale run; CI
+// passes a reduced job count and kernel set.
+type ElasticOptions struct {
+	N       int      // kernel dimension
+	Seed    int64    // input + schedule seed
+	Jobs    int      // jobs per kernel (25% pre, 50% spike, 25% tail)
+	Kernels []string // kernels to sweep (each gets its own frontier)
+
+	MinWorkers  int
+	MaxWorkers  int
+	WorkerCores int
+
+	// BudgetFrac sets costcap's ceiling as a fraction of fixed-large's
+	// measured spend on the same schedule.
+	BudgetFrac float64
+	// CoreHourUSD / EgressGiBUSD price the fleet.
+	CoreHourUSD  float64
+	EgressGiBUSD float64
+}
+
+func (o ElasticOptions) withDefaults() ElasticOptions {
+	if o.N <= 0 {
+		o.N = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = 48
+	}
+	if len(o.Kernels) == 0 {
+		o.Kernels = []string{"gemm", "syrk"}
+	}
+	if o.MinWorkers <= 0 {
+		o.MinWorkers = 1
+	}
+	if o.MaxWorkers <= 0 {
+		o.MaxWorkers = 8
+	}
+	// Single-core workers: fleet throughput is then concurrency-bound and
+	// scales exactly with the worker count, which keeps the soak meaningful
+	// at CI-sized kernels where per-core speedup saturates.
+	if o.WorkerCores <= 0 {
+		o.WorkerCores = 1
+	}
+	// Low enough that the cap bites mid-ramp (scale-outs cluster early in
+	// the spike, when little spend has accrued, so only a small budget
+	// denies any of them), high enough that the schedule still clears.
+	if o.BudgetFrac <= 0 {
+		o.BudgetFrac = 0.15
+	}
+	if o.CoreHourUSD <= 0 {
+		o.CoreHourUSD = 0.105
+	}
+	if o.EgressGiBUSD < 0 {
+		o.EgressGiBUSD = 0
+	} else if o.EgressGiBUSD == 0 {
+		o.EgressGiBUSD = 0.09
+	}
+	return o
+}
+
+// ElasticPolicyResult is one policy's run over one kernel's schedule.
+type ElasticPolicyResult struct {
+	Policy      string                 `json:"policy"`
+	MakespanS   float64                `json:"makespan_s"`
+	CostUSD     float64                `json:"cost_usd"`
+	Done        int                    `json:"done"`
+	PeakWorkers int                    `json:"peak_workers"`
+	ScaleOuts   int                    `json:"scale_outs"`
+	ScaleIns    int                    `json:"scale_ins"`
+	DeniedOuts  int                    `json:"denied_scale_outs,omitempty"`
+	BudgetUSD   float64                `json:"budget_usd,omitempty"`
+	OnFrontier  bool                   `json:"on_frontier"`
+	Events      []autoscale.ScaleEvent `json:"events,omitempty"`
+}
+
+// ElasticKernelResult is one kernel's cost–makespan plane.
+type ElasticKernelResult struct {
+	Kernel       string                `json:"kernel"`
+	MeanJobS     float64               `json:"mean_job_virtual_s"`
+	SpikeJobs    int                   `json:"spike_jobs"`
+	Policies     []ElasticPolicyResult `json:"policies"`
+	Frontier     []string              `json:"frontier"` // policy names, ascending makespan
+	OutputsMatch bool                  `json:"outputs_match"`
+}
+
+// ElasticBench is the full soak, serialized to BENCH_elastic.json.
+type ElasticBench struct {
+	N           int                   `json:"n"`
+	Seed        int64                 `json:"seed"`
+	Jobs        int                   `json:"jobs_per_kernel"`
+	MinWorkers  int                   `json:"min_workers"`
+	MaxWorkers  int                   `json:"max_workers"`
+	WorkerCores int                   `json:"worker_cores"`
+	WarmUpS     float64               `json:"warmup_s"`
+	BudgetFrac  float64               `json:"budget_frac"`
+	Kernels     []ElasticKernelResult `json:"kernels"`
+}
+
+// elasticArrival is one point of the pre-generated schedule, identical for
+// every policy: determinism is what makes the frontier a fair comparison.
+type elasticArrival struct {
+	at   simtime.Duration
+	spec serve.JobSpec
+}
+
+// elasticTimings derives every control-loop constant from the calibrated
+// mean job duration, so the soak holds its shape across kernel sizes.
+type elasticTimings struct {
+	meanJob     simtime.Duration
+	warmUp      simtime.Duration // 2 x meanJob: capacity arrives late, not free
+	scaleInIdle simtime.Duration
+	coolDown    simtime.Duration
+	tickEvery   simtime.Duration
+}
+
+func deriveTimings(meanJob simtime.Duration) elasticTimings {
+	return elasticTimings{
+		meanJob:     meanJob,
+		warmUp:      2 * meanJob,
+		scaleInIdle: 3 * meanJob,
+		coolDown:    2 * meanJob,
+		tickEvery:   meanJob / 2,
+	}
+}
+
+// elasticSchedule builds the spike: a sixth of the jobs trickle in under
+// the min fleet's capacity, two thirds arrive in a burst several times over
+// it, and a short tail keeps the fleet warm while the backlog drains — the
+// makespan gap between policies is the backlog each fleet can absorb.
+func elasticSchedule(opts ElasticOptions, kernel string, meanJob simtime.Duration, seedBase int64) []elasticArrival {
+	rng := rand.New(rand.NewSource(seedBase))
+	pre := opts.Jobs / 6
+	tail := opts.Jobs / 6
+	spike := opts.Jobs - pre - tail
+	mean := meanJob.Seconds()
+
+	sched := make([]elasticArrival, 0, opts.Jobs)
+	t := 0.0
+	add := func(n int, rate float64) {
+		for i := 0; i < n; i++ {
+			t += rng.ExpFloat64() / rate
+			idx := len(sched)
+			sched = append(sched, elasticArrival{
+				at: simtime.FromSeconds(t),
+				spec: serve.JobSpec{
+					Bench: kernel,
+					N:     opts.N,
+					Seed:  seedBase + int64(idx),
+				},
+			})
+		}
+	}
+	add(pre, 0.4/mean)   // ~1 job per 2.5 mean durations: min fleet keeps up
+	add(spike, 6.0/mean) // 15x the trickle: far past the min fleet
+	add(tail, 1.0/mean)
+	return sched
+}
+
+const (
+	evElArrival = iota
+	evElComplete
+	evElReady
+	evElTick
+)
+
+type elasticEvent struct {
+	at   simtime.Duration
+	seq  int
+	kind int
+
+	idx  int // arrival/complete: schedule index
+	spec serve.JobSpec
+	job  *serve.Job
+	res  serve.Result
+}
+
+// The elastic run reuses the service soak's event heap through a small
+// adapter: elastic events ride in serviceEvent.seq-compatible ordering.
+type elasticHeap []*elasticEvent
+
+func (h elasticHeap) Len() int { return len(h) }
+func (h elasticHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h elasticHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *elasticHeap) Push(x interface{}) { *h = append(*h, x.(*elasticEvent)) }
+func (h *elasticHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type elasticRunner struct {
+	opts ElasticOptions
+	tm   elasticTimings
+
+	d    *serve.Daemon
+	exec *serve.PoolExecutor
+	eng  *autoscale.Engine
+
+	events  elasticHeap
+	seq     int
+	now     simtime.Duration
+	workers []string // live lease workers, scale-in pops the tail
+	wseq    int
+	jobIdx  map[*serve.Job]int // admitted job -> schedule index
+
+	done     int
+	total    int
+	lastDone simtime.Duration
+	costDone float64
+	peak     int
+	outputs  [][][]float32
+	ticks    int
+}
+
+func (p *elasticRunner) push(e *elasticEvent) {
+	e.seq = p.seq
+	p.seq++
+	heap.Push(&p.events, e)
+}
+
+func (p *elasticRunner) addWorkers(n int) error {
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("as-w%03d", p.wseq)
+		p.wseq++
+		if err := p.d.RegisterWorker(addr, p.opts.WorkerCores, p.now); err != nil {
+			return err
+		}
+		p.workers = append(p.workers, addr)
+	}
+	if len(p.workers) > p.peak {
+		p.peak = len(p.workers)
+	}
+	return nil
+}
+
+// decide runs one control-loop step: heartbeat the fleet, tick the engine,
+// and actuate its decision against the daemon's worker pool.
+func (p *elasticRunner) decide() error {
+	for _, w := range p.workers {
+		p.d.WorkerHeartbeat(w, p.now)
+	}
+	dec := p.eng.Tick(p.now)
+	switch {
+	case dec.Delta > 0:
+		// Launched, warming: surface it when the boot completes.
+		if at, ok := p.eng.NextReady(); ok {
+			p.push(&elasticEvent{at: at, kind: evElReady})
+		}
+	case dec.Delta < 0:
+		for i := 0; i < -dec.Delta; i++ {
+			if len(p.workers) == 0 {
+				return fmt.Errorf("elastic: scale-in with no live workers")
+			}
+			addr := p.workers[len(p.workers)-1]
+			if err := p.d.RetireWorker(addr, p.now); err != nil {
+				return fmt.Errorf("elastic: %w", err)
+			}
+			p.workers = p.workers[:len(p.workers)-1]
+		}
+	}
+	return nil
+}
+
+// pump dispatches whatever the fair-share scheduler and the pool allow.
+func (p *elasticRunner) pump() {
+	for _, g := range p.d.Dispatch(p.now) {
+		res := p.exec.Run(g.Job, g.Cores)
+		dur := res.Virtual
+		if dur <= 0 {
+			dur = simtime.Millisecond
+		}
+		p.push(&elasticEvent{at: p.now + dur, kind: evElComplete, idx: p.jobIdx[g.Job], job: g.Job, res: res})
+	}
+}
+
+// active reports whether the control loop still has a reason to tick:
+// undone work, or a fleet above the floor that scale-in should reclaim.
+func (p *elasticRunner) active() bool {
+	return p.done < p.total || !p.d.Idle() ||
+		p.eng.Launched() > p.eng.Config().MinWorkers
+}
+
+func (p *elasticRunner) run(sched []elasticArrival) error {
+	p.total = len(sched)
+	p.outputs = make([][][]float32, p.total)
+	p.jobIdx = make(map[*serve.Job]int, p.total)
+	for i, a := range sched {
+		p.push(&elasticEvent{at: a.at, kind: evElArrival, idx: i, spec: a.spec})
+	}
+	p.push(&elasticEvent{at: p.tm.tickEvery, kind: evElTick})
+
+	const maxTicks = 1 << 17 // runaway-control-loop backstop
+	for p.events.Len() > 0 {
+		e := heap.Pop(&p.events).(*elasticEvent)
+		p.now = e.at
+		switch e.kind {
+		case evElTick:
+			p.ticks++
+			if p.ticks > maxTicks {
+				return fmt.Errorf("elastic: control loop did not converge in %d ticks", maxTicks)
+			}
+			if err := p.decide(); err != nil {
+				return err
+			}
+			p.pump()
+			if p.active() {
+				p.push(&elasticEvent{at: p.now + p.tm.tickEvery, kind: evElTick})
+			}
+		case evElArrival:
+			j, rej, err := p.d.Submit("elastic", "spike-cli", e.spec, p.now)
+			if err != nil {
+				return err
+			}
+			if rej != nil {
+				return fmt.Errorf("elastic: job %d shed (%s): the soak queue must hold the whole spike", e.idx, rej.Reason)
+			}
+			p.jobIdx[j] = e.idx
+			if err := p.decide(); err != nil {
+				return err
+			}
+			p.pump()
+		case evElReady:
+			if n := p.eng.Ready(p.now); n > 0 {
+				if err := p.addWorkers(n); err != nil {
+					return err
+				}
+			}
+			p.pump()
+		case evElComplete:
+			if err := p.d.Complete(e.job, e.res, p.now); err != nil {
+				return err
+			}
+			if e.res.Err != nil {
+				return fmt.Errorf("elastic: job %d failed: %w", e.idx, e.res.Err)
+			}
+			p.outputs[e.idx] = e.res.Outputs
+			if e.res.Report != nil {
+				p.eng.AddEgress(e.res.Report.BytesDownloaded)
+			}
+			p.done++
+			if p.done == p.total {
+				p.lastDone = p.now
+				// Meter up to the last completion: the makespan's spend.
+				p.eng.Tick(p.now)
+				p.costDone = p.eng.SpentUSD()
+			}
+			if err := p.decide(); err != nil {
+				return err
+			}
+			p.pump()
+		}
+	}
+	if p.done != p.total {
+		return fmt.Errorf("elastic: %d of %d jobs completed", p.done, p.total)
+	}
+	if !p.d.Idle() || p.d.GrantedCores() != 0 {
+		return fmt.Errorf("elastic: schedule drained with work stranded (%d cores granted)", p.d.GrantedCores())
+	}
+	return nil
+}
+
+// runElasticPolicy executes one policy over the schedule on a fresh daemon
+// and metrics registry.
+func runElasticPolicy(opts ElasticOptions, tm elasticTimings, engCfg autoscale.Config,
+	sched []elasticArrival) (*elasticRunner, error) {
+	span.ResetMetrics()
+	st := storage.NewMemStore()
+	d, err := serve.New(serve.Config{
+		Store:     st,
+		MaxQueue:  2*len(sched) + 1, // the soak must absorb, not shed
+		FairShare: opts.MaxWorkers * opts.WorkerCores,
+		PoolCores: -1, // workers-only: capacity IS the elastic fleet
+		Limits:    serve.Limits{Rate: -1},
+		// The control loop heartbeats on every tick; the lease only needs
+		// to outlive the gap between ticks with margin.
+		WorkerLease: simtime.Hour,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := autoscale.New(engCfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &elasticRunner{
+		opts: opts, tm: tm, d: d,
+		exec: &serve.PoolExecutor{Base: st, ChunkBytes: 4096},
+		eng:  eng,
+	}
+	if n := eng.Bootstrap(0); n > 0 {
+		if err := p.addWorkers(n); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.run(sched); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *elasticRunner) result(policy string, budget float64) ElasticPolicyResult {
+	out := ElasticPolicyResult{
+		Policy:      policy,
+		MakespanS:   p.lastDone.Seconds(),
+		CostUSD:     p.costDone,
+		Done:        p.done,
+		PeakWorkers: p.peak,
+		DeniedOuts:  p.eng.DeniedScaleOuts(),
+		BudgetUSD:   budget,
+		Events:      p.eng.Events(),
+	}
+	for _, ev := range out.Events {
+		if ev.Delta > 0 {
+			out.ScaleOuts++
+		} else if ev.Delta < 0 {
+			out.ScaleIns++
+		}
+	}
+	return out
+}
+
+// paretoFrontier marks non-dominated (makespan, cost) points and returns
+// frontier policy names in ascending makespan.
+func paretoFrontier(ps []ElasticPolicyResult) []string {
+	for i := range ps {
+		dominated := false
+		for j := range ps {
+			if i == j {
+				continue
+			}
+			if ps[j].MakespanS <= ps[i].MakespanS && ps[j].CostUSD <= ps[i].CostUSD &&
+				(ps[j].MakespanS < ps[i].MakespanS || ps[j].CostUSD < ps[i].CostUSD) {
+				dominated = true
+				break
+			}
+		}
+		ps[i].OnFrontier = !dominated
+	}
+	idx := make([]int, 0, len(ps))
+	for i := range ps {
+		if ps[i].OnFrontier {
+			idx = append(idx, i)
+		}
+	}
+	for a := 1; a < len(idx); a++ {
+		for b := a; b > 0 && ps[idx[b]].MakespanS < ps[idx[b-1]].MakespanS; b-- {
+			idx[b], idx[b-1] = idx[b-1], idx[b]
+		}
+	}
+	names := make([]string, len(idx))
+	for i, k := range idx {
+		names[i] = ps[k].Policy
+	}
+	return names
+}
+
+// RunElasticBench executes the elastic soak over every kernel and verifies
+// the acceptance properties.
+func RunElasticBench(opts ElasticOptions) (*ElasticBench, error) {
+	opts = opts.withDefaults()
+	out := &ElasticBench{
+		N: opts.N, Seed: opts.Seed, Jobs: opts.Jobs,
+		MinWorkers: opts.MinWorkers, MaxWorkers: opts.MaxWorkers,
+		WorkerCores: opts.WorkerCores, BudgetFrac: opts.BudgetFrac,
+	}
+
+	base := autoscale.Config{
+		MinWorkers:  opts.MinWorkers,
+		MaxWorkers:  opts.MaxWorkers,
+		WorkerCores: opts.WorkerCores,
+		CoreHourUSD: opts.CoreHourUSD, EgressGiBUSD: opts.EgressGiBUSD,
+	}
+
+	for ki, kernel := range opts.Kernels {
+		// Calibrate: one real run at a single worker's width gives the mean
+		// job duration all rates and control constants derive from.
+		span.ResetMetrics()
+		cal := (&serve.PoolExecutor{Base: storage.NewMemStore(), ChunkBytes: 4096}).Run(&serve.Job{
+			ID: "cal", Tenant: "cal",
+			Spec: serve.JobSpec{Bench: kernel, N: opts.N, Seed: opts.Seed},
+		}, opts.WorkerCores)
+		if cal.Err != nil {
+			return nil, fmt.Errorf("elastic: calibration %s: %w", kernel, cal.Err)
+		}
+		tm := deriveTimings(cal.Virtual)
+		seedBase := opts.Seed + int64(ki)*100_000
+		sched := elasticSchedule(opts, kernel, tm.meanJob, seedBase)
+
+		kr := ElasticKernelResult{
+			Kernel: kernel, MeanJobS: tm.meanJob.Seconds(),
+			SpikeJobs: opts.Jobs - 2*(opts.Jobs/6),
+		}
+		out.WarmUpS = tm.warmUp.Seconds()
+
+		withTimings := func(c autoscale.Config) autoscale.Config {
+			c.WarmUp = tm.warmUp
+			c.ScaleInIdle = tm.scaleInIdle
+			c.CoolDown = tm.coolDown
+			return c
+		}
+
+		fixed := func(n int) autoscale.Config {
+			c := withTimings(base)
+			c.Policy = autoscale.PolicyFixed
+			c.MinWorkers, c.MaxWorkers = n, n
+			return c
+		}
+
+		type polRun struct {
+			name   string
+			run    *elasticRunner
+			budget float64
+		}
+		var runs []polRun
+
+		small, err := runElasticPolicy(opts, tm, fixed(opts.MinWorkers), sched)
+		if err != nil {
+			return nil, fmt.Errorf("elastic: %s/fixed-small: %w", kernel, err)
+		}
+		runs = append(runs, polRun{"fixed-small", small, 0})
+
+		large, err := runElasticPolicy(opts, tm, fixed(opts.MaxWorkers), sched)
+		if err != nil {
+			return nil, fmt.Errorf("elastic: %s/fixed-large: %w", kernel, err)
+		}
+		runs = append(runs, polRun{"fixed-large", large, 0})
+
+		rcfg := withTimings(base)
+		rcfg.Policy = autoscale.PolicyReactive
+		reactive, err := runElasticPolicy(opts, tm, rcfg, sched)
+		if err != nil {
+			return nil, fmt.Errorf("elastic: %s/reactive: %w", kernel, err)
+		}
+		runs = append(runs, polRun{"reactive", reactive, 0})
+
+		budget := opts.BudgetFrac * large.costDone
+		ccfg := withTimings(base)
+		ccfg.Policy = autoscale.PolicyCostCap
+		ccfg.BudgetUSD = budget
+		costcap, err := runElasticPolicy(opts, tm, ccfg, sched)
+		if err != nil {
+			return nil, fmt.Errorf("elastic: %s/costcap: %w", kernel, err)
+		}
+		runs = append(runs, polRun{"costcap", costcap, budget})
+
+		// Bit-identity: elasticity must never change results. Every policy's
+		// per-job outputs against fixed-small's.
+		for _, r := range runs[1:] {
+			for i := range sched {
+				if err := compareOutputs(small.outputs[i], r.run.outputs[i]); err != nil {
+					return nil, fmt.Errorf("elastic: %s: job %d outputs diverge between fixed-small and %s: %w",
+						kernel, i, r.name, err)
+				}
+			}
+		}
+		kr.OutputsMatch = true
+
+		for _, r := range runs {
+			kr.Policies = append(kr.Policies, r.run.result(r.name, r.budget))
+		}
+		kr.Frontier = paretoFrontier(kr.Policies)
+
+		// Acceptance: the spike must make elasticity visible.
+		byName := func(n string) *ElasticPolicyResult {
+			for i := range kr.Policies {
+				if kr.Policies[i].Policy == n {
+					return &kr.Policies[i]
+				}
+			}
+			return nil
+		}
+		re, fs, fl, cc := byName("reactive"), byName("fixed-small"), byName("fixed-large"), byName("costcap")
+		if re.MakespanS >= fs.MakespanS {
+			return nil, fmt.Errorf("elastic: %s: reactive makespan %.1fs did not beat fixed-small %.1fs",
+				kernel, re.MakespanS, fs.MakespanS)
+		}
+		if cc.CostUSD >= fl.CostUSD {
+			return nil, fmt.Errorf("elastic: %s: costcap $%.4f did not undercut fixed-large $%.4f",
+				kernel, cc.CostUSD, fl.CostUSD)
+		}
+		if re.ScaleOuts == 0 || re.ScaleIns == 0 {
+			return nil, fmt.Errorf("elastic: %s: reactive policy never cycled (out=%d in=%d)",
+				kernel, re.ScaleOuts, re.ScaleIns)
+		}
+
+		out.Kernels = append(out.Kernels, kr)
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// A reduced soak: every acceptance property RunElasticBench enforces
+// internally (reactive beats fixed-small, costcap undercuts fixed-large,
+// scale-out AND scale-in both engage, zero stranded jobs, bit-identical
+// outputs) must hold at CI scale, not just at the full BENCH size.
+func TestElasticBenchReduced(t *testing.T) {
+	res, err := RunElasticBench(ElasticOptions{
+		N: 12, Jobs: 24, Kernels: []string{"gemm"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kernels) != 1 {
+		t.Fatalf("kernels: %d", len(res.Kernels))
+	}
+	kr := res.Kernels[0]
+	if len(kr.Policies) != 4 {
+		t.Fatalf("policies: %d", len(kr.Policies))
+	}
+	for _, p := range kr.Policies {
+		if p.Done != 24 {
+			t.Fatalf("%s finished %d of 24 jobs", p.Policy, p.Done)
+		}
+		if p.MakespanS <= 0 || p.CostUSD <= 0 {
+			t.Fatalf("%s: makespan %v cost %v", p.Policy, p.MakespanS, p.CostUSD)
+		}
+	}
+	if !kr.OutputsMatch {
+		t.Fatal("outputs diverged across policies")
+	}
+	// The frontier must be non-trivial: at least the two extremes survive.
+	if len(kr.Frontier) < 2 {
+		t.Fatalf("degenerate frontier: %v", kr.Frontier)
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatalf("result not serializable: %v", err)
+	}
+}
+
+// The frontier marks exactly the non-dominated points.
+func TestParetoFrontier(t *testing.T) {
+	ps := []ElasticPolicyResult{
+		{Policy: "a", MakespanS: 10, CostUSD: 5},  // dominated by c
+		{Policy: "b", MakespanS: 20, CostUSD: 1},  // frontier (cheapest)
+		{Policy: "c", MakespanS: 8, CostUSD: 4},   // frontier
+		{Policy: "d", MakespanS: 30, CostUSD: 10}, // dominated by everyone
+	}
+	names := paretoFrontier(ps)
+	if len(names) != 2 || names[0] != "c" || names[1] != "b" {
+		t.Fatalf("frontier = %v", names)
+	}
+	if ps[0].OnFrontier || ps[3].OnFrontier || !ps[1].OnFrontier || !ps[2].OnFrontier {
+		t.Fatalf("domination flags wrong: %+v", ps)
+	}
+}

@@ -50,6 +50,17 @@ func LookupType(name string) (InstanceType, error) {
 	return InstanceType{}, fmt.Errorf("cloud: unknown instance type %q", name)
 }
 
+// PerCoreHourUSD reports the type's on-demand price per physical core-hour
+// — the catalogue-derived default for a device's cost-core-hour knob and
+// the autoscaler's cost model. (The whole c3 family prices out to the same
+// $0.105/core-hour, which is why the paper could pick size by convenience.)
+func (t InstanceType) PerCoreHourUSD() float64 {
+	if t.PhysicalCores < 1 {
+		return t.PricePerHour
+	}
+	return t.PricePerHour / float64(t.PhysicalCores)
+}
+
 // State is an instance lifecycle state.
 type State int
 
@@ -332,6 +343,10 @@ type Cluster struct {
 	Provider Provider
 	Driver   *Instance
 	Workers  []*Instance
+	// Retired holds workers removed by elastic scale-in: they run no more
+	// tasks, but the hours they already billed stay in the cost ledger —
+	// scaling down never un-spends money.
+	Retired []*Instance
 }
 
 // Provision launches a driver and `workers` worker instances of the given
@@ -374,14 +389,48 @@ func (c *Cluster) StopAll() error {
 	return firstErr
 }
 
-// Cost reports the accumulated cluster cost at the provider's clock.
+// Cost reports the accumulated cluster cost at the provider's clock,
+// retired workers included.
 func (c *Cluster) Cost() float64 {
 	now := c.Provider.Clock().Now()
 	sum := c.Driver.Cost(now)
 	for _, w := range c.Workers {
 		sum += w.Cost(now)
 	}
+	for _, w := range c.Retired {
+		sum += w.Cost(now)
+	}
 	return sum
+}
+
+// Grow launches n more workers of the cluster's worker type. The launch
+// blocks through the provider's virtual boot time — the per-instance
+// warm-up an elastic autoscaler charges on the virtual clock — and the
+// newcomers join Running and billing from their boot.
+func (c *Cluster) Grow(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	insts, err := c.Provider.Launch(c.Workers[0].Type, n)
+	if err != nil {
+		return err
+	}
+	c.Workers = append(c.Workers, insts...)
+	return nil
+}
+
+// Shrink terminates the last n workers, keeping at least one, and moves
+// them to the Retired ledger so their already-billed hours stay counted.
+func (c *Cluster) Shrink(n int) error {
+	for i := 0; i < n && len(c.Workers) > 1; i++ {
+		w := c.Workers[len(c.Workers)-1]
+		if err := c.Provider.Terminate(w); err != nil {
+			return err
+		}
+		c.Workers = c.Workers[:len(c.Workers)-1]
+		c.Retired = append(c.Retired, w)
+	}
+	return nil
 }
 
 // Report renders a deterministic multi-line cost/usage summary.

@@ -147,6 +147,14 @@ func (f *File) Has(section, key string) bool {
 	return ok
 }
 
+// HasSection reports whether the section exists at all, with any keys.
+// Feature sections ([autoscale], [fault], ...) use presence as the on
+// switch, so "is the block there" is a distinct question from Has.
+func (f *File) HasSection(section string) bool {
+	_, ok := f.sections[section]
+	return ok
+}
+
 // Duplicated reports whether the section header appeared more than once in
 // the parsed input. Sections created or extended via Set never count.
 func (f *File) Duplicated(section string) bool { return f.dups[section] }

@@ -180,6 +180,32 @@ func TestSectionsAndKeysSorted(t *testing.T) {
 	}
 }
 
+func TestHasSection(t *testing.T) {
+	// A bare section header — the presence-as-switch idiom — counts even
+	// with no keys under it.
+	f, err := Parse(strings.NewReader("[autoscale]\n\n[cluster]\nworkers = 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.HasSection("autoscale") || !f.HasSection("cluster") {
+		t.Fatal("parsed sections not reported")
+	}
+	if f.HasSection("fault") {
+		t.Fatal("phantom section reported")
+	}
+	if f.Has("autoscale", "policy") {
+		t.Fatal("empty section reports keys")
+	}
+	g := New()
+	if g.HasSection("autoscale") {
+		t.Fatal("fresh file has sections")
+	}
+	g.Set("autoscale", "policy", "reactive")
+	if !g.HasSection("autoscale") {
+		t.Fatal("Set did not create the section")
+	}
+}
+
 func TestInlineComments(t *testing.T) {
 	f, err := Parse(strings.NewReader(`
 [s]

@@ -51,6 +51,17 @@ type CloudConfig struct {
 	InstanceType  string
 	AutoStartStop bool
 
+	// CostCoreHourUSD / CostEgressGiBUSD price the device: dollars per
+	// core-hour of effective region time and dollars per GiB of egress
+	// (output bytes downloaded back to the host). A priced device stamps
+	// Report.CostUSD on every run — the signal the elastic autoscaler's
+	// cost-capped policy trades against makespan. 0 leaves the device
+	// unpriced (CostUSD stays 0); the conf knobs are cost-core-hour and
+	// cost-gib-egress, and cost-core-hour also accepts "auto" to derive
+	// the rate from the configured instance type's catalogue price.
+	CostCoreHourUSD  float64
+	CostEgressGiBUSD float64
+
 	// WorkerAddrs, when non-empty, executes loop tiles in remote worker
 	// processes (cmd/ompcloud-worker) at these addresses instead of
 	// in-process goroutines — the paper's real process boundary between
@@ -248,6 +259,7 @@ func (c CloudConfig) withDefaults() CloudConfig {
 // of the paper's Fig. 1 with real data movement and virtual-time accounting.
 type CloudPlugin struct {
 	cfg   CloudConfig
+	name  string // fixed at construction: stable across elastic scaling
 	sctx  *spark.Context
 	cache *uploadCache     // nil unless EnableCache
 	pool  *remoteexec.Pool // nil unless WorkerAddrs configured
@@ -364,6 +376,10 @@ func NewCloudPlugin(cfg CloudConfig) (*CloudPlugin, error) {
 		return nil, err
 	}
 	p := &CloudPlugin{cfg: cfg, sctx: sctx, healthKey: "health/" + randomNonce()}
+	p.name = cfg.DeviceName
+	if p.name == "" {
+		p.name = fmt.Sprintf("cloud-spark-%dx%d", cfg.Spec.Workers, cfg.Spec.CoresPerWorker)
+	}
 	if cfg.BreakerFailures >= 0 {
 		p.breaker = &resilience.Breaker{
 			Threshold: cfg.BreakerFailures,
@@ -417,16 +433,14 @@ func (p *CloudPlugin) init() error {
 }
 
 // Name implements Plugin. A configured DeviceName wins; otherwise the name
-// is derived from the topology as before.
-func (p *CloudPlugin) Name() string {
-	if p.cfg.DeviceName != "" {
-		return p.cfg.DeviceName
-	}
-	return fmt.Sprintf("cloud-spark-%dx%d", p.cfg.Spec.Workers, p.cfg.Spec.CoresPerWorker)
-}
+// is derived from the construction-time topology. Either way it is fixed
+// for the plugin's lifetime — metric keys and storage scopes hang off it,
+// so elastic scaling must not rename the device.
+func (p *CloudPlugin) Name() string { return p.name }
 
-// Cores implements Plugin.
-func (p *CloudPlugin) Cores() int { return p.cfg.Spec.TotalCores() }
+// Cores implements Plugin: the live simulated width — elastic scale events
+// change what later regions see (tiling, Eq. 3 seeds, accounting).
+func (p *CloudPlugin) Cores() int { return p.sctx.Spec().TotalCores() }
 
 // keyScope is the per-device storage-key segment ("<dev>/" or ""): two named
 // devices sharing one store must not collide on job prefixes, since each
@@ -638,7 +652,11 @@ func (p *CloudPlugin) Run(r *Region) (*trace.Report, error) {
 	if !p.Available() {
 		return nil, resilience.MarkTransient(fmt.Errorf("offload: cloud device unavailable (use the manager for host fallback)"))
 	}
+	p.completeDrain() // a region boundary: land any deferred scale-in first
 	rep, err := p.runWorkflow(r)
+	if err == nil {
+		p.applyCost(rep)
+	}
 	if p.breaker != nil {
 		switch {
 		case err == nil:
@@ -1337,9 +1355,10 @@ func (p *CloudPlugin) costInputs(r *Region, tiles int, jm *spark.JobMetrics,
 		collectWire = int64(float64(tileRaw) * sumRatio)
 	}
 
+	spec := p.sctx.Spec()
 	return CostInputs{
-		Workers:            p.cfg.Spec.Workers,
-		Cores:              p.cfg.Spec.TotalCores(),
+		Workers:            spec.Workers,
+		Cores:              spec.TotalCores(),
 		PipelinedTransfers: p.pipelined(),
 		TaskCompute:        taskCompute,
 		TaskEffective:      taskEffective,

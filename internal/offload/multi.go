@@ -405,6 +405,29 @@ func publishRate(kernel, dev string, iters int64, eff simtime.Duration) {
 		Set(int64(float64(iters) / secs * 1000))
 }
 
+// InvalidateSplitRates clears every observed per-kernel split rate of one
+// device from the metrics registry, returning how many it cleared. Rates
+// are measured throughput of a *specific* cluster shape; after a scale
+// event they describe a cluster that no longer exists, and the first
+// rebalance would reshape the split around them — a device that doubled
+// its workers would keep its old, half-sized share until a full re-measure
+// cycle, and a shrunken one would be handed more than it can retire. A
+// cleared rate fails weightsFor's all-members-observed check, so the next
+// split falls back to the provisioned-capacity seed (which does see the
+// new core count) and re-measures from there.
+func InvalidateSplitRates(dev string) int {
+	suffix := "{dev=" + dev + "}"
+	n := 0
+	span.Metrics().VisitGauges(func(name string, g *span.Gauge) {
+		if strings.HasPrefix(name, splitRateMetric) &&
+			strings.HasSuffix(name, suffix) && g.Value() != 0 {
+			g.Set(0)
+			n++
+		}
+	})
+	return n
+}
+
 // merge reconstructs the user buffers from the members' staging: partitioned
 // outputs copy into their windows by offset, reduction outputs fold the
 // members' tails in ascending member order — the same order a single device
@@ -461,6 +484,7 @@ func mergeMemberReport(out, r *trace.Report) {
 	out.PartitionSeconds += r.PartitionSeconds
 	out.Tiles += r.Tiles
 	out.Cores += r.Cores
+	out.CostUSD += r.CostUSD
 }
 
 // --- Data environments over a device set -------------------------------

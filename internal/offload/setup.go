@@ -23,7 +23,8 @@ import (
 //	[cluster]     workers, cores-per-worker, instance-type, provider
 //	              (sim | none), auto-start, boot-seconds, worker-addrs
 //	              (comma-separated ompcloud-worker endpoints),
-//	              heartbeat-ms, lease-misses, speculate, speculate-quantile
+//	              heartbeat-ms, lease-misses, speculate, speculate-quantile,
+//	              cost-core-hour ($/core-hour | auto), cost-gib-egress ($/GiB)
 //	[credentials] access-key, secret-key, region
 //	[storage]     type (memory | disk | remote), address, path
 //	[network]     wan-mbps, wan-latency-ms, lan-gbps, lan-latency-us,
@@ -127,6 +128,40 @@ func cloudConfigFromView(v confView) (CloudConfig, error) {
 		return cfg, fmt.Errorf("offload: speculate-quantile must be in (0, 1], got %v", specQuantile)
 	}
 	cfg.SpeculateQuantile = specQuantile
+
+	// Cost model: cost-core-hour prices effective region time in $/core-hour
+	// ("auto" reads the instance type's catalogue price), cost-gib-egress
+	// prices output bytes downloaded back to the host in $/GiB. Both default
+	// to 0 — an unpriced device whose reports carry no CostUSD. Inside a
+	// [device "..."] block the keys are cluster.cost-core-hour and
+	// cluster.cost-gib-egress, giving each member of a multi-device split
+	// its own price sheet.
+	switch raw := strings.TrimSpace(v.Str("cluster", "cost-core-hour", "")); {
+	case raw == "":
+	case strings.EqualFold(raw, "auto"):
+		it, err := cloud.LookupType(cfg.InstanceType)
+		if err != nil {
+			return cfg, fmt.Errorf("offload: cost-core-hour auto: %w", err)
+		}
+		cfg.CostCoreHourUSD = it.PerCoreHourUSD()
+	default:
+		cch, err := v.Float("cluster", "cost-core-hour", 0)
+		if err != nil {
+			return cfg, err
+		}
+		if cch <= 0 {
+			return cfg, fmt.Errorf("offload: cost-core-hour must be positive or auto, got %v", cch)
+		}
+		cfg.CostCoreHourUSD = cch
+	}
+	egressUSD, err := v.Float("cluster", "cost-gib-egress", 0)
+	if err != nil {
+		return cfg, err
+	}
+	if v.Has("cluster", "cost-gib-egress") && egressUSD < 0 {
+		return cfg, fmt.Errorf("offload: cost-gib-egress must be >= 0, got %v", egressUSD)
+	}
+	cfg.CostEgressGiBUSD = egressUSD
 
 	switch provider := v.Str("cluster", "provider", "none"); provider {
 	case "none":

@@ -18,6 +18,7 @@ import (
 //	tenant-burst = 8     # default bucket depth
 //	fair-share  = 4      # concurrent dispatch slots
 //	pool-cores  = 16     # executor pool width with no registered workers
+//	                     # (negative: workers-only, no static fallback)
 //	drain-ms    = 5000   # graceful-drain deadline on SIGTERM
 //
 //	[tenant "analytics"]

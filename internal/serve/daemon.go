@@ -22,6 +22,7 @@ const (
 	MetricQueueDepth    = "serve.queue.depth"
 	MetricPoolCores     = "serve.pool.cores"
 	MetricWorkersLive   = "serve.workers.live"
+	MetricJobsRunning   = "serve.jobs.running"
 	metricAdmitted      = "serve.jobs.admitted"
 	metricRejectedQuota = "serve.jobs.rejected.quota"
 	metricShed          = "serve.jobs.shed"
@@ -66,7 +67,10 @@ type Config struct {
 	FairShare int
 	// PoolCores is the shared executor pool width when no workers are
 	// registered; registered workers replace it with the sum of their
-	// advertised cores. 0 means DefaultPoolCores.
+	// advertised cores. 0 means DefaultPoolCores; negative means no
+	// static fallback at all — the pool is exactly the registered
+	// workers, and with every lease expired its width is genuinely zero
+	// (dispatch stalls until a worker returns).
 	PoolCores int
 	// WorkerLease/WorkerMisses set the registered-worker liveness lease.
 	// 0 means the defaults.
@@ -84,8 +88,11 @@ func (c Config) withDefaults() Config {
 	if c.FairShare <= 0 {
 		c.FairShare = DefaultFairShare
 	}
-	if c.PoolCores <= 0 {
+	if c.PoolCores == 0 {
 		c.PoolCores = DefaultPoolCores
+	}
+	if c.PoolCores < 0 { // workers-only: no static fallback
+		c.PoolCores = 0
 	}
 	if c.Limits.Rate == 0 {
 		c.Limits.Rate = DefaultRate
@@ -215,7 +222,7 @@ func (d *Daemon) Submit(tenant, client string, spec JobSpec, now simtime.Duratio
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.draining {
-		return nil, &Rejection{Reason: "draining", RetryAfter: d.drainEstimate()}, nil
+		return nil, &Rejection{Reason: "draining", RetryAfter: d.drainEstimate(now)}, nil
 	}
 	t := d.tenant(tenant, now)
 
@@ -231,7 +238,7 @@ func (d *Daemon) Submit(tenant, client string, spec JobSpec, now simtime.Duratio
 		t.rejectedLoad++
 		span.Metrics().Counter(metricShed).Inc()
 		span.Metrics().Counter(span.TenantKey(metricShed, tenant)).Inc()
-		return nil, &Rejection{Reason: "overload", RetryAfter: d.drainEstimate()}, nil
+		return nil, &Rejection{Reason: "overload", RetryAfter: d.drainEstimate(now)}, nil
 	}
 
 	d.seq++
@@ -259,11 +266,26 @@ func (d *Daemon) Submit(tenant, client string, spec JobSpec, now simtime.Duratio
 
 // drainEstimate guesses how long the backlog needs: queue length over
 // dispatch slots, times the observed mean job duration. It is a hint for
-// Retry-After headers, not a promise.
-func (d *Daemon) drainEstimate() simtime.Duration {
+// Retry-After headers, not a promise. With zero pool capacity (workers-only
+// mode, every lease expired) nothing is draining at all, so the slot-based
+// figure would send shed clients straight back into a stalled daemon; the
+// hint escalates to the worse of a full worker-lease death window (the
+// soonest a returning worker could be noticed missing and replaced) and a
+// serial one-core drain of the whole backlog.
+func (d *Daemon) drainEstimate(now simtime.Duration) simtime.Duration {
+	d.pruneWorkers(now) // a dead pool must not masquerade as capacity
 	depth := d.queued + len(d.running)
 	slots := d.cfg.FairShare
-	return d.meanJob * simtime.Duration(depth/slots+1)
+	est := d.meanJob * simtime.Duration(depth/slots+1)
+	if d.poolCores() == 0 {
+		stall := d.cfg.WorkerLease * simtime.Duration(d.cfg.WorkerMisses)
+		serial := d.meanJob * simtime.Duration(depth+1)
+		if serial > stall {
+			return serial
+		}
+		return stall
+	}
+	return est
 }
 
 // Dispatch hands out jobs at virtual time now: while a fair-share slot and
@@ -329,6 +351,7 @@ func (d *Daemon) Dispatch(now simtime.Duration) []Grant {
 	}
 	d.queued -= len(picked)
 	span.Metrics().Gauge(MetricQueueDepth).Set(int64(d.queued))
+	span.Metrics().Gauge(MetricJobsRunning).Set(int64(len(d.running)))
 	return grants
 }
 
@@ -364,6 +387,7 @@ func (d *Daemon) Complete(j *Job, res Result, now simtime.Duration) error {
 	}
 	delete(d.running, j.ID)
 	d.granted -= j.Cores
+	span.Metrics().Gauge(MetricJobsRunning).Set(int64(len(d.running)))
 	j.State = JobDone
 	j.Finished = now
 	j.Err = res.Err
@@ -525,6 +549,43 @@ func (d *Daemon) DeregisterWorker(addr string, now simtime.Duration) {
 	defer d.mu.Unlock()
 	delete(d.workers, addr)
 	d.publishPool(now)
+}
+
+// RetireWorker is the graceful scale-in path: it removes a worker only if
+// the remaining pool still covers every core already granted to running
+// jobs. This is what lets an autoscaler shrink the fleet without ever
+// stranding an in-flight tile — a worker whose cores are spoken for stays
+// until enough completions release them, and the caller retries later.
+func (d *Daemon) RetireWorker(addr string, now simtime.Duration) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pruneWorkers(now)
+	if _, ok := d.workers[addr]; !ok {
+		return fmt.Errorf("serve: retire unknown worker %q", addr)
+	}
+	rest := 0
+	for a, o := range d.workers {
+		if a != addr {
+			rest += o.cores
+		}
+	}
+	if len(d.workers) == 1 {
+		rest = d.cfg.PoolCores // back to the static fallback, if any
+	}
+	if rest < d.granted {
+		return fmt.Errorf("serve: retiring %s would strand %d granted cores (%d remain, %d granted)",
+			addr, d.granted-rest, rest, d.granted)
+	}
+	delete(d.workers, addr)
+	d.publishPool(now)
+	return nil
+}
+
+// GrantedCores reports the cores currently handed out to running jobs.
+func (d *Daemon) GrantedCores() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.granted
 }
 
 // LiveWorkers reports the addresses of workers with unexpired leases, in

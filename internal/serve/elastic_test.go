@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ompcloud/internal/simtime"
+)
+
+// Regression: a tenant whose bucket never refills (Rate == 0, burst spent)
+// used to get RetryAfter 0 — "retry immediately" — so a well-behaved
+// client hot-looped on resubmission forever. The rejection must carry a
+// non-zero backoff hint.
+func TestQuotaNoRefillBackoff(t *testing.T) {
+	ts := newTenantState("frozen", Limits{Rate: 0, Burst: 1, Weight: 1}, 0)
+	if ok, _ := ts.takeToken(0); !ok {
+		t.Fatal("burst token not granted")
+	}
+	ok, wait := ts.takeToken(0)
+	if ok {
+		t.Fatal("second token appeared in a no-refill bucket")
+	}
+	if wait <= 0 {
+		t.Fatalf("no-refill rejection hints RetryAfter %v; clients hot-loop on 0", wait)
+	}
+	// The hint must survive arbitrary waiting: the bucket never refills,
+	// so a much later retry is rejected with the same non-zero pause.
+	ok, wait = ts.takeToken(simtime.Hour)
+	if ok {
+		t.Fatal("no-refill bucket refilled after an hour")
+	}
+	if wait <= 0 {
+		t.Fatalf("late no-refill rejection hints RetryAfter %v", wait)
+	}
+}
+
+// Regression: drainEstimate used to quote meanJob × (depth/slots + 1) even
+// with zero pool capacity — all worker leases expired and no pool-cores
+// fallback — as if dispatch were proceeding, so shed clients retried
+// straight back into a stalled daemon. The hint must escalate once the
+// pool is genuinely empty.
+func TestDrainEstimateEscalatesOnStalledPool(t *testing.T) {
+	d, _ := newTestDaemon(t, func(c *Config) {
+		c.PoolCores = -1 // workers-only: no static fallback
+		c.MaxQueue = 4
+		c.Limits = Limits{Rate: -1} // quota off; isolate the watermark path
+	})
+	if err := d.RegisterWorker("w1:9401", 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, rej, err := d.Submit("t", "c", spec(), 0); rej != nil || err != nil {
+			t.Fatalf("fill %d: rej=%v err=%v", i, rej, err)
+		}
+	}
+	_, rej, err := d.Submit("t", "c", spec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej == nil || rej.Reason != "overload" {
+		t.Fatalf("watermark not enforced: %+v", rej)
+	}
+	aliveHint := rej.RetryAfter
+	if aliveHint <= 0 {
+		t.Fatal("overload rejection carries no retry-after hint")
+	}
+
+	// Let the worker's lease expire: the pool is now zero cores wide and
+	// nothing drains until a worker returns.
+	dead := d.cfg.WorkerLease*simtime.Duration(d.cfg.WorkerMisses) + simtime.Second
+	_, rej, err = d.Submit("t", "c", spec(), dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej == nil || rej.Reason != "overload" {
+		t.Fatalf("watermark not enforced after lease expiry: %+v", rej)
+	}
+	if rej.RetryAfter <= aliveHint {
+		t.Fatalf("stalled-pool hint %v did not escalate past live-pool hint %v",
+			rej.RetryAfter, aliveHint)
+	}
+	// It must cover at least a full lease death window — the soonest a
+	// replacement worker could plausibly be live.
+	if window := d.cfg.WorkerLease * simtime.Duration(d.cfg.WorkerMisses); rej.RetryAfter < window {
+		t.Fatalf("stalled-pool hint %v shorter than a lease window %v", rej.RetryAfter, window)
+	}
+	if d.PoolCores() != 0 {
+		t.Fatalf("pool reports %d cores with every lease expired", d.PoolCores())
+	}
+}
+
+// TestRetireWorkerNeverStrands: the graceful scale-in path refuses to
+// remove a worker whose cores are already granted to running jobs.
+func TestRetireWorkerNeverStrands(t *testing.T) {
+	d, _ := newTestDaemon(t, func(c *Config) {
+		c.PoolCores = -1
+		c.Limits = Limits{Rate: -1}
+		c.FairShare = 2
+	})
+	if err := d.RegisterWorker("w1:9401", 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterWorker("w2:9402", 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, rej, err := d.Submit("t", "c", spec(), 0); rej != nil || err != nil {
+		t.Fatalf("submit: rej=%v err=%v", rej, err)
+	}
+	grants := d.Dispatch(0)
+	if len(grants) != 1 {
+		t.Fatalf("dispatched %d jobs", len(grants))
+	}
+	if got := d.GrantedCores(); got != grants[0].Cores {
+		t.Fatalf("granted %d, grant says %d", got, grants[0].Cores)
+	}
+	// The single job took the whole free pool (8 cores); removing either
+	// worker would leave 4 < 8 granted.
+	if err := d.RetireWorker("w2:9402", 0); err == nil {
+		t.Fatal("retire succeeded while its cores are granted")
+	}
+	if err := d.Complete(grants[0].Job, Result{Virtual: simtime.Second}, simtime.Second); err != nil {
+		t.Fatal(err)
+	}
+	// With zero cores granted, retirement proceeds.
+	if err := d.RetireWorker("w2:9402", simtime.Second); err != nil {
+		t.Fatalf("retire after completion: %v", err)
+	}
+	if got := d.PoolCores(); got != 4 {
+		t.Fatalf("pool after retirement = %d", got)
+	}
+	if err := d.RetireWorker("w2:9402", simtime.Second); err == nil {
+		t.Fatal("retiring an unknown worker succeeded")
+	}
+}
+
+// Property test: Dispatch never over-grants. Across randomized
+// admit / dispatch / complete / register / death / retire sequences on the
+// virtual clock, every dispatch batch fits the pool at the instant it is
+// cut (granted ≤ poolCores()), the fair-share slot bound holds, and every
+// grant is at least one core. Worker death after a grant may shrink the
+// pool below what is out — that is capacity loss, not over-granting — so
+// the pool invariant is asserted at dispatch boundaries.
+func TestDispatchNeverOvergrantsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d, _ := newTestDaemon(t, func(c *Config) {
+		c.PoolCores = -1 // workers-only: scale events move real capacity
+		c.MaxQueue = 256
+		c.FairShare = 3
+		c.Limits = Limits{Rate: -1}
+		c.Overrides = map[string]Limits{
+			"heavy": {Rate: -1, Weight: 4},
+			"light": {Rate: -1, Weight: 0.25},
+		}
+	})
+	tenants := []string{"heavy", "light", "steady"}
+	workers := []string{"w0:1", "w1:1", "w2:1", "w3:1"}
+	registered := map[string]bool{}
+	var running []*Job
+	now := simtime.Duration(0)
+
+	for step := 0; step < 4000; step++ {
+		now += simtime.Duration(rng.Intn(int(200 * simtime.Millisecond)))
+		switch op := rng.Intn(10); {
+		case op < 3: // admit
+			tn := tenants[rng.Intn(len(tenants))]
+			if _, _, err := d.Submit(tn, "c", spec(), now); err != nil {
+				t.Fatal(err)
+			}
+		case op < 5: // scale-out: register (or re-lease) a worker
+			w := workers[rng.Intn(len(workers))]
+			if err := d.RegisterWorker(w, 1+rng.Intn(8), now); err != nil {
+				t.Fatal(err)
+			}
+			registered[w] = true
+		case op < 6: // death or graceful retire
+			w := workers[rng.Intn(len(workers))]
+			if !registered[w] {
+				break
+			}
+			if rng.Intn(2) == 0 {
+				d.DeregisterWorker(w, now)
+				registered[w] = false
+			} else if err := d.RetireWorker(w, now); err == nil {
+				registered[w] = false
+			}
+		case op < 8: // complete a random running job
+			if len(running) == 0 {
+				break
+			}
+			i := rng.Intn(len(running))
+			j := running[i]
+			running = append(running[:i], running[i+1:]...)
+			if err := d.Complete(j, Result{Virtual: simtime.Duration(1 + rng.Intn(int(2*simtime.Second)))}, now); err != nil {
+				t.Fatal(err)
+			}
+		default: // dispatch and check the invariants
+			// Heartbeat survivors so lease expiry is an explicit op, not
+			// an artifact of the random time walk.
+			for w, ok := range registered {
+				if ok && !d.WorkerHeartbeat(w, now) {
+					registered[w] = false
+				}
+			}
+			grants := d.Dispatch(now)
+			pool := d.PoolCores()
+			granted := d.GrantedCores()
+			if len(grants) > 0 && granted > pool {
+				t.Fatalf("step %d: over-grant: %d cores out of a %d-core pool", step, granted, pool)
+			}
+			if rc := d.RunningCount(); rc > 3 {
+				t.Fatalf("step %d: %d running past fair-share 3", step, rc)
+			}
+			for _, g := range grants {
+				if g.Cores < 1 {
+					t.Fatalf("step %d: zero-core grant for %s", step, g.Job.ID)
+				}
+				running = append(running, g.Job)
+			}
+		}
+	}
+	for _, j := range running {
+		if err := d.Complete(j, Result{Virtual: simtime.Second}, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.GrantedCores(); got != 0 {
+		t.Fatalf("cores leaked: %d granted after draining everything", got)
+	}
+}
+
+// The same state machine hammered from concurrent goroutines, for the race
+// detector: submitters, a heartbeater, and a dispatcher/completer all share
+// the daemon. Correctness of the interleaving is the mutex's job; this test
+// asserts the ledger balances once everything drains.
+func TestDispatchConcurrencyRace(t *testing.T) {
+	d, _ := newTestDaemon(t, func(c *Config) {
+		c.MaxQueue = 512
+		c.Limits = Limits{Rate: -1}
+	})
+	if err := d.RegisterWorker("w:1", 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				now := simtime.Duration(i) * simtime.Millisecond
+				if _, _, err := d.Submit("t", "c", spec(), now); err != nil {
+					t.Error(err)
+					return
+				}
+				d.WorkerHeartbeat("w:1", now)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		completed := 0
+		for now := simtime.Duration(0); completed < 150; now += simtime.Millisecond {
+			d.WorkerHeartbeat("w:1", now)
+			for _, g := range d.Dispatch(now) {
+				if err := d.Complete(g.Job, Result{Virtual: simtime.Millisecond}, now); err != nil {
+					t.Error(err)
+					return
+				}
+				completed++
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := d.GrantedCores(); got != 0 {
+		t.Fatalf("cores leaked under concurrency: %d", got)
+	}
+	if !d.Idle() {
+		t.Fatal("daemon not idle after drain")
+	}
+}

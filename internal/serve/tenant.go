@@ -80,6 +80,13 @@ func (t *tenantState) refill(now simtime.Duration) {
 	t.refilled = now
 }
 
+// noRefillBackoff is the retry-after hint for a tenant whose bucket can
+// never refill (Rate == 0 with the burst spent). There is no honest "time
+// until the next token" — that time is infinite — but RetryAfter 0 reads
+// as "retry immediately" and well-behaved clients hot-loop on it, so the
+// rejection carries a long, finite pause instead.
+const noRefillBackoff = simtime.Minute
+
 // takeToken consumes one admission token; when the bucket is dry it
 // reports false and the virtual delay until the next token accrues.
 func (t *tenantState) takeToken(now simtime.Duration) (bool, simtime.Duration) {
@@ -92,7 +99,10 @@ func (t *tenantState) takeToken(now simtime.Duration) (bool, simtime.Duration) {
 		return true, 0
 	}
 	if t.lim.Rate == 0 {
-		return false, 0
+		// No refill ever: the bucket started with Burst tokens and that
+		// was the tenant's whole allowance. Hint a long backoff rather
+		// than 0, which would invite an immediate (and futile) retry.
+		return false, noRefillBackoff
 	}
 	need := 1 - t.tokens
 	return false, simtime.FromSeconds(need / t.lim.Rate)

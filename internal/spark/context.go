@@ -89,10 +89,12 @@ type Context struct {
 
 	mu          sync.Mutex
 	deadWorkers map[int]bool
+	draining    map[int]bool // elastic scale-in: alive, finishing, no new work
 	leases      []resilience.Lease
 	vnow        simtime.Duration         // virtual membership clock
 	diedAt      map[int]simtime.Duration // lease-expiry death times (for rejoin)
 	jobSeq      int
+	activeJobs  int // jobs currently inside runJob (gates RemoveDrained)
 	metrics     EngineMetrics
 }
 
@@ -141,6 +143,7 @@ func NewContext(spec ClusterSpec, opts ...Option) (*Context, error) {
 		slots:       make(chan struct{}, runtime.NumCPU()),
 		maxRetries:  3,
 		deadWorkers: make(map[int]bool),
+		draining:    make(map[int]bool),
 	}
 	for _, o := range opts {
 		o(ctx)
@@ -159,8 +162,13 @@ func NewContext(spec ClusterSpec, opts ...Option) (*Context, error) {
 	return ctx, nil
 }
 
-// Spec reports the simulated topology.
-func (c *Context) Spec() ClusterSpec { return c.spec }
+// Spec reports the simulated topology. With elastic membership the worker
+// count is the current one — scale events change what later jobs see.
+func (c *Context) Spec() ClusterSpec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spec
+}
 
 // logf emits an engine log line when a logger is installed.
 func (c *Context) logf(format string, args ...any) {
@@ -201,10 +209,18 @@ func (c *Context) workerDead(w int) bool {
 }
 
 // nextWorker picks the first alive worker at or after w (wrapping), used to
-// reassign failed tasks.
+// reassign failed tasks. Draining workers are passed over while any other
+// worker is alive — they are finishing what they hold, not taking new
+// attempts — but remain a last resort over failing the job.
 func (c *Context) nextWorker(w int) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for i := 0; i < c.spec.Workers; i++ {
+		cand := (w + i) % c.spec.Workers
+		if !c.deadWorkers[cand] && !c.draining[cand] {
+			return cand, nil
+		}
+	}
 	for i := 0; i < c.spec.Workers; i++ {
 		cand := (w + i) % c.spec.Workers
 		if !c.deadWorkers[cand] {
@@ -235,8 +251,17 @@ func (c *Context) PartitionWorker(p, numPartitions int) int {
 	defer c.mu.Unlock()
 	alive := make([]int, 0, c.spec.Workers)
 	for w := 0; w < c.spec.Workers; w++ {
-		if !c.deadWorkers[w] {
+		if !c.deadWorkers[w] && !c.draining[w] {
 			alive = append(alive, w)
+		}
+	}
+	if len(alive) == 0 {
+		// Everyone left is draining (or dead): assign over the draining
+		// survivors rather than none.
+		for w := 0; w < c.spec.Workers; w++ {
+			if !c.deadWorkers[w] {
+				alive = append(alive, w)
+			}
 		}
 	}
 	if len(alive) == 0 {

@@ -1,0 +1,111 @@
+package spark
+
+// Elastic membership: worker birth and graceful drain. Death already
+// shrinks the cluster — lease expiry blacklists a worker and Eq. 3
+// partitioning re-derives over the survivors (PartitionWorker). Birth is
+// the same machinery run in reverse: AddWorkers grows the spec and hands
+// each newcomer a fresh lease renewed at the current membership clock, so
+// the next job's partition map spreads over the grown live set with no
+// other change. Scale-in is two-phase to guarantee no in-flight tile is
+// ever stranded: DrainWorkers diverts new task attempts away from the
+// highest-indexed workers while attempts they already hold run to
+// completion, and RemoveDrained retires them only at a quiescent job
+// boundary.
+
+import (
+	"strconv"
+
+	"ompcloud/internal/resilience"
+	"ompcloud/internal/trace/span"
+)
+
+// AddWorkers grows the cluster by n workers, returning the new worker
+// count. Newcomers join alive with freshly renewed leases (their warm-up
+// latency is the autoscaler's concern — by the time a worker is handed to
+// the engine it is booted). Jobs already running keep the partition map
+// they started with; the next job re-derives Eq. 3 over the grown set.
+func (c *Context) AddWorkers(n int) int {
+	if n <= 0 {
+		return c.Spec().Workers
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.spec.Workers
+	c.spec.Workers += n
+	if c.lease.Heartbeat > 0 {
+		for w := old; w < c.spec.Workers; w++ {
+			l := resilience.Lease{Interval: c.lease.Heartbeat, Misses: c.lease.Misses}
+			l.Renew(c.vnow)
+			c.leases = append(c.leases, l)
+		}
+	}
+	c.metrics.Births += n
+	c.logf("spark: scale-out: +%d workers (%d -> %d)", n, old, c.spec.Workers)
+	span.Event("spark.worker.birth", "spark",
+		span.Attr{Key: "added", Val: strconv.Itoa(n)},
+		span.Attr{Key: "workers", Val: strconv.Itoa(c.spec.Workers)})
+	return c.spec.Workers
+}
+
+// DrainWorkers marks the n highest-indexed live workers as draining and
+// returns their indices. A draining worker takes no new task attempts —
+// PartitionWorker and retry reassignment pass over it — but attempts it
+// already holds finish normally, which is the no-stranded-tile half of
+// graceful scale-in. Already-dead workers are skipped (there is nothing
+// to drain).
+func (c *Context) DrainWorkers(n int) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var marked []int
+	for w := c.spec.Workers - 1; w >= 0 && len(marked) < n; w-- {
+		if c.deadWorkers[w] || c.draining[w] {
+			continue
+		}
+		c.draining[w] = true
+		marked = append(marked, w)
+	}
+	if len(marked) > 0 {
+		c.logf("spark: scale-in: draining %d workers %v", len(marked), marked)
+	}
+	return marked
+}
+
+// DrainingWorkers reports how many workers are currently draining.
+func (c *Context) DrainingWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.draining)
+}
+
+// RemoveDrained retires drained workers from the topology, returning how
+// many it removed. Removal renumbers nothing: only the highest-indexed
+// contiguous run of draining (or dead-and-draining) workers is popped, and
+// only while no job is inside the engine — a drained worker lower in the
+// index range, or any in-flight job, defers its removal to the next
+// boundary. The cluster never shrinks below one worker.
+func (c *Context) RemoveDrained() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.activeJobs > 0 {
+		return 0
+	}
+	removed := 0
+	for c.spec.Workers > 1 && c.draining[c.spec.Workers-1] {
+		w := c.spec.Workers - 1
+		delete(c.draining, w)
+		delete(c.deadWorkers, w)
+		delete(c.diedAt, w)
+		if c.lease.Heartbeat > 0 && len(c.leases) > w {
+			c.leases = c.leases[:w]
+		}
+		c.spec.Workers--
+		removed++
+	}
+	if removed > 0 {
+		c.logf("spark: scale-in: removed %d drained workers (now %d)", removed, c.spec.Workers)
+		span.Event("spark.worker.retire", "spark",
+			span.Attr{Key: "removed", Val: strconv.Itoa(removed)},
+			span.Attr{Key: "workers", Val: strconv.Itoa(c.spec.Workers)})
+	}
+	return removed
+}

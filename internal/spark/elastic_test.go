@@ -1,0 +1,114 @@
+package spark
+
+import (
+	"testing"
+
+	"ompcloud/internal/simtime"
+)
+
+// Birth re-derives Eq. 3 over the grown live set, exactly as death shrinks
+// it: after AddWorkers the partition map spreads over the new width.
+func TestAddWorkersGrowsPartitionMap(t *testing.T) {
+	ctx, err := NewContext(ClusterSpec{Workers: 4, CoresPerWorker: 2},
+		WithLease(LeaseConfig{Heartbeat: 10 * simtime.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := ctx.PartitionWorker(7, 8); w != 3 {
+		t.Fatalf("pre-scale tail partition on worker %d", w)
+	}
+	if got := ctx.AddWorkers(2); got != 6 {
+		t.Fatalf("AddWorkers -> %d workers", got)
+	}
+	if w := ctx.PartitionWorker(7, 8); w != 5 {
+		t.Fatalf("post-scale tail partition on worker %d, want 5", w)
+	}
+	if ctx.Metrics().Births != 2 {
+		t.Fatalf("births = %d", ctx.Metrics().Births)
+	}
+	// The newcomers carry live leases: a job over the grown cluster runs
+	// without their leases expiring at the first membership tick.
+	nums := make([]int, 12)
+	for i := range nums {
+		nums[i] = i
+	}
+	rdd, err := Parallelize(ctx, nums, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Map(rdd, func(v int) (int, error) { return v * 2, nil }).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 12 || out[11] != 22 {
+		t.Fatalf("post-scale job result %v", out)
+	}
+	if ctx.deaths() != 0 {
+		t.Fatalf("%d newborn workers died of stale leases", ctx.deaths())
+	}
+}
+
+// Draining workers take no new assignments but are not dead; removal only
+// happens at a quiescent boundary and never strands anything in flight.
+func TestDrainWorkersDivertsThenRemoves(t *testing.T) {
+	ctx, err := NewContext(ClusterSpec{Workers: 6, CoresPerWorker: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := ctx.DrainWorkers(2)
+	if len(marked) != 2 || marked[0] != 5 || marked[1] != 4 {
+		t.Fatalf("drained %v, want [5 4]", marked)
+	}
+	for p := 0; p < 12; p++ {
+		if w := ctx.PartitionWorker(p, 12); w >= 4 {
+			t.Fatalf("partition %d assigned to draining worker %d", p, w)
+		}
+	}
+	// Retries pass over draining workers too.
+	if w, err := ctx.nextWorker(4); err != nil || w >= 4 {
+		t.Fatalf("nextWorker(4) = %d, %v", w, err)
+	}
+	if got := ctx.RemoveDrained(); got != 2 {
+		t.Fatalf("RemoveDrained = %d", got)
+	}
+	if ctx.Spec().Workers != 4 {
+		t.Fatalf("workers after removal = %d", ctx.Spec().Workers)
+	}
+	// With every worker draining, assignment falls back to the draining
+	// set instead of losing the cluster, and the last worker is never
+	// removed.
+	ctx.DrainWorkers(4)
+	if w, err := ctx.nextWorker(0); err != nil {
+		t.Fatalf("all-draining cluster lost: %v (worker %d)", err, w)
+	}
+	if ctx.PartitionWorker(0, 4) < 0 {
+		t.Fatal("no assignment over an all-draining cluster")
+	}
+	if got := ctx.RemoveDrained(); got != 3 {
+		t.Fatalf("RemoveDrained over all-draining = %d, want 3 (floor of one worker)", got)
+	}
+	if ctx.Spec().Workers != 1 {
+		t.Fatalf("workers = %d", ctx.Spec().Workers)
+	}
+}
+
+// RemoveDrained defers while a job is inside the engine.
+func TestRemoveDrainedDefersDuringJob(t *testing.T) {
+	ctx, err := NewContext(ClusterSpec{Workers: 2, CoresPerWorker: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.DrainWorkers(1)
+	ctx.mu.Lock()
+	ctx.activeJobs++ // a job is in flight
+	ctx.mu.Unlock()
+	if got := ctx.RemoveDrained(); got != 0 {
+		t.Fatalf("removed %d workers under an active job", got)
+	}
+	ctx.mu.Lock()
+	ctx.activeJobs--
+	ctx.mu.Unlock()
+	if got := ctx.RemoveDrained(); got != 1 {
+		t.Fatalf("removed %d workers at the boundary, want 1", got)
+	}
+}

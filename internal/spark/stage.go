@@ -104,6 +104,8 @@ type EngineMetrics struct {
 	// DeadWorkers / Rejoins count lease expiries and flapping rejoins.
 	DeadWorkers int
 	Rejoins     int
+	// Births counts workers added by elastic scale-out (AddWorkers).
+	Births int
 }
 
 // jobState tracks one job's in-flight task copies: the original copy per
@@ -150,6 +152,7 @@ func runJob[T any](r *RDD[T], each func(p int, out []T)) ([][]T, *JobMetrics, er
 	ctx.mu.Lock()
 	ctx.jobSeq++
 	jobID := ctx.jobSeq
+	ctx.activeJobs++
 	ctx.mu.Unlock()
 
 	ctx.logf("spark: job %d: submitting %s (%d tasks on %d workers x %d cores)",
@@ -232,6 +235,7 @@ func runJob[T any](r *RDD[T], each func(p int, out []T)) ([][]T, *JobMetrics, er
 	ctx.metrics.Reexecuted += jm.Reexecuted
 	ctx.metrics.SpeculativeWins += jm.SpeculativeWins
 	ctx.metrics.SpeculativeLosses += jm.SpeculativeLosses
+	ctx.activeJobs--
 	ctx.mu.Unlock()
 
 	firstErr := j.firstErr

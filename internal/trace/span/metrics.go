@@ -258,6 +258,27 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// VisitGauges calls fn for every registered gauge, sorted by name. It is
+// the enumeration hook for consumers that act on families of keyed gauges
+// — e.g. invalidating every "offload.split.iters_per_milli.*" rate when
+// cluster membership changes — without knowing each kernel/device pair in
+// advance. fn runs outside the registry lock, so it may touch the registry.
+func (r *Registry) VisitGauges(fn func(name string, g *Gauge)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		fn(n, r.Gauge(n))
+	}
+}
+
 // WriteText renders every instrument, sorted by name, one per line.
 func (r *Registry) WriteText(w io.Writer) {
 	if r == nil {

@@ -103,6 +103,12 @@ type Report struct {
 	// per-phase work; these two say how much of that work ran concurrently.
 	CriticalPath simtime.Duration `json:"critical_path,omitempty"`
 	WallOverlap  simtime.Duration `json:"wall_overlap,omitempty"`
+
+	// CostUSD is the modelled dollar cost of the region under the device's
+	// configured cost model ($/core-hour on effective duration plus
+	// $/GiB-egress on bytes downloaded); 0 when the device carries no
+	// prices. Multi-device reports sum their members' costs.
+	CostUSD float64 `json:"cost_usd,omitempty"`
 }
 
 // NewReport builds an empty report.
